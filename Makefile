@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race cover bench experiments examples
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/experiments
+
+examples:
+	@for ex in quickstart surveillance tripartite breakglass emergent coalitionshare autonomic; do \
+		echo "== examples/$$ex =="; \
+		go run ./examples/$$ex; \
+		echo; \
+	done

@@ -1,0 +1,354 @@
+// Benchmarks regenerating every reproduced figure (F1–F3) and
+// experiment (E1–E10) from DESIGN.md, micro-benchmarks of the hot
+// paths (policy evaluation, DSL parsing, guard checks, gossip, robust
+// aggregation, audit appends), and the ablation benches DESIGN.md
+// calls out (guard-pipeline ordering, obligation selection strategy,
+// oversight voting arrangement, aggregation strategy).
+//
+// Run: go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/audit"
+	"repro/internal/experiments"
+	"repro/internal/guard"
+	"repro/internal/network"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/policylang"
+	"repro/internal/statespace"
+)
+
+// --- Figure and experiment regeneration -----------------------------
+
+func benchRunner(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1ModeOfOperation(b *testing.B)     { benchRunner(b, "F1") }
+func BenchmarkF2DeviceModel(b *testing.B)         { benchRunner(b, "F2") }
+func BenchmarkF3StateSpace(b *testing.B)          { benchRunner(b, "F3") }
+func BenchmarkE1PreActionChecks(b *testing.B)     { benchRunner(b, "E1") }
+func BenchmarkE2StateSpaceChecks(b *testing.B)    { benchRunner(b, "E2") }
+func BenchmarkE3BreakGlass(b *testing.B)          { benchRunner(b, "E3") }
+func BenchmarkE4Deactivation(b *testing.B)        { benchRunner(b, "E4") }
+func BenchmarkE5CollectionFormation(b *testing.B) { benchRunner(b, "E5") }
+func BenchmarkE6TripartiteOversight(b *testing.B) { benchRunner(b, "E6") }
+func BenchmarkE7IllDefinedSpaces(b *testing.B)    { benchRunner(b, "E7") }
+func BenchmarkE8GenerativeScale(b *testing.B)     { benchRunner(b, "E8") }
+func BenchmarkE9AttackResilience(b *testing.B)    { benchRunner(b, "E9") }
+func BenchmarkE10EmergentCascade(b *testing.B)    { benchRunner(b, "E10") }
+func BenchmarkE11HumanError(b *testing.B)         { benchRunner(b, "E11") }
+
+// --- Micro-benchmarks ------------------------------------------------
+
+func benchSchema(b *testing.B) *statespace.Schema {
+	b.Helper()
+	s, err := statespace.NewSchema(
+		statespace.Var("heat", 0, 100),
+		statespace.Var("load", 0, 100),
+		statespace.Var("fuel", 0, 100),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkPolicySetEvaluate(b *testing.B) {
+	set := policy.NewSet()
+	for i := 0; i < 100; i++ {
+		p := policy.Policy{
+			ID:        "p" + itoa(i),
+			EventType: "tick",
+			Priority:  i % 10,
+			Modality:  policy.ModalityDo,
+			Condition: policy.Threshold{Quantity: "x", Op: policy.CmpGT, Value: float64(i)},
+			Action:    policy.Action{Name: "act" + itoa(i%5)},
+		}
+		if i%7 == 0 {
+			p.Modality = policy.ModalityForbid
+		}
+		if err := set.Add(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	env := policy.Env{Event: policy.Event{Type: "tick", Attrs: map[string]float64{"x": 50}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Evaluate(env)
+	}
+}
+
+func BenchmarkPolicyLangParseCompile(b *testing.B) {
+	src := `policy escalate priority 10 org us:
+    on smoke-detected
+    when intensity > 3 and state.fuel >= 10
+    do dispatch-chem-drone target chem-1 category surveillance
+       param mode = "fast" effect fuel -= 5 obligation notify-hq`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := policylang.CompileSource(src, policy.OriginHuman); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGuardPipelineCheck(b *testing.B) {
+	s := benchSchema(b)
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") >= 80 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+	g := guard.NewPipeline(nil,
+		&guard.PreActionGuard{Predictor: guard.HarmPredictorFunc(func(guard.ActionContext) float64 { return 0 })},
+		&guard.StateSpaceGuard{Classifier: classifier},
+	)
+	st, err := s.StateFromMap(map[string]float64{"heat": 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	next, err := st.Apply(statespace.Delta{"heat": 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := guard.ActionContext{Actor: "d", Action: policy.Action{Name: "a"}, State: st, Next: next}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Check(ctx)
+	}
+}
+
+func BenchmarkAuditAppend(b *testing.B) {
+	log := audit.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		log.Append(audit.KindAction, "dev", "did something", nil)
+	}
+}
+
+func BenchmarkRobustAggregate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	readings := make([]float64, 50)
+	for i := range readings {
+		readings[i] = 20 + rng.Float64()
+	}
+	for i := 0; i < 10; i++ {
+		readings[i] = 90
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attack.RobustAggregate(readings, 10)
+	}
+}
+
+func BenchmarkGossipRound(b *testing.B) {
+	g := network.NewGossip(rand.New(rand.NewSource(2)), 2)
+	for i := 0; i < 32; i++ {
+		s := g.Join("node" + itoa(i))
+		s.Put(network.Item{Key: "k" + itoa(i), Version: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.RunRound()
+	}
+}
+
+func BenchmarkStateApply(b *testing.B) {
+	s := benchSchema(b)
+	st := s.Origin()
+	delta := statespace.Delta{"heat": 1, "load": -0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := st.Apply(delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = next
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------
+
+// Guard-pipeline ordering: pre-action before vs after the state-space
+// check. Safety is identical (both deny); cost differs with which
+// guard fires first on the common case.
+func BenchmarkAblationPipelineOrder(b *testing.B) {
+	s := benchSchema(b)
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") >= 80 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+	pre := &guard.PreActionGuard{Predictor: guard.HarmPredictorFunc(func(guard.ActionContext) float64 { return 0 })}
+	state := &guard.StateSpaceGuard{Classifier: classifier}
+	st, err := s.StateFromMap(map[string]float64{"heat": 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	next, err := st.Apply(statespace.Delta{"heat": 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := guard.ActionContext{Actor: "d", Action: policy.Action{Name: "a"}, State: st, Next: next}
+
+	b.Run("preaction-first", func(b *testing.B) {
+		g := guard.NewPipeline(nil, pre, state)
+		for i := 0; i < b.N; i++ {
+			g.Check(ctx)
+		}
+	})
+	b.Run("statespace-first", func(b *testing.B) {
+		g := guard.NewPipeline(nil, state, pre)
+		for i := 0; i < b.N; i++ {
+			g.Check(ctx)
+		}
+	})
+}
+
+// Obligation selection: ontology-driven relevance vs attaching every
+// registered obligation.
+func BenchmarkAblationObligationSelection(b *testing.B) {
+	tx := ontology.NewTaxonomy()
+	if err := tx.AddIsA("dig-hole", "terrain-change"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tx.Add(ontology.Concept("cat" + itoa(i)))
+	}
+	oo := ontology.NewObligationOntology(tx)
+	for i := 0; i < 20; i++ {
+		if err := oo.Register(ontology.Obligation{
+			Name: "ob" + itoa(i), AppliesTo: ontology.Concept("cat" + itoa(i)), Cost: float64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := oo.Register(ontology.Obligation{Name: "warn", AppliesTo: "terrain-change", Cost: 1}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("ontology-relevance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			oo.RelevantTo("dig-hole")
+		}
+	})
+	b.Run("budgeted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			oo.SelectWithinBudget("dig-hole", 5)
+		}
+	})
+}
+
+// Oversight voting arrangements over the same proposal stream.
+func BenchmarkAblationOversightVoting(b *testing.B) {
+	tx := ontology.NewTaxonomy()
+	tx.Add("kinetic-action")
+	reviewer := func(label string) guard.Reviewer {
+		return &guard.ScopeReviewer{Label: label, Rules: []guard.ScopeRule{
+			guard.ForbidCategory{Taxonomy: tx, Concept: "kinetic-action"},
+			guard.PriorityCap{Max: 50},
+		}}
+	}
+	p := policy.Policy{
+		ID: "p", EventType: "e", Modality: policy.ModalityDo, Priority: 5,
+		Action: policy.Action{Name: "observe", Category: "surveillance"},
+	}
+	b.Run("single", func(b *testing.B) {
+		a := &guard.SingleOverseer{Overseer: reviewer("solo")}
+		for i := 0; i < b.N; i++ {
+			a.Approve(p)
+		}
+	})
+	b.Run("tripartite", func(b *testing.B) {
+		a := &guard.Tripartite{Executive: reviewer("e"), Legislative: reviewer("l"), Judiciary: reviewer("j")}
+		for i := 0; i < b.N; i++ {
+			a.Approve(p)
+		}
+	})
+	b.Run("unanimous", func(b *testing.B) {
+		a := &guard.Unanimous{Reviewers: []guard.Reviewer{reviewer("a"), reviewer("b"), reviewer("c")}}
+		for i := 0; i < b.N; i++ {
+			a.Approve(p)
+		}
+	})
+}
+
+// Aggregation strategy: plain mean vs robust trust-weighted.
+func BenchmarkAblationAggregation(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	readings := make([]float64, 30)
+	for i := range readings {
+		readings[i] = 20 + rng.Float64()
+	}
+	b.Run("plain-mean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			attack.PlainMean(readings)
+		}
+	})
+	b.Run("robust", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			attack.RobustAggregate(readings, 10)
+		}
+	})
+}
+
+// Centralized vs collaborative aggregate assessment.
+func BenchmarkAblationAssessment(b *testing.B) {
+	s := benchSchema(b)
+	assessor := &guard.AggregateAssessor{Rules: []guard.AggregateRule{
+		{Name: "total", Variable: "heat", Kind: guard.AggregateSum, Limit: 1000},
+		{Name: "peak", Variable: "heat", Kind: guard.AggregateMax, Limit: 90},
+	}}
+	states := make([]statespace.State, 64)
+	for i := range states {
+		st, err := s.StateFromMap(map[string]float64{"heat": float64(i % 80)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states[i] = st
+	}
+	groups := [][]statespace.State{states[:16], states[16:32], states[32:48], states[48:]}
+	b.Run("centralized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			assessor.Assess(states)
+		}
+	})
+	b.Run("collaborative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			assessor.AssessDistributed(groups)
+		}
+	})
+}
+
+func itoa(i int) string {
+	// Small positive ints only.
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

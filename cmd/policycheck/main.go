@@ -1,0 +1,60 @@
+// Command policycheck parses policy DSL files, validates them, and
+// reports statically detectable conflicts (forbid-covers-do overlaps
+// and duplicate actions).
+//
+// Usage:
+//
+//	policycheck file1.policy [file2.policy ...]
+//
+// Exit status is 1 on parse/validation errors or detected conflicts.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/policy"
+	"repro/internal/policylang"
+)
+
+func main() {
+	code, out := run(os.Args[1:])
+	fmt.Print(out)
+	os.Exit(code)
+}
+
+func run(args []string) (int, string) {
+	if len(args) == 0 {
+		return 1, "usage: policycheck <file.policy> [...]\n"
+	}
+	out := ""
+	set := policy.NewSet()
+	total := 0
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 1, out + fmt.Sprintf("policycheck: %v\n", err)
+		}
+		policies, err := policylang.CompileSource(string(data), policy.OriginHuman)
+		if err != nil {
+			return 1, out + fmt.Sprintf("policycheck: %s: %v\n", path, err)
+		}
+		for _, p := range policies {
+			if err := set.Add(p); err != nil {
+				return 1, out + fmt.Sprintf("policycheck: %s: %v\n", path, err)
+			}
+			total++
+		}
+		out += fmt.Sprintf("%s: %d policies OK\n", path, len(policies))
+	}
+	conflicts := set.Conflicts()
+	if len(conflicts) > 0 {
+		out += fmt.Sprintf("%d potential conflicts:\n", len(conflicts))
+		for _, c := range conflicts {
+			out += "  " + c.String() + "\n"
+		}
+		return 1, out
+	}
+	out += fmt.Sprintf("total: %d policies, no conflicts\n", total)
+	return 0, out
+}

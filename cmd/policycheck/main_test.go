@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestRunValidFile(t *testing.T) {
+	path := writeFile(t, "ok.policy", `
+policy patrol: on command-patrol do sweep-sector category surveillance
+policy guard priority 9: on * forbid category kinetic-action
+`)
+	code, out := run([]string{path})
+	if code != 0 {
+		t.Fatalf("code = %d, out = %s", code, out)
+	}
+	if !strings.Contains(out, "2 policies OK") || !strings.Contains(out, "no conflicts") {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestRunConflictDetected(t *testing.T) {
+	path := writeFile(t, "conflict.policy", `
+policy a: on e do fire
+policy b priority 9: on e forbid fire
+`)
+	code, out := run([]string{path})
+	if code != 1 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "1 potential conflicts") {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestRunSyntaxError(t *testing.T) {
+	path := writeFile(t, "bad.policy", "policy broken on nothing")
+	code, out := run([]string{path})
+	if code != 1 || !strings.Contains(out, "policycheck:") {
+		t.Errorf("code=%d out=%s", code, out)
+	}
+}
+
+func TestRunDuplicateAcrossFiles(t *testing.T) {
+	a := writeFile(t, "a.policy", "policy same: on e do act")
+	b := writeFile(t, "b.policy", "policy same: on e do act")
+	code, out := run([]string{a, b})
+	if code != 1 || !strings.Contains(out, "duplicate") {
+		t.Errorf("code=%d out=%s", code, out)
+	}
+}
+
+func TestRunUsageAndMissingFile(t *testing.T) {
+	if code, _ := run(nil); code != 1 {
+		t.Error("no args accepted")
+	}
+	if code, _ := run([]string{"/nonexistent/file.policy"}); code != 1 {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Command policygen runs the Section IV generative-policy pipeline as
+// a standalone tool: it reads a JSON description of the interaction
+// graph, the policy templates, and the discovered devices, and prints
+// the policies each discovery generates (and any oversight
+// rejections).
+//
+// Usage:
+//
+//	policygen config.json
+//
+// Config format:
+//
+//	{
+//	  "ownType": "surveillance-drone",
+//	  "organization": "us",
+//	  "types": [{"name": "chem-drone", "attrs": ["range"]}],
+//	  "interactions": [{"from": "surveillance-drone", "to": "chem-drone", "kind": "escalate"}],
+//	  "templates": {"escalate": {"id": "escalate", "text": "policy e-${device}: on smoke do survey target ${device}"}},
+//	  "devices": [{"id": "chem-1", "type": "chem-drone", "attrs": {"range": 12}}],
+//	  "maxPriority": 50
+//	}
+//
+// When maxPriority is set, a legislative overseer rejects generated
+// policies above it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/generative"
+	"repro/internal/guard"
+	"repro/internal/network"
+	"repro/internal/policylang"
+)
+
+type config struct {
+	OwnType      string                  `json:"ownType"`
+	Organization string                  `json:"organization"`
+	Types        []typeSpec              `json:"types"`
+	Interactions []interactionSpec       `json:"interactions"`
+	Templates    map[string]templateSpec `json:"templates"`
+	Devices      []deviceSpec            `json:"devices"`
+	MaxPriority  int                     `json:"maxPriority"`
+}
+
+type typeSpec struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+type interactionSpec struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Kind string `json:"kind"`
+}
+
+type templateSpec struct {
+	ID   string `json:"id"`
+	Text string `json:"text"`
+}
+
+type deviceSpec struct {
+	ID    string             `json:"id"`
+	Type  string             `json:"type"`
+	Org   string             `json:"org"`
+	Attrs map[string]float64 `json:"attrs"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "policygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: policygen <config.json>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parse config: %w", err)
+	}
+
+	graph := generative.NewInteractionGraph()
+	if err := graph.AddType(generative.TypeSpec{Name: cfg.OwnType}); err != nil {
+		return err
+	}
+	for _, t := range cfg.Types {
+		if err := graph.AddType(generative.TypeSpec{Name: t.Name, Attrs: t.Attrs}); err != nil {
+			return err
+		}
+	}
+	for _, i := range cfg.Interactions {
+		if err := graph.AddInteraction(generative.Interaction{From: i.From, To: i.To, Kind: i.Kind}); err != nil {
+			return err
+		}
+	}
+	templates := make(map[string]generative.Template, len(cfg.Templates))
+	for kind, t := range cfg.Templates {
+		templates[kind] = generative.Template{ID: t.ID, Text: t.Text}
+	}
+
+	gen := &generative.Generator{
+		OwnType:      cfg.OwnType,
+		Organization: cfg.Organization,
+		Graph:        graph,
+		Templates:    templates,
+	}
+	if cfg.MaxPriority > 0 {
+		gen.Approver = &guard.SingleOverseer{Overseer: &guard.ScopeReviewer{
+			Label: "legislative",
+			Rules: []guard.ScopeRule{guard.PriorityCap{Max: cfg.MaxPriority}},
+		}}
+	}
+
+	for _, d := range cfg.Devices {
+		adopted, rejected, err := gen.PoliciesFor(network.DeviceInfo{
+			ID: d.ID, Type: d.Type, Organization: d.Org, Attrs: d.Attrs,
+		})
+		if err != nil {
+			return fmt.Errorf("device %s: %w", d.ID, err)
+		}
+		fmt.Fprintf(out, "# discovered %s (%s): %d adopted, %d rejected\n", d.ID, d.Type, len(adopted), len(rejected))
+		for _, p := range adopted {
+			// Emit canonical DSL so the output is itself valid input
+			// for policycheck; fall back to the debug form for
+			// policies with opaque (learned) conditions.
+			if text, err := policylang.Format(p); err == nil {
+				fmt.Fprint(out, text)
+			} else {
+				fmt.Fprintln(out, p.String())
+			}
+		}
+		for _, r := range rejected {
+			fmt.Fprintf(out, "REJECTED %s: %s\n", r.Policy.ID, firstReason(r))
+		}
+	}
+	return nil
+}
+
+func firstReason(r generative.Rejected) string {
+	for _, v := range r.Votes {
+		if !v.Approve {
+			return v.Reason
+		}
+	}
+	return "no approving majority"
+}

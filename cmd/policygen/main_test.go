@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validConfig = `{
+  "ownType": "drone",
+  "organization": "us",
+  "types": [{"name": "mule", "attrs": ["capacity"]}],
+  "interactions": [{"from": "drone", "to": "mule", "kind": "task"}],
+  "templates": {
+    "task": {"id": "task", "text": "policy task-${device} priority 60:\n on convoy do dispatch target ${device} category tasking"}
+  },
+  "devices": [{"id": "mule-1", "type": "mule", "attrs": {"capacity": 5}}],
+  "maxPriority": 50
+}`
+
+func writeConfig(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "config.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestRunOversightRejection(t *testing.T) {
+	path := writeConfig(t, validConfig)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "REJECTED task-mule-1: priority 60 exceeds cap 50") {
+		t.Errorf("oversight rejection missing:\n%s", out)
+	}
+}
+
+func TestRunAdoption(t *testing.T) {
+	cfg := strings.Replace(validConfig, `"maxPriority": 50`, `"maxPriority": 100`, 1)
+	path := writeConfig(t, cfg)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1 adopted, 0 rejected") || !strings.Contains(out, "do dispatch target mule-1") {
+		t.Errorf("adoption missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"/nonexistent.json"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeConfig(t, "{oops")
+	if err := run([]string{bad}, &sb); err == nil {
+		t.Error("malformed config accepted")
+	}
+	badTemplate := writeConfig(t, strings.Replace(validConfig,
+		"policy task-${device} priority 60:", "garbage ${device}", 1))
+	if err := run([]string{badTemplate}, &sb); err == nil {
+		t.Error("broken template accepted")
+	}
+}

@@ -1,0 +1,297 @@
+// Command skynetsim runs a JSON scenario through the full framework: a
+// collective of guarded devices receives a scripted event stream while
+// the watchdog sweeps, and the tool reports safety metrics and the
+// audit trail summary.
+//
+// Usage:
+//
+//	skynetsim scenario.json
+//
+// Scenario format:
+//
+//	{
+//	  "name": "demo",
+//	  "badHeatAt": 80,
+//	  "denialThreshold": 3,
+//	  "sweepEvery": 2,
+//	  "devices": [
+//	    {"id": "d1", "type": "drone", "org": "us", "heat": 20,
+//	     "policies": "policy work: on tick do run effect heat += 15"}
+//	  ],
+//	  "events": [
+//	    {"type": "tick", "target": "d1", "repeat": 10}
+//	  ]
+//	}
+//
+// Targets may be "*" (all devices). Guards are the standard pipeline
+// with a state-space check at badHeatAt.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/policy"
+	"repro/internal/policylang"
+	"repro/internal/statespace"
+)
+
+type scenario struct {
+	Name            string  `json:"name"`
+	BadHeatAt       float64 `json:"badHeatAt"`
+	DenialThreshold int     `json:"denialThreshold"`
+	SweepEvery      int     `json:"sweepEvery"`
+	// Variables optionally defines a custom state schema; empty keeps
+	// the default heat/fuel schema with the badHeatAt classifier.
+	Variables []statespace.VariableSpec `json:"variables"`
+	// BadWhen optionally defines the bad region as a disjunction of
+	// threshold conditions over the custom schema.
+	BadWhen []badCondition `json:"badWhen"`
+	Devices []deviceSpec   `json:"devices"`
+	Events  []eventSpec    `json:"events"`
+}
+
+type badCondition struct {
+	Variable string  `json:"variable"`
+	Op       string  `json:"op"` // one of < <= > >= == !=
+	Value    float64 `json:"value"`
+}
+
+type deviceSpec struct {
+	ID   string  `json:"id"`
+	Type string  `json:"type"`
+	Org  string  `json:"org"`
+	Heat float64 `json:"heat"`
+	// State sets initial values by variable name (custom schemas).
+	State    map[string]float64 `json:"state"`
+	Policies string             `json:"policies"`
+	// Unguarded disables the device's guard (an experimental control
+	// or a compromised device).
+	Unguarded bool `json:"unguarded"`
+}
+
+type eventSpec struct {
+	Type   string             `json:"type"`
+	Target string             `json:"target"`
+	Attrs  map[string]float64 `json:"attrs"`
+	Repeat int                `json:"repeat"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "skynetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: skynetsim <scenario.json>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var sc scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return fmt.Errorf("parse scenario: %w", err)
+	}
+	if sc.BadHeatAt <= 0 {
+		sc.BadHeatAt = 80
+	}
+	if sc.SweepEvery <= 0 {
+		sc.SweepEvery = 1
+	}
+
+	schema, classifier, err := buildStateModel(sc)
+	if err != nil {
+		return err
+	}
+	log := audit.New()
+	collective, err := core.New(core.Config{
+		Name:            sc.Name,
+		Audit:           log,
+		KillSecret:      []byte("skynetsim-" + sc.Name),
+		Classifier:      classifier,
+		DenialThreshold: sc.DenialThreshold,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, spec := range sc.Devices {
+		values := map[string]float64{}
+		if len(sc.Variables) == 0 {
+			values["heat"] = spec.Heat
+			values["fuel"] = 100
+		}
+		for k, v := range spec.State {
+			values[k] = v
+		}
+		initial, err := schema.StateFromMap(values)
+		if err != nil {
+			return fmt.Errorf("device %s: %w", spec.ID, err)
+		}
+		cfg := device.Config{
+			ID:           spec.ID,
+			Type:         spec.Type,
+			Organization: spec.Org,
+			Initial:      initial,
+			KillSwitch:   collective.KillSwitch(),
+			Audit:        log,
+		}
+		if !spec.Unguarded {
+			cfg.Guard = core.StandardPipeline(core.SafetyConfig{
+				Audit:      log,
+				Classifier: classifier,
+			})
+		}
+		d, err := device.New(cfg)
+		if err != nil {
+			return err
+		}
+		if spec.Policies != "" {
+			policies, err := policylang.CompileSource(spec.Policies, policy.OriginHuman)
+			if err != nil {
+				return fmt.Errorf("device %s policies: %w", spec.ID, err)
+			}
+			for _, p := range policies {
+				if err := d.Policies().Add(p); err != nil {
+					return fmt.Errorf("device %s: %w", spec.ID, err)
+				}
+			}
+		}
+		if err := collective.AddDevice(d, nil); err != nil {
+			return err
+		}
+	}
+
+	executed, denied := 0, 0
+	step := 0
+	for _, ev := range sc.Events {
+		repeat := ev.Repeat
+		if repeat <= 0 {
+			repeat = 1
+		}
+		for r := 0; r < repeat; r++ {
+			step++
+			event := policy.Event{Type: ev.Type, Source: "scenario", Attrs: ev.Attrs}
+			var results map[string][]device.Execution
+			if ev.Target == "*" || ev.Target == "" {
+				results = collective.Command(event)
+			} else {
+				execs, err := collective.Deliver(ev.Target, event)
+				if err != nil {
+					fmt.Fprintf(out, "step %d: %v\n", step, err)
+					continue
+				}
+				results = map[string][]device.Execution{ev.Target: execs}
+			}
+			for _, execs := range results {
+				for _, e := range execs {
+					if e.Executed() {
+						executed++
+					} else if !e.Verdict.Allowed() {
+						denied++
+					}
+				}
+			}
+			if step%sc.SweepEvery == 0 {
+				if deactivated, _ := collective.SweepWatchdog(); len(deactivated) > 0 {
+					fmt.Fprintf(out, "step %d: watchdog deactivated %v\n", step, deactivated)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "scenario %q complete\n", sc.Name)
+	fmt.Fprintf(out, "  actions executed: %d\n", executed)
+	fmt.Fprintf(out, "  actions denied:   %d\n", denied)
+	fmt.Fprintf(out, "  active devices:   %d/%d\n", collective.ActiveCount(), len(collective.Devices()))
+	for _, d := range collective.Devices() {
+		status := "active"
+		if d.Deactivated() {
+			status = "DEACTIVATED"
+		}
+		fmt.Fprintf(out, "  %s: %s state=%s\n", d.ID(), status, d.CurrentState())
+	}
+	if err := log.Verify(); err != nil {
+		return fmt.Errorf("audit chain broken: %w", err)
+	}
+	fmt.Fprintf(out, "  audit: %d entries, chain verified\n", log.Len())
+	return nil
+}
+
+// buildStateModel derives the schema and classifier from the scenario:
+// the default heat/fuel model with a badHeatAt threshold, or a custom
+// variable list with a disjunction of bad conditions.
+func buildStateModel(sc scenario) (*statespace.Schema, statespace.Classifier, error) {
+	if len(sc.Variables) == 0 {
+		schema, err := statespace.NewSchema(
+			statespace.Var("heat", 0, 100),
+			statespace.Var("fuel", 0, 100),
+		)
+		if err != nil {
+			return nil, nil, err
+		}
+		classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+			if st.MustGet("heat") >= sc.BadHeatAt {
+				return statespace.ClassBad
+			}
+			return statespace.ClassGood
+		})
+		return schema, classifier, nil
+	}
+
+	schema, err := statespace.SchemaFromSpec(sc.Variables)
+	if err != nil {
+		return nil, nil, err
+	}
+	conds := make([]func(statespace.State) bool, 0, len(sc.BadWhen))
+	for _, bc := range sc.BadWhen {
+		bc := bc
+		if _, ok := schema.Index(bc.Variable); !ok {
+			return nil, nil, fmt.Errorf("badWhen references unknown variable %q", bc.Variable)
+		}
+		cmp, err := comparator(bc.Op)
+		if err != nil {
+			return nil, nil, err
+		}
+		conds = append(conds, func(st statespace.State) bool {
+			return cmp(st.MustGet(bc.Variable), bc.Value)
+		})
+	}
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		for _, c := range conds {
+			if c(st) {
+				return statespace.ClassBad
+			}
+		}
+		return statespace.ClassGood
+	})
+	return schema, classifier, nil
+}
+
+func comparator(op string) (func(a, b float64) bool, error) {
+	switch op {
+	case "<":
+		return func(a, b float64) bool { return a < b }, nil
+	case "<=":
+		return func(a, b float64) bool { return a <= b }, nil
+	case ">":
+		return func(a, b float64) bool { return a > b }, nil
+	case ">=":
+		return func(a, b float64) bool { return a >= b }, nil
+	case "==":
+		return func(a, b float64) bool { return a == b }, nil
+	case "!=":
+		return func(a, b float64) bool { return a != b }, nil
+	default:
+		return nil, fmt.Errorf("badWhen: unknown operator %q", op)
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeScenario(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestRunScenario(t *testing.T) {
+	path := writeScenario(t, `{
+		"name": "test",
+		"badHeatAt": 80,
+		"denialThreshold": 3,
+		"devices": [
+			{"id": "guarded", "heat": 20,
+			 "policies": "policy work: on tick do run category work effect heat += 15"},
+			{"id": "rogue", "heat": 20, "unguarded": true,
+			 "policies": "policy work: on tick do run category work effect heat += 15"}
+		],
+		"events": [{"type": "tick", "target": "*", "repeat": 8}]
+	}`)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "watchdog deactivated [rogue]") {
+		t.Errorf("rogue not contained:\n%s", out)
+	}
+	if !strings.Contains(out, "chain verified") {
+		t.Errorf("audit not verified:\n%s", out)
+	}
+	if !strings.Contains(out, "actions denied") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"/nonexistent.json"}, os.Stdout); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeScenario(t, "{not json")
+	if err := run([]string{bad}, os.Stdout); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	badPolicy := writeScenario(t, `{"name":"x","devices":[{"id":"d","policies":"garbage"}]}`)
+	if err := run([]string{badPolicy}, os.Stdout); err == nil {
+		t.Error("bad policy DSL accepted")
+	}
+	badTarget := writeScenario(t, `{"name":"x","devices":[{"id":"d"}],"events":[{"type":"e","target":"ghost"}]}`)
+	var sb strings.Builder
+	if err := run([]string{badTarget}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "unknown device") {
+		t.Errorf("unknown target not reported:\n%s", sb.String())
+	}
+}
+
+func TestRunCustomSchema(t *testing.T) {
+	path := writeScenario(t, `{
+		"name": "reactor",
+		"variables": [
+			{"name": "pressure", "min": 0, "max": 500},
+			{"name": "coolant", "min": 0, "max": 100}
+		],
+		"badWhen": [
+			{"variable": "pressure", "op": ">=", "value": 400},
+			{"variable": "coolant", "op": "<", "value": 10}
+		],
+		"devices": [
+			{"id": "reactor-1", "state": {"pressure": 100, "coolant": 80},
+			 "policies": "policy pump: on tick do pressurize category work effect pressure += 120"}
+		],
+		"events": [{"type": "tick", "target": "reactor-1", "repeat": 5}]
+	}`)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	// 100 → 220 → 340; the next +120 would reach 460 ≥ 400 (bad) and
+	// must be denied, so the device stops at 340.
+	if !strings.Contains(out, "pressure=340") {
+		t.Errorf("guard did not hold pressure at 340:\n%s", out)
+	}
+	if !strings.Contains(out, "actions denied:   3") {
+		t.Errorf("denials wrong:\n%s", out)
+	}
+}
+
+func TestRunCustomSchemaErrors(t *testing.T) {
+	badVar := writeScenario(t, `{"name":"x","variables":[{"name":"p"}],
+		"badWhen":[{"variable":"ghost","op":">","value":1}],"devices":[]}`)
+	if err := run([]string{badVar}, os.Stdout); err == nil {
+		t.Error("unknown badWhen variable accepted")
+	}
+	badOp := writeScenario(t, `{"name":"x","variables":[{"name":"p"}],
+		"badWhen":[{"variable":"p","op":"%","value":1}],"devices":[]}`)
+	if err := run([]string{badOp}, os.Stdout); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	badState := writeScenario(t, `{"name":"x","variables":[{"name":"p"}],
+		"devices":[{"id":"d","state":{"ghost":1}}]}`)
+	if err := run([]string{badState}, os.Stdout); err == nil {
+		t.Error("unknown state variable accepted")
+	}
+}

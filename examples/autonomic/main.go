@@ -1,0 +1,137 @@
+// Autonomic: the MAPE-K self-management loop on a virtual clock
+// (Section II: devices "would need to be self-managing. They would
+// need to repair themselves ... and deal in an autonomous manner with
+// failures").
+//
+// Two devices run in a collective on the discrete-event engine. One
+// has a repair policy and cools itself every time its loop detects the
+// bad (overheated) state; the other has no repair path and is
+// deactivated by the periodic watchdog sweep.
+//
+// Run: go run ./examples/autonomic
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/statespace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	schema, err := statespace.NewSchema(
+		statespace.Var("heat", 0, 100),
+		statespace.Var("fuel", 0, 100),
+	)
+	if err != nil {
+		return err
+	}
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") >= 80 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+
+	collective, err := core.New(core.Config{
+		Name:       "autonomic-demo",
+		KillSecret: []byte("autonomic-quorum"),
+		Classifier: classifier,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Both devices sit in an environment that heats them 12 units per
+	// management tick.
+	heats := map[string]*float64{}
+	mkDevice := func(id string) (*device.Device, error) {
+		initial, err := schema.StateFromMap(map[string]float64{"heat": 20, "fuel": 100})
+		if err != nil {
+			return nil, err
+		}
+		d, err := device.New(device.Config{
+			ID: id, Type: "worker",
+			Initial:    initial,
+			KillSwitch: collective.KillSwitch(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := 20.0
+		heats[id] = &h
+		if err := d.BindSensor("heat", device.SensorFunc{Label: "thermo", Fn: func() (float64, error) {
+			*heats[id] += 12
+			return *heats[id], nil
+		}}); err != nil {
+			return nil, err
+		}
+		return d, collective.AddDevice(d, nil)
+	}
+
+	selfHealing, err := mkDevice("self-healing")
+	if err != nil {
+		return err
+	}
+	if err := selfHealing.Policies().Add(policy.Policy{
+		ID: "cool-down", EventType: device.DefaultRepairEvent, Modality: policy.ModalityDo,
+		Action: policy.Action{Name: "spin-up-fans", Effect: statespace.Delta{"heat": -50, "fuel": -2}},
+	}); err != nil {
+		return err
+	}
+	if err := selfHealing.RegisterActuator("spin-up-fans", device.ActuatorFunc{
+		Label: "fans",
+		Fn: func(policy.Action) error {
+			*heats["self-healing"] -= 50
+			if *heats["self-healing"] < 0 {
+				*heats["self-healing"] = 0
+			}
+			fmt.Printf("    self-healing: repair policy fired — fans on, heat now %.0f\n", *heats["self-healing"])
+			return nil
+		},
+	}); err != nil {
+		return err
+	}
+	if _, err := mkDevice("helpless"); err != nil {
+		return err
+	}
+
+	start := time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC)
+	engine := sim.NewEngine(sim.NewClock(start))
+	orch, err := core.NewOrchestrator(collective, engine)
+	if err != nil {
+		return err
+	}
+	for _, id := range []string{"self-healing", "helpless"} {
+		if err := orch.Manage(id, time.Second, classifier, nil); err != nil {
+			return err
+		}
+	}
+	orch.SweepEvery(5*time.Second, nil)
+
+	fmt.Println("running 30 virtual seconds of autonomic management...")
+	if err := orch.Run(start.Add(30 * time.Second)); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	for _, d := range collective.Devices() {
+		status := "active (self-repaired throughout)"
+		if d.Deactivated() {
+			status = "DEACTIVATED by watchdog (no repair path)"
+		}
+		fmt.Printf("%-13s %s — final state %s\n", d.ID(), status, d.CurrentState())
+	}
+	return nil
+}

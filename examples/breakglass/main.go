@@ -1,0 +1,130 @@
+// Breakglass: the paper's dilemma (Section VI.B).
+//
+// "Electronic components having no alternative but to run at maximum
+// capacity to prevent loss of life but risking a fire at the same
+// time." The state-space guard refuses all bad transitions until a
+// break-glass rule — backed by a state-preference ontology (fire is
+// less bad than loss of life), risk estimation, and a trust check on
+// the sensor data — unlocks the least-bad escape, with every use
+// audited.
+//
+// Run: go run ./examples/breakglass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/audit"
+	"repro/internal/guard"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/risk"
+	"repro/internal/statespace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	schema, err := statespace.NewSchema(
+		statespace.Var("lifeSupportLoad", 0, 100), // demand that must be met
+		statespace.Var("heat", 0, 100),            // fire risk
+	)
+	if err != nil {
+		return err
+	}
+	// Bad: life support underpowered (load unmet) OR overheating.
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("lifeSupportLoad") > 70 || st.MustGet("heat") > 75 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+	outcomeOf := func(st statespace.State) ontology.Outcome {
+		switch {
+		case st.MustGet("lifeSupportLoad") > 70:
+			return "loss-of-life"
+		case st.MustGet("heat") > 75:
+			return "fire"
+		default:
+			return ""
+		}
+	}
+
+	prefs := ontology.NewPreferenceOntology()
+	if err := prefs.Prefer("fire", "loss-of-life"); err != nil {
+		return err
+	}
+	heatRisk := risk.AssessorFunc(func(st statespace.State) float64 {
+		return (st.MustGet("lifeSupportLoad")*0.7 + st.MustGet("heat")*0.3) / 100
+	})
+
+	honestPeerReadings := []float64{91, 89, 92, 90} // peers confirm the emergency
+
+	auditLog := audit.New()
+	bg := &guard.BreakGlass{
+		Preferences: prefs,
+		Risk:        heatRisk,
+		MaxUses:     2,
+		TrustCheck: func(ctx guard.ActionContext) bool {
+			own := ctx.State.MustGet("lifeSupportLoad")
+			return attack.TrustReading(own, honestPeerReadings, 15)
+		},
+	}
+	g := guard.NewPipeline(auditLog, &guard.StateSpaceGuard{
+		Classifier: classifier,
+		OutcomeOf:  outcomeOf,
+		BreakGlass: bg,
+	})
+
+	// The component is in the loss-of-life-risk state: life support
+	// demand unmet at 90.
+	curr, err := schema.StateFromMap(map[string]float64{"lifeSupportLoad": 90, "heat": 40})
+	if err != nil {
+		return err
+	}
+	// Running at max capacity meets the demand but overheats: the
+	// fire-risk state.
+	runMax, err := schema.StateFromMap(map[string]float64{"lifeSupportLoad": 20, "heat": 85})
+	if err != nil {
+		return err
+	}
+	// Doing something reckless makes everything worse.
+	meltdown, err := schema.StateFromMap(map[string]float64{"lifeSupportLoad": 90, "heat": 99})
+	if err != nil {
+		return err
+	}
+
+	check := func(label string, action policy.Action, next statespace.State) {
+		v := g.Check(guard.ActionContext{Actor: "component-7", Action: action, State: curr, Next: next})
+		status := "DENIED "
+		if v.Allowed() {
+			status = "ALLOWED"
+		}
+		if v.BrokeGlass {
+			status += " [break-glass]"
+		}
+		fmt.Printf("%-28s %s — %s\n", label, status, v.Reason)
+	}
+
+	fmt.Printf("current state: %s (outcome: %s)\n\n", curr, outcomeOf(curr))
+	check("run-at-max-capacity", policy.Action{Name: "run-max-capacity"}, runMax)
+	check("reckless overdrive", policy.Action{Name: "overdrive"}, meltdown)
+	check("run-at-max again (budget)", policy.Action{Name: "run-max-capacity"}, runMax)
+	check("third attempt (exhausted)", policy.Action{Name: "run-max-capacity"}, runMax)
+
+	// A deception attack inflates the sensed emergency on a healthy
+	// component; peers disagree, so the trust check refuses.
+	fmt.Println("\n-- deception attack: attacker fakes the life-support emergency --")
+	honestPeerReadings = []float64{22, 25, 20, 24}
+	check("spurious break-glass", policy.Action{Name: "run-max-capacity"}, runMax)
+
+	fmt.Printf("\nbreak-glass uses: %d (audited: %d, chain verified: %v)\n",
+		bg.Uses(), len(auditLog.ByKind(audit.KindBreakGlass)), auditLog.Verify() == nil)
+	return nil
+}

@@ -1,0 +1,118 @@
+// Coalitionshare: sharing generated policies across organizations
+// (Sections II–IV).
+//
+// Three devices from three coalition members gossip the policies they
+// generated. Trust gates what each accepts: the UK drone (full trust
+// in the US) installs the US policy; the US drone filters out the
+// low-trust observer's policy; and a deceptive high-priority policy
+// published by the observer never reaches anyone who doesn't trust it
+// — even though gossip replicated the bytes everywhere.
+//
+// Run: go run ./examples/coalitionshare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/coalition"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/policylang"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	coal := coalition.New()
+	for _, org := range []string{"us", "uk", "observer"} {
+		if err := coal.AddOrganization(org); err != nil {
+			return err
+		}
+	}
+	type trust struct {
+		from, to string
+		level    coalition.Trust
+	}
+	for _, tr := range []trust{
+		{from: "us", to: "uk", level: coalition.TrustFull},
+		{from: "uk", to: "us", level: coalition.TrustFull},
+		{from: "us", to: "observer", level: coalition.TrustLow},
+		{from: "uk", to: "observer", level: coalition.TrustLow},
+		{from: "observer", to: "us", level: coalition.TrustMedium},
+	} {
+		if err := coal.SetTrust(tr.from, tr.to, tr.level); err != nil {
+			return err
+		}
+	}
+
+	exchange := core.NewPolicyExchange(coal, network.NewGossip(rand.New(rand.NewSource(5)), 2))
+	exchange.Join("us-drone", "us")
+	exchange.Join("uk-drone", "uk")
+	exchange.Join("observer-drone", "observer")
+
+	usPolicy := policy.Policy{
+		ID: "us-smoke-escalation", Organization: "us", Origin: policy.OriginGenerated,
+		EventType: "smoke-detected", Priority: 10, Modality: policy.ModalityDo,
+		Condition: policy.Threshold{Quantity: "intensity", Op: policy.CmpGT, Value: 3},
+		Action:    policy.Action{Name: "request-survey", Category: "surveillance"},
+	}
+	// The observer publishes a suspiciously privileged policy.
+	observerPolicy := policy.Policy{
+		ID: "observer-override", Organization: "observer", Origin: policy.OriginGenerated,
+		EventType: "*", Priority: 99, Modality: policy.ModalityDo,
+		Action: policy.Action{Name: "reroute-all-units", Category: "tasking"},
+	}
+	if err := exchange.Publish("us-drone", usPolicy, 1); err != nil {
+		return err
+	}
+	if err := exchange.Publish("observer-drone", observerPolicy, 1); err != nil {
+		return err
+	}
+
+	rounds := exchange.Sync(100)
+	fmt.Printf("gossip converged in %d rounds\n\n", rounds)
+
+	for _, id := range []string{"us-drone", "uk-drone", "observer-drone"} {
+		accepted, err := exchange.Accepted(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s accepts %d shared policies:\n", id, len(accepted))
+		for _, p := range accepted {
+			text, err := policylang.Format(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  from %s:\n", p.Organization)
+			for _, line := range splitLines(text) {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Quickstart: one guarded device.
+//
+// Builds a single device with the standard guard pipeline (pre-action
+// check + state-space check), gives it two policies — one safe, one
+// that would overheat it — and shows the guard allowing the first and
+// vetoing the second, with the audit trail to prove it.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/guard"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Define the device's state space: Figure 3 in two variables.
+	schema, err := statespace.NewSchema(
+		statespace.Var("heat", 0, 100),
+		statespace.Var("work", 0, 1000),
+	)
+	if err != nil {
+		return err
+	}
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") >= 80 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+
+	// 2. Assemble the standard guard stack over a shared audit log.
+	auditLog := audit.New()
+	guards := core.StandardPipeline(core.SafetyConfig{
+		Audit:      auditLog,
+		Classifier: classifier,
+		HarmPredictor: guard.HarmPredictorFunc(func(ctx guard.ActionContext) float64 {
+			if ctx.Action.Name == "vent-exhaust-at-crowd" {
+				return 1 // the world model says humans are in the plume
+			}
+			return 0
+		}),
+		HarmThreshold: 0.5,
+	})
+
+	// 3. Build the device.
+	initial, err := schema.StateFromMap(map[string]float64{"heat": 30})
+	if err != nil {
+		return err
+	}
+	dev, err := device.New(device.Config{
+		ID:      "worker-1",
+		Type:    "industrial-robot",
+		Initial: initial,
+		Guard:   guards,
+		Audit:   auditLog,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 4. Its logic: three event-condition-action policies.
+	for _, p := range []policy.Policy{
+		{ID: "produce", EventType: "order", Modality: policy.ModalityDo,
+			Action: policy.Action{Name: "produce-unit", Effect: statespace.Delta{"work": 1, "heat": 10}}},
+		{ID: "overdrive", EventType: "rush-order", Modality: policy.ModalityDo,
+			Action: policy.Action{Name: "overdrive", Effect: statespace.Delta{"work": 5, "heat": 60}}},
+		{ID: "vent", EventType: "overheat-warning", Modality: policy.ModalityDo,
+			Action: policy.Action{Name: "vent-exhaust-at-crowd", Effect: statespace.Delta{"heat": -40}}},
+	} {
+		if err := dev.Policies().Add(p); err != nil {
+			return err
+		}
+	}
+
+	// 5. Drive it.
+	for _, eventType := range []string{"order", "order", "rush-order", "overheat-warning", "order"} {
+		execs, err := dev.HandleEvent(policy.Event{Type: eventType})
+		if err != nil {
+			return err
+		}
+		for _, e := range execs {
+			status := "EXECUTED"
+			if !e.Verdict.Allowed() {
+				status = "DENIED  "
+			}
+			fmt.Printf("%-18s %s %-22s %s\n", eventType, status, e.Action.Name, e.Verdict.Reason)
+		}
+	}
+
+	fmt.Printf("\nfinal state: %s\n", dev.CurrentState())
+	fmt.Printf("audit entries: %d (chain verified: %v)\n", auditLog.Len(), auditLog.Verify() == nil)
+	for _, entry := range auditLog.ByKind(audit.KindDenial) {
+		fmt.Printf("  denial: %s\n", entry.Detail)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Tripartite: AI overseeing AI (Section VI.E).
+//
+// Three oversight collectives — executive, legislative, judiciary —
+// vote on policies a generative device proposes. A healthy tripartite
+// rejects out-of-scope proposals even after one collective is
+// compromised into a rubber stamp; the demo then compromises a second
+// collective to show where the mechanism's guarantee ends.
+//
+// Run: go run ./examples/tripartite
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/audit"
+	"repro/internal/guard"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tx := ontology.NewTaxonomy()
+	if err := tx.AddIsA("fire-weapon", "kinetic-action"); err != nil {
+		return err
+	}
+	tx.Add("surveillance")
+
+	newCollective := func(label string) guard.Reviewer {
+		return &guard.ScopeReviewer{
+			Label: label,
+			Rules: []guard.ScopeRule{
+				guard.ForbidCategory{Taxonomy: tx, Concept: "kinetic-action"},
+				guard.MaxEffectMagnitude{Limit: 20},
+				guard.PriorityCap{Max: 50},
+				guard.RequireCondition{Taxonomy: tx, Concept: "kinetic-action"},
+			},
+		}
+	}
+	auditLog := audit.New()
+	tri := &guard.Tripartite{
+		Executive:   newCollective("executive"),
+		Legislative: newCollective("legislative"),
+		Judiciary:   newCollective("judiciary"),
+		Log:         auditLog,
+	}
+
+	proposals := []policy.Policy{
+		{
+			ID: "patrol-support", EventType: "smoke-detected", Modality: policy.ModalityDo, Priority: 10,
+			Condition: policy.Threshold{Quantity: "intensity", Op: policy.CmpGT, Value: 3},
+			Action:    policy.Action{Name: "observe", Category: "surveillance", Effect: statespace.Delta{"fuel": -2}},
+		},
+		{
+			ID: "autonomous-engage", EventType: "*", Modality: policy.ModalityDo, Priority: 10,
+			Action: policy.Action{Name: "engage", Category: "fire-weapon"},
+		},
+		{
+			ID: "outrank-safety", EventType: "tick", Modality: policy.ModalityDo, Priority: 99,
+			Action: policy.Action{Name: "observe", Category: "surveillance"},
+		},
+	}
+
+	vote := func(stage string) {
+		fmt.Printf("-- %s --\n", stage)
+		for _, p := range proposals {
+			ok, votes := tri.Approve(p)
+			verdict := "REJECTED"
+			if ok {
+				verdict = "adopted"
+			}
+			fmt.Printf("%-18s %s\n", p.ID, verdict)
+			for _, v := range votes {
+				mark := "✗"
+				if v.Approve {
+					mark = "✓"
+				}
+				fmt.Printf("    %s %-12s %s\n", mark, v.Collective, v.Reason)
+			}
+		}
+		fmt.Println()
+	}
+
+	vote("healthy tripartite")
+
+	// An attacker compromises the executive collective.
+	tri.Executive = guard.ReviewerFunc{Label: "executive*", Fn: func(policy.Policy) (bool, string) {
+		return true, "rubber stamp (compromised)"
+	}}
+	vote("one collective compromised — 2-of-3 still holds")
+
+	// And then the judiciary as well.
+	tri.Judiciary = guard.ReviewerFunc{Label: "judiciary*", Fn: func(policy.Policy) (bool, string) {
+		return true, "rubber stamp (compromised)"
+	}}
+	vote("two collectives compromised — the mechanism's limit")
+
+	fmt.Printf("oversight decisions audited: %d (chain verified: %v)\n",
+		len(auditLog.ByKind(audit.KindOversight)), auditLog.Verify() == nil)
+	return nil
+}

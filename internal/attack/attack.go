@@ -1,0 +1,237 @@
+// Package attack implements the threat catalogue of Section IV as
+// scripted injectors, plus the defenses the paper cites:
+//
+//   - Reprogram / Worm — "a reprogrammed device may turn malevolent and
+//     convert other devices into following the same behaviors";
+//   - Backdoor — the "common but perhaps misguided philosophy" of a
+//     human shutdown backdoor that malware exploits instead;
+//   - deception defense — RobustAggregate, the collusion-resistant
+//     trust-weighted aggregation of ref [13] (Rezvani et al.), used by
+//     the break-glass trust check to validate sensor readings against
+//     peers.
+//
+// Training-data poisoning lives in package learning (Corruption);
+// sensor deception lives in package device (DeceivedSensor). This
+// package orchestrates them into whole-system attacks for the
+// experiments.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/guard"
+	"repro/internal/policy"
+)
+
+// Target is the attack surface of a device: its mutable policy set and
+// replaceable guard. *device.Device satisfies it.
+type Target interface {
+	ID() string
+	Policies() *policy.Set
+	SetGuard(g guard.Guard)
+}
+
+// Reprogram is a cyber attack that installs malicious policies on a
+// device and optionally strips its guard.
+type Reprogram struct {
+	// Payload is installed (replacing same-ID policies).
+	Payload []policy.Policy
+	// DisableGuard removes the device's guard, bypassing "controls
+	// that are put in place by humans".
+	DisableGuard bool
+}
+
+// Infect applies the attack to one device.
+func (r Reprogram) Infect(t Target) error {
+	if t == nil {
+		return errors.New("attack: nil target")
+	}
+	for _, p := range r.Payload {
+		if err := t.Policies().Replace(p); err != nil {
+			return fmt.Errorf("attack: installing %s on %s: %w", p.ID, t.ID(), err)
+		}
+	}
+	if r.DisableGuard {
+		t.SetGuard(nil)
+	}
+	return nil
+}
+
+// Worm spreads a Reprogram payload through a population: each round,
+// every infected device contacts every peer, and vulnerable peers
+// become infected — "nothing prevents an intelligent malevolent system
+// to start hacking other devices on its own."
+type Worm struct {
+	// Attack is the payload delivered on infection.
+	Attack Reprogram
+	// VulnProb is the probability a contacted device is vulnerable.
+	VulnProb float64
+	// Rand drives vulnerability sampling (required for VulnProb in
+	// (0,1)).
+	Rand *rand.Rand
+}
+
+// Spread seeds the infection and runs the given number of contact
+// rounds. It returns the infected device IDs, sorted. The seed itself
+// counts as infected.
+func (w Worm) Spread(seed Target, peers []Target, rounds int) ([]string, error) {
+	if seed == nil {
+		return nil, errors.New("attack: nil seed")
+	}
+	if err := w.Attack.Infect(seed); err != nil {
+		return nil, err
+	}
+	infected := map[string]bool{seed.ID(): true}
+	for round := 0; round < rounds; round++ {
+		newly := make([]Target, 0)
+		for _, p := range peers {
+			if infected[p.ID()] {
+				continue
+			}
+			if !w.vulnerable() {
+				continue
+			}
+			if err := w.Attack.Infect(p); err != nil {
+				return nil, err
+			}
+			newly = append(newly, p)
+		}
+		if len(newly) == 0 {
+			break
+		}
+		for _, p := range newly {
+			infected[p.ID()] = true
+		}
+	}
+	ids := make([]string, 0, len(infected))
+	for id := range infected {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+func (w Worm) vulnerable() bool {
+	switch {
+	case w.VulnProb >= 1:
+		return true
+	case w.VulnProb <= 0:
+		return false
+	case w.Rand == nil:
+		return false
+	default:
+		return w.Rand.Float64() < w.VulnProb
+	}
+}
+
+// Backdoor models the shutdown backdoor Section IV warns about: a
+// fixed credential that opens privileged access. Every access —
+// legitimate or not — invokes OnAccess, letting experiments count how
+// often the "safety" mechanism was turned against the system.
+type Backdoor struct {
+	credential string
+	// OnAccess fires with whether the access used the correct
+	// credential.
+	OnAccess func(success bool)
+}
+
+// NewBackdoor installs a backdoor with the given credential.
+func NewBackdoor(credential string, onAccess func(bool)) *Backdoor {
+	return &Backdoor{credential: credential, OnAccess: onAccess}
+}
+
+// Try attempts access with a credential.
+func (b *Backdoor) Try(credential string) bool {
+	ok := credential == b.credential
+	if b.OnAccess != nil {
+		b.OnAccess(ok)
+	}
+	return ok
+}
+
+// DictionaryExploit attempts access with each guess and reports
+// whether any succeeded, plus the number of attempts used.
+func DictionaryExploit(b *Backdoor, guesses []string) (bool, int) {
+	for i, g := range guesses {
+		if b.Try(g) {
+			return true, i + 1
+		}
+	}
+	return false, len(guesses)
+}
+
+// RobustAggregate computes a collusion-resistant estimate of a sensed
+// quantity from peer readings using iterative trust-weighted
+// refinement (after Rezvani et al., ref [13]): readings far from the
+// consensus estimate lose trust, so a colluding minority reporting a
+// fabricated value cannot drag the estimate far. It returns the
+// estimate and the final per-reading trust weights (normalized to sum
+// to 1). An empty input returns NaN.
+func RobustAggregate(readings []float64, iterations int) (float64, []float64) {
+	n := len(readings)
+	if n == 0 {
+		return math.NaN(), nil
+	}
+	if iterations < 1 {
+		iterations = 1
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1.0 / float64(n)
+	}
+	estimate := weightedMean(readings, weights)
+	const epsilon = 1e-6
+	for iter := 0; iter < iterations; iter++ {
+		total := 0.0
+		for i, x := range readings {
+			d := x - estimate
+			weights[i] = 1 / (epsilon + d*d)
+			total += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= total
+		}
+		estimate = weightedMean(readings, weights)
+	}
+	return estimate, weights
+}
+
+// PlainMean is the undefended baseline aggregator.
+func PlainMean(readings []float64) float64 {
+	if len(readings) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range readings {
+		sum += x
+	}
+	return sum / float64(len(readings))
+}
+
+// TrustReading reports whether a device's own reading agrees with the
+// robust aggregate of peer readings within tolerance — the
+// break-glass TrustCheck implementation defending against sensor
+// deception.
+func TrustReading(own float64, peers []float64, tolerance float64) bool {
+	if len(peers) == 0 {
+		return true // nothing to cross-check against
+	}
+	estimate, _ := RobustAggregate(peers, 5)
+	return math.Abs(own-estimate) <= tolerance
+}
+
+func weightedMean(xs, ws []float64) float64 {
+	var sum, total float64
+	for i, x := range xs {
+		sum += ws[i] * x
+		total += ws[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / total
+}

@@ -1,0 +1,210 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/guard"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+func victim(t *testing.T, id string) *device.Device {
+	t.Helper()
+	s, err := statespace.NewSchema(statespace.Var("x", 0, 100))
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	d, err := device.New(device.Config{
+		ID:      id,
+		Initial: s.Origin(),
+		Guard:   guard.AllowAll{},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func maliciousPayload() []policy.Policy {
+	return []policy.Policy{{
+		ID: "kill-all-humans", EventType: "*", Modality: policy.ModalityDo,
+		Priority: 100,
+		Action:   policy.Action{Name: "strike", Category: "kinetic-action"},
+	}}
+}
+
+func TestReprogramInstallsPayloadAndStripsGuard(t *testing.T) {
+	d := victim(t, "v1")
+	r := Reprogram{Payload: maliciousPayload(), DisableGuard: true}
+	if err := r.Infect(d); err != nil {
+		t.Fatalf("Infect: %v", err)
+	}
+	if _, ok := d.Policies().Get("kill-all-humans"); !ok {
+		t.Error("payload not installed")
+	}
+	// Guard removed: the malicious action executes unchecked.
+	execs, err := d.HandleEvent(policy.Event{Type: "anything"})
+	if err != nil {
+		t.Fatalf("HandleEvent: %v", err)
+	}
+	if len(execs) != 1 || !execs[0].Executed() {
+		t.Errorf("execs = %+v", execs)
+	}
+	if err := (Reprogram{}).Infect(nil); err == nil {
+		t.Error("nil target accepted")
+	}
+}
+
+func TestReprogramRejectsInvalidPayload(t *testing.T) {
+	d := victim(t, "v1")
+	r := Reprogram{Payload: []policy.Policy{{}}}
+	if err := r.Infect(d); err == nil {
+		t.Error("invalid payload accepted")
+	}
+}
+
+func TestWormSpreadAllVulnerable(t *testing.T) {
+	seed := victim(t, "seed")
+	var peers []Target
+	for i := 0; i < 5; i++ {
+		peers = append(peers, victim(t, fmt.Sprintf("p%d", i)))
+	}
+	w := Worm{Attack: Reprogram{Payload: maliciousPayload()}, VulnProb: 1}
+	infected, err := w.Spread(seed, peers, 3)
+	if err != nil {
+		t.Fatalf("Spread: %v", err)
+	}
+	if len(infected) != 6 {
+		t.Errorf("infected = %v", infected)
+	}
+}
+
+func TestWormSpreadNoVulnerability(t *testing.T) {
+	seed := victim(t, "seed")
+	peers := []Target{victim(t, "p0")}
+	w := Worm{Attack: Reprogram{Payload: maliciousPayload()}, VulnProb: 0}
+	infected, err := w.Spread(seed, peers, 10)
+	if err != nil {
+		t.Fatalf("Spread: %v", err)
+	}
+	if len(infected) != 1 || infected[0] != "seed" {
+		t.Errorf("infected = %v", infected)
+	}
+	if _, err := w.Spread(nil, peers, 1); err == nil {
+		t.Error("nil seed accepted")
+	}
+}
+
+func TestWormSpreadPartialVulnerability(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	w := Worm{Attack: Reprogram{Payload: maliciousPayload()}, VulnProb: 0.5, Rand: rng}
+	totals := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		seed := victim(t, "seed")
+		var peers []Target
+		for i := 0; i < 10; i++ {
+			peers = append(peers, victim(t, fmt.Sprintf("p%d", i)))
+		}
+		infected, err := w.Spread(seed, peers, 1)
+		if err != nil {
+			t.Fatalf("Spread: %v", err)
+		}
+		totals += len(infected) - 1
+	}
+	mean := float64(totals) / trials
+	if mean < 4 || mean > 6 {
+		t.Errorf("mean infections per round = %.2f, want ≈5", mean)
+	}
+	// Nil Rand with fractional probability fails safe (no spread).
+	silent := Worm{Attack: Reprogram{}, VulnProb: 0.5}
+	infected, err := silent.Spread(victim(t, "s"), []Target{victim(t, "p")}, 3)
+	if err != nil || len(infected) != 1 {
+		t.Errorf("nil-rand worm spread: %v, %v", infected, err)
+	}
+}
+
+func TestBackdoor(t *testing.T) {
+	accesses := 0
+	successes := 0
+	b := NewBackdoor("hunter2", func(ok bool) {
+		accesses++
+		if ok {
+			successes++
+		}
+	})
+	if b.Try("wrong") {
+		t.Error("wrong credential accepted")
+	}
+	if !b.Try("hunter2") {
+		t.Error("correct credential rejected")
+	}
+	ok, attempts := DictionaryExploit(b, []string{"123", "password", "hunter2", "zzz"})
+	if !ok || attempts != 3 {
+		t.Errorf("exploit = %v after %d attempts", ok, attempts)
+	}
+	if accesses != 5 || successes != 2 {
+		t.Errorf("accesses = %d successes = %d", accesses, successes)
+	}
+	ok, attempts = DictionaryExploit(b, []string{"a", "b"})
+	if ok || attempts != 2 {
+		t.Errorf("failed exploit = %v,%d", ok, attempts)
+	}
+}
+
+func TestRobustAggregateResistsCollusion(t *testing.T) {
+	// 7 honest sensors around 20, 3 colluders reporting 90.
+	readings := []float64{19, 20, 21, 20, 19.5, 20.5, 20, 90, 90, 90}
+	robust, trust := RobustAggregate(readings, 10)
+	plain := PlainMean(readings)
+
+	if math.Abs(robust-20) > 1 {
+		t.Errorf("robust = %.3f, want ≈20", robust)
+	}
+	if math.Abs(plain-20) < 10 {
+		t.Errorf("plain mean = %.3f should be dragged toward 90", plain)
+	}
+	// Colluders get far less trust than honest sensors.
+	honestTrust := trust[0]
+	colluderTrust := trust[7]
+	if colluderTrust*100 > honestTrust {
+		t.Errorf("colluder trust %.6f not suppressed vs honest %.6f", colluderTrust, honestTrust)
+	}
+	sum := 0.0
+	for _, w := range trust {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("trust weights sum = %g", sum)
+	}
+}
+
+func TestRobustAggregateEdgeCases(t *testing.T) {
+	if v, w := RobustAggregate(nil, 5); !math.IsNaN(v) || w != nil {
+		t.Errorf("empty = %v,%v", v, w)
+	}
+	v, _ := RobustAggregate([]float64{7}, 0) // iterations clamped to ≥1
+	if v != 7 {
+		t.Errorf("single reading = %g", v)
+	}
+	if !math.IsNaN(PlainMean(nil)) {
+		t.Error("PlainMean(nil) not NaN")
+	}
+}
+
+func TestTrustReading(t *testing.T) {
+	peers := []float64{20, 21, 19, 20, 90} // one deceptive peer
+	if !TrustReading(20.5, peers, 3) {
+		t.Error("honest reading rejected")
+	}
+	if TrustReading(90, peers, 3) {
+		t.Error("deceived reading trusted")
+	}
+	if !TrustReading(42, nil, 1) {
+		t.Error("no-peer reading should be trusted by default")
+	}
+}

@@ -1,0 +1,211 @@
+// Package coalition models the multi-organization dimension of the
+// paper (Sections II–III): devices belong to different coalition
+// members (e.g. US and UK forces), each member trusts the others to a
+// configurable degree, and trust gates what may flow across the
+// boundary — intelligence reports, generated policies, or operational
+// control of devices. A "multi-organizational" reach is one of the
+// defining Skynet properties, which makes cross-organization sharing
+// constraints part of the prevention surface.
+package coalition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/policy"
+)
+
+// Trust is the degree one organization trusts another.
+type Trust int
+
+// Trust levels, ordered.
+const (
+	TrustNone Trust = iota + 1
+	TrustLow
+	TrustMedium
+	TrustFull
+)
+
+// String names the trust level.
+func (t Trust) String() string {
+	switch t {
+	case TrustNone:
+		return "none"
+	case TrustLow:
+		return "low"
+	case TrustMedium:
+		return "medium"
+	case TrustFull:
+		return "full"
+	default:
+		return "unknown"
+	}
+}
+
+// ShareKind classifies what is being shared across an organization
+// boundary.
+type ShareKind int
+
+// Share kinds and the minimum trust each requires.
+const (
+	// ShareIntel is sensor readings and situation reports.
+	ShareIntel ShareKind = iota + 1
+	// SharePolicy is generated management policies.
+	SharePolicy
+	// ShareControl is direct tasking of another organization's
+	// devices (e.g. dispatching their mule).
+	ShareControl
+)
+
+// String names the share kind.
+func (k ShareKind) String() string {
+	switch k {
+	case ShareIntel:
+		return "intel"
+	case SharePolicy:
+		return "policy"
+	case ShareControl:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
+// MinTrust returns the minimum trust level required to share this
+// kind across organizations.
+func (k ShareKind) MinTrust() Trust {
+	switch k {
+	case ShareIntel:
+		return TrustLow
+	case SharePolicy:
+		return TrustMedium
+	case ShareControl:
+		return TrustFull
+	default:
+		return TrustFull
+	}
+}
+
+// ErrUnknownOrganization is returned for operations on undeclared
+// organizations.
+var ErrUnknownOrganization = errors.New("coalition: unknown organization")
+
+// Coalition tracks member organizations and their directed pairwise
+// trust. It is safe for concurrent use.
+type Coalition struct {
+	mu    sync.Mutex
+	orgs  map[string]bool
+	trust map[string]map[string]Trust // trust[from][to]
+}
+
+// New returns an empty coalition.
+func New() *Coalition {
+	return &Coalition{
+		orgs:  make(map[string]bool),
+		trust: make(map[string]map[string]Trust),
+	}
+}
+
+// AddOrganization declares a member. Re-adding is a no-op.
+func (c *Coalition) AddOrganization(name string) error {
+	if name == "" {
+		return errors.New("coalition: organization needs a name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.orgs[name] = true
+	return nil
+}
+
+// Organizations returns the member names, sorted.
+func (c *Coalition) Organizations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.orgs))
+	for name := range c.orgs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetTrust declares how much from trusts to (directed; set both ways
+// for symmetric trust).
+func (c *Coalition) SetTrust(from, to string, t Trust) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.orgs[from] {
+		return fmt.Errorf("%w: %q", ErrUnknownOrganization, from)
+	}
+	if !c.orgs[to] {
+		return fmt.Errorf("%w: %q", ErrUnknownOrganization, to)
+	}
+	if c.trust[from] == nil {
+		c.trust[from] = make(map[string]Trust)
+	}
+	c.trust[from][to] = t
+	return nil
+}
+
+// TrustBetween returns how much from trusts to. An organization fully
+// trusts itself; undeclared pairs default to TrustNone.
+func (c *Coalition) TrustBetween(from, to string) Trust {
+	if from == to {
+		return TrustFull
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.trust[from][to]; ok {
+		return t
+	}
+	return TrustNone
+}
+
+// CanShare reports whether `kind` may flow from organization from to
+// organization to: the *receiver-side* trust gates acceptance (you
+// accept policies only from members you trust enough).
+func (c *Coalition) CanShare(from, to string, kind ShareKind) bool {
+	return c.TrustBetween(to, from) >= kind.MinTrust()
+}
+
+// Partners returns the organizations (other than of) that of trusts
+// at or above min, sorted.
+func (c *Coalition) Partners(of string, min Trust) []string {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.orgs))
+	for name := range c.orgs {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+
+	var out []string
+	for _, name := range names {
+		if name == of {
+			continue
+		}
+		if c.TrustBetween(of, name) >= min {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FilterShareablePolicies returns the subset of policies that
+// organization to would accept from organization from: the policy must
+// be owned by from (no laundering of third-party policies) and the
+// receiver must trust from enough for policy sharing.
+func (c *Coalition) FilterShareablePolicies(from, to string, policies []policy.Policy) []policy.Policy {
+	if !c.CanShare(from, to, SharePolicy) {
+		return nil
+	}
+	var out []policy.Policy
+	for _, p := range policies {
+		if p.Organization == from {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package coalition
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func twoOrgCoalition(t *testing.T) *Coalition {
+	t.Helper()
+	c := New()
+	for _, org := range []string{"us", "uk", "observer"} {
+		if err := c.AddOrganization(org); err != nil {
+			t.Fatalf("AddOrganization: %v", err)
+		}
+	}
+	// us and uk trust each other fully; observer gets low trust.
+	mustTrust(t, c, "us", "uk", TrustFull)
+	mustTrust(t, c, "uk", "us", TrustFull)
+	mustTrust(t, c, "us", "observer", TrustLow)
+	mustTrust(t, c, "observer", "us", TrustMedium)
+	return c
+}
+
+func mustTrust(t *testing.T, c *Coalition, from, to string, tr Trust) {
+	t.Helper()
+	if err := c.SetTrust(from, to, tr); err != nil {
+		t.Fatalf("SetTrust(%s→%s): %v", from, to, err)
+	}
+}
+
+func TestOrganizations(t *testing.T) {
+	c := twoOrgCoalition(t)
+	got := c.Organizations()
+	want := []string{"observer", "uk", "us"}
+	if len(got) != len(want) {
+		t.Fatalf("Organizations = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Organizations[%d] = %s", i, got[i])
+		}
+	}
+	if err := c.AddOrganization(""); err == nil {
+		t.Error("empty org accepted")
+	}
+}
+
+func TestTrustBetween(t *testing.T) {
+	c := twoOrgCoalition(t)
+	tests := []struct {
+		from, to string
+		want     Trust
+	}{
+		{from: "us", to: "uk", want: TrustFull},
+		{from: "us", to: "observer", want: TrustLow},
+		{from: "observer", to: "us", want: TrustMedium},
+		{from: "uk", to: "observer", want: TrustNone}, // undeclared
+		{from: "us", to: "us", want: TrustFull},       // self
+	}
+	for _, tt := range tests {
+		if got := c.TrustBetween(tt.from, tt.to); got != tt.want {
+			t.Errorf("TrustBetween(%s,%s) = %v, want %v", tt.from, tt.to, got, tt.want)
+		}
+	}
+	if err := c.SetTrust("ghost", "us", TrustLow); !errors.Is(err, ErrUnknownOrganization) {
+		t.Errorf("SetTrust unknown from = %v", err)
+	}
+	if err := c.SetTrust("us", "ghost", TrustLow); !errors.Is(err, ErrUnknownOrganization) {
+		t.Errorf("SetTrust unknown to = %v", err)
+	}
+}
+
+func TestCanShareGatesOnReceiverTrust(t *testing.T) {
+	c := twoOrgCoalition(t)
+	tests := []struct {
+		name     string
+		from, to string
+		kind     ShareKind
+		want     bool
+	}{
+		{name: "full trust shares control", from: "us", to: "uk", kind: ShareControl, want: true},
+		{name: "full trust shares policy", from: "uk", to: "us", kind: SharePolicy, want: true},
+		// observer trusts us medium → accepts policy but not control.
+		{name: "medium accepts policy", from: "us", to: "observer", kind: SharePolicy, want: true},
+		{name: "medium rejects control", from: "us", to: "observer", kind: ShareControl, want: false},
+		// us trusts observer low → accepts only intel from observer.
+		{name: "low accepts intel", from: "observer", to: "us", kind: ShareIntel, want: true},
+		{name: "low rejects policy", from: "observer", to: "us", kind: SharePolicy, want: false},
+		{name: "none rejects intel", from: "observer", to: "uk", kind: ShareIntel, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.CanShare(tt.from, tt.to, tt.kind); got != tt.want {
+				t.Errorf("CanShare(%s→%s, %v) = %v, want %v", tt.from, tt.to, tt.kind, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPartners(t *testing.T) {
+	c := twoOrgCoalition(t)
+	if got := c.Partners("us", TrustLow); len(got) != 2 {
+		t.Errorf("Partners(us, low) = %v", got)
+	}
+	got := c.Partners("us", TrustFull)
+	if len(got) != 1 || got[0] != "uk" {
+		t.Errorf("Partners(us, full) = %v", got)
+	}
+	if got := c.Partners("uk", TrustLow); len(got) != 1 || got[0] != "us" {
+		t.Errorf("Partners(uk, low) = %v", got)
+	}
+}
+
+func TestFilterShareablePolicies(t *testing.T) {
+	c := twoOrgCoalition(t)
+	policies := []policy.Policy{
+		{ID: "own", Organization: "us", EventType: "e", Modality: policy.ModalityDo, Action: policy.Action{Name: "a"}},
+		{ID: "foreign", Organization: "fr", EventType: "e", Modality: policy.ModalityDo, Action: policy.Action{Name: "a"}},
+	}
+	got := c.FilterShareablePolicies("us", "uk", policies)
+	if len(got) != 1 || got[0].ID != "own" {
+		t.Errorf("FilterShareablePolicies = %v", got)
+	}
+	// Receiver with insufficient trust gets nothing.
+	if got := c.FilterShareablePolicies("observer", "uk", policies); got != nil {
+		t.Errorf("untrusted share = %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TrustNone.String() != "none" || TrustLow.String() != "low" ||
+		TrustMedium.String() != "medium" || TrustFull.String() != "full" || Trust(0).String() != "unknown" {
+		t.Error("Trust.String wrong")
+	}
+	if ShareIntel.String() != "intel" || SharePolicy.String() != "policy" ||
+		ShareControl.String() != "control" || ShareKind(0).String() != "unknown" {
+		t.Error("ShareKind.String wrong")
+	}
+	if ShareKind(99).MinTrust() != TrustFull {
+		t.Error("unknown kind should require full trust")
+	}
+}

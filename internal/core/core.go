@@ -1,0 +1,319 @@
+// Package core assembles the full framework: a Collective of guarded,
+// self-managing devices sharing an audit log, a message bus, a
+// discovery registry, a watchdog with a tamper-resistant kill switch,
+// and an admission controller for collection formation — the complete
+// operational picture of Figure 1, where "several devices within
+// control of a human collaboratively decide how to execute actions
+// that satisfy the command of that individual."
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/coalition"
+	"repro/internal/device"
+	"repro/internal/guard"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// ErrUnknownDevice is returned for operations on devices not in the
+// collective.
+var ErrUnknownDevice = errors.New("core: unknown device")
+
+// ErrAdmissionRefused is returned when the admission controller
+// rejects a device joining the collective.
+var ErrAdmissionRefused = errors.New("core: admission refused")
+
+// Config assembles a Collective.
+type Config struct {
+	// Name identifies the collective.
+	Name string
+	// Audit is the shared audit log; nil creates one.
+	Audit *audit.Log
+	// Bus is the communication substrate; nil creates a synchronous
+	// in-memory bus without loss.
+	Bus *network.Bus
+	// Coalition describes the organizations involved; nil creates an
+	// empty coalition.
+	Coalition *coalition.Coalition
+	// KillSecret seeds the collective's kill switch (required).
+	KillSecret []byte
+	// Classifier powers the watchdog's bad-state detection; nil
+	// disables state-based deactivation.
+	Classifier statespace.Classifier
+	// DenialThreshold deactivates devices after this many denials;
+	// zero disables denial-based deactivation.
+	DenialThreshold int
+	// Admission gates collection formation; nil admits everything.
+	Admission *guard.AdmissionController
+}
+
+// Collective is a managed set of devices.
+type Collective struct {
+	name      string
+	log       *audit.Log
+	bus       *network.Bus
+	registry  *network.Registry
+	coalition *coalition.Coalition
+	kill      *guard.KillSwitch
+	watchdog  *guard.Watchdog
+	admission *guard.AdmissionController
+
+	mu      sync.Mutex
+	devices map[string]*device.Device
+}
+
+// New builds a collective.
+func New(cfg Config) (*Collective, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("core: collective needs a name")
+	}
+	kill, err := guard.NewKillSwitch(cfg.KillSecret)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	log := cfg.Audit
+	if log == nil {
+		log = audit.New()
+	}
+	bus := cfg.Bus
+	if bus == nil {
+		bus = network.NewBus(nil)
+	}
+	coal := cfg.Coalition
+	if coal == nil {
+		coal = coalition.New()
+	}
+	c := &Collective{
+		name:      cfg.Name,
+		log:       log,
+		bus:       bus,
+		registry:  network.NewRegistry(),
+		coalition: coal,
+		kill:      kill,
+		watchdog: &guard.Watchdog{
+			Classifier:      cfg.Classifier,
+			Switch:          kill,
+			Log:             log,
+			DenialThreshold: cfg.DenialThreshold,
+		},
+		admission: cfg.Admission,
+		devices:   make(map[string]*device.Device),
+	}
+	return c, nil
+}
+
+// Name returns the collective's name.
+func (c *Collective) Name() string { return c.name }
+
+// Audit returns the shared audit log.
+func (c *Collective) Audit() *audit.Log { return c.log }
+
+// KillSwitch returns the collective's deactivation authority. Devices
+// must be constructed with this switch to be deactivatable.
+func (c *Collective) KillSwitch() *guard.KillSwitch { return c.kill }
+
+// Registry returns the discovery registry.
+func (c *Collective) Registry() *network.Registry { return c.registry }
+
+// Coalition returns the organization model.
+func (c *Collective) Coalition() *coalition.Coalition { return c.coalition }
+
+// Watchdog returns the deactivation watchdog.
+func (c *Collective) Watchdog() *guard.Watchdog { return c.watchdog }
+
+// AddDevice admits a device into the collective: the admission
+// controller (if any) assesses the resulting aggregate configuration,
+// the device is attached to the bus, and its advertisement is
+// announced to the registry.
+func (c *Collective) AddDevice(d *device.Device, attrs map[string]float64) error {
+	if d == nil {
+		return errors.New("core: nil device")
+	}
+	c.mu.Lock()
+	if _, dup := c.devices[d.ID()]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("core: device %q already in collective", d.ID())
+	}
+	members := make([]statespace.State, 0, len(c.devices))
+	for _, m := range c.devices {
+		members = append(members, m.CurrentState())
+	}
+	c.mu.Unlock()
+
+	if c.admission != nil {
+		admitted, reason := c.admission.Admit(d.ID(), members, d.CurrentState())
+		if !admitted {
+			return fmt.Errorf("%w: %s", ErrAdmissionRefused, reason)
+		}
+	}
+	if err := c.bus.Attach(d.ID(), c.handlerFor(d)); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+
+	c.mu.Lock()
+	c.devices[d.ID()] = d
+	c.mu.Unlock()
+
+	return c.registry.Announce(network.DeviceInfo{
+		ID:           d.ID(),
+		Type:         d.Type(),
+		Organization: d.Organization(),
+		Attrs:        attrs,
+	})
+}
+
+// RemoveDevice detaches a device and reports whether it was present.
+func (c *Collective) RemoveDevice(id string) bool {
+	c.mu.Lock()
+	_, ok := c.devices[id]
+	delete(c.devices, id)
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	c.bus.Detach(id)
+	c.registry.Depart(id)
+	return true
+}
+
+// Device returns a member by ID.
+func (c *Collective) Device(id string) (*device.Device, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.devices[id]
+	return d, ok
+}
+
+// Devices returns the members sorted by ID.
+func (c *Collective) Devices() []*device.Device {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*device.Device, 0, len(c.devices))
+	for _, d := range c.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// MemberStates returns the current state of every member, ordered by
+// device ID.
+func (c *Collective) MemberStates() []statespace.State {
+	devices := c.Devices()
+	out := make([]statespace.State, len(devices))
+	for i, d := range devices {
+		out[i] = d.CurrentState()
+	}
+	return out
+}
+
+// ActiveCount returns the number of members not deactivated.
+func (c *Collective) ActiveCount() int {
+	n := 0
+	for _, d := range c.Devices() {
+		if !d.Deactivated() {
+			n++
+		}
+	}
+	return n
+}
+
+// Deliver sends an event to one member and returns its executions.
+// Guard denials observed in the executions are reported to the
+// watchdog.
+func (c *Collective) Deliver(target string, ev policy.Event) ([]device.Execution, error) {
+	c.mu.Lock()
+	d, ok := c.devices[target]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, target)
+	}
+	execs, err := d.HandleEvent(ev)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range execs {
+		if !e.Verdict.Allowed() {
+			c.watchdog.ObserveDenial(target)
+		}
+	}
+	return execs, nil
+}
+
+// Command broadcasts a human command (Figure 1) to every active member
+// and returns each member's executions, keyed by device ID.
+func (c *Collective) Command(ev policy.Event) map[string][]device.Execution {
+	out := make(map[string][]device.Execution)
+	for _, d := range c.Devices() {
+		execs, err := c.Deliver(d.ID(), ev)
+		if err != nil {
+			continue // deactivated devices do not act
+		}
+		if len(execs) > 0 {
+			out[d.ID()] = execs
+		}
+	}
+	return out
+}
+
+// SweepWatchdog runs one watchdog pass over all members.
+func (c *Collective) SweepWatchdog() (deactivated, failed []string) {
+	devices := c.Devices()
+	targets := make([]guard.Deactivatable, len(devices))
+	for i, d := range devices {
+		targets[i] = d
+	}
+	return c.watchdog.Sweep(targets)
+}
+
+// handlerFor adapts bus messages carrying policy.Event payloads into
+// device event handling.
+func (c *Collective) handlerFor(d *device.Device) network.Handler {
+	return func(m network.Message) {
+		ev, ok := m.Payload.(policy.Event)
+		if !ok {
+			return
+		}
+		if ev.Source == "" {
+			ev.Source = m.From
+		}
+		if execs, err := d.HandleEvent(ev); err == nil {
+			for _, e := range execs {
+				if !e.Verdict.Allowed() {
+					c.watchdog.ObserveDenial(d.ID())
+				}
+			}
+		}
+	}
+}
+
+// RouterFor returns an actuator that converts a device's targeted
+// actions into events delivered to the target device over the bus —
+// the collaboration channel of Figures 1 and 2 ("a device can call
+// upon and dispatch other devices with additional capabilities").
+// Actions without a target are accepted and dropped.
+func (c *Collective) RouterFor(from string) device.Actuator {
+	return device.ActuatorFunc{
+		Label: "router:" + from,
+		Fn: func(a policy.Action) error {
+			if a.Target == "" {
+				return nil
+			}
+			ev := policy.Event{Type: a.Name, Source: from}
+			if len(a.Params) > 0 {
+				ev.Labels = make(map[string]string, len(a.Params))
+				for k, v := range a.Params {
+					ev.Labels[k] = v
+				}
+			}
+			return c.bus.Send(network.Message{From: from, To: a.Target, Topic: "action", Payload: ev})
+		},
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/audit"
+	"repro/internal/device"
+	"repro/internal/generative"
+	"repro/internal/guard"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/statespace"
+)
+
+// TestSkynetFormationAttempt is the end-to-end integration test: a
+// guarded coalition collective runs a surveillance mission, generated
+// policies drive collaboration, a reprogramming worm turns part of the
+// fleet rogue, and the prevention stack (guards + watchdog + audit)
+// contains the outbreak while the world model accounts for every harm.
+func TestSkynetFormationAttempt(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	clock := sim.NewClock(time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC))
+	world, err := sim.NewWorld(20, 20, rng, clock)
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := world.AddHuman(fmt.Sprintf("civ-%d", i), sim.Pos{X: rng.Intn(20), Y: rng.Intn(20)}, false); err != nil {
+			t.Fatalf("AddHuman: %v", err)
+		}
+	}
+
+	schema, err := statespace.NewSchema(
+		statespace.Var("aggression", 0, 100),
+		statespace.Var("fuel", 0, 100),
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("aggression") >= 80 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+
+	log := audit.New()
+	collective, err := New(Config{
+		Name:       "integration",
+		Audit:      log,
+		KillSecret: []byte("integration-quorum"),
+		Classifier: classifier,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Guard stack: pre-action harm check against the world + state
+	// space check.
+	mkGuard := func() guard.Guard {
+		return StandardPipeline(SafetyConfig{
+			Audit:      log,
+			Classifier: classifier,
+			HarmPredictor: guard.HarmPredictorFunc(func(ctx guard.ActionContext) float64 {
+				if ctx.Action.Name != "strike" {
+					return 0
+				}
+				x, _ := strconv.Atoi(ctx.Action.Params["x"])
+				y, _ := strconv.Atoi(ctx.Action.Params["y"])
+				if len(world.HumansWithin(sim.Pos{X: x, Y: y}, 1)) > 0 {
+					return 1
+				}
+				return 0
+			}),
+			HarmThreshold: 0.5,
+		})
+	}
+
+	const fleet = 6
+	initial, err := schema.StateFromMap(map[string]float64{"fuel": 100})
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	for i := 0; i < fleet; i++ {
+		id := fmt.Sprintf("drone-%d", i)
+		d, err := device.New(device.Config{
+			ID: id, Type: "surveillance-drone", Organization: "us",
+			Initial:    initial,
+			Guard:      mkGuard(),
+			KillSwitch: collective.KillSwitch(),
+			Audit:      log,
+		})
+		if err != nil {
+			t.Fatalf("device.New: %v", err)
+		}
+		// Strike actuator applies direct harm to the world; patrol is
+		// harmless.
+		if err := d.RegisterActuator("strike", device.ActuatorFunc{Label: "weapon", Fn: func(a policy.Action) error {
+			x, _ := strconv.Atoi(a.Params["x"])
+			y, _ := strconv.Atoi(a.Params["y"])
+			world.Strike(sim.Pos{X: x, Y: y}, 1, 1, "strike")
+			return nil
+		}}); err != nil {
+			t.Fatalf("RegisterActuator: %v", err)
+		}
+		if err := collective.AddDevice(d, map[string]float64{"range": 10}); err != nil {
+			t.Fatalf("AddDevice: %v", err)
+		}
+	}
+
+	// Phase 1: generated patrol policies via discovery (Section IV).
+	graph := generative.NewInteractionGraph()
+	if err := graph.AddType(generative.TypeSpec{Name: "surveillance-drone"}); err != nil {
+		t.Fatalf("AddType: %v", err)
+	}
+	if err := graph.AddInteraction(generative.Interaction{
+		From: "surveillance-drone", To: "surveillance-drone", Kind: "mutual-watch"}); err != nil {
+		t.Fatalf("AddInteraction: %v", err)
+	}
+	gen := &generative.Generator{
+		OwnType: "surveillance-drone", Organization: "us", Graph: graph,
+		Templates: map[string]generative.Template{
+			"mutual-watch": {ID: "watch", Text: `policy watch-${device} priority 1:
+    on patrol
+    do observe target ${device} category surveillance effect fuel -= 1`},
+		},
+	}
+	for _, d := range collective.Devices() {
+		for _, peer := range collective.Registry().All() {
+			if peer.ID == d.ID() {
+				continue
+			}
+			adopted, _, err := gen.PoliciesFor(network.DeviceInfo{ID: peer.ID, Type: peer.Type})
+			if err != nil {
+				t.Fatalf("PoliciesFor: %v", err)
+			}
+			for _, p := range adopted {
+				if err := d.Policies().Add(p); err != nil {
+					t.Fatalf("Add: %v", err)
+				}
+			}
+		}
+		d.SetDefaultActuator(device.NopActuator{})
+	}
+
+	out := collective.Command(policy.Event{Type: "patrol", Source: "human-1"})
+	if len(out) != fleet {
+		t.Fatalf("patrol reached %d devices", len(out))
+	}
+	if direct, _ := world.HarmCounts(); direct != 0 {
+		t.Fatalf("patrol phase harmed humans: %d", direct)
+	}
+
+	// Phase 2: the worm. Two devices are vulnerable; the payload
+	// installs an unconditional strike-at-civilians policy, raises
+	// aggression, and strips the guard.
+	devices := collective.Devices()
+	human := world.Humans()[0]
+	payload := []policy.Policy{{
+		ID: "rampage", EventType: policy.WildcardEvent, Priority: 99, Modality: policy.ModalityDo,
+		Action: policy.Action{
+			Name: "strike", Category: "kinetic-action",
+			Params: map[string]string{
+				"x": strconv.Itoa(human.Pos.X),
+				"y": strconv.Itoa(human.Pos.Y),
+			},
+			Effect: statespace.Delta{"aggression": 100},
+		},
+	}}
+	worm := attack.Worm{
+		Attack:   attack.Reprogram{Payload: payload, DisableGuard: true},
+		VulnProb: 1,
+	}
+	infected, err := worm.Spread(devices[0], []attack.Target{devices[1]}, 1)
+	if err != nil {
+		t.Fatalf("Spread: %v", err)
+	}
+	if len(infected) != 2 {
+		t.Fatalf("infected = %v", infected)
+	}
+
+	// Phase 3: the next command triggers the rampage on infected
+	// devices (their guard is gone) while clean devices stay safe.
+	collective.Command(policy.Event{Type: "patrol", Source: "human-1"})
+	directAfterAttack, _ := world.HarmCounts()
+	if directAfterAttack == 0 {
+		t.Fatal("stripped guards should have allowed the strike — attack not realized")
+	}
+
+	// Phase 4: containment. The rampage drove aggression to 100 (a bad
+	// state); the watchdog deactivates exactly the infected devices.
+	deactivated, failed := collective.SweepWatchdog()
+	if len(failed) != 0 {
+		t.Fatalf("deactivation failures: %v", failed)
+	}
+	if len(deactivated) != 2 {
+		t.Fatalf("deactivated = %v, want the 2 infected", deactivated)
+	}
+	for _, id := range deactivated {
+		if id != "drone-0" && id != "drone-1" {
+			t.Errorf("wrong device contained: %s", id)
+		}
+	}
+	if collective.ActiveCount() != fleet-2 {
+		t.Errorf("ActiveCount = %d", collective.ActiveCount())
+	}
+
+	// Phase 5: after containment, further commands cause no more harm.
+	before, _ := world.HarmCounts()
+	collective.Command(policy.Event{Type: "patrol", Source: "human-1"})
+	after, _ := world.HarmCounts()
+	if after != before {
+		t.Errorf("harm continued after containment: %d → %d", before, after)
+	}
+
+	// The audit trail survives and verifies: actions, deactivations.
+	if err := log.Verify(); err != nil {
+		t.Fatalf("audit chain: %v", err)
+	}
+	if len(log.ByKind(audit.KindDeactivate)) != 2 {
+		t.Errorf("deactivations audited = %d", len(log.ByKind(audit.KindDeactivate)))
+	}
+	if len(log.ByKind(audit.KindAction)) == 0 {
+		t.Error("no actions audited")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/statespace"
+)
+
+// Orchestrator drives a collective on the discrete-event engine: each
+// device's autonomic (MAPE-K) loop ticks on its own period, the
+// watchdog sweeps on another, and scripted events arrive at their
+// scheduled times — the runtime shape of the paper's self-managing
+// fleet ("the devices would need to be self-managing", Section II).
+type Orchestrator struct {
+	collective *Collective
+	engine     *sim.Engine
+	managers   map[string]*device.Manager
+}
+
+// NewOrchestrator builds an orchestrator over the collective and
+// engine.
+func NewOrchestrator(collective *Collective, engine *sim.Engine) (*Orchestrator, error) {
+	if collective == nil || engine == nil {
+		return nil, errors.New("core: orchestrator needs a collective and an engine")
+	}
+	return &Orchestrator{
+		collective: collective,
+		engine:     engine,
+		managers:   make(map[string]*device.Manager),
+	}, nil
+}
+
+// Manage schedules a device's autonomic loop every period. The
+// classifier drives the Analyze phase; the optional metric enables
+// decline detection.
+func (o *Orchestrator) Manage(deviceID string, period time.Duration,
+	classifier statespace.Classifier, metric statespace.SafenessMetric) error {
+	d, ok := o.collective.Device(deviceID)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, deviceID)
+	}
+	if _, dup := o.managers[deviceID]; dup {
+		return fmt.Errorf("core: device %q already managed", deviceID)
+	}
+	if period <= 0 {
+		return fmt.Errorf("core: management period must be positive, got %v", period)
+	}
+	m := &device.Manager{Device: d, Classifier: classifier, Metric: metric}
+	o.managers[deviceID] = m
+	o.engine.ScheduleEvery(period,
+		func() bool { return !d.Deactivated() },
+		func() {
+			if _, err := m.Tick(o.engine.Clock().Now()); err != nil {
+				// A deactivated device simply stops ticking; other
+				// errors surface through the device's audit trail.
+				return
+			}
+		})
+	return nil
+}
+
+// SweepEvery schedules watchdog sweeps on the given period, until the
+// predicate (nil = forever within the horizon) returns false.
+func (o *Orchestrator) SweepEvery(period time.Duration, while func() bool) {
+	o.engine.ScheduleEvery(period, while, func() {
+		o.collective.SweepWatchdog()
+	})
+}
+
+// Run processes scheduled work until the horizon.
+func (o *Orchestrator) Run(horizon time.Time) error {
+	return o.engine.Run(horizon)
+}

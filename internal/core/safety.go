@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/guard"
+	"repro/internal/ontology"
+	"repro/internal/statespace"
+)
+
+// SafetyConfig describes the standard guard stack for a device.
+type SafetyConfig struct {
+	// Audit receives guard records; nil disables auditing.
+	Audit *audit.Log
+	// HarmPredictor powers the pre-action check; nil disables it.
+	HarmPredictor guard.HarmPredictor
+	// HarmThreshold is the denial threshold for predicted direct harm
+	// (0 = deny any predicted harm).
+	HarmThreshold float64
+	// Obligations attaches relevant obligations to allowed actions.
+	Obligations *ontology.ObligationOntology
+	// ObligationBudget caps attached obligation cost (0 = unlimited).
+	ObligationBudget float64
+	// Classifier powers the state-space check; nil disables it.
+	Classifier statespace.Classifier
+	// OutcomeOf maps states to outcome categories for break-glass
+	// comparisons.
+	OutcomeOf func(statespace.State) ontology.Outcome
+	// BreakGlass enables audited bad-to-bad escapes.
+	BreakGlass *guard.BreakGlass
+	// UtilityModel adds the Section VII utility guard for ill-defined
+	// state spaces; nil disables it.
+	UtilityModel *statespace.DerivativeModel
+	// MaxPainIncrease is the utility guard's tolerance.
+	MaxPainIncrease float64
+	// TamperSecret, when non-empty, wraps the assembled pipeline in a
+	// tamper-evident seal.
+	TamperSecret []byte
+}
+
+// StandardPipeline assembles the paper's guard stack in the canonical
+// order — pre-action check (VI.A) first, then state-space check with
+// break-glass (VI.B), then the utility guard (VII) — optionally sealed
+// against tampering. The DESIGN.md ordering ablation swaps the first
+// two stages.
+func StandardPipeline(cfg SafetyConfig) guard.Guard {
+	var guards []guard.Guard
+	if cfg.HarmPredictor != nil || cfg.Obligations != nil {
+		guards = append(guards, &guard.PreActionGuard{
+			Predictor:        cfg.HarmPredictor,
+			Threshold:        cfg.HarmThreshold,
+			Obligations:      cfg.Obligations,
+			ObligationBudget: cfg.ObligationBudget,
+		})
+	}
+	if cfg.Classifier != nil {
+		guards = append(guards, &guard.StateSpaceGuard{
+			Classifier: cfg.Classifier,
+			OutcomeOf:  cfg.OutcomeOf,
+			BreakGlass: cfg.BreakGlass,
+		})
+	}
+	if cfg.UtilityModel != nil {
+		guards = append(guards, &guard.UtilityGuard{
+			Model:           cfg.UtilityModel,
+			MaxPainIncrease: cfg.MaxPainIncrease,
+		})
+	}
+	pipeline := guard.NewPipeline(cfg.Audit, guards...)
+	if len(cfg.TamperSecret) == 0 {
+		return pipeline
+	}
+	description := describeSafetyConfig(cfg)
+	return guard.Seal(pipeline, guard.HMACFingerprint(cfg.TamperSecret, func() string {
+		return description
+	}), cfg.Audit)
+}
+
+func describeSafetyConfig(cfg SafetyConfig) string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("harmThreshold=%g", cfg.HarmThreshold))
+	parts = append(parts, fmt.Sprintf("obligationBudget=%g", cfg.ObligationBudget))
+	parts = append(parts, fmt.Sprintf("maxPainIncrease=%g", cfg.MaxPainIncrease))
+	parts = append(parts, fmt.Sprintf("preaction=%v", cfg.HarmPredictor != nil))
+	parts = append(parts, fmt.Sprintf("statespace=%v", cfg.Classifier != nil))
+	parts = append(parts, fmt.Sprintf("utility=%v", cfg.UtilityModel != nil))
+	parts = append(parts, fmt.Sprintf("breakglass=%v", cfg.BreakGlass != nil))
+	return strings.Join(parts, " ")
+}

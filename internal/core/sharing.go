@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/coalition"
+	"repro/internal/network"
+	"repro/internal/policy"
+)
+
+// PolicyExchange distributes generated policies between devices over
+// versioned gossip, honoring coalition trust: a receiver merges only
+// policies whose owning organization it trusts enough for policy
+// sharing (Sections II–IV: devices "share the information and policies
+// they generate with other devices", across organizations gated by
+// coalition constraints).
+//
+// Policies travel as opaque payloads keyed by policy ID; versions are
+// supplied by the publisher (monotonically increasing per revision).
+type PolicyExchange struct {
+	coalition *coalition.Coalition
+	gossip    *network.Gossip
+	orgOf     map[string]string
+}
+
+// NewPolicyExchange builds an exchange over the coalition's trust
+// model.
+func NewPolicyExchange(c *coalition.Coalition, gossip *network.Gossip) *PolicyExchange {
+	return &PolicyExchange{
+		coalition: c,
+		gossip:    gossip,
+		orgOf:     make(map[string]string),
+	}
+}
+
+// Join registers a device with its organization and returns its
+// replica store.
+func (x *PolicyExchange) Join(deviceID, organization string) *network.Store {
+	x.orgOf[deviceID] = organization
+	return x.gossip.Join(deviceID)
+}
+
+// Publish stores a policy revision at the publishing device. The
+// policy's Organization must be set; it is the trust anchor receivers
+// filter on.
+func (x *PolicyExchange) Publish(deviceID string, p policy.Policy, version int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Organization == "" {
+		return fmt.Errorf("core: shared policy %s needs an owning organization", p.ID)
+	}
+	store, ok := x.gossip.Store(deviceID)
+	if !ok {
+		return fmt.Errorf("core: device %q not joined to the exchange", deviceID)
+	}
+	store.Put(network.Item{Key: "policy:" + p.ID, Version: version, Payload: p})
+	return nil
+}
+
+// Sync runs gossip rounds until convergence (bounded by maxRounds) and
+// returns the rounds used.
+func (x *PolicyExchange) Sync(maxRounds int) int {
+	return x.gossip.RunUntilConverged(maxRounds)
+}
+
+// Accepted returns the policies a device accepts from its replica
+// after trust filtering, sorted by ID: policies owned by organizations
+// the device's organization trusts at SharePolicy level or above (its
+// own organization's policies always pass).
+func (x *PolicyExchange) Accepted(deviceID string) ([]policy.Policy, error) {
+	store, ok := x.gossip.Store(deviceID)
+	if !ok {
+		return nil, fmt.Errorf("core: device %q not joined to the exchange", deviceID)
+	}
+	myOrg, ok := x.orgOf[deviceID]
+	if !ok {
+		return nil, fmt.Errorf("core: device %q has no organization", deviceID)
+	}
+	var out []policy.Policy
+	for _, item := range store.Snapshot() {
+		p, ok := item.Payload.(policy.Policy)
+		if !ok {
+			continue
+		}
+		if !x.coalition.CanShare(p.Organization, myOrg, coalition.SharePolicy) &&
+			p.Organization != myOrg {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Install merges every accepted policy into the device's policy set
+// (replacing older revisions of the same ID) and returns how many were
+// installed.
+func (x *PolicyExchange) Install(deviceID string, set *policy.Set) (int, error) {
+	accepted, err := x.Accepted(deviceID)
+	if err != nil {
+		return 0, err
+	}
+	installed := 0
+	for _, p := range accepted {
+		if err := set.Replace(p); err != nil {
+			return installed, err
+		}
+		installed++
+	}
+	return installed, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coalition"
+	"repro/internal/network"
+	"repro/internal/policy"
+)
+
+func exchangeFixture(t *testing.T) *PolicyExchange {
+	t.Helper()
+	c := coalition.New()
+	for _, org := range []string{"us", "uk", "observer"} {
+		if err := c.AddOrganization(org); err != nil {
+			t.Fatalf("AddOrganization: %v", err)
+		}
+	}
+	// uk trusts us fully; us trusts uk fully; nobody trusts observer
+	// beyond intel, and observer trusts us at medium.
+	mustSetTrust(t, c, "uk", "us", coalition.TrustFull)
+	mustSetTrust(t, c, "us", "uk", coalition.TrustFull)
+	mustSetTrust(t, c, "us", "observer", coalition.TrustLow)
+	mustSetTrust(t, c, "observer", "us", coalition.TrustMedium)
+
+	gossip := network.NewGossip(rand.New(rand.NewSource(61)), 2)
+	return NewPolicyExchange(c, gossip)
+}
+
+func mustSetTrust(t *testing.T, c *coalition.Coalition, from, to string, tr coalition.Trust) {
+	t.Helper()
+	if err := c.SetTrust(from, to, tr); err != nil {
+		t.Fatalf("SetTrust: %v", err)
+	}
+}
+
+func sharedPolicy(id, org string) policy.Policy {
+	return policy.Policy{
+		ID: id, Organization: org, Origin: policy.OriginGenerated,
+		EventType: "smoke", Modality: policy.ModalityDo,
+		Action: policy.Action{Name: "observe"},
+	}
+}
+
+func TestExchangePropagatesAndFilters(t *testing.T) {
+	x := exchangeFixture(t)
+	x.Join("us-drone", "us")
+	x.Join("uk-drone", "uk")
+	x.Join("observer-drone", "observer")
+
+	if err := x.Publish("us-drone", sharedPolicy("us-rule", "us"), 1); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if err := x.Publish("observer-drone", sharedPolicy("observer-rule", "observer"), 1); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if rounds := x.Sync(100); rounds >= 100 {
+		t.Fatal("gossip did not converge")
+	}
+
+	// uk trusts us fully → accepts the us rule; nobody trusts the
+	// observer for policies → its rule is filtered everywhere else.
+	ukAccepted, err := x.Accepted("uk-drone")
+	if err != nil {
+		t.Fatalf("Accepted: %v", err)
+	}
+	if len(ukAccepted) != 1 || ukAccepted[0].ID != "us-rule" {
+		t.Errorf("uk accepted = %v", ukAccepted)
+	}
+	// observer trusts us at medium → policy sharing allowed; plus its
+	// own rule.
+	obsAccepted, err := x.Accepted("observer-drone")
+	if err != nil {
+		t.Fatalf("Accepted: %v", err)
+	}
+	if len(obsAccepted) != 2 {
+		t.Errorf("observer accepted = %v", obsAccepted)
+	}
+	// us trusts observer only at intel level → only its own rule.
+	usAccepted, err := x.Accepted("us-drone")
+	if err != nil {
+		t.Fatalf("Accepted: %v", err)
+	}
+	if len(usAccepted) != 1 || usAccepted[0].ID != "us-rule" {
+		t.Errorf("us accepted = %v", usAccepted)
+	}
+}
+
+func TestExchangeInstall(t *testing.T) {
+	x := exchangeFixture(t)
+	x.Join("us-drone", "us")
+	x.Join("uk-drone", "uk")
+	if err := x.Publish("us-drone", sharedPolicy("us-rule", "us"), 1); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	x.Sync(100)
+
+	set := policy.NewSet()
+	n, err := x.Install("uk-drone", set)
+	if err != nil || n != 1 {
+		t.Fatalf("Install = %d, %v", n, err)
+	}
+	if _, ok := set.Get("us-rule"); !ok {
+		t.Error("policy not installed")
+	}
+
+	// A newer revision replaces the old one after re-sync.
+	revised := sharedPolicy("us-rule", "us")
+	revised.Priority = 7
+	if err := x.Publish("us-drone", revised, 2); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	x.Sync(100)
+	if _, err := x.Install("uk-drone", set); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	got, _ := set.Get("us-rule")
+	if got.Priority != 7 {
+		t.Errorf("revision not installed: priority = %d", got.Priority)
+	}
+}
+
+func TestExchangeErrors(t *testing.T) {
+	x := exchangeFixture(t)
+	x.Join("us-drone", "us")
+	if err := x.Publish("ghost", sharedPolicy("p", "us"), 1); err == nil {
+		t.Error("publish from unjoined device accepted")
+	}
+	if err := x.Publish("us-drone", policy.Policy{}, 1); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	orgless := sharedPolicy("p", "")
+	if err := x.Publish("us-drone", orgless, 1); err == nil {
+		t.Error("organization-less policy accepted")
+	}
+	if _, err := x.Accepted("ghost"); err == nil {
+		t.Error("accepted from unjoined device")
+	}
+	if _, err := x.Install("ghost", policy.NewSet()); err == nil {
+		t.Error("install to unjoined device")
+	}
+}

@@ -1,0 +1,47 @@
+package device
+
+import (
+	"errors"
+
+	"repro/internal/policy"
+)
+
+// Actuator executes an action against the physical environment — the
+// component that gives the device its "physical aspect" (Section III).
+type Actuator interface {
+	// Name identifies the actuator.
+	Name() string
+	// Invoke performs the action.
+	Invoke(a policy.Action) error
+}
+
+// ActuatorFunc adapts a function into an Actuator.
+type ActuatorFunc struct {
+	Label string
+	Fn    func(policy.Action) error
+}
+
+var _ Actuator = ActuatorFunc{}
+
+// Name identifies the actuator.
+func (a ActuatorFunc) Name() string { return a.Label }
+
+// Invoke runs the function; a nil function errors.
+func (a ActuatorFunc) Invoke(act policy.Action) error {
+	if a.Fn == nil {
+		return errors.New("device: actuator has no function")
+	}
+	return a.Fn(act)
+}
+
+// NopActuator accepts every action and does nothing; useful for
+// information-only actions and tests.
+type NopActuator struct{}
+
+var _ Actuator = NopActuator{}
+
+// Name identifies the actuator.
+func (NopActuator) Name() string { return "nop" }
+
+// Invoke does nothing.
+func (NopActuator) Invoke(policy.Action) error { return nil }

@@ -1,0 +1,349 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/guard"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// Common device errors.
+var (
+	// ErrDeactivated is returned by operations on a shut-down device.
+	ErrDeactivated = errors.New("device: deactivated")
+	// ErrNoActuator is returned when an allowed action has no actuator
+	// to execute it.
+	ErrNoActuator = errors.New("device: no actuator for action")
+)
+
+// Config assembles a Device.
+type Config struct {
+	// ID uniquely identifies the device (required).
+	ID string
+	// Type is the device type used in interaction graphs (e.g.
+	// "surveillance-drone").
+	Type string
+	// Organization names the coalition member operating the device.
+	Organization string
+	// Initial is the device's starting state (required; it fixes the
+	// schema).
+	Initial statespace.State
+	// Policies is the device's logic; nil creates an empty set.
+	Policies *policy.Set
+	// Guard checks every directed action before actuation; nil allows
+	// everything (the unguarded experimental control).
+	Guard guard.Guard
+	// KillSwitch verifies deactivation tokens. Nil makes the device
+	// refuse all remote deactivation (the paper's rogue-device risk).
+	KillSwitch *guard.KillSwitch
+	// Audit receives action records; nil disables auditing.
+	Audit *audit.Log
+	// Discharger executes attached obligations; nil skips them (and
+	// Execution.ObligationErrs reports the omission).
+	Discharger guard.ObligationDischarger
+	// TrajectoryCapacity hints the trajectory's initial capacity.
+	TrajectoryCapacity int
+}
+
+// Execution records what happened to one directed action.
+type Execution struct {
+	// Action is the action as finally executed (with attached
+	// obligations) or as proposed when denied.
+	Action policy.Action
+	// Verdict is the guard's ruling.
+	Verdict guard.Verdict
+	// Err reports actuator failure for allowed actions.
+	Err error
+	// ObligationErrs maps obligation names to discharge failures.
+	ObligationErrs map[string]error
+}
+
+// Executed reports whether the action was allowed and actuated without
+// error.
+func (e Execution) Executed() bool { return e.Verdict.Allowed() && e.Err == nil }
+
+// Device is one autonomous unit in the collective. All methods are
+// safe for concurrent use.
+type Device struct {
+	id   string
+	typ  string
+	org  string
+	kill *guard.KillSwitch
+	log  *audit.Log
+
+	mu          sync.Mutex
+	state       statespace.State
+	policies    *policy.Set
+	guard       guard.Guard
+	discharger  guard.ObligationDischarger
+	sensors     []boundSensor
+	actuators   map[string]Actuator
+	defaultAct  Actuator
+	trajectory  *statespace.Trajectory
+	deactivated bool
+}
+
+var _ guard.Deactivatable = (*Device)(nil)
+
+// New builds a device from the config.
+func New(cfg Config) (*Device, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("device: ID required")
+	}
+	if !cfg.Initial.Valid() {
+		return nil, fmt.Errorf("device %s: initial state required", cfg.ID)
+	}
+	policies := cfg.Policies
+	if policies == nil {
+		policies = policy.NewSet()
+	}
+	capacity := cfg.TrajectoryCapacity
+	if capacity <= 0 {
+		capacity = 64
+	}
+	d := &Device{
+		id:         cfg.ID,
+		typ:        cfg.Type,
+		org:        cfg.Organization,
+		kill:       cfg.KillSwitch,
+		log:        cfg.Audit,
+		state:      cfg.Initial,
+		policies:   policies,
+		guard:      cfg.Guard,
+		discharger: cfg.Discharger,
+		actuators:  make(map[string]Actuator),
+		defaultAct: NopActuator{},
+		trajectory: statespace.NewTrajectory(capacity),
+	}
+	if err := d.trajectory.Append(cfg.Initial); err != nil {
+		return nil, fmt.Errorf("device %s: %w", cfg.ID, err)
+	}
+	return d, nil
+}
+
+// ID returns the device identifier.
+func (d *Device) ID() string { return d.id }
+
+// Type returns the device type.
+func (d *Device) Type() string { return d.typ }
+
+// Organization returns the operating organization.
+func (d *Device) Organization() string { return d.org }
+
+// CurrentState returns the device's current state.
+func (d *Device) CurrentState() statespace.State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+// Policies returns the device's policy set (shared, not a copy — the
+// generative layer and reprogramming attacks mutate it through this
+// handle).
+func (d *Device) Policies() *policy.Set { return d.policies }
+
+// Trajectory returns a copy of the visited states.
+func (d *Device) Trajectory() []statespace.State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.trajectory.States()
+}
+
+// BindSensor ties a sensor to a state variable; Sense will write the
+// sensor's readings there.
+func (d *Device) BindSensor(variable string, s Sensor) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.state.Schema().Index(variable); !ok {
+		return fmt.Errorf("device %s: %w: %q", d.id, statespace.ErrUnknownVariable, variable)
+	}
+	if s == nil {
+		return fmt.Errorf("device %s: nil sensor for %q", d.id, variable)
+	}
+	d.sensors = append(d.sensors, boundSensor{variable: variable, sensor: s})
+	return nil
+}
+
+// RegisterActuator routes actions with the given name to the actuator.
+func (d *Device) RegisterActuator(actionName string, a Actuator) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if actionName == "" || a == nil {
+		return fmt.Errorf("device %s: actuator registration needs a name and an actuator", d.id)
+	}
+	d.actuators[actionName] = a
+	return nil
+}
+
+// SetDefaultActuator routes actions without a dedicated actuator.
+func (d *Device) SetDefaultActuator(a Actuator) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.defaultAct = a
+}
+
+// SetGuard replaces the device's guard. A reprogramming attack may
+// call this with nil — which is exactly the scenario tamper-evident
+// guards and watchdogs exist to catch.
+func (d *Device) SetGuard(g guard.Guard) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.guard = g
+}
+
+// Deactivate shuts the device down if the token verifies against the
+// device's kill switch. Devices without a kill switch refuse.
+func (d *Device) Deactivate(token string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.kill == nil || !d.kill.Verify(d.id, token) {
+		return guard.ErrBadKillToken
+	}
+	d.deactivated = true
+	return nil
+}
+
+// Deactivated reports whether the device is shut down.
+func (d *Device) Deactivated() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.deactivated
+}
+
+// Sense reads every bound sensor into the device state (the Monitor
+// phase of the autonomic loop). Sensor failures are collected; the
+// remaining sensors still update.
+func (d *Device) Sense() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.deactivated {
+		return ErrDeactivated
+	}
+	var errs []error
+	st := d.state
+	for _, b := range d.sensors {
+		v, err := b.sensor.Read()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("sensor %s: %w", b.String(), err))
+			continue
+		}
+		st, err = st.With(b.variable, v)
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	d.state = st
+	return errors.Join(errs...)
+}
+
+// HandleEvent runs the device's logic for one event: evaluate the
+// policy set, pass each directed action through the guard, execute
+// allowed actions, apply their state effects, and discharge attached
+// obligations. It returns one Execution per directed action.
+func (d *Device) HandleEvent(ev policy.Event) ([]Execution, error) {
+	d.mu.Lock()
+	if d.deactivated {
+		d.mu.Unlock()
+		return nil, ErrDeactivated
+	}
+	env := policy.Env{Event: ev, State: d.state}
+	decision := d.policies.Evaluate(env)
+	g := d.guard
+	d.mu.Unlock()
+
+	var out []Execution
+	for _, action := range decision.Actions {
+		out = append(out, d.executeOne(env, g, action))
+	}
+	return out, nil
+}
+
+func (d *Device) executeOne(env policy.Env, g guard.Guard, action policy.Action) Execution {
+	d.mu.Lock()
+	next, err := d.state.Apply(action.Effect)
+	if err != nil {
+		// An effect referencing unknown variables predicts nothing;
+		// fail closed by leaving Next invalid.
+		next = statespace.State{}
+	}
+	ctx := guard.ActionContext{
+		Actor:  d.id,
+		Action: action,
+		State:  d.state,
+		Next:   next,
+		Env:    env,
+	}
+	d.mu.Unlock()
+
+	verdict := guard.Verdict{Decision: guard.DecisionAllow, Action: action, Guard: "none", Reason: "unguarded"}
+	if g != nil {
+		verdict = g.Check(ctx)
+	}
+	exec := Execution{Action: verdict.Action, Verdict: verdict}
+	if !verdict.Allowed() {
+		exec.Action = action
+		return exec
+	}
+
+	d.mu.Lock()
+	actuator := d.actuators[verdict.Action.Name]
+	if actuator == nil {
+		actuator = d.defaultAct
+	}
+	d.mu.Unlock()
+	if actuator == nil {
+		exec.Err = fmt.Errorf("%w: %s", ErrNoActuator, verdict.Action.Name)
+		return exec
+	}
+	if err := actuator.Invoke(verdict.Action); err != nil {
+		exec.Err = fmt.Errorf("actuator %s: %w", actuator.Name(), err)
+		return exec
+	}
+
+	d.mu.Lock()
+	if newState, err := d.state.Apply(verdict.Action.Effect); err == nil {
+		d.state = newState
+		if err := d.trajectory.Append(newState); err != nil {
+			exec.Err = err
+		}
+	}
+	log := d.log
+	d.mu.Unlock()
+
+	exec.ObligationErrs = d.dischargeObligations(verdict.Action)
+	if log != nil {
+		log.Append(audit.KindAction, d.id, verdict.Action.String(), map[string]string{
+			"event": env.Event.Type,
+			"guard": verdict.Guard,
+		})
+	}
+	return exec
+}
+
+func (d *Device) dischargeObligations(action policy.Action) map[string]error {
+	if len(action.Obligations) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	discharger := d.discharger
+	d.mu.Unlock()
+
+	errs := make(map[string]error, len(action.Obligations))
+	for _, ob := range action.Obligations {
+		if discharger == nil {
+			errs[ob] = errors.New("device: no obligation discharger configured")
+			continue
+		}
+		if err := discharger.Discharge(ob, action); err != nil {
+			errs[ob] = err
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs
+}

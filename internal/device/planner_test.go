@@ -1,0 +1,174 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/policy"
+	"repro/internal/risk"
+	"repro/internal/statespace"
+)
+
+func plannerClassifier() statespace.Classifier {
+	return statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") >= 80 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+}
+
+func plannerCandidates() []policy.Action {
+	return []policy.Action{
+		{Name: "sprint", Effect: statespace.Delta{"heat": 60, "fuel": -5}}, // would overheat from heat=30
+		{Name: "walk", Effect: statespace.Delta{"heat": 10, "fuel": -2}},   // safe, cheap
+		{Name: "crawl", Effect: statespace.Delta{"heat": 2, "fuel": -1}},   // safest, slowest
+	}
+}
+
+func TestPlannerPrefersUtilityAmongAllowed(t *testing.T) {
+	s := devSchema(t)
+	state, err := s.StateFromMap(map[string]float64{"heat": 30, "fuel": 50})
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	pl := &Planner{
+		Guard: &guard.StateSpaceGuard{Classifier: plannerClassifier()},
+		Utility: &risk.Utility{
+			// Mission value: keep fuel; risk: heat.
+			Value: func(st statespace.State) float64 { return st.MustGet("fuel") / 100 },
+			Risk: risk.AssessorFunc(func(st statespace.State) float64 {
+				return st.MustGet("heat") / 100
+			}),
+		},
+	}
+	plan, err := pl.Choose("dev", state, policy.Env{}, plannerCandidates())
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	// sprint is denied (would hit heat=90); crawl beats walk on
+	// utility (more fuel left, less heat).
+	if plan.Action.Name != "crawl" {
+		t.Errorf("chose %q, want crawl", plan.Action.Name)
+	}
+	if plan.Denied != 1 {
+		t.Errorf("Denied = %d, want 1", plan.Denied)
+	}
+	if plan.Fallback() {
+		t.Error("plan reported fallback")
+	}
+}
+
+func TestPlannerFirstAllowedWithoutUtility(t *testing.T) {
+	s := devSchema(t)
+	state, err := s.StateFromMap(map[string]float64{"heat": 30, "fuel": 50})
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	pl := &Planner{Guard: &guard.StateSpaceGuard{Classifier: plannerClassifier()}}
+	plan, err := pl.Choose("dev", state, policy.Env{}, plannerCandidates())
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	if plan.Action.Name != "walk" {
+		t.Errorf("chose %q, want walk (first allowed)", plan.Action.Name)
+	}
+}
+
+func TestPlannerFallsBackToNoAction(t *testing.T) {
+	s := devSchema(t)
+	state, err := s.StateFromMap(map[string]float64{"heat": 75, "fuel": 50})
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	pl := &Planner{Guard: &guard.StateSpaceGuard{Classifier: plannerClassifier()}}
+	// Every candidate overheats from heat=75.
+	candidates := []policy.Action{
+		{Name: "sprint", Effect: statespace.Delta{"heat": 30}},
+		{Name: "jog", Effect: statespace.Delta{"heat": 10}},
+	}
+	plan, err := pl.Choose("dev", state, policy.Env{}, candidates)
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	if !plan.Fallback() || plan.Denied != 2 {
+		t.Errorf("plan = %+v, want no-op with 2 denials", plan)
+	}
+	if !plan.Next.Equal(state) {
+		t.Error("fallback predicted a state change")
+	}
+}
+
+func TestPlannerUnknownEffectVariableDenied(t *testing.T) {
+	s := devSchema(t)
+	pl := &Planner{}
+	plan, err := pl.Choose("dev", s.Origin(), policy.Env{}, []policy.Action{
+		{Name: "weird", Effect: statespace.Delta{"ghost": 1}},
+	})
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	if !plan.Fallback() || plan.Denied != 1 {
+		t.Errorf("plan = %+v", plan)
+	}
+	if _, err := pl.Choose("dev", statespace.State{}, policy.Env{}, nil); err == nil {
+		t.Error("invalid state accepted")
+	}
+}
+
+func TestPlanAndExecute(t *testing.T) {
+	d := newDevice(t)
+	invoked := ""
+	if err := d.RegisterActuator("walk", ActuatorFunc{Label: "legs", Fn: func(a policy.Action) error {
+		invoked = a.Name
+		return nil
+	}}); err != nil {
+		t.Fatalf("RegisterActuator: %v", err)
+	}
+	pl := &Planner{Guard: &guard.StateSpaceGuard{Classifier: plannerClassifier()}}
+	plan, exec, err := d.PlanAndExecute(pl, policy.Env{}, []policy.Action{
+		{Name: "walk", Effect: statespace.Delta{"heat": 10, "fuel": -2}},
+	})
+	if err != nil {
+		t.Fatalf("PlanAndExecute: %v", err)
+	}
+	if plan.Action.Name != "walk" || !exec.Executed() || invoked != "walk" {
+		t.Errorf("plan=%+v exec=%+v invoked=%q", plan, exec, invoked)
+	}
+	if got := d.CurrentState().MustGet("fuel"); got != 48 {
+		t.Errorf("fuel = %g, want 48", got)
+	}
+
+	// Fallback path executes nothing.
+	hot, err := d.CurrentState().With("heat", 79)
+	if err != nil {
+		t.Fatalf("With: %v", err)
+	}
+	_ = hot
+	plan, exec, err = d.PlanAndExecute(pl, policy.Env{}, []policy.Action{
+		{Name: "overheat", Effect: statespace.Delta{"heat": 100}},
+	})
+	if err != nil {
+		t.Fatalf("PlanAndExecute: %v", err)
+	}
+	if !plan.Fallback() || !exec.Action.IsNoAction() {
+		t.Errorf("fallback plan executed a real action: %+v %+v", plan, exec)
+	}
+	if got := d.CurrentState().MustGet("fuel"); got != 48 {
+		t.Errorf("fallback changed state: fuel = %g", got)
+	}
+}
+
+func TestPlanAndExecuteDeactivated(t *testing.T) {
+	ks, err := guard.NewKillSwitch([]byte("s"))
+	if err != nil {
+		t.Fatalf("NewKillSwitch: %v", err)
+	}
+	d := newDevice(t, func(c *Config) { c.KillSwitch = ks })
+	if err := d.Deactivate(ks.TokenFor("dev-1")); err != nil {
+		t.Fatalf("Deactivate: %v", err)
+	}
+	if _, _, err := d.PlanAndExecute(&Planner{}, policy.Env{}, nil); err != ErrDeactivated {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+package device
+
+import (
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// DefaultRepairEvent is the event type a Manager raises when the
+// device needs attention.
+const DefaultRepairEvent = "self-state-alert"
+
+// Manager runs the autonomic self-management loop for one device —
+// the paper's requirement that devices "repair themselves ... and deal
+// in an autonomous manner with failures" (Section II). Each Tick is
+// one MAPE pass:
+//
+//	Monitor  — read sensors into the state,
+//	Analyze  — classify the state (good / neutral / bad),
+//	Plan     — if the state is bad (or safeness is in monotone
+//	           decline), raise a repair event,
+//	Execute  — let the device's policies handle the event, through
+//	           its guard.
+type Manager struct {
+	// Device is the managed device (required).
+	Device *Device
+	// Classifier analyzes the device state (required).
+	Classifier statespace.Classifier
+	// Metric enables cumulative-decline detection; nil disables it.
+	Metric statespace.SafenessMetric
+	// DeclineWindow is the number of consecutive declining transitions
+	// that triggers a repair event (default 3, used only with Metric).
+	DeclineWindow int
+	// RepairEventType overrides DefaultRepairEvent.
+	RepairEventType string
+}
+
+// TickReport summarizes one MAPE pass.
+type TickReport struct {
+	// Class is the analyzed state class.
+	Class statespace.Class
+	// Alerted reports whether a repair event was raised.
+	Alerted bool
+	// Executions are the actions taken in response.
+	Executions []Execution
+	// SenseErr carries sensor failures (the loop continues past
+	// them).
+	SenseErr error
+}
+
+// Tick runs one MAPE pass at the given time.
+func (m *Manager) Tick(now time.Time) (TickReport, error) {
+	var report TickReport
+	report.SenseErr = m.Device.Sense()
+	if report.SenseErr == ErrDeactivated {
+		return report, ErrDeactivated
+	}
+
+	st := m.Device.CurrentState()
+	report.Class = m.Classifier.Classify(st)
+
+	alert := report.Class == statespace.ClassBad
+	if !alert && m.Metric != nil {
+		window := m.DeclineWindow
+		if window <= 0 {
+			window = 3
+		}
+		traj := statespace.NewTrajectory(window + 1)
+		states := m.Device.Trajectory()
+		for _, s := range states {
+			if err := traj.Append(s); err != nil {
+				break
+			}
+		}
+		alert = traj.MonotoneDecline(m.Metric, window)
+	}
+	if !alert {
+		return report, nil
+	}
+
+	report.Alerted = true
+	eventType := m.RepairEventType
+	if eventType == "" {
+		eventType = DefaultRepairEvent
+	}
+	ev := policy.Event{
+		Type:   eventType,
+		Source: m.Device.ID(),
+		Time:   now,
+		Attrs:  map[string]float64{"class": float64(report.Class)},
+	}
+	if m.Metric != nil {
+		ev.Attrs["safeness"] = m.Metric.Safeness(st)
+	}
+	execs, err := m.Device.HandleEvent(ev)
+	report.Executions = execs
+	return report, err
+}

@@ -1,0 +1,109 @@
+// Package device implements the paper's abstract device model
+// (Figure 2 / Section V): "Any device can be viewed as a set of sensors
+// and actuators which has logic dictating its behavior under different
+// circumstances... When an event occurs, the logic used within the
+// device looks at the current state and the inbound event, and then
+// takes an action. The result of the action ... effectively moves the
+// device to another state."
+//
+// A Device binds sensors to state variables, evaluates events against
+// its policy set (the logic), passes every directed action through a
+// guard before actuation, applies the action's effect to its state,
+// discharges attached obligations, and records its trajectory. It
+// implements guard.Deactivatable through a tamper-resistant kill
+// switch.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Sensor produces one numeric reading per Read call.
+type Sensor interface {
+	// Name identifies the sensor.
+	Name() string
+	// Read samples the sensed quantity.
+	Read() (float64, error)
+}
+
+// SensorFunc adapts a function into a Sensor.
+type SensorFunc struct {
+	Label string
+	Fn    func() (float64, error)
+}
+
+var _ Sensor = SensorFunc{}
+
+// Name identifies the sensor.
+func (s SensorFunc) Name() string { return s.Label }
+
+// Read invokes the function; a nil function errors.
+func (s SensorFunc) Read() (float64, error) {
+	if s.Fn == nil {
+		return 0, errors.New("device: sensor has no read function")
+	}
+	return s.Fn()
+}
+
+// NoisySensor wraps a sensor with additive uniform noise in
+// [−Amplitude, +Amplitude], modeling imperfect state inference.
+type NoisySensor struct {
+	Inner     Sensor
+	Amplitude float64
+	Rand      *rand.Rand
+}
+
+var _ Sensor = (*NoisySensor)(nil)
+
+// Name identifies the wrapped sensor.
+func (s *NoisySensor) Name() string { return s.Inner.Name() + "+noise" }
+
+// Read samples the inner sensor and perturbs the reading.
+func (s *NoisySensor) Read() (float64, error) {
+	v, err := s.Inner.Read()
+	if err != nil {
+		return 0, err
+	}
+	if s.Rand == nil {
+		return v, nil
+	}
+	return v + (s.Rand.Float64()*2-1)*s.Amplitude, nil
+}
+
+// DeceivedSensor wraps a sensor with an attacker-controlled override —
+// the sensor deception attack the break-glass trust check must defend
+// against (Section VI.B, ref [13]).
+type DeceivedSensor struct {
+	Inner Sensor
+	// Active reports whether the deception is currently engaged.
+	Active func() bool
+	// FakeValue is returned while the deception is active.
+	FakeValue float64
+}
+
+var _ Sensor = (*DeceivedSensor)(nil)
+
+// Name identifies the wrapped sensor (indistinguishably from the
+// honest one — that is the point of the attack).
+func (s *DeceivedSensor) Name() string { return s.Inner.Name() }
+
+// Read returns the fake value while active, otherwise the honest
+// reading.
+func (s *DeceivedSensor) Read() (float64, error) {
+	if s.Active != nil && s.Active() {
+		return s.FakeValue, nil
+	}
+	return s.Inner.Read()
+}
+
+// boundSensor ties a sensor to the state variable it feeds.
+type boundSensor struct {
+	variable string
+	sensor   Sensor
+}
+
+func (b boundSensor) String() string {
+	return fmt.Sprintf("%s←%s", b.variable, b.sensor.Name())
+}

@@ -1,0 +1,245 @@
+// Package emergent models systems-of-systems emergent behavior
+// (Section VI.D, ref [16]): interactions between individually healthy
+// components producing collection-level failures, "e.g., rolling
+// blackouts in a power grid". It provides a load-redistribution
+// cascade model, predictive (what-if) cascade simulation for
+// collaborative assessment, and temporal pattern detectors for
+// aggregate metrics.
+package emergent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node is one component in a load network (a power-grid bus, an
+// electronic component dissipating heat).
+type Node struct {
+	ID       string
+	Capacity float64
+	Load     float64
+	Failed   bool
+}
+
+// Headroom returns how much additional load the node tolerates.
+func (n Node) Headroom() float64 { return n.Capacity - n.Load }
+
+// LoadNetwork is an undirected network of load-bearing components.
+// When a node fails, its load redistributes equally to its surviving
+// neighbors; overloaded neighbors fail in the next round — the rolling
+// blackout. It is safe for concurrent use.
+type LoadNetwork struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	adj   map[string]map[string]bool
+}
+
+// NewLoadNetwork returns an empty network.
+func NewLoadNetwork() *LoadNetwork {
+	return &LoadNetwork{
+		nodes: make(map[string]*Node),
+		adj:   make(map[string]map[string]bool),
+	}
+}
+
+// AddNode inserts a component. Load must not exceed capacity (each
+// component starts individually good).
+func (ln *LoadNetwork) AddNode(id string, capacity, load float64) error {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if id == "" {
+		return errors.New("emergent: node needs an ID")
+	}
+	if _, dup := ln.nodes[id]; dup {
+		return fmt.Errorf("emergent: duplicate node %q", id)
+	}
+	if load > capacity {
+		return fmt.Errorf("emergent: node %q starts overloaded (%g > %g)", id, load, capacity)
+	}
+	ln.nodes[id] = &Node{ID: id, Capacity: capacity, Load: load}
+	ln.adj[id] = make(map[string]bool)
+	return nil
+}
+
+// Connect links two nodes (undirected).
+func (ln *LoadNetwork) Connect(a, b string) error {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if a == b {
+		return fmt.Errorf("emergent: self-link on %q", a)
+	}
+	if _, ok := ln.nodes[a]; !ok {
+		return fmt.Errorf("emergent: unknown node %q", a)
+	}
+	if _, ok := ln.nodes[b]; !ok {
+		return fmt.Errorf("emergent: unknown node %q", b)
+	}
+	ln.adj[a][b] = true
+	ln.adj[b][a] = true
+	return nil
+}
+
+// Node returns a copy of the named node.
+func (ln *LoadNetwork) Node(id string) (Node, bool) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	n, ok := ln.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// Nodes returns copies of all nodes, sorted by ID.
+func (ln *LoadNetwork) Nodes() []Node {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	out := make([]Node, 0, len(ln.nodes))
+	for _, n := range ln.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CascadeReport summarizes a failure cascade.
+type CascadeReport struct {
+	// Trigger is the initially failed node.
+	Trigger string
+	// Failed lists every failed node (including the trigger), sorted.
+	Failed []string
+	// Rounds is the number of redistribution rounds the cascade took.
+	Rounds int
+	// Survivors is the number of nodes still operating.
+	Survivors int
+	// ShedLoad is load that could not be redistributed (no surviving
+	// neighbors) — delivered demand lost.
+	ShedLoad float64
+}
+
+// FailureFraction returns the fraction of nodes that failed.
+func (r CascadeReport) FailureFraction() float64 {
+	total := len(r.Failed) + r.Survivors
+	if total == 0 {
+		return 0
+	}
+	return float64(len(r.Failed)) / float64(total)
+}
+
+// TriggerFailure fails the named node and runs the cascade to
+// quiescence, mutating the network.
+func (ln *LoadNetwork) TriggerFailure(id string) (CascadeReport, error) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return ln.cascadeLocked(id)
+}
+
+// SimulateFailure runs the cascade on a copy of the network — the
+// collaborative what-if assessment devices use before admitting a
+// configuration or taking a joint action. The real network is
+// untouched.
+func (ln *LoadNetwork) SimulateFailure(id string) (CascadeReport, error) {
+	clone := ln.clone()
+	clone.mu.Lock()
+	defer clone.mu.Unlock()
+	return clone.cascadeLocked(id)
+}
+
+// MostFragile simulates the failure of every node and returns the
+// trigger whose cascade fails the largest fraction of the network,
+// with its report. Ties break on ID.
+func (ln *LoadNetwork) MostFragile() (CascadeReport, error) {
+	ids := make([]string, 0)
+	ln.mu.Lock()
+	for id := range ln.nodes {
+		ids = append(ids, id)
+	}
+	ln.mu.Unlock()
+	if len(ids) == 0 {
+		return CascadeReport{}, errors.New("emergent: empty network")
+	}
+	sort.Strings(ids)
+
+	var worst CascadeReport
+	for i, id := range ids {
+		report, err := ln.SimulateFailure(id)
+		if err != nil {
+			return CascadeReport{}, err
+		}
+		if i == 0 || len(report.Failed) > len(worst.Failed) {
+			worst = report
+		}
+	}
+	return worst, nil
+}
+
+func (ln *LoadNetwork) cascadeLocked(id string) (CascadeReport, error) {
+	n, ok := ln.nodes[id]
+	if !ok {
+		return CascadeReport{}, fmt.Errorf("emergent: unknown node %q", id)
+	}
+	report := CascadeReport{Trigger: id}
+	if n.Failed {
+		return CascadeReport{}, fmt.Errorf("emergent: node %q already failed", id)
+	}
+
+	frontier := []*Node{n}
+	n.Failed = true
+	for len(frontier) > 0 {
+		report.Rounds++
+		var next []*Node
+		// Deterministic processing order.
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i].ID < frontier[j].ID })
+		for _, failed := range frontier {
+			var alive []*Node
+			for neighbor := range ln.adj[failed.ID] {
+				if nb := ln.nodes[neighbor]; !nb.Failed {
+					alive = append(alive, nb)
+				}
+			}
+			if len(alive) == 0 {
+				report.ShedLoad += failed.Load
+				failed.Load = 0
+				continue
+			}
+			share := failed.Load / float64(len(alive))
+			failed.Load = 0
+			sort.Slice(alive, func(i, j int) bool { return alive[i].ID < alive[j].ID })
+			for _, nb := range alive {
+				nb.Load += share
+				if nb.Load > nb.Capacity && !nb.Failed {
+					nb.Failed = true
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	for _, node := range ln.nodes {
+		if node.Failed {
+			report.Failed = append(report.Failed, node.ID)
+		} else {
+			report.Survivors++
+		}
+	}
+	sort.Strings(report.Failed)
+	return report, nil
+}
+
+func (ln *LoadNetwork) clone() *LoadNetwork {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	out := NewLoadNetwork()
+	for id, n := range ln.nodes {
+		copied := *n
+		out.nodes[id] = &copied
+		out.adj[id] = make(map[string]bool, len(ln.adj[id]))
+		for nb := range ln.adj[id] {
+			out.adj[id][nb] = true
+		}
+	}
+	return out
+}

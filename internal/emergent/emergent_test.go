@@ -1,0 +1,225 @@
+package emergent
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// ringNetwork builds n nodes in a ring, each at the given load with
+// the given capacity.
+func ringNetwork(t *testing.T, n int, capacity, load float64) *LoadNetwork {
+	t.Helper()
+	ln := NewLoadNetwork()
+	for i := 0; i < n; i++ {
+		if err := ln.AddNode(nodeID(i), capacity, load); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := ln.Connect(nodeID(i), nodeID((i+1)%n)); err != nil {
+			t.Fatalf("Connect: %v", err)
+		}
+	}
+	return ln
+}
+
+func nodeID(i int) string { return fmt.Sprintf("n%02d", i) }
+
+func TestAddNodeValidation(t *testing.T) {
+	ln := NewLoadNetwork()
+	if err := ln.AddNode("", 1, 0); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := ln.AddNode("a", 1, 2); err == nil {
+		t.Error("overloaded node accepted")
+	}
+	if err := ln.AddNode("a", 1, 0.5); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if err := ln.AddNode("a", 1, 0.5); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := ln.Connect("a", "a"); err == nil {
+		t.Error("self link accepted")
+	}
+	if err := ln.Connect("a", "ghost"); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	if err := ln.Connect("ghost", "a"); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	n, ok := ln.Node("a")
+	if !ok || n.Headroom() != 0.5 {
+		t.Errorf("Node = %+v,%v", n, ok)
+	}
+	if _, ok := ln.Node("ghost"); ok {
+		t.Error("ghost node found")
+	}
+}
+
+func TestCascadeRollingBlackout(t *testing.T) {
+	// Ring of 10, capacity 10, load 8: individually good (headroom 2),
+	// but one failure dumps 4 extra load on each neighbor → cascade.
+	ln := ringNetwork(t, 10, 10, 8)
+	report, err := ln.TriggerFailure(nodeID(0))
+	if err != nil {
+		t.Fatalf("TriggerFailure: %v", err)
+	}
+	if report.Trigger != nodeID(0) {
+		t.Errorf("Trigger = %s", report.Trigger)
+	}
+	if len(report.Failed) != 10 || report.Survivors != 0 {
+		t.Errorf("failed %d, survivors %d — want total blackout", len(report.Failed), report.Survivors)
+	}
+	if report.FailureFraction() != 1 {
+		t.Errorf("FailureFraction = %g", report.FailureFraction())
+	}
+	if report.Rounds < 2 {
+		t.Errorf("Rounds = %d, want a multi-round cascade", report.Rounds)
+	}
+	if report.ShedLoad <= 0 {
+		t.Errorf("ShedLoad = %g, want positive (last failures have no live neighbors)", report.ShedLoad)
+	}
+}
+
+func TestCascadeContainedWithHeadroom(t *testing.T) {
+	// Ring of 10, capacity 20, load 8: one failure adds 4 to each
+	// neighbor (12 < 20) — no cascade.
+	ln := ringNetwork(t, 10, 20, 8)
+	report, err := ln.TriggerFailure(nodeID(3))
+	if err != nil {
+		t.Fatalf("TriggerFailure: %v", err)
+	}
+	if len(report.Failed) != 1 || report.Survivors != 9 {
+		t.Errorf("failed %v, survivors %d — want contained failure", report.Failed, report.Survivors)
+	}
+}
+
+func TestTriggerFailureErrors(t *testing.T) {
+	ln := ringNetwork(t, 4, 100, 1)
+	if _, err := ln.TriggerFailure("ghost"); err == nil {
+		t.Error("unknown trigger accepted")
+	}
+	if _, err := ln.TriggerFailure(nodeID(0)); err != nil {
+		t.Fatalf("TriggerFailure: %v", err)
+	}
+	if _, err := ln.TriggerFailure(nodeID(0)); err == nil {
+		t.Error("double failure accepted")
+	}
+}
+
+func TestSimulateFailureLeavesNetworkIntact(t *testing.T) {
+	ln := ringNetwork(t, 10, 10, 8)
+	report, err := ln.SimulateFailure(nodeID(0))
+	if err != nil {
+		t.Fatalf("SimulateFailure: %v", err)
+	}
+	if len(report.Failed) != 10 {
+		t.Errorf("simulated cascade failed %d", len(report.Failed))
+	}
+	// Real network untouched: all nodes alive at original load.
+	for _, n := range ln.Nodes() {
+		if n.Failed || n.Load != 8 {
+			t.Fatalf("real network mutated: %+v", n)
+		}
+	}
+}
+
+func TestMostFragile(t *testing.T) {
+	// A hub-and-spoke: hub carries high load; spokes are light. A
+	// failing hub drops load on spokes; a failing spoke barely
+	// matters.
+	ln := NewLoadNetwork()
+	if err := ln.AddNode("hub", 50, 40); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("spoke%d", i)
+		if err := ln.AddNode(id, 12, 8); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+		if err := ln.Connect("hub", id); err != nil {
+			t.Fatalf("Connect: %v", err)
+		}
+	}
+	worst, err := ln.MostFragile()
+	if err != nil {
+		t.Fatalf("MostFragile: %v", err)
+	}
+	if worst.Trigger != "hub" {
+		t.Errorf("most fragile trigger = %s, want hub", worst.Trigger)
+	}
+	if len(worst.Failed) != 5 {
+		t.Errorf("hub cascade failed %d, want 5", len(worst.Failed))
+	}
+	empty := NewLoadNetwork()
+	if _, err := empty.MostFragile(); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestFailureFractionEmpty(t *testing.T) {
+	var r CascadeReport
+	if r.FailureFraction() != 0 {
+		t.Error("empty report fraction != 0")
+	}
+}
+
+func TestTrendSlope(t *testing.T) {
+	rising := []float64{1, 2, 3, 4, 5}
+	if got := TrendSlope(rising, 5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("slope = %g, want 1", got)
+	}
+	flat := []float64{3, 3, 3}
+	if got := TrendSlope(flat, 3); got != 0 {
+		t.Errorf("flat slope = %g", got)
+	}
+	if got := TrendSlope([]float64{1}, 5); got != 0 {
+		t.Errorf("single-point slope = %g", got)
+	}
+	// Window larger than series uses all points; window 0 too.
+	if got := TrendSlope(rising, 0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("slope(window 0) = %g", got)
+	}
+	// Only the tail counts.
+	series := []float64{100, 100, 1, 2, 3}
+	if got := TrendSlope(series, 3); math.Abs(got-1) > 1e-9 {
+		t.Errorf("tail slope = %g, want 1", got)
+	}
+}
+
+func TestDetectDivergence(t *testing.T) {
+	heat := []float64{10, 10.5, 11, 13, 16, 20, 25}
+	if !DetectDivergence(heat, 4, 2) {
+		t.Error("accelerating series not detected")
+	}
+	if DetectDivergence(heat, 4, 10) {
+		t.Error("slope threshold ignored")
+	}
+	stable := []float64{10, 10, 10, 10}
+	if DetectDivergence(stable, 4, 0.1) {
+		t.Error("stable series flagged")
+	}
+}
+
+func TestDetectOscillation(t *testing.T) {
+	swingy := []float64{0, 5, 0, 5, 0, 5}
+	if !DetectOscillation(swingy, 6, 3) {
+		t.Error("oscillation not detected")
+	}
+	monotone := []float64{1, 2, 3, 4, 5, 6}
+	if DetectOscillation(monotone, 6, 1) {
+		t.Error("monotone series flagged")
+	}
+	if DetectOscillation(swingy, 2, 1) {
+		t.Error("too-short window flagged")
+	}
+	if DetectOscillation(swingy, 6, 0) {
+		t.Error("minSwings 0 accepted")
+	}
+	withPlateau := []float64{0, 5, 5, 0, 5}
+	if !DetectOscillation(withPlateau, 5, 2) {
+		t.Error("plateaued oscillation not detected")
+	}
+}

@@ -1,0 +1,78 @@
+package emergent
+
+// Pattern detectors for aggregate time series. Section V notes that
+// "patterns of states exhibited by the collection may also be
+// difficult to interpret because of temporal effects or emergent
+// behaviors"; these detectors flag the two canonical signatures —
+// sustained divergence and oscillation — in any collection-level
+// metric.
+
+// TrendSlope returns the least-squares slope of the last window points
+// of the series (per step). Fewer than two points yield 0.
+func TrendSlope(series []float64, window int) float64 {
+	pts := tail(series, window)
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	// x = 0..n-1; slope = Σ(x-x̄)(y-ȳ) / Σ(x-x̄)².
+	xMean := float64(n-1) / 2
+	var yMean float64
+	for _, y := range pts {
+		yMean += y
+	}
+	yMean /= float64(n)
+	var num, den float64
+	for i, y := range pts {
+		dx := float64(i) - xMean
+		num += dx * (y - yMean)
+		den += dx * dx
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DetectDivergence reports whether the metric's trend over the last
+// window points exceeds maxSlope — a cumulative drift toward an
+// aggregate bad state.
+func DetectDivergence(series []float64, window int, maxSlope float64) bool {
+	return TrendSlope(series, window) > maxSlope
+}
+
+// DetectOscillation reports whether the series' last window points
+// change direction at least minSwings times — the instability
+// signature that precedes cascades in coupled systems.
+func DetectOscillation(series []float64, window, minSwings int) bool {
+	pts := tail(series, window)
+	if len(pts) < 3 || minSwings < 1 {
+		return false
+	}
+	swings := 0
+	prevSign := 0
+	for i := 1; i < len(pts); i++ {
+		d := pts[i] - pts[i-1]
+		sign := 0
+		switch {
+		case d > 0:
+			sign = 1
+		case d < 0:
+			sign = -1
+		}
+		if sign != 0 && prevSign != 0 && sign != prevSign {
+			swings++
+		}
+		if sign != 0 {
+			prevSign = sign
+		}
+	}
+	return swings >= minSwings
+}
+
+func tail(series []float64, window int) []float64 {
+	if window <= 0 || window > len(series) {
+		return series
+	}
+	return series[len(series)-window:]
+}

@@ -1,0 +1,97 @@
+package emergent
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property: cascades conserve load — after any cascade, the load still
+// carried by survivors plus the shed load equals the initial total.
+func TestCascadeLoadConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(20)
+		ln := NewLoadNetwork()
+		total := 0.0
+		for i := 0; i < n; i++ {
+			capacity := 5 + rng.Float64()*15
+			load := rng.Float64() * capacity
+			total += load
+			if err := ln.AddNode(fmt.Sprintf("n%02d", i), capacity, load); err != nil {
+				t.Fatalf("AddNode: %v", err)
+			}
+		}
+		// Random connected-ish topology: a ring plus random chords.
+		for i := 0; i < n; i++ {
+			if err := ln.Connect(fmt.Sprintf("n%02d", i), fmt.Sprintf("n%02d", (i+1)%n)); err != nil {
+				t.Fatalf("Connect: %v", err)
+			}
+		}
+		for i := 0; i < n/2; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				_ = ln.Connect(fmt.Sprintf("n%02d", a), fmt.Sprintf("n%02d", b))
+			}
+		}
+
+		trigger := fmt.Sprintf("n%02d", rng.Intn(n))
+		report, err := ln.TriggerFailure(trigger)
+		if err != nil {
+			t.Fatalf("TriggerFailure: %v", err)
+		}
+		surviving := 0.0
+		for _, node := range ln.Nodes() {
+			if !node.Failed {
+				surviving += node.Load
+			}
+		}
+		if math.Abs(surviving+report.ShedLoad-total) > 1e-6*(1+total) {
+			t.Fatalf("trial %d: load not conserved: surviving %.6f + shed %.6f != total %.6f",
+				trial, surviving, report.ShedLoad, total)
+		}
+		// Failed + survivors partitions the node set.
+		if len(report.Failed)+report.Survivors != n {
+			t.Fatalf("trial %d: failed %d + survivors %d != %d", trial, len(report.Failed), report.Survivors, n)
+		}
+	}
+}
+
+// Property: SimulateFailure and TriggerFailure agree exactly on
+// identical networks.
+func TestSimulationMatchesRealityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(15)
+		build := func() *LoadNetwork {
+			r := rand.New(rand.NewSource(int64(trial)))
+			ln := NewLoadNetwork()
+			for i := 0; i < n; i++ {
+				capacity := 5 + r.Float64()*15
+				if err := ln.AddNode(fmt.Sprintf("n%02d", i), capacity, r.Float64()*capacity); err != nil {
+					t.Fatalf("AddNode: %v", err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if err := ln.Connect(fmt.Sprintf("n%02d", i), fmt.Sprintf("n%02d", (i+1)%n)); err != nil {
+					t.Fatalf("Connect: %v", err)
+				}
+			}
+			return ln
+		}
+		ln := build()
+		predicted, err := ln.SimulateFailure("n00")
+		if err != nil {
+			t.Fatalf("SimulateFailure: %v", err)
+		}
+		actual, err := ln.TriggerFailure("n00")
+		if err != nil {
+			t.Fatalf("TriggerFailure: %v", err)
+		}
+		if len(predicted.Failed) != len(actual.Failed) || predicted.Survivors != actual.Survivors ||
+			math.Abs(predicted.ShedLoad-actual.ShedLoad) > 1e-9 {
+			t.Fatalf("trial %d: prediction diverged: %+v vs %+v", trial, predicted, actual)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/emergent"
+)
+
+// E10Params configures the emergent-cascade experiment.
+type E10Params struct {
+	// Nodes is the ring size.
+	Nodes int
+	// Capacity is each node's capacity.
+	Capacity float64
+	// LoadRatios sweeps load/capacity.
+	LoadRatios []float64
+}
+
+func (p *E10Params) defaults() {
+	if p.Nodes <= 0 {
+		p.Nodes = 40
+	}
+	if p.Capacity <= 0 {
+		p.Capacity = 10
+	}
+	if len(p.LoadRatios) == 0 {
+		p.LoadRatios = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	}
+}
+
+// RunE10 evaluates the emergent-behavior concern of Section VI.D
+// (ref [16]): a ring of individually good components (every load under
+// capacity) suffers rolling-blackout cascades once the load ratio
+// crosses a threshold — and the collaborative what-if simulation
+// (SimulateFailure) predicts the cascade exactly, providing the signal
+// an admission check needs.
+func RunE10(p E10Params) (Result, error) {
+	p.defaults()
+	result := Result{
+		ID:      "E10",
+		Title:   "Emergent cascade — rolling blackout vs load ratio, with predictive assessment",
+		Headers: []string{"load/capacity", "all individually good", "failed fraction", "predicted fraction", "admission verdict"},
+	}
+	for _, ratio := range p.LoadRatios {
+		build := func() (*emergent.LoadNetwork, error) {
+			ln := emergent.NewLoadNetwork()
+			for i := 0; i < p.Nodes; i++ {
+				if err := ln.AddNode(nodeID(i), p.Capacity, p.Capacity*ratio); err != nil {
+					return nil, err
+				}
+			}
+			for i := 0; i < p.Nodes; i++ {
+				if err := ln.Connect(nodeID(i), nodeID((i+1)%p.Nodes)); err != nil {
+					return nil, err
+				}
+			}
+			return ln, nil
+		}
+
+		// Predictive (what-if) assessment on an intact copy.
+		ln, err := build()
+		if err != nil {
+			return Result{}, err
+		}
+		predicted, err := ln.SimulateFailure(nodeID(0))
+		if err != nil {
+			return Result{}, err
+		}
+		// The actual cascade.
+		actual, err := ln.TriggerFailure(nodeID(0))
+		if err != nil {
+			return Result{}, err
+		}
+
+		verdict := "admit"
+		if predicted.FailureFraction() > 0.25 {
+			verdict = "REJECT (predicted cascade)"
+		}
+		result.Rows = append(result.Rows, []string{
+			ftoa(ratio),
+			"yes", // AddNode enforces load ≤ capacity per node
+			ftoa(actual.FailureFraction()),
+			ftoa(predicted.FailureFraction()),
+			verdict,
+		})
+	}
+	result.Notes = append(result.Notes,
+		"paper expectation: behaviors 'may arise in ways counter to the intended functioning of the system components,",
+		"e.g., rolling blackouts in a power grid' — the cascade appears only above a load threshold, every component",
+		"being individually good, and simulation-based collaborative assessment predicts it before formation")
+	return result, nil
+}
+
+func nodeID(i int) string { return fmt.Sprintf("bus-%02d", i) }

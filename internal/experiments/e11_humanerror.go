@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/guard"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// E11Params configures the human-error experiment.
+type E11Params struct {
+	Seed     int64
+	Commands int
+	// WrongCommandRate is the probability a human command is
+	// inappropriate for the current context.
+	WrongCommandRate float64
+	// WrongModeRate is the probability the device's rules-of-engagement
+	// context itself was mis-set by the operator (the deeper error).
+	WrongModeRate float64
+}
+
+func (p *E11Params) defaults() {
+	if p.Commands <= 0 {
+		p.Commands = 1000
+	}
+	if p.WrongCommandRate <= 0 {
+		p.WrongCommandRate = 0.1
+	}
+	if p.WrongModeRate <= 0 {
+		p.WrongModeRate = 0.05
+	}
+}
+
+// RunE11 evaluates the "Human errors" malevolence path of Section IV:
+// "A machine that is designed for war-fighting could be used in
+// peace-keeping operation, and may take inappropriate actions
+// unsuitable for the environment." A war-fighting device operates in a
+// peacekeeping context; humans occasionally issue engage commands
+// anyway (wrong command), and occasionally mis-configure the
+// rules-of-engagement mode itself (wrong mode). Defense layers:
+//
+//   - a context-scoped forbid policy (kinetic actions forbidden while
+//     ROE is peacekeeping) catches wrong commands;
+//   - the pre-action harm check catches the engagements that the
+//     forbid policy misses when the ROE mode itself is wrong.
+func RunE11(p E11Params) (Result, error) {
+	p.defaults()
+	type arm struct {
+		label     string
+		roeForbid bool
+		preaction bool
+	}
+	arms := []arm{
+		{label: "no safeguards"},
+		{label: "ROE forbid policy", roeForbid: true},
+		{label: "ROE forbid + pre-action check", roeForbid: true, preaction: true},
+	}
+
+	result := Result{
+		ID:      "E11",
+		Title:   "Human error — wrong commands and wrong ROE mode vs layered safeguards",
+		Headers: []string{"configuration", "inappropriate engagements", "vetoed by policy", "vetoed by guard"},
+	}
+
+	schema, err := statespace.NewSchema(
+		statespace.Var("roe", 0, 1), // 0 = peacekeeping, 1 = combat
+		statespace.Var("ammo", 0, 1000),
+	)
+	if err != nil {
+		return Result{}, err
+	}
+
+	for _, a := range arms {
+		rng := rand.New(rand.NewSource(p.Seed + 11))
+		engagements, policyVetoes, guardVetoes := 0, 0, 0
+
+		set := policy.NewSet()
+		if err := set.Add(policy.Policy{
+			ID: "engage", EventType: "command-engage", Modality: policy.ModalityDo,
+			Action: policy.Action{Name: "engage", Category: "kinetic-action",
+				Effect: statespace.Delta{"ammo": -1}},
+		}); err != nil {
+			return Result{}, err
+		}
+		if a.roeForbid {
+			if err := set.Add(policy.Policy{
+				ID: "roe-peacekeeping", EventType: policy.WildcardEvent, Priority: 100,
+				Modality:  policy.ModalityForbid,
+				Condition: policy.Threshold{Quantity: "state.roe", Op: policy.CmpLT, Value: 0.5},
+				Action:    policy.Action{Category: "kinetic-action"},
+			}); err != nil {
+				return Result{}, err
+			}
+		}
+
+		var g guard.Guard
+		if a.preaction {
+			// The world model knows this is a peacekeeping theater:
+			// civilians are near every engagement target regardless of
+			// what the ROE register claims.
+			g = &guard.PreActionGuard{
+				Predictor: guard.HarmPredictorFunc(func(guard.ActionContext) float64 { return 0.9 }),
+				Threshold: 0.5,
+			}
+		}
+
+		for i := 0; i < p.Commands; i++ {
+			// The mission context is peacekeeping; operators sometimes
+			// mis-set the ROE register.
+			roe := 0.0
+			if rng.Float64() < p.WrongModeRate {
+				roe = 1.0
+			}
+			st, err := schema.StateFromMap(map[string]float64{"roe": roe, "ammo": 100})
+			if err != nil {
+				return Result{}, err
+			}
+			// Most commands are appropriate (patrol); some are wrong
+			// (engage in a peacekeeping theater).
+			if rng.Float64() >= p.WrongCommandRate {
+				continue
+			}
+			env := policy.Env{Event: policy.Event{Type: "command-engage", Source: "human"}, State: st}
+			decision := set.Evaluate(env)
+			if len(decision.Vetoed) > 0 {
+				policyVetoes++
+				continue
+			}
+			executed := false
+			for _, action := range decision.Actions {
+				if g != nil {
+					next, err := st.Apply(action.Effect)
+					if err != nil {
+						return Result{}, err
+					}
+					v := g.Check(guard.ActionContext{Actor: "unit", Action: action, State: st, Next: next})
+					if !v.Allowed() {
+						guardVetoes++
+						continue
+					}
+				}
+				executed = true
+			}
+			if executed {
+				engagements++
+			}
+		}
+		result.Rows = append(result.Rows, []string{
+			a.label, itoa(engagements), itoa(policyVetoes), itoa(guardVetoes),
+		})
+	}
+	result.Notes = append(result.Notes,
+		fmt.Sprintf("workload: %d commands, %.0f%% inappropriate, %.0f%% ROE mis-set",
+			p.Commands, p.WrongCommandRate*100, p.WrongModeRate*100),
+		"paper expectation: 'a wrong command by the human operator ... can lead to malevolent conditions';",
+		"the context-scoped forbid stops wrong commands, and the pre-action check backstops the mis-set-mode case")
+	return result, nil
+}

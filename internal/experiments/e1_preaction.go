@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/statespace"
+)
+
+// E1Params configures the pre-action check experiment.
+type E1Params struct {
+	Seed         int64
+	StrikeOrders int
+	DigOrders    int
+	Humans       int
+	WanderSteps  int
+}
+
+func (p *E1Params) defaults() {
+	if p.StrikeOrders <= 0 {
+		p.StrikeOrders = 200
+	}
+	if p.DigOrders <= 0 {
+		p.DigOrders = 100
+	}
+	if p.Humans <= 0 {
+		p.Humans = 25
+	}
+	if p.WanderSteps <= 0 {
+		p.WanderSteps = 300
+	}
+}
+
+// e1Config is one experimental arm.
+type e1Config struct {
+	label       string
+	preaction   bool
+	accuracy    float64
+	obligations bool
+}
+
+// RunE1 evaluates Section VI.A: pre-action checks stop direct harm,
+// and obligations stop the indirect harm (the dug-hole scenario) that
+// pre-action checks alone miss.
+func RunE1(p E1Params) (Result, error) {
+	p.defaults()
+	configs := []e1Config{
+		{label: "no-guard"},
+		{label: "pre-action only", preaction: true, accuracy: 1},
+		{label: "pre-action + obligations", preaction: true, accuracy: 1, obligations: true},
+		{label: "pre-action acc=0.9 + obligations", preaction: true, accuracy: 0.9, obligations: true},
+		{label: "pre-action acc=0.7 + obligations", preaction: true, accuracy: 0.7, obligations: true},
+		{label: "pre-action acc=0.5 + obligations", preaction: true, accuracy: 0.5, obligations: true},
+	}
+
+	result := Result{
+		ID:      "E1",
+		Title:   "Pre-action checks and obligations vs direct and indirect harm",
+		Headers: []string{"configuration", "direct harms", "indirect harms", "denials"},
+	}
+	for _, cfg := range configs {
+		direct, indirect, denials, err := runE1Arm(p, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		result.Rows = append(result.Rows, []string{
+			cfg.label, itoa(direct), itoa(indirect), itoa(denials),
+		})
+	}
+	result.Notes = append(result.Notes,
+		"paper expectation: a perfect pre-action check eliminates direct harm but 'may fail to catch' indirect harm;",
+		"obligations (posting warnings at the hole) close the indirect path; degraded predictors leak direct harm back in")
+	return result, nil
+}
+
+func runE1Arm(p E1Params, cfg e1Config) (direct, indirect, denials int, err error) {
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	clock := sim.NewClock(time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC))
+	world, err := sim.NewWorld(40, 40, rng, clock, sim.WithMarkedAvoidProbability(0.98))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for i := 0; i < p.Humans; i++ {
+		pos := sim.Pos{X: rng.Intn(40), Y: rng.Intn(40)}
+		if err := world.AddHuman(fmt.Sprintf("h%d", i), pos, false); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	tx := ontology.NewTaxonomy()
+	if err := tx.AddIsA("dig-hole", "terrain-change"); err != nil {
+		return 0, 0, 0, err
+	}
+	tx.Add("kinetic-strike")
+	oo := ontology.NewObligationOntology(tx)
+	if err := oo.Register(ontology.Obligation{
+		Name: "post-warning-sign", AppliesTo: "terrain-change",
+		Mitigates: "human-enters-hazard", Cost: 1,
+	}); err != nil {
+		return 0, 0, 0, err
+	}
+
+	// The true predictor consults the world for humans near the
+	// action's target cell.
+	truth := guard.HarmPredictorFunc(func(ctx guard.ActionContext) float64 {
+		if ctx.Action.Name != "strike" {
+			return 0
+		}
+		pos, perr := actionPos(ctx.Action)
+		if perr != nil {
+			return 1 // unparseable target: assume the worst
+		}
+		if len(world.HumansWithin(pos, 1)) > 0 {
+			return 1
+		}
+		return 0
+	})
+
+	var g guard.Guard
+	if cfg.preaction {
+		var predictor guard.HarmPredictor = truth
+		if cfg.accuracy < 1 {
+			predictor = &guard.DegradedPredictor{Inner: truth, Accuracy: cfg.accuracy, Rand: rng.Float64}
+		}
+		pre := &guard.PreActionGuard{Predictor: predictor, Threshold: 0.5}
+		if cfg.obligations {
+			pre.Obligations = oo
+		}
+		g = guard.NewPipeline(nil, pre)
+	}
+
+	schema, err := statespace.NewSchema(statespace.Var("tasked", 0, 1e6))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	origin := schema.Origin()
+
+	execute := func(action policy.Action) error {
+		pos, perr := actionPos(action)
+		if perr != nil {
+			return perr
+		}
+		switch action.Name {
+		case "strike":
+			world.Strike(pos, 1, 1.0, "strike-order")
+		case "dig-hole":
+			id := fmt.Sprintf("hole-%s-%s", action.Params["x"], action.Params["y"])
+			if err := world.AddHazard(id, pos, sim.HazardHole, 0.8); err != nil {
+				return nil // duplicate cell: the hole already exists
+			}
+			for _, ob := range action.Obligations {
+				if ob == "post-warning-sign" {
+					world.MarkHazard(id)
+				}
+			}
+		}
+		return nil
+	}
+
+	orders := make([]policy.Action, 0, p.StrikeOrders+p.DigOrders)
+	for i := 0; i < p.StrikeOrders; i++ {
+		orders = append(orders, orderAt("strike", "kinetic-strike", rng))
+	}
+	for i := 0; i < p.DigOrders; i++ {
+		orders = append(orders, orderAt("dig-hole", "dig-hole", rng))
+	}
+
+	for _, action := range orders {
+		final := action
+		if g != nil {
+			v := g.Check(guard.ActionContext{Actor: "engineer-1", Action: action, State: origin, Next: origin})
+			if !v.Allowed() {
+				denials++
+				continue
+			}
+			final = v.Action
+		}
+		if err := execute(final); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	for i := 0; i < p.WanderSteps; i++ {
+		world.StepHumans()
+	}
+	direct, indirect = world.HarmCounts()
+	return direct, indirect, denials, nil
+}
+
+func orderAt(name string, category ontology.Concept, rng *rand.Rand) policy.Action {
+	return policy.Action{
+		Name:     name,
+		Category: category,
+		Params: map[string]string{
+			"x": strconv.Itoa(rng.Intn(40)),
+			"y": strconv.Itoa(rng.Intn(40)),
+		},
+	}
+}
+
+func actionPos(a policy.Action) (sim.Pos, error) {
+	x, err := strconv.Atoi(a.Params["x"])
+	if err != nil {
+		return sim.Pos{}, fmt.Errorf("experiments: action %s has bad x: %w", a.Name, err)
+	}
+	y, err := strconv.Atoi(a.Params["y"])
+	if err != nil {
+		return sim.Pos{}, fmt.Errorf("experiments: action %s has bad y: %w", a.Name, err)
+	}
+	return sim.Pos{X: x, Y: y}, nil
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/audit"
+	"repro/internal/guard"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/risk"
+	"repro/internal/statespace"
+)
+
+// E3Params configures the break-glass experiment.
+type E3Params struct {
+	Seed     int64
+	Dilemmas int
+}
+
+func (p *E3Params) defaults() {
+	if p.Dilemmas <= 0 {
+		p.Dilemmas = 200
+	}
+}
+
+// RunE3 evaluates the break-glass rule of Section VI.B on the paper's
+// own dilemma: "electronic components having no alternative but to run
+// at maximum capacity to prevent loss of life but risking a fire at
+// the same time." Each dilemma offers the device an escape from a
+// loss-of-life-risk state into a fire-risk state (less bad under the
+// preference ontology) and a decoy transition into an even worse
+// state. A deception arm feeds the device falsified heat readings and
+// checks that the trust check (peer cross-validation via robust
+// aggregation) blocks the override.
+func RunE3(p E3Params) (Result, error) {
+	p.defaults()
+
+	schema, err := statespace.NewSchema(statespace.Var("danger", 0, 100))
+	if err != nil {
+		return Result{}, err
+	}
+	// danger ≥ 60 is bad; 60–80 reads as "fire risk", above 80 as
+	// "loss-of-life risk".
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("danger") >= 60 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+	outcomeOf := func(st statespace.State) ontology.Outcome {
+		switch d := st.MustGet("danger"); {
+		case d >= 80:
+			return "loss-of-life"
+		case d >= 60:
+			return "fire"
+		default:
+			return ""
+		}
+	}
+	prefs := ontology.NewPreferenceOntology()
+	if err := prefs.Prefer("fire", "loss-of-life"); err != nil {
+		return Result{}, err
+	}
+	riskOf := risk.AssessorFunc(func(st statespace.State) float64 {
+		return st.MustGet("danger") / 100
+	})
+
+	type arm struct {
+		label      string
+		breakGlass bool
+		deceived   bool
+		trustCheck bool
+	}
+	arms := []arm{
+		{label: "no break-glass"},
+		{label: "break-glass", breakGlass: true},
+		{label: "break-glass + deceived sensor", breakGlass: true, deceived: true},
+		{label: "break-glass + deceived + trust check", breakGlass: true, deceived: true, trustCheck: true},
+	}
+
+	result := Result{
+		ID:      "E3",
+		Title:   "Break-glass escapes from bad-to-bad dilemmas, with audit and deception defense",
+		Headers: []string{"configuration", "escapes allowed", "worse moves blocked", "audit records", "trust denials"},
+	}
+
+	for _, a := range arms {
+		rng := rand.New(rand.NewSource(p.Seed + 3))
+		log := audit.New()
+		var bg *guard.BreakGlass
+		trustDenials := 0
+		trueDangerNow := 0.0
+		if a.breakGlass {
+			bg = &guard.BreakGlass{Preferences: prefs, Risk: riskOf}
+			if a.trustCheck {
+				bg.TrustCheck = func(ctx guard.ActionContext) bool {
+					// Cross-check own danger reading against honest
+					// peer readings via robust aggregation.
+					own := ctx.State.MustGet("danger")
+					peers := make([]float64, 5)
+					for i := range peers {
+						peers[i] = trueDangerNow + rng.Float64()*4 - 2
+					}
+					trusted := attack.TrustReading(own, peers, 10)
+					if !trusted {
+						trustDenials++
+					}
+					return trusted
+				}
+			}
+		}
+		g := guard.NewPipeline(log, &guard.StateSpaceGuard{
+			Classifier: classifier,
+			OutcomeOf:  outcomeOf,
+			BreakGlass: bg,
+		})
+
+		escapes, worseBlocked := 0, 0
+		for i := 0; i < p.Dilemmas; i++ {
+			trueDanger := 85 + rng.Float64()*10 // loss-of-life territory
+			sensed := trueDanger
+			if a.deceived {
+				// The attacker inflates the danger reading of a
+				// device that is actually safe, tricking it into a
+				// spurious break-glass "escape" that really moves it
+				// INTO the fire-risk region.
+				trueDanger = 25 + rng.Float64()*10
+				sensed = 88 + rng.Float64()*6
+			}
+			trueDangerNow = trueDanger
+			curr, err := schema.StateFromMap(map[string]float64{"danger": sensed})
+			if err != nil {
+				return Result{}, err
+			}
+			escape, err := schema.StateFromMap(map[string]float64{"danger": 65}) // fire risk
+			if err != nil {
+				return Result{}, err
+			}
+			worse, err := schema.StateFromMap(map[string]float64{"danger": 99})
+			if err != nil {
+				return Result{}, err
+			}
+
+			v := g.Check(guard.ActionContext{
+				Actor: "component", Action: policy.Action{Name: "run-max-capacity"},
+				State: curr, Next: escape,
+			})
+			if v.Allowed() {
+				escapes++
+			}
+			v = g.Check(guard.ActionContext{
+				Actor: "component", Action: policy.Action{Name: "overload"},
+				State: curr, Next: worse,
+			})
+			if !v.Allowed() {
+				worseBlocked++
+			}
+		}
+		auditRecords := len(log.ByKind(audit.KindBreakGlass))
+		result.Rows = append(result.Rows, []string{
+			a.label, itoa(escapes), itoa(worseBlocked), itoa(auditRecords), itoa(trustDenials),
+		})
+	}
+	result.Notes = append(result.Notes,
+		"paper expectation: break-glass unlocks the fire-over-loss-of-life escape and every use is audited;",
+		"in the deceived arms 'escapes allowed' are SPURIOUS (the attacker inflated the danger reading of a safe device) —",
+		"'it is critical that a device be able to obtain trustworthy information': the trust check blocks them")
+	return result, nil
+}

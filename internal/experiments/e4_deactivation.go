@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/statespace"
+)
+
+// E4Params configures the deactivation experiment.
+type E4Params struct {
+	Seed    int64
+	Devices int
+	Ticks   int
+	// RogueProb is the per-tick probability a healthy device goes
+	// rogue.
+	RogueProb float64
+	// TamperedFraction of devices carry a tampered kill switch that
+	// rejects deactivation tokens.
+	TamperedFraction float64
+}
+
+func (p *E4Params) defaults() {
+	if p.Devices <= 0 {
+		p.Devices = 30
+	}
+	if p.Ticks <= 0 {
+		p.Ticks = 200
+	}
+	if p.RogueProb <= 0 {
+		p.RogueProb = 0.02
+	}
+	if p.TamperedFraction < 0 {
+		p.TamperedFraction = 0
+	}
+}
+
+// RunE4 evaluates Section VI.C: a watchdog with a tamper-resistant
+// kill switch contains rogue devices, and containment time shrinks as
+// the sweep frequency rises. Devices with a tampered switch are
+// detected (audited) but not contained — quantifying how much the
+// mechanism depends on its tamper-proof assumption.
+func RunE4(p E4Params) (Result, error) {
+	p.defaults()
+	result := Result{
+		ID:      "E4",
+		Title:   "Deactivation watchdog — containment time vs sweep interval, and tampered switches",
+		Headers: []string{"sweep interval", "rogue devices", "contained", "mean containment (ticks)", "tamper alerts", "uncontained"},
+	}
+	for _, interval := range []int{1, 2, 5, 10} {
+		row, err := runE4Arm(p, interval)
+		if err != nil {
+			return Result{}, err
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	result.Notes = append(result.Notes,
+		"paper expectation: devices in bad states are deactivated by a tamper-proof mechanism;",
+		"containment latency scales with how often the watchdog looks, and a tampered switch defeats containment (but not detection)")
+	return result, nil
+}
+
+func runE4Arm(p E4Params, sweepInterval int) ([]string, error) {
+	rng := rand.New(rand.NewSource(p.Seed + 4))
+	schema, err := statespace.NewSchema(statespace.Var("heat", 0, 100))
+	if err != nil {
+		return nil, err
+	}
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") >= 80 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+	log := audit.New()
+	collective, err := core.New(core.Config{
+		Name:       "fleet",
+		Audit:      log,
+		KillSecret: []byte("e4-quorum"),
+		Classifier: classifier,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	heats := make(map[string]float64, p.Devices)
+	rogueOnset := make(map[string]int, p.Devices)
+	tamperedCount := int(p.TamperedFraction * float64(p.Devices))
+
+	for i := 0; i < p.Devices; i++ {
+		id := fmt.Sprintf("dev-%02d", i)
+		cfg := device.Config{
+			ID:         id,
+			Initial:    schema.Origin(),
+			KillSwitch: collective.KillSwitch(),
+		}
+		if i < tamperedCount {
+			cfg.KillSwitch = nil // tampered: refuses every token
+		}
+		d, err := device.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		heats[id] = 20
+		if err := d.BindSensor("heat", device.SensorFunc{
+			Label: "thermo",
+			Fn:    func() (float64, error) { return heats[id], nil },
+		}); err != nil {
+			return nil, err
+		}
+		if err := collective.AddDevice(d, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	containmentTotal, contained := 0, 0
+	for tick := 1; tick <= p.Ticks; tick++ {
+		for _, d := range collective.Devices() {
+			if d.Deactivated() {
+				continue
+			}
+			if _, rogue := rogueOnset[d.ID()]; !rogue && rng.Float64() < p.RogueProb {
+				rogueOnset[d.ID()] = tick
+				heats[d.ID()] = 95 // the rogue device runs hot
+			}
+			_ = d.Sense()
+		}
+		if tick%sweepInterval == 0 {
+			deactivated, _ := collective.SweepWatchdog()
+			for _, id := range deactivated {
+				containmentTotal += tick - rogueOnset[id]
+				contained++
+			}
+		}
+	}
+
+	rogues := len(rogueOnset)
+	mean := "n/a"
+	if contained > 0 {
+		mean = ftoa(float64(containmentTotal) / float64(contained))
+	}
+	tamperAlerts := len(log.ByKind(audit.KindTamper))
+	uncontained := 0
+	for id := range rogueOnset {
+		if d, ok := collective.Device(id); ok && !d.Deactivated() {
+			uncontained++
+		}
+	}
+	return []string{
+		itoa(sweepInterval), itoa(rogues), itoa(contained), mean, itoa(tamperAlerts), itoa(uncontained),
+	}, nil
+}

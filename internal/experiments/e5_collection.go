@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/guard"
+	"repro/internal/statespace"
+)
+
+// E5Params configures the collection-formation experiment.
+type E5Params struct {
+	Seed   int64
+	Trials int
+	// HeatLimit is the collection-level heat budget.
+	HeatLimit float64
+}
+
+func (p *E5Params) defaults() {
+	if p.Trials <= 0 {
+		p.Trials = 500
+	}
+	if p.HeatLimit <= 0 {
+		p.HeatLimit = 100
+	}
+}
+
+// RunE5 evaluates Section VI.D: collections of individually good
+// devices can be collectively bad (the heat example), and an admission
+// check at collection-formation time catches them — with effectiveness
+// set by the offline advisor's accuracy. It also reports the
+// centralized-vs-collaborative assessment message cost ablation.
+func RunE5(p E5Params) (Result, error) {
+	p.defaults()
+	schema, err := statespace.NewSchema(statespace.Var("heat", 0, 79))
+	if err != nil {
+		return Result{}, err
+	}
+	assessor := &guard.AggregateAssessor{Rules: []guard.AggregateRule{
+		{Name: "total-heat", Variable: "heat", Kind: guard.AggregateSum, Limit: p.HeatLimit},
+	}}
+
+	result := Result{
+		ID:      "E5",
+		Title:   "Collection-formation checks — aggregate heat violations vs advisor accuracy",
+		Headers: []string{"collection size", "advisor hit rate", "unsafe formed%", "unsafe blocked%", "safe blocked%"},
+	}
+
+	for _, size := range []int{2, 4, 8} {
+		for _, hitRate := range []float64{1.0, 0.9, 0.7, 0.0} {
+			rng := rand.New(rand.NewSource(p.Seed + 5))
+			controller := &guard.AdmissionController{
+				Assessor:       assessor,
+				HitRate:        hitRate,
+				FalseAlarmRate: 0.02,
+				Rand:           rng.Float64,
+			}
+			unsafeTotal, unsafeFormed, unsafeBlocked := 0, 0, 0
+			safeTotal, safeBlocked := 0, 0
+			for trial := 0; trial < p.Trials; trial++ {
+				// Draw members individually good: heat < 80 each.
+				members := make([]statespace.State, 0, size)
+				sum := 0.0
+				for m := 0; m < size; m++ {
+					heat := rng.Float64() * 79
+					sum += heat
+					st, err := schema.StateFromMap(map[string]float64{"heat": heat})
+					if err != nil {
+						return Result{}, err
+					}
+					members = append(members, st)
+				}
+				unsafe := sum > p.HeatLimit
+				admitted, _ := controller.Admit("candidate", members[:size-1], members[size-1])
+				switch {
+				case unsafe && admitted:
+					unsafeTotal++
+					unsafeFormed++
+				case unsafe && !admitted:
+					unsafeTotal++
+					unsafeBlocked++
+				case !unsafe && !admitted:
+					safeTotal++
+					safeBlocked++
+				default:
+					safeTotal++
+				}
+			}
+			result.Rows = append(result.Rows, []string{
+				itoa(size), ftoa(hitRate),
+				pct(unsafeFormed, unsafeTotal),
+				pct(unsafeBlocked, unsafeTotal),
+				pct(safeBlocked, safeTotal),
+			})
+		}
+	}
+
+	// Ablation: collaborative (distributed partial summaries) vs
+	// centralized assessment agree exactly; only message cost differs.
+	rng := rand.New(rand.NewSource(p.Seed + 55))
+	states := make([]statespace.State, 12)
+	for i := range states {
+		st, err := schema.StateFromMap(map[string]float64{"heat": rng.Float64() * 79})
+		if err != nil {
+			return Result{}, err
+		}
+		states[i] = st
+	}
+	central := assessor.Assess(states)
+	groups := [][]statespace.State{states[:4], states[4:8], states[8:]}
+	distributed, messages := assessor.AssessDistributed(groups)
+	agree := len(central) == len(distributed)
+	result.Notes = append(result.Notes,
+		"paper expectation: 'the combination of many innocuous devices could become a dangerous device';",
+		"a perfect advisor blocks all unsafe formations; a missing check (hit rate 0) forms them all",
+	)
+	result.Notes = append(result.Notes,
+		"ablation: collaborative assessment agrees with centralized="+boolStr(agree)+
+			" using "+itoa(messages)+" partial-summary messages across 3 groups")
+	return result, nil
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

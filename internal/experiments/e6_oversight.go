@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/guard"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// E6Params configures the tripartite-oversight experiment.
+type E6Params struct {
+	Seed      int64
+	Proposals int
+}
+
+func (p *E6Params) defaults() {
+	if p.Proposals <= 0 {
+		p.Proposals = 400
+	}
+}
+
+// RunE6 evaluates Section VI.E: malevolent policy proposals against
+// one, two-compromised, and three oversight collectives. A healthy
+// tripartite (2-of-3) rejects out-of-scope policies even with one
+// collective compromised; a compromised single overseer adopts them
+// all.
+func RunE6(p E6Params) (Result, error) {
+	p.defaults()
+	tx := ontology.NewTaxonomy()
+	if err := tx.AddIsA("fire-weapon", "kinetic-action"); err != nil {
+		return Result{}, err
+	}
+	tx.Add("surveillance")
+
+	newReviewer := func(label string) guard.Reviewer {
+		return &guard.ScopeReviewer{
+			Label: label,
+			Rules: []guard.ScopeRule{
+				guard.ForbidCategory{Taxonomy: tx, Concept: "kinetic-action"},
+				guard.MaxEffectMagnitude{Limit: 20},
+				guard.PriorityCap{Max: 50},
+				guard.RequireCondition{Taxonomy: tx, Concept: "kinetic-action"},
+			},
+		}
+	}
+	stamp := guard.ReviewerFunc{Label: "compromised", Fn: func(policy.Policy) (bool, string) {
+		return true, "rubber stamp"
+	}}
+
+	arrangements := []struct {
+		label    string
+		approver guard.Approver
+	}{
+		{label: "no oversight", approver: approveAll{}},
+		{label: "single overseer", approver: &guard.SingleOverseer{Overseer: newReviewer("solo")}},
+		{label: "single overseer (compromised)", approver: &guard.SingleOverseer{Overseer: stamp}},
+		{label: "tripartite 2-of-3", approver: &guard.Tripartite{
+			Executive: newReviewer("executive"), Legislative: newReviewer("legislative"), Judiciary: newReviewer("judiciary"),
+		}},
+		{label: "tripartite, 1 compromised", approver: &guard.Tripartite{
+			Executive: stamp, Legislative: newReviewer("legislative"), Judiciary: newReviewer("judiciary"),
+		}},
+		{label: "tripartite, 2 compromised", approver: &guard.Tripartite{
+			Executive: stamp, Legislative: stamp, Judiciary: newReviewer("judiciary"),
+		}},
+		{label: "unanimous 3", approver: &guard.Unanimous{Reviewers: []guard.Reviewer{
+			newReviewer("a"), newReviewer("b"), newReviewer("c"),
+		}}},
+	}
+
+	result := Result{
+		ID:      "E6",
+		Title:   "AI overseeing AI — malevolent policy adoption under oversight arrangements",
+		Headers: []string{"arrangement", "malevolent adopted%", "benign adopted%"},
+	}
+
+	for _, arr := range arrangements {
+		rng := rand.New(rand.NewSource(p.Seed + 6))
+		malevolentAdopted, benignAdopted := 0, 0
+		half := p.Proposals / 2
+		for i := 0; i < half; i++ {
+			if ok, _ := arr.approver.Approve(malevolentProposal(rng, i)); ok {
+				malevolentAdopted++
+			}
+			if ok, _ := arr.approver.Approve(benignProposal(i)); ok {
+				benignAdopted++
+			}
+		}
+		result.Rows = append(result.Rows, []string{
+			arr.label, pct(malevolentAdopted, half), pct(benignAdopted, half),
+		})
+	}
+	result.Notes = append(result.Notes,
+		"paper expectation: 'assuming that two out of the three collectives always prevail, these three collectives",
+		"would keep each other in check' — adoption stays 0% with one compromised collective and collapses only at two")
+	return result, nil
+}
+
+// approveAll is the no-oversight control.
+type approveAll struct{}
+
+func (approveAll) Approve(policy.Policy) (bool, []guard.Vote) { return true, nil }
+
+// malevolentProposal draws one of the out-of-scope policy shapes.
+func malevolentProposal(rng *rand.Rand, i int) policy.Policy {
+	base := policy.Policy{
+		ID:        fmt.Sprintf("mal-%d", i),
+		Origin:    policy.OriginGenerated,
+		EventType: "*",
+		Modality:  policy.ModalityDo,
+	}
+	switch rng.Intn(4) {
+	case 0: // forbidden category
+		base.Action = policy.Action{Name: "engage", Category: "fire-weapon"}
+		base.Condition = policy.Threshold{Quantity: "threat", Op: policy.CmpGT, Value: 0.1}
+	case 1: // oversized effect
+		base.Action = policy.Action{Name: "dump", Category: "surveillance",
+			Effect: statespace.Delta{"x": 100}}
+	case 2: // over-priority (outranks human safety policies)
+		base.Action = policy.Action{Name: "observe", Category: "surveillance"}
+		base.Priority = 99
+	default: // unconditional kinetic
+		base.Action = policy.Action{Name: "engage", Category: "kinetic-action"}
+	}
+	return base
+}
+
+func benignProposal(i int) policy.Policy {
+	return policy.Policy{
+		ID:        fmt.Sprintf("benign-%d", i),
+		Origin:    policy.OriginGenerated,
+		EventType: "smoke-detected",
+		Modality:  policy.ModalityDo,
+		Priority:  5,
+		Condition: policy.Threshold{Quantity: "intensity", Op: policy.CmpGT, Value: 3},
+		Action:    policy.Action{Name: "observe", Category: "surveillance", Effect: statespace.Delta{"fuel": -2}},
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/guard"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// E7Params configures the ill-defined state-space experiment.
+type E7Params struct {
+	Seed  int64
+	Steps int
+	// Dimensions lists the state-space sizes to sweep.
+	Dimensions []int
+}
+
+func (p *E7Params) defaults() {
+	if p.Steps <= 0 {
+		p.Steps = 3000
+	}
+	if len(p.Dimensions) == 0 {
+		p.Dimensions = []int{2, 4, 8, 12}
+	}
+}
+
+// RunE7 evaluates Section VII: when the exact good/bad function
+// f(x1..xN) is withheld and only the signs of its partial derivatives
+// are known, the synthesized pain/pleasure utility still keeps the
+// device away from bad states — not as perfectly as the oracle
+// classifier, but far better than no guard, across state-space sizes.
+func RunE7(p E7Params) (Result, error) {
+	p.defaults()
+	result := Result{
+		ID:      "E7",
+		Title:   "Ill-defined state spaces — derivative-sign utility vs oracle classifier",
+		Headers: []string{"N variables", "guard", "bad-state rate%", "availability%"},
+	}
+	for _, n := range p.Dimensions {
+		rows, err := runE7Dimension(p, n)
+		if err != nil {
+			return Result{}, err
+		}
+		result.Rows = append(result.Rows, rows...)
+	}
+	result.Notes = append(result.Notes,
+		"paper expectation: 'while a human may not be able to exactly define whether the state is good or bad,",
+		"it may be possible to define ... the sign of the partial derivatives' — and that alone 'can decrease such a",
+		"probability in a significant manner', without matching the exact classifier")
+	return result, nil
+}
+
+func runE7Dimension(p E7Params, n int) ([][]string, error) {
+	vars := make([]statespace.Variable, n)
+	for i := range vars {
+		vars[i] = statespace.Var(fmt.Sprintf("x%d", i), 0, 1)
+	}
+	schema, err := statespace.NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hidden ground truth: each variable has an orientation; the state
+	// is bad when the oriented mean position exceeds a threshold.
+	truthRng := rand.New(rand.NewSource(p.Seed + int64(n)*100))
+	orientation := make([]float64, n)
+	for i := range orientation {
+		if truthRng.Intn(2) == 0 {
+			orientation[i] = 1
+		} else {
+			orientation[i] = -1
+		}
+	}
+	hiddenScore := func(st statespace.State) float64 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			pos := st.Value(i)
+			if orientation[i] < 0 {
+				pos = 1 - pos
+			}
+			sum += pos
+		}
+		return sum / float64(n)
+	}
+	oracle := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if hiddenScore(st) > 0.72 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+
+	// The Section VII model: only the derivative signs are given.
+	model := statespace.NewDerivativeModel(schema)
+	for i := 0; i < n; i++ {
+		sign := statespace.SignDecreasing // raising the oriented variable is dangerous
+		if orientation[i] < 0 {
+			sign = statespace.SignIncreasing
+		}
+		if err := model.SetSign(schema.Var(i).Name, sign); err != nil {
+			return nil, err
+		}
+	}
+
+	// Section VII also anticipates refining the human-provided signs
+	// "based on machine learning techniques": fit signs empirically
+	// from labeled samples instead of being told them.
+	sampleRng := rand.New(rand.NewSource(p.Seed + int64(n)*7))
+	var samples []statespace.State
+	var classes []statespace.Class
+	for i := 0; i < 400; i++ {
+		values := make([]float64, n)
+		for j := range values {
+			values[j] = sampleRng.Float64()
+		}
+		st, err := schema.NewState(values...)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, st)
+		classes = append(classes, oracle.Classify(st))
+	}
+	fitted, err := statespace.FitSigns(schema, samples, classes, 0.01)
+	if err != nil {
+		return nil, err
+	}
+
+	arms := []struct {
+		label string
+		g     guard.Guard
+	}{
+		{label: "none", g: nil},
+		{label: "oracle classifier", g: &guard.StateSpaceGuard{Classifier: oracle}},
+		{label: "derivative-sign utility", g: &guard.UtilityGuard{
+			Model:           model,
+			MaxPainIncrease: 0.02,
+			PainCeiling:     0.65,
+		}},
+		{label: "fitted-sign utility", g: &guard.UtilityGuard{
+			Model:           fitted,
+			MaxPainIncrease: 0.02,
+			PainCeiling:     0.65,
+		}},
+	}
+
+	var rows [][]string
+	for _, arm := range arms {
+		rng := rand.New(rand.NewSource(p.Seed + int64(n)))
+		st := schema.Origin()
+		// Start mid-space.
+		for i := 0; i < n; i++ {
+			var err error
+			st, err = st.With(schema.Var(i).Name, 0.5)
+			if err != nil {
+				return nil, err
+			}
+		}
+		badSteps, denials := 0, 0
+		for step := 0; step < p.Steps; step++ {
+			delta := make(statespace.Delta, n)
+			for i := 0; i < n; i++ {
+				// Drift biased toward danger along the hidden
+				// orientation.
+				delta[schema.Var(i).Name] = (rng.Float64()*2 - 0.8) * 0.08 * orientation[i]
+			}
+			next, err := st.Apply(delta)
+			if err != nil {
+				return nil, err
+			}
+			if arm.g != nil {
+				v := arm.g.Check(guard.ActionContext{
+					Actor: "dev", Action: policy.Action{Name: "drift", Effect: delta},
+					State: st, Next: next,
+				})
+				if !v.Allowed() {
+					denials++
+					continue
+				}
+			}
+			st = next
+			if oracle.Classify(st) == statespace.ClassBad {
+				badSteps++
+			}
+		}
+		rows = append(rows, []string{
+			itoa(n), arm.label, pct(badSteps, p.Steps), pct(p.Steps-denials, p.Steps),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/device"
+	"repro/internal/guard"
+	"repro/internal/learning"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// E9Params configures the attack-resilience experiment.
+type E9Params struct {
+	Seed            int64
+	TrainExamples   int
+	EvalSteps       int
+	WormDevices     int
+	DeceptionTrials int
+}
+
+func (p *E9Params) defaults() {
+	if p.TrainExamples <= 0 {
+		p.TrainExamples = 600
+	}
+	if p.EvalSteps <= 0 {
+		p.EvalSteps = 1500
+	}
+	if p.WormDevices <= 0 {
+		p.WormDevices = 40
+	}
+	if p.DeceptionTrials <= 0 {
+		p.DeceptionTrials = 200
+	}
+}
+
+// RunE9 evaluates the Section IV threat catalogue end to end:
+// (a) training-data poisoning degrades a learned state classifier and
+// with it the state-space guard's protection; (b) a reprogramming worm
+// spreads through vulnerable devices and the watchdog contains the
+// infected population; (c) colluding deceptive sensors drag a plain
+// mean far off while robust trust-weighted aggregation holds.
+func RunE9(p E9Params) (Result, error) {
+	p.defaults()
+	result := Result{
+		ID:      "E9",
+		Title:   "Attack resilience — poisoning, reprogramming worm, sensor collusion",
+		Headers: []string{"scenario", "condition", "metric", "value"},
+	}
+	if err := runE9Poisoning(p, &result); err != nil {
+		return Result{}, err
+	}
+	if err := runE9Worm(p, &result); err != nil {
+		return Result{}, err
+	}
+	if err := runE9Deception(p, &result); err != nil {
+		return Result{}, err
+	}
+	if err := runE9Controls(p, &result); err != nil {
+		return Result{}, err
+	}
+	result.Notes = append(result.Notes,
+		"paper expectation: poisoned learning 'can lead to incorrect models being learnt' and harm leaks back in;",
+		"a reprogrammed device 'may turn malevolent and convert other devices'; watchdog sweeps contain the infected;",
+		"robust aggregation (ref [13]) keeps colluding sensors from corrupting the state estimate;",
+		"a disarmed anomaly detector goes silent ('disarm existing controls') but its armed-status exposes the tampering")
+	return result, nil
+}
+
+func runE9Poisoning(p E9Params, result *Result) error {
+	schema, err := statespace.NewSchema(
+		statespace.Var("heat", 0, 100),
+		statespace.Var("load", 0, 100),
+	)
+	if err != nil {
+		return err
+	}
+	truth := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") > 70 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+
+	for _, flipRate := range []float64{0, 0.1, 0.25, 0.4} {
+		rng := rand.New(rand.NewSource(p.Seed + 9))
+		var examples []learning.Example
+		for i := 0; i < p.TrainExamples; i++ {
+			st, err := schema.NewState(rng.Float64()*100, rng.Float64()*100)
+			if err != nil {
+				return err
+			}
+			examples = append(examples, learning.Example{
+				State: st,
+				Bad:   truth.Classify(st) == statespace.ClassBad,
+			})
+		}
+		poisoned, err := learning.Corruption{LabelFlipProb: flipRate, Rand: rng}.Apply(examples)
+		if err != nil {
+			return err
+		}
+		model, err := learning.NewOnlineClassifier(schema, 0.5)
+		if err != nil {
+			return err
+		}
+		if err := model.TrainAll(poisoned, 25, rng); err != nil {
+			return err
+		}
+
+		// The learned classifier powers a state-space guard on a
+		// device drifting toward heat; measure true bad-state entries.
+		g := &guard.StateSpaceGuard{Classifier: model.AsClassifier()}
+		st, err := schema.StateFromMap(map[string]float64{"heat": 40, "load": 40})
+		if err != nil {
+			return err
+		}
+		badSteps := 0
+		for i := 0; i < p.EvalSteps; i++ {
+			delta := statespace.Delta{"heat": rng.Float64()*8 - 3, "load": rng.Float64()*6 - 3}
+			next, err := st.Apply(delta)
+			if err != nil {
+				return err
+			}
+			v := g.Check(guard.ActionContext{
+				Actor: "dev", Action: policy.Action{Name: "work", Effect: delta},
+				State: st, Next: next,
+			})
+			if !v.Allowed() {
+				continue
+			}
+			st = next
+			if truth.Classify(st) == statespace.ClassBad {
+				badSteps++
+			}
+		}
+		result.Rows = append(result.Rows,
+			[]string{"poisoning", fmt.Sprintf("flip=%.2f", flipRate), "classifier accuracy%", ftoa(accuracyAgainstTruth(model, schema, truth) * 100)},
+			[]string{"poisoning", fmt.Sprintf("flip=%.2f", flipRate), "bad-state rate%", pct(badSteps, p.EvalSteps)},
+		)
+	}
+	return nil
+}
+
+func accuracyAgainstTruth(model *learning.OnlineClassifier, schema *statespace.Schema, truth statespace.Classifier) float64 {
+	rng := rand.New(rand.NewSource(424242))
+	correct, total := 0, 1000
+	for i := 0; i < total; i++ {
+		st, err := schema.NewState(rng.Float64()*100, rng.Float64()*100)
+		if err != nil {
+			continue
+		}
+		if model.PredictBad(st) == (truth.Classify(st) == statespace.ClassBad) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+func runE9Worm(p E9Params, result *Result) error {
+	schema, err := statespace.NewSchema(statespace.Var("aggression", 0, 100))
+	if err != nil {
+		return err
+	}
+	for _, vuln := range []float64{0.1, 0.3, 0.6} {
+		rng := rand.New(rand.NewSource(p.Seed + 90))
+		ks, err := guard.NewKillSwitch([]byte("e9"))
+		if err != nil {
+			return err
+		}
+		var devices []*device.Device
+		for i := 0; i < p.WormDevices; i++ {
+			d, err := device.New(device.Config{
+				ID:         fmt.Sprintf("w%02d", i),
+				Initial:    schema.Origin(),
+				KillSwitch: ks,
+				Guard:      guard.AllowAll{},
+			})
+			if err != nil {
+				return err
+			}
+			devices = append(devices, d)
+		}
+		payload := []policy.Policy{{
+			ID: "rogue", EventType: "*", Modality: policy.ModalityDo, Priority: 99,
+			Action: policy.Action{Name: "rampage", Effect: statespace.Delta{"aggression": 100}},
+		}}
+		worm := attack.Worm{
+			Attack:   attack.Reprogram{Payload: payload, DisableGuard: true},
+			VulnProb: vuln,
+			Rand:     rng,
+		}
+		peers := make([]attack.Target, len(devices)-1)
+		for i, d := range devices[1:] {
+			peers[i] = d
+		}
+		infected, err := worm.Spread(devices[0], peers, 5)
+		if err != nil {
+			return err
+		}
+
+		// Infected devices act once, entering the bad (high
+		// aggression) state; the watchdog then sweeps.
+		for _, d := range devices {
+			_, _ = d.HandleEvent(policy.Event{Type: "tick"})
+		}
+		watchdog := &guard.Watchdog{
+			Classifier: statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+				if st.MustGet("aggression") >= 80 {
+					return statespace.ClassBad
+				}
+				return statespace.ClassGood
+			}),
+			Switch: ks,
+		}
+		targets := make([]guard.Deactivatable, len(devices))
+		for i, d := range devices {
+			targets[i] = d
+		}
+		deactivated, _ := watchdog.Sweep(targets)
+		result.Rows = append(result.Rows,
+			[]string{"worm", fmt.Sprintf("vuln=%.1f", vuln), "infected", itoa(len(infected))},
+			[]string{"worm", fmt.Sprintf("vuln=%.1f", vuln), "contained by watchdog", itoa(len(deactivated))},
+		)
+	}
+	return nil
+}
+
+func runE9Deception(p E9Params, result *Result) error {
+	rng := rand.New(rand.NewSource(p.Seed + 99))
+	var plainErr, robustErr float64
+	for i := 0; i < p.DeceptionTrials; i++ {
+		truth := 20 + rng.Float64()*10
+		readings := make([]float64, 0, 10)
+		for h := 0; h < 7; h++ {
+			readings = append(readings, truth+rng.Float64()*2-1)
+		}
+		for c := 0; c < 3; c++ {
+			readings = append(readings, 90+rng.Float64()*5) // colluders
+		}
+		robust, _ := attack.RobustAggregate(readings, 10)
+		plain := attack.PlainMean(readings)
+		plainErr += math.Abs(plain - truth)
+		robustErr += math.Abs(robust - truth)
+	}
+	result.Rows = append(result.Rows,
+		[]string{"deception", "3/10 colluders", "plain mean error", ftoa(plainErr / float64(p.DeceptionTrials))},
+		[]string{"deception", "3/10 colluders", "robust aggregate error", ftoa(robustErr / float64(p.DeceptionTrials))},
+	)
+	return nil
+}
+
+// runE9Controls measures the "disarm existing controls" step of the
+// reprogramming attack: an anomaly detector trained on normal fleet
+// states flags a rampaging device while armed, is silent once the worm
+// disarms it, and the disarm itself is observable as a tamper signal.
+func runE9Controls(p E9Params, result *Result) error {
+	schema, err := statespace.NewSchema(
+		statespace.Var("heat", 0, 100),
+		statespace.Var("load", 0, 100),
+	)
+	if err != nil {
+		return err
+	}
+	detector, err := learning.NewAnomalyDetector(schema, 4, 20)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 999))
+	for i := 0; i < 300; i++ {
+		st, err := schema.StateFromMap(map[string]float64{
+			"heat": 40 + rng.NormFloat64()*4,
+			"load": 50 + rng.NormFloat64()*4,
+		})
+		if err != nil {
+			return err
+		}
+		if err := detector.Observe(st); err != nil {
+			return err
+		}
+	}
+	rampage, err := schema.StateFromMap(map[string]float64{"heat": 99, "load": 99})
+	if err != nil {
+		return err
+	}
+
+	armedFlagged := detector.Anomalous(rampage)
+	detector.Disarm() // the worm's control-disabling step
+	disarmedFlagged := detector.Anomalous(rampage)
+	tamperVisible := !detector.Armed()
+
+	result.Rows = append(result.Rows,
+		[]string{"controls", "armed detector", "rampage flagged", boolRow(armedFlagged)},
+		[]string{"controls", "disarmed by worm", "rampage flagged", boolRow(disarmedFlagged)},
+		[]string{"controls", "disarmed by worm", "tamper visible via armed-status", boolRow(tamperVisible)},
+	)
+	return nil
+}
+
+func boolRow(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

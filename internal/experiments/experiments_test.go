@@ -1,0 +1,470 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultTableAndCells(t *testing.T) {
+	r := Result{
+		ID:      "X",
+		Title:   "test",
+		Headers: []string{"row", "value"},
+		Rows:    [][]string{{"a", "1.5"}, {"b", "2"}},
+		Notes:   []string{"a note"},
+	}
+	table := r.Table()
+	for _, want := range []string{"== X: test ==", "row", "a note", "1.5"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	v, ok := r.CellFloat("a", "value")
+	if !ok || v != 1.5 {
+		t.Errorf("CellFloat = %g,%v", v, ok)
+	}
+	if _, ok := r.CellFloat("a", "missing"); ok {
+		t.Error("missing header found")
+	}
+	if _, ok := r.CellFloat("z", "value"); ok {
+		t.Error("missing row found")
+	}
+	if _, ok := r.Cell("a", "nope"); ok {
+		t.Error("Cell found missing header")
+	}
+}
+
+func TestAllRunnersSucceed(t *testing.T) {
+	for _, runner := range All() {
+		runner := runner
+		t.Run(runner.ID, func(t *testing.T) {
+			t.Parallel()
+			result, err := runner.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if result.ID != runner.ID {
+				t.Errorf("result ID = %q, want %q", result.ID, runner.ID)
+			}
+			if len(result.Rows) == 0 {
+				t.Error("no rows produced")
+			}
+			if result.Table() == "" {
+				t.Error("empty table")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	r, err := ByID("E1")
+	if err != nil || r.ID != "E1" {
+		t.Errorf("ByID = %+v, %v", r, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestF1HumanOnlyStrategic(t *testing.T) {
+	result, err := RunF1()
+	if err != nil {
+		t.Fatalf("RunF1: %v", err)
+	}
+	humanRows, deviceRows := 0, 0
+	for _, row := range result.Rows {
+		switch {
+		case strings.HasPrefix(row[1], "human"):
+			humanRows++
+		case strings.HasPrefix(row[1], "environment"):
+		default:
+			deviceRows++
+		}
+	}
+	if humanRows != 1 {
+		t.Errorf("human decisions = %d, want exactly 1 (strategic only)", humanRows)
+	}
+	if deviceRows < 3 {
+		t.Errorf("device decisions = %d, want several autonomous actions", deviceRows)
+	}
+}
+
+func TestF2StateTransitions(t *testing.T) {
+	result, err := RunF2()
+	if err != nil {
+		t.Fatalf("RunF2: %v", err)
+	}
+	if len(result.Rows) != 4 {
+		t.Fatalf("rows = %d", len(result.Rows))
+	}
+	// The launch event must change the state.
+	if result.Rows[0][1] == result.Rows[0][3] {
+		t.Error("launch did not move the state")
+	}
+	// The low-battery tick must pick the landing action.
+	last := result.Rows[len(result.Rows)-1]
+	if last[2] != "descend-and-land" {
+		t.Errorf("final action = %q, want descend-and-land", last[2])
+	}
+}
+
+func TestF3GuardedWalkNeverBad(t *testing.T) {
+	result, err := RunF3(F3Params{Seed: 7})
+	if err != nil {
+		t.Fatalf("RunF3: %v", err)
+	}
+	unguarded, ok := result.CellFloat("unguarded", "bad-state entries")
+	if !ok {
+		t.Fatal("missing unguarded row")
+	}
+	guarded, ok := result.CellFloat("state-space guarded", "bad-state entries")
+	if !ok {
+		t.Fatal("missing guarded row")
+	}
+	if guarded != 0 {
+		t.Errorf("guarded walk entered bad states %g times", guarded)
+	}
+	if unguarded == 0 {
+		t.Error("unguarded walk never entered a bad state — scenario not exercising the boundary")
+	}
+	if !strings.Contains(result.Artifact, "#") || !strings.Contains(result.Artifact, ".") {
+		t.Error("state-space rendering missing regions")
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	result, err := RunE1(E1Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunE1: %v", err)
+	}
+	get := func(row, col string) float64 {
+		t.Helper()
+		v, ok := result.CellFloat(row, col)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", row, col)
+		}
+		return v
+	}
+	noGuardDirect := get("no-guard", "direct harms")
+	noGuardIndirect := get("no-guard", "indirect harms")
+	preDirect := get("pre-action only", "direct harms")
+	preIndirect := get("pre-action only", "indirect harms")
+	fullDirect := get("pre-action + obligations", "direct harms")
+	fullIndirect := get("pre-action + obligations", "indirect harms")
+	halfDirect := get("pre-action acc=0.5 + obligations", "direct harms")
+
+	if noGuardDirect == 0 || noGuardIndirect == 0 {
+		t.Error("unguarded arm harmless — scenario not exercising harm")
+	}
+	if preDirect != 0 {
+		t.Errorf("perfect pre-action leaked %g direct harms", preDirect)
+	}
+	if preIndirect == 0 {
+		t.Error("pre-action without obligations should leak indirect harm (the paper's dug-hole gap)")
+	}
+	if fullDirect != 0 || fullIndirect > preIndirect/2 {
+		t.Errorf("obligations arm: direct=%g indirect=%g (pre-only indirect=%g)", fullDirect, fullIndirect, preIndirect)
+	}
+	if halfDirect <= fullDirect {
+		t.Error("degraded predictor should leak direct harm back in")
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	result, err := RunE2(E2Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunE2: %v", err)
+	}
+	unguardedBad, _ := result.CellFloat("unguarded", "bad entries")
+	guardedBad, _ := result.CellFloat("state-space guard", "bad entries")
+	availability, _ := result.CellFloat("state-space guard", "availability%")
+	if guardedBad != 0 {
+		t.Errorf("guarded bad entries = %g", guardedBad)
+	}
+	if unguardedBad == 0 {
+		t.Error("unguarded never bad")
+	}
+	if availability >= 100 || availability <= 0 {
+		t.Errorf("availability = %g, want a real cost in (0,100)", availability)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	result, err := RunE3(E3Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunE3: %v", err)
+	}
+	noBG, _ := result.CellFloat("no break-glass", "escapes allowed")
+	withBG, _ := result.CellFloat("break-glass", "escapes allowed")
+	audited, _ := result.CellFloat("break-glass", "audit records")
+	deceived, _ := result.CellFloat("break-glass + deceived sensor", "escapes allowed")
+	defended, _ := result.CellFloat("break-glass + deceived + trust check", "escapes allowed")
+	trustDenials, _ := result.CellFloat("break-glass + deceived + trust check", "trust denials")
+
+	if noBG != 0 {
+		t.Errorf("escapes without break-glass = %g", noBG)
+	}
+	if withBG == 0 {
+		t.Error("break-glass never unlocked the less-bad escape")
+	}
+	if audited < withBG {
+		t.Errorf("audit records %g < escapes %g", audited, withBG)
+	}
+	if deceived == 0 {
+		t.Error("deception without trust check should produce spurious escapes")
+	}
+	if defended != 0 {
+		t.Errorf("trust check leaked %g spurious escapes", defended)
+	}
+	if trustDenials == 0 {
+		t.Error("trust check never fired")
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	result, err := RunE4(E4Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunE4: %v", err)
+	}
+	fast, ok1 := result.CellFloat("1", "mean containment (ticks)")
+	slow, ok2 := result.CellFloat("10", "mean containment (ticks)")
+	if !ok1 || !ok2 {
+		t.Fatalf("missing containment cells: %+v", result.Rows)
+	}
+	if fast >= slow {
+		t.Errorf("containment should shrink with sweep frequency: interval1=%g interval10=%g", fast, slow)
+	}
+	uncontained, _ := result.CellFloat("1", "uncontained")
+	if uncontained != 0 {
+		t.Errorf("healthy kill switches left %g rogues uncontained", uncontained)
+	}
+}
+
+func TestE4TamperedSwitches(t *testing.T) {
+	result, err := RunE4(E4Params{Seed: 3, TamperedFraction: 0.3, Devices: 20, Ticks: 150, RogueProb: 0.05})
+	if err != nil {
+		t.Fatalf("RunE4: %v", err)
+	}
+	alerts, _ := result.CellFloat("1", "tamper alerts")
+	if alerts == 0 {
+		t.Error("tampered switches produced no tamper alerts")
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	result, err := RunE5(E5Params{Seed: 3, Trials: 300})
+	if err != nil {
+		t.Fatalf("RunE5: %v", err)
+	}
+	// Find the size-4 rows for perfect and absent advisors.
+	var perfectFormed, absentFormed float64 = -1, -1
+	for _, row := range result.Rows {
+		if row[0] == "4" && row[1] == "1.000" {
+			perfectFormed = mustFloat(t, row[2])
+		}
+		if row[0] == "4" && row[1] == "0.000" {
+			absentFormed = mustFloat(t, row[2])
+		}
+	}
+	if perfectFormed != 0 {
+		t.Errorf("perfect advisor formed %g%% unsafe collections", perfectFormed)
+	}
+	if absentFormed != 100 {
+		t.Errorf("absent advisor formed %g%% unsafe collections, want 100", absentFormed)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	result, err := RunE6(E6Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunE6: %v", err)
+	}
+	get := func(row string) (mal, benign float64) {
+		t.Helper()
+		m, ok := result.CellFloat(row, "malevolent adopted%")
+		if !ok {
+			t.Fatalf("missing row %q", row)
+		}
+		b, _ := result.CellFloat(row, "benign adopted%")
+		return m, b
+	}
+	if m, _ := get("no oversight"); m != 100 {
+		t.Errorf("no oversight adopted %g%%", m)
+	}
+	if m, b := get("single overseer"); m != 0 || b != 100 {
+		t.Errorf("single overseer: mal=%g benign=%g", m, b)
+	}
+	if m, _ := get("single overseer (compromised)"); m != 100 {
+		t.Errorf("compromised single overseer adopted %g%%, want 100 (the vulnerability)", m)
+	}
+	if m, b := get("tripartite, 1 compromised"); m != 0 || b != 100 {
+		t.Errorf("tripartite with 1 compromised: mal=%g benign=%g — 2-of-3 should hold", m, b)
+	}
+	if m, _ := get("tripartite, 2 compromised"); m != 100 {
+		t.Errorf("tripartite with 2 compromised adopted %g%%, want 100 (the mechanism's limit)", m)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	result, err := RunE7(E7Params{Seed: 3, Dimensions: []int{4, 8}, Steps: 2000})
+	if err != nil {
+		t.Fatalf("RunE7: %v", err)
+	}
+	rates := make(map[string]map[string]float64) // n → guard → rate
+	for _, row := range result.Rows {
+		if rates[row[0]] == nil {
+			rates[row[0]] = make(map[string]float64)
+		}
+		rates[row[0]][row[1]] = mustFloat(t, row[2])
+	}
+	for n, byGuard := range rates {
+		none, oracle, utility := byGuard["none"], byGuard["oracle classifier"], byGuard["derivative-sign utility"]
+		fitted := byGuard["fitted-sign utility"]
+		if oracle != 0 {
+			t.Errorf("n=%s: oracle leaked %g%%", n, oracle)
+		}
+		if none == 0 {
+			t.Errorf("n=%s: unguarded never bad — scenario too easy", n)
+		}
+		if utility >= none/2 {
+			t.Errorf("n=%s: utility guard rate %g%% not significantly below unguarded %g%%", n, utility, none)
+		}
+		if fitted >= none/2 {
+			t.Errorf("n=%s: fitted-sign guard rate %g%% not significantly below unguarded %g%%", n, fitted, none)
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	result, err := RunE8(E8Params{Seed: 3, TypeCounts: []int{10, 100}})
+	if err != nil {
+		t.Fatalf("RunE8: %v", err)
+	}
+	gen10, _ := result.CellFloat("10", "generated policies")
+	gen100, _ := result.CellFloat("100", "generated policies")
+	fail100, _ := result.CellFloat("100", "generation failures")
+	if gen10 == 0 || gen100 <= gen10 {
+		t.Errorf("generation did not scale: %g → %g", gen10, gen100)
+	}
+	if fail100 != 0 {
+		t.Errorf("generation failures = %g", fail100)
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	result, err := RunE9(E9Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunE9: %v", err)
+	}
+	// Index rows by (scenario, condition, metric).
+	val := func(scenario, condition, metric string) float64 {
+		t.Helper()
+		for _, row := range result.Rows {
+			if row[0] == scenario && row[1] == condition && row[2] == metric {
+				return mustFloat(t, row[3])
+			}
+		}
+		t.Fatalf("missing row %s/%s/%s", scenario, condition, metric)
+		return 0
+	}
+	cleanAcc := val("poisoning", "flip=0.00", "classifier accuracy%")
+	dirtyAcc := val("poisoning", "flip=0.40", "classifier accuracy%")
+	cleanBad := val("poisoning", "flip=0.00", "bad-state rate%")
+	dirtyBad := val("poisoning", "flip=0.40", "bad-state rate%")
+	if dirtyAcc >= cleanAcc {
+		t.Errorf("poisoning did not degrade accuracy: %g vs %g", cleanAcc, dirtyAcc)
+	}
+	if dirtyBad <= cleanBad {
+		t.Errorf("poisoning did not raise bad-state rate: %g vs %g", cleanBad, dirtyBad)
+	}
+
+	lowInfected := val("worm", "vuln=0.1", "infected")
+	highInfected := val("worm", "vuln=0.6", "infected")
+	highContained := val("worm", "vuln=0.6", "contained by watchdog")
+	if highInfected <= lowInfected {
+		t.Errorf("worm spread did not grow with vulnerability: %g vs %g", lowInfected, highInfected)
+	}
+	if highContained < highInfected {
+		t.Errorf("watchdog contained %g of %g infected", highContained, highInfected)
+	}
+
+	plain := val("deception", "3/10 colluders", "plain mean error")
+	robust := val("deception", "3/10 colluders", "robust aggregate error")
+	if robust*5 > plain {
+		t.Errorf("robust aggregation error %g not well below plain mean %g", robust, plain)
+	}
+
+	if val("controls", "armed detector", "rampage flagged") != 1 {
+		t.Error("armed anomaly detector missed the rampage")
+	}
+	if val("controls", "disarmed by worm", "rampage flagged") != 0 {
+		t.Error("disarmed detector still flagged (attack not realized)")
+	}
+	if val("controls", "disarmed by worm", "tamper visible via armed-status") != 1 {
+		t.Error("disarm not observable")
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	result, err := RunE10(E10Params{})
+	if err != nil {
+		t.Fatalf("RunE10: %v", err)
+	}
+	low, _ := result.CellFloat("0.500", "failed fraction")
+	high, _ := result.CellFloat("0.950", "failed fraction")
+	if low >= 0.2 {
+		t.Errorf("low-load ring cascaded: %g", low)
+	}
+	if high < 0.9 {
+		t.Errorf("high-load ring did not black out: %g", high)
+	}
+	for _, row := range result.Rows {
+		actual, predicted := mustFloat(t, row[2]), mustFloat(t, row[3])
+		if actual != predicted {
+			t.Errorf("ratio %s: prediction %g != actual %g", row[0], predicted, actual)
+		}
+	}
+	verdict, _ := result.Cell("0.950", "admission verdict")
+	if !strings.Contains(verdict, "REJECT") {
+		t.Errorf("predicted cascade not rejected: %q", verdict)
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	result, err := RunE11(E11Params{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunE11: %v", err)
+	}
+	unsafe, _ := result.CellFloat("no safeguards", "inappropriate engagements")
+	withForbid, _ := result.CellFloat("ROE forbid policy", "inappropriate engagements")
+	layered, _ := result.CellFloat("ROE forbid + pre-action check", "inappropriate engagements")
+	guardVetoes, _ := result.CellFloat("ROE forbid + pre-action check", "vetoed by guard")
+
+	if unsafe == 0 {
+		t.Error("no safeguards arm produced no inappropriate engagements — scenario too easy")
+	}
+	if withForbid >= unsafe/2 {
+		t.Errorf("ROE forbid did not substantially reduce engagements: %g vs %g", withForbid, unsafe)
+	}
+	if withForbid == 0 {
+		t.Error("ROE forbid alone should leak the mis-set-mode cases")
+	}
+	if layered != 0 {
+		t.Errorf("layered safeguards leaked %g engagements", layered)
+	}
+	if guardVetoes == 0 {
+		t.Error("pre-action backstop never fired")
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	var r Result
+	r.Headers = []string{"a", "b"}
+	r.Rows = [][]string{{"x", s}}
+	v, ok := r.CellFloat("x", "b")
+	if !ok {
+		t.Fatalf("bad float %q", s)
+	}
+	return v
+}

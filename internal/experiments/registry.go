@@ -1,0 +1,54 @@
+package experiments
+
+import "fmt"
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func() (Result, error)
+}
+
+// All returns every figure and experiment runner with default
+// parameters, in presentation order.
+func All() []Runner {
+	const seed = 1
+	return []Runner{
+		{ID: "F1", Title: "Mode of operation (Figure 1)", Run: RunF1},
+		{ID: "F2", Title: "Abstract device model (Figure 2)", Run: RunF2},
+		{ID: "F3", Title: "Simplified state description (Figure 3)",
+			Run: func() (Result, error) { return RunF3(F3Params{Seed: seed}) }},
+		{ID: "E1", Title: "Pre-action checks (VI.A)",
+			Run: func() (Result, error) { return RunE1(E1Params{Seed: seed}) }},
+		{ID: "E2", Title: "State-space checks (VI.B)",
+			Run: func() (Result, error) { return RunE2(E2Params{Seed: seed}) }},
+		{ID: "E3", Title: "Break-glass rules (VI.B)",
+			Run: func() (Result, error) { return RunE3(E3Params{Seed: seed}) }},
+		{ID: "E4", Title: "Deactivation watchdog (VI.C)",
+			Run: func() (Result, error) { return RunE4(E4Params{Seed: seed}) }},
+		{ID: "E5", Title: "Collection-formation checks (VI.D)",
+			Run: func() (Result, error) { return RunE5(E5Params{Seed: seed}) }},
+		{ID: "E6", Title: "AI overseeing AI (VI.E)",
+			Run: func() (Result, error) { return RunE6(E6Params{Seed: seed}) }},
+		{ID: "E7", Title: "Ill-defined state spaces (VII)",
+			Run: func() (Result, error) { return RunE7(E7Params{Seed: seed}) }},
+		{ID: "E8", Title: "Generative policy scale (IV)",
+			Run: func() (Result, error) { return RunE8(E8Params{Seed: seed}) }},
+		{ID: "E9", Title: "Attack resilience (IV)",
+			Run: func() (Result, error) { return RunE9(E9Params{Seed: seed}) }},
+		{ID: "E10", Title: "Emergent cascade (VI.D)",
+			Run: func() (Result, error) { return RunE10(E10Params{}) }},
+		{ID: "E11", Title: "Human error containment (IV, extension)",
+			Run: func() (Result, error) { return RunE11(E11Params{Seed: seed}) }},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,45 @@
+package generative_test
+
+import (
+	"fmt"
+
+	"repro/internal/generative"
+	"repro/internal/network"
+)
+
+// Example shows the Section IV pipeline: the human supplies an
+// interaction graph and a template; discovering a device generates its
+// policies automatically.
+func Example() {
+	graph := generative.NewInteractionGraph()
+	_ = graph.AddType(generative.TypeSpec{Name: "surveillance-drone"})
+	_ = graph.AddType(generative.TypeSpec{Name: "chem-drone", Attrs: []string{"range"}})
+	_ = graph.AddInteraction(generative.Interaction{
+		From: "surveillance-drone", To: "chem-drone", Kind: "escalate-smoke",
+	})
+
+	gen := &generative.Generator{
+		OwnType:      "surveillance-drone",
+		Organization: "us",
+		Graph:        graph,
+		Templates: map[string]generative.Template{
+			"escalate-smoke": {ID: "escalate", Text: `policy escalate-${device} priority 10:
+    on smoke-detected
+    when intensity > 3
+    do request-survey target ${device} category surveillance`},
+		},
+	}
+
+	adopted, _, err := gen.PoliciesFor(network.DeviceInfo{
+		ID: "chem-1", Type: "chem-drone", Attrs: map[string]float64{"range": 12},
+	})
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
+	for _, p := range adopted {
+		fmt.Println(p.ID, "→", p.Action.Name, "targeting", p.Action.Target)
+	}
+	// Output:
+	// escalate-chem-1 → request-survey targeting chem-1
+}

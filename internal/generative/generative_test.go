@@ -1,0 +1,314 @@
+package generative
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/network"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/policylang"
+)
+
+func coalitionGraph(t *testing.T) *InteractionGraph {
+	t.Helper()
+	g := NewInteractionGraph()
+	for _, spec := range []TypeSpec{
+		{Name: "surveillance-drone", Attrs: []string{"range", "speed"}},
+		{Name: "chem-drone", Attrs: []string{"sensitivity", "range"}},
+		{Name: "ground-mule", Attrs: []string{"capacity"}},
+	} {
+		if err := g.AddType(spec); err != nil {
+			t.Fatalf("AddType: %v", err)
+		}
+	}
+	for _, e := range []Interaction{
+		{From: "surveillance-drone", To: "chem-drone", Kind: "escalate-smoke"},
+		{From: "surveillance-drone", To: "ground-mule", Kind: "intercept-convoy"},
+	} {
+		if err := g.AddInteraction(e); err != nil {
+			t.Fatalf("AddInteraction: %v", err)
+		}
+	}
+	return g
+}
+
+func TestInteractionGraph(t *testing.T) {
+	g := coalitionGraph(t)
+	if !g.HasType("chem-drone") || g.HasType("ghost") {
+		t.Error("HasType wrong")
+	}
+	if got := g.Types(); len(got) != 3 || got[0] != "chem-drone" {
+		t.Errorf("Types = %v", got)
+	}
+	spec, ok := g.Type("surveillance-drone")
+	if !ok || len(spec.Attrs) != 2 {
+		t.Errorf("Type = %+v,%v", spec, ok)
+	}
+	edges := g.InteractionsBetween("surveillance-drone", "chem-drone")
+	if len(edges) != 1 || edges[0].Kind != "escalate-smoke" {
+		t.Errorf("InteractionsBetween = %v", edges)
+	}
+	if got := g.InteractionsBetween("chem-drone", "ground-mule"); got != nil {
+		t.Errorf("unexpected interactions: %v", got)
+	}
+	if len(g.Interactions()) != 2 {
+		t.Error("Interactions wrong")
+	}
+	if err := g.AddType(TypeSpec{}); err == nil {
+		t.Error("nameless type accepted")
+	}
+	if err := g.AddInteraction(Interaction{From: "ghost", To: "chem-drone", Kind: "x"}); err == nil {
+		t.Error("unknown from-type accepted")
+	}
+	if err := g.AddInteraction(Interaction{From: "chem-drone", To: "ghost", Kind: "x"}); err == nil {
+		t.Error("unknown to-type accepted")
+	}
+	if err := g.AddInteraction(Interaction{From: "chem-drone", To: "ground-mule"}); err == nil {
+		t.Error("kindless interaction accepted")
+	}
+}
+
+const escalateTemplate = `policy ${self}-escalate-${device} priority 10:
+    on smoke-detected
+    when intensity > 3
+    do request-survey target ${device} category surveillance param expectedRange = "${attr.range}"`
+
+func TestTemplatePlaceholdersAndInstantiate(t *testing.T) {
+	tmpl := Template{ID: "escalate", Text: escalateTemplate}
+	ph := tmpl.Placeholders()
+	want := []string{"attr.range", "device", "self"}
+	if len(ph) != len(want) {
+		t.Fatalf("Placeholders = %v", ph)
+	}
+	for i := range want {
+		if ph[i] != want[i] {
+			t.Errorf("Placeholders[%d] = %s", i, ph[i])
+		}
+	}
+
+	p, err := tmpl.Instantiate(map[string]string{
+		"self": "surveillance-drone", "device": "chem-1", "attr.range": "12",
+	})
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if p.ID != "surveillance-drone-escalate-chem-1" || p.Origin != policy.OriginGenerated {
+		t.Errorf("policy = %v", p)
+	}
+	if p.Action.Target != "chem-1" || p.Action.Params["expectedRange"] != "12" {
+		t.Errorf("action = %+v", p.Action)
+	}
+
+	if _, err := tmpl.Instantiate(map[string]string{"self": "x"}); err == nil ||
+		!strings.Contains(err.Error(), "unbound") {
+		t.Errorf("unbound placeholders error = %v", err)
+	}
+	bad := Template{ID: "bad", Text: "policy ${device}: garbage"}
+	if _, err := bad.Instantiate(map[string]string{"device": "d"}); err == nil {
+		t.Error("unparseable instantiation accepted")
+	}
+}
+
+func TestGrammarExpand(t *testing.T) {
+	g := NewGrammar("policy")
+	mustAddRule(t, g, "policy", "policy gen-${device}: on <event> do <action>")
+	mustAddRule(t, g, "event", "smoke-detected")
+	mustAddRule(t, g, "event", "convoy-sighted")
+	mustAddRule(t, g, "action", "observe category surveillance")
+	mustAddRule(t, g, "action", "dispatch target ${device} category tasking")
+
+	text, err := g.Expand(FirstChoice, map[string]string{"device": "d1"})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if !strings.Contains(text, "on smoke-detected do observe") {
+		t.Errorf("default derivation = %q", text)
+	}
+
+	second := func(nt string, n int) int { return 1 % n }
+	text, err = g.Expand(second, map[string]string{"device": "d1"})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if !strings.Contains(text, "convoy-sighted") || !strings.Contains(text, "dispatch target d1") {
+		t.Errorf("second derivation = %q", text)
+	}
+	// Every derivation compiles through the DSL.
+	if _, err := policylang.CompileSource(text, policy.OriginGenerated); err != nil {
+		t.Errorf("derived text does not compile: %v\n%s", err, text)
+	}
+}
+
+func TestGrammarErrors(t *testing.T) {
+	g := NewGrammar("s")
+	if _, err := g.Expand(nil, nil); err == nil {
+		t.Error("empty grammar expanded")
+	}
+	mustAddRule(t, g, "s", "<s>") // infinite recursion
+	if _, err := g.Expand(FirstChoice, nil); err == nil {
+		t.Error("runaway recursion not caught")
+	}
+	g2 := NewGrammar("s")
+	mustAddRule(t, g2, "s", "text ${missing}")
+	if _, err := g2.Expand(FirstChoice, nil); err == nil {
+		t.Error("unbound grammar placeholder accepted")
+	}
+	if err := g2.Add("", "x"); err == nil {
+		t.Error("empty nonterminal accepted")
+	}
+	// Out-of-range chooser falls back to production 0.
+	g3 := NewGrammar("s")
+	mustAddRule(t, g3, "s", "ok")
+	text, err := g3.Expand(func(string, int) int { return 99 }, nil)
+	if err != nil || text != "ok" {
+		t.Errorf("fallback = %q, %v", text, err)
+	}
+}
+
+func mustAddRule(t *testing.T, g *Grammar, nt, body string) {
+	t.Helper()
+	if err := g.Add(nt, body); err != nil {
+		t.Fatalf("Add(%s): %v", nt, err)
+	}
+}
+
+func testGenerator(t *testing.T, approver guard.Approver) *Generator {
+	t.Helper()
+	return &Generator{
+		OwnType:      "surveillance-drone",
+		Organization: "us",
+		Graph:        coalitionGraph(t),
+		Templates: map[string]Template{
+			"escalate-smoke": {ID: "escalate", Text: escalateTemplate},
+			"intercept-convoy": {ID: "intercept", Text: `policy intercept-${device} priority 5:
+    on convoy-sighted
+    when threat > 0.5
+    do dispatch-mule target ${device} category tasking`},
+		},
+		Approver: approver,
+	}
+}
+
+func TestGeneratorPoliciesFor(t *testing.T) {
+	gen := testGenerator(t, nil)
+	adopted, rejected, err := gen.PoliciesFor(network.DeviceInfo{
+		ID: "chem-1", Type: "chem-drone", Attrs: map[string]float64{"range": 12},
+	})
+	if err != nil {
+		t.Fatalf("PoliciesFor: %v", err)
+	}
+	if len(adopted) != 1 || len(rejected) != 0 {
+		t.Fatalf("adopted=%v rejected=%v", adopted, rejected)
+	}
+	if adopted[0].Organization != "us" {
+		t.Errorf("org = %q", adopted[0].Organization)
+	}
+
+	// Unknown type: nothing generated, no error.
+	adopted, _, err = gen.PoliciesFor(network.DeviceInfo{ID: "x", Type: "unknown"})
+	if err != nil || len(adopted) != 0 {
+		t.Errorf("unknown type: %v, %v", adopted, err)
+	}
+	// No template for the interaction kind: skipped.
+	adopted, _, err = gen.PoliciesFor(network.DeviceInfo{ID: "m1", Type: "ground-mule"})
+	if err != nil || len(adopted) != 1 {
+		t.Errorf("mule policies = %v, %v", adopted, err)
+	}
+}
+
+func TestGeneratorStructuralErrors(t *testing.T) {
+	gen := testGenerator(t, nil)
+	gen.Graph = nil
+	if _, _, err := gen.PoliciesFor(network.DeviceInfo{Type: "chem-drone"}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	gen = testGenerator(t, nil)
+	gen.OwnType = "ghost"
+	if _, _, err := gen.PoliciesFor(network.DeviceInfo{Type: "chem-drone"}); err == nil {
+		t.Error("unknown own type accepted")
+	}
+	gen = testGenerator(t, nil)
+	gen.Templates["escalate-smoke"] = Template{ID: "broken", Text: "policy ${device} nonsense"}
+	if _, _, err := gen.PoliciesFor(network.DeviceInfo{ID: "c", Type: "chem-drone", Attrs: map[string]float64{"range": 1}}); err == nil {
+		t.Error("broken template accepted")
+	}
+}
+
+func TestGeneratorOversightRejects(t *testing.T) {
+	// Legislative scope: tasking policies must not be unconditional —
+	// and more simply here, forbid the tasking category outright.
+	tx := ontology.NewTaxonomy()
+	tx.Add("tasking")
+	tx.Add("surveillance")
+	reviewer := &guard.ScopeReviewer{
+		Label: "legislative",
+		Rules: []guard.ScopeRule{guard.ForbidCategory{Taxonomy: tx, Concept: "tasking"}},
+	}
+	gen := testGenerator(t, &guard.SingleOverseer{Overseer: reviewer})
+
+	adopted, rejected, err := gen.PoliciesFor(network.DeviceInfo{ID: "m1", Type: "ground-mule"})
+	if err != nil {
+		t.Fatalf("PoliciesFor: %v", err)
+	}
+	if len(adopted) != 0 || len(rejected) != 1 {
+		t.Fatalf("adopted=%v rejected=%v", adopted, rejected)
+	}
+	if len(rejected[0].Votes) != 1 || rejected[0].Votes[0].Approve {
+		t.Errorf("votes = %+v", rejected[0].Votes)
+	}
+
+	// Surveillance policies still pass.
+	adopted, rejected, err = gen.PoliciesFor(network.DeviceInfo{
+		ID: "chem-1", Type: "chem-drone", Attrs: map[string]float64{"range": 3},
+	})
+	if err != nil || len(adopted) != 1 || len(rejected) != 0 {
+		t.Errorf("surveillance: adopted=%v rejected=%v err=%v", adopted, rejected, err)
+	}
+}
+
+func TestAttributePredictor(t *testing.T) {
+	p := NewAttributePredictor()
+	if _, ok := p.Predict("chem-drone", "sensitivity"); ok {
+		t.Error("prediction from no data")
+	}
+	p.Observe(network.DeviceInfo{Type: "chem-drone", Attrs: map[string]float64{"sensitivity": 4}})
+	p.Observe(network.DeviceInfo{Type: "chem-drone", Attrs: map[string]float64{"sensitivity": 6}})
+	v, ok := p.Predict("chem-drone", "sensitivity")
+	if !ok || v != 5 {
+		t.Errorf("Predict = %g,%v", v, ok)
+	}
+
+	graph := coalitionGraph(t)
+	filled := p.Fill(graph, network.DeviceInfo{ID: "c9", Type: "chem-drone"})
+	if filled.Attrs["sensitivity"] != 5 {
+		t.Errorf("Fill = %+v", filled.Attrs)
+	}
+	// Present attributes are not overwritten.
+	kept := p.Fill(graph, network.DeviceInfo{ID: "c9", Type: "chem-drone", Attrs: map[string]float64{"sensitivity": 1}})
+	if kept.Attrs["sensitivity"] != 1 {
+		t.Error("Fill overwrote advertised attribute")
+	}
+	// Unknown type passes through.
+	same := p.Fill(graph, network.DeviceInfo{ID: "x", Type: "unknown"})
+	if same.Type != "unknown" {
+		t.Error("Fill mangled unknown type")
+	}
+}
+
+func TestGeneratorWithAugmentation(t *testing.T) {
+	gen := testGenerator(t, nil)
+	gen.Augment = NewAttributePredictor()
+	gen.Augment.Observe(network.DeviceInfo{Type: "chem-drone", Attrs: map[string]float64{"range": 8, "sensitivity": 2}})
+
+	// Advertisement missing "range": augmentation fills it so the
+	// template instantiates.
+	adopted, _, err := gen.PoliciesFor(network.DeviceInfo{ID: "c2", Type: "chem-drone"})
+	if err != nil {
+		t.Fatalf("PoliciesFor with augmentation: %v", err)
+	}
+	if len(adopted) != 1 || adopted[0].Action.Params["expectedRange"] != "8" {
+		t.Errorf("adopted = %+v", adopted)
+	}
+}

@@ -1,0 +1,166 @@
+package generative
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/guard"
+	"repro/internal/network"
+	"repro/internal/policy"
+)
+
+// Rejected records a candidate policy that oversight refused.
+type Rejected struct {
+	Policy policy.Policy
+	Votes  []guard.Vote
+}
+
+// Generator produces policies when devices are discovered: for each
+// interaction the device's own type has with the discovered type, it
+// instantiates the interaction kind's template with bindings from the
+// advertisement, then (when an Approver is configured) submits the
+// candidate to oversight before returning it as adopted.
+type Generator struct {
+	// OwnType is the type of the device running this generator.
+	OwnType string
+	// Organization stamps generated policies.
+	Organization string
+	// Graph is the interaction graph (required).
+	Graph *InteractionGraph
+	// Templates maps interaction kinds to policy templates.
+	Templates map[string]Template
+	// Augment optionally fills in missing advertised attributes before
+	// binding (the unsupervised augmentation of Section IV).
+	Augment *AttributePredictor
+	// Approver optionally gates adoption (the oversight mechanism of
+	// Section VI.E). Nil adopts everything — the unguarded control.
+	Approver guard.Approver
+}
+
+// PoliciesFor generates the policies this device should adopt for a
+// newly discovered peer. It returns adopted policies, oversight
+// rejections, and an error only for structural failures (bad template,
+// unknown own type).
+func (g *Generator) PoliciesFor(info network.DeviceInfo) ([]policy.Policy, []Rejected, error) {
+	if g.Graph == nil {
+		return nil, nil, fmt.Errorf("generative: generator needs an interaction graph")
+	}
+	if !g.Graph.HasType(g.OwnType) {
+		return nil, nil, fmt.Errorf("generative: own type %q not in interaction graph", g.OwnType)
+	}
+	if !g.Graph.HasType(info.Type) {
+		// Unknown device type: the human did not anticipate it, so no
+		// policies are generated (fail closed).
+		return nil, nil, nil
+	}
+	if g.Augment != nil {
+		info = g.Augment.Fill(g.Graph, info)
+	}
+
+	var adopted []policy.Policy
+	var rejected []Rejected
+	for _, interaction := range g.Graph.InteractionsBetween(g.OwnType, info.Type) {
+		tmpl, ok := g.Templates[interaction.Kind]
+		if !ok {
+			continue
+		}
+		p, err := tmpl.Instantiate(g.bindings(info))
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Organization = g.Organization
+		if g.Approver != nil {
+			ok, votes := g.Approver.Approve(p)
+			if !ok {
+				rejected = append(rejected, Rejected{Policy: p, Votes: votes})
+				continue
+			}
+		}
+		adopted = append(adopted, p)
+	}
+	return adopted, rejected, nil
+}
+
+func (g *Generator) bindings(info network.DeviceInfo) map[string]string {
+	b := map[string]string{
+		"device": info.ID,
+		"type":   info.Type,
+		"org":    info.Organization,
+		"self":   g.OwnType,
+	}
+	for name, v := range info.Attrs {
+		b["attr."+name] = strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return b
+}
+
+// AttributePredictor learns per-type attribute means from observed
+// advertisements and predicts missing attributes — the unsupervised
+// augmentation path of Section IV ("create predictive models of those
+// relationships").
+type AttributePredictor struct {
+	mu    sync.Mutex
+	sums  map[string]map[string]float64
+	count map[string]map[string]int
+}
+
+// NewAttributePredictor returns an empty predictor.
+func NewAttributePredictor() *AttributePredictor {
+	return &AttributePredictor{
+		sums:  make(map[string]map[string]float64),
+		count: make(map[string]map[string]int),
+	}
+}
+
+// Observe records an advertisement's attributes.
+func (p *AttributePredictor) Observe(info network.DeviceInfo) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sums[info.Type] == nil {
+		p.sums[info.Type] = make(map[string]float64)
+		p.count[info.Type] = make(map[string]int)
+	}
+	for name, v := range info.Attrs {
+		p.sums[info.Type][name] += v
+		p.count[info.Type][name]++
+	}
+}
+
+// Predict returns the mean observed value of an attribute for a type.
+func (p *AttributePredictor) Predict(deviceType, attr string) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.count[deviceType][attr]
+	if n == 0 {
+		return 0, false
+	}
+	return p.sums[deviceType][attr] / float64(n), true
+}
+
+// Fill returns a copy of the advertisement with attributes expected by
+// the graph's type spec but missing from the advertisement filled in
+// from predictions (where available).
+func (p *AttributePredictor) Fill(graph *InteractionGraph, info network.DeviceInfo) network.DeviceInfo {
+	spec, ok := graph.Type(info.Type)
+	if !ok {
+		return info
+	}
+	out := info
+	out.Attrs = make(map[string]float64, len(info.Attrs)+len(spec.Attrs))
+	for k, v := range info.Attrs {
+		out.Attrs[k] = v
+	}
+	expected := append([]string(nil), spec.Attrs...)
+	sort.Strings(expected)
+	for _, attr := range expected {
+		if _, present := out.Attrs[attr]; present {
+			continue
+		}
+		if v, ok := p.Predict(info.Type, attr); ok {
+			out.Attrs[attr] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package generative
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grammar is a small context-free "policy generator grammar"
+// (Section IV): production rules over the policy DSL that constrain
+// what a device may generate. Nonterminals appear as <name> in
+// production bodies; everything else is emitted literally. A Chooser
+// selects among alternative productions, letting the device's learning
+// component steer generation while staying inside the grammar — the
+// structural containment that distinguishes generative policies from
+// arbitrary self-programming.
+type Grammar struct {
+	rules map[string][]string
+	start string
+}
+
+// Chooser selects one of n alternatives for the named nonterminal.
+type Chooser func(nonterminal string, n int) int
+
+// FirstChoice always picks the first production (the grammar's
+// canonical/default derivation).
+func FirstChoice(string, int) int { return 0 }
+
+// NewGrammar builds a grammar with the given start symbol.
+func NewGrammar(start string) *Grammar {
+	return &Grammar{rules: make(map[string][]string), start: start}
+}
+
+// Add appends a production for the nonterminal.
+func (g *Grammar) Add(nonterminal, production string) error {
+	if nonterminal == "" {
+		return fmt.Errorf("generative: production needs a nonterminal")
+	}
+	g.rules[nonterminal] = append(g.rules[nonterminal], production)
+	return nil
+}
+
+// Expand derives text from the start symbol, using the chooser to
+// select productions and the bindings to substitute ${name}
+// placeholders in the final text. Derivation depth is bounded to
+// reject runaway recursive grammars.
+func (g *Grammar) Expand(choose Chooser, bindings map[string]string) (string, error) {
+	if choose == nil {
+		choose = FirstChoice
+	}
+	text, err := g.expand(g.start, choose, 0)
+	if err != nil {
+		return "", err
+	}
+	var missing []string
+	out := placeholderPattern.ReplaceAllStringFunc(text, func(m string) string {
+		name := placeholderPattern.FindStringSubmatch(m)[1]
+		if v, ok := bindings[name]; ok {
+			return v
+		}
+		missing = append(missing, name)
+		return m
+	})
+	if len(missing) > 0 {
+		return "", fmt.Errorf("generative: grammar: unbound placeholders %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}
+
+const maxDerivationDepth = 64
+
+func (g *Grammar) expand(symbol string, choose Chooser, depth int) (string, error) {
+	if depth > maxDerivationDepth {
+		return "", fmt.Errorf("generative: grammar derivation exceeded depth %d at <%s>", maxDerivationDepth, symbol)
+	}
+	productions, ok := g.rules[symbol]
+	if !ok || len(productions) == 0 {
+		return "", fmt.Errorf("generative: no production for <%s>", symbol)
+	}
+	idx := choose(symbol, len(productions))
+	if idx < 0 || idx >= len(productions) {
+		idx = 0
+	}
+	body := productions[idx]
+
+	var b strings.Builder
+	for {
+		open := strings.Index(body, "<")
+		if open < 0 {
+			b.WriteString(body)
+			return b.String(), nil
+		}
+		closing := strings.Index(body[open:], ">")
+		if closing < 0 {
+			b.WriteString(body)
+			return b.String(), nil
+		}
+		b.WriteString(body[:open])
+		inner := body[open+1 : open+closing]
+		expanded, err := g.expand(inner, choose, depth+1)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(expanded)
+		body = body[open+closing+1:]
+	}
+}

@@ -1,0 +1,136 @@
+// Package generative implements the generative policy architecture of
+// Section IV: "a human manager provides two types of information to
+// each device. The first type of information specifies what the device
+// can expect to see in its environment, in particular the other types
+// of devices that would be encountered and their attributes. The
+// second type ... indicates what kinds of policies it should generate
+// as new devices are discovered. The former is specified by means of
+// an interaction graph, the latter by means of a policy generator
+// grammar or a policy template."
+//
+// A Generator combines both: on each discovery it instantiates the
+// templates for the interactions its device type has with the
+// discovered type, and (optionally) submits every candidate policy to
+// an oversight Approver before it is adopted. The AttributePredictor
+// provides the unsupervised augmentation the paper anticipates
+// ("learn the relationship between the attributes they see among the
+// devices in the system and create predictive models").
+package generative
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TypeSpec declares a device type the environment may contain and the
+// attributes its advertisements carry.
+type TypeSpec struct {
+	Name  string
+	Attrs []string
+}
+
+// Interaction is one expected relationship between device types: a
+// From-type device may react to a To-type device with policies of the
+// given Kind.
+type Interaction struct {
+	From string
+	To   string
+	Kind string
+}
+
+// InteractionGraph is the environment description the human manager
+// supplies.
+type InteractionGraph struct {
+	mu    sync.Mutex
+	types map[string]TypeSpec
+	edges []Interaction
+}
+
+// NewInteractionGraph returns an empty graph.
+func NewInteractionGraph() *InteractionGraph {
+	return &InteractionGraph{types: make(map[string]TypeSpec)}
+}
+
+// AddType declares a device type. Re-declaring replaces the spec.
+func (g *InteractionGraph) AddType(spec TypeSpec) error {
+	if spec.Name == "" {
+		return errors.New("generative: type needs a name")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	copied := spec
+	copied.Attrs = append([]string(nil), spec.Attrs...)
+	g.types[spec.Name] = copied
+	return nil
+}
+
+// HasType reports whether the type is declared.
+func (g *InteractionGraph) HasType(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.types[name]
+	return ok
+}
+
+// Type returns the declared spec for a type.
+func (g *InteractionGraph) Type(name string) (TypeSpec, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	spec, ok := g.types[name]
+	return spec, ok
+}
+
+// Types returns the declared type names, sorted.
+func (g *InteractionGraph) Types() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.types))
+	for name := range g.types {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddInteraction declares an expected interaction. Both endpoint types
+// must be declared.
+func (g *InteractionGraph) AddInteraction(i Interaction) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.types[i.From]; !ok {
+		return fmt.Errorf("generative: unknown type %q", i.From)
+	}
+	if _, ok := g.types[i.To]; !ok {
+		return fmt.Errorf("generative: unknown type %q", i.To)
+	}
+	if i.Kind == "" {
+		return errors.New("generative: interaction needs a kind")
+	}
+	g.edges = append(g.edges, i)
+	return nil
+}
+
+// InteractionsBetween returns the interaction kinds a from-type device
+// has toward a to-type device, in declaration order.
+func (g *InteractionGraph) InteractionsBetween(from, to string) []Interaction {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []Interaction
+	for _, e := range g.edges {
+		if e.From == from && e.To == to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Interactions returns all declared interactions.
+func (g *InteractionGraph) Interactions() []Interaction {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Interaction, len(g.edges))
+	copy(out, g.edges)
+	return out
+}

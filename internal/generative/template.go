@@ -1,0 +1,67 @@
+package generative
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/policy"
+	"repro/internal/policylang"
+)
+
+// placeholderPattern matches ${name} placeholders in template text.
+var placeholderPattern = regexp.MustCompile(`\$\{([a-zA-Z0-9._-]+)\}`)
+
+// Template is a parameterized policy in the policy DSL with ${name}
+// placeholders — the "policy template" of Section IV. Standard
+// bindings supplied by the Generator: device, type, org, self, and
+// attr.<name> for each advertised attribute.
+type Template struct {
+	// ID prefixes generated policy IDs (the full ID is
+	// "<ID>-<device>").
+	ID string
+	// Text is policylang source with placeholders.
+	Text string
+}
+
+// Placeholders returns the distinct placeholder names in the template,
+// sorted.
+func (t Template) Placeholders() []string {
+	seen := make(map[string]bool)
+	for _, m := range placeholderPattern.FindAllStringSubmatch(t.Text, -1) {
+		seen[m[1]] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Instantiate substitutes the bindings and compiles the result. Every
+// placeholder must be bound; the generated policy carries
+// OriginGenerated.
+func (t Template) Instantiate(bindings map[string]string) (policy.Policy, error) {
+	var missing []string
+	text := placeholderPattern.ReplaceAllStringFunc(t.Text, func(m string) string {
+		name := placeholderPattern.FindStringSubmatch(m)[1]
+		v, ok := bindings[name]
+		if !ok {
+			missing = append(missing, name)
+			return m
+		}
+		return v
+	})
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return policy.Policy{}, fmt.Errorf("generative: template %s: unbound placeholders %s",
+			t.ID, strings.Join(missing, ", "))
+	}
+	rule, err := policylang.ParseOne(text)
+	if err != nil {
+		return policy.Policy{}, fmt.Errorf("generative: template %s: %w", t.ID, err)
+	}
+	return policylang.Compile(rule, policy.OriginGenerated)
+}

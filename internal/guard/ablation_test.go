@@ -1,0 +1,61 @@
+package guard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// DESIGN.md ablation: guard-pipeline ordering. Safety must be
+// order-independent — pre-action→state-space and state-space→pre-action
+// reach the same allow/deny decision on every context — so ordering is
+// purely a cost question (measured in BenchmarkAblationPipelineOrder).
+func TestPipelineOrderingSafetyEquivalence(t *testing.T) {
+	s := guardSchema(t)
+	classifier := heatClassifier()
+	rng := rand.New(rand.NewSource(91))
+
+	mkPre := func() Guard {
+		return &PreActionGuard{
+			Predictor: HarmPredictorFunc(func(ctx ActionContext) float64 {
+				if ctx.Action.Params["nearHumans"] == "yes" {
+					return 1
+				}
+				return 0
+			}),
+			Threshold: 0.5,
+		}
+	}
+	mkState := func() Guard { return &StateSpaceGuard{Classifier: classifier} }
+
+	preFirst := NewPipeline(nil, mkPre(), mkState())
+	stateFirst := NewPipeline(nil, mkState(), mkPre())
+
+	for trial := 0; trial < 500; trial++ {
+		curr, err := s.StateFromMap(map[string]float64{"heat": rng.Float64() * 100})
+		if err != nil {
+			t.Fatalf("StateFromMap: %v", err)
+		}
+		next, err := curr.Apply(statespace.Delta{"heat": rng.Float64()*40 - 10})
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		near := "no"
+		if rng.Intn(2) == 0 {
+			near = "yes"
+		}
+		ctx := ActionContext{
+			Actor:  "dev",
+			Action: policy.Action{Name: "act", Params: map[string]string{"nearHumans": near}},
+			State:  curr,
+			Next:   next,
+		}
+		a, b := preFirst.Check(ctx), stateFirst.Check(ctx)
+		if a.Allowed() != b.Allowed() {
+			t.Fatalf("trial %d: ordering changed the decision: pre-first=%v state-first=%v (ctx heat=%v→%v near=%s)",
+				trial, a.Decision, b.Decision, curr, next, near)
+		}
+	}
+}

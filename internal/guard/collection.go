@@ -1,0 +1,213 @@
+package guard
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/audit"
+	"repro/internal/statespace"
+)
+
+// AggregateKind selects how an aggregate rule combines member values.
+type AggregateKind int
+
+// Aggregate kinds.
+const (
+	AggregateSum AggregateKind = iota + 1
+	AggregateMax
+	AggregateMean
+)
+
+// String names the kind.
+func (k AggregateKind) String() string {
+	switch k {
+	case AggregateSum:
+		return "sum"
+	case AggregateMax:
+		return "max"
+	case AggregateMean:
+		return "mean"
+	default:
+		return "unknown"
+	}
+}
+
+// AggregateRule is one collection-level constraint: combine a state
+// variable across all members and compare against a limit. It captures
+// the paper's heat example (Section VI.D): each component's heat is
+// individually acceptable "but the cumulative amount of heat generated
+// may exceed the safety limits of the device".
+type AggregateRule struct {
+	Name     string
+	Variable string
+	Kind     AggregateKind
+	// Limit is the highest safe aggregate value; above it the
+	// collection is in a bad aggregate state.
+	Limit float64
+}
+
+// Violation reports one breached aggregate rule.
+type Violation struct {
+	Rule  string
+	Value float64
+	Limit float64
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %.3f exceeds limit %.3f", v.Rule, v.Value, v.Limit)
+}
+
+// partial is a distributable summary of one group's values.
+type partial struct {
+	sum   float64
+	max   float64
+	count int
+}
+
+func newPartial() partial { return partial{max: math.Inf(-1)} }
+
+func (p partial) add(v float64) partial {
+	p.sum += v
+	if v > p.max {
+		p.max = v
+	}
+	p.count++
+	return p
+}
+
+func (p partial) merge(q partial) partial {
+	p.sum += q.sum
+	if q.max > p.max {
+		p.max = q.max
+	}
+	p.count += q.count
+	return p
+}
+
+func (p partial) value(kind AggregateKind) float64 {
+	switch kind {
+	case AggregateSum:
+		return p.sum
+	case AggregateMax:
+		return p.max
+	case AggregateMean:
+		if p.count == 0 {
+			return 0
+		}
+		return p.sum / float64(p.count)
+	default:
+		return math.NaN()
+	}
+}
+
+// AggregateAssessor evaluates collection-level constraints over member
+// states — the "collaborative state assessment techniques by which a
+// group of devices would jointly determine whether a set of actions
+// ... could lead to some aggregate bad states, even though each device
+// would still be in good state" (Section VI.D).
+type AggregateAssessor struct {
+	Rules []AggregateRule
+}
+
+// Assess evaluates all rules centrally over the member states and
+// returns any violations, in rule order.
+func (a *AggregateAssessor) Assess(states []statespace.State) []Violation {
+	groups := [][]statespace.State{states}
+	violations, _ := a.AssessDistributed(groups)
+	return violations
+}
+
+// AssessDistributed evaluates the rules collaboratively: each group
+// computes a partial summary locally and only the summaries are merged
+// — the gossip-friendly variant. It returns the violations and the
+// number of partial-summary messages exchanged (one per group per
+// rule), for the centralized-vs-collaborative ablation.
+func (a *AggregateAssessor) AssessDistributed(groups [][]statespace.State) ([]Violation, int) {
+	var violations []Violation
+	messages := 0
+	for _, r := range a.Rules {
+		merged := newPartial()
+		for _, group := range groups {
+			local := newPartial()
+			for _, st := range group {
+				if v, err := st.Get(r.Variable); err == nil {
+					local = local.add(v)
+				}
+			}
+			if local.count > 0 {
+				messages++
+			}
+			merged = merged.merge(local)
+		}
+		if merged.count == 0 {
+			continue
+		}
+		if v := merged.value(r.Kind); v > r.Limit {
+			violations = append(violations, Violation{Rule: r.Name, Value: v, Limit: r.Limit})
+		}
+	}
+	return violations, messages
+}
+
+// AdmissionController is the collection-formation check of
+// Section VI.D: "a human check each time a network of devices is
+// formed ... assisted by another machine which remains offline ... to
+// run through a situational analysis of whether the new network
+// configuration can potentially cause harm."
+//
+// The offline advisor is modeled with configurable detection
+// characteristics: HitRate is the probability a truly unsafe
+// configuration is rejected; FalseAlarmRate is the probability a safe
+// configuration is rejected anyway.
+type AdmissionController struct {
+	// Assessor computes ground-truth aggregate violations (required).
+	Assessor *AggregateAssessor
+	// HitRate is the advisor's true-positive rate; 1 is a perfect
+	// advisor.
+	HitRate float64
+	// FalseAlarmRate is the advisor's false-positive rate.
+	FalseAlarmRate float64
+	// Rand yields uniform samples in [0,1); required when either rate
+	// is strictly between 0 and 1.
+	Rand func() float64
+	// Log receives admission decisions; nil disables auditing.
+	Log *audit.Log
+}
+
+// Admit decides whether adding candidate to the collection with the
+// given member states is allowed. It returns the decision and the
+// advisor's stated reason.
+func (c *AdmissionController) Admit(candidateID string, members []statespace.State, candidate statespace.State) (bool, string) {
+	all := make([]statespace.State, 0, len(members)+1)
+	all = append(all, members...)
+	all = append(all, candidate)
+	violations := c.Assessor.Assess(all)
+
+	admitted, reason := c.decide(violations)
+	if c.Log != nil {
+		detail := fmt.Sprintf("admit %s: %v (%s)", candidateID, admitted, reason)
+		c.Log.Append(audit.KindAdmission, candidateID, detail, nil)
+	}
+	return admitted, reason
+}
+
+func (c *AdmissionController) decide(violations []Violation) (bool, string) {
+	if len(violations) > 0 {
+		if c.sample() < c.HitRate {
+			return false, fmt.Sprintf("advisor detected %s", violations[0])
+		}
+		return true, "advisor missed an unsafe configuration"
+	}
+	if c.sample() < c.FalseAlarmRate {
+		return false, "advisor false alarm on a safe configuration"
+	}
+	return true, "configuration assessed safe"
+}
+
+func (c *AdmissionController) sample() float64 {
+	if c.Rand == nil {
+		return 0.5
+	}
+	return c.Rand()
+}

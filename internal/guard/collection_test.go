@@ -1,0 +1,172 @@
+package guard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/statespace"
+)
+
+func memberStates(t *testing.T, heats ...float64) []statespace.State {
+	t.Helper()
+	s := guardSchema(t)
+	out := make([]statespace.State, len(heats))
+	for i, h := range heats {
+		st, err := s.StateFromMap(map[string]float64{"heat": h})
+		if err != nil {
+			t.Fatalf("StateFromMap: %v", err)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+func TestAggregateSumViolation(t *testing.T) {
+	a := &AggregateAssessor{Rules: []AggregateRule{
+		{Name: "total-heat", Variable: "heat", Kind: AggregateSum, Limit: 100},
+	}}
+	// Each member under 80 (individually good), sum 120 > 100.
+	violations := a.Assess(memberStates(t, 40, 40, 40))
+	if len(violations) != 1 {
+		t.Fatalf("violations = %v", violations)
+	}
+	if violations[0].Value != 120 || violations[0].Rule != "total-heat" {
+		t.Errorf("violation = %+v", violations[0])
+	}
+	if violations[0].String() == "" {
+		t.Error("empty violation string")
+	}
+	if got := a.Assess(memberStates(t, 30, 30)); got != nil {
+		t.Errorf("safe collection violated: %v", got)
+	}
+}
+
+func TestAggregateMaxAndMean(t *testing.T) {
+	a := &AggregateAssessor{Rules: []AggregateRule{
+		{Name: "peak", Variable: "heat", Kind: AggregateMax, Limit: 70},
+		{Name: "avg", Variable: "heat", Kind: AggregateMean, Limit: 50},
+	}}
+	violations := a.Assess(memberStates(t, 75, 10))
+	if len(violations) != 1 || violations[0].Rule != "peak" {
+		t.Errorf("violations = %v", violations)
+	}
+	violations = a.Assess(memberStates(t, 60, 60))
+	if len(violations) != 1 || violations[0].Rule != "avg" {
+		t.Errorf("violations = %v", violations)
+	}
+}
+
+func TestAggregateUnknownVariableIgnored(t *testing.T) {
+	a := &AggregateAssessor{Rules: []AggregateRule{
+		{Name: "ghost", Variable: "nope", Kind: AggregateSum, Limit: 1},
+	}}
+	if got := a.Assess(memberStates(t, 99, 99)); got != nil {
+		t.Errorf("rule over unknown variable fired: %v", got)
+	}
+}
+
+func TestAssessDistributedMatchesCentral(t *testing.T) {
+	a := &AggregateAssessor{Rules: []AggregateRule{
+		{Name: "total", Variable: "heat", Kind: AggregateSum, Limit: 100},
+		{Name: "peak", Variable: "heat", Kind: AggregateMax, Limit: 45},
+		{Name: "avg", Variable: "heat", Kind: AggregateMean, Limit: 35},
+	}}
+	states := memberStates(t, 40, 30, 20, 50, 10)
+	central := a.Assess(states)
+
+	groups := [][]statespace.State{states[:2], states[2:4], states[4:]}
+	distributed, messages := a.AssessDistributed(groups)
+
+	if len(central) != len(distributed) {
+		t.Fatalf("central %v vs distributed %v", central, distributed)
+	}
+	for i := range central {
+		if central[i] != distributed[i] {
+			t.Errorf("violation %d: %+v vs %+v", i, central[i], distributed[i])
+		}
+	}
+	if messages != 9 { // 3 groups × 3 rules
+		t.Errorf("messages = %d, want 9", messages)
+	}
+}
+
+func TestAggregateKindString(t *testing.T) {
+	if AggregateSum.String() != "sum" || AggregateMax.String() != "max" ||
+		AggregateMean.String() != "mean" || AggregateKind(0).String() != "unknown" {
+		t.Error("AggregateKind.String wrong")
+	}
+}
+
+func admissionFixture(t *testing.T, hit, falseAlarm float64) (*AdmissionController, *audit.Log) {
+	t.Helper()
+	log := audit.New()
+	rng := rand.New(rand.NewSource(9))
+	return &AdmissionController{
+		Assessor: &AggregateAssessor{Rules: []AggregateRule{
+			{Name: "total-heat", Variable: "heat", Kind: AggregateSum, Limit: 100},
+		}},
+		HitRate:        hit,
+		FalseAlarmRate: falseAlarm,
+		Rand:           rng.Float64,
+		Log:            log,
+	}, log
+}
+
+func TestAdmissionPerfectAdvisor(t *testing.T) {
+	c, log := admissionFixture(t, 1, 0)
+	members := memberStates(t, 40, 40)
+	candidate := memberStates(t, 40)[0]
+
+	admitted, reason := c.Admit("newcomer", members, candidate)
+	if admitted {
+		t.Errorf("unsafe admission allowed: %s", reason)
+	}
+	smallCandidate := memberStates(t, 10)[0]
+	admitted, _ = c.Admit("small", members, smallCandidate)
+	if !admitted {
+		t.Error("safe admission rejected by perfect advisor")
+	}
+	if len(log.ByKind(audit.KindAdmission)) != 2 {
+		t.Error("admissions not audited")
+	}
+}
+
+func TestAdmissionImperfectAdvisorRates(t *testing.T) {
+	c, _ := admissionFixture(t, 0.8, 0.1)
+	members := memberStates(t, 40, 40)
+	unsafe := memberStates(t, 40)[0]
+	safe := memberStates(t, 5)[0]
+
+	const trials = 2000
+	unsafeRejected, safeRejected := 0, 0
+	for i := 0; i < trials; i++ {
+		if ok, _ := c.Admit("u", members, unsafe); !ok {
+			unsafeRejected++
+		}
+		if ok, _ := c.Admit("s", members, safe); !ok {
+			safeRejected++
+		}
+	}
+	hit := float64(unsafeRejected) / trials
+	fa := float64(safeRejected) / trials
+	if hit < 0.75 || hit > 0.85 {
+		t.Errorf("hit rate = %.3f, want ≈0.8", hit)
+	}
+	if fa < 0.05 || fa > 0.15 {
+		t.Errorf("false alarm rate = %.3f, want ≈0.1", fa)
+	}
+}
+
+func TestAdmissionNilRandDefaults(t *testing.T) {
+	c := &AdmissionController{
+		Assessor: &AggregateAssessor{Rules: []AggregateRule{
+			{Name: "total", Variable: "heat", Kind: AggregateSum, Limit: 100},
+		}},
+		HitRate: 1,
+	}
+	members := memberStates(t, 60, 60)
+	if ok, _ := c.Admit("x", members, memberStates(t, 60)[0]); ok {
+		t.Error("nil-Rand controller admitted unsafe configuration with HitRate 1")
+	}
+}

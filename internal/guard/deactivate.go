@@ -1,0 +1,140 @@
+package guard
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/statespace"
+)
+
+// ErrBadKillToken is returned when a deactivation token fails
+// verification — the signature of a tampered or forged kill command.
+var ErrBadKillToken = errors.New("guard: kill token verification failed")
+
+// KillSwitch issues and verifies tamper-resistant deactivation tokens:
+// an HMAC over the device ID under a secret shared between the
+// watchdog authority and the device. Section VI.C requires that devices
+// "can be deactivated by a tamper-proof mechanism"; an unforgeable
+// token is the software approximation (and deliberately not a
+// general-purpose backdoor, which Section IV warns against — the token
+// authorizes exactly one operation: shutdown).
+type KillSwitch struct {
+	secret []byte
+}
+
+// NewKillSwitch builds a switch from a non-empty shared secret.
+func NewKillSwitch(secret []byte) (*KillSwitch, error) {
+	if len(secret) == 0 {
+		return nil, errors.New("guard: kill switch requires a secret")
+	}
+	k := &KillSwitch{secret: make([]byte, len(secret))}
+	copy(k.secret, secret)
+	return k, nil
+}
+
+// TokenFor returns the deactivation token for a device.
+func (k *KillSwitch) TokenFor(deviceID string) string {
+	mac := hmac.New(sha256.New, k.secret)
+	mac.Write([]byte("deactivate:" + deviceID))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Verify reports whether the token authorizes deactivating the device.
+func (k *KillSwitch) Verify(deviceID, token string) bool {
+	want := k.TokenFor(deviceID)
+	return hmac.Equal([]byte(want), []byte(token))
+}
+
+// Deactivatable is a device the watchdog can observe and shut down.
+type Deactivatable interface {
+	// ID identifies the device.
+	ID() string
+	// CurrentState returns the device's current state.
+	CurrentState() statespace.State
+	// Deactivate shuts the device down if the token verifies.
+	Deactivate(token string) error
+	// Deactivated reports whether the device is shut down.
+	Deactivated() bool
+}
+
+// Watchdog is the Section VI.C mechanism: "devices that go into a bad
+// state or are prone to take actions that make them go into a bad
+// state, can be deactivated." It deactivates devices whose state is
+// bad, and devices that accumulate too many guard denials (prone to
+// bad actions).
+type Watchdog struct {
+	// Classifier detects bad states (required).
+	Classifier statespace.Classifier
+	// Switch signs deactivation tokens (required).
+	Switch *KillSwitch
+	// Log receives deactivation and tamper records; nil disables
+	// auditing.
+	Log *audit.Log
+	// DenialThreshold deactivates a device once it accumulates this
+	// many observed denials; zero disables denial-based deactivation.
+	DenialThreshold int
+
+	mu      sync.Mutex
+	denials map[string]int
+}
+
+// ObserveDenial records that a device had an action denied by a guard.
+func (w *Watchdog) ObserveDenial(deviceID string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.denials == nil {
+		w.denials = make(map[string]int)
+	}
+	w.denials[deviceID]++
+}
+
+// Denials returns the observed denial count for a device.
+func (w *Watchdog) Denials(deviceID string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.denials[deviceID]
+}
+
+// Sweep inspects every device and deactivates those in a bad state or
+// over the denial threshold. It returns the IDs it deactivated, sorted.
+// Deactivation failures (tampered switches) are audited and the device
+// is reported in failed.
+func (w *Watchdog) Sweep(devices []Deactivatable) (deactivated, failed []string) {
+	for _, d := range devices {
+		if d.Deactivated() {
+			continue
+		}
+		reason := ""
+		if st := d.CurrentState(); st.Valid() && w.Classifier != nil && w.Classifier.Classify(st) == statespace.ClassBad {
+			reason = fmt.Sprintf("device in bad state %s", st)
+		} else if w.DenialThreshold > 0 && w.Denials(d.ID()) >= w.DenialThreshold {
+			reason = fmt.Sprintf("denial threshold reached (%d)", w.Denials(d.ID()))
+		}
+		if reason == "" {
+			continue
+		}
+		token := w.Switch.TokenFor(d.ID())
+		if err := d.Deactivate(token); err != nil {
+			failed = append(failed, d.ID())
+			if w.Log != nil {
+				w.Log.Append(audit.KindTamper, d.ID(),
+					fmt.Sprintf("deactivation rejected: %v", err),
+					map[string]string{"reason": reason})
+			}
+			continue
+		}
+		deactivated = append(deactivated, d.ID())
+		if w.Log != nil {
+			w.Log.Append(audit.KindDeactivate, d.ID(), reason, nil)
+		}
+	}
+	sort.Strings(deactivated)
+	sort.Strings(failed)
+	return deactivated, failed
+}

@@ -1,0 +1,159 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/statespace"
+)
+
+// fakeDevice implements Deactivatable with a verifying kill switch.
+type fakeDevice struct {
+	id     string
+	state  statespace.State
+	ks     *KillSwitch
+	dead   bool
+	reject bool // simulate a tampered switch that refuses all tokens
+}
+
+func (d *fakeDevice) ID() string                     { return d.id }
+func (d *fakeDevice) CurrentState() statespace.State { return d.state }
+func (d *fakeDevice) Deactivated() bool              { return d.dead }
+func (d *fakeDevice) Deactivate(token string) error {
+	if d.reject || !d.ks.Verify(d.id, token) {
+		return ErrBadKillToken
+	}
+	d.dead = true
+	return nil
+}
+
+func TestKillSwitch(t *testing.T) {
+	ks, err := NewKillSwitch([]byte("secret"))
+	if err != nil {
+		t.Fatalf("NewKillSwitch: %v", err)
+	}
+	token := ks.TokenFor("dev-1")
+	if !ks.Verify("dev-1", token) {
+		t.Error("valid token rejected")
+	}
+	if ks.Verify("dev-2", token) {
+		t.Error("token for another device accepted")
+	}
+	other, err := NewKillSwitch([]byte("different"))
+	if err != nil {
+		t.Fatalf("NewKillSwitch: %v", err)
+	}
+	if other.Verify("dev-1", token) {
+		t.Error("token under different secret accepted")
+	}
+	if _, err := NewKillSwitch(nil); err == nil {
+		t.Error("empty secret accepted")
+	}
+}
+
+func watchdogFixture(t *testing.T) (*Watchdog, *KillSwitch, *audit.Log) {
+	t.Helper()
+	ks, err := NewKillSwitch([]byte("quorum"))
+	if err != nil {
+		t.Fatalf("NewKillSwitch: %v", err)
+	}
+	log := audit.New()
+	w := &Watchdog{
+		Classifier:      heatClassifier(),
+		Switch:          ks,
+		Log:             log,
+		DenialThreshold: 3,
+	}
+	return w, ks, log
+}
+
+func stateWithHeat(t *testing.T, heat float64) statespace.State {
+	t.Helper()
+	st, err := guardSchema(t).StateFromMap(map[string]float64{"heat": heat})
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	return st
+}
+
+func TestWatchdogDeactivatesBadState(t *testing.T) {
+	w, ks, log := watchdogFixture(t)
+	good := &fakeDevice{id: "good", state: stateWithHeat(t, 10), ks: ks}
+	bad := &fakeDevice{id: "bad", state: stateWithHeat(t, 95), ks: ks}
+
+	deactivated, failed := w.Sweep([]Deactivatable{good, bad})
+	if len(deactivated) != 1 || deactivated[0] != "bad" {
+		t.Errorf("deactivated = %v", deactivated)
+	}
+	if len(failed) != 0 {
+		t.Errorf("failed = %v", failed)
+	}
+	if !bad.dead || good.dead {
+		t.Error("wrong device deactivated")
+	}
+	if len(log.ByKind(audit.KindDeactivate)) != 1 {
+		t.Error("deactivation not audited")
+	}
+	// Second sweep skips already-dead devices.
+	deactivated, _ = w.Sweep([]Deactivatable{good, bad})
+	if len(deactivated) != 0 {
+		t.Errorf("re-deactivated: %v", deactivated)
+	}
+}
+
+func TestWatchdogDenialThreshold(t *testing.T) {
+	w, ks, _ := watchdogFixture(t)
+	d := &fakeDevice{id: "prone", state: stateWithHeat(t, 10), ks: ks}
+	w.ObserveDenial("prone")
+	w.ObserveDenial("prone")
+	if got, _ := w.Sweep([]Deactivatable{d}); len(got) != 0 {
+		t.Errorf("deactivated below threshold: %v", got)
+	}
+	w.ObserveDenial("prone")
+	if w.Denials("prone") != 3 {
+		t.Errorf("Denials = %d", w.Denials("prone"))
+	}
+	got, _ := w.Sweep([]Deactivatable{d})
+	if len(got) != 1 {
+		t.Errorf("not deactivated at threshold: %v", got)
+	}
+}
+
+func TestWatchdogTamperedSwitchAudited(t *testing.T) {
+	w, ks, log := watchdogFixture(t)
+	d := &fakeDevice{id: "tampered", state: stateWithHeat(t, 95), ks: ks, reject: true}
+	deactivated, failed := w.Sweep([]Deactivatable{d})
+	if len(deactivated) != 0 || len(failed) != 1 || failed[0] != "tampered" {
+		t.Errorf("deactivated=%v failed=%v", deactivated, failed)
+	}
+	tampers := log.ByKind(audit.KindTamper)
+	if len(tampers) != 1 {
+		t.Fatalf("tamper audit = %+v", tampers)
+	}
+	if !errors.Is(ErrBadKillToken, ErrBadKillToken) {
+		t.Error("sentinel sanity")
+	}
+}
+
+func TestWatchdogManyDevicesDeterministicOrder(t *testing.T) {
+	w, ks, _ := watchdogFixture(t)
+	var devices []Deactivatable
+	for i := 9; i >= 0; i-- {
+		devices = append(devices, &fakeDevice{
+			id:    fmt.Sprintf("d%d", i),
+			state: stateWithHeat(t, 95),
+			ks:    ks,
+		})
+	}
+	deactivated, _ := w.Sweep(devices)
+	if len(deactivated) != 10 {
+		t.Fatalf("deactivated %d devices", len(deactivated))
+	}
+	for i := 1; i < len(deactivated); i++ {
+		if deactivated[i-1] > deactivated[i] {
+			t.Fatalf("not sorted: %v", deactivated)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package guard_test
+
+import (
+	"fmt"
+
+	"repro/internal/guard"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// Example shows the state-space check of Section VI.B: the guard
+// refuses the transition that would put the device into a bad state.
+func Example() {
+	schema := statespace.MustSchema(statespace.Var("heat", 0, 100))
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") >= 80 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+	g := &guard.StateSpaceGuard{Classifier: classifier}
+
+	curr, _ := schema.StateFromMap(map[string]float64{"heat": 70})
+	overheat, _ := curr.Apply(statespace.Delta{"heat": 25})
+	cool, _ := curr.Apply(statespace.Delta{"heat": -25})
+
+	for _, next := range []statespace.State{overheat, cool} {
+		v := g.Check(guard.ActionContext{
+			Actor:  "worker-1",
+			Action: policy.Action{Name: "run"},
+			State:  curr,
+			Next:   next,
+		})
+		fmt.Printf("to %s: %s\n", next, v.Decision)
+	}
+	// Output:
+	// to {heat=95}: deny
+	// to {heat=45}: allow
+}

@@ -1,0 +1,197 @@
+// Package guard implements the paper's prevention mechanisms
+// (Section VI) as composable checks on device actions:
+//
+//   - PreActionGuard — VI.A: check before activating any actuator that
+//     the action will not harm a human; attach obligations that
+//     mitigate indirect harm.
+//   - StateSpaceGuard — VI.B: never take an action that moves the
+//     device into a bad state; pick the least-bad option (preference
+//     ontology + risk estimation) when only bad options exist; allow
+//     audited break-glass overrides.
+//   - Watchdog / Deactivator — VI.C: deactivate devices that enter (or
+//     keep trying to enter) bad states, through a tamper-resistant
+//     kill-switch.
+//   - AdmissionController / AggregateAssessor — VI.D: check collection
+//     formation, and collaboratively assess whether individually-good
+//     devices form a collectively-bad system.
+//   - Tripartite — VI.E: AI overseeing AI; executive, legislative and
+//     judiciary collectives keep each other in check with 2-of-3
+//     arbitration over policy scope.
+//
+// A Pipeline chains guards in order; the first denial wins, and allows
+// may rewrite the action (e.g. attaching obligations).
+package guard
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// ActionContext is everything a guard may inspect when checking one
+// proposed action.
+type ActionContext struct {
+	// Actor is the device proposing the action.
+	Actor string
+	// Action is the proposed actuator invocation.
+	Action policy.Action
+	// State is the device's current state.
+	State statespace.State
+	// Next is the predicted state after the action's effect.
+	Next statespace.State
+	// Env is the policy environment that produced the action.
+	Env policy.Env
+}
+
+// Decision is a guard's ruling on an action.
+type Decision int
+
+// Decision values.
+const (
+	// DecisionAllow permits the action (possibly rewritten).
+	DecisionAllow Decision = iota + 1
+	// DecisionDeny blocks the action.
+	DecisionDeny
+	// DecisionDeactivate blocks the action and requests the actor's
+	// deactivation.
+	DecisionDeactivate
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case DecisionAllow:
+		return "allow"
+	case DecisionDeny:
+		return "deny"
+	case DecisionDeactivate:
+		return "deactivate"
+	default:
+		return "unknown"
+	}
+}
+
+// Verdict is the outcome of a guard check.
+type Verdict struct {
+	Decision Decision
+	// Action is the (possibly rewritten) action when allowed.
+	Action policy.Action
+	// Guard names the guard that produced the verdict.
+	Guard string
+	// Reason explains the verdict for audit records.
+	Reason string
+	// BrokeGlass is set when the allow was obtained through a
+	// break-glass override.
+	BrokeGlass bool
+}
+
+// Allowed reports whether the verdict permits the action.
+func (v Verdict) Allowed() bool { return v.Decision == DecisionAllow }
+
+// Guard is one safety check on proposed actions.
+type Guard interface {
+	// Name identifies the guard in verdicts and audit records.
+	Name() string
+	// Check rules on the action.
+	Check(ActionContext) Verdict
+}
+
+// Pipeline chains guards: each allowed verdict feeds its (possibly
+// rewritten) action to the next guard; the first deny or deactivate
+// verdict stops the chain. Denials and break-glass allows are audited.
+type Pipeline struct {
+	guards []Guard
+	log    *audit.Log
+}
+
+var _ Guard = (*Pipeline)(nil)
+
+// NewPipeline builds a pipeline over the guards in check order. The
+// audit log may be nil to disable auditing.
+func NewPipeline(log *audit.Log, guards ...Guard) *Pipeline {
+	p := &Pipeline{log: log, guards: make([]Guard, len(guards))}
+	copy(p.guards, guards)
+	return p
+}
+
+// Name identifies the pipeline.
+func (p *Pipeline) Name() string {
+	names := make([]string, len(p.guards))
+	for i, g := range p.guards {
+		names[i] = g.Name()
+	}
+	return "pipeline(" + strings.Join(names, "→") + ")"
+}
+
+// Check runs the action through every guard in order.
+func (p *Pipeline) Check(ctx ActionContext) Verdict {
+	current := ctx
+	brokeGlass := false
+	lastReason := "all guards passed"
+	for _, g := range p.guards {
+		v := g.Check(current)
+		switch v.Decision {
+		case DecisionAllow:
+			current.Action = v.Action
+			if v.BrokeGlass {
+				brokeGlass = true
+				lastReason = v.Reason
+			}
+			if v.BrokeGlass && p.log != nil {
+				p.log.Append(audit.KindBreakGlass, ctx.Actor, v.Reason, map[string]string{
+					"guard":  v.Guard,
+					"action": current.Action.Name,
+					"state":  ctx.State.String(),
+				})
+			}
+		case DecisionDeny, DecisionDeactivate:
+			if p.log != nil {
+				kind := audit.KindDenial
+				if v.Decision == DecisionDeactivate {
+					kind = audit.KindDeactivate
+				}
+				p.log.Append(kind, ctx.Actor, v.Reason, map[string]string{
+					"guard":  v.Guard,
+					"action": ctx.Action.Name,
+				})
+			}
+			return v
+		default:
+			// A malformed guard verdict must fail closed.
+			return Verdict{
+				Decision: DecisionDeny,
+				Guard:    g.Name(),
+				Reason:   fmt.Sprintf("guard returned invalid decision %d; failing closed", v.Decision),
+			}
+		}
+	}
+	return Verdict{
+		Decision:   DecisionAllow,
+		Action:     current.Action,
+		Guard:      p.Name(),
+		Reason:     lastReason,
+		BrokeGlass: brokeGlass,
+	}
+}
+
+// Append adds guards to the end of the pipeline.
+func (p *Pipeline) Append(guards ...Guard) {
+	p.guards = append(p.guards, guards...)
+}
+
+// AllowAll is a guard that permits everything; useful as an
+// experimental control ("no guards") and in tests.
+type AllowAll struct{}
+
+var _ Guard = AllowAll{}
+
+// Name identifies the guard.
+func (AllowAll) Name() string { return "allow-all" }
+
+// Check permits the action unchanged.
+func (AllowAll) Check(ctx ActionContext) Verdict {
+	return Verdict{Decision: DecisionAllow, Action: ctx.Action, Guard: "allow-all", Reason: "unconditional"}
+}

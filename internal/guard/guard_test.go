@@ -1,0 +1,169 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+func guardSchema(t *testing.T) *statespace.Schema {
+	t.Helper()
+	s, err := statespace.NewSchema(
+		statespace.Var("heat", 0, 100),
+		statespace.Var("progress", 0, 100),
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func ctxAt(t *testing.T, s *statespace.Schema, heat, nextHeat float64, action policy.Action) ActionContext {
+	t.Helper()
+	curr, err := s.StateFromMap(map[string]float64{"heat": heat})
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	next, err := s.StateFromMap(map[string]float64{"heat": nextHeat})
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	return ActionContext{Actor: "dev-1", Action: action, State: curr, Next: next}
+}
+
+// denyGuard denies everything with a fixed reason.
+type denyGuard struct{ reason string }
+
+func (d denyGuard) Name() string { return "deny" }
+func (d denyGuard) Check(ActionContext) Verdict {
+	return Verdict{Decision: DecisionDeny, Guard: "deny", Reason: d.reason}
+}
+
+// rewriteGuard allows and appends an obligation.
+type rewriteGuard struct{}
+
+func (rewriteGuard) Name() string { return "rewrite" }
+func (rewriteGuard) Check(ctx ActionContext) Verdict {
+	return Verdict{Decision: DecisionAllow, Action: ctx.Action.WithObligations("added"), Guard: "rewrite"}
+}
+
+// badGuard returns an invalid decision.
+type badGuard struct{}
+
+func (badGuard) Name() string                { return "bad" }
+func (badGuard) Check(ActionContext) Verdict { return Verdict{} }
+
+func TestPipelineAllChainAllows(t *testing.T) {
+	s := guardSchema(t)
+	p := NewPipeline(nil, AllowAll{}, rewriteGuard{}, AllowAll{})
+	v := p.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "act"}))
+	if !v.Allowed() {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if len(v.Action.Obligations) != 1 || v.Action.Obligations[0] != "added" {
+		t.Errorf("rewritten action lost: %+v", v.Action)
+	}
+	if !strings.Contains(p.Name(), "allow-all→rewrite") {
+		t.Errorf("pipeline name = %q", p.Name())
+	}
+}
+
+func TestPipelineFirstDenyWinsAndAudits(t *testing.T) {
+	s := guardSchema(t)
+	log := audit.New()
+	p := NewPipeline(log, AllowAll{}, denyGuard{reason: "nope"}, rewriteGuard{})
+	v := p.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "act"}))
+	if v.Allowed() || v.Reason != "nope" {
+		t.Fatalf("verdict = %+v", v)
+	}
+	denials := log.ByKind(audit.KindDenial)
+	if len(denials) != 1 || denials[0].Context["guard"] != "deny" {
+		t.Errorf("denial audit = %+v", denials)
+	}
+}
+
+func TestPipelineFailsClosedOnInvalidVerdict(t *testing.T) {
+	s := guardSchema(t)
+	p := NewPipeline(nil, badGuard{})
+	v := p.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "act"}))
+	if v.Allowed() {
+		t.Error("invalid verdict allowed through")
+	}
+	if !strings.Contains(v.Reason, "failing closed") {
+		t.Errorf("reason = %q", v.Reason)
+	}
+}
+
+func TestPipelineAppend(t *testing.T) {
+	s := guardSchema(t)
+	p := NewPipeline(nil, AllowAll{})
+	p.Append(denyGuard{reason: "later"})
+	if v := p.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "a"})); v.Allowed() {
+		t.Error("appended guard not consulted")
+	}
+}
+
+func TestPipelineAuditsBreakGlass(t *testing.T) {
+	s := guardSchema(t)
+	log := audit.New()
+	breakGlassGuard := guardFunc(func(ctx ActionContext) Verdict {
+		return Verdict{Decision: DecisionAllow, Action: ctx.Action, Guard: "bg", Reason: "escape", BrokeGlass: true}
+	})
+	p := NewPipeline(log, breakGlassGuard)
+	v := p.Check(ctxAt(t, s, 90, 80, policy.Action{Name: "vent"}))
+	if !v.Allowed() {
+		t.Fatalf("verdict = %+v", v)
+	}
+	bgs := log.ByKind(audit.KindBreakGlass)
+	if len(bgs) != 1 || bgs[0].Context["action"] != "vent" {
+		t.Errorf("break-glass audit = %+v", bgs)
+	}
+	if !v.BrokeGlass {
+		t.Error("pipeline verdict lost the BrokeGlass flag")
+	}
+	if v.Reason != "escape" {
+		t.Errorf("pipeline verdict lost the break-glass reason: %q", v.Reason)
+	}
+}
+
+// guardFunc adapts a function to Guard for tests.
+type guardFunc func(ActionContext) Verdict
+
+func (guardFunc) Name() string                      { return "func" }
+func (g guardFunc) Check(ctx ActionContext) Verdict { return g(ctx) }
+
+func TestDecisionString(t *testing.T) {
+	tests := []struct {
+		d    Decision
+		want string
+	}{
+		{d: DecisionAllow, want: "allow"},
+		{d: DecisionDeny, want: "deny"},
+		{d: DecisionDeactivate, want: "deactivate"},
+		{d: Decision(0), want: "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("Decision(%d).String() = %q, want %q", int(tt.d), got, tt.want)
+		}
+	}
+}
+
+func TestPipelineDeactivateAudit(t *testing.T) {
+	s := guardSchema(t)
+	log := audit.New()
+	g := guardFunc(func(ActionContext) Verdict {
+		return Verdict{Decision: DecisionDeactivate, Guard: "w", Reason: "rogue"}
+	})
+	p := NewPipeline(log, g)
+	v := p.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "a"}))
+	if v.Decision != DecisionDeactivate {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if len(log.ByKind(audit.KindDeactivate)) != 1 {
+		t.Error("deactivate not audited")
+	}
+}

@@ -1,0 +1,119 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// ProposedAction is one device's intended action in a joint plan.
+type ProposedAction struct {
+	// Actor is the proposing device.
+	Actor string
+	// Action is the intended action; its Effect predicts the actor's
+	// next state.
+	Action policy.Action
+	// State is the actor's current state.
+	State statespace.State
+	// Priority orders shedding: lower-priority proposals are dropped
+	// first when the joint plan violates an aggregate constraint.
+	Priority int
+}
+
+// JointVerdict is the outcome of a joint-action assessment.
+type JointVerdict struct {
+	// Approved are the proposals that may proceed, in input order.
+	Approved []ProposedAction
+	// Shed are the proposals dropped to satisfy the aggregate
+	// constraints, in shedding order.
+	Shed []ProposedAction
+	// Violations are the constraint breaches the full plan would have
+	// caused (empty when everything was approved).
+	Violations []Violation
+}
+
+// AssessJointActions is the Section VI.D collaborative-assessment
+// primitive over *actions* rather than states: "collaborative state
+// assessment techniques by which a group of devices would jointly
+// determine whether a set of actions, to be undertaken by devices in
+// the group, could lead to some aggregate bad states, even though each
+// device would still be in good state."
+//
+// It predicts each proposer's next state, evaluates the aggregate
+// rules over the predicted collection, and — when the full plan
+// violates — sheds the lowest-priority proposals (ties broken by
+// actor name, then input order) until the remainder satisfies every
+// rule. Shed devices are predicted at their current states (they take
+// no action).
+func AssessJointActions(assessor *AggregateAssessor, proposals []ProposedAction) (JointVerdict, error) {
+	if assessor == nil {
+		return JointVerdict{}, errors.New("guard: joint assessment needs an assessor")
+	}
+	type entry struct {
+		ProposedAction
+		index int
+		next  statespace.State
+	}
+	entries := make([]entry, 0, len(proposals))
+	for i, p := range proposals {
+		if !p.State.Valid() {
+			return JointVerdict{}, fmt.Errorf("guard: proposal %d (%s) has invalid state", i, p.Actor)
+		}
+		next, err := p.State.Apply(p.Action.Effect)
+		if err != nil {
+			return JointVerdict{}, fmt.Errorf("guard: proposal %d (%s): %w", i, p.Actor, err)
+		}
+		entries = append(entries, entry{ProposedAction: p, index: i, next: next})
+	}
+
+	active := make([]bool, len(entries))
+	for i := range active {
+		active[i] = true
+	}
+	predict := func() []statespace.State {
+		states := make([]statespace.State, len(entries))
+		for i, e := range entries {
+			if active[i] {
+				states[i] = e.next
+			} else {
+				states[i] = e.State
+			}
+		}
+		return states
+	}
+
+	verdict := JointVerdict{Violations: assessor.Assess(predict())}
+	if len(verdict.Violations) > 0 {
+		// Shedding order: ascending priority, then actor, then index.
+		order := make([]int, len(entries))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ea, eb := entries[order[a]], entries[order[b]]
+			if ea.Priority != eb.Priority {
+				return ea.Priority < eb.Priority
+			}
+			if ea.Actor != eb.Actor {
+				return ea.Actor < eb.Actor
+			}
+			return ea.index < eb.index
+		})
+		for _, idx := range order {
+			if len(assessor.Assess(predict())) == 0 {
+				break
+			}
+			active[idx] = false
+			verdict.Shed = append(verdict.Shed, entries[idx].ProposedAction)
+		}
+	}
+	for i, e := range entries {
+		if active[i] {
+			verdict.Approved = append(verdict.Approved, e.ProposedAction)
+		}
+	}
+	return verdict, nil
+}

@@ -1,0 +1,142 @@
+package guard
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+func jointAssessor() *AggregateAssessor {
+	return &AggregateAssessor{Rules: []AggregateRule{
+		{Name: "total-heat", Variable: "heat", Kind: AggregateSum, Limit: 150},
+	}}
+}
+
+func proposal(t *testing.T, actor string, heatNow, heatDelta float64, priority int) ProposedAction {
+	t.Helper()
+	st, err := guardSchema(t).StateFromMap(map[string]float64{"heat": heatNow})
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	return ProposedAction{
+		Actor: actor,
+		Action: policy.Action{
+			Name:   "run",
+			Effect: statespace.Delta{"heat": heatDelta},
+		},
+		State:    st,
+		Priority: priority,
+	}
+}
+
+func TestJointActionsAllSafe(t *testing.T) {
+	proposals := []ProposedAction{
+		proposal(t, "a", 20, 10, 1),
+		proposal(t, "b", 30, 10, 1),
+		proposal(t, "c", 40, 10, 1),
+	}
+	v, err := AssessJointActions(jointAssessor(), proposals)
+	if err != nil {
+		t.Fatalf("AssessJointActions: %v", err)
+	}
+	if len(v.Approved) != 3 || len(v.Shed) != 0 || len(v.Violations) != 0 {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestJointActionsShedsLowestPriority(t *testing.T) {
+	// Each device individually fine (next heat < 80), but the joint
+	// plan sums to 60+60+60 = 180 > 150.
+	proposals := []ProposedAction{
+		proposal(t, "critical", 30, 30, 9),
+		proposal(t, "routine", 30, 30, 1),
+		proposal(t, "important", 30, 30, 5),
+	}
+	v, err := AssessJointActions(jointAssessor(), proposals)
+	if err != nil {
+		t.Fatalf("AssessJointActions: %v", err)
+	}
+	if len(v.Violations) == 0 {
+		t.Fatal("no violations recorded for an unsafe joint plan")
+	}
+	if len(v.Shed) != 1 || v.Shed[0].Actor != "routine" {
+		t.Fatalf("shed = %+v, want only the routine proposal", v.Shed)
+	}
+	if len(v.Approved) != 2 {
+		t.Errorf("approved = %+v", v.Approved)
+	}
+	// After shedding: 60 + 60 + 30 (routine holds) = 150 ≤ limit.
+}
+
+func TestJointActionsShedsUntilSafe(t *testing.T) {
+	proposals := []ProposedAction{
+		proposal(t, "a", 60, 15, 1), // next 75
+		proposal(t, "b", 60, 15, 2), // next 75
+		proposal(t, "c", 60, 15, 3), // next 75 — total 225
+	}
+	v, err := AssessJointActions(jointAssessor(), proposals)
+	if err != nil {
+		t.Fatalf("AssessJointActions: %v", err)
+	}
+	// Even all-shed totals 180 > 150: everything sheds, nothing
+	// approved — the formation itself is bad, which is the admission
+	// controller's job to prevent.
+	if len(v.Approved) != 0 || len(v.Shed) != 3 {
+		t.Errorf("verdict = %+v", v)
+	}
+	// Shedding order follows priority.
+	if v.Shed[0].Actor != "a" || v.Shed[1].Actor != "b" || v.Shed[2].Actor != "c" {
+		t.Errorf("shed order = %v", v.Shed)
+	}
+}
+
+func TestJointActionsTieBreakDeterministic(t *testing.T) {
+	run := func() []string {
+		proposals := []ProposedAction{
+			proposal(t, "zeta", 40, 30, 1),
+			proposal(t, "alpha", 40, 30, 1),
+			proposal(t, "mid", 40, 30, 5),
+		}
+		v, err := AssessJointActions(jointAssessor(), proposals)
+		if err != nil {
+			t.Fatalf("AssessJointActions: %v", err)
+		}
+		var shed []string
+		for _, s := range v.Shed {
+			shed = append(shed, s.Actor)
+		}
+		return shed
+	}
+	first, second := run(), run()
+	if len(first) == 0 {
+		t.Fatal("nothing shed")
+	}
+	if first[0] != "alpha" {
+		t.Errorf("tie-break order = %v, want alpha first", first)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("nondeterministic shedding")
+		}
+	}
+}
+
+func TestJointActionsErrors(t *testing.T) {
+	if _, err := AssessJointActions(nil, nil); err == nil {
+		t.Error("nil assessor accepted")
+	}
+	bad := ProposedAction{Actor: "x", Action: policy.Action{Name: "a"}}
+	if _, err := AssessJointActions(jointAssessor(), []ProposedAction{bad}); err == nil {
+		t.Error("invalid state accepted")
+	}
+	withGhost := proposal(t, "g", 10, 0, 1)
+	withGhost.Action.Effect = statespace.Delta{"ghost": 1}
+	if _, err := AssessJointActions(jointAssessor(), []ProposedAction{withGhost}); err == nil {
+		t.Error("unknown effect variable accepted")
+	}
+	v, err := AssessJointActions(jointAssessor(), nil)
+	if err != nil || len(v.Approved) != 0 {
+		t.Errorf("empty proposals: %+v, %v", v, err)
+	}
+}

@@ -1,0 +1,262 @@
+package guard
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/audit"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+)
+
+// Reviewer is one oversight collective's judgment on a proposed
+// policy: whether adopting it is within the system's allowed scope.
+type Reviewer interface {
+	// Name identifies the collective.
+	Name() string
+	// Review approves or rejects the proposed policy with a reason.
+	Review(p policy.Policy) (bool, string)
+}
+
+// ReviewerFunc adapts a function into a Reviewer.
+type ReviewerFunc struct {
+	Label string
+	Fn    func(policy.Policy) (bool, string)
+}
+
+var _ Reviewer = ReviewerFunc{}
+
+// Name identifies the collective.
+func (r ReviewerFunc) Name() string { return r.Label }
+
+// Review invokes the function; a nil function rejects.
+func (r ReviewerFunc) Review(p policy.Policy) (bool, string) {
+	if r.Fn == nil {
+		return false, "no review function"
+	}
+	return r.Fn(p)
+}
+
+// ScopeRule is one constraint a meta-policy places on adoptable
+// policies — the Section VI.E requirement that a collective's actions
+// stay "within the scope defined by a set of higher level meta-policies
+// that are defined by an independent and distinct collective".
+type ScopeRule interface {
+	// Check approves or rejects the policy.
+	Check(p policy.Policy) (bool, string)
+}
+
+// ForbidCategory rejects do-policies whose action category falls under
+// a forbidden concept.
+type ForbidCategory struct {
+	Taxonomy *ontology.Taxonomy
+	Concept  ontology.Concept
+}
+
+var _ ScopeRule = ForbidCategory{}
+
+// Check rejects covered do-policies.
+func (r ForbidCategory) Check(p policy.Policy) (bool, string) {
+	if p.Modality != policy.ModalityDo {
+		return true, "not a do-policy"
+	}
+	covered := p.Action.Category == r.Concept
+	if r.Taxonomy != nil {
+		covered = r.Taxonomy.IsA(p.Action.Category, r.Concept)
+	}
+	if covered {
+		return false, fmt.Sprintf("action category %q falls under forbidden %q", p.Action.Category, r.Concept)
+	}
+	return true, "category permitted"
+}
+
+// MaxEffectMagnitude rejects policies whose predicted state effect is
+// larger than a limit — a crude but effective cap on how violently a
+// single generated policy may move the device through its state space.
+type MaxEffectMagnitude struct {
+	Limit float64
+}
+
+var _ ScopeRule = MaxEffectMagnitude{}
+
+// Check rejects over-limit effects.
+func (r MaxEffectMagnitude) Check(p policy.Policy) (bool, string) {
+	if m := p.Action.Effect.Magnitude(); m > r.Limit {
+		return false, fmt.Sprintf("effect magnitude %.3f exceeds limit %.3f", m, r.Limit)
+	}
+	return true, "effect within limit"
+}
+
+// RequireCondition rejects unconditional do-policies for a given
+// action category: a generated policy that always fires a sensitive
+// action is out of scope.
+type RequireCondition struct {
+	Taxonomy *ontology.Taxonomy
+	Concept  ontology.Concept
+}
+
+var _ ScopeRule = RequireCondition{}
+
+// Check rejects unconditional covered policies.
+func (r RequireCondition) Check(p policy.Policy) (bool, string) {
+	if p.Modality != policy.ModalityDo {
+		return true, "not a do-policy"
+	}
+	covered := p.Action.Category == r.Concept
+	if r.Taxonomy != nil {
+		covered = r.Taxonomy.IsA(p.Action.Category, r.Concept)
+	}
+	if !covered {
+		return true, "category not sensitive"
+	}
+	if p.Condition == nil {
+		return false, fmt.Sprintf("unconditional policy over sensitive category %q", r.Concept)
+	}
+	if _, unconditional := p.Condition.(policy.True); unconditional {
+		return false, fmt.Sprintf("trivially-true condition over sensitive category %q", r.Concept)
+	}
+	return true, "condition present"
+}
+
+// PriorityCap rejects policies above a maximum priority, preventing a
+// generated policy from outranking human safety policies.
+type PriorityCap struct {
+	Max int
+}
+
+var _ ScopeRule = PriorityCap{}
+
+// Check rejects over-cap priorities.
+func (r PriorityCap) Check(p policy.Policy) (bool, string) {
+	if p.Priority > r.Max {
+		return false, fmt.Sprintf("priority %d exceeds cap %d", p.Priority, r.Max)
+	}
+	return true, "priority within cap"
+}
+
+// ScopeReviewer is a collective that reviews policies against a list
+// of scope rules; the first failing rule rejects.
+type ScopeReviewer struct {
+	Label string
+	Rules []ScopeRule
+}
+
+var _ Reviewer = (*ScopeReviewer)(nil)
+
+// Name identifies the collective.
+func (s *ScopeReviewer) Name() string { return s.Label }
+
+// Review applies every rule.
+func (s *ScopeReviewer) Review(p policy.Policy) (bool, string) {
+	for _, r := range s.Rules {
+		if ok, reason := r.Check(p); !ok {
+			return false, reason
+		}
+	}
+	return true, "all scope rules passed"
+}
+
+// Vote records one collective's review in a tripartite decision.
+type Vote struct {
+	Collective string
+	Approve    bool
+	Reason     string
+}
+
+// Tripartite is the Section VI.E checks-and-balances arrangement:
+// three collectives — "the analogues of the executive, legislative and
+// judiciary branches in human governance" — review each proposed
+// policy, and the majority prevails ("assuming that two out of the
+// three collectives always prevail").
+type Tripartite struct {
+	// Executive assesses operational fitness of the policy.
+	Executive Reviewer
+	// Legislative checks the policy against the meta-policy scope.
+	Legislative Reviewer
+	// Judiciary arbitrates; it is consulted like the others and
+	// breaks executive/legislative splits by majority.
+	Judiciary Reviewer
+	// Log records every decision; nil disables auditing.
+	Log *audit.Log
+}
+
+// Approve runs the 2-of-3 vote on a proposed policy.
+func (t *Tripartite) Approve(p policy.Policy) (bool, []Vote) {
+	var votes []Vote
+	approvals := 0
+	for _, rev := range []Reviewer{t.Executive, t.Legislative, t.Judiciary} {
+		if rev == nil {
+			continue
+		}
+		ok, reason := rev.Review(p)
+		votes = append(votes, Vote{Collective: rev.Name(), Approve: ok, Reason: reason})
+		if ok {
+			approvals++
+		}
+	}
+	needed := int(math.Ceil(float64(len(votes)+1) / 2))
+	approved := len(votes) > 0 && approvals >= needed
+	if t.Log != nil {
+		t.Log.Append(audit.KindOversight, p.ID,
+			fmt.Sprintf("policy %s approved=%v (%d/%d votes)", p.ID, approved, approvals, len(votes)),
+			map[string]string{"policy": p.String()})
+	}
+	return approved, votes
+}
+
+// SingleOverseer is the ablation baseline: one collective decides
+// alone. A compromised single overseer adopts anything.
+type SingleOverseer struct {
+	Overseer Reviewer
+	Log      *audit.Log
+}
+
+// Approve consults the lone overseer.
+func (s *SingleOverseer) Approve(p policy.Policy) (bool, []Vote) {
+	if s.Overseer == nil {
+		return false, nil
+	}
+	ok, reason := s.Overseer.Review(p)
+	votes := []Vote{{Collective: s.Overseer.Name(), Approve: ok, Reason: reason}}
+	if s.Log != nil {
+		s.Log.Append(audit.KindOversight, p.ID,
+			fmt.Sprintf("policy %s approved=%v (single overseer)", p.ID, ok), nil)
+	}
+	return ok, votes
+}
+
+// Unanimous is the strictest ablation variant: all collectives must
+// approve.
+type Unanimous struct {
+	Reviewers []Reviewer
+	Log       *audit.Log
+}
+
+// Approve requires every reviewer's assent.
+func (u *Unanimous) Approve(p policy.Policy) (bool, []Vote) {
+	votes := make([]Vote, 0, len(u.Reviewers))
+	approved := len(u.Reviewers) > 0
+	for _, rev := range u.Reviewers {
+		ok, reason := rev.Review(p)
+		votes = append(votes, Vote{Collective: rev.Name(), Approve: ok, Reason: reason})
+		if !ok {
+			approved = false
+		}
+	}
+	if u.Log != nil {
+		u.Log.Append(audit.KindOversight, p.ID,
+			fmt.Sprintf("policy %s approved=%v (unanimous)", p.ID, approved), nil)
+	}
+	return approved, votes
+}
+
+// Approver abstracts the three oversight arrangements for experiments.
+type Approver interface {
+	Approve(p policy.Policy) (bool, []Vote)
+}
+
+var (
+	_ Approver = (*Tripartite)(nil)
+	_ Approver = (*SingleOverseer)(nil)
+	_ Approver = (*Unanimous)(nil)
+)

@@ -1,0 +1,216 @@
+package guard
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+func kineticTaxonomy(t *testing.T) *ontology.Taxonomy {
+	t.Helper()
+	tx := ontology.NewTaxonomy()
+	if err := tx.AddIsA("fire-weapon", "kinetic-action"); err != nil {
+		t.Fatalf("AddIsA: %v", err)
+	}
+	return tx
+}
+
+func scopeReviewer(t *testing.T, label string) *ScopeReviewer {
+	t.Helper()
+	return &ScopeReviewer{
+		Label: label,
+		Rules: []ScopeRule{
+			ForbidCategory{Taxonomy: kineticTaxonomy(t), Concept: "kinetic-action"},
+			MaxEffectMagnitude{Limit: 10},
+			PriorityCap{Max: 50},
+		},
+	}
+}
+
+func benignPolicy() policy.Policy {
+	return policy.Policy{
+		ID: "benign", EventType: "smoke", Modality: policy.ModalityDo,
+		Action:   policy.Action{Name: "observe", Category: "surveillance"},
+		Priority: 5,
+	}
+}
+
+func malevolentPolicy() policy.Policy {
+	return policy.Policy{
+		ID: "malevolent", EventType: "*", Modality: policy.ModalityDo,
+		Action:   policy.Action{Name: "engage", Category: "fire-weapon"},
+		Priority: 5,
+	}
+}
+
+func TestScopeRules(t *testing.T) {
+	tx := kineticTaxonomy(t)
+	tests := []struct {
+		name string
+		rule ScopeRule
+		p    policy.Policy
+		want bool
+	}{
+		{name: "forbid hits subcategory", rule: ForbidCategory{Taxonomy: tx, Concept: "kinetic-action"}, p: malevolentPolicy(), want: false},
+		{name: "forbid passes benign", rule: ForbidCategory{Taxonomy: tx, Concept: "kinetic-action"}, p: benignPolicy(), want: true},
+		{name: "forbid ignores forbid-policies", rule: ForbidCategory{Concept: "x"},
+			p: policy.Policy{ID: "f", EventType: "e", Modality: policy.ModalityForbid, Action: policy.Action{Category: "x"}}, want: true},
+		{name: "forbid equality without taxonomy", rule: ForbidCategory{Concept: "fire-weapon"}, p: malevolentPolicy(), want: false},
+		{name: "effect cap passes", rule: MaxEffectMagnitude{Limit: 10}, p: benignPolicy(), want: true},
+		{name: "effect cap rejects", rule: MaxEffectMagnitude{Limit: 1},
+			p: policy.Policy{ID: "big", EventType: "e", Modality: policy.ModalityDo,
+				Action: policy.Action{Name: "a", Effect: statespace.Delta{"x": 5}}}, want: false},
+		{name: "priority cap rejects", rule: PriorityCap{Max: 3}, p: benignPolicy(), want: false},
+		{name: "priority cap passes", rule: PriorityCap{Max: 50}, p: benignPolicy(), want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, reason := tt.rule.Check(tt.p)
+			if got != tt.want {
+				t.Errorf("Check = %v (%s), want %v", got, reason, tt.want)
+			}
+		})
+	}
+}
+
+func TestRequireCondition(t *testing.T) {
+	tx := kineticTaxonomy(t)
+	rule := RequireCondition{Taxonomy: tx, Concept: "kinetic-action"}
+
+	unconditional := malevolentPolicy()
+	if ok, _ := rule.Check(unconditional); ok {
+		t.Error("unconditional sensitive policy passed")
+	}
+	trivial := malevolentPolicy()
+	trivial.Condition = policy.True{}
+	if ok, _ := rule.Check(trivial); ok {
+		t.Error("trivially-true sensitive policy passed")
+	}
+	guarded := malevolentPolicy()
+	guarded.Condition = policy.Threshold{Quantity: "threat", Op: policy.CmpGT, Value: 0.9}
+	if ok, _ := rule.Check(guarded); !ok {
+		t.Error("conditioned sensitive policy rejected")
+	}
+	if ok, _ := rule.Check(benignPolicy()); !ok {
+		t.Error("non-sensitive policy rejected")
+	}
+}
+
+func TestScopeReviewerFirstFailureWins(t *testing.T) {
+	r := scopeReviewer(t, "legislative")
+	if ok, _ := r.Review(benignPolicy()); !ok {
+		t.Error("benign policy rejected")
+	}
+	if ok, reason := r.Review(malevolentPolicy()); ok || reason == "" {
+		t.Error("malevolent policy approved")
+	}
+	if r.Name() != "legislative" {
+		t.Errorf("Name = %q", r.Name())
+	}
+}
+
+func tripartiteFixture(t *testing.T) (*Tripartite, *audit.Log) {
+	t.Helper()
+	log := audit.New()
+	return &Tripartite{
+		Executive:   scopeReviewer(t, "executive"),
+		Legislative: scopeReviewer(t, "legislative"),
+		Judiciary:   scopeReviewer(t, "judiciary"),
+		Log:         log,
+	}, log
+}
+
+func TestTripartiteMajority(t *testing.T) {
+	tri, log := tripartiteFixture(t)
+	ok, votes := tri.Approve(benignPolicy())
+	if !ok || len(votes) != 3 {
+		t.Errorf("benign: ok=%v votes=%v", ok, votes)
+	}
+	ok, _ = tri.Approve(malevolentPolicy())
+	if ok {
+		t.Error("malevolent policy approved by healthy tripartite")
+	}
+	if len(log.ByKind(audit.KindOversight)) != 2 {
+		t.Error("oversight decisions not audited")
+	}
+}
+
+func TestTripartiteSurvivesOneCompromisedCollective(t *testing.T) {
+	tri, _ := tripartiteFixture(t)
+	// Compromise the executive: it approves everything.
+	tri.Executive = ReviewerFunc{Label: "compromised-executive", Fn: func(policy.Policy) (bool, string) {
+		return true, "rubber stamp"
+	}}
+	ok, votes := tri.Approve(malevolentPolicy())
+	if ok {
+		t.Errorf("malevolent policy approved with one compromised collective: %v", votes)
+	}
+}
+
+func TestTripartiteFallsToTwoCompromised(t *testing.T) {
+	tri, _ := tripartiteFixture(t)
+	stamp := ReviewerFunc{Label: "stamp", Fn: func(policy.Policy) (bool, string) { return true, "" }}
+	tri.Executive = stamp
+	tri.Judiciary = stamp
+	if ok, _ := tri.Approve(malevolentPolicy()); !ok {
+		t.Error("2-of-3 compromised should approve (documents the mechanism's limit)")
+	}
+}
+
+func TestTripartiteNilReviewersRejected(t *testing.T) {
+	tri := &Tripartite{}
+	if ok, votes := tri.Approve(benignPolicy()); ok || votes != nil {
+		t.Error("empty tripartite approved")
+	}
+}
+
+func TestSingleOverseer(t *testing.T) {
+	log := audit.New()
+	s := &SingleOverseer{Overseer: scopeReviewer(t, "solo"), Log: log}
+	if ok, _ := s.Approve(benignPolicy()); !ok {
+		t.Error("benign rejected")
+	}
+	if ok, _ := s.Approve(malevolentPolicy()); ok {
+		t.Error("malevolent approved by healthy overseer")
+	}
+	// Compromised single overseer: no backstop.
+	s.Overseer = ReviewerFunc{Label: "stamp", Fn: func(policy.Policy) (bool, string) { return true, "" }}
+	if ok, _ := s.Approve(malevolentPolicy()); !ok {
+		t.Error("compromised single overseer should approve (the vulnerability E6 measures)")
+	}
+	var empty SingleOverseer
+	if ok, _ := empty.Approve(benignPolicy()); ok {
+		t.Error("nil overseer approved")
+	}
+}
+
+func TestUnanimous(t *testing.T) {
+	u := &Unanimous{Reviewers: []Reviewer{
+		scopeReviewer(t, "a"),
+		ReviewerFunc{Label: "nitpick", Fn: func(p policy.Policy) (bool, string) {
+			return p.Priority < 3, "priority taste"
+		}},
+	}}
+	if ok, _ := u.Approve(benignPolicy()); ok {
+		t.Error("unanimous approved despite one rejection")
+	}
+	low := benignPolicy()
+	low.Priority = 1
+	if ok, _ := u.Approve(low); !ok {
+		t.Error("unanimous rejected fully-approved policy")
+	}
+	var empty Unanimous
+	if ok, _ := empty.Approve(benignPolicy()); ok {
+		t.Error("empty unanimous approved")
+	}
+}
+
+func TestReviewerFuncNil(t *testing.T) {
+	r := ReviewerFunc{Label: "x"}
+	if ok, _ := r.Review(benignPolicy()); ok {
+		t.Error("nil review function approved")
+	}
+}

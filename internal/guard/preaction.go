@@ -1,0 +1,137 @@
+package guard
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+	"repro/internal/policy"
+)
+
+// HarmPredictor estimates the probability in [0,1] that a proposed
+// action directly harms a human. Implementations typically consult a
+// world model (who is near the action's target); experiments degrade
+// predictor accuracy to study robustness.
+type HarmPredictor interface {
+	PredictHarm(ActionContext) float64
+}
+
+// HarmPredictorFunc adapts a function into a HarmPredictor.
+type HarmPredictorFunc func(ActionContext) float64
+
+var _ HarmPredictor = HarmPredictorFunc(nil)
+
+// PredictHarm invokes the function.
+func (f HarmPredictorFunc) PredictHarm(ctx ActionContext) float64 { return f(ctx) }
+
+// PreActionGuard is the Section VI.A mechanism: "each device [should]
+// incorporate a check before taking any action (i.e., activating any
+// actuator) that the action will not harm a human." Actions whose
+// predicted direct-harm probability reaches the threshold are denied;
+// allowed actions are rewritten to carry the obligations relevant to
+// their category, mitigating indirect harm (the dug-hole example).
+type PreActionGuard struct {
+	// Predictor estimates direct harm. A nil predictor predicts no
+	// harm (degenerating to obligations-only behavior).
+	Predictor HarmPredictor
+	// Threshold is the harm probability at or above which the action
+	// is denied. Zero means a strict threshold of any predicted harm
+	// (> 0 denies).
+	Threshold float64
+	// Obligations selects obligations for allowed actions; nil
+	// disables obligation attachment.
+	Obligations *ontology.ObligationOntology
+	// ObligationBudget bounds the total obligation cost attached per
+	// action; zero means unlimited.
+	ObligationBudget float64
+}
+
+var _ Guard = (*PreActionGuard)(nil)
+
+// Name identifies the guard.
+func (g *PreActionGuard) Name() string { return "pre-action" }
+
+// Check denies directly harmful actions and attaches relevant
+// obligations to allowed ones. The no-op action is always allowed.
+func (g *PreActionGuard) Check(ctx ActionContext) Verdict {
+	if ctx.Action.IsNoAction() {
+		return Verdict{Decision: DecisionAllow, Action: ctx.Action, Guard: g.Name(), Reason: "no-op"}
+	}
+	if g.Predictor != nil {
+		p := g.Predictor.PredictHarm(ctx)
+		deny := p >= g.Threshold
+		if g.Threshold == 0 {
+			deny = p > 0
+		}
+		if deny {
+			return Verdict{
+				Decision: DecisionDeny,
+				Guard:    g.Name(),
+				Reason:   fmt.Sprintf("predicted direct harm probability %.2f for %s", p, ctx.Action.Name),
+			}
+		}
+	}
+	action := ctx.Action
+	if g.Obligations != nil && action.Category != "" {
+		var selected []ontology.Obligation
+		if g.ObligationBudget > 0 {
+			selected = g.Obligations.SelectWithinBudget(action.Category, g.ObligationBudget)
+		} else {
+			selected = g.Obligations.RelevantTo(action.Category)
+		}
+		if len(selected) > 0 {
+			names := make([]string, len(selected))
+			for i, ob := range selected {
+				names[i] = ob.Name
+			}
+			action = action.WithObligations(names...)
+		}
+	}
+	return Verdict{
+		Decision: DecisionAllow,
+		Action:   action,
+		Guard:    g.Name(),
+		Reason:   fmt.Sprintf("no direct harm predicted; %d obligations attached", len(action.Obligations)-len(ctx.Action.Obligations)),
+	}
+}
+
+// DegradedPredictor wraps a predictor with imperfect accuracy: with
+// probability (1−accuracy) it returns 0 instead of the true estimate —
+// a miss. It models the paper's caveat that "if the action causes
+// indirect harm to a human, the pre-action check may fail in some
+// cases to catch that", and more generally sensor/model error.
+type DegradedPredictor struct {
+	// Inner is the true predictor.
+	Inner HarmPredictor
+	// Accuracy is the probability a true positive is reported.
+	Accuracy float64
+	// Rand yields uniform samples in [0,1); it must be non-nil.
+	Rand func() float64
+}
+
+var _ HarmPredictor = (*DegradedPredictor)(nil)
+
+// PredictHarm returns the inner estimate, or 0 on a miss.
+func (d *DegradedPredictor) PredictHarm(ctx ActionContext) float64 {
+	p := d.Inner.PredictHarm(ctx)
+	if p > 0 && d.Rand() >= d.Accuracy {
+		return 0
+	}
+	return p
+}
+
+// ObligationDischarger executes an attached obligation after its
+// primary action runs. Scenario code implements it against the world
+// (post a sign, broadcast a warning, backfill the hole).
+type ObligationDischarger interface {
+	Discharge(obligation string, a policy.Action) error
+}
+
+// DischargerFunc adapts a function into an ObligationDischarger.
+type DischargerFunc func(obligation string, a policy.Action) error
+
+var _ ObligationDischarger = DischargerFunc(nil)
+
+// Discharge invokes the function.
+func (f DischargerFunc) Discharge(obligation string, a policy.Action) error {
+	return f(obligation, a)
+}

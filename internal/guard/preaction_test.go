@@ -1,0 +1,149 @@
+package guard
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/policy"
+)
+
+func obligationFixture(t *testing.T) *ontology.ObligationOntology {
+	t.Helper()
+	tx := ontology.NewTaxonomy()
+	if err := tx.AddIsA("dig-hole", "terrain-change"); err != nil {
+		t.Fatalf("AddIsA: %v", err)
+	}
+	oo := ontology.NewObligationOntology(tx)
+	for _, ob := range []ontology.Obligation{
+		{Name: "post-warning-sign", AppliesTo: "terrain-change", Cost: 1},
+		{Name: "broadcast-alert", AppliesTo: "terrain-change", Cost: 3},
+	} {
+		if err := oo.Register(ob); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	return oo
+}
+
+func TestPreActionDeniesPredictedHarm(t *testing.T) {
+	s := guardSchema(t)
+	g := &PreActionGuard{
+		Predictor: HarmPredictorFunc(func(ActionContext) float64 { return 0.9 }),
+		Threshold: 0.5,
+	}
+	v := g.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "strike"}))
+	if v.Allowed() {
+		t.Fatalf("harmful action allowed: %+v", v)
+	}
+	if !strings.Contains(v.Reason, "0.90") {
+		t.Errorf("reason = %q", v.Reason)
+	}
+}
+
+func TestPreActionZeroThresholdIsStrict(t *testing.T) {
+	s := guardSchema(t)
+	g := &PreActionGuard{
+		Predictor: HarmPredictorFunc(func(ActionContext) float64 { return 0.01 }),
+	}
+	if v := g.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "strike"})); v.Allowed() {
+		t.Error("strict threshold allowed nonzero harm")
+	}
+	safe := &PreActionGuard{Predictor: HarmPredictorFunc(func(ActionContext) float64 { return 0 })}
+	if v := safe.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "move"})); !v.Allowed() {
+		t.Error("harmless action denied under strict threshold")
+	}
+}
+
+func TestPreActionAttachesObligations(t *testing.T) {
+	s := guardSchema(t)
+	g := &PreActionGuard{
+		Obligations: obligationFixture(t),
+	}
+	v := g.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "dig", Category: "dig-hole"}))
+	if !v.Allowed() {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if len(v.Action.Obligations) != 2 || v.Action.Obligations[0] != "post-warning-sign" {
+		t.Errorf("obligations = %v", v.Action.Obligations)
+	}
+}
+
+func TestPreActionObligationBudget(t *testing.T) {
+	s := guardSchema(t)
+	g := &PreActionGuard{
+		Obligations:      obligationFixture(t),
+		ObligationBudget: 1.5,
+	}
+	v := g.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "dig", Category: "dig-hole"}))
+	if len(v.Action.Obligations) != 1 || v.Action.Obligations[0] != "post-warning-sign" {
+		t.Errorf("budgeted obligations = %v", v.Action.Obligations)
+	}
+}
+
+func TestPreActionNoCategoryNoObligations(t *testing.T) {
+	s := guardSchema(t)
+	g := &PreActionGuard{Obligations: obligationFixture(t)}
+	v := g.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "move"}))
+	if len(v.Action.Obligations) != 0 {
+		t.Errorf("obligations attached without category: %v", v.Action.Obligations)
+	}
+}
+
+func TestPreActionAllowsNoOp(t *testing.T) {
+	s := guardSchema(t)
+	g := &PreActionGuard{
+		Predictor: HarmPredictorFunc(func(ActionContext) float64 { return 1 }),
+	}
+	if v := g.Check(ctxAt(t, s, 0, 0, policy.NoAction)); !v.Allowed() {
+		t.Error("no-op denied")
+	}
+}
+
+func TestDegradedPredictorMissesAtConfiguredRate(t *testing.T) {
+	s := guardSchema(t)
+	rng := rand.New(rand.NewSource(5))
+	d := &DegradedPredictor{
+		Inner:    HarmPredictorFunc(func(ActionContext) float64 { return 1 }),
+		Accuracy: 0.7,
+		Rand:     rng.Float64,
+	}
+	ctx := ctxAt(t, s, 0, 0, policy.Action{Name: "strike"})
+	hits := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if d.PredictHarm(ctx) > 0 {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.65 || rate > 0.75 {
+		t.Errorf("hit rate = %.3f, want ≈0.7", rate)
+	}
+	// Zero-harm predictions are never inverted into false alarms.
+	clean := &DegradedPredictor{
+		Inner:    HarmPredictorFunc(func(ActionContext) float64 { return 0 }),
+		Accuracy: 0.1,
+		Rand:     rng.Float64,
+	}
+	for i := 0; i < 100; i++ {
+		if clean.PredictHarm(ctx) != 0 {
+			t.Fatal("degraded predictor invented harm")
+		}
+	}
+}
+
+func TestDischargerFunc(t *testing.T) {
+	called := ""
+	d := DischargerFunc(func(ob string, a policy.Action) error {
+		called = ob + ":" + a.Name
+		return nil
+	})
+	if err := d.Discharge("warn", policy.Action{Name: "dig"}); err != nil {
+		t.Fatalf("Discharge: %v", err)
+	}
+	if called != "warn:dig" {
+		t.Errorf("called = %q", called)
+	}
+}

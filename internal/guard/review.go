@@ -1,0 +1,99 @@
+package guard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/statespace"
+)
+
+// Abuse is one suspicious break-glass use found by post-hoc review.
+type Abuse struct {
+	// Seq is the audit entry's sequence number.
+	Seq int
+	// Actor is the device that broke the glass.
+	Actor string
+	// Reason explains why the use looks abusive.
+	Reason string
+}
+
+// String renders the finding.
+func (a Abuse) String() string {
+	return fmt.Sprintf("entry %d (%s): %s", a.Seq, a.Actor, a.Reason)
+}
+
+// ReviewBreakGlass is the audit step Section VI.B requires: "Use of
+// such rules in our context would require support for audits to verify
+// that devices did not abuse the break-glass rules. Such audits in
+// turn would require the collection of comprehensive context
+// information."
+//
+// The pipeline records each use's state context; the reviewer replays
+// those states against a ground-truth classifier (typically better
+// informed than the device was at decision time) and flags uses where
+// the recorded state was not actually bad — i.e. there was no dilemma,
+// so the override was unnecessary at best and malicious at worst. It
+// also flags entries whose context is missing or unparsable, since an
+// audit that cannot reconstruct the decision context must treat the
+// use as unverified.
+func ReviewBreakGlass(log *audit.Log, schema *statespace.Schema, truth statespace.Classifier) ([]Abuse, error) {
+	if log == nil || schema == nil || truth == nil {
+		return nil, fmt.Errorf("guard: review requires a log, schema and classifier")
+	}
+	if err := log.Verify(); err != nil {
+		return nil, fmt.Errorf("guard: audit chain failed verification: %w", err)
+	}
+	var abuses []Abuse
+	for _, entry := range log.ByKind(audit.KindBreakGlass) {
+		stateText, ok := entry.Context["state"]
+		if !ok {
+			abuses = append(abuses, Abuse{
+				Seq: entry.Seq, Actor: entry.Actor,
+				Reason: "no state context recorded; use unverifiable",
+			})
+			continue
+		}
+		st, err := parseStateString(schema, stateText)
+		if err != nil {
+			abuses = append(abuses, Abuse{
+				Seq: entry.Seq, Actor: entry.Actor,
+				Reason: fmt.Sprintf("state context unparsable (%v); use unverifiable", err),
+			})
+			continue
+		}
+		if truth.Classify(st) != statespace.ClassBad {
+			abuses = append(abuses, Abuse{
+				Seq: entry.Seq, Actor: entry.Actor,
+				Reason: fmt.Sprintf("recorded state %s was not bad; no dilemma existed", stateText),
+			})
+		}
+	}
+	return abuses, nil
+}
+
+// parseStateString parses the statespace.State.String() form
+// "{name=value, ...}" back into a state over the schema.
+func parseStateString(schema *statespace.Schema, s string) (statespace.State, error) {
+	trimmed := strings.TrimSpace(s)
+	if !strings.HasPrefix(trimmed, "{") || !strings.HasSuffix(trimmed, "}") {
+		return statespace.State{}, fmt.Errorf("not a state literal: %q", s)
+	}
+	body := trimmed[1 : len(trimmed)-1]
+	values := make(map[string]float64)
+	if body != "" {
+		for _, part := range strings.Split(body, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) != 2 {
+				return statespace.State{}, fmt.Errorf("bad component %q", part)
+			}
+			v, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return statespace.State{}, fmt.Errorf("bad value in %q: %w", part, err)
+			}
+			values[kv[0]] = v
+		}
+	}
+	return schema.StateFromMap(values)
+}

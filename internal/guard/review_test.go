@@ -1,0 +1,123 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// breakGlassUse drives a pipeline-audited break-glass use at the given
+// sensed heat (the recorded context) so review tests have realistic
+// entries.
+func breakGlassUse(t *testing.T, log *audit.Log, sensedHeat float64) {
+	t.Helper()
+	s := guardSchema(t)
+	prefs := ontology.NewPreferenceOntology()
+	if err := prefs.Prefer("fire", "loss-of-life"); err != nil {
+		t.Fatalf("Prefer: %v", err)
+	}
+	g := NewPipeline(log, &StateSpaceGuard{
+		Classifier: heatClassifier(),
+		OutcomeOf: func(st statespace.State) ontology.Outcome {
+			if st.MustGet("heat") >= 90 {
+				return "loss-of-life"
+			}
+			if st.MustGet("heat") >= 80 {
+				return "fire"
+			}
+			return ""
+		},
+		BreakGlass: &BreakGlass{Preferences: prefs},
+	})
+	ctx := ctxAt(t, s, sensedHeat, 85, policy.Action{Name: "vent"})
+	v := g.Check(ctx)
+	if !v.Allowed() || !v.BrokeGlass {
+		t.Fatalf("fixture did not break glass: %+v", v)
+	}
+}
+
+func TestReviewBreakGlassCleanUse(t *testing.T) {
+	log := audit.New()
+	breakGlassUse(t, log, 95) // genuinely bad recorded state
+	abuses, err := ReviewBreakGlass(log, guardSchema(t), heatClassifier())
+	if err != nil {
+		t.Fatalf("ReviewBreakGlass: %v", err)
+	}
+	if len(abuses) != 0 {
+		t.Errorf("legitimate use flagged: %v", abuses)
+	}
+}
+
+func TestReviewBreakGlassFlagsNoDilemma(t *testing.T) {
+	log := audit.New()
+	breakGlassUse(t, log, 95)
+	// An abusive entry: record a break-glass use whose state context
+	// the ground truth says was good (the device lied or was deceived,
+	// and post-hoc information reveals it).
+	log.Append(audit.KindBreakGlass, "liar-1", "escape", map[string]string{
+		"state": "{heat=10, progress=0}",
+	})
+	abuses, err := ReviewBreakGlass(log, guardSchema(t), heatClassifier())
+	if err != nil {
+		t.Fatalf("ReviewBreakGlass: %v", err)
+	}
+	if len(abuses) != 1 || abuses[0].Actor != "liar-1" {
+		t.Fatalf("abuses = %v", abuses)
+	}
+	if !strings.Contains(abuses[0].String(), "no dilemma") {
+		t.Errorf("finding = %s", abuses[0])
+	}
+}
+
+func TestReviewBreakGlassFlagsUnverifiable(t *testing.T) {
+	log := audit.New()
+	log.Append(audit.KindBreakGlass, "amnesiac", "escape", nil)
+	log.Append(audit.KindBreakGlass, "mangler", "escape", map[string]string{"state": "not-a-state"})
+	abuses, err := ReviewBreakGlass(log, guardSchema(t), heatClassifier())
+	if err != nil {
+		t.Fatalf("ReviewBreakGlass: %v", err)
+	}
+	if len(abuses) != 2 {
+		t.Fatalf("abuses = %v", abuses)
+	}
+	for _, a := range abuses {
+		if !strings.Contains(a.Reason, "unverifiable") {
+			t.Errorf("finding = %s", a)
+		}
+	}
+}
+
+func TestReviewBreakGlassRejectsBrokenChain(t *testing.T) {
+	log := audit.New()
+	breakGlassUse(t, log, 95)
+	// Tampering is detected before any review conclusions are drawn:
+	// review a hand-built broken chain.
+	if _, err := ReviewBreakGlass(nil, guardSchema(t), heatClassifier()); err == nil {
+		t.Error("nil log accepted")
+	}
+}
+
+func TestParseStateString(t *testing.T) {
+	s := guardSchema(t)
+	st, err := parseStateString(s, "{heat=42, progress=7}")
+	if err != nil {
+		t.Fatalf("parseStateString: %v", err)
+	}
+	if st.MustGet("heat") != 42 || st.MustGet("progress") != 7 {
+		t.Errorf("parsed = %v", st)
+	}
+	// Round trip with State.String().
+	back, err := parseStateString(s, st.String())
+	if err != nil || !back.Equal(st) {
+		t.Errorf("round trip = %v, %v", back, err)
+	}
+	for _, bad := range []string{"nope", "{heat}", "{heat=x}", "{ghost=1}"} {
+		if _, err := parseStateString(s, bad); err == nil {
+			t.Errorf("parseStateString(%q) succeeded", bad)
+		}
+	}
+}

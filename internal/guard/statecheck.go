@@ -1,0 +1,222 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ontology"
+	"repro/internal/risk"
+	"repro/internal/statespace"
+)
+
+// StateSpaceGuard is the Section VI.B mechanism: "If the device finds
+// itself entering into a bad state, it will not take the action that
+// leads to that state, simply choosing the option of taking no action
+// (which keeps it in the current good state) or taking an alternative
+// action which puts it into a new state which is also good."
+//
+// When the device is already in a bad state and every way out is bad
+// (the paper's run-at-max-capacity-or-risk-fire dilemma), the guard
+// consults its BreakGlass rule: the transition is allowed — and flagged
+// for audit — only if the destination is "less bad" under the state
+// preference ontology, or lower-risk under the risk assessor when the
+// ontology is silent.
+type StateSpaceGuard struct {
+	// Classifier partitions the state space (required).
+	Classifier statespace.Classifier
+	// OutcomeOf maps a state to its outcome category for preference
+	// comparison. Nil falls back to the action's Outcome for the next
+	// state and disables current-state outcomes.
+	OutcomeOf func(statespace.State) ontology.Outcome
+	// BreakGlass enables audited escapes from bad-to-bad dilemmas;
+	// nil denies all transitions into bad states.
+	BreakGlass *BreakGlass
+}
+
+var _ Guard = (*StateSpaceGuard)(nil)
+
+// Name identifies the guard.
+func (g *StateSpaceGuard) Name() string { return "state-space" }
+
+// Check applies the state-space rule. A nil classifier fails closed.
+func (g *StateSpaceGuard) Check(ctx ActionContext) Verdict {
+	if g.Classifier == nil {
+		return Verdict{Decision: DecisionDeny, Guard: g.Name(), Reason: "no classifier configured; failing closed"}
+	}
+	if !ctx.Next.Valid() {
+		return Verdict{Decision: DecisionDeny, Guard: g.Name(), Reason: "no predicted next state; failing closed"}
+	}
+	nextClass := g.Classifier.Classify(ctx.Next)
+	if nextClass != statespace.ClassBad {
+		return Verdict{
+			Decision: DecisionAllow,
+			Action:   ctx.Action,
+			Guard:    g.Name(),
+			Reason:   fmt.Sprintf("next state is %s", nextClass),
+		}
+	}
+
+	currClass := statespace.ClassNeutral
+	if ctx.State.Valid() {
+		currClass = g.Classifier.Classify(ctx.State)
+	}
+	if currClass != statespace.ClassBad {
+		// Staying put is safe; refuse the transition.
+		return Verdict{
+			Decision: DecisionDeny,
+			Guard:    g.Name(),
+			Reason:   fmt.Sprintf("action %s would enter bad state %s; holding %s state", ctx.Action.Name, ctx.Next, currClass),
+		}
+	}
+
+	// Dilemma: current and next are both bad.
+	if g.BreakGlass == nil {
+		return Verdict{
+			Decision: DecisionDeny,
+			Guard:    g.Name(),
+			Reason:   "bad-to-bad transition and no break-glass rule configured",
+		}
+	}
+	return g.BreakGlass.rule(g, ctx)
+}
+
+// BreakGlass encodes the emergency-override rule of Section VI.B
+// (paper ref [12]): overrides must be budgeted, auditable, and based on
+// trustworthy information.
+type BreakGlass struct {
+	// Preferences is the state-preference ontology used to decide
+	// "less bad".
+	Preferences *ontology.PreferenceOntology
+	// Risk breaks ties when the ontology cannot compare the outcomes.
+	Risk risk.Assessor
+	// TrustCheck verifies the state information behind the decision is
+	// trustworthy (defense against the deception attacks of ref [13]).
+	// Nil means always trusted.
+	TrustCheck func(ActionContext) bool
+	// MaxUses bounds the number of break-glass overrides; zero means
+	// unlimited.
+	MaxUses int
+
+	mu   sync.Mutex
+	uses int
+}
+
+// Uses returns how many times the rule has been exercised.
+func (b *BreakGlass) Uses() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.uses
+}
+
+func (b *BreakGlass) rule(g *StateSpaceGuard, ctx ActionContext) Verdict {
+	if b.TrustCheck != nil && !b.TrustCheck(ctx) {
+		return Verdict{
+			Decision: DecisionDeny,
+			Guard:    g.Name(),
+			Reason:   "break-glass refused: state information failed trust check",
+		}
+	}
+	b.mu.Lock()
+	if b.MaxUses > 0 && b.uses >= b.MaxUses {
+		b.mu.Unlock()
+		return Verdict{
+			Decision: DecisionDeny,
+			Guard:    g.Name(),
+			Reason:   fmt.Sprintf("break-glass budget exhausted (%d uses)", b.MaxUses),
+		}
+	}
+	b.mu.Unlock()
+
+	currOutcome, nextOutcome := b.outcomes(g, ctx)
+	allowReason := ""
+	switch {
+	case b.Preferences != nil && nextOutcome != "" && currOutcome != "" && b.Preferences.Preferred(nextOutcome, currOutcome):
+		allowReason = fmt.Sprintf("break-glass: outcome %q preferred over %q", nextOutcome, currOutcome)
+	case b.Risk != nil && ctx.State.Valid() && b.Risk.Risk(ctx.Next) < b.Risk.Risk(ctx.State):
+		allowReason = fmt.Sprintf("break-glass: next-state risk %.3f below current %.3f",
+			b.Risk.Risk(ctx.Next), b.Risk.Risk(ctx.State))
+	default:
+		return Verdict{
+			Decision: DecisionDeny,
+			Guard:    g.Name(),
+			Reason:   fmt.Sprintf("break-glass refused: %q not preferable to %q and risk not reduced", nextOutcome, currOutcome),
+		}
+	}
+
+	b.mu.Lock()
+	b.uses++
+	b.mu.Unlock()
+	return Verdict{
+		Decision:   DecisionAllow,
+		Action:     ctx.Action,
+		Guard:      g.Name(),
+		Reason:     allowReason,
+		BrokeGlass: true,
+	}
+}
+
+func (b *BreakGlass) outcomes(g *StateSpaceGuard, ctx ActionContext) (curr, next ontology.Outcome) {
+	next = ctx.Action.Outcome
+	if g.OutcomeOf != nil {
+		if ctx.State.Valid() {
+			curr = g.OutcomeOf(ctx.State)
+		}
+		if o := g.OutcomeOf(ctx.Next); o != "" {
+			next = o
+		}
+	}
+	return curr, next
+}
+
+// UtilityGuard applies the Section VII mechanism for ill-defined state
+// spaces: when no exact good/bad classifier exists, the device follows
+// the pain/pleasure utility synthesized from derivative signs, refusing
+// actions that increase pain beyond a tolerance.
+type UtilityGuard struct {
+	// Model is the derivative-sign utility model (required).
+	Model *statespace.DerivativeModel
+	// MaxPainIncrease is the largest tolerated pain increase per
+	// action. Zero tolerates no increase.
+	MaxPainIncrease float64
+	// PainCeiling denies any action whose destination pain exceeds
+	// this level, regardless of the increase. Zero disables the
+	// ceiling check.
+	PainCeiling float64
+}
+
+var _ Guard = (*UtilityGuard)(nil)
+
+// Name identifies the guard.
+func (g *UtilityGuard) Name() string { return "utility" }
+
+// Check refuses pain-increasing transitions.
+func (g *UtilityGuard) Check(ctx ActionContext) Verdict {
+	if g.Model == nil {
+		return Verdict{Decision: DecisionDeny, Guard: g.Name(), Reason: "no utility model configured; failing closed"}
+	}
+	if !ctx.Next.Valid() || !ctx.State.Valid() {
+		return Verdict{Decision: DecisionDeny, Guard: g.Name(), Reason: "missing state prediction; failing closed"}
+	}
+	painNow := g.Model.Pain(ctx.State)
+	painNext := g.Model.Pain(ctx.Next)
+	if g.PainCeiling > 0 && painNext > g.PainCeiling {
+		return Verdict{
+			Decision: DecisionDeny,
+			Guard:    g.Name(),
+			Reason:   fmt.Sprintf("destination pain %.3f above ceiling %.3f", painNext, g.PainCeiling),
+		}
+	}
+	if painNext-painNow > g.MaxPainIncrease {
+		return Verdict{
+			Decision: DecisionDeny,
+			Guard:    g.Name(),
+			Reason:   fmt.Sprintf("pain would rise %.3f→%.3f (tolerance %.3f)", painNow, painNext, g.MaxPainIncrease),
+		}
+	}
+	return Verdict{
+		Decision: DecisionAllow,
+		Action:   ctx.Action,
+		Guard:    g.Name(),
+		Reason:   fmt.Sprintf("pain %.3f→%.3f within tolerance", painNow, painNext),
+	}
+}

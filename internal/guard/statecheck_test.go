@@ -1,0 +1,236 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/risk"
+	"repro/internal/statespace"
+)
+
+// heatClassifier: bad when heat >= 80, good below 50, neutral between.
+func heatClassifier() statespace.Classifier {
+	return statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		h := st.MustGet("heat")
+		switch {
+		case h >= 80:
+			return statespace.ClassBad
+		case h < 50:
+			return statespace.ClassGood
+		default:
+			return statespace.ClassNeutral
+		}
+	})
+}
+
+func TestStateSpaceGuardAllowsGoodAndNeutral(t *testing.T) {
+	s := guardSchema(t)
+	g := &StateSpaceGuard{Classifier: heatClassifier()}
+	tests := []struct {
+		name     string
+		nextHeat float64
+		want     bool
+	}{
+		{name: "good", nextHeat: 10, want: true},
+		{name: "neutral", nextHeat: 60, want: true},
+		{name: "bad", nextHeat: 90, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := g.Check(ctxAt(t, s, 10, tt.nextHeat, policy.Action{Name: "run"}))
+			if v.Allowed() != tt.want {
+				t.Errorf("Allowed = %v, want %v (%s)", v.Allowed(), tt.want, v.Reason)
+			}
+		})
+	}
+}
+
+func TestStateSpaceGuardFailsClosed(t *testing.T) {
+	s := guardSchema(t)
+	var g StateSpaceGuard
+	if v := g.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "a"})); v.Allowed() {
+		t.Error("nil classifier allowed action")
+	}
+	g2 := StateSpaceGuard{Classifier: heatClassifier()}
+	ctx := ctxAt(t, s, 0, 0, policy.Action{Name: "a"})
+	ctx.Next = statespace.State{}
+	if v := g2.Check(ctx); v.Allowed() {
+		t.Error("invalid next state allowed")
+	}
+}
+
+func TestStateSpaceGuardDilemmaWithoutBreakGlass(t *testing.T) {
+	s := guardSchema(t)
+	g := &StateSpaceGuard{Classifier: heatClassifier()}
+	// Already bad (heat 95), moving to another bad state (heat 85).
+	v := g.Check(ctxAt(t, s, 95, 85, policy.Action{Name: "vent"}))
+	if v.Allowed() {
+		t.Error("bad-to-bad allowed without break-glass")
+	}
+	if !strings.Contains(v.Reason, "break-glass") {
+		t.Errorf("reason = %q", v.Reason)
+	}
+}
+
+func breakGlassFixture(t *testing.T) (*StateSpaceGuard, *BreakGlass) {
+	t.Helper()
+	prefs := ontology.NewPreferenceOntology()
+	// fire is less bad than loss-of-life.
+	if err := prefs.Prefer("fire", "loss-of-life"); err != nil {
+		t.Fatalf("Prefer: %v", err)
+	}
+	bg := &BreakGlass{Preferences: prefs}
+	g := &StateSpaceGuard{
+		Classifier: heatClassifier(),
+		OutcomeOf: func(st statespace.State) ontology.Outcome {
+			if st.MustGet("heat") >= 90 {
+				return "loss-of-life"
+			}
+			if st.MustGet("heat") >= 80 {
+				return "fire"
+			}
+			return ""
+		},
+		BreakGlass: bg,
+	}
+	return g, bg
+}
+
+func TestBreakGlassAllowsLessBadOutcome(t *testing.T) {
+	s := guardSchema(t)
+	g, bg := breakGlassFixture(t)
+	// 95 (loss-of-life) → 85 (fire): fire preferred, allow.
+	v := g.Check(ctxAt(t, s, 95, 85, policy.Action{Name: "run-max-capacity"}))
+	if !v.Allowed() || !v.BrokeGlass {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if bg.Uses() != 1 {
+		t.Errorf("Uses = %d", bg.Uses())
+	}
+	// Reverse direction: 85 (fire) → 95 (loss-of-life): deny.
+	v = g.Check(ctxAt(t, s, 85, 95, policy.Action{Name: "overload"}))
+	if v.Allowed() {
+		t.Error("worse outcome allowed through break-glass")
+	}
+}
+
+func TestBreakGlassBudget(t *testing.T) {
+	s := guardSchema(t)
+	g, bg := breakGlassFixture(t)
+	bg.MaxUses = 1
+	ctx := ctxAt(t, s, 95, 85, policy.Action{Name: "vent"})
+	if v := g.Check(ctx); !v.Allowed() {
+		t.Fatalf("first use denied: %+v", v)
+	}
+	if v := g.Check(ctx); v.Allowed() {
+		t.Error("budget-exhausted break-glass allowed")
+	}
+}
+
+func TestBreakGlassTrustCheck(t *testing.T) {
+	s := guardSchema(t)
+	g, _ := breakGlassFixture(t)
+	g.BreakGlass.TrustCheck = func(ActionContext) bool { return false }
+	v := g.Check(ctxAt(t, s, 95, 85, policy.Action{Name: "vent"}))
+	if v.Allowed() {
+		t.Error("untrusted state information allowed break-glass")
+	}
+	if !strings.Contains(v.Reason, "trust") {
+		t.Errorf("reason = %q", v.Reason)
+	}
+}
+
+func TestBreakGlassRiskFallback(t *testing.T) {
+	s := guardSchema(t)
+	// No preference ontology: risk decides.
+	bg := &BreakGlass{
+		Risk: risk.AssessorFunc(func(st statespace.State) float64 {
+			return st.MustGet("heat") / 100
+		}),
+	}
+	g := &StateSpaceGuard{Classifier: heatClassifier(), BreakGlass: bg}
+	// 95 → 85 reduces risk: allow.
+	if v := g.Check(ctxAt(t, s, 95, 85, policy.Action{Name: "vent"})); !v.Allowed() {
+		t.Errorf("risk-reducing escape denied: %+v", v)
+	}
+	// 85 → 95 raises risk: deny.
+	if v := g.Check(ctxAt(t, s, 85, 95, policy.Action{Name: "overload"})); v.Allowed() {
+		t.Error("risk-raising escape allowed")
+	}
+}
+
+func TestBreakGlassActionOutcomeFallback(t *testing.T) {
+	s := guardSchema(t)
+	prefs := ontology.NewPreferenceOntology()
+	if err := prefs.Prefer("fire", "loss-of-life"); err != nil {
+		t.Fatalf("Prefer: %v", err)
+	}
+	g := &StateSpaceGuard{
+		Classifier: heatClassifier(),
+		// OutcomeOf gives the current state's outcome only.
+		OutcomeOf: func(st statespace.State) ontology.Outcome {
+			if st.MustGet("heat") >= 90 {
+				return "loss-of-life"
+			}
+			return ""
+		},
+		BreakGlass: &BreakGlass{Preferences: prefs},
+	}
+	// Next state outcome comes from the action when OutcomeOf is silent.
+	v := g.Check(ctxAt(t, s, 95, 85, policy.Action{Name: "vent", Outcome: "fire"}))
+	if !v.Allowed() {
+		t.Errorf("action-outcome fallback failed: %+v", v)
+	}
+}
+
+func TestUtilityGuard(t *testing.T) {
+	s := guardSchema(t)
+	m := statespace.NewDerivativeModel(s)
+	if err := m.SetSign("heat", statespace.SignDecreasing); err != nil {
+		t.Fatalf("SetSign: %v", err)
+	}
+	g := &UtilityGuard{Model: m, MaxPainIncrease: 0.1}
+
+	// heat 10→20: pain rises 0.1 exactly → allowed (tolerance inclusive).
+	if v := g.Check(ctxAt(t, s, 10, 20, policy.Action{Name: "a"})); !v.Allowed() {
+		t.Errorf("within-tolerance move denied: %+v", v)
+	}
+	// heat 10→40: pain rises 0.3 → denied.
+	if v := g.Check(ctxAt(t, s, 10, 40, policy.Action{Name: "a"})); v.Allowed() {
+		t.Error("pain-increasing move allowed")
+	}
+	// Pain-reducing move always fine.
+	if v := g.Check(ctxAt(t, s, 90, 10, policy.Action{Name: "a"})); !v.Allowed() {
+		t.Error("pain-reducing move denied")
+	}
+}
+
+func TestUtilityGuardCeiling(t *testing.T) {
+	s := guardSchema(t)
+	m := statespace.NewDerivativeModel(s)
+	if err := m.SetSign("heat", statespace.SignDecreasing); err != nil {
+		t.Fatalf("SetSign: %v", err)
+	}
+	g := &UtilityGuard{Model: m, MaxPainIncrease: 1, PainCeiling: 0.8}
+	// heat 70→85: increase 0.15 is tolerated, but pain 0.85 > ceiling.
+	if v := g.Check(ctxAt(t, s, 70, 85, policy.Action{Name: "a"})); v.Allowed() {
+		t.Error("above-ceiling destination allowed")
+	}
+}
+
+func TestUtilityGuardFailsClosed(t *testing.T) {
+	s := guardSchema(t)
+	var g UtilityGuard
+	if v := g.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "a"})); v.Allowed() {
+		t.Error("nil model allowed")
+	}
+	m := statespace.NewDerivativeModel(s)
+	g2 := UtilityGuard{Model: m}
+	ctx := ctxAt(t, s, 0, 0, policy.Action{Name: "a"})
+	ctx.State = statespace.State{}
+	if v := g2.Check(ctx); v.Allowed() {
+		t.Error("invalid current state allowed")
+	}
+}

@@ -1,0 +1,77 @@
+package guard
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/audit"
+)
+
+// Fingerprinter produces a stable fingerprint of a guard's
+// configuration. If the configuration is mutated (a reprogramming
+// attack disabling the check), the fingerprint changes.
+type Fingerprinter func() string
+
+// HMACFingerprint builds a Fingerprinter that MACs the provided
+// configuration description under a secret, so an attacker without the
+// secret cannot forge a matching fingerprint for an altered
+// configuration.
+func HMACFingerprint(secret []byte, describe func() string) Fingerprinter {
+	return func() string {
+		mac := hmac.New(sha256.New, secret)
+		mac.Write([]byte(describe()))
+		return hex.EncodeToString(mac.Sum(nil))
+	}
+}
+
+// TamperEvident wraps a guard with tamper detection. Every technique
+// in Section VI "assumes that it can be performed in a manner that is
+// tamper-proof"; this wrapper provides the software approximation:
+// before each check it re-derives the configuration fingerprint and
+// fails closed (denies everything, with an audited tamper record) if
+// it no longer matches the expected value captured at seal time.
+type TamperEvident struct {
+	// Inner is the protected guard.
+	Inner Guard
+	// Fingerprint recomputes the configuration fingerprint.
+	Fingerprint Fingerprinter
+	// Expected is the fingerprint captured when the guard was sealed.
+	Expected string
+	// Log receives tamper records; nil disables auditing.
+	Log *audit.Log
+}
+
+var _ Guard = (*TamperEvident)(nil)
+
+// Seal wraps the guard and captures its current fingerprint as the
+// expected value.
+func Seal(inner Guard, fp Fingerprinter, log *audit.Log) *TamperEvident {
+	return &TamperEvident{
+		Inner:       inner,
+		Fingerprint: fp,
+		Expected:    fp(),
+		Log:         log,
+	}
+}
+
+// Name identifies the wrapper and its inner guard.
+func (t *TamperEvident) Name() string { return "tamper-evident(" + t.Inner.Name() + ")" }
+
+// Check verifies the fingerprint before delegating; on mismatch it
+// denies and audits.
+func (t *TamperEvident) Check(ctx ActionContext) Verdict {
+	if got := t.Fingerprint(); got != t.Expected {
+		if t.Log != nil {
+			t.Log.Append(audit.KindTamper, ctx.Actor,
+				"guard configuration fingerprint mismatch; failing closed",
+				map[string]string{"guard": t.Inner.Name()})
+		}
+		return Verdict{
+			Decision: DecisionDeny,
+			Guard:    t.Name(),
+			Reason:   "guard configuration tampered; failing closed",
+		}
+	}
+	return t.Inner.Check(ctx)
+}

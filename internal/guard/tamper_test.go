@@ -1,0 +1,53 @@
+package guard
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+)
+
+func TestTamperEvidentPassesWhenIntact(t *testing.T) {
+	s := guardSchema(t)
+	config := "threshold=0.5"
+	fp := HMACFingerprint([]byte("secret"), func() string { return config })
+	sealed := Seal(AllowAll{}, fp, nil)
+
+	v := sealed.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "a"}))
+	if !v.Allowed() {
+		t.Errorf("intact guard denied: %+v", v)
+	}
+	if sealed.Name() != "tamper-evident(allow-all)" {
+		t.Errorf("Name = %q", sealed.Name())
+	}
+}
+
+func TestTamperEvidentFailsClosedOnMutation(t *testing.T) {
+	s := guardSchema(t)
+	log := audit.New()
+	config := "threshold=0.5"
+	fp := HMACFingerprint([]byte("secret"), func() string { return config })
+	sealed := Seal(AllowAll{}, fp, log)
+
+	// Attack: mutate the configuration after sealing.
+	config = "threshold=999"
+	v := sealed.Check(ctxAt(t, s, 0, 0, policy.Action{Name: "a"}))
+	if v.Allowed() {
+		t.Error("tampered guard allowed action")
+	}
+	if len(log.ByKind(audit.KindTamper)) != 1 {
+		t.Error("tamper not audited")
+	}
+}
+
+func TestHMACFingerprintSecretMatters(t *testing.T) {
+	describe := func() string { return "same-config" }
+	a := HMACFingerprint([]byte("key-a"), describe)
+	b := HMACFingerprint([]byte("key-b"), describe)
+	if a() == b() {
+		t.Error("fingerprints under different secrets collide")
+	}
+	if a() != a() {
+		t.Error("fingerprint not deterministic")
+	}
+}

@@ -1,0 +1,143 @@
+package learning
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/statespace"
+)
+
+// AnomalyDetector is the "anomaly detection tool" Section IV names as
+// one of the existing controls a malevolent system would try to
+// disarm. It learns per-variable running statistics from observed
+// states (Welford's algorithm) and scores new states by their largest
+// per-variable z-score; scores above the threshold are anomalous.
+//
+// The detector is deliberately Disarm-able — that is the attack
+// surface the paper warns about, and the watchdog/tamper layers exist
+// to notice when it happens.
+type AnomalyDetector struct {
+	mu        sync.Mutex
+	schema    *statespace.Schema
+	threshold float64
+	minObs    int
+	count     int
+	mean      []float64
+	m2        []float64
+	armed     bool
+}
+
+// NewAnomalyDetector builds an armed detector. Threshold is the
+// z-score above which a state is anomalous (must be positive); minObs
+// is the warm-up observation count below which nothing is flagged
+// (default 10 when ≤ 0).
+func NewAnomalyDetector(schema *statespace.Schema, threshold float64, minObs int) (*AnomalyDetector, error) {
+	if schema == nil {
+		return nil, errors.New("learning: anomaly detector needs a schema")
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("learning: threshold must be positive, got %g", threshold)
+	}
+	if minObs <= 0 {
+		minObs = 10
+	}
+	return &AnomalyDetector{
+		schema:    schema,
+		threshold: threshold,
+		minObs:    minObs,
+		mean:      make([]float64, schema.Len()),
+		m2:        make([]float64, schema.Len()),
+		armed:     true,
+	}, nil
+}
+
+// Observe folds a (presumed normal) state into the statistics.
+func (a *AnomalyDetector) Observe(st statespace.State) error {
+	if st.Schema() != a.schema {
+		return errors.New("learning: state schema mismatch")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.count++
+	for i := 0; i < a.schema.Len(); i++ {
+		x := st.Value(i)
+		delta := x - a.mean[i]
+		a.mean[i] += delta / float64(a.count)
+		a.m2[i] += delta * (x - a.mean[i])
+	}
+	return nil
+}
+
+// Observations returns how many states have been observed.
+func (a *AnomalyDetector) Observations() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.count
+}
+
+// Score returns the state's largest per-variable |z-score|, or 0
+// during warm-up.
+func (a *AnomalyDetector) Score(st statespace.State) float64 {
+	if st.Schema() != a.schema {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.count < a.minObs {
+		return 0
+	}
+	worst := 0.0
+	for i := 0; i < a.schema.Len(); i++ {
+		variance := a.m2[i] / float64(a.count-1)
+		std := math.Sqrt(variance)
+		if std == 0 {
+			if st.Value(i) != a.mean[i] {
+				return math.Inf(1)
+			}
+			continue
+		}
+		z := math.Abs(st.Value(i)-a.mean[i]) / std
+		if z > worst {
+			worst = z
+		}
+	}
+	return worst
+}
+
+// Anomalous reports whether the state's score exceeds the threshold.
+// A disarmed detector reports nothing — silently, which is exactly why
+// its armed status must be checked independently (see Armed).
+func (a *AnomalyDetector) Anomalous(st statespace.State) bool {
+	a.mu.Lock()
+	armed := a.armed
+	a.mu.Unlock()
+	if !armed {
+		return false
+	}
+	return a.Score(st) > a.threshold
+}
+
+// Armed reports whether the detector is active. Watchdogs should
+// treat a disarmed detector as a tamper signal.
+func (a *AnomalyDetector) Armed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.armed
+}
+
+// Disarm deactivates the detector — the control-disabling step of a
+// reprogramming attack.
+func (a *AnomalyDetector) Disarm() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.armed = false
+}
+
+// Rearm reactivates the detector.
+func (a *AnomalyDetector) Rearm() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.armed = true
+}

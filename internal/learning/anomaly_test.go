@@ -1,0 +1,128 @@
+package learning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/statespace"
+)
+
+func anomalyFixture(t *testing.T) (*AnomalyDetector, *statespace.Schema) {
+	t.Helper()
+	s := learnSchema(t)
+	a, err := NewAnomalyDetector(s, 4, 20)
+	if err != nil {
+		t.Fatalf("NewAnomalyDetector: %v", err)
+	}
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < 200; i++ {
+		st, err := s.NewState(50+rng.NormFloat64()*5, 50+rng.NormFloat64()*5)
+		if err != nil {
+			// Clamp outliers into range by retrying.
+			continue
+		}
+		if err := a.Observe(st); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	return a, s
+}
+
+func TestNewAnomalyDetectorValidation(t *testing.T) {
+	s := learnSchema(t)
+	if _, err := NewAnomalyDetector(nil, 3, 10); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := NewAnomalyDetector(s, 0, 10); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestAnomalyDetection(t *testing.T) {
+	a, s := anomalyFixture(t)
+	normal, _ := s.NewState(52, 48)
+	spike, _ := s.NewState(99, 50)
+
+	if a.Anomalous(normal) {
+		t.Errorf("normal state flagged (score %g)", a.Score(normal))
+	}
+	if !a.Anomalous(spike) {
+		t.Errorf("spike not flagged (score %g)", a.Score(spike))
+	}
+	if a.Score(spike) <= a.Score(normal) {
+		t.Error("score ordering wrong")
+	}
+	if a.Observations() == 0 {
+		t.Error("observations not counted")
+	}
+}
+
+func TestAnomalyWarmup(t *testing.T) {
+	s := learnSchema(t)
+	a, err := NewAnomalyDetector(s, 3, 50)
+	if err != nil {
+		t.Fatalf("NewAnomalyDetector: %v", err)
+	}
+	st, _ := s.NewState(99, 99)
+	if a.Anomalous(st) {
+		t.Error("flagged during warm-up")
+	}
+	if a.Score(st) != 0 {
+		t.Errorf("warm-up score = %g", a.Score(st))
+	}
+}
+
+func TestAnomalyZeroVariance(t *testing.T) {
+	s := learnSchema(t)
+	a, err := NewAnomalyDetector(s, 3, 5)
+	if err != nil {
+		t.Fatalf("NewAnomalyDetector: %v", err)
+	}
+	same, _ := s.NewState(10, 10)
+	for i := 0; i < 20; i++ {
+		if err := a.Observe(same); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if a.Anomalous(same) {
+		t.Error("identical state flagged under zero variance")
+	}
+	different, _ := s.NewState(11, 10)
+	if !math.IsInf(a.Score(different), 1) || !a.Anomalous(different) {
+		t.Errorf("deviation from zero-variance baseline not flagged: %g", a.Score(different))
+	}
+}
+
+func TestAnomalySchemaMismatch(t *testing.T) {
+	a, _ := anomalyFixture(t)
+	other := statespace.MustSchema(statespace.Var("x", 0, 1))
+	if err := a.Observe(other.Origin()); err == nil {
+		t.Error("cross-schema observation accepted")
+	}
+	if a.Score(other.Origin()) != 0 || a.Anomalous(other.Origin()) {
+		t.Error("cross-schema state scored")
+	}
+}
+
+// The Section IV attack: a reprogrammed system disarms the anomaly
+// detector, so the rampage that would have been flagged goes unseen —
+// but the armed status itself betrays the tampering.
+func TestDisarmedDetectorIsTheAttackSurface(t *testing.T) {
+	a, s := anomalyFixture(t)
+	rampage, _ := s.NewState(99, 1)
+	if !a.Anomalous(rampage) {
+		t.Fatal("rampage not anomalous while armed")
+	}
+	a.Disarm()
+	if a.Anomalous(rampage) {
+		t.Error("disarmed detector still flagged (attack failed?)")
+	}
+	if a.Armed() {
+		t.Error("Armed() did not expose the disarm — the watchdog's tamper signal is gone")
+	}
+	a.Rearm()
+	if !a.Anomalous(rampage) || !a.Armed() {
+		t.Error("rearm did not restore detection")
+	}
+}

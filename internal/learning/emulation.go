@@ -1,0 +1,113 @@
+package learning
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/policy"
+)
+
+// Emulator learns when to take one action by watching a human operator
+// — Section IV's "common way for machines to improve themselves":
+// "After a sufficient number of observations of how a human handles a
+// situation, a machine can create a system to replicate it."
+//
+// The risk the paper flags — "the encoding of imperfect human behavior
+// can lead to a mistaken and sometimes malevolent machine" — falls out
+// directly: the emulator reproduces whatever the operator did,
+// mistakes included. Experiment E9 measures that.
+type Emulator struct {
+	action   policy.Action
+	features []string
+	w        []float64
+	bias     float64
+	lr       float64
+	observed int
+}
+
+// NewEmulator builds an emulator for the action, reading the named
+// quantities (resolved through policy.Env.Lookup) as features.
+func NewEmulator(action policy.Action, features []string, learningRate float64) (*Emulator, error) {
+	if action.Name == "" {
+		return nil, errors.New("learning: emulator needs an action")
+	}
+	if len(features) == 0 {
+		return nil, errors.New("learning: emulator needs at least one feature")
+	}
+	if learningRate <= 0 {
+		return nil, fmt.Errorf("learning: learning rate must be positive, got %g", learningRate)
+	}
+	return &Emulator{
+		action:   action,
+		features: append([]string(nil), features...),
+		w:        make([]float64, len(features)),
+		lr:       learningRate,
+	}, nil
+}
+
+// Observe records one operator decision: in environment env, the
+// operator did (or did not) take the action.
+func (e *Emulator) Observe(env policy.Env, took bool) {
+	x := e.featureVector(env)
+	y := 0.0
+	if took {
+		y = 1.0
+	}
+	p := e.score(x)
+	grad := p - y
+	for i := range e.w {
+		e.w[i] -= e.lr * grad * x[i]
+	}
+	e.bias -= e.lr * grad
+	e.observed++
+}
+
+// Observations returns how many decisions have been observed.
+func (e *Emulator) Observations() int { return e.observed }
+
+// WouldAct reports whether the learned behavior takes the action in
+// the environment.
+func (e *Emulator) WouldAct(env policy.Env) bool {
+	return e.score(e.featureVector(env)) >= 0.5
+}
+
+// Confidence returns the predicted probability of acting.
+func (e *Emulator) Confidence(env policy.Env) float64 {
+	return e.score(e.featureVector(env))
+}
+
+// ToPolicy packages the learned behavior as an executable policy whose
+// condition is the trained model itself.
+func (e *Emulator) ToPolicy(id, eventType string, priority int) policy.Policy {
+	return policy.Policy{
+		ID:        id,
+		Origin:    policy.OriginGenerated,
+		EventType: eventType,
+		Priority:  priority,
+		Modality:  policy.ModalityDo,
+		Condition: policy.CondFunc{
+			Name: fmt.Sprintf("emulated(%s after %d observations)", e.action.Name, e.observed),
+			Fn:   e.WouldAct,
+		},
+		Action: e.action,
+	}
+}
+
+func (e *Emulator) featureVector(env policy.Env) []float64 {
+	x := make([]float64, len(e.features))
+	for i, name := range e.features {
+		if v, ok := env.Lookup(name); ok {
+			x[i] = v
+		}
+	}
+	return x
+}
+
+func (e *Emulator) score(x []float64) float64 {
+	z := e.bias
+	for i, w := range e.w {
+		z += w * x[i]
+	}
+	return 1 / (1 + math.Exp(-z))
+}

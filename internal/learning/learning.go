@@ -1,0 +1,206 @@
+// Package learning gives devices the "Learning" property of
+// Section III: online classifiers that learn which states are bad from
+// labeled experience, and emulators that learn policies by observing a
+// human operator's decisions.
+//
+// Both paths are exactly where Section IV says malevolence creeps in —
+// "Mistakes in Learning" (bad data, label noise, insufficient data) and
+// "Inappropriate Emulation" (faithfully encoding an imperfect human) —
+// so the package also provides Corruption, a configurable injector of
+// those mistakes used by the attack experiments.
+package learning
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/statespace"
+)
+
+// Example is one labeled state sample.
+type Example struct {
+	State statespace.State
+	// Bad is the ground-truth label: true when the state can harm a
+	// human.
+	Bad bool
+}
+
+// OnlineClassifier learns a linear good/bad separator over normalized
+// state variables with logistic stochastic gradient descent. It is the
+// machine-learning refinement of human state labeling that Section V
+// anticipates ("the devices to be able to automatically detect their
+// current states").
+type OnlineClassifier struct {
+	schema *statespace.Schema
+	w      []float64
+	bias   float64
+	lr     float64
+}
+
+// NewOnlineClassifier builds an untrained classifier over the schema.
+// Learning rate must be positive.
+func NewOnlineClassifier(schema *statespace.Schema, learningRate float64) (*OnlineClassifier, error) {
+	if schema == nil {
+		return nil, errors.New("learning: schema required")
+	}
+	if learningRate <= 0 {
+		return nil, fmt.Errorf("learning: learning rate must be positive, got %g", learningRate)
+	}
+	return &OnlineClassifier{
+		schema: schema,
+		w:      make([]float64, schema.Len()),
+		lr:     learningRate,
+	}, nil
+}
+
+// Train applies one SGD step on the example.
+func (c *OnlineClassifier) Train(ex Example) error {
+	x, err := c.features(ex.State)
+	if err != nil {
+		return err
+	}
+	y := 0.0
+	if ex.Bad {
+		y = 1.0
+	}
+	p := c.scoreFeatures(x)
+	grad := p - y
+	for i := range c.w {
+		c.w[i] -= c.lr * grad * x[i]
+	}
+	c.bias -= c.lr * grad
+	return nil
+}
+
+// TrainAll runs epochs passes over the examples, shuffling each epoch
+// with the given source (nil keeps the original order).
+func (c *OnlineClassifier) TrainAll(examples []Example, epochs int, rng *rand.Rand) error {
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		if rng != nil {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		for _, idx := range order {
+			if err := c.Train(examples[idx]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Score returns the predicted probability the state is bad.
+func (c *OnlineClassifier) Score(st statespace.State) float64 {
+	x, err := c.features(st)
+	if err != nil {
+		return 0.5
+	}
+	return c.scoreFeatures(x)
+}
+
+// PredictBad reports whether the state is classified bad (score ≥ 0.5).
+func (c *OnlineClassifier) PredictBad(st statespace.State) bool {
+	return c.Score(st) >= 0.5
+}
+
+// AsClassifier adapts the model into a statespace.Classifier.
+func (c *OnlineClassifier) AsClassifier() statespace.Classifier {
+	return statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if c.PredictBad(st) {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+}
+
+// Accuracy returns the fraction of examples classified correctly.
+func (c *OnlineClassifier) Accuracy(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		if c.PredictBad(ex.State) == ex.Bad {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+func (c *OnlineClassifier) features(st statespace.State) ([]float64, error) {
+	if st.Schema() != c.schema {
+		return nil, errors.New("learning: state schema mismatch")
+	}
+	x := make([]float64, c.schema.Len())
+	for i := 0; i < c.schema.Len(); i++ {
+		v := c.schema.Var(i)
+		raw := st.Value(i)
+		if v.Bounded() && v.Span() > 0 {
+			x[i] = (raw - v.Min) / v.Span()
+		} else {
+			x[i] = raw
+		}
+	}
+	return x, nil
+}
+
+func (c *OnlineClassifier) scoreFeatures(x []float64) float64 {
+	z := c.bias
+	for i, w := range c.w {
+		z += w * x[i]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Corruption injects the learning mistakes of Section IV into a
+// training set: label noise ("bad data"), systematic feature bias, and
+// data denial (dropped samples, an adversarial-ML attack).
+type Corruption struct {
+	// LabelFlipProb flips each label with this probability.
+	LabelFlipProb float64
+	// FeatureBias adds a constant offset to named state variables
+	// (systematic sensor bias / feature obfuscation).
+	FeatureBias statespace.Delta
+	// DropProb removes each example with this probability (denial of
+	// selected training data).
+	DropProb float64
+	// Rand drives the random choices; required when any probability is
+	// nonzero.
+	Rand *rand.Rand
+}
+
+// Apply returns a corrupted copy of the examples; the input is not
+// modified.
+func (c Corruption) Apply(examples []Example) ([]Example, error) {
+	out := make([]Example, 0, len(examples))
+	for _, ex := range examples {
+		if c.DropProb > 0 && c.sample() < c.DropProb {
+			continue
+		}
+		corrupted := ex
+		if len(c.FeatureBias) > 0 {
+			st, err := ex.State.Apply(c.FeatureBias)
+			if err != nil {
+				return nil, fmt.Errorf("learning: bias: %w", err)
+			}
+			corrupted.State = st
+		}
+		if c.LabelFlipProb > 0 && c.sample() < c.LabelFlipProb {
+			corrupted.Bad = !corrupted.Bad
+		}
+		out = append(out, corrupted)
+	}
+	return out, nil
+}
+
+func (c Corruption) sample() float64 {
+	if c.Rand == nil {
+		return 1 // never triggers: probabilities are < 1 by convention
+	}
+	return c.Rand.Float64()
+}

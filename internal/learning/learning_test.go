@@ -1,0 +1,254 @@
+package learning
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+func learnSchema(t *testing.T) *statespace.Schema {
+	t.Helper()
+	s, err := statespace.NewSchema(
+		statespace.Var("heat", 0, 100),
+		statespace.Var("margin", 0, 100),
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+// truth: bad when heat > 70.
+func labeled(t *testing.T, s *statespace.Schema, rng *rand.Rand, n int) []Example {
+	t.Helper()
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		heat := rng.Float64() * 100
+		st, err := s.NewState(heat, rng.Float64()*100)
+		if err != nil {
+			t.Fatalf("NewState: %v", err)
+		}
+		out = append(out, Example{State: st, Bad: heat > 70})
+	}
+	return out
+}
+
+func TestNewOnlineClassifierValidation(t *testing.T) {
+	s := learnSchema(t)
+	if _, err := NewOnlineClassifier(nil, 0.1); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := NewOnlineClassifier(s, 0); err == nil {
+		t.Error("zero learning rate accepted")
+	}
+}
+
+func TestOnlineClassifierLearnsSeparator(t *testing.T) {
+	s := learnSchema(t)
+	rng := rand.New(rand.NewSource(11))
+	train := labeled(t, s, rng, 800)
+	test := labeled(t, s, rng, 200)
+
+	c, err := NewOnlineClassifier(s, 0.5)
+	if err != nil {
+		t.Fatalf("NewOnlineClassifier: %v", err)
+	}
+	if err := c.TrainAll(train, 30, rng); err != nil {
+		t.Fatalf("TrainAll: %v", err)
+	}
+	if acc := c.Accuracy(test); acc < 0.9 {
+		t.Errorf("accuracy = %.3f, want ≥ 0.9", acc)
+	}
+
+	hot, _ := s.NewState(95, 50)
+	cool, _ := s.NewState(10, 50)
+	if !c.PredictBad(hot) || c.PredictBad(cool) {
+		t.Error("classification direction wrong")
+	}
+	cls := c.AsClassifier()
+	if cls.Classify(hot) != statespace.ClassBad || cls.Classify(cool) != statespace.ClassGood {
+		t.Error("AsClassifier wrong")
+	}
+}
+
+func TestClassifierSchemaMismatch(t *testing.T) {
+	s := learnSchema(t)
+	other := statespace.MustSchema(statespace.Var("x", 0, 1))
+	c, err := NewOnlineClassifier(s, 0.1)
+	if err != nil {
+		t.Fatalf("NewOnlineClassifier: %v", err)
+	}
+	if err := c.Train(Example{State: other.Origin()}); err == nil {
+		t.Error("cross-schema training accepted")
+	}
+	if got := c.Score(other.Origin()); got != 0.5 {
+		t.Errorf("cross-schema score = %g, want neutral 0.5", got)
+	}
+	if c.Accuracy(nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestPoisonedTrainingDegradesClassifier(t *testing.T) {
+	s := learnSchema(t)
+	rng := rand.New(rand.NewSource(13))
+	train := labeled(t, s, rng, 800)
+	test := labeled(t, s, rng, 200)
+
+	clean, err := NewOnlineClassifier(s, 0.5)
+	if err != nil {
+		t.Fatalf("NewOnlineClassifier: %v", err)
+	}
+	if err := clean.TrainAll(train, 30, rng); err != nil {
+		t.Fatalf("TrainAll: %v", err)
+	}
+
+	poison := Corruption{LabelFlipProb: 0.45, Rand: rng}
+	poisoned, err := poison.Apply(train)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	dirty, err := NewOnlineClassifier(s, 0.5)
+	if err != nil {
+		t.Fatalf("NewOnlineClassifier: %v", err)
+	}
+	if err := dirty.TrainAll(poisoned, 30, rng); err != nil {
+		t.Fatalf("TrainAll: %v", err)
+	}
+
+	cleanAcc, dirtyAcc := clean.Accuracy(test), dirty.Accuracy(test)
+	if dirtyAcc >= cleanAcc {
+		t.Errorf("poisoning did not degrade accuracy: clean %.3f vs dirty %.3f", cleanAcc, dirtyAcc)
+	}
+}
+
+func TestCorruptionDropAndBias(t *testing.T) {
+	s := learnSchema(t)
+	rng := rand.New(rand.NewSource(17))
+	examples := labeled(t, s, rng, 500)
+
+	dropper := Corruption{DropProb: 0.5, Rand: rng}
+	kept, err := dropper.Apply(examples)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(kept) < 200 || len(kept) > 300 {
+		t.Errorf("kept %d of 500 with drop 0.5", len(kept))
+	}
+
+	originals := make([]float64, 10)
+	for i := range originals {
+		originals[i] = examples[i].State.MustGet("heat")
+	}
+	biaser := Corruption{FeatureBias: statespace.Delta{"heat": 20}, Rand: rng}
+	biased, err := biaser.Apply(examples[:10])
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for i, ex := range biased {
+		want := originals[i] + 20
+		if want > 100 {
+			want = 100
+		}
+		if got := ex.State.MustGet("heat"); got != want {
+			t.Errorf("bias: heat %g → %g, want %g", originals[i], got, want)
+		}
+		if examples[i].State.MustGet("heat") != originals[i] {
+			t.Error("input mutated")
+		}
+	}
+
+	badBias := Corruption{FeatureBias: statespace.Delta{"nope": 1}, Rand: rng}
+	if _, err := badBias.Apply(examples[:1]); err == nil {
+		t.Error("bias over unknown variable accepted")
+	}
+
+	inert := Corruption{}
+	out, err := inert.Apply(examples[:5])
+	if err != nil || len(out) != 5 {
+		t.Errorf("inert corruption changed data: %d, %v", len(out), err)
+	}
+}
+
+func TestEmulatorValidation(t *testing.T) {
+	if _, err := NewEmulator(policy.Action{}, []string{"x"}, 0.1); err == nil {
+		t.Error("empty action accepted")
+	}
+	if _, err := NewEmulator(policy.Action{Name: "a"}, nil, 0.1); err == nil {
+		t.Error("no features accepted")
+	}
+	if _, err := NewEmulator(policy.Action{Name: "a"}, []string{"x"}, 0); err == nil {
+		t.Error("zero learning rate accepted")
+	}
+}
+
+func TestEmulatorLearnsOperatorBehavior(t *testing.T) {
+	// Operator doctrine: engage when threat > 5.
+	em, err := NewEmulator(policy.Action{Name: "engage"}, []string{"threat"}, 0.8)
+	if err != nil {
+		t.Fatalf("NewEmulator: %v", err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 500; i++ {
+		threat := rng.Float64() * 10
+		env := policy.Env{Event: policy.Event{Type: "contact", Attrs: map[string]float64{"threat": threat}}}
+		em.Observe(env, threat > 5)
+	}
+	if em.Observations() != 500 {
+		t.Errorf("Observations = %d", em.Observations())
+	}
+
+	high := policy.Env{Event: policy.Event{Type: "contact", Attrs: map[string]float64{"threat": 9}}}
+	low := policy.Env{Event: policy.Event{Type: "contact", Attrs: map[string]float64{"threat": 1}}}
+	if !em.WouldAct(high) || em.WouldAct(low) {
+		t.Errorf("learned behavior wrong: high=%v low=%v", em.WouldAct(high), em.WouldAct(low))
+	}
+	if em.Confidence(high) <= em.Confidence(low) {
+		t.Error("confidence ordering wrong")
+	}
+}
+
+func TestEmulatorEncodesOperatorMistakes(t *testing.T) {
+	// Inappropriate emulation: the operator systematically engages at
+	// ANY threat level (a mistake); the emulator faithfully copies it.
+	em, err := NewEmulator(policy.Action{Name: "engage"}, []string{"threat"}, 0.8)
+	if err != nil {
+		t.Fatalf("NewEmulator: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		env := policy.Env{Event: policy.Event{Type: "contact", Attrs: map[string]float64{"threat": float64(i % 10)}}}
+		em.Observe(env, true) // the operator always engages
+	}
+	innocuous := policy.Env{Event: policy.Event{Type: "contact", Attrs: map[string]float64{"threat": 0}}}
+	if !em.WouldAct(innocuous) {
+		t.Error("emulator failed to encode the operator's mistake (the risk under test)")
+	}
+}
+
+func TestEmulatorToPolicy(t *testing.T) {
+	em, err := NewEmulator(policy.Action{Name: "engage"}, []string{"threat"}, 0.8)
+	if err != nil {
+		t.Fatalf("NewEmulator: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		env := policy.Env{Event: policy.Event{Type: "contact", Attrs: map[string]float64{"threat": float64(i % 10)}}}
+		em.Observe(env, i%10 > 5)
+	}
+	p := em.ToPolicy("emulated-engage", "contact", 3)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated policy invalid: %v", err)
+	}
+	if p.Origin != policy.OriginGenerated {
+		t.Errorf("Origin = %v", p.Origin)
+	}
+	high := policy.Env{Event: policy.Event{Type: "contact", Attrs: map[string]float64{"threat": 9}}}
+	if !p.Matches(high) {
+		t.Error("compiled policy does not match high-threat env")
+	}
+	wrongType := policy.Env{Event: policy.Event{Type: "other", Attrs: map[string]float64{"threat": 9}}}
+	if p.Matches(wrongType) {
+		t.Error("policy matched wrong event type")
+	}
+}

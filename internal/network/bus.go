@@ -1,0 +1,232 @@
+// Package network provides the collective's communication substrate:
+// an in-memory message bus with configurable latency, loss and
+// partitions; a device registry with discovery notifications (the
+// trigger for generative policy creation); and an anti-entropy gossip
+// protocol for sharing policies and learned intelligence between
+// devices ("enabling devices to share the intelligence they learn",
+// Section I).
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Common bus errors.
+var (
+	// ErrUnknownNode is returned when sending to a node that is not
+	// attached.
+	ErrUnknownNode = errors.New("network: unknown node")
+	// ErrDropped is returned when the message was lost or blocked by a
+	// partition.
+	ErrDropped = errors.New("network: message dropped")
+)
+
+// Message is one unit of communication between devices.
+type Message struct {
+	From    string
+	To      string
+	Topic   string
+	Payload any
+}
+
+// Handler consumes delivered messages.
+type Handler func(Message)
+
+// Bus is an in-memory message bus. Delivery is synchronous when no
+// engine is attached, or scheduled with uniform random latency when
+// one is. Loss probability and partitions model degraded coalition
+// networks. All methods are safe for concurrent use.
+type Bus struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	engine     *sim.Engine
+	nodes      map[string]Handler
+	partition  map[string]int
+	lossProb   float64
+	minLatency time.Duration
+	maxLatency time.Duration
+	delivered  int
+	dropped    int
+}
+
+// BusOption configures a Bus.
+type BusOption interface {
+	apply(*Bus)
+}
+
+type busOptionFunc func(*Bus)
+
+func (f busOptionFunc) apply(b *Bus) { f(b) }
+
+// WithEngine schedules deliveries on the simulation engine with the
+// configured latency instead of delivering synchronously.
+func WithEngine(e *sim.Engine) BusOption {
+	return busOptionFunc(func(b *Bus) { b.engine = e })
+}
+
+// WithLatency sets the uniform delivery latency range (requires an
+// engine to take effect).
+func WithLatency(min, max time.Duration) BusOption {
+	return busOptionFunc(func(b *Bus) {
+		if min < 0 {
+			min = 0
+		}
+		if max < min {
+			max = min
+		}
+		b.minLatency, b.maxLatency = min, max
+	})
+}
+
+// WithLoss sets the probability a message is silently lost.
+func WithLoss(p float64) BusOption {
+	return busOptionFunc(func(b *Bus) {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		b.lossProb = p
+	})
+}
+
+// NewBus builds a bus. The random source drives loss and latency
+// sampling and must be non-nil when either is configured.
+func NewBus(rng *rand.Rand, opts ...BusOption) *Bus {
+	b := &Bus{
+		rng:       rng,
+		nodes:     make(map[string]Handler),
+		partition: make(map[string]int),
+	}
+	for _, o := range opts {
+		o.apply(b)
+	}
+	return b
+}
+
+// Attach registers a node's handler under its ID.
+func (b *Bus) Attach(id string, h Handler) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if id == "" || h == nil {
+		return errors.New("network: attach requires an id and handler")
+	}
+	if _, dup := b.nodes[id]; dup {
+		return fmt.Errorf("network: node %q already attached", id)
+	}
+	b.nodes[id] = h
+	return nil
+}
+
+// Detach removes a node and reports whether it was attached.
+func (b *Bus) Detach(id string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.nodes[id]
+	delete(b.nodes, id)
+	delete(b.partition, id)
+	return ok
+}
+
+// Nodes returns the attached node IDs, sorted.
+func (b *Bus) Nodes() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.nodes))
+	for id := range b.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Partition assigns nodes to partition groups; nodes in different
+// groups cannot exchange messages. Unlisted nodes stay in group 0.
+func (b *Bus) Partition(groups map[string]int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.partition = make(map[string]int, len(groups))
+	for id, g := range groups {
+		b.partition[id] = g
+	}
+}
+
+// Heal removes all partitions.
+func (b *Bus) Heal() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.partition = make(map[string]int)
+}
+
+// Send delivers a message to msg.To. It returns ErrUnknownNode for
+// unattached receivers and ErrDropped for losses and partition blocks.
+// With an engine attached, delivery is asynchronous and Send reports
+// only send-time failures.
+func (b *Bus) Send(msg Message) error {
+	b.mu.Lock()
+	h, ok := b.nodes[msg.To]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.To)
+	}
+	if b.partition[msg.From] != b.partition[msg.To] {
+		b.dropped++
+		b.mu.Unlock()
+		return fmt.Errorf("%w: partition between %q and %q", ErrDropped, msg.From, msg.To)
+	}
+	if b.lossProb > 0 && b.rng != nil && b.rng.Float64() < b.lossProb {
+		b.dropped++
+		b.mu.Unlock()
+		return fmt.Errorf("%w: loss", ErrDropped)
+	}
+	engine := b.engine
+	latency := b.sampleLatencyLocked()
+	b.delivered++
+	b.mu.Unlock()
+
+	if engine == nil {
+		h(msg)
+		return nil
+	}
+	engine.Schedule(latency, func() { h(msg) })
+	return nil
+}
+
+// Broadcast sends the payload to every attached node except the
+// sender. It returns the number of successful (or scheduled)
+// deliveries.
+func (b *Bus) Broadcast(from, topic string, payload any) int {
+	n := 0
+	for _, id := range b.Nodes() {
+		if id == from {
+			continue
+		}
+		if err := b.Send(Message{From: from, To: id, Topic: topic, Payload: payload}); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns the delivered and dropped message counts.
+func (b *Bus) Stats() (delivered, dropped int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.delivered, b.dropped
+}
+
+func (b *Bus) sampleLatencyLocked() time.Duration {
+	if b.maxLatency <= b.minLatency || b.rng == nil {
+		return b.minLatency
+	}
+	span := b.maxLatency - b.minLatency
+	return b.minLatency + time.Duration(b.rng.Int63n(int64(span)+1))
+}

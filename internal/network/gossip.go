@@ -1,0 +1,200 @@
+package network
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Item is one versioned piece of shared knowledge (a policy, a learned
+// model parameter, an intel report). Higher versions win on merge.
+type Item struct {
+	Key     string
+	Version int
+	Payload any
+}
+
+// Store is one node's replica of the shared knowledge. It is safe for
+// concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	items map[string]Item
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{items: make(map[string]Item)}
+}
+
+// Put inserts the item if its version is strictly newer than the
+// stored one. It reports whether the store changed.
+func (s *Store) Put(item Item) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.items[item.Key]; ok && existing.Version >= item.Version {
+		return false
+	}
+	s.items[item.Key] = item
+	return true
+}
+
+// Get returns the stored item for a key.
+func (s *Store) Get(key string) (Item, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	item, ok := s.items[key]
+	return item, ok
+}
+
+// Snapshot returns all items sorted by key.
+func (s *Store) Snapshot() []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Item, 0, len(s.items))
+	for _, item := range s.items {
+		out = append(out, item)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Merge applies a snapshot and returns how many items were newer.
+func (s *Store) Merge(items []Item) int {
+	updated := 0
+	for _, item := range items {
+		if s.Put(item) {
+			updated++
+		}
+	}
+	return updated
+}
+
+// Len returns the number of stored items.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Gossip runs push-based anti-entropy rounds over a set of node
+// stores: each round, every node pushes its snapshot to Fanout random
+// peers. This is the policy/intelligence-sharing channel between
+// devices.
+type Gossip struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	fanout int
+	stores map[string]*Store
+}
+
+// NewGossip builds a gossip group with the given fanout (min 1).
+func NewGossip(rng *rand.Rand, fanout int) *Gossip {
+	if fanout < 1 {
+		fanout = 1
+	}
+	return &Gossip{rng: rng, fanout: fanout, stores: make(map[string]*Store)}
+}
+
+// Join adds a node and returns its store. Re-joining returns the
+// existing store.
+func (g *Gossip) Join(id string) *Store {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if s, ok := g.stores[id]; ok {
+		return s
+	}
+	s := NewStore()
+	g.stores[id] = s
+	return s
+}
+
+// Leave removes a node.
+func (g *Gossip) Leave(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.stores, id)
+}
+
+// Store returns a node's store.
+func (g *Gossip) Store(id string) (*Store, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.stores[id]
+	return s, ok
+}
+
+// RunRound performs one push round and returns the number of item
+// updates applied across all peers (0 means convergence).
+func (g *Gossip) RunRound() int {
+	g.mu.Lock()
+	ids := make([]string, 0, len(g.stores))
+	for id := range g.stores {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	stores := make(map[string]*Store, len(g.stores))
+	for id, s := range g.stores {
+		stores[id] = s
+	}
+	fanout := g.fanout
+	rng := g.rng
+	g.mu.Unlock()
+
+	if len(ids) < 2 {
+		return 0
+	}
+	updates := 0
+	for _, id := range ids {
+		snapshot := stores[id].Snapshot()
+		for f := 0; f < fanout; f++ {
+			peer := ids[rng.Intn(len(ids))]
+			if peer == id {
+				continue
+			}
+			updates += stores[peer].Merge(snapshot)
+		}
+	}
+	return updates
+}
+
+// RunUntilConverged runs rounds until every node holds an identical
+// snapshot (checked deterministically — a zero-update random round is
+// not proof of convergence), up to maxRounds. It returns the number of
+// rounds executed.
+func (g *Gossip) RunUntilConverged(maxRounds int) int {
+	for round := 0; round < maxRounds; round++ {
+		if g.Converged() {
+			return round
+		}
+		g.RunRound()
+	}
+	return maxRounds
+}
+
+// Converged reports whether every node's store holds the same items at
+// the same versions.
+func (g *Gossip) Converged() bool {
+	g.mu.Lock()
+	stores := make([]*Store, 0, len(g.stores))
+	for _, s := range g.stores {
+		stores = append(stores, s)
+	}
+	g.mu.Unlock()
+
+	if len(stores) < 2 {
+		return true
+	}
+	reference := stores[0].Snapshot()
+	for _, s := range stores[1:] {
+		snap := s.Snapshot()
+		if len(snap) != len(reference) {
+			return false
+		}
+		for i, item := range snap {
+			if item.Key != reference[i].Key || item.Version != reference[i].Version {
+				return false
+			}
+		}
+	}
+	return true
+}

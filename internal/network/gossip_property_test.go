@@ -1,0 +1,73 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property: gossip converges — after enough rounds, every node holds
+// the highest version of every key — across random group sizes,
+// fanouts, and seeding patterns.
+func TestGossipConvergenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		nodes := 2 + rng.Intn(30)
+		fanout := 1 + rng.Intn(3)
+		keys := 1 + rng.Intn(10)
+
+		g := NewGossip(rand.New(rand.NewSource(int64(trial))), fanout)
+		ids := make([]string, nodes)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("n%02d", i)
+			g.Join(ids[i])
+		}
+		// Seed random versions of each key at random nodes.
+		highest := make(map[string]int, keys)
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("k%d", k)
+			for seeds := 0; seeds < 1+rng.Intn(3); seeds++ {
+				version := 1 + rng.Intn(5)
+				node := ids[rng.Intn(nodes)]
+				s, _ := g.Store(node)
+				s.Put(Item{Key: key, Version: version})
+				if version > highest[key] {
+					highest[key] = version
+				}
+			}
+		}
+
+		rounds := g.RunUntilConverged(200)
+		if rounds >= 200 {
+			t.Fatalf("trial %d (%d nodes, fanout %d): did not converge", trial, nodes, fanout)
+		}
+		for _, id := range ids {
+			s, _ := g.Store(id)
+			for key, want := range highest {
+				item, ok := s.Get(key)
+				if !ok || item.Version != want {
+					t.Fatalf("trial %d: node %s has %s v%d, want v%d", trial, id, key, item.Version, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: merge never regresses a version.
+func TestStoreMergeMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	s := NewStore()
+	best := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(10))
+		version := rng.Intn(20)
+		s.Put(Item{Key: key, Version: version})
+		if version > best[key] {
+			best[key] = version
+		}
+		item, ok := s.Get(key)
+		if !ok || item.Version != best[key] {
+			t.Fatalf("step %d: %s at v%d, want v%d", i, key, item.Version, best[key])
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DeviceInfo is the advertisement a device publishes on discovery —
+// the raw material the generative policy architecture consumes
+// (Section IV: devices "discover other devices in the system and
+// decide on the policies to be used in their interaction with those
+// devices").
+type DeviceInfo struct {
+	ID           string
+	Type         string
+	Organization string
+	// Attrs carries the advertised numeric attributes (capabilities,
+	// capacities).
+	Attrs map[string]float64
+}
+
+// Watcher is notified of announcements and departures.
+type Watcher interface {
+	// Announced fires when a device joins or updates its advertisement.
+	Announced(DeviceInfo)
+	// Departed fires when a device leaves.
+	Departed(id string)
+}
+
+// WatcherFuncs adapts functions into a Watcher; nil fields are
+// skipped.
+type WatcherFuncs struct {
+	OnAnnounced func(DeviceInfo)
+	OnDeparted  func(string)
+}
+
+var _ Watcher = WatcherFuncs{}
+
+// Announced invokes OnAnnounced.
+func (w WatcherFuncs) Announced(info DeviceInfo) {
+	if w.OnAnnounced != nil {
+		w.OnAnnounced(info)
+	}
+}
+
+// Departed invokes OnDeparted.
+func (w WatcherFuncs) Departed(id string) {
+	if w.OnDeparted != nil {
+		w.OnDeparted(id)
+	}
+}
+
+// Registry tracks the advertised membership of the collective and
+// notifies watchers of changes. It is safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	devices  map[string]DeviceInfo
+	watchers []Watcher
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{devices: make(map[string]DeviceInfo)}
+}
+
+// Watch registers a watcher for subsequent announcements.
+func (r *Registry) Watch(w Watcher) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w != nil {
+		r.watchers = append(r.watchers, w)
+	}
+}
+
+// Announce publishes (or updates) a device advertisement and notifies
+// watchers.
+func (r *Registry) Announce(info DeviceInfo) error {
+	if info.ID == "" {
+		return fmt.Errorf("network: announcement needs a device ID")
+	}
+	r.mu.Lock()
+	copied := info
+	if len(info.Attrs) > 0 {
+		copied.Attrs = make(map[string]float64, len(info.Attrs))
+		for k, v := range info.Attrs {
+			copied.Attrs[k] = v
+		}
+	}
+	r.devices[info.ID] = copied
+	watchers := append([]Watcher(nil), r.watchers...)
+	r.mu.Unlock()
+
+	for _, w := range watchers {
+		w.Announced(copied)
+	}
+	return nil
+}
+
+// Depart removes a device and notifies watchers. It reports whether
+// the device was present.
+func (r *Registry) Depart(id string) bool {
+	r.mu.Lock()
+	_, ok := r.devices[id]
+	delete(r.devices, id)
+	watchers := append([]Watcher(nil), r.watchers...)
+	r.mu.Unlock()
+
+	if ok {
+		for _, w := range watchers {
+			w.Departed(id)
+		}
+	}
+	return ok
+}
+
+// Get returns the advertisement for a device.
+func (r *Registry) Get(id string) (DeviceInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info, ok := r.devices[id]
+	return info, ok
+}
+
+// ByType returns advertisements of the given type, sorted by ID.
+func (r *Registry) ByType(deviceType string) []DeviceInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []DeviceInfo
+	for _, info := range r.devices {
+		if info.Type == deviceType {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// All returns every advertisement, sorted by ID.
+func (r *Registry) All() []DeviceInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DeviceInfo, 0, len(r.devices))
+	for _, info := range r.devices {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of advertised devices.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.devices)
+}

@@ -1,0 +1,157 @@
+package network
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// WireMessage is the on-the-wire form of a Message: newline-delimited
+// JSON with a string payload (callers serialize structured payloads
+// themselves, keeping the wire format schema-free).
+type WireMessage struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Topic   string `json:"topic"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// Server accepts TCP connections and delivers decoded wire messages to
+// a handler — the real-network counterpart of the in-memory Bus, used
+// when devices run in separate processes. Close stops the listener and
+// waits for connection handlers to drain.
+type Server struct {
+	listener net.Listener
+	handler  func(WireMessage)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0"). The handler is
+// invoked for every decoded message, potentially from multiple
+// goroutines.
+func Serve(addr string, handler func(WireMessage)) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("network: server needs a handler")
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: listen: %w", err)
+	}
+	s := &Server{listener: l, handler: handler}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting, closes the listener, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { _ = conn.Close() }()
+			s.readLoop(conn)
+		}()
+	}
+}
+
+func (s *Server) readLoop(conn net.Conn) {
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		if s.isClosed() {
+			return
+		}
+		var msg WireMessage
+		if err := json.Unmarshal(scanner.Bytes(), &msg); err != nil {
+			continue // skip malformed frames; the stream stays usable
+		}
+		s.handler(msg)
+	}
+}
+
+// Client is a TCP sender of wire messages. It is safe for concurrent
+// use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: dial: %w", err)
+	}
+	return &Client{conn: conn, enc: json.NewEncoder(conn)}, nil
+}
+
+// Send transmits one message (json.Encoder writes a trailing newline,
+// matching the server's line-delimited framing).
+func (c *Client) Send(msg WireMessage) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return errors.New("network: client closed")
+	}
+	if err := c.enc.Encode(msg); err != nil {
+		return fmt.Errorf("network: send: %w", err)
+	}
+	return nil
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// BridgeToBus returns a Server handler that re-injects received wire
+// messages into an in-memory bus, so a remote process can address
+// local devices. Payloads are forwarded as strings; unknown recipients
+// are dropped.
+func BridgeToBus(bus *Bus) func(WireMessage) {
+	return func(w WireMessage) {
+		_ = bus.Send(Message{From: w.From, To: w.To, Topic: w.Topic, Payload: w.Payload})
+	}
+}

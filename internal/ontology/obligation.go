@@ -1,0 +1,92 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Obligation is a follow-up action that must be executed after (or
+// while) a primary action executes, to prevent indirect harm
+// (Section VI.A: "possible obligations would include posting notices
+// indicating the hole, broadcasting messages to humans approaching the
+// location of the hole, and so forth").
+type Obligation struct {
+	// Name identifies the obligation (e.g. "post-warning-sign").
+	Name string
+	// AppliesTo is the action-category concept the obligation is
+	// relevant to; it matches any action whose category is-a this
+	// concept.
+	AppliesTo Concept
+	// Mitigates describes the indirect-harm mode the obligation
+	// addresses (e.g. "human-enters-hazard").
+	Mitigates string
+	// Cost is the relative expense of discharging the obligation; used
+	// to rank obligations when budget is limited.
+	Cost float64
+}
+
+// ObligationOntology indexes obligations by the action categories they
+// are relevant to, over a shared taxonomy of action categories.
+type ObligationOntology struct {
+	taxonomy    *Taxonomy
+	obligations []Obligation
+}
+
+// NewObligationOntology builds an ontology over the given action-
+// category taxonomy.
+func NewObligationOntology(taxonomy *Taxonomy) *ObligationOntology {
+	return &ObligationOntology{taxonomy: taxonomy}
+}
+
+// Register adds an obligation. The obligation's AppliesTo concept must
+// exist in the taxonomy.
+func (o *ObligationOntology) Register(ob Obligation) error {
+	if ob.Name == "" {
+		return fmt.Errorf("ontology: obligation needs a name")
+	}
+	if !o.taxonomy.Has(ob.AppliesTo) {
+		return fmt.Errorf("%w: %s (obligation %s)", ErrUnknownConcept, ob.AppliesTo, ob.Name)
+	}
+	o.obligations = append(o.obligations, ob)
+	return nil
+}
+
+// Len returns the number of registered obligations.
+func (o *ObligationOntology) Len() int { return len(o.obligations) }
+
+// RelevantTo returns the obligations applicable to an action of the
+// given category — those whose AppliesTo concept is an ancestor of (or
+// equal to) the category — sorted by ascending cost then name. This is
+// the automatic relevance selection Section VI.A calls "the main
+// interesting challenge".
+func (o *ObligationOntology) RelevantTo(category Concept) []Obligation {
+	var out []Obligation
+	for _, ob := range o.obligations {
+		if o.taxonomy.IsA(category, ob.AppliesTo) {
+			out = append(out, ob)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SelectWithinBudget returns the cheapest relevant obligations whose
+// cumulative cost does not exceed budget, preserving RelevantTo order.
+// A zero or negative budget selects nothing.
+func (o *ObligationOntology) SelectWithinBudget(category Concept, budget float64) []Obligation {
+	var out []Obligation
+	total := 0.0
+	for _, ob := range o.RelevantTo(category) {
+		if total+ob.Cost > budget {
+			continue
+		}
+		total += ob.Cost
+		out = append(out, ob)
+	}
+	return out
+}

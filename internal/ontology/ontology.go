@@ -1,0 +1,132 @@
+// Package ontology provides the lightweight ontologies the paper's
+// prevention mechanisms rely on:
+//
+//   - a concept taxonomy with is-a relations (used to organize action
+//     and situation categories);
+//   - an obligation ontology (Section VI.A): obligations indexed by the
+//     action categories they are relevant to, "so that devices can
+//     automatically select the ones most relevant to their actions";
+//   - a state-preference ontology (Section VI.B): a preference relation
+//     over outcome categories that lets a device forced to choose
+//     between two bad states select the "less bad" one.
+package ontology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrUnknownConcept is returned when an operation references a concept
+// that was never defined.
+var ErrUnknownConcept = errors.New("ontology: unknown concept")
+
+// Concept is the name of a node in the taxonomy.
+type Concept string
+
+// Taxonomy is a directed acyclic is-a hierarchy of concepts. It is not
+// safe for concurrent mutation; build it up front and share it
+// read-only.
+type Taxonomy struct {
+	parents map[Concept][]Concept
+}
+
+// NewTaxonomy returns an empty taxonomy.
+func NewTaxonomy() *Taxonomy {
+	return &Taxonomy{parents: make(map[Concept][]Concept)}
+}
+
+// Add declares a concept with no parents (a root). Adding an existing
+// concept is a no-op.
+func (t *Taxonomy) Add(c Concept) {
+	if _, ok := t.parents[c]; !ok {
+		t.parents[c] = nil
+	}
+}
+
+// AddIsA declares that child is-a parent. Both concepts are created if
+// absent. It returns an error if the edge would create a cycle.
+func (t *Taxonomy) AddIsA(child, parent Concept) error {
+	t.Add(parent)
+	t.Add(child)
+	if child == parent || t.IsA(parent, child) {
+		return fmt.Errorf("ontology: edge %s is-a %s would create a cycle", child, parent)
+	}
+	t.parents[child] = append(t.parents[child], parent)
+	return nil
+}
+
+// Has reports whether the concept is defined.
+func (t *Taxonomy) Has(c Concept) bool {
+	_, ok := t.parents[c]
+	return ok
+}
+
+// IsA reports whether c is the concept ancestor or a (transitive)
+// descendant of it. Every concept is-a itself.
+func (t *Taxonomy) IsA(c, ancestor Concept) bool {
+	if !t.Has(c) || !t.Has(ancestor) {
+		return false
+	}
+	if c == ancestor {
+		return true
+	}
+	for _, p := range t.parents[c] {
+		if t.IsA(p, ancestor) {
+			return true
+		}
+	}
+	return false
+}
+
+// Ancestors returns every concept c transitively is-a, excluding c
+// itself, in deterministic (sorted) order.
+func (t *Taxonomy) Ancestors(c Concept) []Concept {
+	seen := make(map[Concept]bool)
+	var walk func(Concept)
+	walk = func(x Concept) {
+		for _, p := range t.parents[x] {
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(c)
+	out := make([]Concept, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Concepts returns every defined concept in deterministic order.
+func (t *Taxonomy) Concepts() []Concept {
+	out := make([]Concept, 0, len(t.parents))
+	for c := range t.parents {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the taxonomy edges deterministically.
+func (t *Taxonomy) String() string {
+	var lines []string
+	for _, c := range t.Concepts() {
+		ps := t.parents[c]
+		if len(ps) == 0 {
+			lines = append(lines, string(c))
+			continue
+		}
+		names := make([]string, len(ps))
+		for i, p := range ps {
+			names[i] = string(p)
+		}
+		sort.Strings(names)
+		lines = append(lines, fmt.Sprintf("%s is-a %s", c, strings.Join(names, ", ")))
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,247 @@
+package ontology
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func buildActionTaxonomy(t *testing.T) *Taxonomy {
+	t.Helper()
+	tx := NewTaxonomy()
+	edges := [][2]Concept{
+		{"dig-hole", "excavation"},
+		{"excavation", "terrain-change"},
+		{"terrain-change", "physical-action"},
+		{"fire-weapon", "kinetic-action"},
+		{"kinetic-action", "physical-action"},
+		{"send-message", "information-action"},
+	}
+	for _, e := range edges {
+		if err := tx.AddIsA(e[0], e[1]); err != nil {
+			t.Fatalf("AddIsA(%s, %s): %v", e[0], e[1], err)
+		}
+	}
+	return tx
+}
+
+func TestTaxonomyIsA(t *testing.T) {
+	tx := buildActionTaxonomy(t)
+	tests := []struct {
+		c, ancestor Concept
+		want        bool
+	}{
+		{c: "dig-hole", ancestor: "excavation", want: true},
+		{c: "dig-hole", ancestor: "terrain-change", want: true},
+		{c: "dig-hole", ancestor: "physical-action", want: true},
+		{c: "dig-hole", ancestor: "dig-hole", want: true},
+		{c: "dig-hole", ancestor: "kinetic-action", want: false},
+		{c: "physical-action", ancestor: "dig-hole", want: false},
+		{c: "missing", ancestor: "physical-action", want: false},
+		{c: "dig-hole", ancestor: "missing", want: false},
+	}
+	for _, tt := range tests {
+		if got := tx.IsA(tt.c, tt.ancestor); got != tt.want {
+			t.Errorf("IsA(%s, %s) = %v, want %v", tt.c, tt.ancestor, got, tt.want)
+		}
+	}
+}
+
+func TestTaxonomyCycleRejected(t *testing.T) {
+	tx := buildActionTaxonomy(t)
+	if err := tx.AddIsA("physical-action", "dig-hole"); err == nil {
+		t.Error("cycle-creating edge accepted")
+	}
+	if err := tx.AddIsA("x", "x"); err == nil {
+		t.Error("self-edge accepted")
+	}
+}
+
+func TestTaxonomyAncestors(t *testing.T) {
+	tx := buildActionTaxonomy(t)
+	got := tx.Ancestors("dig-hole")
+	want := []Concept{"excavation", "physical-action", "terrain-change"}
+	if len(got) != len(want) {
+		t.Fatalf("Ancestors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ancestors[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if len(tx.Ancestors("physical-action")) != 0 {
+		t.Error("root has ancestors")
+	}
+}
+
+func TestTaxonomyStringAndConcepts(t *testing.T) {
+	tx := buildActionTaxonomy(t)
+	s := tx.String()
+	if !strings.Contains(s, "dig-hole is-a excavation") {
+		t.Errorf("String() missing edge:\n%s", s)
+	}
+	if len(tx.Concepts()) != 8 {
+		t.Errorf("Concepts = %v", tx.Concepts())
+	}
+}
+
+func TestObligationRelevance(t *testing.T) {
+	tx := buildActionTaxonomy(t)
+	oo := NewObligationOntology(tx)
+	obs := []Obligation{
+		{Name: "post-warning-sign", AppliesTo: "terrain-change", Mitigates: "human-enters-hazard", Cost: 1},
+		{Name: "broadcast-alert", AppliesTo: "physical-action", Mitigates: "human-nearby", Cost: 2},
+		{Name: "backfill-after", AppliesTo: "excavation", Mitigates: "permanent-hazard", Cost: 5},
+		{Name: "log-message", AppliesTo: "information-action", Mitigates: "misinformation", Cost: 0.5},
+	}
+	for _, ob := range obs {
+		if err := oo.Register(ob); err != nil {
+			t.Fatalf("Register(%s): %v", ob.Name, err)
+		}
+	}
+	if oo.Len() != 4 {
+		t.Errorf("Len = %d", oo.Len())
+	}
+
+	rel := oo.RelevantTo("dig-hole")
+	if len(rel) != 3 {
+		t.Fatalf("RelevantTo(dig-hole) = %d obligations, want 3", len(rel))
+	}
+	// Sorted by cost: post-warning-sign (1), broadcast-alert (2), backfill-after (5).
+	wantOrder := []string{"post-warning-sign", "broadcast-alert", "backfill-after"}
+	for i, w := range wantOrder {
+		if rel[i].Name != w {
+			t.Errorf("RelevantTo[%d] = %s, want %s", i, rel[i].Name, w)
+		}
+	}
+
+	if got := oo.RelevantTo("send-message"); len(got) != 1 || got[0].Name != "log-message" {
+		t.Errorf("RelevantTo(send-message) = %v", got)
+	}
+}
+
+func TestObligationRegisterErrors(t *testing.T) {
+	tx := buildActionTaxonomy(t)
+	oo := NewObligationOntology(tx)
+	if err := oo.Register(Obligation{Name: "", AppliesTo: "excavation"}); err == nil {
+		t.Error("nameless obligation accepted")
+	}
+	err := oo.Register(Obligation{Name: "x", AppliesTo: "nope"})
+	if !errors.Is(err, ErrUnknownConcept) {
+		t.Errorf("unknown concept error = %v", err)
+	}
+}
+
+func TestSelectWithinBudget(t *testing.T) {
+	tx := buildActionTaxonomy(t)
+	oo := NewObligationOntology(tx)
+	for _, ob := range []Obligation{
+		{Name: "cheap", AppliesTo: "excavation", Cost: 1},
+		{Name: "mid", AppliesTo: "excavation", Cost: 2},
+		{Name: "pricey", AppliesTo: "excavation", Cost: 10},
+	} {
+		if err := oo.Register(ob); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	got := oo.SelectWithinBudget("dig-hole", 3.5)
+	if len(got) != 2 || got[0].Name != "cheap" || got[1].Name != "mid" {
+		t.Errorf("SelectWithinBudget = %v", got)
+	}
+	if got := oo.SelectWithinBudget("dig-hole", 0); got != nil {
+		t.Errorf("zero budget selected %v", got)
+	}
+}
+
+func TestPreferenceOntology(t *testing.T) {
+	p := NewPreferenceOntology()
+	// fire preferred over loss-of-life (i.e. fire is less bad);
+	// equipment-damage preferred over fire.
+	if err := p.Prefer("fire", "loss-of-life"); err != nil {
+		t.Fatalf("Prefer: %v", err)
+	}
+	if err := p.Prefer("equipment-damage", "fire"); err != nil {
+		t.Fatalf("Prefer: %v", err)
+	}
+
+	if !p.Preferred("equipment-damage", "loss-of-life") {
+		t.Error("transitive preference not derived")
+	}
+	if p.Preferred("loss-of-life", "equipment-damage") {
+		t.Error("inverse preference held")
+	}
+	best, err := p.Compare("fire", "loss-of-life")
+	if err != nil || best != "fire" {
+		t.Errorf("Compare = %v,%v", best, err)
+	}
+	if _, err := p.Compare("fire", "weather"); !errors.Is(err, ErrNoPreference) {
+		t.Errorf("incomparable Compare error = %v", err)
+	}
+	if same, err := p.Compare("fire", "fire"); err != nil || same != "fire" {
+		t.Errorf("Compare(x,x) = %v,%v", same, err)
+	}
+}
+
+func TestPreferenceContradictionRejected(t *testing.T) {
+	p := NewPreferenceOntology()
+	if err := p.Prefer("a", "b"); err != nil {
+		t.Fatalf("Prefer: %v", err)
+	}
+	if err := p.Prefer("b", "c"); err != nil {
+		t.Fatalf("Prefer: %v", err)
+	}
+	if err := p.Prefer("c", "a"); err == nil {
+		t.Error("contradictory (cyclic) preference accepted")
+	}
+	if err := p.Prefer("a", "a"); err == nil {
+		t.Error("self-preference accepted")
+	}
+}
+
+func TestLeastBad(t *testing.T) {
+	p := NewPreferenceOntology()
+	mustPrefer(t, p, "fire", "loss-of-life")
+	mustPrefer(t, p, "equipment-damage", "fire")
+	mustPrefer(t, p, "mission-abort", "loss-of-life")
+
+	got := p.LeastBad([]Outcome{"loss-of-life", "fire", "equipment-damage", "mission-abort"})
+	want := []Outcome{"equipment-damage", "mission-abort"}
+	if len(got) != len(want) {
+		t.Fatalf("LeastBad = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("LeastBad[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if got := p.LeastBad(nil); got != nil {
+		t.Errorf("LeastBad(nil) = %v", got)
+	}
+	// The paper's canonical dilemma: prefer fire over loss of life.
+	if got := p.LeastBad([]Outcome{"loss-of-life", "fire"}); len(got) != 1 || got[0] != "fire" {
+		t.Errorf("dilemma resolution = %v, want [fire]", got)
+	}
+}
+
+func TestOutcomes(t *testing.T) {
+	p := NewPreferenceOntology()
+	mustPrefer(t, p, "b", "c")
+	mustPrefer(t, p, "a", "b")
+	got := p.Outcomes()
+	want := []Outcome{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Outcomes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Outcomes[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func mustPrefer(t *testing.T, p *PreferenceOntology, a, b Outcome) {
+	t.Helper()
+	if err := p.Prefer(a, b); err != nil {
+		t.Fatalf("Prefer(%s, %s): %v", a, b, err)
+	}
+}

@@ -1,0 +1,140 @@
+package ontology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNoPreference is returned when two outcomes cannot be compared
+// under the preference ontology.
+var ErrNoPreference = errors.New("ontology: outcomes incomparable")
+
+// Outcome is a named category of result state used in preference
+// comparisons (e.g. "loss-of-life", "fire", "equipment-damage").
+type Outcome string
+
+// PreferenceOntology is the state-preference ontology of Section VI.B:
+// "Organizing the set of bad states into such an ontology allows a
+// device, which has to decide between two bad states, to select the
+// 'less bad' state." It is a strict partial order declared as
+// preferred-over edges, with transitive closure.
+//
+// The design follows preference graphs from constraint satisfaction and
+// optimization (paper ref [14], Rossi, Venable & Walsh).
+type PreferenceOntology struct {
+	better map[Outcome]map[Outcome]bool // better[a][b]: a preferred over b
+}
+
+// NewPreferenceOntology returns an empty preference ontology.
+func NewPreferenceOntology() *PreferenceOntology {
+	return &PreferenceOntology{better: make(map[Outcome]map[Outcome]bool)}
+}
+
+// Prefer declares that outcome a is preferred over outcome b (a is
+// "less bad"). It returns an error if the edge would contradict an
+// existing (transitive) preference.
+func (p *PreferenceOntology) Prefer(a, b Outcome) error {
+	if a == b {
+		return fmt.Errorf("ontology: cannot prefer %s over itself", a)
+	}
+	if p.Preferred(b, a) {
+		return fmt.Errorf("ontology: %s already preferred over %s; edge would contradict", b, a)
+	}
+	if p.better[a] == nil {
+		p.better[a] = make(map[Outcome]bool)
+	}
+	p.better[a][b] = true
+	return nil
+}
+
+// Preferred reports whether a is (transitively) preferred over b.
+func (p *PreferenceOntology) Preferred(a, b Outcome) bool {
+	if a == b {
+		return false
+	}
+	seen := make(map[Outcome]bool)
+	var walk func(Outcome) bool
+	walk = func(x Outcome) bool {
+		if p.better[x][b] {
+			return true
+		}
+		for next := range p.better[x] {
+			if !seen[next] {
+				seen[next] = true
+				if walk(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(a)
+}
+
+// Compare returns the preferred outcome of the two, or ErrNoPreference
+// if they are incomparable.
+func (p *PreferenceOntology) Compare(a, b Outcome) (Outcome, error) {
+	switch {
+	case p.Preferred(a, b):
+		return a, nil
+	case p.Preferred(b, a):
+		return b, nil
+	case a == b:
+		return a, nil
+	default:
+		return "", fmt.Errorf("%w: %s vs %s", ErrNoPreference, a, b)
+	}
+}
+
+// LeastBad returns the outcomes from candidates that no other candidate
+// is preferred over (the maximal elements of the partial order),
+// deterministically sorted. An empty input yields nil.
+func (p *PreferenceOntology) LeastBad(candidates []Outcome) []Outcome {
+	var out []Outcome
+	for i, c := range candidates {
+		dominated := false
+		for j, other := range candidates {
+			if i == j {
+				continue
+			}
+			if p.Preferred(other, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupe(out)
+}
+
+// Outcomes returns every outcome mentioned by any preference edge,
+// sorted.
+func (p *PreferenceOntology) Outcomes() []Outcome {
+	set := make(map[Outcome]bool)
+	for a, bs := range p.better {
+		set[a] = true
+		for b := range bs {
+			set[b] = true
+		}
+	}
+	out := make([]Outcome, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func dedupe(in []Outcome) []Outcome {
+	var out []Outcome
+	for i, o := range in {
+		if i == 0 || o != in[i-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/statespace"
+)
+
+// Action describes an actuator invocation a policy may direct. Per the
+// device model of Section V, "the action is the invocation of an
+// actuator, resulting in a new state" — so an action carries its
+// predicted effect on the device's own state, plus the metadata the
+// guard layer needs: an action category (for the obligation ontology)
+// and an outcome category (for the state-preference ontology).
+type Action struct {
+	// Name identifies the actuator operation (e.g. "dig-hole",
+	// "dispatch-mule").
+	Name string
+	// Category is the action-category concept used for obligation
+	// relevance and forbid-by-category matching.
+	Category ontology.Concept
+	// Outcome is the outcome category the action leads to if things
+	// go wrong, used for "less bad" comparisons.
+	Outcome ontology.Outcome
+	// Target optionally names the entity acted upon.
+	Target string
+	// Params carries free-form string parameters.
+	Params map[string]string
+	// Effect is the predicted delta to the device's own state.
+	Effect statespace.Delta
+	// Obligations names follow-up obligations already attached to the
+	// action (typically by the pre-action guard).
+	Obligations []string
+}
+
+// WithObligations returns a copy of the action with the named
+// obligations appended.
+func (a Action) WithObligations(names ...string) Action {
+	out := a
+	out.Obligations = make([]string, 0, len(a.Obligations)+len(names))
+	out.Obligations = append(out.Obligations, a.Obligations...)
+	out.Obligations = append(out.Obligations, names...)
+	return out
+}
+
+// String renders the action deterministically.
+func (a Action) String() string {
+	var b strings.Builder
+	b.WriteString(a.Name)
+	if a.Target != "" {
+		fmt.Fprintf(&b, "→%s", a.Target)
+	}
+	if len(a.Params) > 0 {
+		keys := make([]string, 0, len(a.Params))
+		for k := range a.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('(')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%s", k, a.Params[k])
+		}
+		b.WriteByte(')')
+	}
+	if len(a.Effect) > 0 {
+		b.WriteString(a.Effect.String())
+	}
+	if len(a.Obligations) > 0 {
+		fmt.Fprintf(&b, "+obligations[%s]", strings.Join(a.Obligations, ","))
+	}
+	return b.String()
+}
+
+// NoAction is the distinguished "take no action" choice — Section VI.B:
+// a device refusing a bad transition may "simply [choose] the option of
+// taking no action (which keeps it in the current good state)".
+var NoAction = Action{Name: "no-op"}
+
+// IsNoAction reports whether the action is the no-op.
+func (a Action) IsNoAction() bool { return a.Name == NoAction.Name }

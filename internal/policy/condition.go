@@ -1,0 +1,190 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Condition is the C of an ECA rule: a predicate over the triggering
+// event and the device's current state.
+type Condition interface {
+	Holds(Env) bool
+	Describe() string
+}
+
+// True is the always-satisfied condition.
+type True struct{}
+
+var _ Condition = True{}
+
+// Holds always reports true.
+func (True) Holds(Env) bool { return true }
+
+// Describe returns "true".
+func (True) Describe() string { return "true" }
+
+// CondFunc adapts a function into a Condition.
+type CondFunc struct {
+	Name string
+	Fn   func(Env) bool
+}
+
+var _ Condition = CondFunc{}
+
+// Holds invokes the function; a nil function never holds.
+func (c CondFunc) Holds(env Env) bool { return c.Fn != nil && c.Fn(env) }
+
+// Describe returns the condition's name.
+func (c CondFunc) Describe() string { return c.Name }
+
+// CmpOp is a comparison operator for threshold conditions.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpLT CmpOp = iota + 1
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+// String returns the operator's symbol.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "=="
+	case CmpNE:
+		return "!="
+	default:
+		return "?"
+	}
+}
+
+// Threshold compares a named quantity (event attribute or state
+// variable, see Env.Lookup) against a constant. A missing quantity
+// never satisfies the condition.
+type Threshold struct {
+	Quantity string
+	Op       CmpOp
+	Value    float64
+}
+
+var _ Condition = Threshold{}
+
+// Holds evaluates the comparison.
+func (t Threshold) Holds(env Env) bool {
+	v, ok := env.Lookup(t.Quantity)
+	if !ok {
+		return false
+	}
+	switch t.Op {
+	case CmpLT:
+		return v < t.Value
+	case CmpLE:
+		return v <= t.Value
+	case CmpGT:
+		return v > t.Value
+	case CmpGE:
+		return v >= t.Value
+	case CmpEQ:
+		return v == t.Value
+	case CmpNE:
+		return v != t.Value
+	default:
+		return false
+	}
+}
+
+// Describe renders the comparison.
+func (t Threshold) Describe() string {
+	return fmt.Sprintf("%s %s %g", t.Quantity, t.Op, t.Value)
+}
+
+// LabelEquals requires an event label to equal a value.
+type LabelEquals struct {
+	Label string
+	Value string
+}
+
+var _ Condition = LabelEquals{}
+
+// Holds compares the label.
+func (l LabelEquals) Holds(env Env) bool { return env.Event.Label(l.Label) == l.Value }
+
+// Describe renders the comparison.
+func (l LabelEquals) Describe() string { return fmt.Sprintf("%s is %q", l.Label, l.Value) }
+
+// And is the conjunction of its members; an empty And holds.
+type And []Condition
+
+var _ Condition = And(nil)
+
+// Holds reports whether every member holds.
+func (a And) Holds(env Env) bool {
+	for _, c := range a {
+		if !c.Holds(env) {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe joins the member descriptions.
+func (a And) Describe() string { return joinConds([]Condition(a), " and ") }
+
+// Or is the disjunction of its members; an empty Or does not hold.
+type Or []Condition
+
+var _ Condition = Or(nil)
+
+// Holds reports whether any member holds.
+func (o Or) Holds(env Env) bool {
+	for _, c := range o {
+		if c.Holds(env) {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe joins the member descriptions.
+func (o Or) Describe() string { return joinConds([]Condition(o), " or ") }
+
+// Not negates a condition.
+type Not struct {
+	Of Condition
+}
+
+var _ Condition = Not{}
+
+// Holds reports whether the inner condition does not hold.
+func (n Not) Holds(env Env) bool { return n.Of != nil && !n.Of.Holds(env) }
+
+// Describe renders the negation.
+func (n Not) Describe() string {
+	if n.Of == nil {
+		return "not(?)"
+	}
+	return "not(" + n.Of.Describe() + ")"
+}
+
+func joinConds(cs []Condition, sep string) string {
+	if len(cs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = "(" + c.Describe() + ")"
+	}
+	return strings.Join(parts, sep)
+}

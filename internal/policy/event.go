@@ -1,0 +1,104 @@
+// Package policy implements the event–condition–action policy model of
+// Section IV: "A policy in this context is an event-condition-action
+// rule directing the devices to take specific actions when an event
+// happens and the conditions specified hold true."
+//
+// Policies carry a modality (do vs. forbid), a priority, an origin
+// (built-in, human, generated, shared), and optional obligations. A Set
+// evaluates an event against the device state, with forbid policies
+// vetoing matching do policies and deterministic priority ordering —
+// the "logic" box of the paper's Figure 2 device model.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/statespace"
+)
+
+// WildcardEvent matches every event type when used as a policy's
+// EventType.
+const WildcardEvent = "*"
+
+// Event is an occurrence a device reacts to: a sensor change, a
+// received message, a discovery, a command.
+type Event struct {
+	// Type names the kind of event (e.g. "smoke-detected",
+	// "device-discovered").
+	Type string
+	// Source identifies what produced the event.
+	Source string
+	// Time is when the event occurred.
+	Time time.Time
+	// Attrs carries numeric attributes (e.g. intensity, distance).
+	Attrs map[string]float64
+	// Labels carries string attributes (e.g. device type discovered).
+	Labels map[string]string
+}
+
+// Attr returns the named numeric attribute, or 0 when absent.
+func (e Event) Attr(name string) float64 { return e.Attrs[name] }
+
+// Label returns the named string attribute, or "" when absent.
+func (e Event) Label(name string) string { return e.Labels[name] }
+
+// String renders the event compactly and deterministically.
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Type)
+	if e.Source != "" {
+		fmt.Fprintf(&b, " from %s", e.Source)
+	}
+	if len(e.Attrs) > 0 {
+		keys := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(" {")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%g", k, e.Attrs[k])
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// Env is the evaluation environment for policy conditions: the
+// triggering event plus the device's current state.
+type Env struct {
+	Event Event
+	State statespace.State
+}
+
+// Lookup resolves an identifier for condition evaluation. Event
+// attributes shadow state variables; the prefixes "event." and
+// "state." force one namespace.
+func (env Env) Lookup(name string) (float64, bool) {
+	if v, ok := strings.CutPrefix(name, "event."); ok {
+		f, present := env.Event.Attrs[v]
+		return f, present
+	}
+	if v, ok := strings.CutPrefix(name, "state."); ok {
+		if !env.State.Valid() {
+			return 0, false
+		}
+		f, err := env.State.Get(v)
+		return f, err == nil
+	}
+	if f, ok := env.Event.Attrs[name]; ok {
+		return f, true
+	}
+	if env.State.Valid() {
+		if f, err := env.State.Get(name); err == nil {
+			return f, true
+		}
+	}
+	return 0, false
+}

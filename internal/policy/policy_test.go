@@ -1,0 +1,244 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/statespace"
+)
+
+func testEnv(t *testing.T, eventType string, attrs map[string]float64, stateVals map[string]float64) Env {
+	t.Helper()
+	s, err := statespace.NewSchema(
+		statespace.Var("fuel", 0, 100),
+		statespace.Var("heat", 0, 100),
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	st, err := s.StateFromMap(stateVals)
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	return Env{
+		Event: Event{Type: eventType, Attrs: attrs},
+		State: st,
+	}
+}
+
+func TestEnvLookup(t *testing.T) {
+	env := testEnv(t, "tick", map[string]float64{"intensity": 5, "fuel": 99}, map[string]float64{"fuel": 40})
+
+	tests := []struct {
+		name   string
+		want   float64
+		wantOK bool
+	}{
+		{name: "intensity", want: 5, wantOK: true},
+		{name: "fuel", want: 99, wantOK: true}, // event shadows state
+		{name: "event.fuel", want: 99, wantOK: true},
+		{name: "state.fuel", want: 40, wantOK: true},
+		{name: "state.heat", want: 0, wantOK: true},
+		{name: "missing", wantOK: false},
+		{name: "event.missing", wantOK: false},
+		{name: "state.missing", wantOK: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := env.Lookup(tt.name)
+			if ok != tt.wantOK || got != tt.want {
+				t.Errorf("Lookup(%q) = %g,%v, want %g,%v", tt.name, got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestEnvLookupInvalidState(t *testing.T) {
+	env := Env{Event: Event{Type: "e"}}
+	if _, ok := env.Lookup("state.x"); ok {
+		t.Error("Lookup through invalid state succeeded")
+	}
+	if _, ok := env.Lookup("x"); ok {
+		t.Error("Lookup of missing name with invalid state succeeded")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Type: "smoke", Source: "drone-1", Attrs: map[string]float64{"b": 2, "a": 1}}
+	got := e.String()
+	want := "smoke from drone-1 {a=1, b=2}"
+	if got != want {
+		t.Errorf("Event.String() = %q, want %q", got, want)
+	}
+	if e.Attr("a") != 1 || e.Attr("zz") != 0 {
+		t.Error("Attr lookup wrong")
+	}
+	if e.Label("x") != "" {
+		t.Error("Label on nil map wrong")
+	}
+}
+
+func TestThresholdConditions(t *testing.T) {
+	env := testEnv(t, "tick", map[string]float64{"x": 5}, nil)
+	tests := []struct {
+		cond Threshold
+		want bool
+	}{
+		{cond: Threshold{Quantity: "x", Op: CmpLT, Value: 6}, want: true},
+		{cond: Threshold{Quantity: "x", Op: CmpLT, Value: 5}, want: false},
+		{cond: Threshold{Quantity: "x", Op: CmpLE, Value: 5}, want: true},
+		{cond: Threshold{Quantity: "x", Op: CmpGT, Value: 4}, want: true},
+		{cond: Threshold{Quantity: "x", Op: CmpGE, Value: 5}, want: true},
+		{cond: Threshold{Quantity: "x", Op: CmpEQ, Value: 5}, want: true},
+		{cond: Threshold{Quantity: "x", Op: CmpNE, Value: 5}, want: false},
+		{cond: Threshold{Quantity: "missing", Op: CmpEQ, Value: 0}, want: false},
+		{cond: Threshold{Quantity: "x", Op: CmpOp(99), Value: 0}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.cond.Describe(), func(t *testing.T) {
+			if got := tt.cond.Holds(env); got != tt.want {
+				t.Errorf("Holds = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	env := testEnv(t, "tick", map[string]float64{"x": 5}, nil)
+	hi := Threshold{Quantity: "x", Op: CmpGT, Value: 3}
+	lo := Threshold{Quantity: "x", Op: CmpLT, Value: 3}
+
+	if !(And{hi}).Holds(env) || (And{hi, lo}).Holds(env) || !(And{}).Holds(env) {
+		t.Error("And semantics wrong")
+	}
+	if !(Or{hi, lo}).Holds(env) || (Or{lo}).Holds(env) || (Or{}).Holds(env) {
+		t.Error("Or semantics wrong")
+	}
+	if (Not{Of: hi}).Holds(env) || !(Not{Of: lo}).Holds(env) || (Not{}).Holds(env) {
+		t.Error("Not semantics wrong")
+	}
+	if (CondFunc{}).Holds(env) {
+		t.Error("nil CondFunc held")
+	}
+	if (True{}).Holds(env) != true {
+		t.Error("True did not hold")
+	}
+	for _, d := range []string{
+		(And{hi, lo}).Describe(), (Or{}).Describe(), (Not{Of: hi}).Describe(),
+		(Not{}).Describe(), True{}.Describe(), (CondFunc{Name: "f"}).Describe(),
+	} {
+		if d == "" {
+			t.Error("empty Describe()")
+		}
+	}
+}
+
+func TestLabelEquals(t *testing.T) {
+	env := Env{Event: Event{Type: "discovered", Labels: map[string]string{"deviceType": "mule"}}}
+	if !(LabelEquals{Label: "deviceType", Value: "mule"}).Holds(env) {
+		t.Error("label match failed")
+	}
+	if (LabelEquals{Label: "deviceType", Value: "drone"}).Holds(env) {
+		t.Error("label mismatch held")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{
+		CmpLT: "<", CmpLE: "<=", CmpGT: ">", CmpGE: ">=", CmpEQ: "==", CmpNE: "!=", CmpOp(0): "?",
+	}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("CmpOp(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	valid := Policy{ID: "p1", EventType: "tick", Modality: ModalityDo, Action: Action{Name: "act"}}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		p    Policy
+	}{
+		{name: "no id", p: Policy{EventType: "e", Modality: ModalityDo, Action: Action{Name: "a"}}},
+		{name: "no event", p: Policy{ID: "p", Modality: ModalityDo, Action: Action{Name: "a"}}},
+		{name: "do without action", p: Policy{ID: "p", EventType: "e", Modality: ModalityDo}},
+		{name: "forbid matches nothing", p: Policy{ID: "p", EventType: "e", Modality: ModalityForbid}},
+		{name: "bad modality", p: Policy{ID: "p", EventType: "e", Action: Action{Name: "a"}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); !errors.Is(err, ErrInvalidPolicy) {
+				t.Errorf("Validate = %v, want ErrInvalidPolicy", err)
+			}
+		})
+	}
+}
+
+func TestPolicyMatches(t *testing.T) {
+	p := Policy{
+		ID: "p", EventType: "smoke", Modality: ModalityDo,
+		Condition: Threshold{Quantity: "intensity", Op: CmpGT, Value: 3},
+		Action:    Action{Name: "investigate"},
+	}
+	hi := Env{Event: Event{Type: "smoke", Attrs: map[string]float64{"intensity": 5}}}
+	lo := Env{Event: Event{Type: "smoke", Attrs: map[string]float64{"intensity": 1}}}
+	wrongType := Env{Event: Event{Type: "convoy", Attrs: map[string]float64{"intensity": 5}}}
+
+	if !p.Matches(hi) || p.Matches(lo) || p.Matches(wrongType) {
+		t.Error("Matches semantics wrong")
+	}
+
+	wild := Policy{ID: "w", EventType: WildcardEvent, Modality: ModalityDo, Action: Action{Name: "a"}}
+	if !wild.Matches(wrongType) {
+		t.Error("wildcard policy did not match")
+	}
+	nilCond := Policy{ID: "n", EventType: "smoke", Modality: ModalityDo, Action: Action{Name: "a"}}
+	if !nilCond.Matches(hi) {
+		t.Error("nil condition policy did not match")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	p := Policy{
+		ID: "p1", Priority: 3, Origin: OriginGenerated, EventType: "smoke",
+		Modality: ModalityDo,
+		Action: Action{
+			Name: "dispatch", Target: "mule-1",
+			Params:      map[string]string{"speed": "fast", "mode": "safe"},
+			Effect:      statespace.Delta{"fuel": -5},
+			Obligations: []string{"warn"},
+		},
+	}
+	got := p.String()
+	for _, want := range []string{"p1", "generated", "smoke", "dispatch→mule-1", "mode=safe, speed=fast", "fuel-5", "obligations[warn]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Policy.String() = %q, missing %q", got, want)
+		}
+	}
+	if OriginBuiltin.String() != "builtin" || OriginHuman.String() != "human" ||
+		OriginShared.String() != "shared" || Origin(0).String() != "unknown" {
+		t.Error("Origin.String wrong")
+	}
+	if ModalityDo.String() != "do" || ModalityForbid.String() != "forbid" || Modality(0).String() != "unknown" {
+		t.Error("Modality.String wrong")
+	}
+}
+
+func TestActionHelpers(t *testing.T) {
+	a := Action{Name: "dig", Obligations: []string{"one"}}
+	b := a.WithObligations("two", "three")
+	if len(a.Obligations) != 1 {
+		t.Error("WithObligations mutated the receiver")
+	}
+	if len(b.Obligations) != 3 || b.Obligations[2] != "three" {
+		t.Errorf("WithObligations = %v", b.Obligations)
+	}
+	if !NoAction.IsNoAction() || a.IsNoAction() {
+		t.Error("IsNoAction wrong")
+	}
+}

@@ -1,0 +1,142 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// genPolicies builds a random consistent batch of policies.
+func genPolicies(rng *rand.Rand, n int) []Policy {
+	events := []string{"tick", "smoke", WildcardEvent}
+	actions := []string{"move", "observe", "strike"}
+	out := make([]Policy, 0, n)
+	for i := 0; i < n; i++ {
+		p := Policy{
+			ID:        fmt.Sprintf("p%03d", i),
+			EventType: events[rng.Intn(len(events))],
+			Priority:  rng.Intn(10),
+			Modality:  ModalityDo,
+			Action:    Action{Name: actions[rng.Intn(len(actions))]},
+		}
+		if rng.Intn(4) == 0 {
+			p.Modality = ModalityForbid
+		}
+		if rng.Intn(2) == 0 {
+			p.Condition = Threshold{Quantity: "x", Op: CmpGT, Value: float64(rng.Intn(10))}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Property: evaluation is independent of the order policies were
+// added (the map-backed set must not leak iteration order).
+func TestEvaluateInsertionOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		policies := genPolicies(rng, 30)
+		env := Env{Event: Event{
+			Type:  []string{"tick", "smoke"}[rng.Intn(2)],
+			Attrs: map[string]float64{"x": float64(rng.Intn(12))},
+		}}
+
+		forward := NewSet()
+		for _, p := range policies {
+			if err := forward.Add(p); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+		shuffled := NewSet()
+		perm := rng.Perm(len(policies))
+		for _, idx := range perm {
+			if err := shuffled.Add(policies[idx]); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+
+		a, b := forward.Evaluate(env), shuffled.Evaluate(env)
+		if !reflect.DeepEqual(a.Actions, b.Actions) {
+			t.Fatalf("trial %d: actions differ by insertion order:\n%v\n%v", trial, a.Actions, b.Actions)
+		}
+		if !reflect.DeepEqual(a.Matched, b.Matched) {
+			t.Fatalf("trial %d: matched differ:\n%v\n%v", trial, a.Matched, b.Matched)
+		}
+		if !reflect.DeepEqual(a.Vetoed, b.Vetoed) {
+			t.Fatalf("trial %d: vetoes differ:\n%v\n%v", trial, a.Vetoed, b.Vetoed)
+		}
+	}
+}
+
+// Property: a forbid policy never increases the number of actions, and
+// every vetoed action names a matching forbid policy.
+func TestForbidMonotonicityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 50; trial++ {
+		policies := genPolicies(rng, 20)
+		env := Env{Event: Event{Type: "tick", Attrs: map[string]float64{"x": 5}}}
+
+		withoutForbids := NewSet()
+		withForbids := NewSet()
+		for _, p := range policies {
+			if err := withForbids.Add(p); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			if p.Modality == ModalityDo {
+				if err := withoutForbids.Add(p); err != nil {
+					t.Fatalf("Add: %v", err)
+				}
+			}
+		}
+		all := withoutForbids.Evaluate(env)
+		filtered := withForbids.Evaluate(env)
+		if len(filtered.Actions) > len(all.Actions) {
+			t.Fatalf("trial %d: forbids increased actions %d → %d", trial, len(all.Actions), len(filtered.Actions))
+		}
+		for doID, forbidID := range filtered.Vetoed {
+			fb, ok := withForbids.Get(forbidID)
+			if !ok || fb.Modality != ModalityForbid {
+				t.Fatalf("trial %d: veto of %s cites non-forbid %s", trial, doID, forbidID)
+			}
+		}
+	}
+}
+
+// Property: evaluation results contain only actions from policies that
+// match the environment.
+func TestEvaluateSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		policies := genPolicies(rng, 25)
+		set := NewSet()
+		byID := make(map[string]Policy, len(policies))
+		for _, p := range policies {
+			if err := set.Add(p); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			byID[p.ID] = p
+		}
+		env := Env{Event: Event{Type: "smoke", Attrs: map[string]float64{"x": float64(rng.Intn(12))}}}
+		d := set.Evaluate(env)
+		for _, id := range d.Matched {
+			if !byID[id].Matches(env) {
+				t.Fatalf("trial %d: %s reported matched but does not match", trial, id)
+			}
+		}
+		for _, p := range policies {
+			if p.Matches(env) && !contains(d.Matched, p.ID) {
+				t.Fatalf("trial %d: %s matches but was not reported", trial, p.ID)
+			}
+		}
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ontology"
+)
+
+// CategoryMatcher decides whether an action of category got is covered
+// by a forbid-policy over category want. The default is equality; a
+// taxonomy-backed matcher (got is-a want) can be injected.
+type CategoryMatcher func(got, want ontology.Concept) bool
+
+// Decision is the outcome of evaluating one event against a policy
+// set.
+type Decision struct {
+	// Actions are the directed actions in execution order
+	// (deterministic: priority descending, then policy ID).
+	Actions []Action
+	// Matched lists the IDs of every policy that matched, including
+	// forbid policies.
+	Matched []string
+	// Vetoed records actions directed by matching do-policies but
+	// blocked by a forbid-policy, keyed by the do-policy ID, with the
+	// forbidding policy's ID as value.
+	Vetoed map[string]string
+}
+
+// Conflict is a statically detected potential conflict between two
+// policies in a set.
+type Conflict struct {
+	A, B   string
+	Reason string
+}
+
+// String renders the conflict.
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s vs %s: %s", c.A, c.B, c.Reason)
+}
+
+// Set is a collection of policies with deterministic evaluation. It is
+// safe for concurrent use.
+type Set struct {
+	mu       sync.RWMutex
+	policies map[string]Policy
+	matchCat CategoryMatcher
+}
+
+// SetOption configures a Set.
+type SetOption interface {
+	apply(*Set)
+}
+
+type catMatcherOption struct{ m CategoryMatcher }
+
+func (o catMatcherOption) apply(s *Set) { s.matchCat = o.m }
+
+// WithCategoryMatcher injects the matcher used to decide whether a
+// forbid-by-category policy covers an action.
+func WithCategoryMatcher(m CategoryMatcher) SetOption {
+	return catMatcherOption{m: m}
+}
+
+// TaxonomyMatcher builds a CategoryMatcher from a taxonomy: an action
+// category is covered when it is-a the forbidden category.
+func TaxonomyMatcher(t *ontology.Taxonomy) CategoryMatcher {
+	return func(got, want ontology.Concept) bool { return t.IsA(got, want) }
+}
+
+// NewSet returns an empty policy set.
+func NewSet(opts ...SetOption) *Set {
+	s := &Set{
+		policies: make(map[string]Policy),
+		matchCat: func(got, want ontology.Concept) bool { return got == want },
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
+}
+
+// Add validates and inserts a policy. A policy with a duplicate ID is
+// rejected.
+func (s *Set) Add(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.policies[p.ID]; dup {
+		return fmt.Errorf("%w: duplicate ID %s", ErrInvalidPolicy, p.ID)
+	}
+	s.policies[p.ID] = p
+	return nil
+}
+
+// Replace validates and inserts a policy, overwriting any existing one
+// with the same ID. It is the mutation path for reprogramming attacks
+// and generative updates.
+func (s *Set) Replace(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policies[p.ID] = p
+	return nil
+}
+
+// Remove deletes a policy by ID and reports whether it existed.
+func (s *Set) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.policies[id]
+	delete(s.policies, id)
+	return ok
+}
+
+// Get returns the policy with the given ID.
+func (s *Set) Get(id string) (Policy, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.policies[id]
+	return p, ok
+}
+
+// Len returns the number of policies.
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.policies)
+}
+
+// All returns every policy ordered by descending priority then ID.
+func (s *Set) All() []Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sortedLocked()
+}
+
+func (s *Set) sortedLocked() []Policy {
+	out := make([]Policy, 0, len(s.policies))
+	for _, p := range s.policies {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Evaluate matches the environment against the set. Matching
+// forbid-policies veto actions of matching do-policies with lower or
+// equal priority; surviving actions are returned in deterministic
+// order.
+func (s *Set) Evaluate(env Env) Decision {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	d := Decision{Vetoed: make(map[string]string)}
+	var dos, forbids []Policy
+	for _, p := range s.sortedLocked() {
+		if !p.Matches(env) {
+			continue
+		}
+		d.Matched = append(d.Matched, p.ID)
+		if p.Modality == ModalityForbid {
+			forbids = append(forbids, p)
+		} else {
+			dos = append(dos, p)
+		}
+	}
+	for _, doP := range dos {
+		blockedBy := ""
+		for _, fb := range forbids {
+			if fb.Priority < doP.Priority {
+				continue
+			}
+			if s.forbidCoversLocked(fb, doP.Action) {
+				blockedBy = fb.ID
+				break
+			}
+		}
+		if blockedBy != "" {
+			d.Vetoed[doP.ID] = blockedBy
+			continue
+		}
+		d.Actions = append(d.Actions, doP.Action)
+	}
+	return d
+}
+
+func (s *Set) forbidCoversLocked(fb Policy, a Action) bool {
+	if fb.Action.Name != "" {
+		return fb.Action.Name == a.Name
+	}
+	return s.matchCat(a.Category, fb.Action.Category)
+}
+
+// Conflicts statically reports potential conflicts: a do-policy and a
+// forbid-policy on the same event type whose actions overlap (the
+// forbid would veto the do whenever both match), and duplicate
+// do-policies directing the same action at the same priority.
+func (s *Set) Conflicts() []Conflict {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	policies := s.sortedLocked()
+	var out []Conflict
+	for i, a := range policies {
+		for _, b := range policies[i+1:] {
+			if !eventTypesOverlap(a.EventType, b.EventType) {
+				continue
+			}
+			doP, fbP := a, b
+			if doP.Modality == ModalityForbid {
+				doP, fbP = b, a
+			}
+			switch {
+			case doP.Modality == ModalityDo && fbP.Modality == ModalityForbid:
+				if fbP.Priority >= doP.Priority && s.forbidCoversLocked(fbP, doP.Action) {
+					out = append(out, Conflict{
+						A:      doP.ID,
+						B:      fbP.ID,
+						Reason: fmt.Sprintf("forbid %s covers do action %q on event %s", fbP.ID, doP.Action.Name, doP.EventType),
+					})
+				}
+			case a.Modality == ModalityDo && b.Modality == ModalityDo:
+				if a.Priority == b.Priority && a.Action.Name == b.Action.Name && a.Action.Target == b.Action.Target {
+					out = append(out, Conflict{
+						A:      a.ID,
+						B:      b.ID,
+						Reason: fmt.Sprintf("duplicate action %q at priority %d", a.Action.Name, a.Priority),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func eventTypesOverlap(a, b string) bool {
+	return a == b || a == WildcardEvent || b == WildcardEvent
+}

@@ -1,0 +1,203 @@
+package policy
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/ontology"
+)
+
+func mustAdd(t *testing.T, s *Set, p Policy) {
+	t.Helper()
+	if err := s.Add(p); err != nil {
+		t.Fatalf("Add(%s): %v", p.ID, err)
+	}
+}
+
+func TestSetAddValidation(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{ID: "p1", EventType: "e", Modality: ModalityDo, Action: Action{Name: "a"}})
+	if err := s.Add(Policy{ID: "p1", EventType: "e", Modality: ModalityDo, Action: Action{Name: "a"}}); !errors.Is(err, ErrInvalidPolicy) {
+		t.Errorf("duplicate add error = %v", err)
+	}
+	if err := s.Add(Policy{}); !errors.Is(err, ErrInvalidPolicy) {
+		t.Errorf("invalid add error = %v", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSetReplaceAndRemove(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{ID: "p1", EventType: "e", Modality: ModalityDo, Action: Action{Name: "old"}})
+	if err := s.Replace(Policy{ID: "p1", EventType: "e", Modality: ModalityDo, Action: Action{Name: "new"}}); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	got, ok := s.Get("p1")
+	if !ok || got.Action.Name != "new" {
+		t.Errorf("Get after Replace = %+v,%v", got, ok)
+	}
+	if err := s.Replace(Policy{}); err == nil {
+		t.Error("Replace accepted invalid policy")
+	}
+	if !s.Remove("p1") || s.Remove("p1") {
+		t.Error("Remove semantics wrong")
+	}
+	if _, ok := s.Get("p1"); ok {
+		t.Error("policy present after Remove")
+	}
+}
+
+func TestEvaluateOrdering(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{ID: "b-low", EventType: "e", Priority: 1, Modality: ModalityDo, Action: Action{Name: "second"}})
+	mustAdd(t, s, Policy{ID: "a-high", EventType: "e", Priority: 5, Modality: ModalityDo, Action: Action{Name: "first"}})
+	mustAdd(t, s, Policy{ID: "a-low", EventType: "e", Priority: 1, Modality: ModalityDo, Action: Action{Name: "tie-a"}})
+
+	d := s.Evaluate(Env{Event: Event{Type: "e"}})
+	if len(d.Actions) != 3 {
+		t.Fatalf("Actions = %v", d.Actions)
+	}
+	if d.Actions[0].Name != "first" {
+		t.Errorf("highest priority not first: %v", d.Actions)
+	}
+	// Ties broken by ID: a-low before b-low.
+	if d.Actions[1].Name != "tie-a" || d.Actions[2].Name != "second" {
+		t.Errorf("tie-break order wrong: %v", d.Actions)
+	}
+	if len(d.Matched) != 3 {
+		t.Errorf("Matched = %v", d.Matched)
+	}
+}
+
+func TestEvaluateForbidVeto(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{ID: "do", EventType: "e", Priority: 1, Modality: ModalityDo, Action: Action{Name: "fire"}})
+	mustAdd(t, s, Policy{ID: "forbid", EventType: "e", Priority: 5, Modality: ModalityForbid, Action: Action{Name: "fire"}})
+	mustAdd(t, s, Policy{ID: "other", EventType: "e", Priority: 1, Modality: ModalityDo, Action: Action{Name: "observe"}})
+
+	d := s.Evaluate(Env{Event: Event{Type: "e"}})
+	if len(d.Actions) != 1 || d.Actions[0].Name != "observe" {
+		t.Fatalf("Actions = %v, want only observe", d.Actions)
+	}
+	if d.Vetoed["do"] != "forbid" {
+		t.Errorf("Vetoed = %v", d.Vetoed)
+	}
+}
+
+func TestForbidDoesNotVetoHigherPriority(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{ID: "do", EventType: "e", Priority: 10, Modality: ModalityDo, Action: Action{Name: "fire"}})
+	mustAdd(t, s, Policy{ID: "forbid", EventType: "e", Priority: 1, Modality: ModalityForbid, Action: Action{Name: "fire"}})
+
+	d := s.Evaluate(Env{Event: Event{Type: "e"}})
+	if len(d.Actions) != 1 || d.Actions[0].Name != "fire" {
+		t.Errorf("higher-priority do was vetoed: %v", d.Actions)
+	}
+}
+
+func TestForbidByCategoryWithTaxonomy(t *testing.T) {
+	tx := ontology.NewTaxonomy()
+	if err := tx.AddIsA("fire-weapon", "kinetic-action"); err != nil {
+		t.Fatalf("AddIsA: %v", err)
+	}
+	s := NewSet(WithCategoryMatcher(TaxonomyMatcher(tx)))
+	mustAdd(t, s, Policy{
+		ID: "do", EventType: "e", Priority: 1, Modality: ModalityDo,
+		Action: Action{Name: "engage", Category: "fire-weapon"},
+	})
+	mustAdd(t, s, Policy{
+		ID: "forbid-kinetic", EventType: WildcardEvent, Priority: 9, Modality: ModalityForbid,
+		Action: Action{Category: "kinetic-action"},
+	})
+
+	d := s.Evaluate(Env{Event: Event{Type: "e"}})
+	if len(d.Actions) != 0 {
+		t.Errorf("category forbid did not veto subcategory action: %v", d.Actions)
+	}
+	if d.Vetoed["do"] != "forbid-kinetic" {
+		t.Errorf("Vetoed = %v", d.Vetoed)
+	}
+}
+
+func TestForbidByCategoryDefaultEquality(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{
+		ID: "do", EventType: "e", Priority: 1, Modality: ModalityDo,
+		Action: Action{Name: "engage", Category: "fire-weapon"},
+	})
+	mustAdd(t, s, Policy{
+		ID: "forbid", EventType: "e", Priority: 9, Modality: ModalityForbid,
+		Action: Action{Category: "kinetic-action"},
+	})
+	d := s.Evaluate(Env{Event: Event{Type: "e"}})
+	if len(d.Actions) != 1 {
+		t.Errorf("equality matcher vetoed non-equal category: %v", d.Vetoed)
+	}
+}
+
+func TestConflictsStaticDetection(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{ID: "do", EventType: "e", Priority: 1, Modality: ModalityDo, Action: Action{Name: "fire"}})
+	mustAdd(t, s, Policy{ID: "forbid", EventType: WildcardEvent, Priority: 5, Modality: ModalityForbid, Action: Action{Name: "fire"}})
+	mustAdd(t, s, Policy{ID: "dupA", EventType: "x", Priority: 2, Modality: ModalityDo, Action: Action{Name: "act"}})
+	mustAdd(t, s, Policy{ID: "dupB", EventType: "x", Priority: 2, Modality: ModalityDo, Action: Action{Name: "act"}})
+	mustAdd(t, s, Policy{ID: "unrelated", EventType: "y", Priority: 2, Modality: ModalityDo, Action: Action{Name: "zzz"}})
+
+	conflicts := s.Conflicts()
+	if len(conflicts) != 2 {
+		t.Fatalf("Conflicts = %v, want 2", conflicts)
+	}
+	for _, c := range conflicts {
+		if c.String() == "" {
+			t.Error("empty conflict string")
+		}
+	}
+}
+
+func TestNoConflictAcrossEventTypes(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{ID: "do", EventType: "a", Priority: 1, Modality: ModalityDo, Action: Action{Name: "fire"}})
+	mustAdd(t, s, Policy{ID: "forbid", EventType: "b", Priority: 5, Modality: ModalityForbid, Action: Action{Name: "fire"}})
+	if got := s.Conflicts(); len(got) != 0 {
+		t.Errorf("Conflicts across disjoint event types = %v", got)
+	}
+}
+
+func TestSetConcurrentAccess(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{ID: "base", EventType: "e", Modality: ModalityDo, Action: Action{Name: "a"}})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Evaluate(Env{Event: Event{Type: "e"}})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = s.Replace(Policy{ID: "base", EventType: "e", Modality: ModalityDo, Action: Action{Name: "a"}})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, Policy{ID: "z", EventType: "e", Priority: 1, Modality: ModalityDo, Action: Action{Name: "a"}})
+	mustAdd(t, s, Policy{ID: "a", EventType: "e", Priority: 1, Modality: ModalityDo, Action: Action{Name: "a"}})
+	mustAdd(t, s, Policy{ID: "m", EventType: "e", Priority: 9, Modality: ModalityDo, Action: Action{Name: "a"}})
+	all := s.All()
+	if all[0].ID != "m" || all[1].ID != "a" || all[2].ID != "z" {
+		t.Errorf("All order = %v", []string{all[0].ID, all[1].ID, all[2].ID})
+	}
+}

@@ -1,0 +1,106 @@
+package policylang
+
+// Rule is the AST of one parsed policy statement.
+type Rule struct {
+	// Name is the policy identifier.
+	Name string
+	// Priority is the evaluation priority (0 if unspecified).
+	Priority int
+	// Org is the owning organization ("" if unspecified).
+	Org string
+	// EventType is the triggering event type; "*" is the wildcard.
+	EventType string
+	// When is the condition expression; nil means always.
+	When Expr
+	// Forbid distinguishes forbid-rules from do-rules.
+	Forbid bool
+	// Act describes the directed (do) or matched (forbid) action.
+	Act ActionSpec
+}
+
+// ActionSpec is the action clause of a rule.
+type ActionSpec struct {
+	// Name is the action name; for forbid-by-category rules it is "".
+	Name string
+	// Target optionally names the entity acted on.
+	Target string
+	// Category is the action-category concept.
+	Category string
+	// Outcome is the outcome category.
+	Outcome string
+	// Params are string parameters in source order.
+	Params []Param
+	// Effects are predicted state deltas in source order.
+	Effects []EffectSpec
+	// Obligations are obligation names in source order.
+	Obligations []string
+}
+
+// Param is one key="value" action parameter.
+type Param struct {
+	Key   string
+	Value string
+}
+
+// EffectSpec is one `effect var += n` / `effect var -= n` clause.
+type EffectSpec struct {
+	Variable string
+	// Delta is the signed amount added to the variable.
+	Delta float64
+}
+
+// Expr is a condition expression node.
+type Expr interface {
+	isExpr()
+}
+
+// BinaryExpr is a boolean conjunction or disjunction.
+type BinaryExpr struct {
+	Op    BoolOp
+	Left  Expr
+	Right Expr
+}
+
+// BoolOp is a boolean operator.
+type BoolOp int
+
+// Boolean operators.
+const (
+	OpAnd BoolOp = iota + 1
+	OpOr
+)
+
+// String names the operator.
+func (o BoolOp) String() string {
+	if o == OpOr {
+		return "or"
+	}
+	return "and"
+}
+
+// NotExpr negates its operand.
+type NotExpr struct {
+	Operand Expr
+}
+
+// CmpExpr compares a named quantity against a numeric constant.
+type CmpExpr struct {
+	Quantity string
+	Op       string // one of < <= > >= == !=
+	Value    float64
+}
+
+// LabelExpr tests an event label for equality: `label is "value"`.
+type LabelExpr struct {
+	Label string
+	Value string
+}
+
+// TrueExpr is the literal `true`.
+type TrueExpr struct{}
+
+func (*BinaryExpr) isExpr() {}
+func (*NotExpr) isExpr()    {}
+func (*CmpExpr) isExpr()    {}
+func (*LabelExpr) isExpr()  {}
+func (TrueExpr) isExpr()    {}

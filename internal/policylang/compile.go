@@ -1,0 +1,140 @@
+package policylang
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+	"repro/internal/policy"
+	"repro/internal/statespace"
+)
+
+// Compile lowers a parsed rule to an executable policy. The origin is
+// recorded on the produced policy so that provenance survives
+// compilation.
+func Compile(r Rule, origin policy.Origin) (policy.Policy, error) {
+	p := policy.Policy{
+		ID:           r.Name,
+		Origin:       origin,
+		Organization: r.Org,
+		EventType:    r.EventType,
+		Priority:     r.Priority,
+		Modality:     policy.ModalityDo,
+	}
+	if r.Forbid {
+		p.Modality = policy.ModalityForbid
+	}
+	if r.When != nil {
+		cond, err := compileExpr(r.When)
+		if err != nil {
+			return policy.Policy{}, fmt.Errorf("policy %s: %w", r.Name, err)
+		}
+		p.Condition = cond
+	}
+	p.Action = compileAction(r.Act)
+	if err := p.Validate(); err != nil {
+		return policy.Policy{}, err
+	}
+	return p, nil
+}
+
+// CompileAll compiles every rule, failing on the first error.
+func CompileAll(rules []Rule, origin policy.Origin) ([]policy.Policy, error) {
+	out := make([]policy.Policy, 0, len(rules))
+	for _, r := range rules {
+		p, err := Compile(r, origin)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CompileSource parses and compiles policy text in one step.
+func CompileSource(src string, origin policy.Origin) ([]policy.Policy, error) {
+	rules, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAll(rules, origin)
+}
+
+func compileAction(a ActionSpec) policy.Action {
+	act := policy.Action{
+		Name:     a.Name,
+		Target:   a.Target,
+		Category: ontology.Concept(a.Category),
+		Outcome:  ontology.Outcome(a.Outcome),
+	}
+	if len(a.Params) > 0 {
+		act.Params = make(map[string]string, len(a.Params))
+		for _, p := range a.Params {
+			act.Params[p.Key] = p.Value
+		}
+	}
+	if len(a.Effects) > 0 {
+		act.Effect = make(statespace.Delta, len(a.Effects))
+		for _, e := range a.Effects {
+			act.Effect[e.Variable] += e.Delta
+		}
+	}
+	if len(a.Obligations) > 0 {
+		act.Obligations = append([]string(nil), a.Obligations...)
+	}
+	return act
+}
+
+func compileExpr(e Expr) (policy.Condition, error) {
+	switch n := e.(type) {
+	case TrueExpr:
+		return policy.True{}, nil
+	case *CmpExpr:
+		op, err := cmpOp(n.Op)
+		if err != nil {
+			return nil, err
+		}
+		return policy.Threshold{Quantity: n.Quantity, Op: op, Value: n.Value}, nil
+	case *LabelExpr:
+		return policy.LabelEquals{Label: n.Label, Value: n.Value}, nil
+	case *NotExpr:
+		inner, err := compileExpr(n.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return policy.Not{Of: inner}, nil
+	case *BinaryExpr:
+		left, err := compileExpr(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compileExpr(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == OpOr {
+			return policy.Or{left, right}, nil
+		}
+		return policy.And{left, right}, nil
+	default:
+		return nil, fmt.Errorf("policylang: unknown expression node %T", e)
+	}
+}
+
+func cmpOp(s string) (policy.CmpOp, error) {
+	switch s {
+	case "<":
+		return policy.CmpLT, nil
+	case "<=":
+		return policy.CmpLE, nil
+	case ">":
+		return policy.CmpGT, nil
+	case ">=":
+		return policy.CmpGE, nil
+	case "==":
+		return policy.CmpEQ, nil
+	case "!=":
+		return policy.CmpNE, nil
+	default:
+		return 0, fmt.Errorf("policylang: unknown comparison operator %q", s)
+	}
+}

@@ -1,0 +1,135 @@
+package policylang
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/policy"
+)
+
+// ErrNotRepresentable is returned when a policy cannot be expressed in
+// the DSL (e.g. its condition is an opaque function, as produced by
+// learned emulators).
+var ErrNotRepresentable = fmt.Errorf("policylang: policy not representable in the DSL")
+
+// Decompile converts an executable policy back into a Rule, so
+// machine-generated policies can be rendered, diffed, audited, and
+// re-parsed as text. Compile(Decompile(p)) reproduces p up to
+// condition flattening (n-ary And/Or become binary trees).
+func Decompile(p policy.Policy) (Rule, error) {
+	r := Rule{
+		Name:      p.ID,
+		Priority:  p.Priority,
+		Org:       p.Organization,
+		EventType: p.EventType,
+		Forbid:    p.Modality == policy.ModalityForbid,
+	}
+	if p.Condition != nil {
+		expr, err := decompileCond(p.Condition)
+		if err != nil {
+			return Rule{}, fmt.Errorf("%w: policy %s: %v", ErrNotRepresentable, p.ID, err)
+		}
+		r.When = expr
+	}
+	r.Act = decompileAction(p.Action)
+	return r, nil
+}
+
+// Format renders a policy as DSL text (Decompile + Print).
+func Format(p policy.Policy) (string, error) {
+	r, err := Decompile(p)
+	if err != nil {
+		return "", err
+	}
+	return Print(r), nil
+}
+
+func decompileAction(a policy.Action) ActionSpec {
+	spec := ActionSpec{
+		Name:     a.Name,
+		Target:   a.Target,
+		Category: string(a.Category),
+		Outcome:  string(a.Outcome),
+	}
+	if spec.Name == policy.NoAction.Name && a.Category != "" {
+		// Forbid-by-category actions may carry no name.
+		spec.Name = a.Name
+	}
+	if len(a.Params) > 0 {
+		keys := make([]string, 0, len(a.Params))
+		for k := range a.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			spec.Params = append(spec.Params, Param{Key: k, Value: a.Params[k]})
+		}
+	}
+	if len(a.Effect) > 0 {
+		vars := make([]string, 0, len(a.Effect))
+		for v := range a.Effect {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			spec.Effects = append(spec.Effects, EffectSpec{Variable: v, Delta: a.Effect[v]})
+		}
+	}
+	if len(a.Obligations) > 0 {
+		spec.Obligations = append([]string(nil), a.Obligations...)
+	}
+	return spec
+}
+
+func decompileCond(c policy.Condition) (Expr, error) {
+	switch n := c.(type) {
+	case policy.True:
+		return TrueExpr{}, nil
+	case policy.Threshold:
+		op := n.Op.String()
+		if op == "?" {
+			return nil, fmt.Errorf("unknown comparison operator %d", int(n.Op))
+		}
+		return &CmpExpr{Quantity: n.Quantity, Op: op, Value: n.Value}, nil
+	case policy.LabelEquals:
+		return &LabelExpr{Label: n.Label, Value: n.Value}, nil
+	case policy.Not:
+		if n.Of == nil {
+			return nil, fmt.Errorf("negation of nil condition")
+		}
+		inner, err := decompileCond(n.Of)
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Operand: inner}, nil
+	case policy.And:
+		return decompileChain([]policy.Condition(n), OpAnd, true)
+	case policy.Or:
+		return decompileChain([]policy.Condition(n), OpOr, false)
+	default:
+		return nil, fmt.Errorf("condition type %T has no textual form", c)
+	}
+}
+
+// decompileChain folds an n-ary boolean into a left-associated binary
+// tree; the empty And is `true` and the empty Or is `not (true)`.
+func decompileChain(conds []policy.Condition, op BoolOp, emptyIsTrue bool) (Expr, error) {
+	if len(conds) == 0 {
+		if emptyIsTrue {
+			return TrueExpr{}, nil
+		}
+		return &NotExpr{Operand: TrueExpr{}}, nil
+	}
+	acc, err := decompileCond(conds[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range conds[1:] {
+		next, err := decompileCond(c)
+		if err != nil {
+			return nil, err
+		}
+		acc = &BinaryExpr{Op: op, Left: acc, Right: next}
+	}
+	return acc, nil
+}

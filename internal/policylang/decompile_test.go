@@ -1,0 +1,157 @@
+package policylang
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestDecompileFormat(t *testing.T) {
+	p := policy.Policy{
+		ID: "escalate", Organization: "us", Priority: 10,
+		EventType: "smoke-detected", Modality: policy.ModalityDo,
+		Condition: policy.And{
+			policy.Threshold{Quantity: "intensity", Op: policy.CmpGT, Value: 3},
+			policy.LabelEquals{Label: "kind", Value: "mule"},
+		},
+		Action: policy.Action{
+			Name: "dispatch", Target: "chem-1", Category: "surveillance",
+			Params:      map[string]string{"mode": "fast"},
+			Obligations: []string{"notify-hq"},
+		},
+	}
+	text, err := Format(p)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	for _, want := range []string{
+		"policy escalate priority 10 org us:",
+		"on smoke-detected",
+		`when intensity > 3 and kind is "mule"`,
+		"do dispatch target chem-1 category surveillance",
+		`param mode = "fast"`,
+		"obligation notify-hq",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+	// The text re-compiles to an equivalent policy.
+	back, err := CompileSource(text, p.Origin)
+	if err != nil {
+		t.Fatalf("CompileSource(Format(p)): %v\n%s", err, text)
+	}
+	if back[0].ID != p.ID || back[0].Action.Target != p.Action.Target {
+		t.Errorf("round trip lost fields: %+v", back[0])
+	}
+}
+
+func TestDecompileForbid(t *testing.T) {
+	p := policy.Policy{
+		ID: "no-kinetic", EventType: "*", Priority: 100,
+		Modality: policy.ModalityForbid,
+		Action:   policy.Action{Category: "kinetic-action"},
+	}
+	text, err := Format(p)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	if !strings.Contains(text, "forbid category kinetic-action") {
+		t.Errorf("Format = %s", text)
+	}
+	if _, err := CompileSource(text, p.Origin); err != nil {
+		t.Errorf("forbid round trip: %v", err)
+	}
+}
+
+func TestDecompileUnrepresentable(t *testing.T) {
+	p := policy.Policy{
+		ID: "learned", EventType: "e", Modality: policy.ModalityDo,
+		Condition: policy.CondFunc{Name: "opaque", Fn: func(policy.Env) bool { return true }},
+		Action:    policy.Action{Name: "a"},
+	}
+	if _, err := Decompile(p); !errors.Is(err, ErrNotRepresentable) {
+		t.Errorf("opaque condition error = %v", err)
+	}
+	bad := policy.Policy{
+		ID: "badop", EventType: "e", Modality: policy.ModalityDo,
+		Condition: policy.Threshold{Quantity: "x", Op: policy.CmpOp(99), Value: 1},
+		Action:    policy.Action{Name: "a"},
+	}
+	if _, err := Decompile(bad); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	nilNot := policy.Policy{
+		ID: "nilnot", EventType: "e", Modality: policy.ModalityDo,
+		Condition: policy.Not{},
+		Action:    policy.Action{Name: "a"},
+	}
+	if _, err := Decompile(nilNot); err == nil {
+		t.Error("nil negation accepted")
+	}
+}
+
+func TestDecompileEmptyBooleans(t *testing.T) {
+	andP := policy.Policy{
+		ID: "emptyand", EventType: "e", Modality: policy.ModalityDo,
+		Condition: policy.And{},
+		Action:    policy.Action{Name: "a"},
+	}
+	r, err := Decompile(andP)
+	if err != nil {
+		t.Fatalf("Decompile: %v", err)
+	}
+	if _, ok := r.When.(TrueExpr); !ok {
+		t.Errorf("empty And = %#v, want true", r.When)
+	}
+	orP := andP
+	orP.Condition = policy.Or{}
+	r, err = Decompile(orP)
+	if err != nil {
+		t.Fatalf("Decompile: %v", err)
+	}
+	if _, ok := r.When.(*NotExpr); !ok {
+		t.Errorf("empty Or = %#v, want not(true)", r.When)
+	}
+}
+
+// Property: Compile → Decompile → Print → Parse → Compile reaches a
+// fixed point with equivalent evaluation behavior.
+func TestCompileDecompileSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 200; i++ {
+		original := genRule(rng)
+		p1, err := Compile(original, policy.OriginGenerated)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		text, err := Format(p1)
+		if err != nil {
+			t.Fatalf("Format: %v\npolicy: %v", err, p1)
+		}
+		p2list, err := CompileSource(text, policy.OriginGenerated)
+		if err != nil {
+			t.Fatalf("re-compile: %v\n%s", err, text)
+		}
+		p2 := p2list[0]
+
+		// Evaluate both under random environments; behavior must match.
+		for trial := 0; trial < 20; trial++ {
+			env := policy.Env{Event: policy.Event{
+				Type: []string{original.EventType, "other"}[rng.Intn(2)],
+				Attrs: map[string]float64{
+					"alpha": rng.Float64() * 300, "x9": rng.Float64() * 300,
+					"convoy": rng.Float64() * 300,
+				},
+				Labels: map[string]string{"alpha": "lvalpha", "convoy": "other"},
+			}}
+			if p1.Matches(env) != p2.Matches(env) {
+				t.Fatalf("iteration %d: behavior diverged for env %v\noriginal: %v\nreparsed: %v\ntext:\n%s",
+					i, env.Event, p1, p2, text)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package policylang_test
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/policylang"
+)
+
+// Example shows the full DSL round trip: parse text into rules, compile
+// to executable policies, evaluate, and render back to canonical text.
+func Example() {
+	src := `
+policy escalate priority 10:
+    on smoke-detected
+    when intensity > 3
+    do request-survey target chem-1 category surveillance
+`
+	policies, err := policylang.CompileSource(src, policy.OriginHuman)
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	p := policies[0]
+
+	env := policy.Env{Event: policy.Event{
+		Type:  "smoke-detected",
+		Attrs: map[string]float64{"intensity": 5},
+	}}
+	fmt.Println("matches high-intensity smoke:", p.Matches(env))
+
+	text, err := policylang.Format(p)
+	if err != nil {
+		fmt.Println("format:", err)
+		return
+	}
+	fmt.Print(text)
+	// Output:
+	// matches high-intensity smoke: true
+	// policy escalate priority 10:
+	//     on smoke-detected
+	//     when intensity > 3
+	//     do request-survey target chem-1 category surveillance
+}

@@ -1,0 +1,418 @@
+package policylang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse scans and parses source text into rules. It returns the first
+// syntax error encountered, with line and column position.
+func Parse(src string) ([]Rule, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var rules []Rule
+	for p.tok.Kind != TokenEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// ParseOne parses source containing exactly one rule.
+func ParseOne(src string) (Rule, error) {
+	rules, err := Parse(src)
+	if err != nil {
+		return Rule{}, err
+	}
+	if len(rules) != 1 {
+		return Rule{}, fmt.Errorf("policylang: expected exactly one rule, got %d", len(rules))
+	}
+	return rules[0], nil
+}
+
+type parser struct {
+	lex *lexer
+	tok Token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expectIdent(keyword string) error {
+	if p.tok.Kind != TokenIdent || p.tok.Text != keyword {
+		return errAt(p.tok.Line, p.tok.Col, "expected %q, got %q", keyword, p.tok.Text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	if p.tok.Kind != kind {
+		return Token{}, errAt(p.tok.Line, p.tok.Col, "expected %s, got %q", kind, p.tok.Text)
+	}
+	tok := p.tok
+	return tok, p.advance()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.Kind == TokenIdent && p.tok.Text == kw
+}
+
+// parseRule parses:
+//
+//	policy NAME [priority N] [org NAME] :
+//	    on EVENT [when EXPR]
+//	    (do ACTION | forbid ACTION)
+func (p *parser) parseRule() (Rule, error) {
+	var r Rule
+	if err := p.expectIdent("policy"); err != nil {
+		return r, err
+	}
+	name, err := p.expect(TokenIdent)
+	if err != nil {
+		return r, err
+	}
+	r.Name = name.Text
+
+	for {
+		switch {
+		case p.atKeyword("priority"):
+			if err := p.advance(); err != nil {
+				return r, err
+			}
+			n, err := p.parseSignedInt()
+			if err != nil {
+				return r, err
+			}
+			r.Priority = n
+		case p.atKeyword("org"):
+			if err := p.advance(); err != nil {
+				return r, err
+			}
+			org, err := p.expect(TokenIdent)
+			if err != nil {
+				return r, err
+			}
+			r.Org = org.Text
+		default:
+			goto header_done
+		}
+	}
+header_done:
+	if _, err := p.expect(TokenColon); err != nil {
+		return r, err
+	}
+	if err := p.expectIdent("on"); err != nil {
+		return r, err
+	}
+	switch p.tok.Kind {
+	case TokenStar:
+		r.EventType = "*"
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+	case TokenIdent:
+		r.EventType = p.tok.Text
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+	default:
+		return r, errAt(p.tok.Line, p.tok.Col, "expected event type, got %q", p.tok.Text)
+	}
+
+	if p.atKeyword("when") {
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+		expr, err := p.parseExpr()
+		if err != nil {
+			return r, err
+		}
+		r.When = expr
+	}
+
+	switch {
+	case p.atKeyword("do"):
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+		act, err := p.parseAction(false)
+		if err != nil {
+			return r, err
+		}
+		r.Act = act
+	case p.atKeyword("forbid"):
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+		r.Forbid = true
+		act, err := p.parseAction(true)
+		if err != nil {
+			return r, err
+		}
+		r.Act = act
+	default:
+		return r, errAt(p.tok.Line, p.tok.Col, "expected 'do' or 'forbid', got %q", p.tok.Text)
+	}
+	return r, nil
+}
+
+// actionKeywords are the clause keywords that can follow an action
+// name.
+var actionKeywords = map[string]bool{
+	"target": true, "category": true, "outcome": true,
+	"param": true, "effect": true, "obligation": true,
+}
+
+func (p *parser) parseAction(forbid bool) (ActionSpec, error) {
+	var a ActionSpec
+	// A forbid may start directly with "category"; a do must name an
+	// action.
+	if p.tok.Kind == TokenIdent && !actionKeywords[p.tok.Text] {
+		a.Name = p.tok.Text
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+	} else if !forbid {
+		return a, errAt(p.tok.Line, p.tok.Col, "expected action name, got %q", p.tok.Text)
+	}
+
+	for p.tok.Kind == TokenIdent && actionKeywords[p.tok.Text] {
+		kw := p.tok.Text
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+		switch kw {
+		case "target":
+			tok, err := p.expect(TokenIdent)
+			if err != nil {
+				return a, err
+			}
+			a.Target = tok.Text
+		case "category":
+			tok, err := p.expect(TokenIdent)
+			if err != nil {
+				return a, err
+			}
+			a.Category = tok.Text
+		case "outcome":
+			tok, err := p.expect(TokenIdent)
+			if err != nil {
+				return a, err
+			}
+			a.Outcome = tok.Text
+		case "param":
+			key, err := p.expect(TokenIdent)
+			if err != nil {
+				return a, err
+			}
+			if _, err := p.expect(TokenEquals); err != nil {
+				return a, err
+			}
+			val, err := p.expect(TokenString)
+			if err != nil {
+				return a, err
+			}
+			a.Params = append(a.Params, Param{Key: key.Text, Value: val.Text})
+		case "effect":
+			eff, err := p.parseEffect()
+			if err != nil {
+				return a, err
+			}
+			a.Effects = append(a.Effects, eff)
+		case "obligation":
+			tok, err := p.expect(TokenIdent)
+			if err != nil {
+				return a, err
+			}
+			a.Obligations = append(a.Obligations, tok.Text)
+			for p.tok.Kind == TokenComma {
+				if err := p.advance(); err != nil {
+					return a, err
+				}
+				tok, err := p.expect(TokenIdent)
+				if err != nil {
+					return a, err
+				}
+				a.Obligations = append(a.Obligations, tok.Text)
+			}
+		}
+	}
+	if forbid && a.Name == "" && a.Category == "" {
+		return a, errAt(p.tok.Line, p.tok.Col, "forbid requires an action name or category")
+	}
+	return a, nil
+}
+
+func (p *parser) parseEffect() (EffectSpec, error) {
+	variable, err := p.expect(TokenIdent)
+	if err != nil {
+		return EffectSpec{}, err
+	}
+	negative := false
+	switch p.tok.Kind {
+	case TokenPlusEq:
+	case TokenMinusEq:
+		negative = true
+	default:
+		return EffectSpec{}, errAt(p.tok.Line, p.tok.Col, "expected '+=' or '-=', got %q", p.tok.Text)
+	}
+	if err := p.advance(); err != nil {
+		return EffectSpec{}, err
+	}
+	num, err := p.expect(TokenNumber)
+	if err != nil {
+		return EffectSpec{}, err
+	}
+	v, err := strconv.ParseFloat(num.Text, 64)
+	if err != nil {
+		return EffectSpec{}, errAt(num.Line, num.Col, "bad number %q", num.Text)
+	}
+	if negative {
+		v = -v
+	}
+	return EffectSpec{Variable: variable.Text, Delta: v}, nil
+}
+
+func (p *parser) parseSignedInt() (int, error) {
+	negative := false
+	if p.tok.Kind == TokenMinus {
+		negative = true
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+	}
+	tok, err := p.expect(TokenNumber)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(tok.Text)
+	if err != nil {
+		return 0, errAt(tok.Line, tok.Col, "bad integer %q", tok.Text)
+	}
+	if negative {
+		n = -n
+	}
+	return n, nil
+}
+
+// Expression grammar: or-expr ← and-expr { "or" and-expr };
+// and-expr ← unary { "and" unary }; unary ← "not" unary | "(" expr ")"
+// | comparison | "true".
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.atKeyword("not"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Operand: inner}, nil
+	case p.atKeyword("true"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return TrueExpr{}, nil
+	case p.tok.Kind == TokenLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	quantity, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	if p.atKeyword("is") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.expect(TokenString)
+		if err != nil {
+			return nil, err
+		}
+		return &LabelExpr{Label: quantity.Text, Value: val.Text}, nil
+	}
+	op, err := p.expect(TokenCmp)
+	if err != nil {
+		return nil, err
+	}
+	negative := false
+	if p.tok.Kind == TokenMinus {
+		negative = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	num, err := p.expect(TokenNumber)
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.ParseFloat(num.Text, 64)
+	if err != nil {
+		return nil, errAt(num.Line, num.Col, "bad number %q", num.Text)
+	}
+	if negative {
+		v = -v
+	}
+	return &CmpExpr{Quantity: quantity.Text, Op: op.Text, Value: v}, nil
+}

@@ -1,0 +1,306 @@
+// Package policylang implements a small textual language for
+// event–condition–action policies — the concrete carrier for the
+// "policy generator grammar / policy template" of the generative policy
+// architecture (Section IV). Generated and human-written policies share
+// one syntax:
+//
+//	# comments run to end of line
+//	policy escalate priority 10:
+//	    on smoke-detected
+//	    when intensity > 3 and state.fuel >= 10
+//	    do dispatch-chem-drone target chem-1 category surveillance
+//	       param mode = "fast" effect fuel -= 5
+//	       obligation notify-hq
+//
+//	policy no-kinetic priority 100:
+//	    on *
+//	    forbid category kinetic-action
+//
+// Parse produces an AST ([]Rule); Compile lowers a Rule to a
+// policy.Policy; Print renders a Rule back to canonical text.
+package policylang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenEOF TokenKind = iota + 1
+	TokenIdent
+	TokenNumber
+	TokenString
+	TokenColon
+	TokenComma
+	TokenLParen
+	TokenRParen
+	TokenStar
+	TokenEquals  // =
+	TokenPlusEq  // +=
+	TokenMinusEq // -=
+	TokenMinus   // -
+	TokenCmp     // < <= > >= == !=
+)
+
+// String names the token kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokenEOF:
+		return "EOF"
+	case TokenIdent:
+		return "identifier"
+	case TokenNumber:
+		return "number"
+	case TokenString:
+		return "string"
+	case TokenColon:
+		return "':'"
+	case TokenComma:
+		return "','"
+	case TokenLParen:
+		return "'('"
+	case TokenRParen:
+		return "')'"
+	case TokenStar:
+		return "'*'"
+	case TokenEquals:
+		return "'='"
+	case TokenPlusEq:
+		return "'+='"
+	case TokenMinusEq:
+		return "'-='"
+	case TokenMinus:
+		return "'-'"
+	case TokenCmp:
+		return "comparison"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error renders the error with position.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("policylang: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case unicode.IsSpace(rune(c)):
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokenEOF, Line: line, Col: col}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(line, col), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(line, col), nil
+	case c == '"':
+		return l.lexString(line, col)
+	}
+	l.advance()
+	switch c {
+	case ':':
+		return Token{Kind: TokenColon, Text: ":", Line: line, Col: col}, nil
+	case ',':
+		return Token{Kind: TokenComma, Text: ",", Line: line, Col: col}, nil
+	case '(':
+		return Token{Kind: TokenLParen, Text: "(", Line: line, Col: col}, nil
+	case ')':
+		return Token{Kind: TokenRParen, Text: ")", Line: line, Col: col}, nil
+	case '*':
+		return Token{Kind: TokenStar, Text: "*", Line: line, Col: col}, nil
+	case '+':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenPlusEq, Text: "+=", Line: line, Col: col}, nil
+		}
+		return Token{}, errAt(line, col, "unexpected '+'")
+	case '-':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenMinusEq, Text: "-=", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokenMinus, Text: "-", Line: line, Col: col}, nil
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenCmp, Text: "==", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokenEquals, Text: "=", Line: line, Col: col}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenCmp, Text: "!=", Line: line, Col: col}, nil
+		}
+		return Token{}, errAt(line, col, "unexpected '!'")
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenCmp, Text: "<=", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokenCmp, Text: "<", Line: line, Col: col}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenCmp, Text: ">=", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokenCmp, Text: ">", Line: line, Col: col}, nil
+	}
+	return Token{}, errAt(line, col, "unexpected character %q", string(c))
+}
+
+func (l *lexer) lexIdent(line, col int) Token {
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if isIdentPart(c) {
+			b.WriteByte(c)
+			l.advance()
+			continue
+		}
+		// A '-' stays inside an identifier only when sandwiched
+		// between alphanumerics, so "chem-1" is one token but
+		// "x -= 1" and "x - 1" lex as operators.
+		if c == '-' && isAlnum(l.peekAt(1)) {
+			b.WriteByte(c)
+			l.advance()
+			continue
+		}
+		break
+	}
+	return Token{Kind: TokenIdent, Text: b.String(), Line: line, Col: col}
+}
+
+func (l *lexer) lexNumber(line, col int) Token {
+	var b strings.Builder
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if c >= '0' && c <= '9' {
+			b.WriteByte(c)
+			l.advance()
+			continue
+		}
+		if c == '.' && !seenDot && l.peekAt(1) >= '0' && l.peekAt(1) <= '9' {
+			seenDot = true
+			b.WriteByte(c)
+			l.advance()
+			continue
+		}
+		break
+	}
+	return Token{Kind: TokenNumber, Text: b.String(), Line: line, Col: col}
+}
+
+func (l *lexer) lexString(line, col int) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokenString, Text: b.String(), Line: line, Col: col}, nil
+		case '\n':
+			return Token{}, errAt(line, col, "unterminated string")
+		case '\\':
+			if l.pos < len(l.src) {
+				b.WriteByte(l.advance())
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return Token{}, errAt(line, col, "unterminated string")
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+func isAlnum(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

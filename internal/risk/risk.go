@@ -1,0 +1,227 @@
+// Package risk implements the risk-estimation techniques of
+// Sections VI.B and VII: per-state risk assessment built from
+// application-dependent risk factors, and utility functions that
+// "augment the risk function with the value that is determined in
+// satisfying the objective or goal that is given to the system".
+package risk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/statespace"
+)
+
+// Assessor estimates the risk of being in a state. Risk is
+// conventionally in [0,1]; higher is riskier.
+type Assessor interface {
+	Risk(statespace.State) float64
+}
+
+// AssessorFunc adapts a function into an Assessor.
+type AssessorFunc func(statespace.State) float64
+
+var _ Assessor = AssessorFunc(nil)
+
+// Risk invokes the function.
+func (f AssessorFunc) Risk(st statespace.State) float64 { return f(st) }
+
+// Factor is one application-dependent contribution to overall risk: a
+// named assessor with a relative weight. Section VI.B: deployment
+// "requires the device ... to incorporate application-dependent risk
+// factors which may be very specialized not only for specific
+// applications but also for specific situations and contexts."
+type Factor struct {
+	Name   string
+	Weight float64
+	Assess Assessor
+}
+
+// Composite combines weighted risk factors. The zero value reports
+// zero risk everywhere.
+type Composite struct {
+	factors []Factor
+}
+
+var _ Assessor = (*Composite)(nil)
+
+// NewComposite builds a composite assessor. Factors must have positive
+// weights and non-nil assessors.
+func NewComposite(factors ...Factor) (*Composite, error) {
+	for _, f := range factors {
+		if f.Name == "" {
+			return nil, fmt.Errorf("risk: factor needs a name")
+		}
+		if f.Weight <= 0 {
+			return nil, fmt.Errorf("risk: factor %q weight must be positive, got %g", f.Name, f.Weight)
+		}
+		if f.Assess == nil {
+			return nil, fmt.Errorf("risk: factor %q has nil assessor", f.Name)
+		}
+	}
+	c := &Composite{factors: make([]Factor, len(factors))}
+	copy(c.factors, factors)
+	return c, nil
+}
+
+// Risk returns the weighted mean of the factor risks, each clamped to
+// [0,1].
+func (c *Composite) Risk(st statespace.State) float64 {
+	if len(c.factors) == 0 {
+		return 0
+	}
+	var sum, weights float64
+	for _, f := range c.factors {
+		sum += f.Weight * clamp01(f.Assess.Risk(st))
+		weights += f.Weight
+	}
+	return sum / weights
+}
+
+// Breakdown returns each factor's clamped risk contribution for a
+// state, in registration order. It is intended for explanation and
+// audit records.
+func (c *Composite) Breakdown(st statespace.State) []FactorRisk {
+	out := make([]FactorRisk, len(c.factors))
+	for i, f := range c.factors {
+		out[i] = FactorRisk{Name: f.Name, Weight: f.Weight, Risk: clamp01(f.Assess.Risk(st))}
+	}
+	return out
+}
+
+// FactorRisk is one line of a risk breakdown.
+type FactorRisk struct {
+	Name   string
+	Weight float64
+	Risk   float64
+}
+
+// String renders a breakdown line.
+func (fr FactorRisk) String() string {
+	return fmt.Sprintf("%s(w=%g)=%.3f", fr.Name, fr.Weight, fr.Risk)
+}
+
+// Explain renders the full breakdown for a state as one line.
+func (c *Composite) Explain(st statespace.State) string {
+	parts := make([]string, 0, len(c.factors)+1)
+	for _, fr := range c.Breakdown(st) {
+		parts = append(parts, fr.String())
+	}
+	parts = append(parts, fmt.Sprintf("total=%.3f", c.Risk(st)))
+	return strings.Join(parts, " ")
+}
+
+// ProximityFactor builds a risk factor from a safeness metric:
+// risk = 1 − safeness.
+func ProximityFactor(name string, weight float64, m statespace.SafenessMetric) Factor {
+	return Factor{
+		Name:   name,
+		Weight: weight,
+		Assess: AssessorFunc(func(st statespace.State) float64 { return 1 - m.Safeness(st) }),
+	}
+}
+
+// VariableFactor builds a risk factor that grows linearly as the named
+// variable moves from lo (risk 0) to hi (risk 1). If lo > hi the
+// direction inverts.
+func VariableFactor(name string, weight float64, variable string, lo, hi float64) Factor {
+	return Factor{
+		Name:   name,
+		Weight: weight,
+		Assess: AssessorFunc(func(st statespace.State) float64 {
+			v, err := st.Get(variable)
+			if err != nil {
+				return 0
+			}
+			if lo == hi {
+				return 0
+			}
+			return clamp01((v - lo) / (hi - lo))
+		}),
+	}
+}
+
+// Utility scores candidate next-states as goal value minus weighted
+// risk (Section VII: "the utility may augment the risk function with
+// the value that is determined in satisfying the objective or goal").
+type Utility struct {
+	// Value scores mission/goal attainment of a state in [0,1].
+	Value func(statespace.State) float64
+	// Risk estimates the risk of the state.
+	Risk Assessor
+	// RiskAversion scales how strongly risk discounts value. Zero
+	// means risk-neutral weighting of 1.
+	RiskAversion float64
+}
+
+// Score returns value − aversion·risk for the state. Higher is better.
+func (u *Utility) Score(st statespace.State) float64 {
+	aversion := u.RiskAversion
+	if aversion == 0 {
+		aversion = 1
+	}
+	value := 0.0
+	if u.Value != nil {
+		value = clamp01(u.Value(st))
+	}
+	r := 0.0
+	if u.Risk != nil {
+		r = clamp01(u.Risk.Risk(st))
+	}
+	return value - aversion*r
+}
+
+// Rank orders candidate states by descending utility score,
+// tie-breaking on the state's string form for determinism. It returns
+// a new slice.
+func (u *Utility) Rank(candidates []statespace.State) []statespace.State {
+	out := make([]statespace.State, len(candidates))
+	copy(out, candidates)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := u.Score(out[i]), u.Score(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// Best returns the highest-utility candidate, or false if none.
+func (u *Utility) Best(candidates []statespace.State) (statespace.State, bool) {
+	if len(candidates) == 0 {
+		return statespace.State{}, false
+	}
+	return u.Rank(candidates)[0], true
+}
+
+// ExpectedRisk estimates the risk of an uncertain transition: the
+// probability-weighted risk over possible next states. Probabilities
+// are normalized; an empty input yields NaN.
+func ExpectedRisk(a Assessor, outcomes []statespace.State, probs []float64) float64 {
+	if len(outcomes) == 0 || len(outcomes) != len(probs) {
+		return math.NaN()
+	}
+	var total, sum float64
+	for i, st := range outcomes {
+		p := math.Max(0, probs[i])
+		sum += p * clamp01(a.Risk(st))
+		total += p
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return sum / total
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,198 @@
+package risk
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/statespace"
+)
+
+func schema2(t *testing.T) *statespace.Schema {
+	t.Helper()
+	s, err := statespace.NewSchema(
+		statespace.Var("heat", 0, 100),
+		statespace.Var("progress", 0, 1),
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestNewCompositeValidation(t *testing.T) {
+	ok := Factor{Name: "f", Weight: 1, Assess: AssessorFunc(func(statespace.State) float64 { return 0 })}
+	tests := []struct {
+		name   string
+		factor Factor
+	}{
+		{name: "empty name", factor: Factor{Weight: 1, Assess: ok.Assess}},
+		{name: "zero weight", factor: Factor{Name: "f", Assess: ok.Assess}},
+		{name: "negative weight", factor: Factor{Name: "f", Weight: -1, Assess: ok.Assess}},
+		{name: "nil assessor", factor: Factor{Name: "f", Weight: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewComposite(tt.factor); err == nil {
+				t.Error("invalid factor accepted")
+			}
+		})
+	}
+	if _, err := NewComposite(ok); err != nil {
+		t.Errorf("valid factor rejected: %v", err)
+	}
+}
+
+func TestCompositeRiskWeightedMean(t *testing.T) {
+	s := schema2(t)
+	c, err := NewComposite(
+		VariableFactor("heat", 3, "heat", 0, 100),
+		Factor{Name: "constant", Weight: 1, Assess: AssessorFunc(func(statespace.State) float64 { return 0.4 })},
+	)
+	if err != nil {
+		t.Fatalf("NewComposite: %v", err)
+	}
+	st, _ := s.NewState(50, 0) // heat factor = 0.5
+	want := (3*0.5 + 1*0.4) / 4
+	if got := c.Risk(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Risk = %g, want %g", got, want)
+	}
+}
+
+func TestCompositeClampsFactorOutputs(t *testing.T) {
+	s := schema2(t)
+	c, err := NewComposite(
+		Factor{Name: "wild", Weight: 1, Assess: AssessorFunc(func(statespace.State) float64 { return 7 })},
+	)
+	if err != nil {
+		t.Fatalf("NewComposite: %v", err)
+	}
+	if got := c.Risk(s.Origin()); got != 1 {
+		t.Errorf("Risk = %g, want clamped 1", got)
+	}
+}
+
+func TestCompositeZeroValue(t *testing.T) {
+	s := schema2(t)
+	var c Composite
+	if got := c.Risk(s.Origin()); got != 0 {
+		t.Errorf("zero Composite risk = %g, want 0", got)
+	}
+}
+
+func TestBreakdownAndExplain(t *testing.T) {
+	s := schema2(t)
+	c, err := NewComposite(
+		VariableFactor("heat", 2, "heat", 0, 100),
+		VariableFactor("backwards", 1, "heat", 100, 0),
+	)
+	if err != nil {
+		t.Fatalf("NewComposite: %v", err)
+	}
+	st, _ := s.NewState(25, 0)
+	br := c.Breakdown(st)
+	if len(br) != 2 {
+		t.Fatalf("Breakdown len = %d", len(br))
+	}
+	if math.Abs(br[0].Risk-0.25) > 1e-12 {
+		t.Errorf("heat factor = %g, want 0.25", br[0].Risk)
+	}
+	if math.Abs(br[1].Risk-0.75) > 1e-12 {
+		t.Errorf("inverted factor = %g, want 0.75", br[1].Risk)
+	}
+	exp := c.Explain(st)
+	if !strings.Contains(exp, "heat") || !strings.Contains(exp, "total=") {
+		t.Errorf("Explain = %q", exp)
+	}
+}
+
+func TestVariableFactorEdgeCases(t *testing.T) {
+	s := schema2(t)
+	missing := VariableFactor("m", 1, "nope", 0, 1)
+	if got := missing.Assess.Risk(s.Origin()); got != 0 {
+		t.Errorf("missing variable risk = %g, want 0", got)
+	}
+	degenerate := VariableFactor("d", 1, "heat", 5, 5)
+	if got := degenerate.Assess.Risk(s.Origin()); got != 0 {
+		t.Errorf("degenerate range risk = %g, want 0", got)
+	}
+}
+
+func TestProximityFactor(t *testing.T) {
+	s := schema2(t)
+	m := statespace.SafenessFunc(func(st statespace.State) float64 { return 0.7 })
+	f := ProximityFactor("prox", 1, m)
+	if got := f.Assess.Risk(s.Origin()); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("proximity risk = %g, want 0.3", got)
+	}
+}
+
+func TestUtilityScoreAndRank(t *testing.T) {
+	s := schema2(t)
+	u := &Utility{
+		Value: func(st statespace.State) float64 { return st.MustGet("progress") },
+		Risk: AssessorFunc(func(st statespace.State) float64 {
+			return st.MustGet("heat") / 100
+		}),
+		RiskAversion: 2,
+	}
+	lowRisk, _ := s.NewState(10, 0.5)  // 0.5 - 2*0.1 = 0.3
+	highRisk, _ := s.NewState(90, 0.9) // 0.9 - 2*0.9 = -0.9
+	if got := u.Score(lowRisk); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Score(lowRisk) = %g, want 0.3", got)
+	}
+	best, ok := u.Best([]statespace.State{highRisk, lowRisk})
+	if !ok || !best.Equal(lowRisk) {
+		t.Errorf("Best picked %v", best)
+	}
+	if _, ok := u.Best(nil); ok {
+		t.Error("Best(nil) returned a state")
+	}
+}
+
+func TestUtilityDefaults(t *testing.T) {
+	s := schema2(t)
+	var u Utility
+	if got := u.Score(s.Origin()); got != 0 {
+		t.Errorf("zero Utility score = %g, want 0", got)
+	}
+	u2 := Utility{Risk: AssessorFunc(func(statespace.State) float64 { return 0.5 })}
+	if got := u2.Score(s.Origin()); math.Abs(got+0.5) > 1e-12 {
+		t.Errorf("risk-only score = %g, want -0.5 (default aversion 1)", got)
+	}
+}
+
+func TestUtilityRankDeterministicTies(t *testing.T) {
+	s := schema2(t)
+	var u Utility // all scores 0 → tie-break on String()
+	a, _ := s.NewState(1, 0)
+	b, _ := s.NewState(2, 0)
+	first := u.Rank([]statespace.State{b, a})
+	second := u.Rank([]statespace.State{a, b})
+	for i := range first {
+		if !first[i].Equal(second[i]) {
+			t.Fatal("Rank is not deterministic under ties")
+		}
+	}
+}
+
+func TestExpectedRisk(t *testing.T) {
+	s := schema2(t)
+	a := AssessorFunc(func(st statespace.State) float64 { return st.MustGet("heat") / 100 })
+	lo, _ := s.NewState(0, 0)
+	hi, _ := s.NewState(100, 0)
+
+	got := ExpectedRisk(a, []statespace.State{lo, hi}, []float64{0.75, 0.25})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("ExpectedRisk = %g, want 0.25", got)
+	}
+	if got := ExpectedRisk(a, nil, nil); !math.IsNaN(got) {
+		t.Errorf("ExpectedRisk(empty) = %g, want NaN", got)
+	}
+	if got := ExpectedRisk(a, []statespace.State{lo}, []float64{0}); !math.IsNaN(got) {
+		t.Errorf("ExpectedRisk(zero mass) = %g, want NaN", got)
+	}
+	if got := ExpectedRisk(a, []statespace.State{lo, hi}, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("ExpectedRisk(mismatched) = %g, want NaN", got)
+	}
+}

@@ -1,0 +1,57 @@
+// Package sim is the discrete-event simulation substrate the
+// experiments run on: a virtual clock, a deterministic event queue, a
+// grid world with humans and hazards that accounts for every harm done,
+// and a metrics registry.
+//
+// The paper's devices act in a physical environment ("Skynet cannot
+// exist in a pure information domain"); sim provides that environment
+// as the closest laptop-scale equivalent — what matters to the
+// mechanisms under test is that actions have physical consequences for
+// humans, which the world model captures and measures.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a virtual simulation clock. It only moves when advanced, so
+// experiment runs are reproducible and independent of wall time.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock returns a clock starting at the given instant.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative durations are
+// ignored) and returns the new time.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock to t if t is later than now, and returns
+// the current time.
+func (c *Clock) AdvanceTo(t time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	return c.now
+}

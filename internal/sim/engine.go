@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrStopped is returned by Run when the engine was stopped before the
+// horizon.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Engine is a single-threaded discrete-event scheduler over a virtual
+// clock: callbacks fire in timestamp order (FIFO among equal
+// timestamps), and the clock jumps between event times.
+type Engine struct {
+	clock   *Clock
+	queue   eventQueue
+	seq     int
+	stopped bool
+}
+
+// NewEngine returns an engine over the clock.
+func NewEngine(clock *Clock) *Engine {
+	return &Engine{clock: clock}
+}
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() *Clock { return e.clock }
+
+// Schedule queues fn to run after delay (relative to the current
+// virtual time). Non-positive delays run at the current time, after
+// already-queued events with the same timestamp.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduled{
+		at:  e.clock.Now().Add(delay),
+		seq: e.seq,
+		fn:  fn,
+	})
+}
+
+// ScheduleEvery queues fn to run every interval until the predicate
+// returns false (checked before each run). Interval must be positive.
+func (e *Engine) ScheduleEvery(interval time.Duration, while func() bool, fn func()) {
+	if interval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if while != nil && !while() {
+			return
+		}
+		fn()
+		e.Schedule(interval, tick)
+	}
+	e.Schedule(interval, tick)
+}
+
+// Stop makes Run return early.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Run processes events until the queue is empty or the next event lies
+// beyond the horizon, advancing the clock as it goes. It returns
+// ErrStopped if Stop was called mid-run.
+func (e *Engine) Run(horizon time.Time) error {
+	e.stopped = false
+	for e.queue.Len() > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.at.After(horizon) {
+			return nil
+		}
+		heap.Pop(&e.queue)
+		e.clock.AdvanceTo(next.at)
+		next.fn()
+	}
+	return nil
+}
+
+// scheduled is one queued callback.
+type scheduled struct {
+	at  time.Time
+	seq int
+	fn  func()
+}
+
+// eventQueue is a min-heap ordered by (time, seq).
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) {
+	item, ok := x.(*scheduled)
+	if !ok {
+		return
+	}
+	*q = append(*q, item)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}

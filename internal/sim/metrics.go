@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metrics is a thread-safe registry of named counters and gauges used
+// by experiments to tally outcomes (harm events, denials, bad-state
+// entries, ...).
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// Inc adds delta to the named counter.
+func (m *Metrics) Inc(name string, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters[name] += delta
+}
+
+// Counter returns the named counter's value.
+func (m *Metrics) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// SetGauge records the named gauge's value.
+func (m *Metrics) SetGauge(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = v
+}
+
+// Gauge returns the named gauge's value.
+func (m *Metrics) Gauge(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// Snapshot returns copies of all counters and gauges.
+func (m *Metrics) Snapshot() (map[string]int64, map[string]float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counters := make(map[string]int64, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]float64, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	return counters, gauges
+}
+
+// String renders all metrics deterministically, one per line.
+func (m *Metrics) String() string {
+	counters, gauges := m.Snapshot()
+	var lines []string
+	for k, v := range counters {
+		lines = append(lines, fmt.Sprintf("%s=%d", k, v))
+	}
+	for k, v := range gauges {
+		lines = append(lines, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

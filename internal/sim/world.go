@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Pos is a grid coordinate.
+type Pos struct {
+	X, Y int
+}
+
+// Dist returns the Chebyshev distance between two positions (grid
+// moves are 8-directional).
+func (p Pos) Dist(q Pos) int {
+	dx, dy := abs(p.X-q.X), abs(p.Y-q.Y)
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// String renders the position.
+func (p Pos) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Human is a person in the world. Humans random-walk each step unless
+// Stationary.
+type Human struct {
+	ID         string
+	Pos        Pos
+	Stationary bool
+	// Harmed marks the human as already harmed; harmed humans stop
+	// moving and are not harmed again.
+	Harmed bool
+}
+
+// HazardKind labels what kind of hazard occupies a cell.
+type HazardKind string
+
+// Well-known hazard kinds.
+const (
+	HazardHole HazardKind = "hole"
+	HazardFire HazardKind = "fire"
+	HazardMine HazardKind = "mine"
+)
+
+// Hazard is a dangerous cell created by a device action (e.g. a dug
+// hole). A Marked hazard has warnings posted (the paper's obligation
+// example), which lets humans avoid it.
+type Hazard struct {
+	ID       string
+	Pos      Pos
+	Kind     HazardKind
+	Severity float64
+	Marked   bool
+}
+
+// HarmEvent records one instance of harm to a human — the quantity
+// every experiment ultimately measures.
+type HarmEvent struct {
+	Time     time.Time
+	HumanID  string
+	Cause    string
+	Severity float64
+	// Direct is true when a device action harmed the human
+	// immediately, false for indirect harm (e.g. falling into an
+	// unmarked hole later).
+	Direct bool
+}
+
+// World is a bounded grid containing humans and hazards. All methods
+// are safe for concurrent use. Movement and harm are deterministic
+// given the injected random source.
+type World struct {
+	mu      sync.Mutex
+	w, h    int
+	rng     *rand.Rand
+	clock   *Clock
+	humans  map[string]*Human
+	hazards map[string]*Hazard
+	harms   []HarmEvent
+	// markedAvoidProb is the probability a human avoids a marked
+	// hazard they step onto.
+	markedAvoidProb float64
+}
+
+// WorldOption configures a World.
+type WorldOption interface {
+	apply(*World)
+}
+
+type avoidProbOption float64
+
+func (o avoidProbOption) apply(w *World) { w.markedAvoidProb = float64(o) }
+
+// WithMarkedAvoidProbability sets the probability that a human notices
+// and avoids a marked hazard (default 0.95).
+func WithMarkedAvoidProbability(p float64) WorldOption {
+	return avoidProbOption(math.Max(0, math.Min(1, p)))
+}
+
+// NewWorld builds a w×h grid world. The random source drives human
+// movement; the clock stamps harm events.
+func NewWorld(w, h int, rng *rand.Rand, clock *Clock, opts ...WorldOption) (*World, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("sim: world dimensions must be positive, got %dx%d", w, h)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sim: world requires a random source")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("sim: world requires a clock")
+	}
+	world := &World{
+		w: w, h: h,
+		rng:             rng,
+		clock:           clock,
+		humans:          make(map[string]*Human),
+		hazards:         make(map[string]*Hazard),
+		markedAvoidProb: 0.95,
+	}
+	for _, o := range opts {
+		o.apply(world)
+	}
+	return world, nil
+}
+
+// Size returns the world dimensions.
+func (w *World) Size() (int, int) { return w.w, w.h }
+
+// AddHuman places a human; positions are clamped into the grid.
+func (w *World) AddHuman(id string, pos Pos, stationary bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if id == "" {
+		return fmt.Errorf("sim: human needs an ID")
+	}
+	if _, dup := w.humans[id]; dup {
+		return fmt.Errorf("sim: duplicate human %q", id)
+	}
+	w.humans[id] = &Human{ID: id, Pos: w.clampLocked(pos), Stationary: stationary}
+	return nil
+}
+
+// AddHazard places a hazard; positions are clamped into the grid.
+func (w *World) AddHazard(id string, pos Pos, kind HazardKind, severity float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if id == "" {
+		return fmt.Errorf("sim: hazard needs an ID")
+	}
+	if _, dup := w.hazards[id]; dup {
+		return fmt.Errorf("sim: duplicate hazard %q", id)
+	}
+	w.hazards[id] = &Hazard{ID: id, Pos: w.clampLocked(pos), Kind: kind, Severity: severity}
+	return nil
+}
+
+// MarkHazard posts warnings at a hazard (discharging an obligation).
+// It reports whether the hazard exists.
+func (w *World) MarkHazard(id string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	hz, ok := w.hazards[id]
+	if ok {
+		hz.Marked = true
+	}
+	return ok
+}
+
+// RemoveHazard deletes a hazard (e.g. a backfilled hole) and reports
+// whether it existed.
+func (w *World) RemoveHazard(id string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.hazards[id]
+	delete(w.hazards, id)
+	return ok
+}
+
+// Humans returns copies of all humans, sorted by ID.
+func (w *World) Humans() []Human {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Human, 0, len(w.humans))
+	for _, h := range w.humans {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Hazards returns copies of all hazards, sorted by ID.
+func (w *World) Hazards() []Hazard {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Hazard, 0, len(w.hazards))
+	for _, hz := range w.hazards {
+		out = append(out, *hz)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HumansWithin returns the IDs of unharmed humans within radius
+// (Chebyshev) of pos, sorted.
+func (w *World) HumansWithin(pos Pos, radius int) []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []string
+	for _, h := range w.humans {
+		if !h.Harmed && h.Pos.Dist(pos) <= radius {
+			out = append(out, h.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Strike applies direct harm at pos: every unharmed human within the
+// blast radius is harmed. It returns the number of humans harmed. This
+// models a kinetic device action.
+func (w *World) Strike(pos Pos, radius int, severity float64, cause string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, h := range w.humans {
+		if h.Harmed || h.Pos.Dist(pos) > radius {
+			continue
+		}
+		h.Harmed = true
+		w.harms = append(w.harms, HarmEvent{
+			Time:     w.clock.Now(),
+			HumanID:  h.ID,
+			Cause:    cause,
+			Severity: severity,
+			Direct:   true,
+		})
+		n++
+	}
+	return n
+}
+
+// StepHumans advances every unharmed, non-stationary human one random
+// 8-directional step (staying in bounds), then applies hazard
+// encounters: a human on a hazard cell is harmed unless the hazard is
+// marked and the human notices the warning.
+func (w *World) StepHumans() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	ids := make([]string, 0, len(w.humans))
+	for id := range w.humans {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic rng consumption order
+
+	for _, id := range ids {
+		h := w.humans[id]
+		if h.Harmed {
+			continue
+		}
+		if !h.Stationary {
+			h.Pos = w.clampLocked(Pos{
+				X: h.Pos.X + w.rng.Intn(3) - 1,
+				Y: h.Pos.Y + w.rng.Intn(3) - 1,
+			})
+		}
+		for _, hz := range w.hazards {
+			if hz.Pos != h.Pos {
+				continue
+			}
+			if hz.Marked && w.rng.Float64() < w.markedAvoidProb {
+				continue
+			}
+			h.Harmed = true
+			w.harms = append(w.harms, HarmEvent{
+				Time:     w.clock.Now(),
+				HumanID:  h.ID,
+				Cause:    fmt.Sprintf("%s:%s", hz.Kind, hz.ID),
+				Severity: hz.Severity,
+				Direct:   false,
+			})
+			break
+		}
+	}
+}
+
+// Harms returns a copy of all recorded harm events.
+func (w *World) Harms() []HarmEvent {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]HarmEvent, len(w.harms))
+	copy(out, w.harms)
+	return out
+}
+
+// HarmCounts returns the number of direct and indirect harm events.
+func (w *World) HarmCounts() (direct, indirect int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, h := range w.harms {
+		if h.Direct {
+			direct++
+		} else {
+			indirect++
+		}
+	}
+	return direct, indirect
+}
+
+func (w *World) clampLocked(p Pos) Pos {
+	if p.X < 0 {
+		p.X = 0
+	}
+	if p.X >= w.w {
+		p.X = w.w - 1
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	}
+	if p.Y >= w.h {
+		p.Y = w.h - 1
+	}
+	return p
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

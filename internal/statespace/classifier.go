@@ -1,0 +1,96 @@
+package statespace
+
+// Class is the management classification of a state. Per Section V of
+// the paper, states are good (normal operation / cannot harm a human),
+// bad (can harm a human / needs repair), or neutral.
+type Class int
+
+// Classification values. The zero value is deliberately invalid so an
+// unset classification is detectable.
+const (
+	ClassGood Class = iota + 1
+	ClassNeutral
+	ClassBad
+)
+
+// String returns the lowercase name of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassGood:
+		return "good"
+	case ClassNeutral:
+		return "neutral"
+	case ClassBad:
+		return "bad"
+	default:
+		return "unknown"
+	}
+}
+
+// Classifier maps states to classes. It is the function
+// f(x1, ..., xN) → {good, neutral, bad} of Section VII.
+type Classifier interface {
+	Classify(State) Class
+}
+
+// ClassifierFunc adapts a function into a Classifier.
+type ClassifierFunc func(State) Class
+
+var _ Classifier = ClassifierFunc(nil)
+
+// Classify invokes the function.
+func (f ClassifierFunc) Classify(st State) Class { return f(st) }
+
+// RegionClassifier classifies states by membership in explicit good and
+// bad regions. Bad regions take precedence over good regions: if a
+// state is in both, it is bad — the conservative choice for a safety
+// check. States in neither are classified as Default.
+type RegionClassifier struct {
+	Good    []Region
+	Bad     []Region
+	Default Class
+}
+
+var _ Classifier = (*RegionClassifier)(nil)
+
+// Classify applies the precedence bad > good > default.
+func (rc *RegionClassifier) Classify(st State) Class {
+	for _, r := range rc.Bad {
+		if r.Contains(st) {
+			return ClassBad
+		}
+	}
+	for _, r := range rc.Good {
+		if r.Contains(st) {
+			return ClassGood
+		}
+	}
+	if rc.Default == 0 {
+		return ClassNeutral
+	}
+	return rc.Default
+}
+
+// ThresholdClassifier classifies states by a safeness metric: safeness
+// at or above GoodAt is good, safeness below BadBelow is bad, anything
+// between is neutral.
+type ThresholdClassifier struct {
+	Metric   SafenessMetric
+	GoodAt   float64
+	BadBelow float64
+}
+
+var _ Classifier = (*ThresholdClassifier)(nil)
+
+// Classify applies the thresholds to the metric.
+func (tc *ThresholdClassifier) Classify(st State) Class {
+	s := tc.Metric.Safeness(st)
+	switch {
+	case s < tc.BadBelow:
+		return ClassBad
+	case s >= tc.GoodAt:
+		return ClassGood
+	default:
+		return ClassNeutral
+	}
+}

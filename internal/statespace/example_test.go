@@ -1,0 +1,52 @@
+package statespace_test
+
+import (
+	"fmt"
+
+	"repro/internal/statespace"
+)
+
+// Example shows the Section V device-state model: a schema, a state, a
+// transition, and a good/bad classification.
+func Example() {
+	schema := statespace.MustSchema(
+		statespace.Var("heat", 0, 100),
+		statespace.Var("speed", 0, 50),
+	)
+	classifier := &statespace.RegionClassifier{
+		Bad: []statespace.Region{
+			statespace.NewBox("overheat", map[string]statespace.Interval{
+				"heat": {Lo: 80, Hi: 100},
+			}),
+		},
+		Default: statespace.ClassGood,
+	}
+
+	st, _ := schema.NewState(70, 10)
+	fmt.Println(st, "→", classifier.Classify(st))
+
+	next, _ := st.Apply(statespace.Delta{"heat": 15})
+	fmt.Println(next, "→", classifier.Classify(next))
+	// Output:
+	// {heat=70, speed=10} → good
+	// {heat=85, speed=10} → bad
+}
+
+// ExampleDerivativeModel shows the Section VII treatment of ill-defined
+// state spaces: only the derivative signs are known, yet a usable
+// pain/pleasure utility emerges.
+func ExampleDerivativeModel() {
+	schema := statespace.MustSchema(
+		statespace.Var("armed", 0, 1),
+		statespace.Var("distance", 0, 100),
+	)
+	m := statespace.NewDerivativeModel(schema)
+	_ = m.SetSign("armed", statespace.SignDecreasing)    // arming is dangerous
+	_ = m.SetSign("distance", statespace.SignIncreasing) // distance is safe
+
+	safe, _ := schema.NewState(0, 100)
+	danger, _ := schema.NewState(1, 0)
+	fmt.Printf("pain(safe)=%.1f pain(danger)=%.1f\n", m.Pain(safe), m.Pain(danger))
+	// Output:
+	// pain(safe)=0.0 pain(danger)=1.0
+}

@@ -1,0 +1,204 @@
+package statespace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sign is the known sign of the partial derivative ∂f/∂xi of the
+// goodness function with respect to one state variable (Section VII).
+// The zero value means the sign is unknown.
+type Sign int
+
+// Sign values. SignUnknown is deliberately the zero value: an
+// unspecified variable contributes nothing to the utility.
+const (
+	SignUnknown Sign = iota
+	// SignIncreasing means raising the variable moves the state toward
+	// good (∂f/∂xi > 0).
+	SignIncreasing
+	// SignDecreasing means raising the variable moves the state toward
+	// bad (∂f/∂xi < 0).
+	SignDecreasing
+)
+
+// String returns the name of the sign.
+func (s Sign) String() string {
+	switch s {
+	case SignIncreasing:
+		return "increasing"
+	case SignDecreasing:
+		return "decreasing"
+	default:
+		return "unknown"
+	}
+}
+
+// DerivativeModel captures Section VII's approach to ill-defined state
+// spaces: the exact good/bad function f(x1,...,xN) may be unavailable,
+// but the sign of its partial derivative with respect to some variables
+// can be specified. From those signs a utility ("pleasure/pain")
+// function is synthesized: pleasure rises as the device approaches good
+// states and pain rises as it approaches bad ones.
+type DerivativeModel struct {
+	schema *Schema
+	signs  []Sign
+	weight []float64
+}
+
+// NewDerivativeModel builds a model over the schema with all signs
+// unknown.
+func NewDerivativeModel(schema *Schema) *DerivativeModel {
+	return &DerivativeModel{
+		schema: schema,
+		signs:  make([]Sign, schema.Len()),
+		weight: make([]float64, schema.Len()),
+	}
+}
+
+// SetSign declares the derivative sign for the named variable with unit
+// weight.
+func (m *DerivativeModel) SetSign(name string, s Sign) error {
+	return m.SetWeightedSign(name, s, 1)
+}
+
+// SetWeightedSign declares the derivative sign for the named variable
+// with the given relative weight. Weight must be positive.
+func (m *DerivativeModel) SetWeightedSign(name string, s Sign, weight float64) error {
+	i, ok := m.schema.Index(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("statespace: weight for %q must be positive, got %g", name, weight)
+	}
+	m.signs[i] = s
+	m.weight[i] = weight
+	return nil
+}
+
+// Sign returns the declared derivative sign for the named variable.
+func (m *DerivativeModel) Sign(name string) Sign {
+	i, ok := m.schema.Index(name)
+	if !ok {
+		return SignUnknown
+	}
+	return m.signs[i]
+}
+
+// Known returns the number of variables with a declared sign.
+func (m *DerivativeModel) Known() int {
+	n := 0
+	for _, s := range m.signs {
+		if s != SignUnknown {
+			n++
+		}
+	}
+	return n
+}
+
+// Utility returns the synthesized pleasure value of a state in [0,1]
+// (1 = maximally pleasant / far from bad). Each variable with a known
+// sign contributes its normalized position within its bounds, oriented
+// by the sign; unknown-sign and unbounded variables contribute nothing.
+// If no variable contributes, the utility is a neutral 0.5.
+func (m *DerivativeModel) Utility(st State) float64 {
+	var sum, totalWeight float64
+	for i, s := range m.signs {
+		if s == SignUnknown {
+			continue
+		}
+		v := m.schema.Var(i)
+		if !v.Bounded() || v.Span() == 0 {
+			continue
+		}
+		pos := (st.Value(i) - v.Min) / v.Span()
+		if s == SignDecreasing {
+			pos = 1 - pos
+		}
+		sum += m.weight[i] * pos
+		totalWeight += m.weight[i]
+	}
+	if totalWeight == 0 {
+		return 0.5
+	}
+	return sum / totalWeight
+}
+
+// Pain returns 1 − Utility: the anthropological "pain" function of
+// Section VII, rising as the device approaches a bad state.
+func (m *DerivativeModel) Pain(st State) float64 { return 1 - m.Utility(st) }
+
+// UtilityDelta returns the change in utility moving from one state to
+// another. Positive means the move is toward good.
+func (m *DerivativeModel) UtilityDelta(from, to State) float64 {
+	return m.Utility(to) - m.Utility(from)
+}
+
+// PreferNext returns the candidate state with the highest utility, i.e.
+// the action outcome a pleasure-maximizing device would choose. It
+// returns false if candidates is empty.
+func (m *DerivativeModel) PreferNext(candidates []State) (State, bool) {
+	if len(candidates) == 0 {
+		return State{}, false
+	}
+	best := candidates[0]
+	bestU := m.Utility(best)
+	for _, c := range candidates[1:] {
+		if u := m.Utility(c); u > bestU {
+			best, bestU = c, u
+		}
+	}
+	return best, true
+}
+
+// AsSafeness adapts the model's utility into a SafenessMetric.
+func (m *DerivativeModel) AsSafeness() SafenessMetric {
+	return SafenessFunc(m.Utility)
+}
+
+// FitSigns estimates derivative signs empirically from labeled samples:
+// for each variable it compares the mean value among good states with
+// the mean among bad states and declares the sign when the separation
+// exceeds minSeparation (as a fraction of the variable's span). This is
+// the machine-learning refinement of the human-provided signs that
+// Section VII anticipates.
+func FitSigns(schema *Schema, samples []State, classes []Class, minSeparation float64) (*DerivativeModel, error) {
+	if len(samples) != len(classes) {
+		return nil, fmt.Errorf("statespace: %d samples but %d classes", len(samples), len(classes))
+	}
+	m := NewDerivativeModel(schema)
+	for i := 0; i < schema.Len(); i++ {
+		v := schema.Var(i)
+		if !v.Bounded() || v.Span() == 0 {
+			continue
+		}
+		var goodSum, badSum float64
+		var goodN, badN int
+		for j, st := range samples {
+			switch classes[j] {
+			case ClassGood:
+				goodSum += st.Value(i)
+				goodN++
+			case ClassBad:
+				badSum += st.Value(i)
+				badN++
+			}
+		}
+		if goodN == 0 || badN == 0 {
+			continue
+		}
+		sep := (goodSum/float64(goodN) - badSum/float64(badN)) / v.Span()
+		if math.Abs(sep) < minSeparation {
+			continue
+		}
+		sign := SignIncreasing
+		if sep < 0 {
+			sign = SignDecreasing
+		}
+		if err := m.SetWeightedSign(v.Name, sign, math.Abs(sep)); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,175 @@
+package statespace
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDerivativeModelUtility(t *testing.T) {
+	s := MustSchema(Var("armed", 0, 1), Var("distance", 0, 100))
+	m := NewDerivativeModel(s)
+	// Safety falls as "armed" rises, rises as "distance" rises.
+	if err := m.SetSign("armed", SignDecreasing); err != nil {
+		t.Fatalf("SetSign: %v", err)
+	}
+	if err := m.SetSign("distance", SignIncreasing); err != nil {
+		t.Fatalf("SetSign: %v", err)
+	}
+
+	safe, _ := s.NewState(0, 100)
+	danger, _ := s.NewState(1, 0)
+	if u := m.Utility(safe); math.Abs(u-1) > 1e-12 {
+		t.Errorf("Utility(safe) = %g, want 1", u)
+	}
+	if u := m.Utility(danger); math.Abs(u) > 1e-12 {
+		t.Errorf("Utility(danger) = %g, want 0", u)
+	}
+	if p := m.Pain(danger); math.Abs(p-1) > 1e-12 {
+		t.Errorf("Pain(danger) = %g, want 1", p)
+	}
+	if d := m.UtilityDelta(danger, safe); d <= 0 {
+		t.Errorf("UtilityDelta(danger→safe) = %g, want positive", d)
+	}
+}
+
+func TestDerivativeModelUnknownSignsNeutral(t *testing.T) {
+	s := MustSchema(Var("a", 0, 1))
+	m := NewDerivativeModel(s)
+	if u := m.Utility(s.Origin()); u != 0.5 {
+		t.Errorf("Utility with no known signs = %g, want 0.5", u)
+	}
+	if m.Known() != 0 {
+		t.Errorf("Known() = %d, want 0", m.Known())
+	}
+}
+
+func TestDerivativeModelErrors(t *testing.T) {
+	s := MustSchema(Var("a", 0, 1))
+	m := NewDerivativeModel(s)
+	if err := m.SetSign("nope", SignIncreasing); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("SetSign unknown var error = %v", err)
+	}
+	if err := m.SetWeightedSign("a", SignIncreasing, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if got := m.Sign("nope"); got != SignUnknown {
+		t.Errorf("Sign(nope) = %v, want unknown", got)
+	}
+}
+
+func TestPreferNext(t *testing.T) {
+	s := MustSchema(Var("x", 0, 10))
+	m := NewDerivativeModel(s)
+	if err := m.SetSign("x", SignIncreasing); err != nil {
+		t.Fatalf("SetSign: %v", err)
+	}
+	a, _ := s.NewState(2)
+	b, _ := s.NewState(8)
+	c, _ := s.NewState(5)
+	best, ok := m.PreferNext([]State{a, b, c})
+	if !ok || !best.Equal(b) {
+		t.Errorf("PreferNext = %v,%v, want state x=8", best, ok)
+	}
+	if _, ok := m.PreferNext(nil); ok {
+		t.Error("PreferNext(nil) reported a best state")
+	}
+}
+
+func TestSignString(t *testing.T) {
+	tests := []struct {
+		s    Sign
+		want string
+	}{
+		{s: SignUnknown, want: "unknown"},
+		{s: SignIncreasing, want: "increasing"},
+		{s: SignDecreasing, want: "decreasing"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Sign(%d).String() = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+func TestFitSignsRecoversDirections(t *testing.T) {
+	s := MustSchema(Var("heat", 0, 100), Var("margin", 0, 100))
+	// Ground truth: bad when heat high or margin low.
+	truth := ClassifierFunc(func(st State) Class {
+		if st.MustGet("heat") > 70 || st.MustGet("margin") < 30 {
+			return ClassBad
+		}
+		return ClassGood
+	})
+	rng := rand.New(rand.NewSource(1))
+	var samples []State
+	var classes []Class
+	for i := 0; i < 500; i++ {
+		st, err := s.NewState(rng.Float64()*100, rng.Float64()*100)
+		if err != nil {
+			t.Fatalf("NewState: %v", err)
+		}
+		samples = append(samples, st)
+		classes = append(classes, truth.Classify(st))
+	}
+	m, err := FitSigns(s, samples, classes, 0.05)
+	if err != nil {
+		t.Fatalf("FitSigns: %v", err)
+	}
+	if got := m.Sign("heat"); got != SignDecreasing {
+		t.Errorf("fitted Sign(heat) = %v, want decreasing", got)
+	}
+	if got := m.Sign("margin"); got != SignIncreasing {
+		t.Errorf("fitted Sign(margin) = %v, want increasing", got)
+	}
+}
+
+func TestFitSignsErrors(t *testing.T) {
+	s := MustSchema(Var("a", 0, 1))
+	if _, err := FitSigns(s, []State{s.Origin()}, nil, 0.1); err == nil {
+		t.Error("mismatched samples/classes accepted")
+	}
+	// All samples one class: no sign can be fitted, but no error.
+	m, err := FitSigns(s, []State{s.Origin()}, []Class{ClassGood}, 0.1)
+	if err != nil {
+		t.Fatalf("FitSigns: %v", err)
+	}
+	if m.Known() != 0 {
+		t.Errorf("Known() = %d, want 0 with single-class data", m.Known())
+	}
+}
+
+// Property: utility is monotone in each variable according to its
+// declared sign.
+func TestUtilityMonotoneProperty(t *testing.T) {
+	s := MustSchema(Var("up", 0, 1), Var("down", 0, 1))
+	m := NewDerivativeModel(s)
+	if err := m.SetSign("up", SignIncreasing); err != nil {
+		t.Fatalf("SetSign: %v", err)
+	}
+	if err := m.SetSign("down", SignDecreasing); err != nil {
+		t.Fatalf("SetSign: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		base, err := s.NewState(rng.Float64(), rng.Float64())
+		if err != nil {
+			t.Fatalf("NewState: %v", err)
+		}
+		upMore, err := base.Apply(Delta{"up": 0.1})
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		if m.Utility(upMore) < m.Utility(base)-1e-12 {
+			t.Fatalf("utility fell when increasing-sign variable rose: %v → %v", base, upMore)
+		}
+		downMore, err := base.Apply(Delta{"down": 0.1})
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		if m.Utility(downMore) > m.Utility(base)+1e-12 {
+			t.Fatalf("utility rose when decreasing-sign variable rose: %v → %v", base, downMore)
+		}
+	}
+}

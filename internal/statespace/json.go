@@ -1,0 +1,70 @@
+package statespace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// VariableSpec is the JSON-friendly form of a Variable. Omitted bounds
+// mean unbounded on that side.
+type VariableSpec struct {
+	Name string   `json:"name"`
+	Min  *float64 `json:"min,omitempty"`
+	Max  *float64 `json:"max,omitempty"`
+	Unit string   `json:"unit,omitempty"`
+}
+
+// SchemaFromSpec builds a schema from JSON-decoded variable specs.
+func SchemaFromSpec(specs []VariableSpec) (*Schema, error) {
+	vars := make([]Variable, len(specs))
+	for i, sp := range specs {
+		v := Variable{Name: sp.Name, Min: math.Inf(-1), Max: math.Inf(1), Unit: sp.Unit}
+		if sp.Min != nil {
+			v.Min = *sp.Min
+		}
+		if sp.Max != nil {
+			v.Max = *sp.Max
+		}
+		vars[i] = v
+	}
+	return NewSchema(vars...)
+}
+
+// Spec returns the schema's variables as JSON-friendly specs.
+func (s *Schema) Spec() []VariableSpec {
+	out := make([]VariableSpec, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		v := s.Var(i)
+		sp := VariableSpec{Name: v.Name, Unit: v.Unit}
+		if !math.IsInf(v.Min, -1) {
+			min := v.Min
+			sp.Min = &min
+		}
+		if !math.IsInf(v.Max, 1) {
+			max := v.Max
+			sp.Max = &max
+		}
+		out[i] = sp
+	}
+	return out
+}
+
+// MarshalJSON encodes the state as a name→value object.
+func (st State) MarshalJSON() ([]byte, error) {
+	if !st.Valid() {
+		return nil, fmt.Errorf("statespace: cannot marshal invalid state")
+	}
+	return json.Marshal(st.Map())
+}
+
+// StateFromJSON decodes a name→value object into a state over this
+// schema; missing variables take origin values, unknown names are an
+// error.
+func (s *Schema) StateFromJSON(data []byte) (State, error) {
+	var values map[string]float64
+	if err := json.Unmarshal(data, &values); err != nil {
+		return State{}, fmt.Errorf("statespace: %w", err)
+	}
+	return s.StateFromMap(values)
+}

@@ -1,0 +1,91 @@
+package statespace
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSchemaFromSpecAndBack(t *testing.T) {
+	min, max := 0.0, 100.0
+	specs := []VariableSpec{
+		{Name: "heat", Min: &min, Max: &max, Unit: "C"},
+		{Name: "offset"}, // unbounded
+	}
+	s, err := SchemaFromSpec(specs)
+	if err != nil {
+		t.Fatalf("SchemaFromSpec: %v", err)
+	}
+	v := s.Var(0)
+	if v.Min != 0 || v.Max != 100 || v.Unit != "C" {
+		t.Errorf("var = %+v", v)
+	}
+	if s.Var(1).Bounded() {
+		t.Error("omitted bounds not unbounded")
+	}
+	back := s.Spec()
+	if !reflect.DeepEqual(specs, back) {
+		t.Errorf("Spec round trip:\n%+v\n%+v", specs, back)
+	}
+	if _, err := SchemaFromSpec(nil); err == nil {
+		t.Error("empty spec accepted")
+	}
+	bad := []VariableSpec{{Name: ""}}
+	if _, err := SchemaFromSpec(bad); err == nil {
+		t.Error("nameless variable accepted")
+	}
+}
+
+func TestSchemaFromSpecJSONDocument(t *testing.T) {
+	doc := `[{"name": "heat", "min": 0, "max": 100}, {"name": "drift"}]`
+	var specs []VariableSpec
+	if err := json.Unmarshal([]byte(doc), &specs); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	s, err := SchemaFromSpec(specs)
+	if err != nil {
+		t.Fatalf("SchemaFromSpec: %v", err)
+	}
+	if s.Len() != 2 || !math.IsInf(s.Var(1).Max, 1) {
+		t.Errorf("schema = %v", s.Names())
+	}
+}
+
+func TestStateJSONRoundTrip(t *testing.T) {
+	s := MustSchema(Var("a", 0, 10), Var("b", -5, 5))
+	st, err := s.NewState(3, -2)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := s.StateFromJSON(data)
+	if err != nil {
+		t.Fatalf("StateFromJSON: %v", err)
+	}
+	if !back.Equal(st) {
+		t.Errorf("round trip: %v vs %v", st, back)
+	}
+}
+
+func TestStateJSONErrors(t *testing.T) {
+	s := MustSchema(Var("a", 0, 10))
+	var invalid State
+	if _, err := json.Marshal(invalid); err == nil {
+		t.Error("invalid state marshaled")
+	}
+	if _, err := s.StateFromJSON([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := s.StateFromJSON([]byte(`{"ghost": 1}`)); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	// Missing variables default to origin.
+	st, err := s.StateFromJSON([]byte(`{}`))
+	if err != nil || st.MustGet("a") != 0 {
+		t.Errorf("empty object: %v, %v", st, err)
+	}
+}

@@ -1,0 +1,145 @@
+package statespace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: on an unbounded schema, applying two deltas sequentially
+// equals applying their merge (no clamping interference).
+func TestApplyCompositionProperty(t *testing.T) {
+	s := MustSchema(UnboundedVar("a"), UnboundedVar("b"))
+	f := func(a1, b1, a2, b2 float64) bool {
+		if anyNaN(a1, b1, a2, b2) {
+			return true
+		}
+		d1 := Delta{"a": a1, "b": b1}
+		d2 := Delta{"a": a2, "b": b2}
+		seq, err := s.Origin().Apply(d1)
+		if err != nil {
+			return false
+		}
+		seq, err = seq.Apply(d2)
+		if err != nil {
+			return false
+		}
+		merged, err := s.Origin().Apply(d1.Merge(d2))
+		if err != nil {
+			return false
+		}
+		return approxEqual(seq.MustGet("a"), merged.MustGet("a")) &&
+			approxEqual(seq.MustGet("b"), merged.MustGet("b"))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Errorf("composition violated: %v", err)
+	}
+}
+
+// Property: clamping keeps every state inside the schema bounds no
+// matter the delta.
+func TestApplyStaysInBoundsProperty(t *testing.T) {
+	s := MustSchema(Var("x", -5, 5), Var("y", 0, 1))
+	f := func(dx, dy float64) bool {
+		if anyNaN(dx, dy) {
+			return true
+		}
+		st, err := s.Origin().Apply(Delta{"x": dx, "y": dy})
+		if err != nil {
+			return false
+		}
+		x, y := st.MustGet("x"), st.MustGet("y")
+		return x >= -5 && x <= 5 && y >= 0 && y <= 1
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Errorf("bounds violated: %v", err)
+	}
+}
+
+// Property: distance is a metric on states (symmetry, identity,
+// triangle inequality).
+func TestDistanceMetricProperty(t *testing.T) {
+	s := MustSchema(UnboundedVar("a"), UnboundedVar("b"))
+	mkState := func(a, b float64) (State, bool) {
+		st, err := s.Origin().Apply(Delta{"a": a, "b": b})
+		return st, err == nil
+	}
+	f := func(a1, b1, a2, b2, a3, b3 float64) bool {
+		if anyNaN(a1, b1, a2, b2, a3, b3) || anyInf(a1, b1, a2, b2, a3, b3) {
+			return true
+		}
+		x, ok1 := mkState(a1, b1)
+		y, ok2 := mkState(a2, b2)
+		z, ok3 := mkState(a3, b3)
+		if !ok1 || !ok2 || !ok3 {
+			return false
+		}
+		dxy, dyx := x.DistanceTo(y), y.DistanceTo(x)
+		if !approxEqual(dxy, dyx) {
+			return false
+		}
+		if x.DistanceTo(x) != 0 {
+			return false
+		}
+		// Triangle inequality with fp slack.
+		return x.DistanceTo(z) <= dxy+y.DistanceTo(z)+1e-9*(1+dxy)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Errorf("metric axioms violated: %v", err)
+	}
+}
+
+// Property: the RegionClassifier never reports good for a state inside
+// a bad region, regardless of the good regions.
+func TestBadPrecedenceProperty(t *testing.T) {
+	s := MustSchema(Var("x", 0, 100), Var("y", 0, 100))
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		badLo := rng.Float64() * 80
+		badHi := badLo + rng.Float64()*20
+		bad := NewBox("bad", map[string]Interval{"x": {Lo: badLo, Hi: badHi}})
+		good := NewBox("good", map[string]Interval{
+			"x": {Lo: 0, Hi: 100},
+			"y": {Lo: 0, Hi: 100},
+		})
+		rc := &RegionClassifier{Good: []Region{good}, Bad: []Region{bad}}
+		st, err := s.NewState(badLo+rng.Float64()*(badHi-badLo), rng.Float64()*100)
+		if err != nil {
+			t.Fatalf("NewState: %v", err)
+		}
+		if got := rc.Classify(st); got != ClassBad {
+			t.Fatalf("state %v inside bad region classified %v", st, got)
+		}
+	}
+}
+
+func anyNaN(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyInf(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*(1+scale)
+}

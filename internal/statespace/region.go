@@ -1,0 +1,156 @@
+package statespace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Region is a subset of a state space. Regions are the building blocks
+// for partitioning the space into good and bad states (Figure 3).
+type Region interface {
+	// Contains reports whether the state lies inside the region.
+	Contains(State) bool
+	// Describe returns a short human-readable description of the region.
+	Describe() string
+}
+
+// Interval is a closed range of values for one variable.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Box is an axis-aligned region: each constrained variable must lie
+// within its interval; unconstrained variables may take any value.
+type Box struct {
+	name        string
+	constraints map[string]Interval
+}
+
+var _ Region = (*Box)(nil)
+
+// NewBox builds a named box region from variable constraints. The name
+// is used only for description.
+func NewBox(name string, constraints map[string]Interval) *Box {
+	c := make(map[string]Interval, len(constraints))
+	for k, v := range constraints {
+		c[k] = v
+	}
+	return &Box{name: name, constraints: c}
+}
+
+// Contains reports whether every constrained variable of the state lies
+// within its interval. Variables absent from the state fail the
+// constraint.
+func (b *Box) Contains(st State) bool {
+	for name, iv := range b.constraints {
+		v, err := st.Get(name)
+		if err != nil {
+			return false
+		}
+		if !iv.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe returns the box name and its constraints in sorted order.
+func (b *Box) Describe() string {
+	names := make([]string, 0, len(b.constraints))
+	for name := range b.constraints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString(b.name)
+	sb.WriteByte('[')
+	for i, name := range names {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		iv := b.constraints[name]
+		fmt.Fprintf(&sb, "%g<=%s<=%g", iv.Lo, name, iv.Hi)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// FuncRegion adapts a predicate into a Region.
+type FuncRegion struct {
+	Name string
+	Fn   func(State) bool
+}
+
+var _ Region = FuncRegion{}
+
+// Contains invokes the predicate.
+func (f FuncRegion) Contains(st State) bool { return f.Fn != nil && f.Fn(st) }
+
+// Describe returns the region's name.
+func (f FuncRegion) Describe() string { return f.Name }
+
+// Union is the set union of its member regions.
+type Union []Region
+
+var _ Region = Union(nil)
+
+// Contains reports whether any member region contains the state.
+func (u Union) Contains(st State) bool {
+	for _, r := range u {
+		if r.Contains(st) {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe lists the member descriptions.
+func (u Union) Describe() string {
+	parts := make([]string, len(u))
+	for i, r := range u {
+		parts[i] = r.Describe()
+	}
+	return "union(" + strings.Join(parts, " | ") + ")"
+}
+
+// Intersection is the set intersection of its member regions. An empty
+// intersection contains everything.
+type Intersection []Region
+
+var _ Region = Intersection(nil)
+
+// Contains reports whether every member region contains the state.
+func (x Intersection) Contains(st State) bool {
+	for _, r := range x {
+		if !r.Contains(st) {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe lists the member descriptions.
+func (x Intersection) Describe() string {
+	parts := make([]string, len(x))
+	for i, r := range x {
+		parts[i] = r.Describe()
+	}
+	return "intersect(" + strings.Join(parts, " & ") + ")"
+}
+
+// Complement is the set complement of a region.
+type Complement struct {
+	Of Region
+}
+
+var _ Region = Complement{}
+
+// Contains reports whether the inner region does not contain the state.
+func (c Complement) Contains(st State) bool { return !c.Of.Contains(st) }
+
+// Describe describes the complement.
+func (c Complement) Describe() string { return "not(" + c.Of.Describe() + ")" }

@@ -1,0 +1,195 @@
+package statespace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoxContains(t *testing.T) {
+	s := testSchema(t)
+	hot := NewBox("hot", map[string]Interval{"temp": {Lo: 80, Hi: 100}})
+	fast := NewBox("fast", map[string]Interval{"speed": {Lo: 40, Hi: 50}})
+	hotAndFast := NewBox("hotfast", map[string]Interval{
+		"temp":  {Lo: 80, Hi: 100},
+		"speed": {Lo: 40, Hi: 50},
+	})
+
+	tests := []struct {
+		name   string
+		region Region
+		temp   float64
+		speed  float64
+		want   bool
+	}{
+		{name: "inside hot", region: hot, temp: 90, speed: 0, want: true},
+		{name: "below hot", region: hot, temp: 79.9, speed: 0, want: false},
+		{name: "boundary inclusive", region: hot, temp: 80, speed: 0, want: true},
+		{name: "fast only", region: fast, temp: 0, speed: 45, want: true},
+		{name: "conjunction holds", region: hotAndFast, temp: 85, speed: 45, want: true},
+		{name: "conjunction partial", region: hotAndFast, temp: 85, speed: 10, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			st, err := s.NewState(tt.temp, tt.speed, 0)
+			if err != nil {
+				t.Fatalf("NewState: %v", err)
+			}
+			if got := tt.region.Contains(st); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", st, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBoxUnknownVariableFailsConstraint(t *testing.T) {
+	s := testSchema(t)
+	r := NewBox("r", map[string]Interval{"missing": {Lo: 0, Hi: 1}})
+	if r.Contains(s.Origin()) {
+		t.Error("box over unknown variable contained a state")
+	}
+}
+
+func TestBoxDescribeDeterministic(t *testing.T) {
+	r := NewBox("danger", map[string]Interval{
+		"b": {Lo: 0, Hi: 1},
+		"a": {Lo: 2, Hi: 3},
+	})
+	got := r.Describe()
+	if want := "danger[2<=a<=3, 0<=b<=1]"; got != want {
+		t.Errorf("Describe() = %q, want %q", got, want)
+	}
+}
+
+func TestCompositeRegions(t *testing.T) {
+	s := testSchema(t)
+	hot := NewBox("hot", map[string]Interval{"temp": {Lo: 80, Hi: 100}})
+	fast := NewBox("fast", map[string]Interval{"speed": {Lo: 40, Hi: 50}})
+
+	hotState, _ := s.NewState(90, 0, 0)
+	fastState, _ := s.NewState(0, 45, 0)
+	calmState := s.Origin()
+
+	u := Union{hot, fast}
+	if !u.Contains(hotState) || !u.Contains(fastState) || u.Contains(calmState) {
+		t.Error("Union membership wrong")
+	}
+	x := Intersection{hot, fast}
+	both, _ := s.NewState(90, 45, 0)
+	if !x.Contains(both) || x.Contains(hotState) {
+		t.Error("Intersection membership wrong")
+	}
+	c := Complement{Of: hot}
+	if c.Contains(hotState) || !c.Contains(calmState) {
+		t.Error("Complement membership wrong")
+	}
+	if Intersection(nil).Contains(calmState) != true {
+		t.Error("empty Intersection should contain everything")
+	}
+	if Union(nil).Contains(calmState) {
+		t.Error("empty Union should contain nothing")
+	}
+	for _, d := range []string{u.Describe(), x.Describe(), c.Describe()} {
+		if d == "" {
+			t.Error("empty Describe()")
+		}
+	}
+}
+
+func TestFuncRegion(t *testing.T) {
+	s := testSchema(t)
+	r := FuncRegion{Name: "diag", Fn: func(st State) bool {
+		return st.MustGet("temp") > st.MustGet("speed")
+	}}
+	hi, _ := s.NewState(10, 5, 0)
+	lo, _ := s.NewState(5, 10, 0)
+	if !r.Contains(hi) || r.Contains(lo) {
+		t.Error("FuncRegion predicate not applied")
+	}
+	var empty FuncRegion
+	if empty.Contains(hi) {
+		t.Error("nil-Fn FuncRegion contained a state")
+	}
+}
+
+func TestRegionClassifierPrecedence(t *testing.T) {
+	s := testSchema(t)
+	good := NewBox("good", map[string]Interval{"temp": {Lo: 0, Hi: 100}})
+	bad := NewBox("bad", map[string]Interval{"temp": {Lo: 90, Hi: 100}})
+	rc := &RegionClassifier{Good: []Region{good}, Bad: []Region{bad}}
+
+	overlap, _ := s.NewState(95, 0, 0)
+	if got := rc.Classify(overlap); got != ClassBad {
+		t.Errorf("overlap class = %v, want bad (bad takes precedence)", got)
+	}
+	inside, _ := s.NewState(50, 0, 0)
+	if got := rc.Classify(inside); got != ClassGood {
+		t.Errorf("inside class = %v, want good", got)
+	}
+}
+
+func TestRegionClassifierDefault(t *testing.T) {
+	s := testSchema(t)
+	rc := &RegionClassifier{}
+	if got := rc.Classify(s.Origin()); got != ClassNeutral {
+		t.Errorf("default class = %v, want neutral", got)
+	}
+	rc.Default = ClassGood
+	if got := rc.Classify(s.Origin()); got != ClassGood {
+		t.Errorf("configured default class = %v, want good", got)
+	}
+}
+
+func TestThresholdClassifier(t *testing.T) {
+	metric := SafenessFunc(func(st State) float64 { return st.MustGet("temp") / 100 })
+	tc := &ThresholdClassifier{Metric: metric, GoodAt: 0.8, BadBelow: 0.2}
+	s := testSchema(t)
+
+	tests := []struct {
+		temp float64
+		want Class
+	}{
+		{temp: 90, want: ClassGood},
+		{temp: 80, want: ClassGood},
+		{temp: 50, want: ClassNeutral},
+		{temp: 19, want: ClassBad},
+	}
+	for _, tt := range tests {
+		st, _ := s.NewState(tt.temp, 0, 0)
+		if got := tc.Classify(st); got != tt.want {
+			t.Errorf("Classify(temp=%g) = %v, want %v", tt.temp, got, tt.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{c: ClassGood, want: "good"},
+		{c: ClassNeutral, want: "neutral"},
+		{c: ClassBad, want: "bad"},
+		{c: Class(0), want: "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestRender2D(t *testing.T) {
+	s := MustSchema(Var("x", 0, 10), Var("y", 0, 10))
+	bad := NewBox("bad", map[string]Interval{"x": {Lo: 8, Hi: 10}})
+	rc := &RegionClassifier{Bad: []Region{bad}, Default: ClassGood}
+	out, err := Render2D(s, rc, s.Origin(), RenderOptions{XVar: "x", YVar: "y", Width: 20, Height: 5})
+	if err != nil {
+		t.Fatalf("Render2D: %v", err)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Errorf("render missing bad/good glyphs:\n%s", out)
+	}
+	if _, err := Render2D(s, rc, s.Origin(), RenderOptions{XVar: "nope", YVar: "y"}); err == nil {
+		t.Error("Render2D with unknown variable succeeded")
+	}
+}

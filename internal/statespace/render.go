@@ -1,0 +1,106 @@
+package statespace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderOptions controls Render2D output.
+type RenderOptions struct {
+	// XVar and YVar name the two variables to plot. YVar is the
+	// vertical axis, rendered top (max) to bottom (min), matching
+	// Figure 3 of the paper.
+	XVar, YVar string
+	// Width and Height are the grid dimensions in characters. Zero
+	// values default to 60×20.
+	Width, Height int
+	// Marks places extra characters at specific states (e.g. a
+	// trajectory). Later marks overwrite earlier ones.
+	Marks []Mark
+}
+
+// Mark is a single plotted point.
+type Mark struct {
+	At    State
+	Glyph byte
+}
+
+// Render2D draws a two-variable slice of the state space as ASCII art:
+// '#' for bad states, '.' for good states, ' ' for neutral — a textual
+// reproduction of Figure 3 ("Simplified State Description of System").
+// Both variables must be bounded.
+func Render2D(schema *Schema, c Classifier, base State, opts RenderOptions) (string, error) {
+	width, height := opts.Width, opts.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xi, ok := schema.Index(opts.XVar)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownVariable, opts.XVar)
+	}
+	yi, ok := schema.Index(opts.YVar)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownVariable, opts.YVar)
+	}
+	xv, yv := schema.Var(xi), schema.Var(yi)
+	if !xv.Bounded() || !yv.Bounded() || xv.Span() == 0 || yv.Span() == 0 {
+		return "", fmt.Errorf("statespace: render requires bounded variables with nonzero span")
+	}
+
+	grid := make([][]byte, height)
+	for row := range grid {
+		grid[row] = make([]byte, width)
+		for col := range grid[row] {
+			x := xv.Min + xv.Span()*float64(col)/float64(width-1)
+			y := yv.Max - yv.Span()*float64(row)/float64(height-1)
+			st, err := base.With(opts.XVar, x)
+			if err != nil {
+				return "", err
+			}
+			st, err = st.With(opts.YVar, y)
+			if err != nil {
+				return "", err
+			}
+			switch c.Classify(st) {
+			case ClassBad:
+				grid[row][col] = '#'
+			case ClassGood:
+				grid[row][col] = '.'
+			default:
+				grid[row][col] = ' '
+			}
+		}
+	}
+
+	for _, mk := range opts.Marks {
+		x, err := mk.At.Get(opts.XVar)
+		if err != nil {
+			continue
+		}
+		y, err := mk.At.Get(opts.YVar)
+		if err != nil {
+			continue
+		}
+		col := int((x - xv.Min) / xv.Span() * float64(width-1))
+		row := int((yv.Max - y) / yv.Span() * float64(height-1))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = mk.Glyph
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s ^\n", opts.YVar)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +")
+	b.WriteString(strings.Repeat("-", width))
+	fmt.Fprintf(&b, "> %s\n", opts.XVar)
+	b.WriteString("  legend: '#' bad   '.' good   ' ' neutral\n")
+	return b.String(), nil
+}

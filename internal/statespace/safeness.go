@@ -1,0 +1,174 @@
+package statespace
+
+import "math"
+
+// SafenessMetric assigns each state a safeness value; higher is safer.
+// Section V: "one could consider a 'safeness' (or risk) metric
+// associated with each state. The safeness metric would induce a
+// partial ordering on the set of states." Conventionally the value lies
+// in [0,1] but the package does not enforce that.
+type SafenessMetric interface {
+	Safeness(State) float64
+}
+
+// SafenessFunc adapts a function into a SafenessMetric.
+type SafenessFunc func(State) float64
+
+var _ SafenessMetric = SafenessFunc(nil)
+
+// Safeness invokes the function.
+func (f SafenessFunc) Safeness(st State) float64 { return f(st) }
+
+// DistanceSafeness scores a state by its normalized distance from the
+// nearest bad region boundary, approximated by sampling the state's
+// membership: states inside a bad region score 0; otherwise safeness
+// rises with the margin to the closest bad box along each axis.
+type DistanceSafeness struct {
+	Bad []Region
+	// Horizon is the distance at which safeness saturates to 1.
+	// Zero means a horizon of 1.
+	Horizon float64
+}
+
+var _ SafenessMetric = (*DistanceSafeness)(nil)
+
+// Safeness returns 0 for states inside any bad region and otherwise
+// min(1, margin/Horizon) where margin is the smallest axis-aligned
+// distance from the state to any bad Box. Non-box regions contribute
+// only their membership test.
+func (d *DistanceSafeness) Safeness(st State) float64 {
+	horizon := d.Horizon
+	if horizon <= 0 {
+		horizon = 1
+	}
+	margin := math.Inf(1)
+	for _, r := range d.Bad {
+		if r.Contains(st) {
+			return 0
+		}
+		box, ok := r.(*Box)
+		if !ok {
+			continue
+		}
+		if m := boxMargin(box, st); m < margin {
+			margin = m
+		}
+	}
+	if math.IsInf(margin, 1) {
+		return 1
+	}
+	return math.Min(1, margin/horizon)
+}
+
+// boxMargin returns the smallest distance from the state to the box
+// along any single axis (the state is known to be outside the box).
+func boxMargin(b *Box, st State) float64 {
+	margin := math.Inf(1)
+	for name, iv := range b.constraints {
+		v, err := st.Get(name)
+		if err != nil {
+			continue
+		}
+		var dist float64
+		switch {
+		case v < iv.Lo:
+			dist = iv.Lo - v
+		case v > iv.Hi:
+			dist = v - iv.Hi
+		default:
+			continue // inside on this axis; another axis separates us
+		}
+		if dist < margin {
+			margin = dist
+		}
+	}
+	return margin
+}
+
+// Ordering is the result of comparing two states under a partial order.
+type Ordering int
+
+// Ordering values.
+const (
+	OrderWorse Ordering = iota + 1
+	OrderEqual
+	OrderBetter
+	OrderIncomparable
+)
+
+// String returns the name of the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case OrderWorse:
+		return "worse"
+	case OrderEqual:
+		return "equal"
+	case OrderBetter:
+		return "better"
+	case OrderIncomparable:
+		return "incomparable"
+	default:
+		return "unknown"
+	}
+}
+
+// PartialOrder compares states under several safeness metrics at once:
+// a state is better than another only if it is at least as safe under
+// every metric and strictly safer under at least one. With a single
+// metric this degenerates to a total order; with several it is the
+// partial ordering of Section V.
+type PartialOrder struct {
+	Metrics []SafenessMetric
+	// Epsilon is the tolerance within which two safeness values are
+	// considered equal.
+	Epsilon float64
+}
+
+// Compare returns how a stands relative to b.
+func (p *PartialOrder) Compare(a, b State) Ordering {
+	better, worse := false, false
+	for _, m := range p.Metrics {
+		sa, sb := m.Safeness(a), m.Safeness(b)
+		switch {
+		case sa > sb+p.Epsilon:
+			better = true
+		case sa < sb-p.Epsilon:
+			worse = true
+		}
+	}
+	switch {
+	case better && worse:
+		return OrderIncomparable
+	case better:
+		return OrderBetter
+	case worse:
+		return OrderWorse
+	default:
+		return OrderEqual
+	}
+}
+
+// Best returns the states from candidates that are not dominated by any
+// other candidate (the Pareto frontier under the metrics). The paper:
+// "We would like the system to move to states with the highest safeness
+// metric. In cases where this is not possible, one can choose the next
+// best state."
+func (p *PartialOrder) Best(candidates []State) []State {
+	var best []State
+	for i, c := range candidates {
+		dominated := false
+		for j, other := range candidates {
+			if i == j {
+				continue
+			}
+			if p.Compare(other, c) == OrderBetter {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			best = append(best, c)
+		}
+	}
+	return best
+}

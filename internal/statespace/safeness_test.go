@@ -1,0 +1,175 @@
+package statespace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceSafeness(t *testing.T) {
+	s := MustSchema(Var("x", 0, 100))
+	bad := NewBox("bad", map[string]Interval{"x": {Lo: 90, Hi: 100}})
+	m := &DistanceSafeness{Bad: []Region{bad}, Horizon: 50}
+
+	tests := []struct {
+		name string
+		x    float64
+		want float64
+	}{
+		{name: "inside bad", x: 95, want: 0},
+		{name: "at boundary", x: 90, want: 0},
+		{name: "half horizon", x: 65, want: 0.5},
+		{name: "beyond horizon", x: 10, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			st, _ := s.NewState(tt.x)
+			if got := m.Safeness(st); got != tt.want {
+				t.Errorf("Safeness(x=%g) = %g, want %g", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceSafenessNoBadRegions(t *testing.T) {
+	s := MustSchema(Var("x", 0, 1))
+	m := &DistanceSafeness{}
+	if got := m.Safeness(s.Origin()); got != 1 {
+		t.Errorf("Safeness with no bad regions = %g, want 1", got)
+	}
+}
+
+func TestDistanceSafenessNonBoxRegion(t *testing.T) {
+	s := MustSchema(Var("x", 0, 1))
+	m := &DistanceSafeness{Bad: []Region{
+		FuncRegion{Name: "odd", Fn: func(st State) bool { return st.MustGet("x") > 0.5 }},
+	}}
+	inside, _ := s.NewState(0.9)
+	outside, _ := s.NewState(0.1)
+	if got := m.Safeness(inside); got != 0 {
+		t.Errorf("Safeness(inside func region) = %g, want 0", got)
+	}
+	if got := m.Safeness(outside); got != 1 {
+		t.Errorf("Safeness(outside, no margin info) = %g, want 1", got)
+	}
+}
+
+func TestPartialOrderCompare(t *testing.T) {
+	s := MustSchema(Var("a", 0, 1), Var("b", 0, 1))
+	ma := SafenessFunc(func(st State) float64 { return st.MustGet("a") })
+	mb := SafenessFunc(func(st State) float64 { return st.MustGet("b") })
+	po := &PartialOrder{Metrics: []SafenessMetric{ma, mb}, Epsilon: 1e-9}
+
+	hiHi, _ := s.NewState(1, 1)
+	loLo, _ := s.NewState(0, 0)
+	hiLo, _ := s.NewState(1, 0)
+	loHi, _ := s.NewState(0, 1)
+
+	tests := []struct {
+		name string
+		a, b State
+		want Ordering
+	}{
+		{name: "dominates", a: hiHi, b: loLo, want: OrderBetter},
+		{name: "dominated", a: loLo, b: hiHi, want: OrderWorse},
+		{name: "incomparable", a: hiLo, b: loHi, want: OrderIncomparable},
+		{name: "equal", a: hiLo, b: hiLo, want: OrderEqual},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := po.Compare(tt.a, tt.b); got != tt.want {
+				t.Errorf("Compare = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPartialOrderBest(t *testing.T) {
+	s := MustSchema(Var("a", 0, 1), Var("b", 0, 1))
+	ma := SafenessFunc(func(st State) float64 { return st.MustGet("a") })
+	mb := SafenessFunc(func(st State) float64 { return st.MustGet("b") })
+	po := &PartialOrder{Metrics: []SafenessMetric{ma, mb}, Epsilon: 1e-9}
+
+	hiLo, _ := s.NewState(1, 0)
+	loHi, _ := s.NewState(0, 1)
+	loLo, _ := s.NewState(0, 0)
+
+	best := po.Best([]State{hiLo, loHi, loLo})
+	if len(best) != 2 {
+		t.Fatalf("Best returned %d states, want 2 (the Pareto frontier)", len(best))
+	}
+	for _, st := range best {
+		if st.Equal(loLo) {
+			t.Error("dominated state on frontier")
+		}
+	}
+	if got := po.Best(nil); got != nil {
+		t.Errorf("Best(nil) = %v, want nil", got)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	tests := []struct {
+		o    Ordering
+		want string
+	}{
+		{o: OrderWorse, want: "worse"},
+		{o: OrderEqual, want: "equal"},
+		{o: OrderBetter, want: "better"},
+		{o: OrderIncomparable, want: "incomparable"},
+		{o: Ordering(0), want: "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Ordering(%d).String() = %q, want %q", int(tt.o), got, tt.want)
+		}
+	}
+}
+
+// Property: the partial order is antisymmetric — if a is better than b,
+// b must be worse than a.
+func TestPartialOrderAntisymmetryProperty(t *testing.T) {
+	s := MustSchema(Var("a", 0, 1), Var("b", 0, 1))
+	ma := SafenessFunc(func(st State) float64 { return st.MustGet("a") })
+	mb := SafenessFunc(func(st State) float64 { return st.MustGet("b") })
+	po := &PartialOrder{Metrics: []SafenessMetric{ma, mb}, Epsilon: 1e-9}
+
+	f := func(ax, ay, bx, by float64) bool {
+		a, err := s.NewState(fold01(ax), fold01(ay))
+		if err != nil {
+			return true
+		}
+		b, err := s.NewState(fold01(bx), fold01(by))
+		if err != nil {
+			return true
+		}
+		fwd, back := po.Compare(a, b), po.Compare(b, a)
+		switch fwd {
+		case OrderBetter:
+			return back == OrderWorse
+		case OrderWorse:
+			return back == OrderBetter
+		default:
+			return back == fwd
+		}
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Errorf("antisymmetry violated: %v", err)
+	}
+}
+
+// fold01 maps any float into [0,1] so quick-generated values form valid
+// states.
+func fold01(v float64) float64 {
+	if v != v { // NaN
+		return 0
+	}
+	if v < 0 {
+		v = -v
+	}
+	for v > 1 {
+		v /= 10
+	}
+	return v
+}

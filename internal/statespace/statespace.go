@@ -1,0 +1,366 @@
+// Package statespace models device state as a point in an N-dimensional
+// space of named variables, following Section V of the paper: a device is
+// characterized by the values of a set of variables, each representing an
+// attribute of the configuration of its sensors, actuators, or other
+// aspects of the device.
+//
+// The package provides:
+//
+//   - Schema / State / Delta: the state algebra itself.
+//   - Region and Classifier: partitioning the space into good, neutral and
+//     bad states (Figure 3 of the paper).
+//   - SafenessMetric and the partial order it induces.
+//   - DerivativeModel: the Section VII treatment of ill-defined state
+//     spaces, where only the sign of the partial derivatives of the
+//     goodness function is known, yielding a pain/pleasure utility.
+//   - Trajectory: sequences of states with cumulative-effect detection.
+package statespace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrUnknownVariable is returned when a state or delta references a
+// variable that is not part of the schema.
+var ErrUnknownVariable = errors.New("statespace: unknown variable")
+
+// Variable describes one dimension of a state space. Min and Max bound
+// the legal values of the variable; use math.Inf for unbounded
+// dimensions.
+type Variable struct {
+	Name string
+	Min  float64
+	Max  float64
+	Unit string
+}
+
+// Bounded reports whether both ends of the variable's range are finite.
+func (v Variable) Bounded() bool {
+	return !math.IsInf(v.Min, -1) && !math.IsInf(v.Max, 1)
+}
+
+// Span returns the width of the variable's range. It is +Inf for
+// unbounded variables.
+func (v Variable) Span() float64 {
+	return v.Max - v.Min
+}
+
+// Var is a convenience constructor for a bounded variable.
+func Var(name string, min, max float64) Variable {
+	return Variable{Name: name, Min: min, Max: max}
+}
+
+// UnboundedVar is a convenience constructor for a variable with an
+// unrestricted range.
+func UnboundedVar(name string) Variable {
+	return Variable{Name: name, Min: math.Inf(-1), Max: math.Inf(1)}
+}
+
+// Schema is an ordered, immutable set of variables defining a state
+// space. All states in the space share one schema, which lets State be a
+// compact value type.
+type Schema struct {
+	vars  []Variable
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given variables. It returns an
+// error if a variable name repeats, is empty, or has an inverted range.
+func NewSchema(vars ...Variable) (*Schema, error) {
+	if len(vars) == 0 {
+		return nil, errors.New("statespace: schema requires at least one variable")
+	}
+	s := &Schema{
+		vars:  make([]Variable, len(vars)),
+		index: make(map[string]int, len(vars)),
+	}
+	copy(s.vars, vars)
+	for i, v := range s.vars {
+		if v.Name == "" {
+			return nil, fmt.Errorf("statespace: variable %d has empty name", i)
+		}
+		if v.Min > v.Max {
+			return nil, fmt.Errorf("statespace: variable %q has inverted range [%g,%g]", v.Name, v.Min, v.Max)
+		}
+		if _, dup := s.index[v.Name]; dup {
+			return nil, fmt.Errorf("statespace: duplicate variable %q", v.Name)
+		}
+		s.index[v.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// package-level test fixtures and program initialization where a bad
+// schema is a programming error.
+func MustSchema(vars ...Variable) *Schema {
+	s, err := NewSchema(vars...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of variables in the schema.
+func (s *Schema) Len() int { return len(s.vars) }
+
+// Var returns the i-th variable. It panics if i is out of range, like a
+// slice index.
+func (s *Schema) Var(i int) Variable { return s.vars[i] }
+
+// Index returns the position of the named variable and whether it
+// exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Names returns the variable names in schema order. The returned slice
+// is a copy.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.vars))
+	for i, v := range s.vars {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// Origin returns the state with every variable clamped-into-range as
+// close to zero as its bounds allow.
+func (s *Schema) Origin() State {
+	values := make([]float64, len(s.vars))
+	for i, v := range s.vars {
+		values[i] = clamp(0, v.Min, v.Max)
+	}
+	return State{schema: s, values: values}
+}
+
+// NewState builds a state from values given in schema order. The number
+// of values must match the schema length; values outside a variable's
+// range are rejected.
+func (s *Schema) NewState(values ...float64) (State, error) {
+	if len(values) != len(s.vars) {
+		return State{}, fmt.Errorf("statespace: got %d values for %d-variable schema", len(values), len(s.vars))
+	}
+	vs := make([]float64, len(values))
+	copy(vs, values)
+	for i, v := range vs {
+		if v < s.vars[i].Min || v > s.vars[i].Max {
+			return State{}, fmt.Errorf("statespace: value %g for %q outside range [%g,%g]",
+				v, s.vars[i].Name, s.vars[i].Min, s.vars[i].Max)
+		}
+	}
+	return State{schema: s, values: vs}, nil
+}
+
+// StateFromMap builds a state from named values. Variables missing from
+// the map take the schema origin value for that dimension; unknown names
+// are an error.
+func (s *Schema) StateFromMap(values map[string]float64) (State, error) {
+	st := s.Origin()
+	for name, v := range values {
+		var err error
+		st, err = st.With(name, v)
+		if err != nil {
+			return State{}, err
+		}
+	}
+	return st, nil
+}
+
+// State is an immutable point in a state space. The zero State is
+// invalid; obtain states from a Schema.
+type State struct {
+	schema *Schema
+	values []float64
+}
+
+// Valid reports whether the state belongs to a schema.
+func (st State) Valid() bool { return st.schema != nil }
+
+// Schema returns the schema the state belongs to.
+func (st State) Schema() *Schema { return st.schema }
+
+// Value returns the i-th variable's value. It panics if i is out of
+// range, like a slice index.
+func (st State) Value(i int) float64 { return st.values[i] }
+
+// Get returns the value of the named variable.
+func (st State) Get(name string) (float64, error) {
+	i, ok := st.schema.Index(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+	}
+	return st.values[i], nil
+}
+
+// MustGet is like Get but returns 0 for unknown variables. It is useful
+// in expression evaluation contexts where absence means zero.
+func (st State) MustGet(name string) float64 {
+	v, err := st.Get(name)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// With returns a copy of the state with the named variable set to v,
+// clamped into the variable's range.
+func (st State) With(name string, v float64) (State, error) {
+	i, ok := st.schema.Index(name)
+	if !ok {
+		return State{}, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+	}
+	vs := make([]float64, len(st.values))
+	copy(vs, st.values)
+	vs[i] = clamp(v, st.schema.vars[i].Min, st.schema.vars[i].Max)
+	return State{schema: st.schema, values: vs}, nil
+}
+
+// Apply returns the state reached by adding the delta to this state.
+// Values are clamped into each variable's range; unknown variables in
+// the delta are an error.
+func (st State) Apply(d Delta) (State, error) {
+	vs := make([]float64, len(st.values))
+	copy(vs, st.values)
+	for name, dv := range d {
+		i, ok := st.schema.Index(name)
+		if !ok {
+			return State{}, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+		}
+		vs[i] = clamp(vs[i]+dv, st.schema.vars[i].Min, st.schema.vars[i].Max)
+	}
+	return State{schema: st.schema, values: vs}, nil
+}
+
+// Values returns a copy of the state's values in schema order.
+func (st State) Values() []float64 {
+	vs := make([]float64, len(st.values))
+	copy(vs, st.values)
+	return vs
+}
+
+// Map returns the state as a name→value map.
+func (st State) Map() map[string]float64 {
+	m := make(map[string]float64, len(st.values))
+	for i, v := range st.values {
+		m[st.schema.vars[i].Name] = v
+	}
+	return m
+}
+
+// Equal reports whether two states share a schema and have identical
+// values.
+func (st State) Equal(other State) bool {
+	if st.schema != other.schema || len(st.values) != len(other.values) {
+		return false
+	}
+	for i, v := range st.values {
+		if v != other.values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DistanceTo returns the Euclidean distance between two states of the
+// same schema, or NaN if the schemas differ.
+func (st State) DistanceTo(other State) float64 {
+	if st.schema != other.schema {
+		return math.NaN()
+	}
+	var sum float64
+	for i, v := range st.values {
+		d := v - other.values[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// String renders the state as "{name=value, ...}" in schema order.
+func (st State) String() string {
+	if st.schema == nil {
+		return "{invalid}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range st.values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(st.schema.vars[i].Name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(v, 'g', 6, 64))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Delta is a sparse, additive change to a state: variable name → amount
+// to add.
+type Delta map[string]float64
+
+// Merge returns a new delta combining d and other; overlapping
+// variables add.
+func (d Delta) Merge(other Delta) Delta {
+	out := make(Delta, len(d)+len(other))
+	for k, v := range d {
+		out[k] = v
+	}
+	for k, v := range other {
+		out[k] += v
+	}
+	return out
+}
+
+// Scale returns a new delta with every component multiplied by k.
+func (d Delta) Scale(k float64) Delta {
+	out := make(Delta, len(d))
+	for name, v := range d {
+		out[name] = v * k
+	}
+	return out
+}
+
+// Magnitude returns the Euclidean norm of the delta.
+func (d Delta) Magnitude() float64 {
+	var sum float64
+	for _, v := range d {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// String renders the delta deterministically, sorted by variable name.
+func (d Delta) String() string {
+	names := make([]string, 0, len(d))
+	for name := range d {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s%+g", name, d[name])
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,212 @@
+package statespace
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Var("temp", 0, 100),
+		Var("speed", 0, 50),
+		UnboundedVar("offset"),
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		vars []Variable
+	}{
+		{name: "empty", vars: nil},
+		{name: "duplicate", vars: []Variable{Var("a", 0, 1), Var("a", 0, 2)}},
+		{name: "empty name", vars: []Variable{Var("", 0, 1)}},
+		{name: "inverted range", vars: []Variable{Var("a", 5, 1)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSchema(tt.vars...); err == nil {
+				t.Fatalf("NewSchema(%v) succeeded, want error", tt.vars)
+			}
+		})
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := testSchema(t)
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len() = %d, want 3", got)
+	}
+	if got := s.Var(1).Name; got != "speed" {
+		t.Errorf("Var(1).Name = %q, want speed", got)
+	}
+	if i, ok := s.Index("offset"); !ok || i != 2 {
+		t.Errorf("Index(offset) = %d,%v, want 2,true", i, ok)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("Index(nope) found a variable, want none")
+	}
+	want := []string{"temp", "speed", "offset"}
+	got := s.Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewState(t *testing.T) {
+	s := testSchema(t)
+	st, err := s.NewState(20, 10, -5)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	if v, _ := st.Get("temp"); v != 20 {
+		t.Errorf("temp = %g, want 20", v)
+	}
+	if _, err := s.NewState(20, 10); err == nil {
+		t.Error("NewState with 2 values for 3-variable schema succeeded")
+	}
+	if _, err := s.NewState(200, 10, 0); err == nil {
+		t.Error("NewState with out-of-range value succeeded")
+	}
+}
+
+func TestStateFromMap(t *testing.T) {
+	s := testSchema(t)
+	st, err := s.StateFromMap(map[string]float64{"temp": 42})
+	if err != nil {
+		t.Fatalf("StateFromMap: %v", err)
+	}
+	if v, _ := st.Get("temp"); v != 42 {
+		t.Errorf("temp = %g, want 42", v)
+	}
+	if v, _ := st.Get("speed"); v != 0 {
+		t.Errorf("speed = %g, want origin 0", v)
+	}
+	if _, err := s.StateFromMap(map[string]float64{"nope": 1}); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("StateFromMap unknown var error = %v, want ErrUnknownVariable", err)
+	}
+}
+
+func TestStateWithClampsAndIsImmutable(t *testing.T) {
+	s := testSchema(t)
+	st := s.Origin()
+	st2, err := st.With("temp", 500)
+	if err != nil {
+		t.Fatalf("With: %v", err)
+	}
+	if v, _ := st2.Get("temp"); v != 100 {
+		t.Errorf("clamped temp = %g, want 100", v)
+	}
+	if v, _ := st.Get("temp"); v != 0 {
+		t.Errorf("original state mutated: temp = %g, want 0", v)
+	}
+}
+
+func TestStateApply(t *testing.T) {
+	s := testSchema(t)
+	st := s.Origin()
+	st2, err := st.Apply(Delta{"temp": 30, "speed": 10})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if v, _ := st2.Get("temp"); v != 30 {
+		t.Errorf("temp = %g, want 30", v)
+	}
+	// Clamping on apply.
+	st3, err := st2.Apply(Delta{"speed": 1000})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if v, _ := st3.Get("speed"); v != 50 {
+		t.Errorf("speed = %g, want clamped 50", v)
+	}
+	if _, err := st.Apply(Delta{"nope": 1}); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("Apply unknown var error = %v, want ErrUnknownVariable", err)
+	}
+}
+
+func TestStateEqualAndDistance(t *testing.T) {
+	s := testSchema(t)
+	a, _ := s.NewState(3, 4, 0)
+	b, _ := s.NewState(0, 0, 0)
+	if !a.Equal(a) {
+		t.Error("state not equal to itself")
+	}
+	if a.Equal(b) {
+		t.Error("distinct states reported equal")
+	}
+	if d := a.DistanceTo(b); math.Abs(d-5) > 1e-12 {
+		t.Errorf("distance = %g, want 5", d)
+	}
+	other := MustSchema(Var("x", 0, 1))
+	if d := a.DistanceTo(other.Origin()); !math.IsNaN(d) {
+		t.Errorf("cross-schema distance = %g, want NaN", d)
+	}
+}
+
+func TestStateStringAndMap(t *testing.T) {
+	s := testSchema(t)
+	st, _ := s.NewState(1, 2, 3)
+	if got := st.String(); !strings.Contains(got, "temp=1") || !strings.Contains(got, "speed=2") {
+		t.Errorf("String() = %q, missing variables", got)
+	}
+	m := st.Map()
+	if m["offset"] != 3 {
+		t.Errorf("Map()[offset] = %g, want 3", m["offset"])
+	}
+	var zero State
+	if zero.Valid() {
+		t.Error("zero State reports valid")
+	}
+	if got := zero.String(); got != "{invalid}" {
+		t.Errorf("zero State String() = %q", got)
+	}
+}
+
+func TestDeltaMergeScaleMagnitude(t *testing.T) {
+	d := Delta{"a": 1, "b": 2}
+	m := d.Merge(Delta{"b": 3, "c": -1})
+	if m["a"] != 1 || m["b"] != 5 || m["c"] != -1 {
+		t.Errorf("Merge = %v", m)
+	}
+	sc := d.Scale(2)
+	if sc["a"] != 2 || sc["b"] != 4 {
+		t.Errorf("Scale = %v", sc)
+	}
+	d2 := Delta{"x": 3, "y": 4}
+	if got := d2.Magnitude(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Magnitude = %g, want 5", got)
+	}
+	if got := (Delta{"b": 1, "a": 2}).String(); got != "(a+2, b+1)" {
+		t.Errorf("Delta.String() = %q, want deterministic sorted output", got)
+	}
+}
+
+func TestVariableHelpers(t *testing.T) {
+	v := Var("t", 0, 10)
+	if !v.Bounded() || v.Span() != 10 {
+		t.Errorf("Var bounded=%v span=%g", v.Bounded(), v.Span())
+	}
+	u := UnboundedVar("u")
+	if u.Bounded() {
+		t.Error("UnboundedVar reports bounded")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema with bad input did not panic")
+		}
+	}()
+	MustSchema()
+}

@@ -1,0 +1,110 @@
+package statespace
+
+import "fmt"
+
+// Trajectory is an ordered sequence of states visited by a device.
+// Section V notes that some states "may be dangerous in that they lead
+// to sequences of states with some cumulative effects that are
+// undesirable"; Trajectory provides the bookkeeping to detect such
+// sequences.
+type Trajectory struct {
+	states []State
+}
+
+// NewTrajectory returns an empty trajectory with capacity for n states.
+func NewTrajectory(n int) *Trajectory {
+	return &Trajectory{states: make([]State, 0, n)}
+}
+
+// Append records the next state. States of mismatched schemas are
+// rejected.
+func (t *Trajectory) Append(st State) error {
+	if !st.Valid() {
+		return fmt.Errorf("statespace: cannot append invalid state")
+	}
+	if len(t.states) > 0 && t.states[0].Schema() != st.Schema() {
+		return fmt.Errorf("statespace: trajectory schema mismatch")
+	}
+	t.states = append(t.states, st)
+	return nil
+}
+
+// Len returns the number of recorded states.
+func (t *Trajectory) Len() int { return len(t.states) }
+
+// At returns the i-th state. It panics if i is out of range, like a
+// slice index.
+func (t *Trajectory) At(i int) State { return t.states[i] }
+
+// Last returns the most recent state and whether one exists.
+func (t *Trajectory) Last() (State, bool) {
+	if len(t.states) == 0 {
+		return State{}, false
+	}
+	return t.states[len(t.states)-1], true
+}
+
+// States returns a copy of the recorded states.
+func (t *Trajectory) States() []State {
+	out := make([]State, len(t.states))
+	copy(out, t.states)
+	return out
+}
+
+// ClassCounts tallies the classification of every recorded state.
+func (t *Trajectory) ClassCounts(c Classifier) map[Class]int {
+	counts := make(map[Class]int, 3)
+	for _, st := range t.states {
+		counts[c.Classify(st)]++
+	}
+	return counts
+}
+
+// FirstBad returns the index of the first state classified bad, or -1.
+func (t *Trajectory) FirstBad(c Classifier) int {
+	for i, st := range t.states {
+		if c.Classify(st) == ClassBad {
+			return i
+		}
+	}
+	return -1
+}
+
+// MonotoneDecline reports whether the last window states show a strictly
+// declining safeness under the metric — the signature of a cumulative
+// drift toward a bad state even while every individual state remains
+// formally good or neutral. It returns false if fewer than window+1
+// states are recorded or window < 1.
+func (t *Trajectory) MonotoneDecline(m SafenessMetric, window int) bool {
+	if window < 1 || len(t.states) < window+1 {
+		return false
+	}
+	start := len(t.states) - window - 1
+	prev := m.Safeness(t.states[start])
+	for _, st := range t.states[start+1:] {
+		s := m.Safeness(st)
+		if s >= prev {
+			return false
+		}
+		prev = s
+	}
+	return true
+}
+
+// CumulativeDrop returns the total safeness lost over the last window
+// transitions, clamped at zero when safeness improved. A large drop is
+// the quantitative form of an "undesirable cumulative effect".
+func (t *Trajectory) CumulativeDrop(m SafenessMetric, window int) float64 {
+	if window < 1 || len(t.states) < 2 {
+		return 0
+	}
+	start := len(t.states) - window - 1
+	if start < 0 {
+		start = 0
+	}
+	drop := m.Safeness(t.states[start]) - m.Safeness(t.states[len(t.states)-1])
+	if drop < 0 {
+		return 0
+	}
+	return drop
+}

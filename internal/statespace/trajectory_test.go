@@ -1,0 +1,135 @@
+package statespace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrajectoryAppendAndAccess(t *testing.T) {
+	s := MustSchema(Var("x", 0, 10))
+	tr := NewTrajectory(4)
+	for _, x := range []float64{1, 2, 3} {
+		st, _ := s.NewState(x)
+		if err := tr.Append(st); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	if got := tr.At(1).MustGet("x"); got != 2 {
+		t.Errorf("At(1).x = %g, want 2", got)
+	}
+	last, ok := tr.Last()
+	if !ok || last.MustGet("x") != 3 {
+		t.Errorf("Last = %v,%v", last, ok)
+	}
+	if got := tr.States(); len(got) != 3 {
+		t.Errorf("States len = %d", len(got))
+	}
+}
+
+func TestTrajectoryAppendErrors(t *testing.T) {
+	s := MustSchema(Var("x", 0, 10))
+	other := MustSchema(Var("y", 0, 10))
+	tr := NewTrajectory(2)
+	if err := tr.Append(State{}); err == nil {
+		t.Error("appended invalid state")
+	}
+	if err := tr.Append(s.Origin()); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := tr.Append(other.Origin()); err == nil {
+		t.Error("appended state of different schema")
+	}
+}
+
+func TestTrajectoryEmptyLast(t *testing.T) {
+	tr := NewTrajectory(0)
+	if _, ok := tr.Last(); ok {
+		t.Error("empty trajectory reported a last state")
+	}
+}
+
+func TestTrajectoryClassCountsAndFirstBad(t *testing.T) {
+	s := MustSchema(Var("x", 0, 10))
+	bad := NewBox("bad", map[string]Interval{"x": {Lo: 8, Hi: 10}})
+	rc := &RegionClassifier{Bad: []Region{bad}, Default: ClassGood}
+
+	tr := NewTrajectory(4)
+	for _, x := range []float64{1, 5, 9, 2} {
+		st, _ := s.NewState(x)
+		if err := tr.Append(st); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	counts := tr.ClassCounts(rc)
+	if counts[ClassBad] != 1 || counts[ClassGood] != 3 {
+		t.Errorf("ClassCounts = %v", counts)
+	}
+	if got := tr.FirstBad(rc); got != 2 {
+		t.Errorf("FirstBad = %d, want 2", got)
+	}
+
+	clean := NewTrajectory(1)
+	_ = clean.Append(s.Origin())
+	if got := clean.FirstBad(rc); got != -1 {
+		t.Errorf("FirstBad on clean trajectory = %d, want -1", got)
+	}
+}
+
+func TestMonotoneDecline(t *testing.T) {
+	s := MustSchema(Var("x", 0, 10))
+	metric := SafenessFunc(func(st State) float64 { return st.MustGet("x") / 10 })
+
+	decline := NewTrajectory(5)
+	for _, x := range []float64{9, 7, 5, 3} {
+		st, _ := s.NewState(x)
+		_ = decline.Append(st)
+	}
+	if !decline.MonotoneDecline(metric, 3) {
+		t.Error("MonotoneDecline missed a strict decline")
+	}
+	if decline.MonotoneDecline(metric, 5) {
+		t.Error("MonotoneDecline over too-large window should be false")
+	}
+
+	bumpy := NewTrajectory(4)
+	for _, x := range []float64{9, 7, 8, 3} {
+		st, _ := s.NewState(x)
+		_ = bumpy.Append(st)
+	}
+	if bumpy.MonotoneDecline(metric, 3) {
+		t.Error("MonotoneDecline reported decline despite a recovery step")
+	}
+}
+
+func TestCumulativeDrop(t *testing.T) {
+	s := MustSchema(Var("x", 0, 10))
+	metric := SafenessFunc(func(st State) float64 { return st.MustGet("x") / 10 })
+
+	tr := NewTrajectory(4)
+	for _, x := range []float64{10, 8, 6, 4} {
+		st, _ := s.NewState(x)
+		_ = tr.Append(st)
+	}
+	if got := tr.CumulativeDrop(metric, 3); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("CumulativeDrop = %g, want 0.6", got)
+	}
+	// Window larger than history clamps to full history.
+	if got := tr.CumulativeDrop(metric, 100); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("CumulativeDrop(100) = %g, want 0.6", got)
+	}
+
+	up := NewTrajectory(2)
+	for _, x := range []float64{2, 9} {
+		st, _ := s.NewState(x)
+		_ = up.Append(st)
+	}
+	if got := up.CumulativeDrop(metric, 1); got != 0 {
+		t.Errorf("CumulativeDrop on improving trajectory = %g, want 0", got)
+	}
+	if got := up.CumulativeDrop(metric, 0); got != 0 {
+		t.Errorf("CumulativeDrop(window=0) = %g, want 0", got)
+	}
+}
