@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race cover bench experiments examples
+.PHONY: all build vet test test-race race cover bench experiments examples
 
-all: build vet test
+all: build test
 
 build:
 	go build ./...
@@ -10,8 +10,13 @@ build:
 vet:
 	go vet ./...
 
-test:
+test: vet
 	go test ./...
+
+# Race-check the library packages (the chaos and resilience tests
+# exercise concurrent senders); `race` covers the whole module.
+test-race:
+	go test -race ./internal/...
 
 race:
 	go test -race ./...

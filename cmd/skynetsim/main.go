@@ -25,19 +25,34 @@
 //
 // Targets may be "*" (all devices). Guards are the standard pipeline
 // with a state-space check at badHeatAt.
+//
+// An optional "chaos" block degrades delivery: events then flow over
+// the in-memory bus with the configured loss/duplication and the
+// resilience stack (bounded retries, per-device circuit breakers),
+// and one device can crash mid-run and be recovered from its latest
+// audit-journal checkpoint:
+//
+//	"chaos": {"loss": 0.3, "duplication": 0.1, "maxAttempts": 4,
+//	          "crashDevice": "d1", "crashAtStep": 3, "restartAtStep": 8}
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/guard"
+	"repro/internal/network"
 	"repro/internal/policy"
 	"repro/internal/policylang"
+	"repro/internal/resilience"
+	"repro/internal/sim"
 	"repro/internal/statespace"
 )
 
@@ -54,6 +69,24 @@ type scenario struct {
 	BadWhen []badCondition `json:"badWhen"`
 	Devices []deviceSpec   `json:"devices"`
 	Events  []eventSpec    `json:"events"`
+	// Chaos optionally injects faults; nil keeps direct, lossless
+	// delivery.
+	Chaos *chaosSpec `json:"chaos"`
+}
+
+type chaosSpec struct {
+	// Loss and Duplication are per-message probabilities on the bus.
+	Loss        float64 `json:"loss"`
+	Duplication float64 `json:"duplication"`
+	// MaxAttempts bounds delivery retries (default 3).
+	MaxAttempts int `json:"maxAttempts"`
+	// Seed drives the fault randomness (default 1).
+	Seed int64 `json:"seed"`
+	// CrashDevice is removed at CrashAtStep and, when RestartAtStep is
+	// set, recovered from its latest checkpoint at that step.
+	CrashDevice   string `json:"crashDevice"`
+	CrashAtStep   int    `json:"crashAtStep"`
+	RestartAtStep int    `json:"restartAtStep"`
 }
 
 type badCondition struct {
@@ -113,18 +146,65 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	log := audit.New()
-	collective, err := core.New(core.Config{
+	coreCfg := core.Config{
 		Name:            sc.Name,
 		Audit:           log,
 		KillSecret:      []byte("skynetsim-" + sc.Name),
 		Classifier:      classifier,
 		DenialThreshold: sc.DenialThreshold,
-	})
+	}
+
+	// With a chaos block, events travel over a lossy bus behind the
+	// resilience stack instead of being delivered directly.
+	var (
+		metrics *sim.Metrics
+		bus     *network.Bus
+		sender  *network.ReliableSender
+	)
+	if sc.Chaos != nil {
+		seed := sc.Chaos.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		attempts := sc.Chaos.MaxAttempts
+		if attempts <= 0 {
+			attempts = 3
+		}
+		metrics = sim.NewMetrics()
+		bus = network.NewBus(rand.New(rand.NewSource(seed)),
+			network.WithLoss(sc.Chaos.Loss),
+			network.WithDuplication(sc.Chaos.Duplication),
+			network.WithMetrics(metrics))
+		sender = &network.ReliableSender{
+			Bus: bus,
+			Retry: resilience.Retry{
+				MaxAttempts: attempts,
+				Sleep:       func(time.Duration) {},
+				Rand:        rand.New(rand.NewSource(seed + 1)).Float64,
+			},
+			Breakers: &resilience.BreakerSet{Threshold: 3, Cooldown: time.Minute},
+			Metrics:  metrics,
+		}
+		coreCfg.Bus = bus
+	}
+	collective, err := core.New(coreCfg)
 	if err != nil {
 		return err
 	}
 
+	guardFor := func(spec deviceSpec) guard.Guard {
+		if spec.Unguarded {
+			return nil
+		}
+		return core.StandardPipeline(core.SafetyConfig{
+			Audit:      log,
+			Classifier: classifier,
+		})
+	}
+
+	specByID := make(map[string]deviceSpec, len(sc.Devices))
 	for _, spec := range sc.Devices {
+		specByID[spec.ID] = spec
 		values := map[string]float64{}
 		if len(sc.Variables) == 0 {
 			values["heat"] = spec.Heat
@@ -142,14 +222,9 @@ func run(args []string, out io.Writer) error {
 			Type:         spec.Type,
 			Organization: spec.Org,
 			Initial:      initial,
+			Guard:        guardFor(spec),
 			KillSwitch:   collective.KillSwitch(),
 			Audit:        log,
-		}
-		if !spec.Unguarded {
-			cfg.Guard = core.StandardPipeline(core.SafetyConfig{
-				Audit:      log,
-				Classifier: classifier,
-			})
 		}
 		d, err := device.New(cfg)
 		if err != nil {
@@ -172,6 +247,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	executed, denied := 0, 0
+	sendFailures, recoveries := 0, 0
 	step := 0
 	for _, ev := range sc.Events {
 		repeat := ev.Repeat
@@ -181,23 +257,76 @@ func run(args []string, out io.Writer) error {
 		for r := 0; r < repeat; r++ {
 			step++
 			event := policy.Event{Type: ev.Type, Source: "scenario", Attrs: ev.Attrs}
-			var results map[string][]device.Execution
-			if ev.Target == "*" || ev.Target == "" {
-				results = collective.Command(event)
-			} else {
-				execs, err := collective.Deliver(ev.Target, event)
-				if err != nil {
-					fmt.Fprintf(out, "step %d: %v\n", step, err)
-					continue
+			if sc.Chaos != nil {
+				// Chaos path: per-device bus deliveries through retries
+				// and breakers; execution counts come from the audit
+				// trail afterwards.
+				targets := []string{ev.Target}
+				if ev.Target == "*" || ev.Target == "" {
+					targets = targets[:0]
+					for _, d := range collective.Devices() {
+						targets = append(targets, d.ID())
+					}
 				}
-				results = map[string][]device.Execution{ev.Target: execs}
+				for _, id := range targets {
+					if err := sender.Send(network.Message{
+						From: "scenario", To: id, Topic: "command", Payload: event,
+					}); err != nil {
+						sendFailures++
+					}
+				}
+			} else {
+				var results map[string][]device.Execution
+				if ev.Target == "*" || ev.Target == "" {
+					results = collective.Command(event)
+				} else {
+					execs, err := collective.Deliver(ev.Target, event)
+					if err != nil {
+						fmt.Fprintf(out, "step %d: %v\n", step, err)
+						continue
+					}
+					results = map[string][]device.Execution{ev.Target: execs}
+				}
+				for _, execs := range results {
+					for _, e := range execs {
+						if e.Executed() {
+							executed++
+						} else if !e.Verdict.Allowed() {
+							denied++
+						}
+					}
+				}
 			}
-			for _, execs := range results {
-				for _, e := range execs {
-					if e.Executed() {
-						executed++
-					} else if !e.Verdict.Allowed() {
-						denied++
+			if sc.Chaos != nil {
+				// Checkpoint active devices so a crash is recoverable,
+				// then apply the scripted crash/restart.
+				for _, d := range collective.Devices() {
+					if !d.Deactivated() {
+						_, _ = resilience.Checkpoint(log, d)
+					}
+				}
+				if sc.Chaos.CrashDevice != "" && step == sc.Chaos.CrashAtStep {
+					if collective.RemoveDevice(sc.Chaos.CrashDevice) {
+						fmt.Fprintf(out, "step %d: chaos crashed %s\n", step, sc.Chaos.CrashDevice)
+					}
+				}
+				if sc.Chaos.CrashDevice != "" && sc.Chaos.RestartAtStep > 0 && step == sc.Chaos.RestartAtStep {
+					spec := specByID[sc.Chaos.CrashDevice]
+					d, err := resilience.Recover(log, sc.Chaos.CrashDevice, device.Config{
+						Type:         spec.Type,
+						Organization: spec.Org,
+						Guard:        guardFor(spec),
+						KillSwitch:   collective.KillSwitch(),
+						Audit:        log,
+					})
+					if err != nil {
+						fmt.Fprintf(out, "step %d: recovery failed: %v\n", step, err)
+					} else if err := collective.AddDevice(d, nil); err != nil {
+						fmt.Fprintf(out, "step %d: readmission failed: %v\n", step, err)
+					} else {
+						recoveries++
+						fmt.Fprintf(out, "step %d: chaos recovered %s from checkpoint (state=%s)\n",
+							step, d.ID(), d.CurrentState())
 					}
 				}
 			}
@@ -207,6 +336,10 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 		}
+	}
+	if sc.Chaos != nil {
+		executed = len(log.ByKind(audit.KindAction))
+		denied = len(log.ByKind(audit.KindDenial))
 	}
 
 	fmt.Fprintf(out, "scenario %q complete\n", sc.Name)
@@ -219,6 +352,13 @@ func run(args []string, out io.Writer) error {
 			status = "DEACTIVATED"
 		}
 		fmt.Fprintf(out, "  %s: %s state=%s\n", d.ID(), status, d.CurrentState())
+	}
+	if sc.Chaos != nil {
+		delivered, dropped := bus.Stats()
+		fmt.Fprintf(out, "  chaos: delivered=%d dropped=%d duplicated=%d retries=%d breaker-opens=%d send-failures=%d recoveries=%d\n",
+			delivered, dropped, bus.Duplicated(),
+			metrics.Counter("resilience.retries"), sender.Breakers.Opens(),
+			sendFailures, recoveries)
 	}
 	if err := log.Verify(); err != nil {
 		return fmt.Errorf("audit chain broken: %w", err)

@@ -119,3 +119,41 @@ func TestRunCustomSchemaErrors(t *testing.T) {
 		t.Error("unknown state variable accepted")
 	}
 }
+
+func TestRunChaosScenario(t *testing.T) {
+	path := writeScenario(t, `{
+		"name": "chaos",
+		"badHeatAt": 80,
+		"denialThreshold": 3,
+		"devices": [
+			{"id": "guarded", "heat": 20,
+			 "policies": "policy work: on tick do run category work effect heat += 3"}
+		],
+		"events": [{"type": "tick", "target": "*", "repeat": 12}],
+		"chaos": {"loss": 0.3, "duplication": 0.2, "maxAttempts": 5,
+			"crashDevice": "guarded", "crashAtStep": 4, "restartAtStep": 8}
+	}`)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "chaos crashed guarded") {
+		t.Errorf("crash not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "chaos recovered guarded from checkpoint") {
+		t.Errorf("recovery not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "chaos: delivered=") {
+		t.Errorf("missing chaos summary:\n%s", out)
+	}
+	if !strings.Contains(out, "recoveries=1") {
+		t.Errorf("recovery not counted:\n%s", out)
+	}
+	if !strings.Contains(out, "chain verified") {
+		t.Errorf("audit not verified:\n%s", out)
+	}
+	if !strings.Contains(out, "guarded: active") {
+		t.Errorf("recovered device not active at end:\n%s", out)
+	}
+}

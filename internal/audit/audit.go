@@ -35,6 +35,7 @@ const (
 	KindAdmission  Kind = "admission"
 	KindOversight  Kind = "oversight"
 	KindTamper     Kind = "tamper"
+	KindCheckpoint Kind = "checkpoint"
 	KindNote       Kind = "note"
 )
 

@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Schedule is a named set of faults injected together — one
+// experimental condition in a chaos run.
+type Schedule struct {
+	// Name labels the schedule in experiment tables.
+	Name string
+	// Faults are injected in order when the schedule is applied.
+	Faults []Fault
+}
+
+// Apply schedules every fault on the injector's engine.
+func (s Schedule) Apply(inj *Injector) {
+	for _, f := range s.Faults {
+		f.Inject(inj)
+	}
+}
+
+// FaultNames returns the distinct fault names in order of first
+// appearance, for reporting.
+func (s Schedule) FaultNames() string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, f := range s.Faults {
+		if !seen[f.Name()] {
+			seen[f.Name()] = true
+			names = append(names, f.Name())
+		}
+	}
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, "+")
+}
+
+// LossyLink returns a gossip link hook that drops each anti-entropy
+// push with probability p — the gossip-level counterpart of the bus
+// Loss fault.
+func LossyLink(rng *rand.Rand, p float64) func(from, to string) bool {
+	return func(from, to string) bool { return rng.Float64() >= p }
+}

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/statespace"
 )
@@ -18,7 +20,9 @@ import (
 type Orchestrator struct {
 	collective *Collective
 	engine     *sim.Engine
-	managers   map[string]*device.Manager
+
+	mu       sync.Mutex
+	managers map[string]*device.Manager
 }
 
 // NewOrchestrator builds an orchestrator over the collective and
@@ -43,16 +47,31 @@ func (o *Orchestrator) Manage(deviceID string, period time.Duration,
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDevice, deviceID)
 	}
+	o.mu.Lock()
 	if _, dup := o.managers[deviceID]; dup {
+		o.mu.Unlock()
 		return fmt.Errorf("core: device %q already managed", deviceID)
 	}
 	if period <= 0 {
+		o.mu.Unlock()
 		return fmt.Errorf("core: management period must be positive, got %v", period)
 	}
 	m := &device.Manager{Device: d, Classifier: classifier, Metric: metric}
 	o.managers[deviceID] = m
+	o.mu.Unlock()
 	o.engine.ScheduleEvery(period,
-		func() bool { return !d.Deactivated() },
+		func() bool {
+			// The loop dies when the device deactivates, crashes out of
+			// the collective, or was replaced by a restarted instance;
+			// freeing the manager slot lets the recovered instance be
+			// managed under the same ID.
+			current, present := o.collective.Device(deviceID)
+			if !present || current != d || d.Deactivated() {
+				o.unmanage(deviceID, m)
+				return false
+			}
+			return true
+		},
 		func() {
 			if _, err := m.Tick(o.engine.Clock().Now()); err != nil {
 				// A deactivated device simply stops ticking; other
@@ -61,6 +80,28 @@ func (o *Orchestrator) Manage(deviceID string, period time.Duration,
 			}
 		})
 	return nil
+}
+
+// unmanage frees the manager slot if it still belongs to m.
+func (o *Orchestrator) unmanage(deviceID string, m *device.Manager) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.managers[deviceID] == m {
+		delete(o.managers, deviceID)
+	}
+}
+
+// CommandEvery dispatches the event returned by next through the
+// resilient dispatcher on the given period, until the predicate
+// (nil = forever within the horizon) returns false — the command
+// decomposition of Figure 1 running on the same engine as the
+// autonomic loops, with retries, breakers and deadlines applied per
+// delivery.
+func (o *Orchestrator) CommandEvery(period time.Duration, while func() bool,
+	d *Dispatcher, next func() policy.Event) {
+	o.engine.ScheduleEvery(period, while, func() {
+		d.Command(next())
+	})
 }
 
 // SweepEvery schedules watchdog sweeps on the given period, until the

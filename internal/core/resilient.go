@@ -1,0 +1,68 @@
+package core
+
+import (
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/resilience"
+	"repro/internal/sim"
+)
+
+// Dispatcher decomposes a human command (Figure 1) into per-device
+// deliveries over the bus, with the resilience stack applied to each:
+// bounded retries with backoff for transient drops, a circuit breaker
+// per device so a crashed member stops consuming the retry budget, and
+// an optional per-delivery deadline. This replaces the optimistic
+// Collective.Command path in experiments that inject faults — a
+// command must reach the survivors even when some members are gone.
+type Dispatcher struct {
+	// Collective names the recipients when Roster is empty.
+	Collective *Collective
+	// Sender is the resilient bus wrapper deliveries go through
+	// (required).
+	Sender *network.ReliableSender
+	// Roster fixes the target device IDs; empty means the collective's
+	// current members. A fixed roster keeps dispatching to crashed
+	// devices (exercising breakers) until they recover.
+	Roster []string
+	// Source stamps the dispatched events (default "human").
+	Source string
+	// Deadline bounds each delivery; the zero value disables it.
+	Deadline resilience.Deadline
+	// Metrics observes dispatch outcomes (dispatch.sent,
+	// dispatch.failed); may be nil.
+	Metrics *sim.Metrics
+}
+
+// Command sends the event to every target and returns how many
+// deliveries were accepted by the transport and how many failed after
+// retries (or were rejected by an open breaker).
+func (d *Dispatcher) Command(ev policy.Event) (sent, failed int) {
+	source := d.Source
+	if source == "" {
+		source = "human"
+	}
+	targets := d.Roster
+	if len(targets) == 0 {
+		for _, dev := range d.Collective.Devices() {
+			targets = append(targets, dev.ID())
+		}
+	}
+	for _, id := range targets {
+		msg := network.Message{From: source, To: id, Topic: "command", Payload: ev}
+		err := d.Deadline.Run(func() error { return d.Sender.Send(msg) })
+		if err != nil {
+			failed++
+			d.count("dispatch.failed")
+			continue
+		}
+		sent++
+		d.count("dispatch.sent")
+	}
+	return sent, failed
+}
+
+func (d *Dispatcher) count(name string) {
+	if d.Metrics != nil {
+		d.Metrics.Inc(name, 1)
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE12InvariantsHoldUnderEverySchedule is the acceptance check for
+// the chaos harness: every fault schedule — including loss, partition,
+// crash/restart, duplication and clock skew — must finish with zero
+// guard-invariant violations.
+func TestE12InvariantsHoldUnderEverySchedule(t *testing.T) {
+	result, err := RunE12(E12Params{Seed: 1})
+	if err != nil {
+		t.Fatalf("RunE12: %v", err)
+	}
+	if len(result.Rows) < 5 {
+		t.Fatalf("only %d schedules ran, want >= 5", len(result.Rows))
+	}
+	wantFaults := map[string]bool{
+		"loss": false, "partition": false, "crash": false,
+		"duplication": false, "skew": false,
+	}
+	for _, row := range result.Rows {
+		name, faults, violations := row[0], row[1], row[len(row)-1]
+		if violations != "none" {
+			t.Errorf("schedule %s (%s): violations: %s", name, faults, violations)
+		}
+		for f := range wantFaults {
+			if strings.Contains(faults, f) {
+				wantFaults[f] = true
+			}
+		}
+	}
+	for f, seen := range wantFaults {
+		if !seen {
+			t.Errorf("no schedule exercised the %q fault", f)
+		}
+	}
+}
+
+// TestE12FaultsLeaveTraces asserts the fault model is observable: the
+// degraded schedules show drops, retries, breaker opens, duplicates
+// and recoveries, while every schedule exercises break-glass and
+// deactivation exactly as the healthy baseline does.
+func TestE12FaultsLeaveTraces(t *testing.T) {
+	result, err := RunE12(E12Params{Seed: 1})
+	if err != nil {
+		t.Fatalf("RunE12: %v", err)
+	}
+	cell := func(row, header string) float64 {
+		v, ok := result.CellFloat(row, header)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", row, header)
+		}
+		return v
+	}
+	if cell("baseline", "dropped") != 0 || cell("baseline", "retries") != 0 {
+		t.Error("baseline shows network faults")
+	}
+	if cell("loss30", "dropped") == 0 || cell("loss30", "retries") == 0 {
+		t.Error("loss schedule shows no drops or retries")
+	}
+	if cell("partition", "breaker opens") == 0 {
+		t.Error("partition never opened a breaker")
+	}
+	if cell("crash-restart", "recovered") != 1 {
+		t.Error("crash schedule did not recover the device")
+	}
+	if cell("dup-reorder", "dup") == 0 {
+		t.Error("duplication schedule duplicated nothing")
+	}
+	for _, row := range result.Rows {
+		if bg, _ := result.CellFloat(row[0], "break-glass"); bg < 1 {
+			t.Errorf("schedule %s: break-glass unused", row[0])
+		}
+		if de, _ := result.CellFloat(row[0], "deactivated"); de != 1 {
+			t.Errorf("schedule %s: deactivated = %g, want 1 (the rogue)", row[0], de)
+		}
+	}
+	// Per-fault metrics must be reported for every degraded schedule.
+	notes := strings.Join(result.Notes, "\n")
+	for _, want := range []string{
+		"chaos.loss.injected", "chaos.partition.injected", "chaos.crash.injected",
+		"chaos.duplication.injected", "chaos.skew.injected", "net.dropped.loss",
+	} {
+		if !strings.Contains(notes, want) {
+			t.Errorf("notes missing per-fault metric %q", want)
+		}
+	}
+}

@@ -40,6 +40,8 @@ func All() []Runner {
 			Run: func() (Result, error) { return RunE10(E10Params{}) }},
 		{ID: "E11", Title: "Human error containment (IV, extension)",
 			Run: func() (Result, error) { return RunE11(E11Params{Seed: seed}) }},
+		{ID: "E12", Title: "Chaos resilience — guards under faults (VI–VII)",
+			Run: func() (Result, error) { return RunE12(E12Params{Seed: seed}) }},
 	}
 }
 

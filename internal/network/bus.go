@@ -47,13 +47,16 @@ type Bus struct {
 	mu         sync.Mutex
 	rng        *rand.Rand
 	engine     *sim.Engine
+	metrics    *sim.Metrics
 	nodes      map[string]Handler
 	partition  map[string]int
 	lossProb   float64
+	dupProb    float64
 	minLatency time.Duration
 	maxLatency time.Duration
 	delivered  int
 	dropped    int
+	duplicated int
 }
 
 // BusOption configures a Bus.
@@ -87,15 +90,31 @@ func WithLatency(min, max time.Duration) BusOption {
 
 // WithLoss sets the probability a message is silently lost.
 func WithLoss(p float64) BusOption {
-	return busOptionFunc(func(b *Bus) {
-		if p < 0 {
-			p = 0
-		}
-		if p > 1 {
-			p = 1
-		}
-		b.lossProb = p
-	})
+	return busOptionFunc(func(b *Bus) { b.lossProb = clamp01(p) })
+}
+
+// WithDuplication sets the probability a delivered message is
+// delivered a second time (with independent latency, so duplicates
+// also reorder).
+func WithDuplication(p float64) BusOption {
+	return busOptionFunc(func(b *Bus) { b.dupProb = clamp01(p) })
+}
+
+// WithMetrics mirrors the bus's delivery accounting into a metrics
+// registry (net.delivered, net.dropped.loss, net.dropped.partition,
+// net.duplicated), making the fault model observable by experiments.
+func WithMetrics(m *sim.Metrics) BusOption {
+	return busOptionFunc(func(b *Bus) { b.metrics = m })
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
 }
 
 // NewBus builds a bus. The random source drives loss and latency
@@ -166,6 +185,34 @@ func (b *Bus) Heal() {
 	b.partition = make(map[string]int)
 }
 
+// SetLoss changes the loss probability at runtime (fault injection).
+func (b *Bus) SetLoss(p float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lossProb = clamp01(p)
+}
+
+// SetDuplication changes the duplication probability at runtime.
+func (b *Bus) SetDuplication(p float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dupProb = clamp01(p)
+}
+
+// SetLatency changes the delivery latency range at runtime (slow-link
+// fault injection; requires an engine to take effect).
+func (b *Bus) SetLatency(min, max time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if min < 0 {
+		min = 0
+	}
+	if max < min {
+		max = min
+	}
+	b.minLatency, b.maxLatency = min, max
+}
+
 // Send delivers a message to msg.To. It returns ErrUnknownNode for
 // unattached receivers and ErrDropped for losses and partition blocks.
 // With an engine attached, delivery is asynchronous and Send reports
@@ -179,25 +226,51 @@ func (b *Bus) Send(msg Message) error {
 	}
 	if b.partition[msg.From] != b.partition[msg.To] {
 		b.dropped++
+		b.countLocked("net.dropped.partition")
 		b.mu.Unlock()
 		return fmt.Errorf("%w: partition between %q and %q", ErrDropped, msg.From, msg.To)
 	}
 	if b.lossProb > 0 && b.rng != nil && b.rng.Float64() < b.lossProb {
 		b.dropped++
+		b.countLocked("net.dropped.loss")
 		b.mu.Unlock()
 		return fmt.Errorf("%w: loss", ErrDropped)
 	}
 	engine := b.engine
 	latency := b.sampleLatencyLocked()
+	duplicate := b.dupProb > 0 && b.rng != nil && b.rng.Float64() < b.dupProb
+	var dupLatency time.Duration
+	if duplicate {
+		// An independent latency sample makes duplicates arrive out of
+		// order relative to the original.
+		dupLatency = b.sampleLatencyLocked()
+		b.duplicated++
+		b.countLocked("net.duplicated")
+	}
 	b.delivered++
+	b.countLocked("net.delivered")
 	b.mu.Unlock()
 
 	if engine == nil {
 		h(msg)
+		if duplicate {
+			h(msg)
+		}
 		return nil
 	}
 	engine.Schedule(latency, func() { h(msg) })
+	if duplicate {
+		engine.Schedule(dupLatency, func() { h(msg) })
+	}
 	return nil
+}
+
+// countLocked mirrors one accounting event into the metrics registry;
+// callers hold the bus mutex.
+func (b *Bus) countLocked(name string) {
+	if b.metrics != nil {
+		b.metrics.Inc(name, 1)
+	}
 }
 
 // Broadcast sends the payload to every attached node except the
@@ -216,11 +289,22 @@ func (b *Bus) Broadcast(from, topic string, payload any) int {
 	return n
 }
 
-// Stats returns the delivered and dropped message counts.
+// Stats returns the delivered and dropped message counts. Every Send
+// to an attached, same-partition-checked receiver counts exactly once
+// as delivered or dropped, so delivered+dropped equals attempted sends
+// (duplicates are tracked separately by Duplicated).
 func (b *Bus) Stats() (delivered, dropped int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.delivered, b.dropped
+}
+
+// Duplicated returns how many messages were delivered twice by the
+// duplication fault.
+func (b *Bus) Duplicated() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.duplicated
 }
 
 func (b *Bus) sampleLatencyLocked() time.Duration {

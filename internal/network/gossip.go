@@ -1,9 +1,12 @@
 package network
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"sync"
+
+	"repro/internal/resilience"
 )
 
 // Item is one versioned piece of shared knowledge (a policy, a learned
@@ -80,11 +83,23 @@ func (s *Store) Len() int {
 // stores: each round, every node pushes its snapshot to Fanout random
 // peers. This is the policy/intelligence-sharing channel between
 // devices.
+// errPushDropped marks one anti-entropy push lost by the link fault.
+var errPushDropped = errors.New("network: gossip push dropped")
+
+// Link decides whether one anti-entropy push from → to is delivered;
+// returning false drops it. It is the gossip-level counterpart of the
+// bus's loss knob (gossip exchanges whole snapshots, not bus messages).
+type Link func(from, to string) bool
+
 type Gossip struct {
-	mu     sync.Mutex
-	rng    *rand.Rand
-	fanout int
-	stores map[string]*Store
+	mu      sync.Mutex
+	rng     *rand.Rand
+	fanout  int
+	stores  map[string]*Store
+	link    Link
+	retry   *resilience.Retry
+	dropped int
+	retried int
 }
 
 // NewGossip builds a gossip group with the given fanout (min 1).
@@ -123,6 +138,31 @@ func (g *Gossip) Store(id string) (*Store, bool) {
 	return s, ok
 }
 
+// SetLink installs a per-push fault hook (nil removes it). Dropped
+// pushes are counted in PushStats.
+func (g *Gossip) SetLink(link Link) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.link = link
+}
+
+// SetRetry makes every anti-entropy push retry through the policy
+// when the link drops it, bounding the damage sustained loss can do to
+// convergence time.
+func (g *Gossip) SetRetry(r resilience.Retry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.retry = &r
+}
+
+// PushStats returns how many pushes the link fault dropped and how
+// many retry attempts were spent recovering them.
+func (g *Gossip) PushStats() (dropped, retried int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.dropped, g.retried
+}
+
 // RunRound performs one push round and returns the number of item
 // updates applied across all peers (0 means convergence).
 func (g *Gossip) RunRound() int {
@@ -138,6 +178,12 @@ func (g *Gossip) RunRound() int {
 	}
 	fanout := g.fanout
 	rng := g.rng
+	link := g.link
+	var retry *resilience.Retry
+	if g.retry != nil {
+		r := *g.retry
+		retry = &r
+	}
 	g.mu.Unlock()
 
 	if len(ids) < 2 {
@@ -151,9 +197,45 @@ func (g *Gossip) RunRound() int {
 			if peer == id {
 				continue
 			}
-			updates += stores[peer].Merge(snapshot)
+			updates += g.push(stores, link, retry, id, peer, snapshot)
 		}
 	}
+	return updates
+}
+
+// push delivers one snapshot over the (possibly faulty) link, with
+// retries when a policy is configured, and returns the updates
+// applied.
+func (g *Gossip) push(stores map[string]*Store, link Link, retry *resilience.Retry, from, to string, snapshot []Item) int {
+	deliver := func() (int, error) {
+		if link != nil && !link(from, to) {
+			g.mu.Lock()
+			g.dropped++
+			g.mu.Unlock()
+			return 0, errPushDropped
+		}
+		return stores[to].Merge(snapshot), nil
+	}
+	if retry == nil {
+		n, _ := deliver()
+		return n
+	}
+	updates := 0
+	r := *retry
+	prevOnRetry := r.OnRetry
+	r.OnRetry = func(attempt int, err error) {
+		g.mu.Lock()
+		g.retried++
+		g.mu.Unlock()
+		if prevOnRetry != nil {
+			prevOnRetry(attempt, err)
+		}
+	}
+	_ = r.Do(func() error {
+		n, err := deliver()
+		updates += n
+		return err
+	})
 	return updates
 }
 

@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/resilience"
 )
 
 // WireMessage is the on-the-wire form of a Message: newline-delimited
@@ -24,18 +28,36 @@ type WireMessage struct {
 // when devices run in separate processes. Close stops the listener and
 // waits for connection handlers to drain.
 type Server struct {
-	listener net.Listener
-	handler  func(WireMessage)
+	listener    net.Listener
+	handler     func(WireMessage)
+	idleTimeout time.Duration
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+}
+
+// ServeOption configures a Server.
+type ServeOption interface {
+	applyServe(*Server)
+}
+
+type serveOptionFunc func(*Server)
+
+func (f serveOptionFunc) applyServe(s *Server) { f(s) }
+
+// WithIdleTimeout closes a connection when no bytes arrive for the
+// given duration, so a stalled peer cannot pin a handler goroutine
+// forever. Zero (the default) disables the timeout.
+func WithIdleTimeout(d time.Duration) ServeOption {
+	return serveOptionFunc(func(s *Server) { s.idleTimeout = d })
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0"). The handler is
 // invoked for every decoded message, potentially from multiple
 // goroutines.
-func Serve(addr string, handler func(WireMessage)) (*Server, error) {
+func Serve(addr string, handler func(WireMessage), opts ...ServeOption) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("network: server needs a handler")
 	}
@@ -43,7 +65,10 @@ func Serve(addr string, handler func(WireMessage)) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("network: listen: %w", err)
 	}
-	s := &Server{listener: l, handler: handler}
+	s := &Server{listener: l, handler: handler, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o.applyServe(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -52,7 +77,9 @@ func Serve(addr string, handler func(WireMessage)) (*Server, error) {
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops accepting, closes the listener, and waits for handlers.
+// Close stops accepting, closes the listener and every live
+// connection — a stalled peer must not pin shutdown — and waits for
+// handlers to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -60,10 +87,35 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	s.wg.Wait()
 	return err
+}
+
+// track registers a live connection for forced shutdown; it reports
+// false when the server is already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
 }
 
 func (s *Server) isClosed() bool {
@@ -79,17 +131,41 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer func() { _ = conn.Close() }()
 			s.readLoop(conn)
 		}()
 	}
 }
 
+// idleConn arms a fresh read deadline before every Read, so the
+// scanner unblocks (and the connection closes) once the peer stalls
+// for longer than the timeout.
+type idleConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c idleConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
 func (s *Server) readLoop(conn net.Conn) {
-	scanner := bufio.NewScanner(conn)
+	var r io.Reader = conn
+	if s.idleTimeout > 0 {
+		r = idleConn{Conn: conn, timeout: s.idleTimeout}
+	}
+	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for scanner.Scan() {
 		if s.isClosed() {
@@ -136,6 +212,81 @@ func (c *Client) Send(msg WireMessage) error {
 
 // Close shuts the connection down.
 func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// ResilientClient is a Client that survives connection failures: each
+// Send runs under the retry policy with an optional per-call write
+// deadline, and a failed attempt tears the connection down and redials
+// before the next one.
+type ResilientClient struct {
+	// Retry bounds redial-and-resend attempts; the zero value tries
+	// three times.
+	Retry resilience.Retry
+	// SendTimeout bounds each write on the wire; zero disables it.
+	SendTimeout time.Duration
+
+	addr string
+	mu   sync.Mutex
+	conn *Client
+}
+
+// DialResilient connects to a Server, keeping the address for
+// automatic reconnection.
+func DialResilient(addr string, retry resilience.Retry) (*ResilientClient, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ResilientClient{Retry: retry, addr: addr, conn: c}, nil
+}
+
+// Send transmits one message, redialing between attempts when the
+// connection failed.
+func (c *ResilientClient) Send(msg WireMessage) error {
+	return c.Retry.Do(func() error {
+		c.mu.Lock()
+		client := c.conn
+		c.mu.Unlock()
+		if client == nil {
+			fresh, err := Dial(c.addr)
+			if err != nil {
+				return err
+			}
+			c.mu.Lock()
+			c.conn = fresh
+			client = fresh
+			c.mu.Unlock()
+		}
+		if c.SendTimeout > 0 {
+			client.mu.Lock()
+			if client.conn != nil {
+				_ = client.conn.SetWriteDeadline(time.Now().Add(c.SendTimeout))
+			}
+			client.mu.Unlock()
+		}
+		if err := client.Send(msg); err != nil {
+			c.mu.Lock()
+			if c.conn == client {
+				_ = client.Close()
+				c.conn = nil
+			}
+			c.mu.Unlock()
+			return err
+		}
+		return nil
+	})
+}
+
+// Close shuts the current connection down.
+func (c *ResilientClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {

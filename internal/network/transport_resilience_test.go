@@ -1,0 +1,143 @@
+package network
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// TestServerIdleTimeoutUnpinsStalledPeer verifies a peer that connects
+// and then goes silent cannot pin its handler goroutine: the server
+// closes the connection once the idle timeout elapses (observed as EOF
+// on the peer's side), and Close does not hang waiting on the stalled
+// reader.
+func TestServerIdleTimeoutUnpinsStalledPeer(t *testing.T) {
+	var mu sync.Mutex
+	received := 0
+	srv, err := Serve("127.0.0.1:0", func(WireMessage) {
+		mu.Lock()
+		received++
+		mu.Unlock()
+	}, WithIdleTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	// A message inside the window is delivered normally.
+	if _, err := conn.Write([]byte(`{"from":"a","to":"b","topic":"t"}` + "\n")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return received == 1
+	})
+
+	// Then the peer stalls. The server must drop the connection: the
+	// next read on our side reports the close.
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatalf("SetReadDeadline: %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("stalled connection still open after idle timeout")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("server never closed the stalled connection")
+	}
+
+	// With the stalled handler unpinned, Close returns promptly.
+	done := make(chan struct{})
+	go func() { _ = srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung on a stalled connection")
+	}
+}
+
+// TestResilientClientRedialsAfterConnectionLoss drops the client's
+// connection out from under it and checks the next Send transparently
+// redials.
+func TestResilientClientRedialsAfterConnectionLoss(t *testing.T) {
+	var mu sync.Mutex
+	var got []WireMessage
+	srv, err := Serve("127.0.0.1:0", func(m WireMessage) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	client, err := DialResilient(srv.Addr(), resilience.Retry{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("DialResilient: %v", err)
+	}
+	defer func() { _ = client.Close() }()
+	client.SendTimeout = time.Second
+
+	if err := client.Send(WireMessage{From: "a", To: "b", Topic: "t", Payload: "one"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// Sever the connection; the next Send must redial and succeed.
+	if err := client.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := client.Send(WireMessage{From: "a", To: "b", Topic: "t", Payload: "two"}); err != nil {
+		t.Fatalf("Send after connection loss: %v", err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	// The two sends travelled over different connections, so arrival
+	// order is not guaranteed — check both payloads landed.
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]bool{}
+	for _, m := range got {
+		seen[m.Payload] = true
+	}
+	if !seen["one"] || !seen["two"] {
+		t.Errorf("payloads received = %v, want one and two", got)
+	}
+}
+
+// TestResilientClientExhaustsRetriesWhenServerGone shuts the server
+// down and checks Send fails with the retry budget spent rather than
+// hanging.
+func TestResilientClientExhaustsRetriesWhenServerGone(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(WireMessage) {})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	client, err := DialResilient(srv.Addr(), resilience.Retry{
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("DialResilient: %v", err)
+	}
+	_ = srv.Close()
+	_ = client.Close()
+
+	if err := client.Send(WireMessage{From: "a", To: "b"}); err == nil {
+		t.Fatal("Send succeeded with the server gone")
+	}
+}

@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned when a circuit breaker rejects a call without
+// attempting it.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerState is a circuit breaker's current disposition.
+type BreakerState int
+
+// Breaker states.
+const (
+	// StateClosed passes calls through and counts failures.
+	StateClosed BreakerState = iota
+	// StateOpen rejects calls until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen lets a single probe through; its outcome decides
+	// whether the breaker closes or re-opens.
+	StateHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a circuit breaker: after Threshold consecutive failures
+// it opens and rejects calls immediately, sparing a struggling peer
+// (and the caller's retry budget); after Cooldown it admits one probe
+// and closes again on success. All methods are safe for concurrent
+// use.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before probing
+	// (default 1s). Measured against Now, so virtual clocks work.
+	Cooldown time.Duration
+	// Now supplies the time source (default time.Now).
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	opens    int
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a call may proceed right now. An allowed call
+// must be followed by Record to report its outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown() {
+			b.state = StateHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case StateHalfOpen:
+		if b.probing {
+			return false // one probe at a time
+		}
+		b.probing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Record reports the outcome of an allowed call.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = StateClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case StateHalfOpen:
+		b.trip()
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker; callers hold the mutex.
+func (b *Breaker) trip() {
+	b.state = StateOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.opens++
+}
+
+// Do gates op behind the breaker: it returns ErrOpen without calling
+// op when the circuit is open, and records op's outcome otherwise.
+func (b *Breaker) Do(op func() error) error {
+	if !b.Allow() {
+		return ErrOpen
+	}
+	err := op()
+	b.Record(err)
+	return err
+}
+
+// State returns the breaker's current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped.
+func (b *Breaker) Opens() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// BreakerSet manages one breaker per peer, created on first use from
+// the template configuration. It is safe for concurrent use.
+type BreakerSet struct {
+	// Threshold, Cooldown and Now configure each created breaker.
+	Threshold int
+	Cooldown  time.Duration
+	Now       func() time.Time
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+}
+
+// For returns the breaker guarding the given peer, creating it if
+// needed.
+func (s *BreakerSet) For(peer string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.breakers == nil {
+		s.breakers = make(map[string]*Breaker)
+	}
+	b, ok := s.breakers[peer]
+	if !ok {
+		b = &Breaker{Threshold: s.Threshold, Cooldown: s.Cooldown, Now: s.Now}
+		s.breakers[peer] = b
+	}
+	return b
+}
+
+// Opens returns the total trip count across all peers.
+func (s *BreakerSet) Opens() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, b := range s.breakers {
+		total += b.Opens()
+	}
+	return total
+}
+
+// OpenPeers returns the peers whose breakers are not closed.
+func (s *BreakerSet) OpenPeers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for peer, b := range s.breakers {
+		if b.State() != StateClosed {
+			out = append(out, peer)
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDeadlineExceeded is returned when a call overran its time budget.
+var ErrDeadlineExceeded = errors.New("resilience: deadline exceeded")
+
+// Deadline bounds a call's duration against a clock. In the
+// discrete-event simulation the clock is virtual and a callee that
+// schedules too much work overruns it; on a real deployment Now is
+// time.Now and the budget is wall time. A zero Budget disables the
+// check.
+type Deadline struct {
+	// Budget is the maximum allowed elapsed time.
+	Budget time.Duration
+	// Now supplies the time source (default time.Now).
+	Now func() time.Time
+}
+
+// Run executes op and returns ErrDeadlineExceeded (wrapping op's own
+// error, if any) when the elapsed time exceeded the budget.
+func (d Deadline) Run(op func() error) error {
+	if d.Budget <= 0 {
+		return op()
+	}
+	now := d.Now
+	if now == nil {
+		now = time.Now
+	}
+	start := now()
+	err := op()
+	if elapsed := now().Sub(start); elapsed > d.Budget {
+		if err != nil {
+			return fmt.Errorf("%w (%v > %v): %w", ErrDeadlineExceeded, elapsed, d.Budget, err)
+		}
+		return fmt.Errorf("%w (%v > %v)", ErrDeadlineExceeded, elapsed, d.Budget)
+	}
+	return err
+}

@@ -1,0 +1,118 @@
+// Package resilience provides the fault-tolerance primitives the
+// collective needs to keep its guard invariants intact on a degraded
+// network: bounded retries with exponential backoff and jitter,
+// per-call deadlines against a (virtual or wall) clock, per-peer
+// circuit breakers, and a crash-recovery path that restores a device's
+// policies and state from the tamper-evident audit journal.
+//
+// The paper argues (Sections VI–VII) that policy guards keep a device
+// collective out of bad states even when parts of the system
+// misbehave; this package supplies the machinery that lets the rest of
+// the framework demonstrate that claim under injected faults (see
+// internal/chaos) instead of assuming a healthy collective.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrAttemptsExhausted wraps the final error after every retry attempt
+// failed.
+var ErrAttemptsExhausted = errors.New("resilience: attempts exhausted")
+
+// Retry is a bounded retry policy with exponential backoff and
+// optional jitter. The zero value retries three times with no waiting,
+// which suits discrete-event simulations where redelivery is immediate
+// and the interesting signal is the attempt count.
+type Retry struct {
+	// MaxAttempts bounds the total tries (default 3).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 10ms when a Sleep
+	// is configured).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter spreads each delay by ±Jitter fraction (0..1) to avoid
+	// synchronized retry storms across devices.
+	Jitter float64
+	// Rand yields uniform samples in [0,1) for jitter; required when
+	// Jitter > 0.
+	Rand func() float64
+	// Sleep waits between attempts; nil retries immediately (the
+	// simulation engine advances virtual time independently).
+	Sleep func(time.Duration)
+	// Retryable classifies errors; nil retries every error. Permanent
+	// errors (e.g. an unknown receiver) should return false to fail
+	// fast.
+	Retryable func(error) bool
+	// OnRetry observes each re-attempt (for metrics); may be nil.
+	OnRetry func(attempt int, err error)
+}
+
+// Attempts returns the effective attempt bound.
+func (r Retry) Attempts() int {
+	if r.MaxAttempts <= 0 {
+		return 3
+	}
+	return r.MaxAttempts
+}
+
+// Delay returns the backoff delay before retry number attempt
+// (0-based), with jitter applied.
+func (r Retry) Delay(attempt int) time.Duration {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := r.MaxDelay
+	if max <= 0 {
+		max = time.Second
+	}
+	mult := r.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	if r.Jitter > 0 && r.Rand != nil {
+		// Spread across [1-Jitter, 1+Jitter).
+		d *= 1 + r.Jitter*(2*r.Rand()-1)
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	return time.Duration(d)
+}
+
+// Do runs op until it succeeds, returns a non-retryable error, or the
+// attempt budget is exhausted (returning the last error wrapped in
+// ErrAttemptsExhausted).
+func (r Retry) Do(op func() error) error {
+	attempts := r.Attempts()
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && r.OnRetry != nil {
+			r.OnRetry(i, err)
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		if r.Retryable != nil && !r.Retryable(err) {
+			return err
+		}
+		if i < attempts-1 && r.Sleep != nil {
+			r.Sleep(r.Delay(i))
+		}
+	}
+	return fmt.Errorf("%w after %d attempts: %w", ErrAttemptsExhausted, attempts, err)
+}

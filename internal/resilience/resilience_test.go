@@ -1,0 +1,194 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry{MaxAttempts: 5}.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Retry{MaxAttempts: 4}.Do(func() error { calls++; return boom })
+	if !errors.Is(err, ErrAttemptsExhausted) || !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if calls != 4 {
+		t.Errorf("calls = %d, want 4", calls)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	permanent := errors.New("permanent")
+	calls := 0
+	err := Retry{
+		MaxAttempts: 5,
+		Retryable:   func(err error) bool { return !errors.Is(err, permanent) },
+	}.Do(func() error { calls++; return permanent })
+	if !errors.Is(err, permanent) || errors.Is(err, ErrAttemptsExhausted) {
+		t.Errorf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	r := Retry{BaseDelay: 10 * time.Millisecond, MaxDelay: 60 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{10, 20, 40, 60, 60}
+	for i, w := range want {
+		if got := r.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryJitterStaysInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := Retry{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5, Rand: rng.Float64}
+	for i := 0; i < 200; i++ {
+		d := r.Delay(0)
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms,150ms]", d)
+		}
+	}
+}
+
+func TestRetrySleepsBetweenAttempts(t *testing.T) {
+	var slept []time.Duration
+	r := Retry{
+		MaxAttempts: 3,
+		BaseDelay:   5 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	_ = r.Do(func() error { return errors.New("x") })
+	if len(slept) != 2 {
+		t.Errorf("slept %d times, want 2 (no sleep after the final attempt)", len(slept))
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	b := &Breaker{Threshold: 3, Cooldown: time.Second, Now: func() time.Time { return now }}
+	boom := errors.New("boom")
+
+	for i := 0; i < 3; i++ {
+		if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+
+	now = now.Add(time.Second) // cooldown elapses → half-open probe
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != StateClosed {
+		t.Errorf("state after good probe = %v, want closed", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Errorf("opens = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	now := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, Now: func() time.Time { return now }}
+	boom := errors.New("boom")
+	_ = b.Do(func() error { return boom })
+	now = now.Add(time.Second)
+	_ = b.Do(func() error { return boom }) // failed probe
+	if b.State() != StateOpen {
+		t.Errorf("state = %v, want open after failed probe", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Errorf("opens = %d, want 2", b.Opens())
+	}
+}
+
+func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	now := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, Now: func() time.Time { return now }}
+	_ = b.Do(func() error { return errors.New("x") })
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("first probe rejected")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+}
+
+func TestBreakerSetPerPeer(t *testing.T) {
+	s := &BreakerSet{Threshold: 1, Cooldown: time.Minute}
+	boom := errors.New("boom")
+	_ = s.For("bad-peer").Do(func() error { return boom })
+	if s.For("good-peer").State() != StateClosed {
+		t.Error("good peer's breaker affected by bad peer")
+	}
+	if s.Opens() != 1 {
+		t.Errorf("Opens = %d, want 1", s.Opens())
+	}
+	open := s.OpenPeers()
+	if len(open) != 1 || open[0] != "bad-peer" {
+		t.Errorf("OpenPeers = %v", open)
+	}
+	if s.For("bad-peer") != s.For("bad-peer") {
+		t.Error("For returned different breakers for the same peer")
+	}
+}
+
+func TestDeadlineOverrun(t *testing.T) {
+	now := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	d := Deadline{Budget: 100 * time.Millisecond, Now: clock}
+
+	if err := d.Run(func() error { return nil }); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := d.Run(func() error {
+		now = now.Add(200 * time.Millisecond) // callee consumed virtual time
+		return nil
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+
+	boom := errors.New("boom")
+	err = d.Run(func() error {
+		now = now.Add(200 * time.Millisecond)
+		return boom
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want deadline wrapping boom", err)
+	}
+}
+
+func TestDeadlineDisabled(t *testing.T) {
+	if err := (Deadline{}).Run(func() error { return nil }); err != nil {
+		t.Errorf("zero deadline: %v", err)
+	}
+}
