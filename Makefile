@@ -11,7 +11,7 @@ vet:
 	go vet ./...
 
 test: vet
-	go test ./...
+	go test -shuffle=on ./...
 
 # Race-check the library packages (the chaos and resilience tests
 # exercise concurrent senders); `race` covers the whole module.
@@ -24,8 +24,10 @@ race:
 cover:
 	go test -cover ./...
 
+# Benchmarks: 5 repetitions per benchmark, results mirrored to
+# bench.txt for before/after comparisons (see EXPERIMENTS.md E13).
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem -count=5 ./... | tee bench.txt
 
 experiments:
 	go run ./cmd/experiments

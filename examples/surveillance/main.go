@@ -209,7 +209,9 @@ func run() error {
 		}, Log: auditLog},
 	}
 	for _, peer := range []*device.Device{chem, mule} {
-		adopted, rejected, err := gen.PoliciesFor(network.DeviceInfo{
+		// Adopt installs each discovery's policies as one batch, so the
+		// drone's decision plane recompiles once per discovery.
+		adopted, rejected, err := gen.Adopt(drone.Policies(), network.DeviceInfo{
 			ID: peer.ID(), Type: peer.Type(), Organization: peer.Organization(),
 		})
 		if err != nil {
@@ -217,11 +219,6 @@ func run() error {
 		}
 		fmt.Printf("discovery of %s: %d policies generated, %d rejected by oversight\n",
 			peer.ID(), len(adopted), len(rejected))
-		for _, p := range adopted {
-			if err := drone.Policies().Add(p); err != nil {
-				return err
-			}
-		}
 	}
 
 	// Mission: smoke, then a convoy.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/network"
 	"repro/internal/policy"
+	"repro/internal/sim"
 	"repro/internal/statespace"
 )
 
@@ -291,6 +292,23 @@ func (c *Collective) handlerFor(d *device.Device) network.Handler {
 				}
 			}
 		}
+	}
+}
+
+// RecordPolicyMetrics publishes each member's decision-plane counters
+// into the metrics registry: gauges policy.epoch.<id> (snapshot epoch
+// last evaluated under), policy.compiles.<id> and
+// policy.compile_ms.<id> (latest compile latency). A nil registry is
+// a no-op.
+func (c *Collective) RecordPolicyMetrics(m *sim.Metrics) {
+	if m == nil {
+		return
+	}
+	for _, d := range c.Devices() {
+		stats := d.Policies().Stats()
+		m.SetGauge("policy.epoch."+d.ID(), float64(d.PolicyEpoch()))
+		m.SetGauge("policy.compiles."+d.ID(), float64(stats.Compiles))
+		m.SetGauge("policy.compile_ms."+d.ID(), float64(stats.LastCompile.Microseconds())/1000)
 	}
 }
 

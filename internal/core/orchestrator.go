@@ -21,6 +21,12 @@ type Orchestrator struct {
 	collective *Collective
 	engine     *sim.Engine
 
+	// Metrics, when set, receives per-device decision-plane gauges on
+	// every managed tick: the snapshot epoch the device last evaluated
+	// under and the policy compile latency (policy.epoch.<id>,
+	// policy.compiles.<id>, policy.compile_ms.<id>).
+	Metrics *sim.Metrics
+
 	mu       sync.Mutex
 	managers map[string]*device.Manager
 }
@@ -77,6 +83,12 @@ func (o *Orchestrator) Manage(deviceID string, period time.Duration,
 				// A deactivated device simply stops ticking; other
 				// errors surface through the device's audit trail.
 				return
+			}
+			if o.Metrics != nil {
+				stats := d.Policies().Stats()
+				o.Metrics.SetGauge("policy.epoch."+deviceID, float64(d.PolicyEpoch()))
+				o.Metrics.SetGauge("policy.compiles."+deviceID, float64(stats.Compiles))
+				o.Metrics.SetGauge("policy.compile_ms."+deviceID, float64(stats.LastCompile.Microseconds())/1000)
 			}
 		})
 	return nil

@@ -58,6 +58,12 @@ func (d *Dispatcher) Command(ev policy.Event) (sent, failed int) {
 		sent++
 		d.count("dispatch.sent")
 	}
+	if d.Collective != nil {
+		// Snapshot epochs and compile latency move when commands land
+		// on devices whose sets were just mutated; publish them with
+		// the dispatch outcome so operators see both planes together.
+		d.Collective.RecordPolicyMetrics(d.Metrics)
+	}
 	return sent, failed
 }
 

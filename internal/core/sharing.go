@@ -96,18 +96,15 @@ func (x *PolicyExchange) Accepted(deviceID string) ([]policy.Policy, error) {
 
 // Install merges every accepted policy into the device's policy set
 // (replacing older revisions of the same ID) and returns how many were
-// installed.
+// installed. The batch is applied as one mutation, so the decision
+// plane recompiles once per sync, not once per policy.
 func (x *PolicyExchange) Install(deviceID string, set *policy.Set) (int, error) {
 	accepted, err := x.Accepted(deviceID)
 	if err != nil {
 		return 0, err
 	}
-	installed := 0
-	for _, p := range accepted {
-		if err := set.Replace(p); err != nil {
-			return installed, err
-		}
-		installed++
+	if err := set.ReplaceBatch(accepted); err != nil {
+		return 0, err
 	}
-	return installed, nil
+	return len(accepted), nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/audit"
 	"repro/internal/guard"
@@ -74,6 +75,8 @@ type Device struct {
 	org  string
 	kill *guard.KillSwitch
 	log  *audit.Log
+
+	lastEpoch atomic.Uint64
 
 	mu          sync.Mutex
 	state       statespace.State
@@ -241,9 +244,11 @@ func (d *Device) Sense() error {
 }
 
 // HandleEvent runs the device's logic for one event: evaluate the
-// policy set, pass each directed action through the guard, execute
-// allowed actions, apply their state effects, and discharge attached
-// obligations. It returns one Execution per directed action.
+// compiled policy snapshot, pass each directed action through the
+// guard (carrying the same snapshot, so decision and check see one
+// consistent policy state), execute allowed actions, apply their
+// state effects, and discharge attached obligations. It returns one
+// Execution per directed action.
 func (d *Device) HandleEvent(ev policy.Event) ([]Execution, error) {
 	d.mu.Lock()
 	if d.deactivated {
@@ -251,18 +256,25 @@ func (d *Device) HandleEvent(ev policy.Event) ([]Execution, error) {
 		return nil, ErrDeactivated
 	}
 	env := policy.Env{Event: ev, State: d.state}
-	decision := d.policies.Evaluate(env)
 	g := d.guard
 	d.mu.Unlock()
 
+	snap := d.policies.Snapshot()
+	decision := snap.Evaluate(env)
+	d.lastEpoch.Store(snap.Epoch())
+
 	var out []Execution
 	for _, action := range decision.Actions {
-		out = append(out, d.executeOne(env, g, action))
+		out = append(out, d.executeOne(env, g, snap, action))
 	}
 	return out, nil
 }
 
-func (d *Device) executeOne(env policy.Env, g guard.Guard, action policy.Action) Execution {
+// PolicyEpoch returns the snapshot epoch of the device's most recent
+// policy evaluation (zero before the first event).
+func (d *Device) PolicyEpoch() uint64 { return d.lastEpoch.Load() }
+
+func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action) Execution {
 	d.mu.Lock()
 	next, err := d.state.Apply(action.Effect)
 	if err != nil {
@@ -271,11 +283,12 @@ func (d *Device) executeOne(env policy.Env, g guard.Guard, action policy.Action)
 		next = statespace.State{}
 	}
 	ctx := guard.ActionContext{
-		Actor:  d.id,
-		Action: action,
-		State:  d.state,
-		Next:   next,
-		Env:    env,
+		Actor:    d.id,
+		Action:   action,
+		State:    d.state,
+		Next:     next,
+		Env:      env,
+		Policies: snap,
 	}
 	d.mu.Unlock()
 

@@ -481,3 +481,61 @@ func TestManagerDeadDevice(t *testing.T) {
 		t.Errorf("Tick on dead device = %v", err)
 	}
 }
+
+func TestPolicyEpochTracksSnapshot(t *testing.T) {
+	d := newDevice(t)
+	movePolicy(t, d)
+	if d.PolicyEpoch() != 0 {
+		t.Errorf("epoch before first event = %d", d.PolicyEpoch())
+	}
+	if _, err := d.HandleEvent(policy.Event{Type: "tick"}); err != nil {
+		t.Fatalf("HandleEvent: %v", err)
+	}
+	first := d.PolicyEpoch()
+	if first == 0 {
+		t.Fatal("epoch not recorded after event")
+	}
+	if _, err := d.HandleEvent(policy.Event{Type: "tick"}); err != nil {
+		t.Fatalf("HandleEvent: %v", err)
+	}
+	if d.PolicyEpoch() != first {
+		t.Errorf("epoch moved without mutation: %d -> %d", first, d.PolicyEpoch())
+	}
+	if err := d.Policies().Replace(policy.Policy{
+		ID: "move", EventType: "tick", Modality: policy.ModalityDo,
+		Action: policy.Action{Name: "move"},
+	}); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	if _, err := d.HandleEvent(policy.Event{Type: "tick"}); err != nil {
+		t.Fatalf("HandleEvent: %v", err)
+	}
+	if d.PolicyEpoch() <= first {
+		t.Errorf("epoch did not advance after mutation: %d", d.PolicyEpoch())
+	}
+}
+
+// TestGuardSeesDecisionSnapshot checks that the guard is handed the
+// same immutable snapshot the decision was evaluated under.
+func TestGuardSeesDecisionSnapshot(t *testing.T) {
+	capture := &guardCaptureSnapshot{}
+	d := newDevice(t, func(c *Config) { c.Guard = capture })
+	movePolicy(t, d)
+	if _, err := d.HandleEvent(policy.Event{Type: "tick"}); err != nil {
+		t.Fatalf("HandleEvent: %v", err)
+	}
+	if capture.seen == nil {
+		t.Fatal("guard did not receive the decision snapshot")
+	}
+	if capture.seen.Epoch() != d.PolicyEpoch() {
+		t.Errorf("guard snapshot epoch %d != device epoch %d", capture.seen.Epoch(), d.PolicyEpoch())
+	}
+}
+
+type guardCaptureSnapshot struct{ seen *policy.Snapshot }
+
+func (*guardCaptureSnapshot) Name() string { return "capture" }
+func (g *guardCaptureSnapshot) Check(ctx guard.ActionContext) guard.Verdict {
+	g.seen = ctx.Policies
+	return guard.Verdict{Decision: guard.DecisionAllow, Action: ctx.Action, Guard: "capture"}
+}

@@ -112,6 +112,6 @@ func (d *Device) PlanAndExecute(pl *Planner, env policy.Env, candidates []policy
 		return plan, Execution{Action: plan.Action, Verdict: plan.Verdict}, nil
 	}
 	// The guard already ruled; execute without re-checking.
-	exec := d.executeOne(env, nil, plan.Action)
+	exec := d.executeOne(env, nil, d.policies.Snapshot(), plan.Action)
 	return plan, exec, nil
 }

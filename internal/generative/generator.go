@@ -83,6 +83,23 @@ func (g *Generator) PoliciesFor(info network.DeviceInfo) ([]policy.Policy, []Rej
 	return adopted, rejected, nil
 }
 
+// Adopt generates policies for a discovered peer and installs the
+// adopted batch into the set in one mutation — a single decision-plane
+// invalidation and one snapshot recompile per discovery, instead of
+// one per policy. Existing revisions of the same policy IDs are
+// replaced (re-discovery refreshes bindings). It returns the adopted
+// policies alongside oversight rejections.
+func (g *Generator) Adopt(set *policy.Set, info network.DeviceInfo) ([]policy.Policy, []Rejected, error) {
+	adopted, rejected, err := g.PoliciesFor(info)
+	if err != nil {
+		return nil, rejected, err
+	}
+	if err := set.ReplaceBatch(adopted); err != nil {
+		return nil, rejected, err
+	}
+	return adopted, rejected, nil
+}
+
 func (g *Generator) bindings(info network.DeviceInfo) map[string]string {
 	b := map[string]string{
 		"device": info.ID,

@@ -44,6 +44,12 @@ type ActionContext struct {
 	Next statespace.State
 	// Env is the policy environment that produced the action.
 	Env policy.Env
+	// Policies is the immutable decision-plane snapshot the action was
+	// decided under. Guards consult it instead of re-evaluating the
+	// live, mutable set, so a reprogramming attack racing the guard
+	// check cannot change the rules mid-flight. Nil when the action
+	// did not come through policy evaluation.
+	Policies *policy.Snapshot
 }
 
 // Decision is a guard's ruling on an action.
@@ -141,11 +147,18 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 				lastReason = v.Reason
 			}
 			if v.BrokeGlass && p.log != nil {
-				p.log.Append(audit.KindBreakGlass, ctx.Actor, v.Reason, map[string]string{
+				entryCtx := map[string]string{
 					"guard":  v.Guard,
 					"action": current.Action.Name,
 					"state":  ctx.State.String(),
-				})
+				}
+				// The snapshot epoch pins the exact policy state the
+				// decision was made under — the "comprehensive context
+				// information" break-glass audits require.
+				if ctx.Policies != nil {
+					entryCtx["policy-epoch"] = fmt.Sprintf("%d", ctx.Policies.Epoch())
+				}
+				p.log.Append(audit.KindBreakGlass, ctx.Actor, v.Reason, entryCtx)
 			}
 		case DecisionDeny, DecisionDeactivate:
 			if p.log != nil {
@@ -153,10 +166,14 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 				if v.Decision == DecisionDeactivate {
 					kind = audit.KindDeactivate
 				}
-				p.log.Append(kind, ctx.Actor, v.Reason, map[string]string{
+				entryCtx := map[string]string{
 					"guard":  v.Guard,
 					"action": ctx.Action.Name,
-				})
+				}
+				if ctx.Policies != nil {
+					entryCtx["policy-epoch"] = fmt.Sprintf("%d", ctx.Policies.Epoch())
+				}
+				p.log.Append(kind, ctx.Actor, v.Reason, entryCtx)
 			}
 			return v
 		default:

@@ -118,6 +118,35 @@ func (r RequireCondition) Check(p policy.Policy) (bool, string) {
 	return true, "condition present"
 }
 
+// StaticallyVetoed rejects do-policies the compiled decision plane
+// would never execute: a standing forbid of equal or higher priority
+// covers the candidate's action on an overlapping event type, so
+// adopting it would only bloat the set. The rule reads the immutable
+// snapshot — it never scans the live, mutable set.
+type StaticallyVetoed struct {
+	// Snapshot supplies the decision-plane snapshot to review against
+	// (typically Set.Snapshot of the adopting device). Nil, or a nil
+	// snapshot, approves.
+	Snapshot func() *policy.Snapshot
+}
+
+var _ ScopeRule = StaticallyVetoed{}
+
+// Check rejects statically dead candidates.
+func (r StaticallyVetoed) Check(p policy.Policy) (bool, string) {
+	if r.Snapshot == nil {
+		return true, "no snapshot source configured"
+	}
+	snap := r.Snapshot()
+	if snap == nil {
+		return true, "no snapshot available"
+	}
+	if id, vetoed := snap.VetoesStatically(p); vetoed {
+		return false, fmt.Sprintf("standing forbid %s statically vetoes the candidate (snapshot epoch %d)", id, snap.Epoch())
+	}
+	return true, "not statically vetoed"
+}
+
 // PriorityCap rejects policies above a maximum priority, preventing a
 // generated policy from outranking human safety policies.
 type PriorityCap struct {

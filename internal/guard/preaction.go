@@ -43,6 +43,14 @@ type PreActionGuard struct {
 	// ObligationBudget bounds the total obligation cost attached per
 	// action; zero means unlimited.
 	ObligationBudget float64
+	// RespectForbids re-checks the action against the decision-plane
+	// snapshot carried in the context: any matching forbid policy that
+	// covers the action denies it, regardless of priority. This is
+	// defense in depth for actions that did not come through Evaluate
+	// (injected commands, direct actuator requests) — the check reads
+	// the immutable snapshot, never the live set, so it cannot race a
+	// reprogramming attack. Contexts without a snapshot pass.
+	RespectForbids bool
 }
 
 var _ Guard = (*PreActionGuard)(nil)
@@ -55,6 +63,15 @@ func (g *PreActionGuard) Name() string { return "pre-action" }
 func (g *PreActionGuard) Check(ctx ActionContext) Verdict {
 	if ctx.Action.IsNoAction() {
 		return Verdict{Decision: DecisionAllow, Action: ctx.Action, Guard: g.Name(), Reason: "no-op"}
+	}
+	if g.RespectForbids && ctx.Policies != nil {
+		if id, forbidden := ctx.Policies.ForbidsAction(ctx.Env, ctx.Action); forbidden {
+			return Verdict{
+				Decision: DecisionDeny,
+				Guard:    g.Name(),
+				Reason:   fmt.Sprintf("forbid policy %s covers %s (snapshot epoch %d)", id, ctx.Action.Name, ctx.Policies.Epoch()),
+			}
+		}
 	}
 	if g.Predictor != nil {
 		p := g.Predictor.PredictHarm(ctx)

@@ -1,0 +1,142 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// snapshotFixture compiles a set with one standing forbid over "strike"
+// events covering the "strike" action at priority 50.
+func snapshotFixture(t *testing.T) *policy.Snapshot {
+	t.Helper()
+	set := policy.NewSet()
+	if err := set.Add(policy.Policy{
+		ID: "no-strike", EventType: "strike-request", Modality: policy.ModalityForbid,
+		Priority: 50, Action: policy.Action{Name: "strike"},
+	}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	return set.Snapshot()
+}
+
+func TestPreActionRespectForbids(t *testing.T) {
+	s := guardSchema(t)
+	snap := snapshotFixture(t)
+	g := &PreActionGuard{RespectForbids: true}
+
+	// A forbidden action injected outside Evaluate is caught.
+	ctx := ctxAt(t, s, 0, 0, policy.Action{Name: "strike"})
+	ctx.Env = policy.Env{Event: policy.Event{Type: "strike-request"}}
+	ctx.Policies = snap
+	v := g.Check(ctx)
+	if v.Allowed() {
+		t.Fatalf("forbidden action allowed: %+v", v)
+	}
+	if !strings.Contains(v.Reason, "no-strike") || !strings.Contains(v.Reason, "epoch") {
+		t.Errorf("reason = %q", v.Reason)
+	}
+
+	// An uncovered action passes.
+	ctx.Action = policy.Action{Name: "move"}
+	if v := g.Check(ctx); !v.Allowed() {
+		t.Errorf("uncovered action denied: %s", v.Reason)
+	}
+
+	// No snapshot in context: the check is skipped, not failed closed —
+	// the guard cannot consult a plane that is not there.
+	bare := ctxAt(t, s, 0, 0, policy.Action{Name: "strike"})
+	bare.Env = policy.Env{Event: policy.Event{Type: "strike-request"}}
+	if v := g.Check(bare); !v.Allowed() {
+		t.Errorf("missing snapshot denied action: %s", v.Reason)
+	}
+
+	// RespectForbids off: the snapshot is ignored.
+	off := &PreActionGuard{}
+	if v := off.Check(ctx2(ctx, policy.Action{Name: "strike"})); !v.Allowed() {
+		t.Errorf("disabled cross-check denied action: %s", v.Reason)
+	}
+}
+
+func ctx2(base ActionContext, a policy.Action) ActionContext {
+	base.Action = a
+	return base
+}
+
+func TestBreakGlassRequireSnapshot(t *testing.T) {
+	s := guardSchema(t)
+	g, bg := breakGlassFixture(t)
+	bg.RequireSnapshot = true
+
+	// Bad-to-bad dilemma the fixture would normally allow (fire is
+	// preferred over loss-of-life), but no snapshot in context.
+	ctx := ctxAt(t, s, 95, 85, policy.Action{Name: "vent", Outcome: "fire"})
+	v := g.Check(ctx)
+	if v.Allowed() {
+		t.Fatalf("override allowed without snapshot: %+v", v)
+	}
+	if !strings.Contains(v.Reason, "unauditable") {
+		t.Errorf("reason = %q", v.Reason)
+	}
+	if bg.Uses() != 0 {
+		t.Errorf("refused override consumed budget: uses = %d", bg.Uses())
+	}
+
+	// Same dilemma with the snapshot present goes through.
+	ctx.Policies = snapshotFixture(t)
+	v = g.Check(ctx)
+	if !v.Allowed() || !v.BrokeGlass {
+		t.Fatalf("override with snapshot refused: %+v", v)
+	}
+	if bg.Uses() != 1 {
+		t.Errorf("uses = %d, want 1", bg.Uses())
+	}
+}
+
+func TestStaticallyVetoedScopeRule(t *testing.T) {
+	snap := snapshotFixture(t)
+	rule := StaticallyVetoed{Snapshot: func() *policy.Snapshot { return snap }}
+
+	dead := policy.Policy{
+		ID: "gen-strike", EventType: "strike-request", Modality: policy.ModalityDo,
+		Priority: 10, Action: policy.Action{Name: "strike"},
+	}
+	ok, reason := rule.Check(dead)
+	if ok {
+		t.Fatalf("statically dead policy approved: %s", reason)
+	}
+	if !strings.Contains(reason, "no-strike") {
+		t.Errorf("reason = %q", reason)
+	}
+
+	// A higher-priority do outranks the forbid and is not dead.
+	alive := dead
+	alive.Priority = 90
+	if ok, reason := rule.Check(alive); !ok {
+		t.Errorf("outranking policy rejected: %s", reason)
+	}
+
+	// Disjoint event type is never vetoed.
+	other := dead
+	other.EventType = "patrol"
+	if ok, reason := rule.Check(other); !ok {
+		t.Errorf("disjoint policy rejected: %s", reason)
+	}
+
+	// Forbid candidates are out of the rule's scope.
+	fb := policy.Policy{ID: "f", EventType: "strike-request", Modality: policy.ModalityForbid,
+		Action: policy.Action{Name: "strike"}}
+	if ok, _ := rule.Check(fb); !ok {
+		t.Error("forbid candidate rejected")
+	}
+
+	// Nil sources approve.
+	if ok, _ := (StaticallyVetoed{}).Check(dead); !ok {
+		t.Error("nil snapshot source rejected")
+	}
+	nilRule := StaticallyVetoed{Snapshot: func() *policy.Snapshot { return nil }}
+	if ok, _ := nilRule.Check(dead); !ok {
+		t.Error("nil snapshot rejected")
+	}
+}

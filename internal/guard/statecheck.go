@@ -93,6 +93,12 @@ type BreakGlass struct {
 	// trustworthy (defense against the deception attacks of ref [13]).
 	// Nil means always trusted.
 	TrustCheck func(ActionContext) bool
+	// RequireSnapshot refuses overrides whose context does not carry
+	// the decision-plane snapshot: without the snapshot epoch the
+	// post-hoc audit cannot pin the policy state the override was
+	// decided under, and Section VI.B demands such uses be treated as
+	// unverified.
+	RequireSnapshot bool
 	// MaxUses bounds the number of break-glass overrides; zero means
 	// unlimited.
 	MaxUses int
@@ -109,6 +115,13 @@ func (b *BreakGlass) Uses() int {
 }
 
 func (b *BreakGlass) rule(g *StateSpaceGuard, ctx ActionContext) Verdict {
+	if b.RequireSnapshot && ctx.Policies == nil {
+		return Verdict{
+			Decision: DecisionDeny,
+			Guard:    g.Name(),
+			Reason:   "break-glass refused: no policy snapshot in context; override would be unauditable",
+		}
+	}
 	if b.TrustCheck != nil && !b.TrustCheck(ctx) {
 		return Verdict{
 			Decision: DecisionDeny,

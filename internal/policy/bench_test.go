@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// benchSet builds a policy set shaped like a generative-scale device:
+// policies spread over many event types, a sprinkling of wildcard
+// policies, roughly one forbid per seven policies, and threshold
+// conditions on half of them.
+func benchSet(b *testing.B, n int) (*Set, []Env) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	eventTypes := 16
+	if n < 16 {
+		eventTypes = n
+	}
+	set := NewSet()
+	for i := 0; i < n; i++ {
+		p := Policy{
+			ID:        fmt.Sprintf("p%05d", i),
+			EventType: fmt.Sprintf("ev-%02d", i%eventTypes),
+			Priority:  i % 10,
+			Modality:  ModalityDo,
+			Action:    Action{Name: fmt.Sprintf("act-%d", i%5), Category: "routine"},
+		}
+		if i%17 == 0 {
+			p.EventType = WildcardEvent
+		}
+		if i%7 == 0 {
+			p.Modality = ModalityForbid
+			p.Action = Action{Name: fmt.Sprintf("act-%d", i%5)}
+		}
+		if i%2 == 0 {
+			p.Condition = Threshold{Quantity: "x", Op: CmpGT, Value: float64(rng.Intn(100))}
+		}
+		if err := set.Add(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	envs := make([]Env, 8)
+	for i := range envs {
+		envs[i] = Env{Event: Event{
+			Type:  fmt.Sprintf("ev-%02d", i%eventTypes),
+			Attrs: map[string]float64{"x": 50},
+		}}
+	}
+	return set, envs
+}
+
+func benchEvaluate(b *testing.B, n int) {
+	set, envs := benchSet(b, n)
+	set.Evaluate(envs[0]) // warm any compile path before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Evaluate(envs[i%len(envs)])
+	}
+}
+
+func BenchmarkEvaluate10(b *testing.B)  { benchEvaluate(b, 10) }
+func BenchmarkEvaluate100(b *testing.B) { benchEvaluate(b, 100) }
+func BenchmarkEvaluate1k(b *testing.B)  { benchEvaluate(b, 1000) }
+func BenchmarkEvaluate10k(b *testing.B) { benchEvaluate(b, 10000) }
+
+// BenchmarkEvaluateParallel1k measures concurrent readers while a
+// background writer keeps replacing one policy (forcing recompiles of
+// the decision plane under the snapshot design, and lock contention
+// under the legacy one).
+func BenchmarkEvaluateParallel1k(b *testing.B) {
+	set, envs := benchSet(b, 1000)
+	set.Evaluate(envs[0])
+	mut := Policy{
+		ID: "p00001", EventType: "ev-01", Priority: 1,
+		Modality: ModalityDo, Action: Action{Name: "act-1"},
+	}
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; !stop.Load(); i++ {
+			mut.Priority = i % 10
+			if err := set.Replace(mut); err != nil {
+				b.Error(err)
+				return
+			}
+			for j := 0; j < 64 && !stop.Load(); j++ {
+				set.Evaluate(envs[j%len(envs)])
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			set.Evaluate(envs[i%len(envs)])
+			i++
+		}
+	})
+	stop.Store(true)
+	<-done
+}
+
+func BenchmarkConflicts1kDisjoint(b *testing.B) {
+	set := NewSet()
+	for i := 0; i < 1000; i++ {
+		if err := set.Add(Policy{
+			ID:        fmt.Sprintf("p%05d", i),
+			EventType: fmt.Sprintf("ev-%04d", i),
+			Modality:  ModalityDo,
+			Action:    Action{Name: "act"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := set.Conflicts(); len(got) != 0 {
+			b.Fatalf("Conflicts = %v", got)
+		}
+	}
+}

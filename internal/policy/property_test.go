@@ -5,12 +5,17 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"repro/internal/ontology"
 )
 
-// genPolicies builds a random consistent batch of policies.
+// genPolicies builds a random consistent batch of policies: mixed
+// event types (including wildcards), do and forbid modalities, forbids
+// matching by name or by category, and optional threshold conditions.
 func genPolicies(rng *rand.Rand, n int) []Policy {
 	events := []string{"tick", "smoke", WildcardEvent}
 	actions := []string{"move", "observe", "strike"}
+	categories := []ontology.Concept{"", "mobility", "surveillance", "kinetic"}
 	out := make([]Policy, 0, n)
 	for i := 0; i < n; i++ {
 		p := Policy{
@@ -18,10 +23,17 @@ func genPolicies(rng *rand.Rand, n int) []Policy {
 			EventType: events[rng.Intn(len(events))],
 			Priority:  rng.Intn(10),
 			Modality:  ModalityDo,
-			Action:    Action{Name: actions[rng.Intn(len(actions))]},
+			Action: Action{
+				Name:     actions[rng.Intn(len(actions))],
+				Category: categories[rng.Intn(len(categories))],
+			},
 		}
 		if rng.Intn(4) == 0 {
 			p.Modality = ModalityForbid
+			if rng.Intn(2) == 0 {
+				// Forbid by category instead of by name.
+				p.Action = Action{Category: categories[1+rng.Intn(len(categories)-1)]}
+			}
 		}
 		if rng.Intn(2) == 0 {
 			p.Condition = Threshold{Quantity: "x", Op: CmpGT, Value: float64(rng.Intn(10))}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/ontology"
 )
@@ -24,7 +26,8 @@ type Decision struct {
 	Matched []string
 	// Vetoed records actions directed by matching do-policies but
 	// blocked by a forbid-policy, keyed by the do-policy ID, with the
-	// forbidding policy's ID as value.
+	// forbidding policy's ID as value. It is nil when nothing was
+	// vetoed.
 	Vetoed map[string]string
 }
 
@@ -42,10 +45,25 @@ func (c Conflict) String() string {
 
 // Set is a collection of policies with deterministic evaluation. It is
 // safe for concurrent use.
+//
+// Set is the mutation facade of the decision plane: Add, Replace and
+// Remove update the live map and invalidate the published Snapshot;
+// the first subsequent reader compiles a fresh snapshot and publishes
+// it through an atomic pointer. Evaluate therefore takes no lock in
+// the steady state and its cost scales with the policies that can
+// match the event, not the size of the set.
 type Set struct {
 	mu       sync.RWMutex
 	policies map[string]Policy
 	matchCat CategoryMatcher
+
+	snap  atomic.Pointer[Snapshot]
+	stats struct {
+		epoch        uint64
+		compiles     uint64
+		lastCompile  time.Duration
+		totalCompile time.Duration
+	}
 }
 
 // SetOption configures a Set.
@@ -93,6 +111,39 @@ func (s *Set) Add(p Policy) error {
 		return fmt.Errorf("%w: duplicate ID %s", ErrInvalidPolicy, p.ID)
 	}
 	s.policies[p.ID] = p
+	s.snap.Store(nil)
+	return nil
+}
+
+// AddBatch validates and inserts a batch of policies under one lock
+// and one snapshot invalidation — the bulk-adoption path for the
+// generative layer, which may instantiate many policies per
+// discovery. The batch is all-or-nothing: any invalid or duplicate
+// policy rejects the whole batch before anything is inserted.
+func (s *Set) AddBatch(ps []Policy) error {
+	seen := make(map[string]bool, len(ps))
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("%w: duplicate ID %s in batch", ErrInvalidPolicy, p.ID)
+		}
+		seen[p.ID] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range ps {
+		if _, dup := s.policies[p.ID]; dup {
+			return fmt.Errorf("%w: duplicate ID %s", ErrInvalidPolicy, p.ID)
+		}
+	}
+	for _, p := range ps {
+		s.policies[p.ID] = p
+	}
+	if len(ps) > 0 {
+		s.snap.Store(nil)
+	}
 	return nil
 }
 
@@ -106,6 +157,27 @@ func (s *Set) Replace(p Policy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.policies[p.ID] = p
+	s.snap.Store(nil)
+	return nil
+}
+
+// ReplaceBatch validates and upserts a batch of policies under one
+// lock and one snapshot invalidation. The batch is all-or-nothing on
+// validation failure.
+func (s *Set) ReplaceBatch(ps []Policy) error {
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range ps {
+		s.policies[p.ID] = p
+	}
+	if len(ps) > 0 {
+		s.snap.Store(nil)
+	}
 	return nil
 }
 
@@ -114,8 +186,19 @@ func (s *Set) Remove(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.policies[id]
-	delete(s.policies, id)
+	if ok {
+		delete(s.policies, id)
+		s.snap.Store(nil)
+	}
 	return ok
+}
+
+// Invalidate discards the published snapshot so the next reader
+// recompiles. Call it after mutating an injected dependency the
+// compiled coverage table depends on (e.g. adding is-a edges to the
+// taxonomy behind the category matcher).
+func (s *Set) Invalidate() {
+	s.snap.Store(nil)
 }
 
 // Get returns the policy with the given ID.
@@ -135,9 +218,55 @@ func (s *Set) Len() int {
 
 // All returns every policy ordered by descending priority then ID.
 func (s *Set) All() []Policy {
+	return s.Snapshot().Policies()
+}
+
+// Snapshot returns the current compiled snapshot, compiling one if a
+// mutation invalidated it. The returned snapshot is immutable; callers
+// may evaluate against it repeatedly for a consistent view of the
+// policies regardless of concurrent mutations.
+func (s *Set) Snapshot() *Snapshot {
+	if snap := s.snap.Load(); snap != nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap := s.snap.Load(); snap != nil {
+		return snap
+	}
+	s.stats.epoch++
+	snap := compileSnapshot(s.sortedLocked(), s.matchCat, s.stats.epoch)
+	s.stats.compiles++
+	s.stats.lastCompile = snap.compileTime
+	s.stats.totalCompile += snap.compileTime
+	s.snap.Store(snap)
+	return snap
+}
+
+// SetStats describes the compilation activity of the decision plane.
+type SetStats struct {
+	// Epoch is the most recently compiled snapshot's epoch.
+	Epoch uint64
+	// Compiles counts snapshot compilations over the set's lifetime.
+	Compiles uint64
+	// LastCompile and TotalCompile measure compilation latency.
+	LastCompile  time.Duration
+	TotalCompile time.Duration
+	// Policies is the current policy count.
+	Policies int
+}
+
+// Stats returns compilation counters for the control-plane metrics.
+func (s *Set) Stats() SetStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.sortedLocked()
+	return SetStats{
+		Epoch:        s.stats.epoch,
+		Compiles:     s.stats.compiles,
+		LastCompile:  s.stats.lastCompile,
+		TotalCompile: s.stats.totalCompile,
+		Policies:     len(s.policies),
+	}
 }
 
 func (s *Set) sortedLocked() []Policy {
@@ -157,14 +286,20 @@ func (s *Set) sortedLocked() []Policy {
 // Evaluate matches the environment against the set. Matching
 // forbid-policies veto actions of matching do-policies with lower or
 // equal priority; surviving actions are returned in deterministic
-// order.
+// order. It evaluates against the compiled snapshot — lock-free unless
+// a mutation just invalidated it.
 func (s *Set) Evaluate(env Env) Decision {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	return s.Snapshot().Evaluate(env)
+}
 
-	d := Decision{Vetoed: make(map[string]string)}
+// evaluateLinear is the reference implementation the snapshot path is
+// differentially tested against: a full scan of the pre-sorted
+// policies with per-event coverage resolution, byte-for-byte the
+// behavior of the original Set.Evaluate.
+func evaluateLinear(sorted []Policy, matchCat CategoryMatcher, env Env) Decision {
+	var d Decision
 	var dos, forbids []Policy
-	for _, p := range s.sortedLocked() {
+	for _, p := range sorted {
 		if !p.Matches(env) {
 			continue
 		}
@@ -181,12 +316,15 @@ func (s *Set) Evaluate(env Env) Decision {
 			if fb.Priority < doP.Priority {
 				continue
 			}
-			if s.forbidCoversLocked(fb, doP.Action) {
+			if forbidCovers(matchCat, fb, doP.Action) {
 				blockedBy = fb.ID
 				break
 			}
 		}
 		if blockedBy != "" {
+			if d.Vetoed == nil {
+				d.Vetoed = make(map[string]string)
+			}
 			d.Vetoed[doP.ID] = blockedBy
 			continue
 		}
@@ -195,53 +333,21 @@ func (s *Set) Evaluate(env Env) Decision {
 	return d
 }
 
-func (s *Set) forbidCoversLocked(fb Policy, a Action) bool {
+func forbidCovers(matchCat CategoryMatcher, fb Policy, a Action) bool {
 	if fb.Action.Name != "" {
 		return fb.Action.Name == a.Name
 	}
-	return s.matchCat(a.Category, fb.Action.Category)
+	return matchCat(a.Category, fb.Action.Category)
 }
 
 // Conflicts statically reports potential conflicts: a do-policy and a
-// forbid-policy on the same event type whose actions overlap (the
+// forbid-policy on overlapping event types whose actions overlap (the
 // forbid would veto the do whenever both match), and duplicate
-// do-policies directing the same action at the same priority.
+// do-policies directing the same action at the same priority. Only
+// pairs whose event types can overlap are compared, so disjoint
+// policies cost nothing.
 func (s *Set) Conflicts() []Conflict {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-
-	policies := s.sortedLocked()
-	var out []Conflict
-	for i, a := range policies {
-		for _, b := range policies[i+1:] {
-			if !eventTypesOverlap(a.EventType, b.EventType) {
-				continue
-			}
-			doP, fbP := a, b
-			if doP.Modality == ModalityForbid {
-				doP, fbP = b, a
-			}
-			switch {
-			case doP.Modality == ModalityDo && fbP.Modality == ModalityForbid:
-				if fbP.Priority >= doP.Priority && s.forbidCoversLocked(fbP, doP.Action) {
-					out = append(out, Conflict{
-						A:      doP.ID,
-						B:      fbP.ID,
-						Reason: fmt.Sprintf("forbid %s covers do action %q on event %s", fbP.ID, doP.Action.Name, doP.EventType),
-					})
-				}
-			case a.Modality == ModalityDo && b.Modality == ModalityDo:
-				if a.Priority == b.Priority && a.Action.Name == b.Action.Name && a.Action.Target == b.Action.Target {
-					out = append(out, Conflict{
-						A:      a.ID,
-						B:      b.ID,
-						Reason: fmt.Sprintf("duplicate action %q at priority %d", a.Action.Name, a.Priority),
-					})
-				}
-			}
-		}
-	}
-	return out
+	return s.Snapshot().Conflicts()
 }
 
 func eventTypesOverlap(a, b string) bool {
