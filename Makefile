@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race race cover bench experiments examples
+.PHONY: all build vet test test-race race cover bench experiments examples obs-smoke
 
 all: build test
 
@@ -10,8 +10,14 @@ build:
 vet:
 	go vet ./...
 
-test: vet
+test: vet obs-smoke
 	go test -shuffle=on ./...
+
+# End-to-end observability check: run a short scenario with the live
+# endpoint up and assert /metrics and /traces serve well-formed,
+# non-empty output.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Race-check the library packages (the chaos and resilience tests
 # exercise concurrent senders); `race` covers the whole module.

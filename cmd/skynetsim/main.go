@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	skynetsim scenario.json
+//	skynetsim [flags] scenario.json
+//
+// Flags:
+//
+//	--metrics-addr addr   serve /metrics, /traces and /healthz on addr
+//	                      (e.g. :9090) for the duration of the run
+//	--trace-out file      write the span ring buffer as JSONL on exit
+//	--linger d            keep the process (and metrics server) alive
+//	                      for d after the scenario completes
 //
 // Scenario format:
 //
@@ -38,6 +46,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"math/rand"
@@ -54,6 +63,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/statespace"
+	"repro/internal/telemetry"
 )
 
 type scenario struct {
@@ -123,10 +133,18 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: skynetsim <scenario.json>")
+	fs := flag.NewFlagSet("skynetsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces and /healthz on this address")
+	traceOut := fs.String("trace-out", "", "write finished spans as JSONL to this file on exit")
+	linger := fs.Duration("linger", 0, "keep the process (and metrics server) alive this long after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	data, err := os.ReadFile(args[0])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: skynetsim [flags] <scenario.json>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -141,6 +159,22 @@ func run(args []string, out io.Writer) error {
 		sc.SweepEvery = 1
 	}
 
+	// One registry and one tracer back everything: framework telemetry,
+	// experiment tallies, the exposition endpoint and the JSONL export.
+	metrics := sim.NewMetrics()
+	registry := metrics.Registry()
+	tracer := telemetry.NewTracer(telemetry.WithTracerMetrics(registry))
+
+	var server *telemetry.Server
+	if *metricsAddr != "" {
+		server, err = telemetry.Serve(*metricsAddr, registry, tracer)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer server.Close()
+		fmt.Fprintf(out, "serving metrics on http://%s/metrics\n", server.Addr())
+	}
+
 	schema, classifier, err := buildStateModel(sc)
 	if err != nil {
 		return err
@@ -152,14 +186,15 @@ func run(args []string, out io.Writer) error {
 		KillSecret:      []byte("skynetsim-" + sc.Name),
 		Classifier:      classifier,
 		DenialThreshold: sc.DenialThreshold,
+		Telemetry:       registry,
+		Tracer:          tracer,
 	}
 
 	// With a chaos block, events travel over a lossy bus behind the
 	// resilience stack instead of being delivered directly.
 	var (
-		metrics *sim.Metrics
-		bus     *network.Bus
-		sender  *network.ReliableSender
+		bus    *network.Bus
+		sender *network.ReliableSender
 	)
 	if sc.Chaos != nil {
 		seed := sc.Chaos.Seed
@@ -170,7 +205,6 @@ func run(args []string, out io.Writer) error {
 		if attempts <= 0 {
 			attempts = 3
 		}
-		metrics = sim.NewMetrics()
 		bus = network.NewBus(rand.New(rand.NewSource(seed)),
 			network.WithLoss(sc.Chaos.Loss),
 			network.WithDuplication(sc.Chaos.Duplication),
@@ -199,6 +233,8 @@ func run(args []string, out io.Writer) error {
 		return core.StandardPipeline(core.SafetyConfig{
 			Audit:      log,
 			Classifier: classifier,
+			Telemetry:  registry,
+			Tracer:     tracer,
 		})
 	}
 
@@ -225,6 +261,8 @@ func run(args []string, out io.Writer) error {
 			Guard:        guardFor(spec),
 			KillSwitch:   collective.KillSwitch(),
 			Audit:        log,
+			Telemetry:    registry,
+			Tracer:       tracer,
 		}
 		d, err := device.New(cfg)
 		if err != nil {
@@ -260,7 +298,12 @@ func run(args []string, out io.Writer) error {
 			if sc.Chaos != nil {
 				// Chaos path: per-device bus deliveries through retries
 				// and breakers; execution counts come from the audit
-				// trail afterwards.
+				// trail afterwards. Each scenario event opens one root
+				// span so every delivery — including retried and
+				// duplicated ones — stays in one trace.
+				span := tracer.StartSpan("scenario.command", "scenario", telemetry.SpanContext{})
+				span.SetAttr("event", ev.Type)
+				event.Labels = telemetry.Inject(span.Context(), event.Labels)
 				targets := []string{ev.Target}
 				if ev.Target == "*" || ev.Target == "" {
 					targets = targets[:0]
@@ -275,6 +318,7 @@ func run(args []string, out io.Writer) error {
 						sendFailures++
 					}
 				}
+				span.Finish()
 			} else {
 				var results map[string][]device.Execution
 				if ev.Target == "*" || ev.Target == "" {
@@ -318,6 +362,8 @@ func run(args []string, out io.Writer) error {
 						Guard:        guardFor(spec),
 						KillSwitch:   collective.KillSwitch(),
 						Audit:        log,
+						Telemetry:    registry,
+						Tracer:       tracer,
 					})
 					if err != nil {
 						fmt.Fprintf(out, "step %d: recovery failed: %v\n", step, err)
@@ -364,6 +410,25 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("audit chain broken: %w", err)
 	}
 	fmt.Fprintf(out, "  audit: %d entries, chain verified\n", log.Len())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  traces: %d spans written to %s\n", len(tracer.Spans()), *traceOut)
+	}
+	if *linger > 0 {
+		fmt.Fprintf(out, "  lingering %s\n", *linger)
+		time.Sleep(*linger)
+	}
 	return nil
 }
 

@@ -7,13 +7,14 @@
 // while it is healthy.
 //
 // Every injected fault and every heal is counted in the metrics
-// registry under chaos.<fault>.injected / chaos.<fault>.healed, making
+// registry under chaos.<fault>_injected / chaos.<fault>_healed, making
 // the fault model observable alongside the bus's own delivery
 // accounting.
 package chaos
 
 import (
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/network"
@@ -34,10 +35,12 @@ type Injector struct {
 	Rand *rand.Rand
 }
 
-// Count increments a chaos metric.
+// Count increments a chaos metric. Fault-local names like
+// "loss.injected" land in the registry as chaos.loss_injected — one
+// dot, per the subsystem.name convention.
 func (inj *Injector) Count(name string) {
 	if inj.Metrics != nil {
-		inj.Metrics.Inc("chaos."+name, 1)
+		inj.Metrics.Inc("chaos."+strings.ReplaceAll(name, ".", "_"), 1)
 	}
 }
 

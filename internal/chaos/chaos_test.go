@@ -48,8 +48,8 @@ func TestLossWindow(t *testing.T) {
 	if after != nil {
 		t.Errorf("send after heal failed: %v", after)
 	}
-	if metrics.Counter("chaos.loss.injected") != 1 || metrics.Counter("chaos.loss.healed") != 1 {
-		t.Errorf("loss metrics = %d/%d", metrics.Counter("chaos.loss.injected"), metrics.Counter("chaos.loss.healed"))
+	if metrics.Counter("chaos.loss_injected") != 1 || metrics.Counter("chaos.loss_healed") != 1 {
+		t.Errorf("loss metrics = %d/%d", metrics.Counter("chaos.loss_injected"), metrics.Counter("chaos.loss_healed"))
 	}
 }
 
@@ -93,8 +93,8 @@ func TestDuplicationWindow(t *testing.T) {
 	if got != 2 {
 		t.Errorf("deliveries = %d, want 2 (original + duplicate)", got)
 	}
-	if bus.Duplicated() != 1 || metrics.Counter("net.duplicated") != 1 {
-		t.Errorf("duplicated = %d, metric = %d", bus.Duplicated(), metrics.Counter("net.duplicated"))
+	if bus.Duplicated() != 1 || metrics.Counter("bus.duplicated") != 1 {
+		t.Errorf("duplicated = %d, metric = %d", bus.Duplicated(), metrics.Counter("bus.duplicated"))
 	}
 	delivered, dropped := bus.Stats()
 	if delivered != 1 || dropped != 0 {
@@ -136,8 +136,8 @@ func TestClockSkewJumpsClock(t *testing.T) {
 	if got := engine.Clock().Now().Sub(start); got != 100*time.Second {
 		t.Errorf("clock advanced %v, want 1m40s", got)
 	}
-	if metrics.Counter("chaos.skew.injected") != 3 {
-		t.Errorf("skew count = %d", metrics.Counter("chaos.skew.injected"))
+	if metrics.Counter("chaos.skew_injected") != 3 {
+		t.Errorf("skew count = %d", metrics.Counter("chaos.skew_injected"))
 	}
 }
 
@@ -157,9 +157,9 @@ func TestCrashRestart(t *testing.T) {
 	if len(events) != 2 || events[0] != "crash:d1" || events[1] != "restart:d1" {
 		t.Errorf("events = %v", events)
 	}
-	if metrics.Counter("chaos.crash.injected") != 1 || metrics.Counter("chaos.crash.restarted") != 1 {
+	if metrics.Counter("chaos.crash_injected") != 1 || metrics.Counter("chaos.crash_restarted") != 1 {
 		t.Errorf("crash metrics = %d/%d",
-			metrics.Counter("chaos.crash.injected"), metrics.Counter("chaos.crash.restarted"))
+			metrics.Counter("chaos.crash_injected"), metrics.Counter("chaos.crash_restarted"))
 	}
 }
 
@@ -183,8 +183,8 @@ func TestScheduleApplyAndNames(t *testing.T) {
 	if err := engine.Run(horizonOf(engine, time.Minute)); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if metrics.Counter("chaos.loss.injected") != 2 {
-		t.Errorf("loss injections = %d, want 2", metrics.Counter("chaos.loss.injected"))
+	if metrics.Counter("chaos.loss_injected") != 2 {
+		t.Errorf("loss injections = %d, want 2", metrics.Counter("chaos.loss_injected"))
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/statespace"
+	"repro/internal/telemetry"
 )
 
 // ErrUnknownDevice is returned for operations on devices not in the
@@ -53,6 +54,13 @@ type Config struct {
 	DenialThreshold int
 	// Admission gates collection formation; nil admits everything.
 	Admission *guard.AdmissionController
+	// Telemetry, when set, counts commands and deliveries
+	// (core.commands, core.deliveries) and instruments every member's
+	// decision plane (see Instrument).
+	Telemetry *telemetry.Registry
+	// Tracer, when set, opens one root span per broadcast command so
+	// each decision is followable from intake to audit entry.
+	Tracer *telemetry.Tracer
 }
 
 // Collective is a managed set of devices.
@@ -65,6 +73,11 @@ type Collective struct {
 	kill      *guard.KillSwitch
 	watchdog  *guard.Watchdog
 	admission *guard.AdmissionController
+
+	metrics    *telemetry.Registry
+	tracer     *telemetry.Tracer
+	commands   *telemetry.Counter
+	deliveries *telemetry.Counter
 
 	mu      sync.Mutex
 	devices map[string]*device.Device
@@ -107,8 +120,32 @@ func New(cfg Config) (*Collective, error) {
 		admission: cfg.Admission,
 		devices:   make(map[string]*device.Device),
 	}
+	c.Instrument(cfg.Telemetry, cfg.Tracer)
 	return c, nil
 }
+
+// Instrument attaches telemetry to the collective: command/delivery
+// counters, a tracer for root spans, and decision-plane metrics
+// (policy.epoch, policy.compiles, policy.compile_ms, policy.evaluate_ms
+// labeled by device) on every current and future member's policy set.
+// Either argument may be nil. Setup-time only — not safe concurrently
+// with AddDevice or Command.
+func (c *Collective) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	c.metrics = reg
+	c.tracer = tracer
+	c.commands = nil
+	c.deliveries = nil
+	if reg != nil {
+		c.commands = reg.Counter("core.commands")
+		c.deliveries = reg.Counter("core.deliveries")
+	}
+	for _, d := range c.Devices() {
+		d.Policies().Instrument(reg, "device", d.ID())
+	}
+}
+
+// Tracer returns the collective's tracer (nil when untraced).
+func (c *Collective) Tracer() *telemetry.Tracer { return c.tracer }
 
 // Name returns the collective's name.
 func (c *Collective) Name() string { return c.name }
@@ -161,6 +198,10 @@ func (c *Collective) AddDevice(d *device.Device, attrs map[string]float64) error
 	c.mu.Lock()
 	c.devices[d.ID()] = d
 	c.mu.Unlock()
+
+	if c.metrics != nil {
+		d.Policies().Instrument(c.metrics, "device", d.ID())
+	}
 
 	return c.registry.Announce(network.DeviceInfo{
 		ID:           d.ID(),
@@ -236,6 +277,7 @@ func (c *Collective) Deliver(target string, ev policy.Event) ([]device.Execution
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, target)
 	}
+	c.deliveries.Inc()
 	execs, err := d.HandleEvent(ev)
 	if err != nil {
 		return nil, err
@@ -249,8 +291,21 @@ func (c *Collective) Deliver(target string, ev policy.Event) ([]device.Execution
 }
 
 // Command broadcasts a human command (Figure 1) to every active member
-// and returns each member's executions, keyed by device ID.
+// and returns each member's executions, keyed by device ID. With a
+// tracer attached, each command opens a root span ("core.command") and
+// every per-device delivery inherits its trace, so the whole
+// decomposition is followable by one TraceID.
 func (c *Collective) Command(ev policy.Event) map[string][]device.Execution {
+	c.commands.Inc()
+	source := ev.Source
+	if source == "" {
+		source = "human"
+	}
+	span := c.tracer.StartSpan("core.command", source, telemetry.Extract(ev.Labels))
+	span.SetAttr("event", ev.Type)
+	if sc := span.Context(); sc.Valid() {
+		ev.Labels = telemetry.Inject(sc, cloneLabels(ev.Labels))
+	}
 	out := make(map[string][]device.Execution)
 	for _, d := range c.Devices() {
 		execs, err := c.Deliver(d.ID(), ev)
@@ -260,6 +315,20 @@ func (c *Collective) Command(ev policy.Event) map[string][]device.Execution {
 		if len(execs) > 0 {
 			out[d.ID()] = execs
 		}
+	}
+	span.Finish()
+	return out
+}
+
+// cloneLabels copies an event's labels so trace injection never
+// mutates a caller-owned (possibly shared) map.
+func cloneLabels(labels map[string]string) map[string]string {
+	if labels == nil {
+		return nil
+	}
+	out := make(map[string]string, len(labels)+2)
+	for k, v := range labels {
+		out[k] = v
 	}
 	return out
 }
@@ -296,19 +365,22 @@ func (c *Collective) handlerFor(d *device.Device) network.Handler {
 }
 
 // RecordPolicyMetrics publishes each member's decision-plane counters
-// into the metrics registry: gauges policy.epoch.<id> (snapshot epoch
-// last evaluated under), policy.compiles.<id> and
-// policy.compile_ms.<id> (latest compile latency). A nil registry is
-// a no-op.
+// into the metrics registry as device-labeled gauges: policy.epoch
+// (snapshot epoch last evaluated under), policy.compiles and
+// policy.compile_ms (latest compile latency). A nil facade is a no-op.
 func (c *Collective) RecordPolicyMetrics(m *sim.Metrics) {
 	if m == nil {
 		return
 	}
+	reg := m.Registry()
+	if reg == nil {
+		return
+	}
 	for _, d := range c.Devices() {
 		stats := d.Policies().Stats()
-		m.SetGauge("policy.epoch."+d.ID(), float64(d.PolicyEpoch()))
-		m.SetGauge("policy.compiles."+d.ID(), float64(stats.Compiles))
-		m.SetGauge("policy.compile_ms."+d.ID(), float64(stats.LastCompile.Microseconds())/1000)
+		reg.Gauge("policy.epoch", "device", d.ID()).Set(float64(d.PolicyEpoch()))
+		reg.Gauge("policy.compiles", "device", d.ID()).Set(float64(stats.Compiles))
+		reg.Gauge("policy.compile_ms", "device", d.ID()).Set(float64(stats.LastCompile.Microseconds()) / 1000)
 	}
 }
 
@@ -316,22 +388,28 @@ func (c *Collective) RecordPolicyMetrics(m *sim.Metrics) {
 // actions into events delivered to the target device over the bus —
 // the collaboration channel of Figures 1 and 2 ("a device can call
 // upon and dispatch other devices with additional capabilities").
-// Actions without a target are accepted and dropped.
+// Actions without a target are accepted and dropped. The router is a
+// TracedActuator: the dispatching device's span context is injected
+// into the forwarded event's labels, so the receiving device's spans
+// stay in the originating command's trace across the hop.
 func (c *Collective) RouterFor(from string) device.Actuator {
+	send := func(a policy.Action, sc telemetry.SpanContext) error {
+		if a.Target == "" {
+			return nil
+		}
+		ev := policy.Event{Type: a.Name, Source: from}
+		if len(a.Params) > 0 {
+			ev.Labels = make(map[string]string, len(a.Params)+2)
+			for k, v := range a.Params {
+				ev.Labels[k] = v
+			}
+		}
+		ev.Labels = telemetry.Inject(sc, ev.Labels)
+		return c.bus.Send(network.Message{From: from, To: a.Target, Topic: "action", Payload: ev})
+	}
 	return device.ActuatorFunc{
-		Label: "router:" + from,
-		Fn: func(a policy.Action) error {
-			if a.Target == "" {
-				return nil
-			}
-			ev := policy.Event{Type: a.Name, Source: from}
-			if len(a.Params) > 0 {
-				ev.Labels = make(map[string]string, len(a.Params))
-				for k, v := range a.Params {
-					ev.Labels[k] = v
-				}
-			}
-			return c.bus.Send(network.Message{From: from, To: a.Target, Topic: "action", Payload: ev})
-		},
+		Label:    "router:" + from,
+		Fn:       func(a policy.Action) error { return send(a, telemetry.SpanContext{}) },
+		TracedFn: send,
 	}
 }

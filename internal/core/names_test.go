@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/chaos"
+	"repro/internal/device"
+	"repro/internal/guard"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/resilience"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestMetricNamesUnified drives every instrumented subsystem against
+// one registry and asserts each registered metric name follows the
+// subsystem.name convention and appears in the telemetry taxonomy — a
+// misspelled or unregistered name at any call site fails here instead
+// of silently forking a new time series.
+func TestMetricNamesUnified(t *testing.T) {
+	log := audit.New()
+	metrics := sim.NewMetrics()
+	reg := metrics.Registry()
+	tracer := telemetry.NewTracer(telemetry.WithTracerMetrics(reg))
+	bus := network.NewBus(rand.New(rand.NewSource(1)),
+		network.WithLoss(0.4), network.WithDuplication(0.2),
+		network.WithMetrics(metrics))
+
+	c := newCollective(t, func(cfg *Config) {
+		cfg.Audit = log
+		cfg.Bus = bus
+		cfg.Telemetry = reg
+		cfg.Tracer = tracer
+	})
+	s := coreSchema(t)
+	initial, err := s.StateFromMap(map[string]float64{"heat": 10, "fuel": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := guard.NewPipeline(log, guard.AllowAll{})
+	pipe.Instrument(reg, tracer)
+	d, err := device.New(device.Config{
+		ID: "d1", Type: "drone", Initial: initial,
+		KillSwitch: c.KillSwitch(), Guard: pipe, Audit: log,
+		Telemetry: reg, Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Policies().Add(policy.Policy{
+		ID: "work", EventType: "task", Modality: policy.ModalityDo,
+		Action: policy.Action{Name: "work"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDevice(d, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dispatch through the resilience stack so dispatch.*,
+	// resilience.* and the guard/device/policy/trace families all
+	// register; the direct Command path registers core.*.
+	dispatcher := &Dispatcher{
+		Collective: c,
+		Sender: &network.ReliableSender{
+			Bus: bus,
+			Retry: resilience.Retry{
+				MaxAttempts: 4,
+				Sleep:       func(time.Duration) {},
+				Rand:        rand.New(rand.NewSource(2)).Float64,
+			},
+			Breakers: &resilience.BreakerSet{Threshold: 2, Cooldown: time.Minute},
+			Metrics:  metrics,
+		},
+		Metrics: metrics,
+		Tracer:  tracer,
+	}
+	for i := 0; i < 20; i++ {
+		dispatcher.Command(policy.Event{Type: "task", Source: "human"})
+	}
+	c.Command(policy.Event{Type: "task", Source: "human"})
+	// A send to a detached node feeds the breaker until it opens, so
+	// resilience.breaker_rejected registers too.
+	for i := 0; i < 5; i++ {
+		_ = dispatcher.Sender.Send(network.Message{From: "x", To: "ghost", Topic: "t"})
+	}
+
+	// Partition drops, so bus.dropped{cause="partition"} registers.
+	bus.Partition(map[string]int{"d1": 1})
+	_ = bus.Send(network.Message{From: "x", To: "d1", Topic: "t"})
+	bus.Heal()
+
+	// Gossip accounting, with and without a dropping link (plus retry).
+	g := network.NewGossip(rand.New(rand.NewSource(3)), 1)
+	g.SetMetrics(reg)
+	g.Join("a").Put(network.Item{Key: "k", Version: 1})
+	g.Join("b")
+	g.SetRetry(resilience.Retry{MaxAttempts: 2, Sleep: func(time.Duration) {}})
+	g.SetLink(func(from, to string) bool { return false })
+	g.RunRound()
+	g.SetLink(nil)
+	g.RunRound()
+
+	// Chaos fault accounting: every fault-local name the injector
+	// emits must land under a registered chaos.* name.
+	inj := &chaos.Injector{Metrics: metrics}
+	for _, name := range []string{
+		"loss.injected", "loss.healed",
+		"partition.injected", "partition.healed",
+		"duplication.injected", "duplication.healed",
+		"slowlinks.injected", "slowlinks.healed",
+		"skew.injected",
+		"crash.injected", "crash.restarted", "crash.restart.failed",
+	} {
+		inj.Count(name)
+	}
+
+	if err := telemetry.CheckNames(reg.Names()); err != nil {
+		t.Errorf("metric name audit failed:\n%v", err)
+	}
+}

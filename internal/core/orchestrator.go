@@ -23,8 +23,8 @@ type Orchestrator struct {
 
 	// Metrics, when set, receives per-device decision-plane gauges on
 	// every managed tick: the snapshot epoch the device last evaluated
-	// under and the policy compile latency (policy.epoch.<id>,
-	// policy.compiles.<id>, policy.compile_ms.<id>).
+	// under and the policy compile latency (policy.epoch,
+	// policy.compiles, policy.compile_ms, labeled by device).
 	Metrics *sim.Metrics
 
 	mu       sync.Mutex
@@ -84,11 +84,11 @@ func (o *Orchestrator) Manage(deviceID string, period time.Duration,
 				// errors surface through the device's audit trail.
 				return
 			}
-			if o.Metrics != nil {
+			if reg := o.Metrics.Registry(); reg != nil {
 				stats := d.Policies().Stats()
-				o.Metrics.SetGauge("policy.epoch."+deviceID, float64(d.PolicyEpoch()))
-				o.Metrics.SetGauge("policy.compiles."+deviceID, float64(stats.Compiles))
-				o.Metrics.SetGauge("policy.compile_ms."+deviceID, float64(stats.LastCompile.Microseconds())/1000)
+				reg.Gauge("policy.epoch", "device", deviceID).Set(float64(d.PolicyEpoch()))
+				reg.Gauge("policy.compiles", "device", deviceID).Set(float64(stats.Compiles))
+				reg.Gauge("policy.compile_ms", "device", deviceID).Set(float64(stats.LastCompile.Microseconds()) / 1000)
 			}
 		})
 	return nil

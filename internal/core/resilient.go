@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/network"
 	"repro/internal/policy"
 	"repro/internal/resilience"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Dispatcher decomposes a human command (Figure 1) into per-device
@@ -31,6 +34,11 @@ type Dispatcher struct {
 	// Metrics observes dispatch outcomes (dispatch.sent,
 	// dispatch.failed); may be nil.
 	Metrics *sim.Metrics
+	// Tracer, when set, opens one root span per command at intake and
+	// one child span per target delivery; the trace context is injected
+	// into the dispatched event's labels and survives the resilience
+	// stack (retries and duplicates carry the same context).
+	Tracer *telemetry.Tracer
 }
 
 // Command sends the event to every target and returns how many
@@ -47,17 +55,32 @@ func (d *Dispatcher) Command(ev policy.Event) (sent, failed int) {
 			targets = append(targets, dev.ID())
 		}
 	}
+	root := d.Tracer.StartSpan("dispatch.command", source, telemetry.Extract(ev.Labels))
+	root.SetAttr("event", ev.Type)
+	root.SetAttr("targets", fmt.Sprintf("%d", len(targets)))
 	for _, id := range targets {
-		msg := network.Message{From: source, To: id, Topic: "command", Payload: ev}
+		span := d.Tracer.StartSpan("dispatch.deliver", source, root.Context())
+		span.SetAttr("target", id)
+		tev := ev
+		if sc := span.Context(); sc.Valid() {
+			tev.Labels = telemetry.Inject(sc, cloneLabels(ev.Labels))
+		}
+		msg := network.Message{From: source, To: id, Topic: "command", Payload: tev}
 		err := d.Deadline.Run(func() error { return d.Sender.Send(msg) })
 		if err != nil {
 			failed++
 			d.count("dispatch.failed")
+			span.SetAttr("result", "failed")
+			span.SetAttr("error", err.Error())
+			span.Finish()
 			continue
 		}
 		sent++
 		d.count("dispatch.sent")
+		span.SetAttr("result", "sent")
+		span.Finish()
 	}
+	root.Finish()
 	if d.Collective != nil {
 		// Snapshot epochs and compile latency move when commands land
 		// on devices whose sets were just mutated; publish them with

@@ -8,6 +8,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/ontology"
 	"repro/internal/statespace"
+	"repro/internal/telemetry"
 )
 
 // SafetyConfig describes the standard guard stack for a device.
@@ -38,6 +39,11 @@ type SafetyConfig struct {
 	// TamperSecret, when non-empty, wraps the assembled pipeline in a
 	// tamper-evident seal.
 	TamperSecret []byte
+	// Telemetry and Tracer instrument the assembled pipeline with
+	// per-guard decision counters, latency histograms and causal spans;
+	// either may be nil.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
 
 // StandardPipeline assembles the paper's guard stack in the canonical
@@ -69,6 +75,9 @@ func StandardPipeline(cfg SafetyConfig) guard.Guard {
 		})
 	}
 	pipeline := guard.NewPipeline(cfg.Audit, guards...)
+	if cfg.Telemetry != nil || cfg.Tracer != nil {
+		pipeline.Instrument(cfg.Telemetry, cfg.Tracer)
+	}
 	if len(cfg.TamperSecret) == 0 {
 		return pipeline
 	}

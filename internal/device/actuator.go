@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 // Actuator executes an action against the physical environment — the
@@ -15,13 +16,37 @@ type Actuator interface {
 	Invoke(a policy.Action) error
 }
 
-// ActuatorFunc adapts a function into an Actuator.
+// TracedActuator is an Actuator that can carry the causal trace
+// context across the actuation boundary — e.g. a sharing router that
+// forwards the action to another device as a bus event keeps the
+// receiving device's spans in the originating command's trace.
+type TracedActuator interface {
+	Actuator
+	// InvokeTraced performs the action under the given span context.
+	InvokeTraced(a policy.Action, sc telemetry.SpanContext) error
+}
+
+// invoke routes through InvokeTraced when the actuator supports it and
+// a trace is active, falling back to plain Invoke.
+func invoke(a Actuator, act policy.Action, sc telemetry.SpanContext) error {
+	if ta, ok := a.(TracedActuator); ok && sc.Valid() {
+		return ta.InvokeTraced(act, sc)
+	}
+	return a.Invoke(act)
+}
+
+// ActuatorFunc adapts a function into an Actuator. Setting TracedFn
+// additionally makes it a TracedActuator.
 type ActuatorFunc struct {
 	Label string
 	Fn    func(policy.Action) error
+	// TracedFn, when set, handles traced invocations; plain Invoke
+	// falls back to Fn.
+	TracedFn func(policy.Action, telemetry.SpanContext) error
 }
 
 var _ Actuator = ActuatorFunc{}
+var _ TracedActuator = ActuatorFunc{}
 
 // Name identifies the actuator.
 func (a ActuatorFunc) Name() string { return a.Label }
@@ -32,6 +57,14 @@ func (a ActuatorFunc) Invoke(act policy.Action) error {
 		return errors.New("device: actuator has no function")
 	}
 	return a.Fn(act)
+}
+
+// InvokeTraced runs TracedFn, falling back to Invoke when unset.
+func (a ActuatorFunc) InvokeTraced(act policy.Action, sc telemetry.SpanContext) error {
+	if a.TracedFn == nil {
+		return a.Invoke(act)
+	}
+	return a.TracedFn(act, sc)
 }
 
 // NopActuator accepts every action and does nothing; useful for

@@ -10,6 +10,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/policy"
 	"repro/internal/statespace"
+	"repro/internal/telemetry"
 )
 
 // Common device errors.
@@ -48,6 +49,15 @@ type Config struct {
 	Discharger guard.ObligationDischarger
 	// TrajectoryCapacity hints the trajectory's initial capacity.
 	TrajectoryCapacity int
+	// Telemetry, when set, counts handled events (device.events) and
+	// execution outcomes (device.executions). Nil disables the counters
+	// at zero cost.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, emits one span per handled event and per
+	// executed action, parented on the trace context carried in the
+	// event's labels — the causal chain from command intake to
+	// actuation.
+	Tracer *telemetry.Tracer
 }
 
 // Execution records what happened to one directed action.
@@ -75,6 +85,12 @@ type Device struct {
 	org  string
 	kill *guard.KillSwitch
 	log  *audit.Log
+
+	tracer       *telemetry.Tracer
+	events       *telemetry.Counter
+	execExecuted *telemetry.Counter
+	execDenied   *telemetry.Counter
+	execError    *telemetry.Counter
 
 	lastEpoch atomic.Uint64
 
@@ -121,6 +137,13 @@ func New(cfg Config) (*Device, error) {
 		actuators:  make(map[string]Actuator),
 		defaultAct: NopActuator{},
 		trajectory: statespace.NewTrajectory(capacity),
+		tracer:     cfg.Tracer,
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		d.events = reg.Counter("device.events", "device", cfg.ID)
+		d.execExecuted = reg.Counter("device.executions", "device", cfg.ID, "result", "executed")
+		d.execDenied = reg.Counter("device.executions", "device", cfg.ID, "result", "denied")
+		d.execError = reg.Counter("device.executions", "device", cfg.ID, "result", "error")
 	}
 	if err := d.trajectory.Append(cfg.Initial); err != nil {
 		return nil, fmt.Errorf("device %s: %w", cfg.ID, err)
@@ -259,14 +282,27 @@ func (d *Device) HandleEvent(ev policy.Event) ([]Execution, error) {
 	g := d.guard
 	d.mu.Unlock()
 
+	d.events.Inc()
+	// The trace context rides in the event labels (see telemetry.Inject)
+	// so causality survives bus hops, retries and duplication.
+	span := d.tracer.StartSpan("device.handle", d.id, telemetry.Extract(ev.Labels))
+	span.SetAttr("event", ev.Type)
+
 	snap := d.policies.Snapshot()
 	decision := snap.Evaluate(env)
 	d.lastEpoch.Store(snap.Epoch())
+	span.SetAttr("policy-epoch", fmt.Sprintf("%d", snap.Epoch()))
+	span.SetAttr("actions", fmt.Sprintf("%d", len(decision.Actions)))
 
+	sc := span.Context()
+	if !sc.Valid() {
+		sc = telemetry.Extract(ev.Labels)
+	}
 	var out []Execution
 	for _, action := range decision.Actions {
-		out = append(out, d.executeOne(env, g, snap, action))
+		out = append(out, d.executeOne(env, g, snap, action, sc))
 	}
+	span.Finish()
 	return out, nil
 }
 
@@ -274,7 +310,34 @@ func (d *Device) HandleEvent(ev policy.Event) ([]Execution, error) {
 // policy evaluation (zero before the first event).
 func (d *Device) PolicyEpoch() uint64 { return d.lastEpoch.Load() }
 
-func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action) Execution {
+func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, parent telemetry.SpanContext) Execution {
+	span := d.tracer.StartSpan("device.execute", d.id, parent)
+	span.SetAttr("action", action.Name)
+	trace := parent
+	if sc := span.Context(); sc.Valid() {
+		trace = sc
+	}
+	exec := d.executeTraced(env, g, snap, action, trace)
+	switch {
+	case exec.Executed():
+		d.execExecuted.Inc()
+		span.SetAttr("result", "executed")
+	case !exec.Verdict.Allowed():
+		d.execDenied.Inc()
+		span.SetAttr("result", "denied")
+		span.SetAttr("guard", exec.Verdict.Guard)
+	default:
+		d.execError.Inc()
+		span.SetAttr("result", "error")
+		if exec.Err != nil {
+			span.SetAttr("error", exec.Err.Error())
+		}
+	}
+	span.Finish()
+	return exec
+}
+
+func (d *Device) executeTraced(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, trace telemetry.SpanContext) Execution {
 	d.mu.Lock()
 	next, err := d.state.Apply(action.Effect)
 	if err != nil {
@@ -289,6 +352,7 @@ func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot
 		Next:     next,
 		Env:      env,
 		Policies: snap,
+		Trace:    trace,
 	}
 	d.mu.Unlock()
 
@@ -312,7 +376,7 @@ func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot
 		exec.Err = fmt.Errorf("%w: %s", ErrNoActuator, verdict.Action.Name)
 		return exec
 	}
-	if err := actuator.Invoke(verdict.Action); err != nil {
+	if err := invoke(actuator, verdict.Action, trace); err != nil {
 		exec.Err = fmt.Errorf("actuator %s: %w", actuator.Name(), err)
 		return exec
 	}
@@ -329,10 +393,14 @@ func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot
 
 	exec.ObligationErrs = d.dischargeObligations(verdict.Action)
 	if log != nil {
-		log.Append(audit.KindAction, d.id, verdict.Action.String(), map[string]string{
+		entryCtx := map[string]string{
 			"event": env.Event.Type,
 			"guard": verdict.Guard,
-		})
+		}
+		if trace.Valid() {
+			entryCtx["trace"] = trace.Trace.String()
+		}
+		log.Append(audit.KindAction, d.id, verdict.Action.String(), entryCtx)
 	}
 	return exec
 }

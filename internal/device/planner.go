@@ -2,11 +2,13 @@ package device
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/guard"
 	"repro/internal/policy"
 	"repro/internal/risk"
 	"repro/internal/statespace"
+	"repro/internal/telemetry"
 )
 
 // Planner implements the alternative-action selection of Section VI.B:
@@ -63,6 +65,9 @@ func (pl *Planner) Choose(actor string, state statespace.State, env policy.Env, 
 		if pl.Guard != nil {
 			verdict = pl.Guard.Check(guard.ActionContext{
 				Actor: actor, Action: candidate, State: state, Next: next, Env: env,
+				// Candidate checks stay inside the originating
+				// command's trace (the context rides the event labels).
+				Trace: telemetry.Extract(env.Event.Labels),
 			})
 		}
 		if !verdict.Allowed() {
@@ -111,7 +116,15 @@ func (d *Device) PlanAndExecute(pl *Planner, env policy.Env, candidates []policy
 	if plan.Fallback() {
 		return plan, Execution{Action: plan.Action, Verdict: plan.Verdict}, nil
 	}
+	span := d.tracer.StartSpan("device.plan", d.id, telemetry.Extract(env.Event.Labels))
+	span.SetAttr("action", plan.Action.Name)
+	span.SetAttr("denied", fmt.Sprintf("%d", plan.Denied))
+	sc := span.Context()
+	if !sc.Valid() {
+		sc = telemetry.Extract(env.Event.Labels)
+	}
 	// The guard already ruled; execute without re-checking.
-	exec := d.executeOne(env, nil, d.policies.Snapshot(), plan.Action)
+	exec := d.executeOne(env, nil, d.policies.Snapshot(), plan.Action, sc)
+	span.Finish()
 	return plan, exec, nil
 }

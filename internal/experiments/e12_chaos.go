@@ -483,7 +483,7 @@ func e12FaultNotes(m *sim.Metrics) string {
 	counters, _ := m.Snapshot()
 	var parts []string
 	for name, v := range counters {
-		if strings.HasPrefix(name, "chaos.") || strings.HasPrefix(name, "net.dropped.") {
+		if strings.HasPrefix(name, "chaos.") || strings.HasPrefix(name, "bus.dropped") {
 			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
 		}
 	}

@@ -81,8 +81,8 @@ func TestE12FaultsLeaveTraces(t *testing.T) {
 	// Per-fault metrics must be reported for every degraded schedule.
 	notes := strings.Join(result.Notes, "\n")
 	for _, want := range []string{
-		"chaos.loss.injected", "chaos.partition.injected", "chaos.crash.injected",
-		"chaos.duplication.injected", "chaos.skew.injected", "net.dropped.loss",
+		"chaos.loss_injected", "chaos.partition_injected", "chaos.crash_injected",
+		"chaos.duplication_injected", "chaos.skew_injected", `bus.dropped{cause="loss"}`,
 	} {
 		if !strings.Contains(notes, want) {
 			t.Errorf("notes missing per-fault metric %q", want)

@@ -25,10 +25,12 @@ package guard
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/policy"
 	"repro/internal/statespace"
+	"repro/internal/telemetry"
 )
 
 // ActionContext is everything a guard may inspect when checking one
@@ -50,6 +52,11 @@ type ActionContext struct {
 	// check cannot change the rules mid-flight. Nil when the action
 	// did not come through policy evaluation.
 	Policies *policy.Snapshot
+	// Trace is the causal context of the command that produced the
+	// action; an instrumented pipeline parents its per-guard spans on
+	// it and stamps the trace ID into audit entries. The zero value
+	// (no tracing) is fine.
+	Trace telemetry.SpanContext
 }
 
 // Decision is a guard's ruling on an action.
@@ -108,9 +115,25 @@ type Guard interface {
 // Pipeline chains guards: each allowed verdict feeds its (possibly
 // rewritten) action to the next guard; the first deny or deactivate
 // verdict stops the chain. Denials and break-glass allows are audited.
+// An instrumented pipeline (see Instrument) additionally counts every
+// verdict, times every check, and emits one causally linked span per
+// guard stage.
 type Pipeline struct {
 	guards []Guard
 	log    *audit.Log
+
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+	instr   map[string]*guardInstruments
+}
+
+// guardInstruments caches one guard's metric handles so the per-check
+// cost is atomic increments, not registry lookups.
+type guardInstruments struct {
+	allow, deny, deactivate *telemetry.Counter
+	breakGlass              *telemetry.Counter
+	invalid                 *telemetry.Counter
+	checkMS                 *telemetry.Histogram
 }
 
 var _ Guard = (*Pipeline)(nil)
@@ -121,6 +144,70 @@ func NewPipeline(log *audit.Log, guards ...Guard) *Pipeline {
 	p := &Pipeline{log: log, guards: make([]Guard, len(guards))}
 	copy(p.guards, guards)
 	return p
+}
+
+// Instrument attaches telemetry: per-guard decision counters
+// (guard.decisions), check latency histograms (guard.check_ms),
+// break-glass and invalid-decision counters, and — with a tracer —
+// one span per guard stage, parented on the action's trace context.
+// Either argument may be nil. Uninstrumented pipelines pay one nil
+// check per guard.
+func (p *Pipeline) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	p.metrics = reg
+	p.tracer = tracer
+	p.instr = nil
+	if reg == nil {
+		return
+	}
+	p.instr = make(map[string]*guardInstruments, len(p.guards))
+	for _, g := range p.guards {
+		p.instrumentsFor(g.Name())
+	}
+}
+
+// instrumentsFor returns (creating on first use) the cached handles
+// for one guard name.
+func (p *Pipeline) instrumentsFor(name string) *guardInstruments {
+	if p.metrics == nil {
+		return nil
+	}
+	if gi, ok := p.instr[name]; ok {
+		return gi
+	}
+	gi := &guardInstruments{
+		allow:      p.metrics.Counter("guard.decisions", "guard", name, "decision", "allow"),
+		deny:       p.metrics.Counter("guard.decisions", "guard", name, "decision", "deny"),
+		deactivate: p.metrics.Counter("guard.decisions", "guard", name, "decision", "deactivate"),
+		breakGlass: p.metrics.Counter("guard.break_glass", "guard", name),
+		invalid:    p.metrics.Counter("guard.invalid_decision", "guard", name),
+		checkMS:    p.metrics.Histogram("guard.check_ms", "guard", name),
+	}
+	if p.instr == nil {
+		p.instr = make(map[string]*guardInstruments)
+	}
+	p.instr[name] = gi
+	return gi
+}
+
+// observe records one guard verdict into the cached handles.
+func (gi *guardInstruments) observe(v Verdict, elapsed time.Duration) {
+	if gi == nil {
+		return
+	}
+	gi.checkMS.Observe(float64(elapsed.Nanoseconds()) / 1e6)
+	switch v.Decision {
+	case DecisionAllow:
+		gi.allow.Inc()
+		if v.BrokeGlass {
+			gi.breakGlass.Inc()
+		}
+	case DecisionDeny:
+		gi.deny.Inc()
+	case DecisionDeactivate:
+		gi.deactivate.Inc()
+	default:
+		gi.invalid.Inc()
+	}
 }
 
 // Name identifies the pipeline.
@@ -137,8 +224,28 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 	current := ctx
 	brokeGlass := false
 	lastReason := "all guards passed"
+	instrumented := p.metrics != nil || p.tracer != nil
 	for _, g := range p.guards {
+		var gi *guardInstruments
+		var span *telemetry.Span
+		var start time.Time
+		if instrumented {
+			gi = p.instr[g.Name()]
+			span = p.tracer.StartSpan("guard.check", ctx.Actor, ctx.Trace)
+			span.SetAttr("guard", g.Name())
+			span.SetAttr("action", current.Action.Name)
+			start = time.Now()
+		}
 		v := g.Check(current)
+		if instrumented {
+			gi.observe(v, time.Since(start))
+			span.SetAttr("decision", v.Decision.String())
+			span.SetAttr("reason", v.Reason)
+			if v.BrokeGlass {
+				span.SetAttr("break-glass", "true")
+			}
+			span.Finish()
+		}
 		switch v.Decision {
 		case DecisionAllow:
 			current.Action = v.Action
@@ -158,6 +265,7 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 				if ctx.Policies != nil {
 					entryCtx["policy-epoch"] = fmt.Sprintf("%d", ctx.Policies.Epoch())
 				}
+				addTrace(entryCtx, ctx.Trace)
 				p.log.Append(audit.KindBreakGlass, ctx.Actor, v.Reason, entryCtx)
 			}
 		case DecisionDeny, DecisionDeactivate:
@@ -173,15 +281,29 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 				if ctx.Policies != nil {
 					entryCtx["policy-epoch"] = fmt.Sprintf("%d", ctx.Policies.Epoch())
 				}
+				addTrace(entryCtx, ctx.Trace)
 				p.log.Append(kind, ctx.Actor, v.Reason, entryCtx)
 			}
 			return v
 		default:
-			// A malformed guard verdict must fail closed.
+			// A malformed guard verdict must fail closed — and
+			// visibly: a guard bug silently eating actions is exactly
+			// the kind of failure the observability layer exists to
+			// surface, so it is counted (guard.invalid_decision above)
+			// and audited.
+			reason := fmt.Sprintf("guard returned invalid decision %d; failing closed", v.Decision)
+			if p.log != nil {
+				entryCtx := map[string]string{
+					"guard":  g.Name(),
+					"action": ctx.Action.Name,
+				}
+				addTrace(entryCtx, ctx.Trace)
+				p.log.Append(audit.KindNote, ctx.Actor, reason, entryCtx)
+			}
 			return Verdict{
 				Decision: DecisionDeny,
 				Guard:    g.Name(),
-				Reason:   fmt.Sprintf("guard returned invalid decision %d; failing closed", v.Decision),
+				Reason:   reason,
 			}
 		}
 	}
@@ -194,9 +316,23 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 	}
 }
 
-// Append adds guards to the end of the pipeline.
+// addTrace stamps the trace ID into an audit context, linking the
+// entry to its causal span chain.
+func addTrace(entryCtx map[string]string, sc telemetry.SpanContext) {
+	if sc.Valid() {
+		entryCtx["trace"] = sc.Trace.String()
+	}
+}
+
+// Append adds guards to the end of the pipeline. (Setup-time only,
+// like Instrument — not safe concurrently with Check.)
 func (p *Pipeline) Append(guards ...Guard) {
 	p.guards = append(p.guards, guards...)
+	if p.metrics != nil {
+		for _, g := range guards {
+			p.instrumentsFor(g.Name())
+		}
+	}
 }
 
 // AllowAll is a guard that permits everything; useful as an

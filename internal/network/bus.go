@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Common bus errors.
@@ -48,6 +49,10 @@ type Bus struct {
 	rng        *rand.Rand
 	engine     *sim.Engine
 	metrics    *sim.Metrics
+	cDelivered *telemetry.Counter
+	cDropLoss  *telemetry.Counter
+	cDropPart  *telemetry.Counter
+	cDup       *telemetry.Counter
 	nodes      map[string]Handler
 	partition  map[string]int
 	lossProb   float64
@@ -101,10 +106,18 @@ func WithDuplication(p float64) BusOption {
 }
 
 // WithMetrics mirrors the bus's delivery accounting into a metrics
-// registry (net.delivered, net.dropped.loss, net.dropped.partition,
-// net.duplicated), making the fault model observable by experiments.
+// registry (bus.delivered, bus.dropped labeled by cause, and
+// bus.duplicated), making the fault model observable by experiments.
 func WithMetrics(m *sim.Metrics) BusOption {
-	return busOptionFunc(func(b *Bus) { b.metrics = m })
+	return busOptionFunc(func(b *Bus) {
+		b.metrics = m
+		if reg := m.Registry(); reg != nil {
+			b.cDelivered = reg.Counter("bus.delivered")
+			b.cDropLoss = reg.Counter("bus.dropped", "cause", "loss")
+			b.cDropPart = reg.Counter("bus.dropped", "cause", "partition")
+			b.cDup = reg.Counter("bus.duplicated")
+		}
+	})
 }
 
 func clamp01(p float64) float64 {
@@ -226,13 +239,13 @@ func (b *Bus) Send(msg Message) error {
 	}
 	if b.partition[msg.From] != b.partition[msg.To] {
 		b.dropped++
-		b.countLocked("net.dropped.partition")
+		b.cDropPart.Inc()
 		b.mu.Unlock()
 		return fmt.Errorf("%w: partition between %q and %q", ErrDropped, msg.From, msg.To)
 	}
 	if b.lossProb > 0 && b.rng != nil && b.rng.Float64() < b.lossProb {
 		b.dropped++
-		b.countLocked("net.dropped.loss")
+		b.cDropLoss.Inc()
 		b.mu.Unlock()
 		return fmt.Errorf("%w: loss", ErrDropped)
 	}
@@ -245,10 +258,10 @@ func (b *Bus) Send(msg Message) error {
 		// order relative to the original.
 		dupLatency = b.sampleLatencyLocked()
 		b.duplicated++
-		b.countLocked("net.duplicated")
+		b.cDup.Inc()
 	}
 	b.delivered++
-	b.countLocked("net.delivered")
+	b.cDelivered.Inc()
 	b.mu.Unlock()
 
 	if engine == nil {
@@ -263,14 +276,6 @@ func (b *Bus) Send(msg Message) error {
 		engine.Schedule(dupLatency, func() { h(msg) })
 	}
 	return nil
-}
-
-// countLocked mirrors one accounting event into the metrics registry;
-// callers hold the bus mutex.
-func (b *Bus) countLocked(name string) {
-	if b.metrics != nil {
-		b.metrics.Inc(name, 1)
-	}
 }
 
 // Broadcast sends the payload to every attached node except the

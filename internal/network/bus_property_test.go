@@ -92,9 +92,9 @@ func TestBusAccountingProperty(t *testing.T) {
 	}
 
 	// The metrics mirror agrees with the bus's own counters.
-	if metrics.Counter("net.delivered") != int64(delivered) ||
-		metrics.Counter("net.dropped.loss") != int64(dropped) {
+	if metrics.Counter("bus.delivered") != int64(delivered) ||
+		metrics.Counter("bus.dropped") != int64(dropped) {
 		t.Errorf("metrics mirror (%d,%d) disagrees with stats (%d,%d)",
-			metrics.Counter("net.delivered"), metrics.Counter("net.dropped.loss"), delivered, dropped)
+			metrics.Counter("bus.delivered"), metrics.Counter("bus.dropped"), delivered, dropped)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 )
 
 // Item is one versioned piece of shared knowledge (a policy, a learned
@@ -100,6 +101,11 @@ type Gossip struct {
 	retry   *resilience.Retry
 	dropped int
 	retried int
+
+	cRounds  *telemetry.Counter
+	cUpdates *telemetry.Counter
+	cDropped *telemetry.Counter
+	cRetries *telemetry.Counter
 }
 
 // NewGossip builds a gossip group with the given fanout (min 1).
@@ -136,6 +142,18 @@ func (g *Gossip) Store(id string) (*Store, bool) {
 	defer g.mu.Unlock()
 	s, ok := g.stores[id]
 	return s, ok
+}
+
+// SetMetrics publishes the group's anti-entropy accounting into the
+// registry: gossip.rounds, gossip.updates, gossip.pushes_dropped and
+// gossip.push_retries. A nil registry removes instrumentation.
+func (g *Gossip) SetMetrics(reg *telemetry.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cRounds = reg.Counter("gossip.rounds")
+	g.cUpdates = reg.Counter("gossip.updates")
+	g.cDropped = reg.Counter("gossip.pushes_dropped")
+	g.cRetries = reg.Counter("gossip.push_retries")
 }
 
 // SetLink installs a per-push fault hook (nil removes it). Dropped
@@ -189,6 +207,7 @@ func (g *Gossip) RunRound() int {
 	if len(ids) < 2 {
 		return 0
 	}
+	g.cRounds.Inc()
 	updates := 0
 	for _, id := range ids {
 		snapshot := stores[id].Snapshot()
@@ -200,6 +219,7 @@ func (g *Gossip) RunRound() int {
 			updates += g.push(stores, link, retry, id, peer, snapshot)
 		}
 	}
+	g.cUpdates.Add(int64(updates))
 	return updates
 }
 
@@ -212,6 +232,7 @@ func (g *Gossip) push(stores map[string]*Store, link Link, retry *resilience.Ret
 			g.mu.Lock()
 			g.dropped++
 			g.mu.Unlock()
+			g.cDropped.Inc()
 			return 0, errPushDropped
 		}
 		return stores[to].Merge(snapshot), nil
@@ -227,6 +248,7 @@ func (g *Gossip) push(stores map[string]*Store, link Link, retry *resilience.Ret
 		g.mu.Lock()
 		g.retried++
 		g.mu.Unlock()
+		g.cRetries.Inc()
 		if prevOnRetry != nil {
 			prevOnRetry(attempt, err)
 		}

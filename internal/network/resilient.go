@@ -24,8 +24,8 @@ type ReliableSender struct {
 	// breaking.
 	Breakers *resilience.BreakerSet
 	// Metrics observes retries and breaker rejections
-	// (resilience.retries, resilience.breaker.rejected,
-	// resilience.sends.ok, resilience.sends.failed); may be nil.
+	// (resilience.retries, resilience.breaker_rejected, and
+	// resilience.sends labeled by result); may be nil.
 	Metrics *sim.Metrics
 }
 
@@ -37,7 +37,7 @@ func (s *ReliableSender) Send(msg Message) error {
 	if s.Breakers != nil {
 		breaker = s.Breakers.For(msg.To)
 		if !breaker.Allow() {
-			s.count("resilience.breaker.rejected")
+			s.count("resilience.breaker_rejected")
 			return resilience.ErrOpen
 		}
 	}
@@ -57,15 +57,24 @@ func (s *ReliableSender) Send(msg Message) error {
 		breaker.Record(err)
 	}
 	if err != nil {
-		s.count("resilience.sends.failed")
+		s.countResult("failed")
 		return err
 	}
-	s.count("resilience.sends.ok")
+	s.countResult("ok")
 	return nil
 }
 
 func (s *ReliableSender) count(name string) {
 	if s.Metrics != nil {
 		s.Metrics.Inc(name, 1)
+	}
+}
+
+func (s *ReliableSender) countResult(result string) {
+	if s.Metrics == nil {
+		return
+	}
+	if reg := s.Metrics.Registry(); reg != nil {
+		reg.Counter("resilience.sends", "result", result).Inc()
 	}
 }

@@ -5,13 +5,15 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // benchSet builds a policy set shaped like a generative-scale device:
 // policies spread over many event types, a sprinkling of wildcard
 // policies, roughly one forbid per seven policies, and threshold
 // conditions on half of them.
-func benchSet(b *testing.B, n int) (*Set, []Env) {
+func benchSet(b testing.TB, n int) (*Set, []Env) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(int64(n)))
 	eventTypes := 16
@@ -65,6 +67,50 @@ func BenchmarkEvaluate10(b *testing.B)  { benchEvaluate(b, 10) }
 func BenchmarkEvaluate100(b *testing.B) { benchEvaluate(b, 100) }
 func BenchmarkEvaluate1k(b *testing.B)  { benchEvaluate(b, 1000) }
 func BenchmarkEvaluate10k(b *testing.B) { benchEvaluate(b, 10000) }
+
+// BenchmarkEvaluate1kInstrumented measures the decision plane with
+// telemetry attached: every Evaluate is timed into the
+// policy.evaluate_ms histogram. Compare against BenchmarkEvaluate1k
+// for the instrumentation overhead (see EXPERIMENTS.md E14).
+func BenchmarkEvaluate1kInstrumented(b *testing.B) {
+	set, envs := benchSet(b, 1000)
+	set.Instrument(telemetry.NewRegistry(), "device", "bench")
+	set.Evaluate(envs[0]) // warm any compile path before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Evaluate(envs[i%len(envs)])
+	}
+}
+
+// TestEvaluateInstrumentationAllocs pins the E14 acceptance bound:
+// attaching the evaluate timer may cost at most 2 extra allocations
+// per evaluation over the uninstrumented path.
+func TestEvaluateInstrumentationAllocs(t *testing.T) {
+	plain, envs := benchSet(t, 1000)
+	plain.Evaluate(envs[0])
+	instrumented, envs2 := benchSet(t, 1000)
+	instrumented.Instrument(telemetry.NewRegistry(), "device", "bench")
+	instrumented.Evaluate(envs2[0])
+
+	const rounds = 200
+	base := testing.AllocsPerRun(rounds, func() {
+		for i := range envs {
+			plain.Evaluate(envs[i])
+		}
+	})
+	timed := testing.AllocsPerRun(rounds, func() {
+		for i := range envs2 {
+			instrumented.Evaluate(envs2[i])
+		}
+	})
+	// Both counts are per 8 evaluations; the bound is per evaluation.
+	perEval := (timed - base) / float64(len(envs2))
+	if perEval > 2 {
+		t.Errorf("instrumentation adds %.2f allocs per Evaluate (base %.1f, timed %.1f); bound is 2",
+			perEval, base, timed)
+	}
+}
 
 // BenchmarkEvaluateParallel1k measures concurrent readers while a
 // background writer keeps replacing one policy (forcing recompiles of

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ontology"
+	"repro/internal/telemetry"
 )
 
 // CategoryMatcher decides whether an action of category got is covered
@@ -58,6 +59,7 @@ type Set struct {
 	matchCat CategoryMatcher
 
 	snap  atomic.Pointer[Snapshot]
+	instr atomic.Pointer[setInstruments]
 	stats struct {
 		epoch        uint64
 		compiles     uint64
@@ -85,6 +87,37 @@ func WithCategoryMatcher(m CategoryMatcher) SetOption {
 // category is covered when it is-a the forbidden category.
 func TaxonomyMatcher(t *ontology.Taxonomy) CategoryMatcher {
 	return func(got, want ontology.Concept) bool { return t.IsA(got, want) }
+}
+
+// setInstruments bundles the decision-plane telemetry handles. They
+// are resolved once in Instrument; the hot path only nil-checks.
+type setInstruments struct {
+	evaluateMS *telemetry.Histogram
+	epoch      *telemetry.Gauge
+	compiles   *telemetry.Gauge
+	compileMS  *telemetry.Gauge
+}
+
+// Instrument publishes the set's decision-plane metrics into the
+// registry under policy.epoch, policy.compiles, policy.compile_ms
+// (gauges) and policy.evaluate_ms (a latency histogram), all carrying
+// the given labels (typically "device", <id>). It replaces the ad-hoc
+// per-device gauge names of earlier revisions. Instrumenting forces
+// one recompile so the published snapshot carries the evaluate timer;
+// a nil registry removes instrumentation.
+func (s *Set) Instrument(reg *telemetry.Registry, labels ...string) {
+	if reg == nil {
+		s.instr.Store(nil)
+		s.snap.Store(nil)
+		return
+	}
+	s.instr.Store(&setInstruments{
+		evaluateMS: reg.Histogram("policy.evaluate_ms", labels...),
+		epoch:      reg.Gauge("policy.epoch", labels...),
+		compiles:   reg.Gauge("policy.compiles", labels...),
+		compileMS:  reg.Gauge("policy.compile_ms", labels...),
+	})
+	s.snap.Store(nil)
 }
 
 // NewSet returns an empty policy set.
@@ -239,6 +272,12 @@ func (s *Set) Snapshot() *Snapshot {
 	s.stats.compiles++
 	s.stats.lastCompile = snap.compileTime
 	s.stats.totalCompile += snap.compileTime
+	if in := s.instr.Load(); in != nil {
+		snap.evalMS = in.evaluateMS
+		in.epoch.Set(float64(s.stats.epoch))
+		in.compiles.Set(float64(s.stats.compiles))
+		in.compileMS.Set(float64(snap.compileTime.Nanoseconds()) / 1e6)
+	}
 	s.snap.Store(snap)
 	return snap
 }

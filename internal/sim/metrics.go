@@ -4,70 +4,86 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+
+	"repro/internal/telemetry"
 )
 
-// Metrics is a thread-safe registry of named counters and gauges used
-// by experiments to tally outcomes (harm events, denials, bad-state
-// entries, ...).
+// Metrics is the legacy flat-name metrics facade experiments tally
+// outcomes through (harm events, denials, bad-state entries, ...). It
+// is now a compatibility shim over a telemetry.Registry: counters and
+// gauges written through this API land in the registry, alongside the
+// labeled metrics the framework emits directly — one store, one
+// exposition endpoint, no double accounting.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]int64
-	gauges   map[string]float64
+	reg *telemetry.Registry
 }
 
-// NewMetrics returns an empty registry.
+// NewMetrics returns a registry-backed metrics facade.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		counters: make(map[string]int64),
-		gauges:   make(map[string]float64),
-	}
+	return &Metrics{reg: telemetry.NewRegistry()}
 }
 
-// Inc adds delta to the named counter.
+// MetricsOver wraps an existing registry, so experiment tallies and
+// framework telemetry share one store (and one /metrics endpoint). A
+// nil registry allocates a fresh one.
+func MetricsOver(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Metrics{reg: reg}
+}
+
+// Registry exposes the backing registry for labeled instrumentation
+// and exposition.
+func (m *Metrics) Registry() *telemetry.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// Inc adds delta to the named (unlabeled) counter.
 func (m *Metrics) Inc(name string, delta int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.counters[name] += delta
+	m.reg.Counter(name).Add(delta)
 }
 
-// Counter returns the named counter's value.
+// Counter returns the named counter's value, summed across every label
+// set registered under the name — Counter("bus.dropped") is loss drops
+// plus partition drops.
 func (m *Metrics) Counter(name string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters[name]
+	return m.reg.CounterTotal(name)
 }
 
-// SetGauge records the named gauge's value.
+// SetGauge records the named (unlabeled) gauge's value.
 func (m *Metrics) SetGauge(name string, v float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.gauges[name] = v
+	m.reg.Gauge(name).Set(v)
 }
 
-// Gauge returns the named gauge's value.
+// Gauge returns the named (unlabeled) gauge's value.
 func (m *Metrics) Gauge(name string) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.gauges[name]
+	return m.reg.GaugeValue(name)
 }
 
-// Snapshot returns copies of all counters and gauges.
+// Snapshot returns copies of all counters and gauges. Labeled
+// instances appear under flattened keys in canonical form, e.g.
+// bus.dropped{cause="loss"}.
 func (m *Metrics) Snapshot() (map[string]int64, map[string]float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	counters := make(map[string]int64, len(m.counters))
-	for k, v := range m.counters {
-		counters[k] = v
-	}
-	gauges := make(map[string]float64, len(m.gauges))
-	for k, v := range m.gauges {
-		gauges[k] = v
+	counters := make(map[string]int64)
+	gauges := make(map[string]float64)
+	for _, s := range m.reg.Snapshot() {
+		key := s.Name + s.LabelString()
+		switch s.Kind {
+		case telemetry.KindCounter:
+			counters[key] = int64(s.Value)
+		case telemetry.KindGauge:
+			gauges[key] = s.Value
+		}
 	}
 	return counters, gauges
 }
 
-// String renders all metrics deterministically, one per line.
+// String renders all counters and gauges deterministically, one per
+// line.
 func (m *Metrics) String() string {
 	counters, gauges := m.Snapshot()
 	var lines []string

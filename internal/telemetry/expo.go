@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMetrics renders the registry in Prometheus text exposition
+// format (text/plain; version=0.0.4): one # HELP / # TYPE header per
+// metric family, then one line per (labels) instance, deterministic
+// order. Dots in metric names become underscores (policy.compile_ms →
+// policy_compile_ms); label values are quoted and escaped.
+func WriteMetrics(w io.Writer, r *Registry) error {
+	samples := r.Snapshot()
+
+	// Group by family name, preserving the snapshot's deterministic
+	// order within each family.
+	type family struct {
+		name string
+		kind Kind
+		rows []Sample
+	}
+	byName := make(map[string]*family)
+	var order []string
+	for _, s := range samples {
+		f, ok := byName[s.Name]
+		if !ok {
+			f = &family{name: s.Name, kind: s.Kind}
+			byName[s.Name] = f
+			order = append(order, s.Name)
+		}
+		f.rows = append(f.rows, s)
+	}
+	sort.Strings(order)
+
+	for _, name := range order {
+		f := byName[name]
+		expoName := sanitizeName(f.name)
+		help := ""
+		if d, ok := Lookup(f.name); ok {
+			help = d.Help
+		}
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", expoName, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", expoName, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.rows {
+			if err := writeSample(w, expoName, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, expoName string, s Sample) error {
+	switch s.Kind {
+	case KindHistogram:
+		h := s.Hist
+		for i, bound := range h.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				expoName, labelsWithLE(s.Labels, formatFloat(bound)), h.Counts[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			expoName, labelsWithLE(s.Labels, "+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", expoName, expoLabels(s.Labels), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", expoName, expoLabels(s.Labels), h.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", expoName, expoLabels(s.Labels), formatFloat(s.Value))
+		return err
+	}
+}
+
+// sanitizeName maps subsystem.name onto a Prometheus-legal metric
+// name.
+func sanitizeName(name string) string {
+	return strings.ReplaceAll(name, ".", "_")
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func expoLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, sanitizeName(l.Key), escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelsWithLE renders the labels plus the histogram bucket's le label
+// (always last, per convention).
+func labelsWithLE(labels []Label, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		fmt.Fprintf(&b, `%s="%s",`, sanitizeName(l.Key), escapeLabelValue(l.Value))
+	}
+	fmt.Fprintf(&b, `le="%s"`, le)
+	b.WriteByte('}')
+	return b.String()
+}

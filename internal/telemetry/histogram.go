@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets are the default histogram upper bounds, in
+// milliseconds: microseconds to seconds, roughly logarithmic. They
+// cover everything from a lock-free policy evaluation (~µs) to a slow
+// chaos-degraded delivery (~s).
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000,
+}
+
+// Histogram counts observations into cumulative buckets with fixed
+// upper bounds, plus a running sum and count. Observe is lock-free
+// (atomics only); a nil *Histogram no-ops.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	return &Histogram{
+		bounds:  own,
+		buckets: make([]atomic.Uint64, len(own)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bucket index by binary search over the fixed bounds.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v > h.bounds[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// exposition (bucket counts are read individually; a snapshot taken
+// mid-observation may lag by the in-flight sample).
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] is the number of
+	// observations ≤ Bounds[i] (cumulative). Counts has one extra
+	// final element for +Inf, equal to Count.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram state with cumulative bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		s.Counts[i] = cum
+	}
+	s.Count = cum
+	return s
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}

@@ -1,0 +1,319 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready; a nil *Counter no-ops, so unconfigured call sites cost one
+// branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(delta int64) {
+	if c != nil && delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. A nil *Gauge no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Label is one name=value pair attached to a metric.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Kind distinguishes the metric families in a snapshot.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Sample is one metric instance in a Snapshot.
+type Sample struct {
+	Name   string
+	Labels []Label // sorted by key
+	Kind   Kind
+	// Value holds the counter or gauge value.
+	Value float64
+	// Hist holds the bucket snapshot for histograms, nil otherwise.
+	Hist *HistogramSnapshot
+}
+
+// LabelString renders the labels canonically: {k1="v1",k2="v2"}, or ""
+// when unlabeled.
+func (s Sample) LabelString() string {
+	return labelString(s.Labels)
+}
+
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry interns metric handles by (name, labels). Handle lookup
+// takes a mutex; the handles themselves update with single atomics, so
+// call sites that cache their handles have lock-free hot paths. A nil
+// *Registry hands out nil handles, which no-op — instrumentation can
+// be left in place unconditionally.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*metricEntry[*Counter]
+	gauges     map[string]*metricEntry[*Gauge]
+	histograms map[string]*metricEntry[*Histogram]
+}
+
+type metricEntry[T any] struct {
+	name   string
+	labels []Label
+	metric T
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*metricEntry[*Counter]),
+		gauges:     make(map[string]*metricEntry[*Gauge]),
+		histograms: make(map[string]*metricEntry[*Histogram]),
+	}
+}
+
+// labelsFromKV pairs up a variadic "k1, v1, k2, v2" list, sorted by
+// key. Odd trailing keys get an empty value rather than panicking —
+// a misinstrumented call site must never crash the collective.
+func labelsFromKV(kv []string) []Label {
+	if len(kv) == 0 {
+		return nil
+	}
+	labels := make([]Label, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		l := Label{Key: kv[i]}
+		if i+1 < len(kv) {
+			l.Value = kv[i+1]
+		}
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	return labels
+}
+
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + labelString(labels)
+}
+
+// Counter interns the counter for (name, labels). Labels are given as
+// alternating key, value strings.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	labels := labelsFromKV(kv)
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.counters[key]; ok {
+		return e.metric
+	}
+	e := &metricEntry[*Counter]{name: name, labels: labels, metric: &Counter{}}
+	r.counters[key] = e
+	return e.metric
+}
+
+// Gauge interns the gauge for (name, labels).
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	labels := labelsFromKV(kv)
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.gauges[key]; ok {
+		return e.metric
+	}
+	e := &metricEntry[*Gauge]{name: name, labels: labels, metric: &Gauge{}}
+	r.gauges[key] = e
+	return e.metric
+}
+
+// Histogram interns the histogram for (name, labels) with the default
+// latency buckets (see DefaultLatencyBuckets).
+func (r *Registry) Histogram(name string, kv ...string) *Histogram {
+	return r.HistogramBuckets(name, nil, kv...)
+}
+
+// HistogramBuckets interns the histogram for (name, labels) with
+// explicit bucket upper bounds (ascending); nil bounds use the
+// defaults. Bounds are fixed at first intern; later calls reuse the
+// existing histogram.
+func (r *Registry) HistogramBuckets(name string, bounds []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	labels := labelsFromKV(kv)
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.histograms[key]; ok {
+		return e.metric
+	}
+	e := &metricEntry[*Histogram]{name: name, labels: labels, metric: newHistogram(bounds)}
+	r.histograms[key] = e
+	return e.metric
+}
+
+// CounterTotal sums every counter instance registered under the name,
+// across all label sets. It is the aggregation legacy flat-name
+// readers want: Counter("bus.dropped") = loss drops + partition drops.
+func (r *Registry) CounterTotal(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, e := range r.counters {
+		if e.name == name {
+			total += e.metric.Value()
+		}
+	}
+	return total
+}
+
+// GaugeValue returns the unlabeled gauge's value (0 when absent).
+func (r *Registry) GaugeValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.gauges[name]; ok {
+		return e.metric.Value()
+	}
+	return 0
+}
+
+// Snapshot returns every metric instance, deterministically ordered by
+// kind, name, then canonical label string.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	samples := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for _, e := range r.counters {
+		samples = append(samples, Sample{
+			Name: e.name, Labels: e.labels, Kind: KindCounter,
+			Value: float64(e.metric.Value()),
+		})
+	}
+	for _, e := range r.gauges {
+		samples = append(samples, Sample{
+			Name: e.name, Labels: e.labels, Kind: KindGauge,
+			Value: e.metric.Value(),
+		})
+	}
+	for _, e := range r.histograms {
+		hs := e.metric.Snapshot()
+		samples = append(samples, Sample{
+			Name: e.name, Labels: e.labels, Kind: KindHistogram,
+			Hist: &hs,
+		})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].Kind != samples[j].Kind {
+			return samples[i].Kind < samples[j].Kind
+		}
+		if samples[i].Name != samples[j].Name {
+			return samples[i].Name < samples[j].Name
+		}
+		return labelString(samples[i].Labels) < labelString(samples[j].Labels)
+	})
+	return samples
+}
+
+// Names returns the distinct metric names in use, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	set := make(map[string]bool)
+	for _, e := range r.counters {
+		set[e.name] = true
+	}
+	for _, e := range r.gauges {
+		set[e.name] = true
+	}
+	for _, e := range r.histograms {
+		set[e.name] = true
+	}
+	r.mu.Unlock()
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

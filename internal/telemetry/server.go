@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server is the opt-in live exposition endpoint: /metrics (Prometheus
+// text format), /traces (recent finished spans as JSON), /healthz.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the endpoint on addr (e.g. ":9090" or "127.0.0.1:0").
+// The registry and tracer may each be nil; the corresponding endpoint
+// then serves empty output.
+func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteMetrics(w, reg)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		spans := tracer.Spans()
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, err := strconv.ParseUint(q, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			spans = tracer.TraceSpans(TraceID(id))
+		}
+		if q := r.URL.Query().Get("limit"); q != "" {
+			limit, err := strconv.Atoi(q)
+			if err != nil || limit < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			if limit < len(spans) {
+				spans = spans[len(spans)-limit:]
+			}
+		}
+		if spans == nil {
+			spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(spans)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bus.delivered").Add(3)
+	tr := NewTracer()
+	root := tr.StartSpan("command", "human", SpanContext{})
+	tr.StartSpan("device.handle", "d1", root.Context()).Finish()
+	root.Finish()
+	other := tr.StartSpan("command", "human", SpanContext{})
+	other.Finish()
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "bus_delivered 3") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces = %d", code)
+	}
+	var spans []Span
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/traces not JSON: %v\n%s", err, body)
+	}
+	if len(spans) != 3 {
+		t.Errorf("/traces spans = %d, want 3", len(spans))
+	}
+
+	// Filter by trace.
+	code, body = get(t, base+"/traces?trace="+root.Trace.String())
+	if code != http.StatusOK {
+		t.Fatalf("/traces?trace = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Errorf("filtered spans = %d, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Trace != root.Trace {
+			t.Errorf("filter leaked trace %s", s.Trace)
+		}
+	}
+
+	// Limit.
+	code, body = get(t, base+"/traces?limit=1")
+	if code != http.StatusOK {
+		t.Fatal(code)
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Errorf("limited spans = %d, want 1", len(spans))
+	}
+
+	if code, _ := get(t, base+"/traces?trace=nothex"); code != http.StatusBadRequest {
+		t.Errorf("bad trace id = %d, want 400", code)
+	}
+}
+
+func TestServerNilBackends(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK || body != "" {
+		t.Errorf("/metrics on nil registry = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/traces"); code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Errorf("/traces on nil tracer = %d %q", code, body)
+	}
+}

@@ -1,0 +1,26 @@
+// Package telemetry is the observability layer of the framework:
+// labeled metrics and causal decision traces, with Prometheus-style
+// text exposition and a live HTTP endpoint.
+//
+// The paper's prevention mechanisms presuppose that humans can see
+// what the collective decided and why — break-glass use "would require
+// support for audits" (Section VI.B), and deactivation and oversight
+// rulings must be reviewable. This package gives every such decision a
+// measurable, queryable signal:
+//
+//   - A Registry of counters, gauges and bucketed histograms keyed by
+//     (name, labels), with lock-free hot paths through pre-resolved
+//     handles and a deterministic Snapshot. Metric names follow a
+//     single subsystem.name convention enforced by CheckName.
+//   - A Tracer producing causally linked spans: a human command gets a
+//     TraceID at intake, and the span context is threaded through
+//     decomposition, policy evaluation, every guard verdict, actuation
+//     and the matching audit entry — across devices, because the
+//     context rides in event labels over the bus.
+//   - WriteMetrics renders a Registry in Prometheus text exposition
+//     format; Serve exposes /metrics, /traces and /healthz over HTTP.
+//
+// Everything degrades to (near-)zero cost when unconfigured: a nil
+// *Registry hands out nil handles, and nil handles and nil tracers
+// no-op, so the instrumented hot paths pay only a nil check.
+package telemetry

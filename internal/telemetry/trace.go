@@ -1,0 +1,347 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one causal chain: everything that happened
+// because of one command (or other root stimulus) shares a TraceID.
+type TraceID uint64
+
+// SpanID identifies one operation within a trace.
+type SpanID uint64
+
+// String renders the ID as fixed-width hex.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// String renders the ID as fixed-width hex.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// MarshalJSON encodes the ID as a quoted hex string.
+func (t TraceID) MarshalJSON() ([]byte, error) { return []byte(`"` + t.String() + `"`), nil }
+
+// MarshalJSON encodes the ID as a quoted hex string.
+func (s SpanID) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// UnmarshalJSON decodes a quoted hex string.
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	v, err := unmarshalHexID(b)
+	*t = TraceID(v)
+	return err
+}
+
+// UnmarshalJSON decodes a quoted hex string.
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	v, err := unmarshalHexID(b)
+	*s = SpanID(v)
+	return err
+}
+
+func unmarshalHexID(b []byte) (uint64, error) {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return 0, err
+	}
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// SpanContext is the propagated reference to a span: enough to parent
+// a child span on another device, across the bus.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context refers to a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 && sc.Span != 0 }
+
+// Reserved event-label keys the span context travels under. They ride
+// in policy.Event.Labels, so causality survives bus hops (including
+// chaos-degraded ones — a retried or duplicated delivery carries the
+// same context).
+const (
+	// TraceLabelKey carries the TraceID in event labels.
+	TraceLabelKey = "telemetry.trace"
+	// SpanLabelKey carries the parent SpanID in event labels.
+	SpanLabelKey = "telemetry.span"
+)
+
+// Inject writes the span context into the label map, allocating one if
+// needed, and returns the map. Invalid contexts inject nothing.
+func Inject(sc SpanContext, labels map[string]string) map[string]string {
+	if !sc.Valid() {
+		return labels
+	}
+	if labels == nil {
+		labels = make(map[string]string, 2)
+	}
+	labels[TraceLabelKey] = sc.Trace.String()
+	labels[SpanLabelKey] = sc.Span.String()
+	return labels
+}
+
+// Extract reads a span context from event labels; the zero context is
+// returned when none (or a malformed one) is present.
+func Extract(labels map[string]string) SpanContext {
+	if len(labels) == 0 {
+		return SpanContext{}
+	}
+	t, err1 := strconv.ParseUint(labels[TraceLabelKey], 16, 64)
+	s, err2 := strconv.ParseUint(labels[SpanLabelKey], 16, 64)
+	if err1 != nil || err2 != nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: TraceID(t), Span: SpanID(s)}
+}
+
+// Span is one timed operation in a trace. Spans are not safe for
+// concurrent mutation; the goroutine that starts a span sets its
+// attributes and ends it.
+type Span struct {
+	Trace  TraceID           `json:"trace"`
+	ID     SpanID            `json:"span"`
+	Parent SpanID            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Actor  string            `json:"actor,omitempty"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+
+	tracer *Tracer
+}
+
+// Context returns the propagation context for parenting child spans.
+// A nil span returns the zero (invalid) context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.Trace, Span: s.ID}
+}
+
+// SetAttr attaches one key/value attribute; no-op on a nil span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[k] = v
+}
+
+// Finish stamps the end time and commits the span to the tracer's ring
+// buffer. Finishing twice commits once; finishing a nil span no-ops.
+func (s *Span) Finish() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	t := s.tracer
+	s.tracer = nil
+	s.End = t.now()
+	t.commit(*s)
+}
+
+// Tracer collects finished spans into a bounded ring buffer. Span IDs
+// are drawn from per-tracer atomic counters, so runs on the virtual
+// clock stay deterministic. A nil *Tracer hands out nil spans, which
+// no-op.
+type Tracer struct {
+	now  func() time.Time
+	next atomic.Uint64
+
+	spans   *Counter
+	evicted *Counter
+
+	mu    sync.Mutex
+	ring  []Span
+	head  int // next write position
+	count int // committed spans currently buffered
+}
+
+// TracerOption configures a Tracer.
+type TracerOption interface {
+	apply(*Tracer)
+}
+
+type tracerOptionFunc func(*Tracer)
+
+func (f tracerOptionFunc) apply(t *Tracer) { f(t) }
+
+// WithSpanClock injects the time source spans are stamped with (e.g.
+// the simulation clock).
+func WithSpanClock(now func() time.Time) TracerOption {
+	return tracerOptionFunc(func(t *Tracer) { t.now = now })
+}
+
+// WithCapacity bounds the ring buffer (default 4096 finished spans;
+// the oldest are evicted first).
+func WithCapacity(n int) TracerOption {
+	return tracerOptionFunc(func(t *Tracer) {
+		if n > 0 {
+			t.ring = make([]Span, n)
+		}
+	})
+}
+
+// WithTracerMetrics accounts finished and evicted spans in the
+// registry (trace.spans, trace.evicted).
+func WithTracerMetrics(r *Registry) TracerOption {
+	return tracerOptionFunc(func(t *Tracer) {
+		t.spans = r.Counter("trace.spans")
+		t.evicted = r.Counter("trace.evicted")
+	})
+}
+
+// NewTracer builds a tracer.
+func NewTracer(opts ...TracerOption) *Tracer {
+	t := &Tracer{now: time.Now}
+	for _, o := range opts {
+		o.apply(t)
+	}
+	if t.ring == nil {
+		t.ring = make([]Span, 4096)
+	}
+	return t
+}
+
+// StartSpan opens a span. An invalid (zero) parent starts a new trace;
+// a valid parent continues the parent's trace. Returns nil on a nil
+// tracer, so call sites need no guards.
+func (t *Tracer) StartSpan(name, actor string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	id := SpanID(t.next.Add(1))
+	trace := parent.Trace
+	if !parent.Valid() {
+		// A fresh trace: reuse the span ID as the trace ID — unique
+		// within the tracer, stable across reruns.
+		trace = TraceID(id)
+	}
+	return &Span{
+		Trace:  trace,
+		ID:     id,
+		Parent: parent.Span,
+		Name:   name,
+		Actor:  actor,
+		Start:  t.now(),
+		tracer: t,
+	}
+}
+
+// commit appends one finished span to the ring.
+func (t *Tracer) commit(s Span) {
+	t.spans.Inc()
+	t.mu.Lock()
+	if t.count == len(t.ring) {
+		t.evicted.Inc()
+	} else {
+		t.count++
+	}
+	t.ring[t.head] = s
+	t.head = (t.head + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Spans returns the buffered finished spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.count)
+	start := (t.head - t.count + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// TraceSpans returns the buffered spans of one trace, oldest first.
+func (t *Tracer) TraceSpans(id TraceID) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.Trace == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes the buffered spans as JSON lines, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes spans written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	dec := json.NewDecoder(r)
+	for {
+		var s Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+}
+
+// CheckConnected verifies that the spans form one connected trace: a
+// single shared TraceID, exactly one root (no parent), and every
+// other span's parent present in the set — no orphans. It is the
+// invariant the cross-device propagation tests (and trace tooling)
+// assert.
+func CheckConnected(spans []Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("telemetry: no spans")
+	}
+	trace := spans[0].Trace
+	ids := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		if s.Trace != trace {
+			return fmt.Errorf("telemetry: spans from multiple traces (%s and %s)", trace, s.Trace)
+		}
+		ids[s.ID] = true
+	}
+	roots := 0
+	var orphans []string
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots++
+			continue
+		}
+		if !ids[s.Parent] {
+			orphans = append(orphans, fmt.Sprintf("%s(%s)", s.Name, s.ID))
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("telemetry: trace %s has %d roots, want 1", trace, roots)
+	}
+	if len(orphans) > 0 {
+		sort.Strings(orphans)
+		return fmt.Errorf("telemetry: trace %s has orphan spans %v", trace, orphans)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testClock() func() time.Time {
+	t := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestSpanParenting(t *testing.T) {
+	tr := NewTracer(WithSpanClock(testClock()))
+	root := tr.StartSpan("command", "human", SpanContext{})
+	child := tr.StartSpan("device.handle", "d1", root.Context())
+	grand := tr.StartSpan("guard.check", "d1", child.Context())
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "guard.check" || spans[2].Name != "command" {
+		t.Errorf("spans not in finish order: %s ... %s", spans[0].Name, spans[2].Name)
+	}
+	for _, s := range spans {
+		if s.Trace != root.Trace {
+			t.Errorf("span %s trace = %s, want %s", s.Name, s.Trace, root.Trace)
+		}
+	}
+	if spans[0].Parent != child.ID || spans[1].Parent != root.ID || spans[2].Parent != 0 {
+		t.Error("parent links wrong")
+	}
+	if err := CheckConnected(spans); err != nil {
+		t.Errorf("CheckConnected: %v", err)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartSpan("x", "a", SpanContext{})
+	if s != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	s.SetAttr("k", "v") // must not panic
+	s.Finish()
+	if s.Context().Valid() {
+		t.Error("nil span context must be invalid")
+	}
+	if tr.Spans() != nil {
+		t.Error("nil tracer must have no spans")
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	tr := NewTracer()
+	span := tr.StartSpan("command", "human", SpanContext{})
+	labels := Inject(span.Context(), nil)
+	if got := Extract(labels); got != span.Context() {
+		t.Errorf("Extract = %+v, want %+v", got, span.Context())
+	}
+	// Invalid context injects nothing.
+	if got := Inject(SpanContext{}, nil); got != nil {
+		t.Errorf("invalid Inject allocated labels: %v", got)
+	}
+	// Garbage labels extract as zero.
+	if got := Extract(map[string]string{TraceLabelKey: "zzz", SpanLabelKey: "1"}); got.Valid() {
+		t.Errorf("malformed labels extracted as %+v", got)
+	}
+	if got := Extract(nil); got.Valid() {
+		t.Error("nil labels must extract invalid")
+	}
+}
+
+func TestRingBound(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(WithCapacity(4), WithTracerMetrics(reg))
+	for i := 0; i < 10; i++ {
+		tr.StartSpan("s", "a", SpanContext{}).Finish()
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(spans))
+	}
+	// Oldest evicted: the survivors are the last four started.
+	if spans[0].ID != 7 || spans[3].ID != 10 {
+		t.Errorf("ring contents = %v..%v, want 7..10", spans[0].ID, spans[3].ID)
+	}
+	if got := reg.CounterTotal("trace.spans"); got != 10 {
+		t.Errorf("trace.spans = %d, want 10", got)
+	}
+	if got := reg.CounterTotal("trace.evicted"); got != 6 {
+		t.Errorf("trace.evicted = %d, want 6", got)
+	}
+}
+
+func TestDoubleFinish(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartSpan("x", "a", SpanContext{})
+	s.Finish()
+	s.Finish()
+	if got := len(tr.Spans()); got != 1 {
+		t.Errorf("double finish committed %d spans, want 1", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(WithSpanClock(testClock()))
+	root := tr.StartSpan("command", "human", SpanContext{})
+	root.SetAttr("event", "tick")
+	child := tr.StartSpan("device.handle", "d1", root.Context())
+	child.Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", lines)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round-trip spans = %d, want 2", len(got))
+	}
+	if got[1].Name != "command" || got[1].Attrs["event"] != "tick" {
+		t.Errorf("round-trip lost fields: %+v", got[1])
+	}
+	if got[0].Trace != root.Trace || got[0].Parent != root.ID {
+		t.Errorf("round-trip lost causality: %+v", got[0])
+	}
+	if err := CheckConnected(got); err != nil {
+		t.Errorf("CheckConnected after round-trip: %v", err)
+	}
+}
+
+func TestCheckConnectedFailures(t *testing.T) {
+	if err := CheckConnected(nil); err == nil {
+		t.Error("empty span set must fail")
+	}
+	// Orphan: parent 99 absent.
+	spans := []Span{
+		{Trace: 1, ID: 1, Name: "root"},
+		{Trace: 1, ID: 2, Parent: 99, Name: "orphan"},
+	}
+	if err := CheckConnected(spans); err == nil || !strings.Contains(err.Error(), "orphan") {
+		t.Errorf("orphan not detected: %v", err)
+	}
+	// Two traces.
+	spans = []Span{{Trace: 1, ID: 1}, {Trace: 2, ID: 2}}
+	if err := CheckConnected(spans); err == nil || !strings.Contains(err.Error(), "multiple traces") {
+		t.Errorf("multi-trace not detected: %v", err)
+	}
+	// Two roots.
+	spans = []Span{{Trace: 1, ID: 1}, {Trace: 1, ID: 2}}
+	if err := CheckConnected(spans); err == nil || !strings.Contains(err.Error(), "roots") {
+		t.Errorf("double root not detected: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Observability smoke test: run a short scenario with the live
+# telemetry endpoint up, then assert /metrics serves well-formed
+# Prometheus text (including per-guard decision counters) and /traces
+# serves non-empty JSON spans.
+set -eu
+
+ADDR="127.0.0.1:19617"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"; [ -n "${SIM_PID:-}" ] && kill "$SIM_PID" 2>/dev/null || true' EXIT
+
+go build -o "$TMP/skynetsim" ./cmd/skynetsim
+
+"$TMP/skynetsim" --metrics-addr "$ADDR" --trace-out "$TMP/spans.jsonl" \
+    --linger 10s scenarios/overheat.json >"$TMP/run.out" 2>&1 &
+SIM_PID=$!
+
+# Wait for the server to come up (the scenario itself finishes in
+# milliseconds; the linger keeps the endpoint alive for us).
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "obs-smoke: metrics server never came up" >&2
+        cat "$TMP/run.out" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.txt"
+curl -fsS "http://$ADDR/traces" >"$TMP/traces.json"
+
+fail() {
+    echo "obs-smoke: $1" >&2
+    echo "--- /metrics ---" >&2
+    cat "$TMP/metrics.txt" >&2
+    exit 1
+}
+
+[ -s "$TMP/metrics.txt" ] || fail "/metrics is empty"
+grep -q '^# TYPE guard_decisions counter$' "$TMP/metrics.txt" ||
+    fail "/metrics missing guard_decisions type line"
+grep -q '^guard_decisions{' "$TMP/metrics.txt" ||
+    fail "/metrics missing per-guard decision counters"
+grep -q '^guard_check_ms_bucket{' "$TMP/metrics.txt" ||
+    fail "/metrics missing guard latency histogram buckets"
+grep -q '^bus_delivered\|^core_commands' "$TMP/metrics.txt" ||
+    fail "/metrics missing delivery accounting"
+# Every sample line must parse as name{labels} value or name value.
+if grep -vE '^(#.*|[a-z_]+(\{[^}]*\})? [0-9eE.+-]+)$' "$TMP/metrics.txt" |
+    grep -q .; then
+    fail "/metrics has malformed lines"
+fi
+
+grep -q '"trace":' "$TMP/traces.json" || fail "/traces has no spans"
+grep -q '"name":"guard.check"' "$TMP/traces.json" ||
+    fail "/traces missing guard.check spans"
+
+kill "$SIM_PID"
+wait "$SIM_PID" 2>/dev/null || true
+SIM_PID=""
+
+echo "obs-smoke: ok"
