@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race race cover bench experiments examples obs-smoke
+.PHONY: all build vet test test-race race cover bench bench-json bench-fleet experiments examples obs-smoke
 
 all: build test
 
@@ -20,9 +20,15 @@ obs-smoke:
 	sh scripts/obs_smoke.sh
 
 # Race-check the library packages (the chaos and resilience tests
-# exercise concurrent senders); `race` covers the whole module.
+# exercise concurrent senders); `race` covers the whole module. The
+# second command repeats the parallel-determinism differentials under
+# the race detector — goroutine schedules vary across -count runs, so
+# byte-identical journals twice in a row is strong evidence the merge
+# order really is deterministic.
 test-race:
 	go test -race ./internal/...
+	go test -race -count=2 -run 'TestParallelDeterminism|TestE15Determinism' \
+		./internal/sim ./internal/experiments
 
 race:
 	go test -race ./...
@@ -34,6 +40,19 @@ cover:
 # bench.txt for before/after comparisons (see EXPERIMENTS.md E13).
 bench:
 	go test -bench=. -benchmem -count=5 ./... | tee bench.txt
+
+# Machine-readable benchmark results: run the suite (3 repetitions for
+# turnaround), then distill bench.txt into BENCH_PR4.json.
+bench-json:
+	go test -bench=. -benchmem -count=3 ./... | tee bench.txt
+	sh scripts/bench_json.sh bench.txt BENCH_PR4.json
+
+# The 10k-device parallel-fleet benchmarks only (E15). One run per
+# variant: each iteration is a whole 30-virtual-second fleet, so
+# -benchtime=1x keeps the loop honest.
+bench-fleet:
+	go test -bench='BenchmarkE15Fleet' -benchmem -benchtime=1x -count=3 \
+		./internal/experiments
 
 experiments:
 	go run ./cmd/experiments

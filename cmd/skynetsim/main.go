@@ -14,6 +14,13 @@
 //	--trace-out file      write the span ring buffer as JSONL on exit
 //	--linger d            keep the process (and metrics server) alive
 //	                      for d after the scenario completes
+//	--parallelism n       run the event stream on the discrete-event
+//	                      engine with n workers: deliveries are sharded
+//	                      per target device, watchdog sweeps are serial
+//	                      barriers, and the audit journal (on virtual
+//	                      time) is byte-identical to a serial run.
+//	                      Incompatible with a chaos block, whose fault
+//	                      sampling is delivery-order-dependent.
 //
 // Scenario format:
 //
@@ -51,6 +58,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -138,6 +146,7 @@ func run(args []string, out io.Writer) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces and /healthz on this address")
 	traceOut := fs.String("trace-out", "", "write finished spans as JSONL to this file on exit")
 	linger := fs.Duration("linger", 0, "keep the process (and metrics server) alive this long after the run")
+	parallelism := fs.Int("parallelism", 1, "engine workers for sharded event delivery (1 = serial, no engine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -179,7 +188,24 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	log := audit.New()
+	if *parallelism > 1 && sc.Chaos != nil {
+		return fmt.Errorf("--parallelism cannot be combined with a chaos block: bus fault sampling is delivery-order-dependent")
+	}
+	// In parallel mode the scenario runs on the discrete-event engine
+	// and the journal is stamped with virtual time, so its hash chain is
+	// reproducible at any worker count.
+	var (
+		clock  *sim.Clock
+		engine *sim.Engine
+	)
+	var logOpts []audit.Option
+	if *parallelism > 1 {
+		clock = sim.NewClock(time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC))
+		engine = sim.NewEngine(clock)
+		engine.SetParallelism(*parallelism)
+		logOpts = append(logOpts, audit.WithClock(clock.Now))
+	}
+	log := audit.New(logOpts...)
 	coreCfg := core.Config{
 		Name:            sc.Name,
 		Audit:           log,
@@ -286,6 +312,131 @@ func run(args []string, out io.Writer) error {
 
 	executed, denied := 0, 0
 	sendFailures, recoveries := 0, 0
+	if engine != nil {
+		executed, denied, err = runShardedEvents(sc, collective, engine, clock, out)
+		if err != nil {
+			return err
+		}
+	} else {
+		executed, denied, sendFailures, recoveries = runSerialEvents(
+			sc, collective, specByID, guardFor, log, tracer, registry, sender, out)
+	}
+	if sc.Chaos != nil {
+		executed = len(log.ByKind(audit.KindAction))
+		denied = len(log.ByKind(audit.KindDenial))
+	}
+
+	fmt.Fprintf(out, "scenario %q complete\n", sc.Name)
+	fmt.Fprintf(out, "  actions executed: %d\n", executed)
+	fmt.Fprintf(out, "  actions denied:   %d\n", denied)
+	fmt.Fprintf(out, "  active devices:   %d/%d\n", collective.ActiveCount(), len(collective.Devices()))
+	for _, d := range collective.Devices() {
+		status := "active"
+		if d.Deactivated() {
+			status = "DEACTIVATED"
+		}
+		fmt.Fprintf(out, "  %s: %s state=%s\n", d.ID(), status, d.CurrentState())
+	}
+	if sc.Chaos != nil {
+		delivered, dropped := bus.Stats()
+		fmt.Fprintf(out, "  chaos: delivered=%d dropped=%d duplicated=%d retries=%d breaker-opens=%d send-failures=%d recoveries=%d\n",
+			delivered, dropped, bus.Duplicated(),
+			metrics.Counter("resilience.retries"), sender.Breakers.Opens(),
+			sendFailures, recoveries)
+	}
+	if err := log.Verify(); err != nil {
+		return fmt.Errorf("audit chain broken: %w", err)
+	}
+	fmt.Fprintf(out, "  audit: %d entries, chain verified\n", log.Len())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  traces: %d spans written to %s\n", len(tracer.Spans()), *traceOut)
+	}
+	if *linger > 0 {
+		fmt.Fprintf(out, "  lingering %s\n", *linger)
+		time.Sleep(*linger)
+	}
+	return nil
+}
+
+// runShardedEvents runs the scenario's event stream on the engine:
+// step s fires at s virtual seconds, each target's delivery is an
+// event sharded by device ID (so the fleet fans out across the worker
+// pool with per-device ordering intact), and the periodic watchdog
+// sweep is an unkeyed barrier sequenced after the step's deliveries.
+// Tallies are atomics — commutative, hence identical at any worker
+// count — and audit appends merge through the delivery lanes in
+// deterministic (time, seq) order.
+func runShardedEvents(sc scenario, collective *core.Collective, engine *sim.Engine,
+	clock *sim.Clock, out io.Writer) (executed, denied int, err error) {
+	var execN, denyN atomic.Int64
+	step := 0
+	for _, ev := range sc.Events {
+		repeat := ev.Repeat
+		if repeat <= 0 {
+			repeat = 1
+		}
+		for r := 0; r < repeat; r++ {
+			step++
+			at := time.Duration(step) * time.Second
+			event := policy.Event{Type: ev.Type, Source: "scenario", Attrs: ev.Attrs}
+			targets := []string{ev.Target}
+			if ev.Target == "*" || ev.Target == "" {
+				targets = targets[:0]
+				for _, d := range collective.Devices() {
+					targets = append(targets, d.ID())
+				}
+			}
+			for _, id := range targets {
+				id := id
+				engine.ScheduleShard(at, id, func(lane *sim.Lane) {
+					execs, err := collective.DeliverWith(id, event, lane)
+					if err != nil {
+						return // removed or deactivated devices do not act
+					}
+					for _, e := range execs {
+						if e.Executed() {
+							execN.Add(1)
+						} else if !e.Verdict.Allowed() {
+							denyN.Add(1)
+						}
+					}
+				})
+			}
+			if step%sc.SweepEvery == 0 {
+				s := step
+				engine.Schedule(at, func() {
+					if deactivated, _ := collective.SweepWatchdog(); len(deactivated) > 0 {
+						fmt.Fprintf(out, "step %d: watchdog deactivated %v\n", s, deactivated)
+					}
+				})
+			}
+		}
+	}
+	if err := engine.Run(clock.Now().Add(time.Duration(step+1) * time.Second)); err != nil {
+		return 0, 0, err
+	}
+	return int(execN.Load()), int(denyN.Load()), nil
+}
+
+// runSerialEvents is the original synchronous event loop: direct (or
+// chaos-bus) delivery step by step, with checkpointing, scripted
+// crash/restart and inline watchdog sweeps.
+func runSerialEvents(sc scenario, collective *core.Collective, specByID map[string]deviceSpec,
+	guardFor func(deviceSpec) guard.Guard, log *audit.Log, tracer *telemetry.Tracer,
+	registry *telemetry.Registry, sender *network.ReliableSender,
+	out io.Writer) (executed, denied, sendFailures, recoveries int) {
 	step := 0
 	for _, ev := range sc.Events {
 		repeat := ev.Repeat
@@ -383,53 +534,7 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	if sc.Chaos != nil {
-		executed = len(log.ByKind(audit.KindAction))
-		denied = len(log.ByKind(audit.KindDenial))
-	}
-
-	fmt.Fprintf(out, "scenario %q complete\n", sc.Name)
-	fmt.Fprintf(out, "  actions executed: %d\n", executed)
-	fmt.Fprintf(out, "  actions denied:   %d\n", denied)
-	fmt.Fprintf(out, "  active devices:   %d/%d\n", collective.ActiveCount(), len(collective.Devices()))
-	for _, d := range collective.Devices() {
-		status := "active"
-		if d.Deactivated() {
-			status = "DEACTIVATED"
-		}
-		fmt.Fprintf(out, "  %s: %s state=%s\n", d.ID(), status, d.CurrentState())
-	}
-	if sc.Chaos != nil {
-		delivered, dropped := bus.Stats()
-		fmt.Fprintf(out, "  chaos: delivered=%d dropped=%d duplicated=%d retries=%d breaker-opens=%d send-failures=%d recoveries=%d\n",
-			delivered, dropped, bus.Duplicated(),
-			metrics.Counter("resilience.retries"), sender.Breakers.Opens(),
-			sendFailures, recoveries)
-	}
-	if err := log.Verify(); err != nil {
-		return fmt.Errorf("audit chain broken: %w", err)
-	}
-	fmt.Fprintf(out, "  audit: %d entries, chain verified\n", log.Len())
-
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return fmt.Errorf("trace-out: %w", err)
-		}
-		if err := tracer.WriteJSONL(f); err != nil {
-			f.Close()
-			return fmt.Errorf("trace-out: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "  traces: %d spans written to %s\n", len(tracer.Spans()), *traceOut)
-	}
-	if *linger > 0 {
-		fmt.Fprintf(out, "  lingering %s\n", *linger)
-		time.Sleep(*linger)
-	}
-	return nil
+	return executed, denied, sendFailures, recoveries
 }
 
 // buildStateModel derives the schema and classifier from the scenario:

@@ -120,6 +120,80 @@ func TestRunCustomSchemaErrors(t *testing.T) {
 	}
 }
 
+func TestRunParallelScenario(t *testing.T) {
+	const scenario = `{
+		"name": "fleet",
+		"badHeatAt": 80,
+		"denialThreshold": 3,
+		"devices": [
+			{"id": "d1", "heat": 20,
+			 "policies": "policy work: on tick do run category work effect heat += 15"},
+			{"id": "d2", "heat": 35,
+			 "policies": "policy work: on tick do run category work effect heat += 15"},
+			{"id": "d3", "heat": 50,
+			 "policies": "policy work: on tick do run category work effect heat += 15"},
+			{"id": "d4", "heat": 20, "unguarded": true,
+			 "policies": "policy work: on tick do run category work effect heat += 15"}
+		],
+		"events": [{"type": "tick", "target": "*", "repeat": 8}]
+	}`
+	path := writeScenario(t, scenario)
+
+	// Serial engine run and parallel runs must print the same summary:
+	// same executed/denied tallies, same fleet state, verified chain.
+	summaries := make(map[string]string)
+	for _, workers := range []string{"2", "4"} {
+		var sb strings.Builder
+		if err := run([]string{"--parallelism", workers, path}, &sb); err != nil {
+			t.Fatalf("run --parallelism %s: %v", workers, err)
+		}
+		summaries[workers] = sb.String()
+	}
+	if summaries["2"] != summaries["4"] {
+		t.Errorf("parallel summaries diverge:\n-- 2 workers --\n%s\n-- 4 workers --\n%s",
+			summaries["2"], summaries["4"])
+	}
+	out := summaries["2"]
+	for _, want := range []string{
+		"watchdog deactivated [d3 d4]",
+		"chain verified",
+		"actions denied",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+
+	// The direct serial path must agree on the tallies and fleet state
+	// (audit entry count differs only in that both paths verify).
+	var serial strings.Builder
+	if err := run([]string{path}, &serial); err != nil {
+		t.Fatalf("run serial: %v", err)
+	}
+	for _, line := range strings.Split(serial.String(), "\n") {
+		if strings.Contains(line, "actions executed") ||
+			strings.Contains(line, "actions denied") ||
+			strings.Contains(line, "state=") {
+			if !strings.Contains(out, line) {
+				t.Errorf("parallel run diverges from serial on %q:\n%s", line, out)
+			}
+		}
+	}
+}
+
+func TestRunParallelRejectsChaos(t *testing.T) {
+	path := writeScenario(t, `{
+		"name": "x",
+		"devices": [{"id": "d"}],
+		"events": [{"type": "tick", "target": "d"}],
+		"chaos": {"loss": 0.5}
+	}`)
+	err := run([]string{"--parallelism", "4", path}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Errorf("chaos + parallelism accepted (err=%v)", err)
+	}
+}
+
 func TestRunChaosScenario(t *testing.T) {
 	path := writeScenario(t, `{
 		"name": "chaos",

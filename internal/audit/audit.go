@@ -67,7 +67,28 @@ type Entry struct {
 type Log struct {
 	mu      sync.Mutex
 	now     func() time.Time
+	staged  bool
 	entries []Entry
+}
+
+// Journal routes audit appends: given the log an append would normally
+// target, it returns the log that should receive it instead — e.g. a
+// per-lane staging buffer during parallel simulation (sim.Lane
+// implements this). Implementations must return nil for a nil base, so
+// "auditing disabled" survives routing.
+type Journal interface {
+	Route(base *Log) *Log
+}
+
+// Resolve applies an optional Journal to a base log: a nil journal (or
+// nil base) passes the base through unchanged. Append sites that
+// support deterministic parallel execution write to Resolve(j, log)
+// instead of log.
+func Resolve(j Journal, base *Log) *Log {
+	if j == nil || base == nil {
+		return base
+	}
+	return j.Route(base)
 }
 
 // Option configures a Log.
@@ -93,8 +114,21 @@ func New(opts ...Option) *Log {
 	return l
 }
 
+// NewStage returns a staging log: Append buffers entries (stamping
+// their time from the clock) without hashing or chaining them, so a
+// stage is cheap to fill concurrently with other stages. Stages are
+// not verifiable; their purpose is to be merged into a real log with
+// Adopt, which chains the buffered entries deterministically. The sim
+// engine gives every parallel lane its own stage.
+func NewStage(opts ...Option) *Log {
+	l := New(opts...)
+	l.staged = true
+	return l
+}
+
 // Append records a new entry and returns it with its sequence number
-// and chain hashes filled in.
+// and chain hashes filled in. On a staging log (NewStage) the entry is
+// buffered without hashes.
 func (l *Log) Append(kind Kind, actor, detail string, context map[string]string) Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -103,9 +137,15 @@ func (l *Log) Append(kind Kind, actor, detail string, context map[string]string)
 	if l.now != nil {
 		now = l.now
 	}
+	return l.appendLocked(now(), kind, actor, detail, context)
+}
+
+// appendLocked records one entry stamped with an explicit time; the
+// caller holds l.mu.
+func (l *Log) appendLocked(at time.Time, kind Kind, actor, detail string, context map[string]string) Entry {
 	e := Entry{
 		Seq:    len(l.entries),
-		Time:   now(),
+		Time:   at,
 		Kind:   kind,
 		Actor:  actor,
 		Detail: detail,
@@ -116,12 +156,36 @@ func (l *Log) Append(kind Kind, actor, detail string, context map[string]string)
 			e.Context[k] = v
 		}
 	}
-	if len(l.entries) > 0 {
-		e.PrevHash = l.entries[len(l.entries)-1].Hash
+	if !l.staged {
+		if len(l.entries) > 0 {
+			e.PrevHash = l.entries[len(l.entries)-1].Hash
+		}
+		e.Hash = hashEntry(e)
 	}
-	e.Hash = hashEntry(e)
 	l.entries = append(l.entries, e)
 	return e
+}
+
+// Adopt drains a staging log into l: every buffered entry is
+// re-appended in order, preserving its recorded time, and chained onto
+// l's current tip. The stage is reset for reuse. Adopting a stage into
+// the log it was buffered for yields the exact chain a serial run
+// would have produced. It returns the number of entries adopted.
+func (l *Log) Adopt(stage *Log) int {
+	if stage == nil || stage == l {
+		return 0
+	}
+	stage.mu.Lock()
+	entries := stage.entries
+	stage.entries = nil
+	stage.mu.Unlock()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range entries {
+		l.appendLocked(e.Time, e.Kind, e.Actor, e.Detail, e.Context)
+	}
+	return len(entries)
 }
 
 // Len returns the number of entries.

@@ -191,7 +191,7 @@ func (c *Collective) AddDevice(d *device.Device, attrs map[string]float64) error
 			return fmt.Errorf("%w: %s", ErrAdmissionRefused, reason)
 		}
 	}
-	if err := c.bus.Attach(d.ID(), c.handlerFor(d)); err != nil {
+	if err := c.bus.AttachLane(d.ID(), c.handlerFor(d)); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 
@@ -271,6 +271,16 @@ func (c *Collective) ActiveCount() int {
 // Guard denials observed in the executions are reported to the
 // watchdog.
 func (c *Collective) Deliver(target string, ev policy.Event) ([]device.Execution, error) {
+	return c.DeliverWith(target, ev, nil)
+}
+
+// DeliverWith is Deliver with an audit journal: the delivery's audit
+// appends are routed through j (a sim.Lane in parallel runs) so they
+// merge deterministically. Everything else a delivery touches — the
+// target device's state, the delivery counter, the watchdog's denial
+// tally — is either owned by the target or commutative, so DeliverWith
+// is safe from events sharded by target ID.
+func (c *Collective) DeliverWith(target string, ev policy.Event, j audit.Journal) ([]device.Execution, error) {
 	c.mu.Lock()
 	d, ok := c.devices[target]
 	c.mu.Unlock()
@@ -278,7 +288,7 @@ func (c *Collective) Deliver(target string, ev policy.Event) ([]device.Execution
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, target)
 	}
 	c.deliveries.Inc()
-	execs, err := d.HandleEvent(ev)
+	execs, err := d.HandleEventWith(ev, j)
 	if err != nil {
 		return nil, err
 	}
@@ -344,9 +354,11 @@ func (c *Collective) SweepWatchdog() (deactivated, failed []string) {
 }
 
 // handlerFor adapts bus messages carrying policy.Event payloads into
-// device event handling.
-func (c *Collective) handlerFor(d *device.Device) network.Handler {
-	return func(m network.Message) {
+// device event handling. It is a lane handler — deliveries are sharded
+// by recipient device — so it touches only the device itself, the
+// commutative watchdog tally, and the audit log via the lane.
+func (c *Collective) handlerFor(d *device.Device) network.LaneHandler {
+	return func(m network.Message, lane *sim.Lane) {
 		ev, ok := m.Payload.(policy.Event)
 		if !ok {
 			return
@@ -354,7 +366,13 @@ func (c *Collective) handlerFor(d *device.Device) network.Handler {
 		if ev.Source == "" {
 			ev.Source = m.From
 		}
-		if execs, err := d.HandleEvent(ev); err == nil {
+		// The explicit nil check keeps the journal interface nil (not a
+		// typed-nil *sim.Lane) for synchronous deliveries.
+		var j audit.Journal
+		if lane != nil {
+			j = lane
+		}
+		if execs, err := d.HandleEventWith(ev, j); err == nil {
 			for _, e := range execs {
 				if !e.Verdict.Allowed() {
 					c.watchdog.ObserveDenial(d.ID())

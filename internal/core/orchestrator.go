@@ -65,7 +65,13 @@ func (o *Orchestrator) Manage(deviceID string, period time.Duration,
 	m := &device.Manager{Device: d, Classifier: classifier, Metric: metric}
 	o.managers[deviceID] = m
 	o.mu.Unlock()
-	o.engine.ScheduleEvery(period,
+	// The tick is sharded by device ID: each device's MAPE loop owns
+	// its own state, its gauges are device-labeled (shard-private), and
+	// audit appends route through the lane — so a parallel engine runs
+	// different devices' ticks concurrently without losing determinism.
+	// (policy.compile_ms is wall-clock-derived and therefore varies
+	// between runs regardless of parallelism.)
+	o.engine.ScheduleEveryShard(period, deviceID,
 		func() bool {
 			// The loop dies when the device deactivates, crashes out of
 			// the collective, or was replaced by a restarted instance;
@@ -78,8 +84,8 @@ func (o *Orchestrator) Manage(deviceID string, period time.Duration,
 			}
 			return true
 		},
-		func() {
-			if _, err := m.Tick(o.engine.Clock().Now()); err != nil {
+		func(lane *sim.Lane) {
+			if _, err := m.TickWith(o.engine.Clock().Now(), lane); err != nil {
 				// A deactivated device simply stops ticking; other
 				// errors surface through the device's audit trail.
 				return
@@ -113,6 +119,31 @@ func (o *Orchestrator) CommandEvery(period time.Duration, while func() bool,
 	d *Dispatcher, next func() policy.Event) {
 	o.engine.ScheduleEvery(period, while, func() {
 		d.Command(next())
+	})
+}
+
+// CommandEverySharded broadcasts the event returned by next directly to
+// every member on the given period, fanning the per-device deliveries
+// out as same-time events sharded by target ID — so a parallel engine
+// delivers to the whole fleet concurrently while each device's
+// deliveries stay ordered and audit appends merge deterministically.
+// The periodic tick itself is a barrier: next() runs serially, and the
+// member list is snapshotted there, outside any parallel segment.
+// Unlike CommandEvery this path bypasses the resilient dispatcher;
+// deactivated members are skipped silently.
+func (o *Orchestrator) CommandEverySharded(period time.Duration, while func() bool,
+	next func() policy.Event) {
+	o.engine.ScheduleEvery(period, while, func() {
+		ev := next()
+		for _, d := range o.collective.Devices() {
+			id := d.ID()
+			o.engine.ScheduleShard(0, id, func(lane *sim.Lane) {
+				// Unknown-device and deactivation errors mean the member
+				// left between snapshot and delivery; skip, as Command
+				// does.
+				_, _ = o.collective.DeliverWith(id, ev, lane)
+			})
+		}
 	})
 }
 

@@ -273,6 +273,16 @@ func (d *Device) Sense() error {
 // state effects, and discharge attached obligations. It returns one
 // Execution per directed action.
 func (d *Device) HandleEvent(ev policy.Event) ([]Execution, error) {
+	return d.HandleEventWith(ev, nil)
+}
+
+// HandleEventWith is HandleEvent with an audit journal: when j is
+// non-nil, the audit appends this event causes (action records here,
+// denial and break-glass records in the guard) are routed through it —
+// the sim engine's deterministic merge lane when the device ticks on a
+// parallel shard. Routing never enables auditing that was off: a
+// device or guard with a nil log still appends nothing.
+func (d *Device) HandleEventWith(ev policy.Event, j audit.Journal) ([]Execution, error) {
 	d.mu.Lock()
 	if d.deactivated {
 		d.mu.Unlock()
@@ -300,7 +310,7 @@ func (d *Device) HandleEvent(ev policy.Event) ([]Execution, error) {
 	}
 	var out []Execution
 	for _, action := range decision.Actions {
-		out = append(out, d.executeOne(env, g, snap, action, sc))
+		out = append(out, d.executeOne(env, g, snap, action, sc, j))
 	}
 	span.Finish()
 	return out, nil
@@ -310,14 +320,14 @@ func (d *Device) HandleEvent(ev policy.Event) ([]Execution, error) {
 // policy evaluation (zero before the first event).
 func (d *Device) PolicyEpoch() uint64 { return d.lastEpoch.Load() }
 
-func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, parent telemetry.SpanContext) Execution {
+func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, parent telemetry.SpanContext, j audit.Journal) Execution {
 	span := d.tracer.StartSpan("device.execute", d.id, parent)
 	span.SetAttr("action", action.Name)
 	trace := parent
 	if sc := span.Context(); sc.Valid() {
 		trace = sc
 	}
-	exec := d.executeTraced(env, g, snap, action, trace)
+	exec := d.executeTraced(env, g, snap, action, trace, j)
 	switch {
 	case exec.Executed():
 		d.execExecuted.Inc()
@@ -337,7 +347,7 @@ func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot
 	return exec
 }
 
-func (d *Device) executeTraced(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, trace telemetry.SpanContext) Execution {
+func (d *Device) executeTraced(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, trace telemetry.SpanContext, j audit.Journal) Execution {
 	d.mu.Lock()
 	next, err := d.state.Apply(action.Effect)
 	if err != nil {
@@ -353,6 +363,7 @@ func (d *Device) executeTraced(env policy.Env, g guard.Guard, snap *policy.Snaps
 		Env:      env,
 		Policies: snap,
 		Trace:    trace,
+		Journal:  j,
 	}
 	d.mu.Unlock()
 
@@ -392,7 +403,7 @@ func (d *Device) executeTraced(env policy.Env, g guard.Guard, snap *policy.Snaps
 	d.mu.Unlock()
 
 	exec.ObligationErrs = d.dischargeObligations(verdict.Action)
-	if log != nil {
+	if log = audit.Resolve(j, log); log != nil {
 		entryCtx := map[string]string{
 			"event": env.Event.Type,
 			"guard": verdict.Guard,

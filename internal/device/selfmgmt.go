@@ -3,6 +3,7 @@ package device
 import (
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/policy"
 	"repro/internal/statespace"
 )
@@ -51,6 +52,27 @@ type TickReport struct {
 
 // Tick runs one MAPE pass at the given time.
 func (m *Manager) Tick(now time.Time) (TickReport, error) {
+	return m.TickWith(now, nil)
+}
+
+// TickWith is Tick with an audit journal, making the pass shard-safe
+// for the engine's parallel mode (one shard per device ID). A tick
+// touches only:
+//
+//   - the device's own state, trajectory, sensors and actuators
+//     (serialized by the device mutex; exclusive because at most one
+//     event per shard runs at a time),
+//   - the device's compiled policy snapshot (immutable, lock-free),
+//   - telemetry counters and device-labeled gauges (atomic and
+//     commutative, so snapshots stay deterministic at any worker
+//     count),
+//   - the shared audit log — only through the journal, which buffers
+//     appends for the engine's deterministic (time, seq) merge.
+//
+// Ticks must not mutate other devices, un-labeled gauges, or shared
+// maps/slices; anything outside this list belongs in a barrier
+// (unkeyed) event.
+func (m *Manager) TickWith(now time.Time, j audit.Journal) (TickReport, error) {
 	var report TickReport
 	report.SenseErr = m.Device.Sense()
 	if report.SenseErr == ErrDeactivated {
@@ -93,7 +115,7 @@ func (m *Manager) Tick(now time.Time) (TickReport, error) {
 	if m.Metric != nil {
 		ev.Attrs["safeness"] = m.Metric.Safeness(st)
 	}
-	execs, err := m.Device.HandleEvent(ev)
+	execs, err := m.Device.HandleEventWith(ev, j)
 	report.Executions = execs
 	return report, err
 }

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// benchE15 runs the E15 overheating fleet once per iteration at the
+// given parallelism. The fleet is large enough (10k devices, 30
+// virtual seconds) that a run is dominated by MAPE ticks, i.e. by the
+// work the parallel engine distributes. Compare the Serial/2/4/8
+// variants; `make bench-fleet` runs exactly these.
+func benchE15(b *testing.B, workers int) {
+	b.Helper()
+	p := E15Params{Seed: 1, Fleet: 10000, Horizon: 30 * time.Second}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := RunE15Workers(p, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Actions == 0 {
+			b.Fatal("degenerate run: no actions")
+		}
+	}
+}
+
+func BenchmarkE15FleetSerial(b *testing.B) { benchE15(b, 1) }
+func BenchmarkE15Fleet2(b *testing.B)      { benchE15(b, 2) }
+func BenchmarkE15Fleet4(b *testing.B)      { benchE15(b, 4) }
+func BenchmarkE15Fleet8(b *testing.B)      { benchE15(b, 8) }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE15Determinism is the fleet-level differential gate: for several
+// seeds, serial and parallel runs of the same fleet must produce
+// byte-identical hash-chained journals (equal tip hash over equal
+// length), the same per-kind entry counts, and the same final fleet
+// state.
+func TestE15Determinism(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		p := E15Params{Seed: seed, Fleet: 80, Horizon: 20 * time.Second}
+		base, err := RunE15Workers(p, 1)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		if base.Actions == 0 || base.Denials == 0 {
+			t.Fatalf("seed %d: degenerate run (actions=%d denials=%d)", seed, base.Actions, base.Denials)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			out, err := RunE15Workers(p, workers)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if out.TipHash != base.TipHash || out.JournalLen != base.JournalLen {
+				t.Errorf("seed %d workers %d: journal %d/%s, want %d/%s",
+					seed, workers, out.JournalLen, out.TipHash[:12], base.JournalLen, base.TipHash[:12])
+			}
+			if out.Actions != base.Actions || out.Denials != base.Denials {
+				t.Errorf("seed %d workers %d: actions/denials %d/%d, want %d/%d",
+					seed, workers, out.Actions, out.Denials, base.Actions, base.Denials)
+			}
+			if out.HeatSum != base.HeatSum {
+				t.Errorf("seed %d workers %d: heat sum %g, want %g",
+					seed, workers, out.HeatSum, base.HeatSum)
+			}
+		}
+	}
+}
+
+// TestE15Result smoke-tests the table runner on a small fleet.
+func TestE15Result(t *testing.T) {
+	r, err := RunE15(E15Params{Fleet: 40, Horizon: 10 * time.Second, Workers: []int{1, 2}})
+	if err != nil {
+		t.Fatalf("RunE15: %v", err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	last := r.Rows[1]
+	if last[len(last)-1] != "yes" {
+		t.Errorf("parallel row not identical to baseline: %v", last)
+	}
+}

@@ -42,6 +42,10 @@ func All() []Runner {
 			Run: func() (Result, error) { return RunE11(E11Params{Seed: seed}) }},
 		{ID: "E12", Title: "Chaos resilience — guards under faults (VI–VII)",
 			Run: func() (Result, error) { return RunE12(E12Params{Seed: seed}) }},
+		// E13/E14 are benchmark-based (see EXPERIMENTS.md); E15 is the
+		// next runnable experiment.
+		{ID: "E15", Title: "Deterministic parallel fleet execution (perf extension)",
+			Run: func() (Result, error) { return RunE15(E15Params{Seed: seed}) }},
 	}
 }
 

@@ -57,6 +57,13 @@ type ActionContext struct {
 	// it and stamps the trace ID into audit entries. The zero value
 	// (no tracing) is fine.
 	Trace telemetry.SpanContext
+	// Journal, when set, reroutes the audit appends this check makes
+	// (denials, break-glass records, tamper notes) to a staging buffer
+	// — the sim engine's deterministic merge lane in parallel runs. A
+	// guard whose own log is nil still audits nothing: the journal
+	// redirects appends, it never enables them. Nil means append
+	// directly.
+	Journal audit.Journal
 }
 
 // Decision is a guard's ruling on an action.
@@ -224,6 +231,7 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 	current := ctx
 	brokeGlass := false
 	lastReason := "all guards passed"
+	log := audit.Resolve(ctx.Journal, p.log)
 	instrumented := p.metrics != nil || p.tracer != nil
 	for _, g := range p.guards {
 		var gi *guardInstruments
@@ -253,7 +261,7 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 				brokeGlass = true
 				lastReason = v.Reason
 			}
-			if v.BrokeGlass && p.log != nil {
+			if v.BrokeGlass && log != nil {
 				entryCtx := map[string]string{
 					"guard":  v.Guard,
 					"action": current.Action.Name,
@@ -266,10 +274,10 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 					entryCtx["policy-epoch"] = fmt.Sprintf("%d", ctx.Policies.Epoch())
 				}
 				addTrace(entryCtx, ctx.Trace)
-				p.log.Append(audit.KindBreakGlass, ctx.Actor, v.Reason, entryCtx)
+				log.Append(audit.KindBreakGlass, ctx.Actor, v.Reason, entryCtx)
 			}
 		case DecisionDeny, DecisionDeactivate:
-			if p.log != nil {
+			if log != nil {
 				kind := audit.KindDenial
 				if v.Decision == DecisionDeactivate {
 					kind = audit.KindDeactivate
@@ -282,7 +290,7 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 					entryCtx["policy-epoch"] = fmt.Sprintf("%d", ctx.Policies.Epoch())
 				}
 				addTrace(entryCtx, ctx.Trace)
-				p.log.Append(kind, ctx.Actor, v.Reason, entryCtx)
+				log.Append(kind, ctx.Actor, v.Reason, entryCtx)
 			}
 			return v
 		default:
@@ -292,13 +300,13 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 			// surface, so it is counted (guard.invalid_decision above)
 			// and audited.
 			reason := fmt.Sprintf("guard returned invalid decision %d; failing closed", v.Decision)
-			if p.log != nil {
+			if log != nil {
 				entryCtx := map[string]string{
 					"guard":  g.Name(),
 					"action": ctx.Action.Name,
 				}
 				addTrace(entryCtx, ctx.Trace)
-				p.log.Append(audit.KindNote, ctx.Actor, reason, entryCtx)
+				log.Append(audit.KindNote, ctx.Actor, reason, entryCtx)
 			}
 			return Verdict{
 				Decision: DecisionDeny,

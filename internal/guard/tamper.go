@@ -62,8 +62,8 @@ func (t *TamperEvident) Name() string { return "tamper-evident(" + t.Inner.Name(
 // denies and audits.
 func (t *TamperEvident) Check(ctx ActionContext) Verdict {
 	if got := t.Fingerprint(); got != t.Expected {
-		if t.Log != nil {
-			t.Log.Append(audit.KindTamper, ctx.Actor,
+		if log := audit.Resolve(ctx.Journal, t.Log); log != nil {
+			log.Append(audit.KindTamper, ctx.Actor,
 				"guard configuration fingerprint mismatch; failing closed",
 				map[string]string{"guard": t.Inner.Name()})
 		}

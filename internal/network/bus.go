@@ -40,6 +40,32 @@ type Message struct {
 // Handler consumes delivered messages.
 type Handler func(Message)
 
+// LaneHandler consumes delivered messages together with the delivery
+// event's engine lane, so ordered side effects (audit appends, future
+// schedules) stay deterministic when the engine runs in parallel. The
+// lane is nil for synchronous (engine-less) deliveries; sim.Lane's
+// methods treat a nil lane as direct, so one handler serves both modes.
+type LaneHandler func(Message, *sim.Lane)
+
+// endpoint is one attached node: exactly one of the two handler forms
+// is set. Plain handlers are delivered as serial barrier events; lane
+// handlers are delivered as events sharded by recipient ID, so an
+// engine running in parallel may deliver to different recipients
+// concurrently while each recipient's deliveries stay ordered.
+type endpoint struct {
+	h  Handler
+	lh LaneHandler
+}
+
+// call invokes the endpoint synchronously.
+func (ep endpoint) call(msg Message, lane *sim.Lane) {
+	if ep.lh != nil {
+		ep.lh(msg, lane)
+		return
+	}
+	ep.h(msg)
+}
+
 // Bus is an in-memory message bus. Delivery is synchronous when no
 // engine is attached, or scheduled with uniform random latency when
 // one is. Loss probability and partitions model degraded coalition
@@ -53,7 +79,7 @@ type Bus struct {
 	cDropLoss  *telemetry.Counter
 	cDropPart  *telemetry.Counter
 	cDup       *telemetry.Counter
-	nodes      map[string]Handler
+	nodes      map[string]endpoint
 	partition  map[string]int
 	lossProb   float64
 	dupProb    float64
@@ -135,7 +161,7 @@ func clamp01(p float64) float64 {
 func NewBus(rng *rand.Rand, opts ...BusOption) *Bus {
 	b := &Bus{
 		rng:       rng,
-		nodes:     make(map[string]Handler),
+		nodes:     make(map[string]endpoint),
 		partition: make(map[string]int),
 	}
 	for _, o := range opts {
@@ -144,17 +170,38 @@ func NewBus(rng *rand.Rand, opts ...BusOption) *Bus {
 	return b
 }
 
-// Attach registers a node's handler under its ID.
+// Attach registers a node's handler under its ID. Deliveries to plain
+// handlers are scheduled as serial barrier events; use AttachLane when
+// the handler is shard-safe (touches only the recipient's own state).
 func (b *Bus) Attach(id string, h Handler) error {
+	if h == nil {
+		return errors.New("network: attach requires an id and handler")
+	}
+	return b.attach(id, endpoint{h: h})
+}
+
+// AttachLane registers a shard-safe handler: deliveries are scheduled
+// as engine events sharded by recipient ID, so a parallel engine may
+// run deliveries to different recipients concurrently. The handler must
+// confine mutable state to the recipient (plus commutative telemetry)
+// and route audit appends and re-schedules through the lane.
+func (b *Bus) AttachLane(id string, h LaneHandler) error {
+	if h == nil {
+		return errors.New("network: attach requires an id and handler")
+	}
+	return b.attach(id, endpoint{lh: h})
+}
+
+func (b *Bus) attach(id string, ep endpoint) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if id == "" || h == nil {
+	if id == "" {
 		return errors.New("network: attach requires an id and handler")
 	}
 	if _, dup := b.nodes[id]; dup {
 		return fmt.Errorf("network: node %q already attached", id)
 	}
-	b.nodes[id] = h
+	b.nodes[id] = ep
 	return nil
 }
 
@@ -230,9 +277,17 @@ func (b *Bus) SetLatency(min, max time.Duration) {
 // unattached receivers and ErrDropped for losses and partition blocks.
 // With an engine attached, delivery is asynchronous and Send reports
 // only send-time failures.
+//
+// Determinism note: loss, duplication and latency are sampled from the
+// bus rng at Send time, so the sampling order — and therefore the fault
+// pattern — is reproducible only when Sends happen serially (from
+// barrier events or between runs). Sends from concurrent sharded
+// callbacks are race-safe but draw from the rng in worker order; keep
+// the bus fault-free with fixed latency if such a run must be
+// deterministic.
 func (b *Bus) Send(msg Message) error {
 	b.mu.Lock()
-	h, ok := b.nodes[msg.To]
+	ep, ok := b.nodes[msg.To]
 	if !ok {
 		b.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.To)
@@ -265,17 +320,27 @@ func (b *Bus) Send(msg Message) error {
 	b.mu.Unlock()
 
 	if engine == nil {
-		h(msg)
+		ep.call(msg, nil)
 		if duplicate {
-			h(msg)
+			ep.call(msg, nil)
 		}
 		return nil
 	}
-	engine.Schedule(latency, func() { h(msg) })
+	scheduleDelivery(engine, latency, ep, msg)
 	if duplicate {
-		engine.Schedule(dupLatency, func() { h(msg) })
+		scheduleDelivery(engine, dupLatency, ep, msg)
 	}
 	return nil
+}
+
+// scheduleDelivery queues one delivery on the engine: sharded by
+// recipient for lane handlers, as a serial barrier for plain ones.
+func scheduleDelivery(engine *sim.Engine, latency time.Duration, ep endpoint, msg Message) {
+	if ep.lh != nil {
+		engine.ScheduleShard(latency, msg.To, func(lane *sim.Lane) { ep.lh(msg, lane) })
+		return
+	}
+	engine.Schedule(latency, func() { ep.h(msg) })
 }
 
 // Broadcast sends the payload to every attached node except the

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
@@ -84,6 +85,29 @@ func TestEngineStop(t *testing.T) {
 	}
 }
 
+func TestEngineStopBeforeRun(t *testing.T) {
+	// Regression: Stop called before Run used to be silently discarded
+	// (Run reset the flag on entry). A pre-Run Stop must cancel the next
+	// run — and only that one.
+	e := NewEngine(NewClock(t0))
+	ran := false
+	e.Schedule(time.Second, func() { ran = true })
+	e.Stop()
+	if err := e.Run(t0.Add(time.Minute)); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run after pre-Run Stop = %v, want ErrStopped", err)
+	}
+	if ran {
+		t.Error("event ran despite pre-Run Stop")
+	}
+	// The stop was consumed: the next Run proceeds normally.
+	if err := e.Run(t0.Add(time.Minute)); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if !ran {
+		t.Error("event did not run after the stop was consumed")
+	}
+}
+
 func TestEngineNegativeDelayAndNested(t *testing.T) {
 	e := NewEngine(NewClock(t0))
 	var order []string
@@ -112,6 +136,51 @@ func TestScheduleEvery(t *testing.T) {
 	e.ScheduleEvery(0, nil, func() { count++ })
 	if e.Pending() != 0 {
 		t.Error("non-positive interval scheduled")
+	}
+	e.ScheduleEvery(-time.Second, nil, func() { count++ })
+	if e.Pending() != 0 {
+		t.Error("negative interval scheduled")
+	}
+}
+
+func TestScheduleEveryPredicateFlipsBeforeFirstFire(t *testing.T) {
+	// The predicate is checked at fire time, not schedule time: flipping
+	// it false after scheduling but before the first tick means the
+	// callback never runs.
+	e := NewEngine(NewClock(t0))
+	ok := true
+	count := 0
+	e.ScheduleEvery(time.Second, func() bool { return ok }, func() { count++ })
+	ok = false
+	if err := e.Run(t0.Add(time.Minute)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 0 {
+		t.Errorf("count = %d, want 0 (predicate flipped before first fire)", count)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("dead loop left %d events queued", e.Pending())
+	}
+}
+
+func TestScheduleEveryReentrantSchedule(t *testing.T) {
+	// A periodic callback may schedule more work re-entrantly; the extra
+	// events interleave with later ticks in timestamp order.
+	e := NewEngine(NewClock(t0))
+	var order []string
+	ticks := 0
+	e.ScheduleEvery(2*time.Second, func() bool { return ticks < 2 }, func() {
+		ticks++
+		n := ticks
+		order = append(order, fmt.Sprintf("tick%d", n))
+		e.Schedule(time.Second, func() { order = append(order, fmt.Sprintf("extra%d", n)) })
+	})
+	if err := e.Run(t0.Add(time.Minute)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := "tick1,extra1,tick2,extra2"
+	if got := strings.Join(order, ","); got != want {
+		t.Errorf("order = %q, want %q", got, want)
 	}
 }
 

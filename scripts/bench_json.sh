@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench_json.sh — distill `go test -bench` output into a JSON document.
+#
+# Usage: sh scripts/bench_json.sh [bench.txt [BENCH_PR4.json]]
+#
+# Each benchmark line ("BenchmarkName-8  123  456 ns/op  78 B/op  9
+# allocs/op") becomes one object; repeated runs of the same benchmark
+# (-count>1) are averaged. Only POSIX sh + awk, no dependencies.
+set -eu
+
+in=${1:-bench.txt}
+out=${2:-BENCH_PR4.json}
+
+[ -f "$in" ] || { echo "bench_json: $in not found (run 'make bench' first)" >&2; exit 1; }
+
+awk -v host="$(uname -sm)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)       # strip GOMAXPROCS suffix
+    n[name]++
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns[name]     += $i
+        if ($(i+1) == "B/op")      bytes[name]  += $i
+        if ($(i+1) == "allocs/op") allocs[name] += $i
+    }
+}
+END {
+    printf "{\n  \"host\": \"%s\",\n  \"benchmarks\": [\n", host
+    first = 1
+    for (name in n) order[++cnt] = name
+    # deterministic output order
+    for (i = 1; i <= cnt; i++)
+        for (j = i + 1; j <= cnt; j++)
+            if (order[j] < order[i]) { t = order[i]; order[i] = order[j]; order[j] = t }
+    for (i = 1; i <= cnt; i++) {
+        name = order[i]
+        if (!first) printf ",\n"
+        first = 0
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.2f}", \
+            name, n[name], ns[name] / n[name], bytes[name] / n[name], allocs[name] / n[name]
+    }
+    printf "\n  ]\n}\n"
+}' "$in" > "$out"
+
+echo "bench_json: wrote $(grep -c '"name"' "$out") benchmarks to $out"
