@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race race cover bench bench-json bench-fleet experiments examples obs-smoke
+.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission conservation experiments examples obs-smoke
 
 all: build test
 
@@ -10,8 +10,16 @@ build:
 vet:
 	go vet ./...
 
-test: vet obs-smoke
+test: vet obs-smoke conservation
 	go test -shuffle=on ./...
+
+# The admission-plane conservation gate, runnable on its own: the E16
+# saturation ledger must balance exactly (sent == delivered + dropped
+# + shed, pending 0) and the drop-site audit must find no discarded
+# Send/Deliver outcomes anywhere in the production source.
+conservation:
+	go test -run 'TestE16ConservationExact|TestNoUnaccountedDropSites|TestConservationUnderRandomLoad' \
+		./internal/experiments ./internal/admission
 
 # End-to-end observability check: run a short scenario with the live
 # endpoint up and assert /metrics and /traces serve well-formed,
@@ -46,6 +54,13 @@ bench:
 bench-json:
 	go test -bench=. -benchmem -count=3 ./... | tee bench.txt
 	sh scripts/bench_json.sh bench.txt BENCH_PR4.json
+
+# Admission-control hot paths only (PR5): admit/shed/gate/drain on a
+# virtual clock, distilled into BENCH_PR5.json.
+bench-admission:
+	go test -bench='BenchmarkAdmission' -benchmem -count=5 \
+		./internal/admission | tee bench_admission.txt
+	sh scripts/bench_json.sh bench_admission.txt BENCH_PR5.json
 
 # The 10k-device parallel-fleet benchmarks only (E15). One run per
 # variant: each iteration is a whole 30-virtual-second fleet, so

@@ -49,6 +49,18 @@
 //
 //	"chaos": {"loss": 0.3, "duplication": 0.1, "maxAttempts": 4,
 //	          "crashDevice": "d1", "crashAtStep": 3, "restartAtStep": 8}
+//
+// An optional "saturation" block puts the admission controller in
+// front of delivery: events then flow over the bus into bounded,
+// rate-limited per-device intake queues, overload is shed with typed
+// causes instead of lost, and the run reports the exact conservation
+// accounting (sent == delivered + dropped + shed). The scenario runs
+// on the discrete-event engine even at --parallelism 1 (queues drain
+// in batched engine events), and the block is incompatible with
+// "chaos", whose serial crash/restart path bypasses the engine:
+//
+//	"saturation": {"queueCapacity": 8, "rate": 2, "burst": 2,
+//	               "drainBatch": 4, "drainIntervalMs": 100}
 package main
 
 import (
@@ -61,6 +73,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/device"
@@ -90,6 +103,25 @@ type scenario struct {
 	// Chaos optionally injects faults; nil keeps direct, lossless
 	// delivery.
 	Chaos *chaosSpec `json:"chaos"`
+	// Saturation optionally bounds intake behind the admission
+	// controller; nil keeps unbounded delivery.
+	Saturation *saturationSpec `json:"saturation"`
+}
+
+type saturationSpec struct {
+	// QueueCapacity bounds each device's intake queue (default 64).
+	QueueCapacity int `json:"queueCapacity"`
+	// Rate is the per-device token refill in tokens per (virtual)
+	// second; 0 disables rate limiting.
+	Rate float64 `json:"rate"`
+	// Burst is the token bucket capacity (default max(rate, 1)).
+	Burst float64 `json:"burst"`
+	// DrainBatch bounds how many queued events one drain pass delivers
+	// (default 32).
+	DrainBatch int `json:"drainBatch"`
+	// DrainIntervalMs is the redrain period in virtual milliseconds
+	// (default 1).
+	DrainIntervalMs int `json:"drainIntervalMs"`
 }
 
 type chaosSpec struct {
@@ -191,15 +223,19 @@ func run(args []string, out io.Writer) error {
 	if *parallelism > 1 && sc.Chaos != nil {
 		return fmt.Errorf("--parallelism cannot be combined with a chaos block: bus fault sampling is delivery-order-dependent")
 	}
-	// In parallel mode the scenario runs on the discrete-event engine
-	// and the journal is stamped with virtual time, so its hash chain is
-	// reproducible at any worker count.
+	if sc.Saturation != nil && sc.Chaos != nil {
+		return fmt.Errorf("a saturation block cannot be combined with a chaos block: admission drains on the engine, chaos crash/restart runs serially")
+	}
+	// In parallel mode — and under a saturation block, whose intake
+	// queues drain in batched engine events — the scenario runs on the
+	// discrete-event engine and the journal is stamped with virtual
+	// time, so its hash chain is reproducible at any worker count.
 	var (
 		clock  *sim.Clock
 		engine *sim.Engine
 	)
 	var logOpts []audit.Option
-	if *parallelism > 1 {
+	if *parallelism > 1 || sc.Saturation != nil {
 		clock = sim.NewClock(time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC))
 		engine = sim.NewEngine(clock)
 		engine.SetParallelism(*parallelism)
@@ -246,6 +282,30 @@ func run(args []string, out io.Writer) error {
 			Metrics:  metrics,
 		}
 		coreCfg.Bus = bus
+	}
+
+	// With a saturation block, events travel over an admission-bounded
+	// bus: each device gets a bounded, rate-limited intake queue that
+	// drains in batched engine events, and overload is shed with typed
+	// causes — never lost silently.
+	var intake *admission.Controller
+	if sat := sc.Saturation; sat != nil {
+		intake, err = admission.New(admission.Config{
+			QueueCapacity: sat.QueueCapacity,
+			Rate:          sat.Rate,
+			Burst:         sat.Burst,
+			Now:           clock.Now,
+			DrainBatch:    sat.DrainBatch,
+			DrainInterval: time.Duration(sat.DrainIntervalMs) * time.Millisecond,
+			Metrics:       registry,
+		})
+		if err != nil {
+			return err
+		}
+		bus = network.NewBus(nil,
+			network.WithEngine(engine),
+			network.WithMetrics(metrics),
+			network.WithAdmission(intake))
 	}
 	collective, err := core.New(coreCfg)
 	if err != nil {
@@ -312,7 +372,12 @@ func run(args []string, out io.Writer) error {
 
 	executed, denied := 0, 0
 	sendFailures, recoveries := 0, 0
-	if engine != nil {
+	if sc.Saturation != nil {
+		executed, denied, sendFailures, err = runSaturationEvents(sc, collective, engine, clock, bus, out)
+		if err != nil {
+			return err
+		}
+	} else if engine != nil {
 		executed, denied, err = runShardedEvents(sc, collective, engine, clock, out)
 		if err != nil {
 			return err
@@ -343,6 +408,14 @@ func run(args []string, out io.Writer) error {
 			delivered, dropped, bus.Duplicated(),
 			metrics.Counter("resilience.retries"), sender.Breakers.Opens(),
 			sendFailures, recoveries)
+	}
+	if sc.Saturation != nil {
+		if err := bus.CheckConservation(); err != nil {
+			return err
+		}
+		delivered, dropped := bus.Stats()
+		fmt.Fprintf(out, "  saturation: sent=%d delivered=%d shed=%d dropped=%d pending=%d (conservation exact)\n",
+			bus.Sent(), delivered, bus.Shed(), dropped, bus.PendingAdmitted())
 	}
 	if err := log.Verify(); err != nil {
 		return fmt.Errorf("audit chain broken: %w", err)
@@ -428,6 +501,86 @@ func runShardedEvents(sc scenario, collective *core.Collective, engine *sim.Engi
 		return 0, 0, err
 	}
 	return int(execN.Load()), int(denyN.Load()), nil
+}
+
+// runSaturationEvents runs the event stream through the
+// admission-bounded bus: step s fires at s virtual seconds as a
+// barrier event whose sends are admitted, shed with a typed cause, or
+// queued; queues drain in engine events sharded per device, so the
+// run is deterministic at any --parallelism. A shed send counts as a
+// send failure in the summary — the conservation line reports the
+// exact books.
+func runSaturationEvents(sc scenario, collective *core.Collective, engine *sim.Engine,
+	clock *sim.Clock, bus *network.Bus, out io.Writer) (executed, denied, shed int, err error) {
+	var execN, denyN, shedN atomic.Int64
+	for _, d := range collective.Devices() {
+		id := d.ID()
+		if err := bus.AttachLane(id, func(msg network.Message, lane *sim.Lane) {
+			ev, ok := msg.Payload.(policy.Event)
+			if !ok {
+				return
+			}
+			execs, err := collective.DeliverWith(id, ev, lane)
+			if err != nil {
+				return // removed or deactivated devices do not act
+			}
+			for _, e := range execs {
+				if e.Executed() {
+					execN.Add(1)
+				} else if !e.Verdict.Allowed() {
+					denyN.Add(1)
+				}
+			}
+		}); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	step := 0
+	for _, ev := range sc.Events {
+		repeat := ev.Repeat
+		if repeat <= 0 {
+			repeat = 1
+		}
+		for r := 0; r < repeat; r++ {
+			step++
+			at := time.Duration(step) * time.Second
+			event := policy.Event{Type: ev.Type, Source: "scenario", Attrs: ev.Attrs}
+			targets := []string{ev.Target}
+			if ev.Target == "*" || ev.Target == "" {
+				targets = targets[:0]
+				for _, d := range collective.Devices() {
+					targets = append(targets, d.ID())
+				}
+			}
+			targets = append([]string(nil), targets...)
+			s := step
+			// The step is a barrier: sends happen serially, so admission
+			// decisions (and any future fault sampling) are ordered.
+			engine.Schedule(at, func() {
+				for _, id := range targets {
+					if err := bus.Send(network.Message{
+						From: "scenario", To: id, Topic: "command", Payload: event,
+					}); err != nil {
+						shedN.Add(1)
+						fmt.Fprintf(out, "step %d: %s: %v\n", s, id, err)
+					}
+				}
+			})
+			if step%sc.SweepEvery == 0 {
+				engine.Schedule(at, func() {
+					if deactivated, _ := collective.SweepWatchdog(); len(deactivated) > 0 {
+						fmt.Fprintf(out, "step %d: watchdog deactivated %v\n", s, deactivated)
+					}
+				})
+			}
+		}
+	}
+	// Two extra virtual seconds give the drain events room to empty the
+	// intake queues before the books are checked.
+	if err := engine.Run(clock.Now().Add(time.Duration(step+2) * time.Second)); err != nil {
+		return 0, 0, 0, err
+	}
+	return int(execN.Load()), int(denyN.Load()), int(shedN.Load()), nil
 }
 
 // runSerialEvents is the original synchronous event loop: direct (or

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
+	"repro/internal/audit"
 	"repro/internal/device"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -26,6 +28,15 @@ type Orchestrator struct {
 	// under and the policy compile latency (policy.epoch,
 	// policy.compiles, policy.compile_ms, labeled by device).
 	Metrics *sim.Metrics
+
+	// Admission, when set, gates each sharded command fan-out per
+	// target before the delivery event is scheduled: a shed target is
+	// counted (core.command_shed{cause}) and audited instead of being
+	// dispatched past a saturated intake.
+	Admission *admission.Controller
+	// Audit, when set with Admission, records every shed fan-out as a
+	// KindAdmission entry.
+	Audit *audit.Log
 
 	mu       sync.Mutex
 	managers map[string]*device.Manager
@@ -127,24 +138,61 @@ func (o *Orchestrator) CommandEvery(period time.Duration, while func() bool,
 // out as same-time events sharded by target ID — so a parallel engine
 // delivers to the whole fleet concurrently while each device's
 // deliveries stay ordered and audit appends merge deterministically.
-// The periodic tick itself is a barrier: next() runs serially, and the
-// member list is snapshotted there, outside any parallel segment.
-// Unlike CommandEvery this path bypasses the resilient dispatcher;
-// deactivated members are skipped silently.
+// The periodic tick itself is a barrier: next() runs serially, the
+// member list is snapshotted there, and (when Admission is set) each
+// target is admitted there — shed targets are counted
+// (core.command_shed{cause}) and audited, never dropped silently.
+// Unlike CommandEvery this path bypasses the resilient dispatcher; a
+// member that left between snapshot and delivery is counted under
+// core.delivery_skipped{cause}.
 func (o *Orchestrator) CommandEverySharded(period time.Duration, while func() bool,
 	next func() policy.Event) {
 	o.engine.ScheduleEvery(period, while, func() {
 		ev := next()
 		for _, d := range o.collective.Devices() {
 			id := d.ID()
+			if o.Admission != nil {
+				if err := o.Admission.Allow(id, admission.ClassHuman); err != nil {
+					cause := admission.CauseOf(err)
+					o.countCause("core.command_shed", cause)
+					if o.Audit != nil {
+						o.Audit.Append(audit.KindAdmission, "orchestrator",
+							fmt.Sprintf("command fan-out to %s shed (%s)", id, cause),
+							map[string]string{"target": id, "cause": cause})
+					}
+					continue
+				}
+			}
 			o.engine.ScheduleShard(0, id, func(lane *sim.Lane) {
-				// Unknown-device and deactivation errors mean the member
-				// left between snapshot and delivery; skip, as Command
-				// does.
-				_, _ = o.collective.DeliverWith(id, ev, lane)
+				if _, err := o.collective.DeliverWith(id, ev, lane); err != nil {
+					// The member left or deactivated between snapshot and
+					// delivery; the skip stays on the books.
+					o.countCause("core.delivery_skipped", skipCause(err))
+				}
 			})
 		}
 	})
+}
+
+// skipCause maps a delivery error to the core.delivery_skipped cause
+// label.
+func skipCause(err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownDevice):
+		return "unknown_device"
+	case errors.Is(err, device.ErrDeactivated):
+		return "deactivated"
+	default:
+		return "error"
+	}
+}
+
+// countCause increments a cause-labeled counter on the orchestrator's
+// registry; a nil Metrics makes it a no-op.
+func (o *Orchestrator) countCause(name, cause string) {
+	if reg := o.Metrics.Registry(); reg != nil {
+		reg.Counter(name, "cause", cause).Inc()
+	}
 }
 
 // SweepEvery schedules watchdog sweeps on the given period, until the

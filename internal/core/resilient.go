@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/admission"
+	"repro/internal/audit"
 	"repro/internal/network"
 	"repro/internal/policy"
 	"repro/internal/resilience"
@@ -39,6 +41,14 @@ type Dispatcher struct {
 	// into the dispatched event's labels and survives the resilience
 	// stack (retries and duplicates carry the same context).
 	Tracer *telemetry.Tracer
+	// Admission, when set, gates each per-target delivery before it
+	// enters the resilience stack: a shed target fails fast with a typed
+	// cause (dispatch.shed{cause}) instead of burning retry budget, and
+	// the decision is audited with the delivery's trace ID.
+	Admission *admission.Controller
+	// Audit, when set with Admission, records every shed decision as a
+	// KindAdmission entry carrying the target, cause and trace ID.
+	Audit *audit.Log
 }
 
 // Command sends the event to every target and returns how many
@@ -61,6 +71,25 @@ func (d *Dispatcher) Command(ev policy.Event) (sent, failed int) {
 	for _, id := range targets {
 		span := d.Tracer.StartSpan("dispatch.deliver", source, root.Context())
 		span.SetAttr("target", id)
+		if d.Admission != nil {
+			if err := d.Admission.Allow(id, admission.ClassHuman); err != nil {
+				cause := admission.CauseOf(err)
+				failed++
+				d.countShed(cause)
+				span.SetAttr("result", "shed")
+				span.SetAttr("cause", cause)
+				if d.Audit != nil {
+					ctx := map[string]string{"target": id, "cause": cause}
+					if sc := span.Context(); sc.Valid() {
+						ctx["trace"] = sc.Trace.String()
+					}
+					d.Audit.Append(audit.KindAdmission, source,
+						fmt.Sprintf("dispatch to %s shed (%s)", id, cause), ctx)
+				}
+				span.Finish()
+				continue
+			}
+		}
 		tev := ev
 		if sc := span.Context(); sc.Valid() {
 			tev.Labels = telemetry.Inject(sc, cloneLabels(ev.Labels))
@@ -93,5 +122,11 @@ func (d *Dispatcher) Command(ev policy.Event) (sent, failed int) {
 func (d *Dispatcher) count(name string) {
 	if d.Metrics != nil {
 		d.Metrics.Inc(name, 1)
+	}
+}
+
+func (d *Dispatcher) countShed(cause string) {
+	if reg := d.Metrics.Registry(); reg != nil {
+		reg.Counter("dispatch.shed", "cause", cause).Inc()
 	}
 }

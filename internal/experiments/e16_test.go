@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE16Determinism is the admission-plane differential gate: the
+// saturated run (overload, chaos, bounded queues, evictions) must
+// produce byte-identical journals and identical conservation books at
+// 1 and 4 workers.
+func TestE16Determinism(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		p := E16Params{Seed: seed}
+		base, err := RunE16Workers(p, 1)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		if base.Shed == 0 || base.Delivered == 0 {
+			t.Fatalf("seed %d: degenerate run (delivered=%d shed=%d)", seed, base.Delivered, base.Shed)
+		}
+		out, err := RunE16Workers(p, 4)
+		if err != nil {
+			t.Fatalf("seed %d workers 4: %v", seed, err)
+		}
+		if out.TipHash != base.TipHash || out.JournalLen != base.JournalLen {
+			t.Errorf("seed %d: journal %d/%s at 4 workers, want %d/%s",
+				seed, out.JournalLen, out.TipHash[:12], base.JournalLen, base.TipHash[:12])
+		}
+		norm := out
+		norm.Workers = base.Workers
+		if norm != base {
+			t.Errorf("seed %d: books diverge across workers:\n  1: %+v\n  4: %+v", seed, base, out)
+		}
+	}
+}
+
+// TestE16ConservationExact drives the canonical saturation run and
+// checks every ledger the experiment reports: the bus invariant holds,
+// nothing is left pending, and sheds respect priority ordering.
+func TestE16ConservationExact(t *testing.T) {
+	out, err := RunE16Workers(E16Params{Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sent != out.Delivered+out.Dropped+out.Shed {
+		t.Errorf("sent=%d != delivered=%d + dropped=%d + shed=%d",
+			out.Sent, out.Delivered, out.Dropped, out.Shed)
+	}
+	if out.Pending != 0 {
+		t.Errorf("pending=%d after drain window", out.Pending)
+	}
+	if out.Shed <= 0 {
+		t.Error("saturation produced no sheds — overload factor is not binding")
+	}
+	shedBy := func(c int) int64 {
+		return out.Counts.ShedQueueFull[c] + out.Counts.ShedRateLimited[c] + out.Counts.Evicted[c]
+	}
+	if shedBy(0) >= shedBy(2) {
+		t.Errorf("priority inversion: human sheds %d >= background sheds %d", shedBy(0), shedBy(2))
+	}
+}
+
+// TestE16Result smoke-tests the table runner end to end.
+func TestE16Result(t *testing.T) {
+	r, err := RunE16(E16Params{Seed: 1, Workers: []int{1, 2}})
+	if err != nil {
+		t.Fatalf("RunE16: %v", err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	last := r.Rows[1]
+	if last[len(last)-1] != "yes" {
+		t.Errorf("parallel row not identical to baseline: %v", last)
+	}
+}
+
+// TestE16DuplicatesStayOffTheBooks checks the duplication window in
+// the light tail produces delivered duplicates without perturbing the
+// conservation identity (duplicates are accounted separately).
+func TestE16DuplicatesStayOffTheBooks(t *testing.T) {
+	p := E16Params{Seed: 1, Horizon: 900 * time.Millisecond}
+	out, err := RunE16Workers(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Duplicated == 0 {
+		t.Skip("seed produced no surviving duplicates in the tail window")
+	}
+	if out.Sent != out.Delivered+out.Dropped+out.Shed {
+		t.Errorf("duplicates leaked into the books: sent=%d delivered=%d dropped=%d shed=%d dup=%d",
+			out.Sent, out.Delivered, out.Dropped, out.Shed, out.Duplicated)
+	}
+}

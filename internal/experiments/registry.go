@@ -46,6 +46,8 @@ func All() []Runner {
 		// next runnable experiment.
 		{ID: "E15", Title: "Deterministic parallel fleet execution (perf extension)",
 			Run: func() (Result, error) { return RunE15(E15Params{Seed: seed}) }},
+		{ID: "E16", Title: "Saturation — admission conservation under overload (VI, extension)",
+			Run: func() (Result, error) { return RunE16(E16Params{Seed: seed}) }},
 	}
 }
 

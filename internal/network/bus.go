@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -75,6 +76,8 @@ type Bus struct {
 	rng        *rand.Rand
 	engine     *sim.Engine
 	metrics    *sim.Metrics
+	intake     *admission.Controller
+	cSent      *telemetry.Counter
 	cDelivered *telemetry.Counter
 	cDropLoss  *telemetry.Counter
 	cDropPart  *telemetry.Counter
@@ -85,9 +88,13 @@ type Bus struct {
 	dupProb    float64
 	minLatency time.Duration
 	maxLatency time.Duration
+	sent       int
 	delivered  int
 	dropped    int
+	shed       int
+	pending    int
 	duplicated int
+	bridgeDrop int
 }
 
 // BusOption configures a Bus.
@@ -132,17 +139,48 @@ func WithDuplication(p float64) BusOption {
 }
 
 // WithMetrics mirrors the bus's delivery accounting into a metrics
-// registry (bus.delivered, bus.dropped labeled by cause, and
+// registry (bus.sent, bus.delivered, bus.dropped labeled by cause, and
 // bus.duplicated), making the fault model observable by experiments.
 func WithMetrics(m *sim.Metrics) BusOption {
 	return busOptionFunc(func(b *Bus) {
 		b.metrics = m
 		if reg := m.Registry(); reg != nil {
+			b.cSent = reg.Counter("bus.sent")
 			b.cDelivered = reg.Counter("bus.delivered")
 			b.cDropLoss = reg.Counter("bus.dropped", "cause", "loss")
 			b.cDropPart = reg.Counter("bus.dropped", "cause", "partition")
 			b.cDup = reg.Counter("bus.duplicated")
 		}
+	})
+}
+
+// WithAdmission puts an admission controller in front of delivery:
+// every Send that passes the fault model is classified by topic and
+// either admitted into the recipient's bounded intake queue or shed
+// with a typed cause (admission.ErrQueueFull,
+// admission.ErrRateLimited). With an engine attached, queues drain in
+// batches on engine events sharded by recipient, so a fixed seed
+// yields identical delivery sequences at any parallelism; without an
+// engine, admitted messages drain synchronously.
+func WithAdmission(ctrl *admission.Controller) BusOption {
+	return busOptionFunc(func(b *Bus) {
+		b.intake = ctrl
+		// A queued original displaced by a higher-priority arrival
+		// must leave the bus's books as a shed, not vanish: the
+		// controller already counted it (admission.shed, cause
+		// queue_full), the hook keeps sent == delivered + dropped +
+		// shed + pending exact. Evicted duplicates touch nothing —
+		// they were never counted.
+		ctrl.SetOnEvict(func(_ string, it admission.Item) {
+			am, ok := it.Payload.(admittedMsg)
+			if !ok || am.dup {
+				return
+			}
+			b.mu.Lock()
+			b.pending--
+			b.shed++
+			b.mu.Unlock()
+		})
 	})
 }
 
@@ -156,8 +194,10 @@ func clamp01(p float64) float64 {
 	return p
 }
 
-// NewBus builds a bus. The random source drives loss and latency
-// sampling and must be non-nil when either is configured.
+// NewBus builds a bus. The random source drives loss, duplication and
+// latency sampling; when faults are configured with a nil rng the bus
+// defaults to a fixed-seed source at configuration time, so a chaos
+// schedule can never be a silent no-op.
 func NewBus(rng *rand.Rand, opts ...BusOption) *Bus {
 	b := &Bus{
 		rng:       rng,
@@ -167,7 +207,19 @@ func NewBus(rng *rand.Rand, opts ...BusOption) *Bus {
 	for _, o := range opts {
 		o.apply(b)
 	}
+	b.ensureRNGLocked()
 	return b
+}
+
+// ensureRNGLocked guarantees a random source exists whenever loss,
+// duplication or a latency spread is configured. Sampling guards used
+// to skip fault injection silently when the rng was nil; defaulting
+// the source (fixed seed, reproducible) at every configuration point
+// makes that state unrepresentable.
+func (b *Bus) ensureRNGLocked() {
+	if b.rng == nil && (b.lossProb > 0 || b.dupProb > 0 || b.maxLatency > b.minLatency) {
+		b.rng = rand.New(rand.NewSource(1))
+	}
 }
 
 // Attach registers a node's handler under its ID. Deliveries to plain
@@ -246,17 +298,22 @@ func (b *Bus) Heal() {
 }
 
 // SetLoss changes the loss probability at runtime (fault injection).
+// A bus built without a random source gets a fixed-seed one here, so
+// the injected fault always takes effect.
 func (b *Bus) SetLoss(p float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.lossProb = clamp01(p)
+	b.ensureRNGLocked()
 }
 
-// SetDuplication changes the duplication probability at runtime.
+// SetDuplication changes the duplication probability at runtime, with
+// the same rng-defaulting guarantee as SetLoss.
 func (b *Bus) SetDuplication(p float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.dupProb = clamp01(p)
+	b.ensureRNGLocked()
 }
 
 // SetLatency changes the delivery latency range at runtime (slow-link
@@ -271,6 +328,7 @@ func (b *Bus) SetLatency(min, max time.Duration) {
 		max = min
 	}
 	b.minLatency, b.maxLatency = min, max
+	b.ensureRNGLocked()
 }
 
 // Send delivers a message to msg.To. It returns ErrUnknownNode for
@@ -292,6 +350,8 @@ func (b *Bus) Send(msg Message) error {
 		b.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.To)
 	}
+	b.sent++
+	b.cSent.Inc()
 	if b.partition[msg.From] != b.partition[msg.To] {
 		b.dropped++
 		b.cDropPart.Inc()
@@ -305,15 +365,20 @@ func (b *Bus) Send(msg Message) error {
 		return fmt.Errorf("%w: loss", ErrDropped)
 	}
 	engine := b.engine
+	intake := b.intake
 	latency := b.sampleLatencyLocked()
 	duplicate := b.dupProb > 0 && b.rng != nil && b.rng.Float64() < b.dupProb
 	var dupLatency time.Duration
-	if duplicate {
+	if duplicate && intake == nil {
 		// An independent latency sample makes duplicates arrive out of
 		// order relative to the original.
 		dupLatency = b.sampleLatencyLocked()
 		b.duplicated++
 		b.cDup.Inc()
+	}
+	if intake != nil {
+		b.mu.Unlock()
+		return b.sendAdmitted(msg, ep, engine, intake, latency, duplicate)
 	}
 	b.delivered++
 	b.cDelivered.Inc()
@@ -331,6 +396,106 @@ func (b *Bus) Send(msg Message) error {
 		scheduleDelivery(engine, dupLatency, ep, msg)
 	}
 	return nil
+}
+
+// admittedMsg is one bus message queued behind the admission
+// controller; dup marks the extra copy injected by the duplication
+// fault (delivered, but not counted as a delivered original).
+type admittedMsg struct {
+	msg Message
+	dup bool
+}
+
+// sendAdmitted runs the admission-controlled tail of Send: the message
+// is classified by topic and admitted or shed; admitted messages drain
+// to the endpoint in priority order — synchronously without an engine,
+// in batched drain events sharded by recipient with one.
+func (b *Bus) sendAdmitted(msg Message, ep endpoint, engine *sim.Engine,
+	intake *admission.Controller, latency time.Duration, duplicate bool) error {
+	class := admission.ClassifyTopic(msg.Topic)
+	if err := intake.Admit(msg.To, class, admittedMsg{msg: msg}); err != nil {
+		b.mu.Lock()
+		b.shed++
+		b.mu.Unlock()
+		return err
+	}
+	b.mu.Lock()
+	b.pending++
+	b.mu.Unlock()
+	if duplicate {
+		// The duplicate is a second admission attempt: under pressure
+		// it sheds like any other arrival instead of bypassing the
+		// bound. It stays off the conservation books — it counts as
+		// duplicated only if it actually reaches the recipient.
+		_ = intake.Admit(msg.To, class, admittedMsg{msg: msg, dup: true})
+	}
+	if engine == nil {
+		for {
+			items := intake.Drain(msg.To)
+			if len(items) == 0 {
+				return nil
+			}
+			b.deliverAdmitted(items, ep, nil)
+		}
+	}
+	if intake.BeginDrain(msg.To) {
+		b.scheduleDrain(engine, latency, msg.To, ep)
+	}
+	return nil
+}
+
+// scheduleDrain queues one drain pass for the recipient: sharded by
+// recipient for lane handlers, as a serial barrier for plain ones
+// (which may touch shared state).
+func (b *Bus) scheduleDrain(engine *sim.Engine, delay time.Duration, to string, ep endpoint) {
+	if ep.lh != nil {
+		engine.ScheduleShard(delay, to, func(lane *sim.Lane) { b.drainPass(to, ep, lane) })
+		return
+	}
+	engine.Schedule(delay, func() { b.drainPass(to, ep, nil) })
+}
+
+// drainPass delivers one batch from the recipient's intake queue and
+// reschedules itself (through the lane, keeping parallel runs
+// deterministic) while messages remain.
+func (b *Bus) drainPass(to string, ep endpoint, lane *sim.Lane) {
+	intake := b.intake
+	items := intake.Drain(to)
+	b.deliverAdmitted(items, ep, lane)
+	if !intake.FinishDrain(to) {
+		return
+	}
+	delay := intake.DrainInterval()
+	if ep.lh != nil {
+		lane.ScheduleShard(delay, to, func(l *sim.Lane) { b.drainPass(to, ep, l) })
+		return
+	}
+	b.engine.Schedule(delay, func() { b.drainPass(to, ep, nil) })
+}
+
+// deliverAdmitted hands drained items to the endpoint: originals move
+// from pending to delivered, duplicates count as duplicated.
+func (b *Bus) deliverAdmitted(items []admission.Item, ep endpoint, lane *sim.Lane) {
+	for _, it := range items {
+		am, ok := it.Payload.(admittedMsg)
+		if !ok {
+			continue
+		}
+		b.mu.Lock()
+		if am.dup {
+			b.duplicated++
+		} else {
+			b.pending--
+			b.delivered++
+		}
+		b.mu.Unlock()
+		if am.dup {
+			b.cDup.Inc()
+		} else {
+			b.cDelivered.Inc()
+		}
+		ep.call(am.msg, lane)
+	}
 }
 
 // scheduleDelivery queues one delivery on the engine: sharded by
@@ -360,13 +525,81 @@ func (b *Bus) Broadcast(from, topic string, payload any) int {
 }
 
 // Stats returns the delivered and dropped message counts. Every Send
-// to an attached, same-partition-checked receiver counts exactly once
-// as delivered or dropped, so delivered+dropped equals attempted sends
-// (duplicates are tracked separately by Duplicated).
+// to an attached receiver counts exactly once as delivered, dropped,
+// shed, or still queued behind admission, so
+// sent == delivered + dropped + shed + pending at every instant
+// (duplicates are tracked separately by Duplicated; CheckConservation
+// asserts the invariant).
 func (b *Bus) Stats() (delivered, dropped int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.delivered, b.dropped
+}
+
+// Sent returns how many Send calls addressed an attached recipient.
+func (b *Bus) Sent() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sent
+}
+
+// Shed returns how many sends the admission controller refused with a
+// typed cause (queue full, rate limited).
+func (b *Bus) Shed() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shed
+}
+
+// PendingAdmitted returns how many admitted originals are still
+// queued awaiting drain (0 without an admission controller;
+// fault-injected duplicates queue alongside but are not counted
+// here).
+func (b *Bus) PendingAdmitted() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pending
+}
+
+// BridgeDropped returns how many wire-bridged messages the bus
+// refused (see BridgeToBus).
+func (b *Bus) BridgeDropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bridgeDrop
+}
+
+// CheckConservation verifies the bus's books balance exactly:
+// sent == delivered + dropped + shed + pending. Every message a
+// caller handed to an attached recipient is therefore provably
+// delivered, dropped-with-cause, shed-with-cause, or still queued —
+// there is no silent path out.
+func (b *Bus) CheckConservation() error {
+	b.mu.Lock()
+	sent, delivered, dropped, shed, pending := b.sent, b.delivered, b.dropped, b.shed, b.pending
+	intake := b.intake
+	b.mu.Unlock()
+	if sent != delivered+dropped+shed+pending {
+		return fmt.Errorf("network: conservation violated: sent %d != delivered %d + dropped %d + shed %d + pending %d",
+			sent, delivered, dropped, shed, pending)
+	}
+	if intake != nil {
+		if err := intake.CheckConservation(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countBridgeDrop records one wire-bridged message the bus refused.
+func (b *Bus) countBridgeDrop(cause string) {
+	b.mu.Lock()
+	b.bridgeDrop++
+	m := b.metrics
+	b.mu.Unlock()
+	if reg := m.Registry(); reg != nil {
+		reg.Counter("bus.bridge_dropped", "cause", cause).Inc()
+	}
 }
 
 // Duplicated returns how many messages were delivered twice by the

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/resilience"
 )
 
@@ -179,6 +181,10 @@ func (s *Server) readLoop(conn net.Conn) {
 	}
 }
 
+// ErrClosed is returned by Send on a client that was explicitly
+// closed; a closed client never redials.
+var ErrClosed = errors.New("network: client closed")
+
 // Client is a TCP sender of wire messages. It is safe for concurrent
 // use.
 type Client struct {
@@ -202,7 +208,7 @@ func (c *Client) Send(msg WireMessage) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
-		return errors.New("network: client closed")
+		return ErrClosed
 	}
 	if err := c.enc.Encode(msg); err != nil {
 		return fmt.Errorf("network: send: %w", err)
@@ -233,9 +239,10 @@ type ResilientClient struct {
 	// SendTimeout bounds each write on the wire; zero disables it.
 	SendTimeout time.Duration
 
-	addr string
-	mu   sync.Mutex
-	conn *Client
+	addr   string
+	mu     sync.Mutex
+	conn   *Client
+	closed bool
 }
 
 // DialResilient connects to a Server, keeping the address for
@@ -249,10 +256,16 @@ func DialResilient(addr string, retry resilience.Retry) (*ResilientClient, error
 }
 
 // Send transmits one message, redialing between attempts when the
-// connection failed.
+// connection failed. After Close it fails fast with ErrClosed — a
+// closed client must stay closed, not silently resurrect the
+// connection by redialing.
 func (c *ResilientClient) Send(msg WireMessage) error {
 	return c.Retry.Do(func() error {
 		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
 		client := c.conn
 		c.mu.Unlock()
 		if client == nil {
@@ -261,6 +274,12 @@ func (c *ResilientClient) Send(msg WireMessage) error {
 				return err
 			}
 			c.mu.Lock()
+			if c.closed {
+				// Close raced the redial; do not resurrect.
+				c.mu.Unlock()
+				_ = fresh.Close()
+				return ErrClosed
+			}
 			c.conn = fresh
 			client = fresh
 			c.mu.Unlock()
@@ -281,14 +300,25 @@ func (c *ResilientClient) Send(msg WireMessage) error {
 			c.mu.Unlock()
 			return err
 		}
+		if c.SendTimeout > 0 {
+			// Disarm the per-call deadline so it cannot fire mid-write
+			// on a later slow-but-healthy send.
+			client.mu.Lock()
+			if client.conn != nil {
+				_ = client.conn.SetWriteDeadline(time.Time{})
+			}
+			client.mu.Unlock()
+		}
 		return nil
 	})
 }
 
-// Close shuts the current connection down.
+// Close shuts the current connection down and marks the client
+// closed; subsequent Sends return ErrClosed instead of redialing.
 func (c *ResilientClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}
@@ -297,12 +327,67 @@ func (c *ResilientClient) Close() error {
 	return err
 }
 
+// BridgeOption configures BridgeToBus.
+type BridgeOption interface {
+	applyBridge(*bridge)
+}
+
+type bridgeOptionFunc func(*bridge)
+
+func (f bridgeOptionFunc) applyBridge(b *bridge) { f(b) }
+
+// WithBridgeErrorHandler surfaces every bus.Send failure on the bridge
+// to the callback, together with the wire message that failed, so the
+// server side can log, retry or alert instead of losing the message
+// silently.
+func WithBridgeErrorHandler(fn func(WireMessage, error)) BridgeOption {
+	return bridgeOptionFunc(func(b *bridge) { b.onError = fn })
+}
+
+type bridge struct {
+	bus     *Bus
+	onError func(WireMessage, error)
+}
+
+// bridgeDropCause maps a bus.Send error to the bus.bridge_dropped
+// cause label.
+func bridgeDropCause(err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownNode):
+		return "unknown_node"
+	case errors.Is(err, ErrDropped):
+		if strings.Contains(err.Error(), "partition") {
+			return "partition"
+		}
+		return "loss"
+	case errors.Is(err, admission.ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, admission.ErrRateLimited):
+		return "rate_limited"
+	default:
+		return "error"
+	}
+}
+
 // BridgeToBus returns a Server handler that re-injects received wire
 // messages into an in-memory bus, so a remote process can address
-// local devices. Payloads are forwarded as strings; unknown recipients
-// are dropped.
-func BridgeToBus(bus *Bus) func(WireMessage) {
+// local devices. Payloads are forwarded as strings. A refused message
+// is never dropped silently: the bus counts it
+// (bus.bridge_dropped{cause}) and the error is surfaced to the
+// optional WithBridgeErrorHandler callback.
+func BridgeToBus(bus *Bus, opts ...BridgeOption) func(WireMessage) {
+	br := &bridge{bus: bus}
+	for _, o := range opts {
+		o.applyBridge(br)
+	}
 	return func(w WireMessage) {
-		_ = bus.Send(Message{From: w.From, To: w.To, Topic: w.Topic, Payload: w.Payload})
+		err := bus.Send(Message{From: w.From, To: w.To, Topic: w.Topic, Payload: w.Payload})
+		if err == nil {
+			return
+		}
+		bus.countBridgeDrop(bridgeDropCause(err))
+		if br.onError != nil {
+			br.onError(w, err)
+		}
 	}
 }

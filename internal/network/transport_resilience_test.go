@@ -94,9 +94,14 @@ func TestResilientClientRedialsAfterConnectionLoss(t *testing.T) {
 	if err := client.Send(WireMessage{From: "a", To: "b", Topic: "t", Payload: "one"}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
-	// Sever the connection; the next Send must redial and succeed.
-	if err := client.Close(); err != nil {
-		t.Fatalf("Close: %v", err)
+	// Sever the underlying connection out from under the client (an
+	// explicit Close is terminal — see ErrClosed); the next Send must
+	// redial and succeed.
+	client.mu.Lock()
+	inner := client.conn
+	client.mu.Unlock()
+	if err := inner.Close(); err != nil {
+		t.Fatalf("severing connection: %v", err)
 	}
 	if err := client.Send(WireMessage{From: "a", To: "b", Topic: "t", Payload: "two"}); err != nil {
 		t.Fatalf("Send after connection loss: %v", err)

@@ -218,7 +218,7 @@ func TestBridgeToBus(t *testing.T) {
 	if err := client.Send(WireMessage{From: "remote", To: "device-1", Topic: "cmd", Payload: "patrol"}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
-	// Unknown recipients are dropped silently.
+	// Unknown recipients are counted, never dropped silently.
 	if err := client.Send(WireMessage{From: "remote", To: "ghost"}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
@@ -227,6 +227,7 @@ func TestBridgeToBus(t *testing.T) {
 		defer mu.Unlock()
 		return len(got) == 1
 	})
+	waitFor(t, func() bool { return bus.BridgeDropped() == 1 })
 	mu.Lock()
 	defer mu.Unlock()
 	if got[0].Payload != "patrol" || got[0].From != "remote" {

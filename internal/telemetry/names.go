@@ -29,9 +29,18 @@ type Def struct {
 // defs is the metric taxonomy, grouped by subsystem.
 var defs = []Def{
 	// bus — message substrate delivery accounting.
+	{Name: "bus.sent", Kind: KindCounter, Help: "Send attempts to attached recipients (each ends delivered, dropped, shed or queued)."},
 	{Name: "bus.delivered", Kind: KindCounter, Help: "Messages accepted for delivery by the bus."},
 	{Name: "bus.dropped", Kind: KindCounter, Labels: []string{"cause"}, Help: "Messages dropped by the bus, by cause (loss, partition)."},
 	{Name: "bus.duplicated", Kind: KindCounter, Help: "Messages delivered twice by the duplication fault."},
+	{Name: "bus.bridge_dropped", Kind: KindCounter, Labels: []string{"cause"}, Help: "Wire-bridged messages the bus refused, by cause (unknown_node, partition, loss, queue_full, rate_limited, error)."},
+
+	// admission — the bounded command-plane front door.
+	{Name: "admission.admitted", Kind: KindCounter, Labels: []string{"class"}, Help: "Messages admitted into bounded intake queues, by priority class."},
+	{Name: "admission.delivered", Kind: KindCounter, Labels: []string{"class"}, Help: "Admitted messages drained to their recipient, by priority class."},
+	{Name: "admission.shed", Kind: KindCounter, Labels: []string{"cause", "class"}, Help: "Messages shed with cause (queue_full, rate_limited), by priority class."},
+	{Name: "admission.queue_depth", Kind: KindGauge, Help: "Messages currently queued across all intake queues."},
+	{Name: "admission.wait_ms", Kind: KindHistogram, Labels: []string{"class"}, Help: "Queue wait between admission and drain in milliseconds."},
 
 	// resilience — retry, breaker and reliable-send outcomes.
 	{Name: "resilience.retries", Kind: KindCounter, Help: "Redelivery attempts spent recovering dropped sends."},
@@ -41,10 +50,13 @@ var defs = []Def{
 	// dispatch — command decomposition into per-device deliveries.
 	{Name: "dispatch.sent", Kind: KindCounter, Help: "Per-device command deliveries accepted by the transport."},
 	{Name: "dispatch.failed", Kind: KindCounter, Help: "Per-device command deliveries failed after retries or breaker rejection."},
+	{Name: "dispatch.shed", Kind: KindCounter, Labels: []string{"cause"}, Help: "Per-device command deliveries shed by admission before dispatch, by cause."},
 
 	// core — collective-level intake.
 	{Name: "core.commands", Kind: KindCounter, Help: "Human commands broadcast through the collective."},
 	{Name: "core.deliveries", Kind: KindCounter, Help: "Targeted event deliveries to collective members."},
+	{Name: "core.command_shed", Kind: KindCounter, Labels: []string{"cause"}, Help: "Sharded command fan-outs shed by admission before scheduling, by cause."},
+	{Name: "core.delivery_skipped", Kind: KindCounter, Labels: []string{"cause"}, Help: "Scheduled deliveries skipped because the member left or deactivated."},
 
 	// policy — the compiled decision plane.
 	{Name: "policy.epoch", Kind: KindGauge, Labels: []string{"device"}, Help: "Snapshot epoch the device last evaluated under."},
