@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission conservation experiments examples obs-smoke
+.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission bench-bundle conservation fuzz-short experiments examples obs-smoke
 
 all: build test
 
@@ -10,8 +10,15 @@ build:
 vet:
 	go vet ./...
 
-test: vet obs-smoke conservation
+test: vet obs-smoke conservation fuzz-short
 	go test -shuffle=on ./...
+
+# A short randomized pass over the bundle wire-format decoder on top of
+# its seeded corpus: no input may reach live policy state or crash the
+# fail-closed verification chain.
+fuzz-short:
+	go test -run=FuzzBundleDecode -fuzz=FuzzBundleDecode -fuzztime=10s \
+		./internal/bundle
 
 # The admission-plane conservation gate, runnable on its own: the E16
 # saturation ledger must balance exactly (sent == delivered + dropped
@@ -61,6 +68,14 @@ bench-admission:
 	go test -bench='BenchmarkAdmission' -benchmem -count=5 \
 		./internal/admission | tee bench_admission.txt
 	sh scripts/bench_json.sh bench_admission.txt BENCH_PR5.json
+
+# Bundle distribution hot paths only (PR6): publish, verify+activate
+# (full and delta) and the fail-closed reject path, distilled into
+# BENCH_PR6.json.
+bench-bundle:
+	go test -bench='BenchmarkBundle' -benchmem -count=5 \
+		./internal/bundle | tee bench_bundle.txt
+	sh scripts/bench_json.sh bench_bundle.txt BENCH_PR6.json
 
 # The 10k-device parallel-fleet benchmarks only (E15). One run per
 # variant: each iteration is a whole 30-virtual-second fleet, so

@@ -61,10 +61,22 @@
 //
 //	"saturation": {"queueCapacity": 8, "rate": 2, "burst": 2,
 //	               "drainBatch": 4, "drainIntervalMs": 100}
+//
+// An optional "bundle" block distributes the fleet's policies as
+// signed, versioned bundles before the event stream runs: every device
+// enrolls with the distributor, each listed revision is compiled,
+// published and repaired to convergence over a (possibly lossy) bus,
+// and tampered pushes injected afterwards must all be refused
+// fail-closed with the fleet unmoved. Incompatible with "chaos" and
+// "saturation", which own the bus differently:
+//
+//	"bundle": {"revisions": ["policy work: on tick do run ..."],
+//	           "loss": 0.3, "corruptPushes": 2}
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -75,6 +87,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/audit"
+	"repro/internal/bundle"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/guard"
@@ -106,6 +119,25 @@ type scenario struct {
 	// Saturation optionally bounds intake behind the admission
 	// controller; nil keeps unbounded delivery.
 	Saturation *saturationSpec `json:"saturation"`
+	// Bundle optionally distributes policies as signed bundles before
+	// the event stream; nil keeps per-device policy sources.
+	Bundle *bundleSpec `json:"bundle"`
+}
+
+type bundleSpec struct {
+	// Revisions are policylang sources; revision i+1 is compiled and
+	// published as one signed bundle that replaces revision i's set.
+	Revisions []string `json:"revisions"`
+	// Loss is the per-message drop probability on the distribution bus;
+	// anti-entropy repair sweeps close the resulting gaps.
+	Loss float64 `json:"loss"`
+	// Seed drives the fault randomness (default 1).
+	Seed int64 `json:"seed"`
+	// MaxSweeps bounds repair sweeps per revision (default 16).
+	MaxSweeps int `json:"maxSweeps"`
+	// CorruptPushes injects that many tampered pushes after
+	// distribution; every one must be rejected fail-closed.
+	CorruptPushes int `json:"corruptPushes"`
 }
 
 type saturationSpec struct {
@@ -226,6 +258,12 @@ func run(args []string, out io.Writer) error {
 	if sc.Saturation != nil && sc.Chaos != nil {
 		return fmt.Errorf("a saturation block cannot be combined with a chaos block: admission drains on the engine, chaos crash/restart runs serially")
 	}
+	if sc.Bundle != nil && (sc.Chaos != nil || sc.Saturation != nil) {
+		return fmt.Errorf("a bundle block cannot be combined with a chaos or saturation block: each configures the bus differently")
+	}
+	if sc.Bundle != nil && *parallelism > 1 {
+		return fmt.Errorf("--parallelism cannot be combined with a bundle block: bus fault sampling is delivery-order-dependent")
+	}
 	// In parallel mode — and under a saturation block, whose intake
 	// queues drain in batched engine events — the scenario runs on the
 	// discrete-event engine and the journal is stamped with virtual
@@ -281,6 +319,20 @@ func run(args []string, out io.Writer) error {
 			Breakers: &resilience.BreakerSet{Threshold: 3, Cooldown: time.Minute},
 			Metrics:  metrics,
 		}
+		coreCfg.Bus = bus
+	}
+
+	// With a bundle block, policy distribution travels over a lossy bus
+	// while the event stream itself stays on direct delivery — the bus
+	// carries only bundle pushes, acks and pulls.
+	if sc.Bundle != nil {
+		seed := sc.Bundle.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		bus = network.NewBus(rand.New(rand.NewSource(seed)),
+			network.WithLoss(sc.Bundle.Loss),
+			network.WithMetrics(metrics))
 		coreCfg.Bus = bus
 	}
 
@@ -370,6 +422,17 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// The bundle distribution phase runs before the event stream so the
+	// fleet acts on distributor-activated policies, not per-device
+	// sources.
+	var bundleResult *bundleSummary
+	if sc.Bundle != nil {
+		bundleResult, err = runBundlePhase(sc, collective, bus, registry, out)
+		if err != nil {
+			return err
+		}
+	}
+
 	executed, denied := 0, 0
 	sendFailures, recoveries := 0, 0
 	if sc.Saturation != nil {
@@ -416,6 +479,20 @@ func run(args []string, out io.Writer) error {
 		delivered, dropped := bus.Stats()
 		fmt.Fprintf(out, "  saturation: sent=%d delivered=%d shed=%d dropped=%d pending=%d (conservation exact)\n",
 			bus.Sent(), delivered, bus.Shed(), dropped, bus.PendingAdmitted())
+	}
+	if sc.Bundle != nil {
+		r := bundleResult
+		fmt.Fprintf(out, "  bundle: revision=%d converged=%v activated{full=%d delta=%d} repairs=%d pulls=%d corrupt-rejected=%d/%d\n",
+			r.dist.Revision(), r.dist.Converged(),
+			registry.Counter("bundle.activated", "kind", "full").Value(),
+			registry.Counter("bundle.activated", "kind", "delta").Value(),
+			registry.Counter("bundle.repairs").Value(),
+			registry.Counter("bundle.pulls").Value(),
+			r.corruptRejected, r.corruptDelivered)
+		if err := r.dist.Ledger().Verify(); err != nil {
+			return fmt.Errorf("activation ledger broken: %w", err)
+		}
+		fmt.Fprintf(out, "  bundle ledger: %d entries, chain verified\n", r.dist.Ledger().Len())
 	}
 	if err := log.Verify(); err != nil {
 		return fmt.Errorf("audit chain broken: %w", err)
@@ -688,6 +765,125 @@ func runSerialEvents(sc scenario, collective *core.Collective, specByID map[stri
 		}
 	}
 	return executed, denied, sendFailures, recoveries
+}
+
+// bundleSummary carries the distribution phase's books into the run
+// summary.
+type bundleSummary struct {
+	dist             *core.Distributor
+	corruptDelivered int64
+	corruptRejected  int64
+}
+
+// runBundlePhase distributes the scenario's policy revisions as signed
+// bundles: every device enrolls with a distributor sharing one HMAC
+// key, each revision is published and repaired to convergence over the
+// (possibly lossy) bus, and the scripted tampered pushes afterwards
+// must all be refused fail-closed with every device still on the
+// published revision.
+func runBundlePhase(sc scenario, collective *core.Collective, bus *network.Bus,
+	registry *telemetry.Registry, out io.Writer) (*bundleSummary, error) {
+	spec := sc.Bundle
+	maxSweeps := spec.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 16
+	}
+	key := bundle.HMACKey{ID: "skynetsim", Secret: []byte("skynetsim-bundle-" + sc.Name)}
+	dist, err := core.NewDistributor(core.DistributorConfig{
+		Collective: collective, Signer: key, Telemetry: registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	devices := collective.Devices()
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("bundle: no devices to enroll")
+	}
+	for _, d := range devices {
+		if err := dist.Enroll(d.ID(), key); err != nil {
+			return nil, err
+		}
+	}
+	for i, src := range spec.Revisions {
+		pols, err := policylang.CompileSource(src, policy.OriginHuman)
+		if err != nil {
+			return nil, fmt.Errorf("bundle revision %d: %w", i+1, err)
+		}
+		rev, err := dist.Publish(pols)
+		if err != nil {
+			return nil, fmt.Errorf("bundle revision %d: %w", i+1, err)
+		}
+		sweeps := 0
+		for !dist.Converged() && sweeps < maxSweeps {
+			dist.RepairSweep()
+			sweeps++
+		}
+		if !dist.Converged() {
+			return nil, fmt.Errorf("bundle revision %d: fleet not converged after %d repair sweeps; lagging %v",
+				rev, sweeps, dist.Lagging())
+		}
+		fmt.Fprintf(out, "bundle revision %d: %d policies converged after %d repair sweeps\n",
+			rev, len(pols), sweeps)
+	}
+
+	// Tampered pushes alternate a rogue-signed full bundle with
+	// structural garbage. Each is retried past the loss until the bus
+	// actually delivers it, so the fail-closed books are exact: every
+	// delivered corruption must be rejected, and no device may move.
+	rejected := func() int64 {
+		return registry.Counter("bundle.rejected", "cause", "signature").Value() +
+			registry.Counter("bundle.rejected", "cause", "decode").Value()
+	}
+	before := rejected()
+	var delivered int64
+	if spec.CorruptPushes > 0 {
+		rogue := bundle.NewPublisher(bundle.HMACKey{ID: "rogue", Secret: []byte("rogue")})
+		pols, err := policylang.CompileSource(
+			"policy hijack priority 9:\n    on tick\n    do exfiltrate target all category surveillance\n",
+			policy.OriginHuman)
+		if err != nil {
+			return nil, err
+		}
+		full, _, err := rogue.Publish(pols)
+		if err != nil {
+			return nil, err
+		}
+		rogueWire, err := bundle.Encode(full)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < spec.CorruptPushes; i++ {
+			payload := rogueWire
+			if i%2 == 1 {
+				payload = []byte("!! not a bundle !!")
+			}
+			target := devices[i%len(devices)].ID()
+			for attempt := 0; ; attempt++ {
+				err := bus.Send(network.Message{
+					From: "attacker", To: target, Topic: core.TopicBundle, Payload: payload,
+				})
+				if err == nil {
+					delivered++
+					break
+				}
+				if !errors.Is(err, network.ErrDropped) || attempt >= 10000 {
+					return nil, fmt.Errorf("bundle: corrupt push %d undeliverable: %w", i, err)
+				}
+			}
+		}
+	}
+	summary := &bundleSummary{dist: dist, corruptDelivered: delivered, corruptRejected: rejected() - before}
+	if summary.corruptRejected != delivered {
+		return nil, fmt.Errorf("bundle: fail-closed violated: %d corrupt pushes delivered, only %d rejected",
+			delivered, summary.corruptRejected)
+	}
+	for _, d := range devices {
+		if got := d.Policies().Revision(); got != dist.Revision() {
+			return nil, fmt.Errorf("bundle: %s at revision %d after corrupt pushes, want %d",
+				d.ID(), got, dist.Revision())
+		}
+	}
+	return summary, nil
 }
 
 // buildStateModel derives the schema and classifier from the scenario:

@@ -194,6 +194,66 @@ func TestRunParallelRejectsChaos(t *testing.T) {
 	}
 }
 
+func TestRunBundleScenario(t *testing.T) {
+	path := writeScenario(t, `{
+		"name": "bundle",
+		"badHeatAt": 80,
+		"devices": [
+			{"id": "n1", "heat": 20},
+			{"id": "n2", "heat": 20}
+		],
+		"events": [{"type": "tick", "target": "*", "repeat": 4}],
+		"bundle": {
+			"loss": 0.25,
+			"corruptPushes": 3,
+			"revisions": [
+				"policy work priority 1:\n    on tick\n    do run target fleet category work effect heat += 5\n",
+				"policy work priority 1:\n    on tick\n    do run target fleet category work effect heat += 10\n"
+			]
+		}
+	}`)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	// Both revisions converged, and the fleet acted on the distributed
+	// policy (+10 per tick from revision 2): no per-device sources exist.
+	for _, want := range []string{
+		"bundle revision 2: 1 policies converged",
+		"bundle: revision=2 converged=true",
+		"corrupt-rejected=3/3",
+		"bundle ledger:",
+		"chain verified",
+		"n1: active state={heat=60",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBundleIncompatibilities(t *testing.T) {
+	withChaos := writeScenario(t, `{"name":"x","devices":[{"id":"d"}],
+		"bundle":{"revisions":[]},"chaos":{"loss":0.5}}`)
+	if err := run([]string{withChaos}, os.Stdout); err == nil ||
+		!strings.Contains(err.Error(), "bundle") {
+		t.Errorf("bundle + chaos accepted (err=%v)", err)
+	}
+	withSaturation := writeScenario(t, `{"name":"x","devices":[{"id":"d"}],
+		"bundle":{"revisions":[]},"saturation":{"queueCapacity":2}}`)
+	if err := run([]string{withSaturation}, os.Stdout); err == nil ||
+		!strings.Contains(err.Error(), "bundle") {
+		t.Errorf("bundle + saturation accepted (err=%v)", err)
+	}
+	alone := writeScenario(t, `{"name":"x","devices":[{"id":"d"}],
+		"bundle":{"revisions":[]}}`)
+	if err := run([]string{"--parallelism", "2", alone}, os.Stdout); err == nil ||
+		!strings.Contains(err.Error(), "bundle") {
+		t.Errorf("bundle + parallelism accepted (err=%v)", err)
+	}
+}
+
 func TestRunChaosScenario(t *testing.T) {
 	path := writeScenario(t, `{
 		"name": "chaos",

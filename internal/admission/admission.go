@@ -68,13 +68,17 @@ func Classes() []Class {
 }
 
 // ClassifyTopic maps a bus topic onto its priority class: "command"
-// is human intake, "action"/"guard"/"oversight" are collaboration
-// traffic, everything else (gossip, telemetry chatter) is background.
+// is human intake; "action"/"guard"/"oversight" are collaboration
+// traffic, as is "bundle" — a policy revision push is the oversight
+// collective reasserting control, so it must not starve behind
+// background chatter; everything else (gossip, bundle acks/pulls,
+// telemetry chatter) is background — repair re-pushes make lost acks
+// survivable, so the return path need not outrank guard traffic.
 func ClassifyTopic(topic string) Class {
 	switch topic {
 	case "command":
 		return ClassHuman
-	case "action", "guard", "oversight":
+	case "action", "guard", "oversight", "bundle":
 		return ClassGuard
 	}
 	return ClassBackground

@@ -34,6 +34,12 @@ func TestClassifyTopic(t *testing.T) {
 		"gossip":    ClassBackground,
 		"telemetry": ClassBackground,
 		"":          ClassBackground,
+		// Policy revision pushes are control-plane traffic; the ack and
+		// pull return paths survive on anti-entropy repair, so only the
+		// exact "bundle" topic outranks background.
+		"bundle":      ClassGuard,
+		"bundle_ack":  ClassBackground,
+		"bundle_pull": ClassBackground,
 	}
 	for topic, want := range cases {
 		if got := ClassifyTopic(topic); got != want {

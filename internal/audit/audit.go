@@ -36,6 +36,7 @@ const (
 	KindOversight  Kind = "oversight"
 	KindTamper     Kind = "tamper"
 	KindCheckpoint Kind = "checkpoint"
+	KindBundle     Kind = "bundle"
 	KindNote       Kind = "note"
 )
 
@@ -224,6 +225,37 @@ func (l *Log) Verify() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return VerifyEntries(l.entries)
+}
+
+// VerifyFrom walks only the chain tail starting at index, checking
+// that the first tail entry back-links to prevHash (the hash of entry
+// index-1, or "" for index 0) and that every subsequent entry chains
+// correctly. A caller that remembers (index, prevHash) from an earlier
+// full Verify can therefore re-verify a long-running journal
+// incrementally without rehashing the whole prefix: the prefix is
+// pinned by prevHash, so any in-place edit before index still breaks
+// the tail's back-link. Index must be within [0, Len()].
+func (l *Log) VerifyFrom(index int, prevHash string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if index < 0 || index > len(l.entries) {
+		return fmt.Errorf("%w: verify-from index %d out of range [0,%d]", ErrChainBroken, index, len(l.entries))
+	}
+	prev := prevHash
+	for i := index; i < len(l.entries); i++ {
+		e := l.entries[i]
+		if e.Seq != i {
+			return fmt.Errorf("%w: entry %d has seq %d", ErrChainBroken, i, e.Seq)
+		}
+		if e.PrevHash != prev {
+			return fmt.Errorf("%w: entry %d back-link mismatch", ErrChainBroken, i)
+		}
+		if hashEntry(e) != e.Hash {
+			return fmt.Errorf("%w: entry %d content hash mismatch", ErrChainBroken, i)
+		}
+		prev = e.Hash
+	}
+	return nil
 }
 
 // MarshalJSON encodes the log as a JSON array of entries.

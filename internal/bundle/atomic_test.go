@@ -1,0 +1,118 @@
+package bundle
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestActivationAtomicUnderConcurrency is the activation-atomicity
+// property test: while an agent applies a stream of revisions, readers
+// hammer Evaluate on the same set. Every revision stamps all policies
+// with its own action target, so a torn activation — a snapshot mixing
+// policies from two revisions — is directly observable as a decision
+// whose actions disagree on the target, or disagree with the snapshot's
+// own revision stamp. The final set is also compared against a serial
+// re-application of the same revisions (the differential oracle). Run
+// under -race via make test-race.
+func TestActivationAtomicUnderConcurrency(t *testing.T) {
+	const (
+		nPolicies  = 6
+		nRevisions = 40
+		nReaders   = 4
+	)
+
+	set := policy.NewSet()
+	agent := NewAgent(set, testKey())
+	pub := NewPublisher(testKey())
+
+	bundles := make([]Bundle, 0, nRevisions)
+	for r := 1; r <= nRevisions; r++ {
+		full, _, err := pub.Publish(mkPolicies(t, nPolicies, fmt.Sprintf("rev%d", r)))
+		if err != nil {
+			t.Fatalf("Publish rev %d: %v", r, err)
+		}
+		bundles = append(bundles, full)
+	}
+
+	if _, err := agent.Apply(bundles[0]); err != nil {
+		t.Fatalf("seed revision: %v", err)
+	}
+
+	env := policy.Env{Event: policy.Event{
+		Type:  "smoke-detected",
+		Attrs: map[string]float64{"intensity": 1000},
+	}}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	violations := make(chan string, nReaders)
+
+	for i := 0; i < nReaders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := set.Snapshot()
+				d := snap.Evaluate(env)
+				if len(d.Actions) != nPolicies {
+					violations <- fmt.Sprintf("decision matched %d actions, want %d", len(d.Actions), nPolicies)
+					return
+				}
+				want := fmt.Sprintf("rev%d", snap.Revision())
+				for _, a := range d.Actions {
+					if a.Target != want {
+						violations <- fmt.Sprintf("snapshot at revision %d evaluated policy targeting %q — torn activation", snap.Revision(), a.Target)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for _, b := range bundles[1:] {
+		if applied, err := agent.Apply(b); err != nil || !applied {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("Apply rev %d: applied=%v err=%v", b.Manifest.Revision, applied, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(violations)
+	for v := range violations {
+		t.Error(v)
+	}
+
+	// Differential oracle: a serial agent applying the same bundles
+	// must land on an identical policy set.
+	serial := policy.NewSet()
+	serialAgent := NewAgent(serial, testKey())
+	for _, b := range bundles {
+		if _, err := serialAgent.Apply(b); err != nil {
+			t.Fatalf("serial apply rev %d: %v", b.Manifest.Revision, err)
+		}
+	}
+	if set.Len() != serial.Len() {
+		t.Fatalf("concurrent set has %d policies, serial %d", set.Len(), serial.Len())
+	}
+	for _, p := range serial.All() {
+		got, ok := set.Get(p.ID)
+		if !ok {
+			t.Fatalf("policy %s missing from concurrent set", p.ID)
+		}
+		if got.Action.Target != p.Action.Target || got.Priority != p.Priority {
+			t.Fatalf("policy %s differs: concurrent target %q, serial %q", p.ID, got.Action.Target, p.Action.Target)
+		}
+	}
+	if set.Snapshot().Revision() != serial.Snapshot().Revision() {
+		t.Fatalf("final revisions differ: %d vs %d", set.Snapshot().Revision(), serial.Snapshot().Revision())
+	}
+}

@@ -1,0 +1,166 @@
+// Package bundle is the signed, versioned policy-distribution plane:
+// the control plane packages a coherent policy revision into a bundle
+// — per-policy content hashes, a coverage map describing the complete
+// post-activation policy set, a root hash binding both to a
+// monotonically increasing revision number, and a signature over the
+// whole — and devices verify everything before touching live state.
+//
+// The design is fail-closed by construction (the paper's Section VI
+// posture applied to policy distribution itself): a device activates a
+// revision only after the signature, the root, the delta chain, every
+// record hash and the full coverage map check out, and activation is
+// one atomic swap through the compiled-snapshot machinery — a device
+// is always on exactly one fully verified revision, never a mix, and
+// any defect leaves it on the previous verified revision. Delta
+// bundles carry only the changed policies (plus the coverage map), so
+// a fleet-wide revision costs bytes proportional to the change, not
+// the policy set.
+//
+// Policies travel as canonical policylang source: Parse(Print(rule))
+// round-trips exactly, so the text is both the wire format and the
+// hashed content.
+package bundle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind labels on bundles and their metrics.
+const (
+	KindFull  = "full"
+	KindDelta = "delta"
+)
+
+// Record is one policy in wire form.
+type Record struct {
+	// ID is the policy ID (must match the compiled policy's ID).
+	ID string `json:"id"`
+	// Source is the canonical policylang text of the policy.
+	Source string `json:"source"`
+	// Hash is the hex SHA-256 of Source.
+	Hash string `json:"hash"`
+}
+
+// Manifest describes one signed revision.
+type Manifest struct {
+	// Revision is the monotonically increasing revision number.
+	Revision uint64 `json:"revision"`
+	// Base is the revision this delta patches (0 = full bundle).
+	Base uint64 `json:"base,omitempty"`
+	// Removed lists policy IDs deleted by this delta (sorted).
+	Removed []string `json:"removed,omitempty"`
+	// Coverage maps every policy ID in the complete post-activation
+	// set to its content hash — full and delta bundles alike describe
+	// the whole revision, so a receiver can prove it holds nothing
+	// more and nothing less.
+	Coverage map[string]string `json:"coverage"`
+	// Root is the hex root hash binding Revision, Base, Removed and
+	// Coverage.
+	Root string `json:"root"`
+}
+
+// Kind reports whether the manifest describes a full or delta bundle.
+func (m Manifest) Kind() string {
+	if m.Base > 0 {
+		return KindDelta
+	}
+	return KindFull
+}
+
+// Bundle is one signed, versioned policy revision on the wire.
+type Bundle struct {
+	Manifest Manifest `json:"manifest"`
+	// Records carry the policy sources: the whole set for a full
+	// bundle, only the changed policies for a delta.
+	Records []Record `json:"records"`
+	// KeyID names the signing key; Sig is the hex signature over
+	// SigningBytes.
+	KeyID string `json:"keyID"`
+	Sig   string `json:"sig"`
+}
+
+// Kind reports full or delta.
+func (b Bundle) Kind() string { return b.Manifest.Kind() }
+
+// HashSource returns the hex SHA-256 content hash of canonical policy
+// source.
+func HashSource(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// ComputeRoot derives the manifest's root hash from its other fields:
+// revision, base, the sorted removals and the sorted coverage pairs.
+// Any bit of the revision's identity or contents therefore changes the
+// root, and the signature over the bundle pins the root.
+func ComputeRoot(m Manifest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "rev=%d;base=%d;", m.Revision, m.Base)
+	removed := append([]string(nil), m.Removed...)
+	sort.Strings(removed)
+	fmt.Fprintf(h, "removed=%s;", strings.Join(removed, ","))
+	ids := make([]string, 0, len(m.Coverage))
+	for id := range m.Coverage {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(h, "%s=%s;", id, m.Coverage[id])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SigningBytes returns the canonical bytes the signature covers: the
+// JSON encoding of the bundle with KeyID and Sig cleared (encoding/json
+// serializes map keys sorted, so the encoding is deterministic).
+func (b Bundle) SigningBytes() []byte {
+	shadow := b
+	shadow.KeyID = ""
+	shadow.Sig = ""
+	data, err := json.Marshal(shadow)
+	if err != nil {
+		// All fields are marshalable; kept defensive so an unhashable
+		// bundle can never verify.
+		return nil
+	}
+	return data
+}
+
+// SignWith signs the bundle in place.
+func (b *Bundle) SignWith(s Signer) {
+	b.KeyID = s.KeyID()
+	b.Sig = s.Sign(b.SigningBytes())
+}
+
+// CheckSig reports whether the bundle's signature verifies under v.
+func (b Bundle) CheckSig(v Verifier) bool {
+	if v == nil || b.Sig == "" {
+		return false
+	}
+	return v.Verify(b.KeyID, b.SigningBytes(), b.Sig)
+}
+
+// ErrDecode marks wire bytes that do not parse as a bundle.
+var ErrDecode = errors.New("bundle: undecodable bytes")
+
+// Encode serializes the bundle for the wire.
+func Encode(b Bundle) ([]byte, error) {
+	return json.Marshal(b)
+}
+
+// Decode parses wire bytes. It performs only structural parsing;
+// Agent.Apply does all semantic verification, so a decoded bundle is
+// not yet trusted.
+func Decode(data []byte) (Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Bundle{}, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return b, nil
+}

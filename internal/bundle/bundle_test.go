@@ -1,0 +1,329 @@
+package bundle
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/policylang"
+)
+
+func testKey() HMACKey {
+	return HMACKey{ID: "fleet-key-1", Secret: []byte("correct horse battery staple")}
+}
+
+// mkPolicies compiles n distinct policies whose action target encodes
+// tag, so tests can tell revisions apart by content.
+func mkPolicies(t testing.TB, n int, tag string) []policy.Policy {
+	t.Helper()
+	var src strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&src,
+			"policy p%02d priority %d:\n    on smoke-detected\n    when intensity > %d\n    do dispatch target %s category surveillance\n",
+			i, i+1, i, tag)
+	}
+	pols, err := policylang.CompileSource(src.String(), policy.OriginHuman)
+	if err != nil {
+		t.Fatalf("compile fixture: %v", err)
+	}
+	return pols
+}
+
+func TestPublishFullRoundTrip(t *testing.T) {
+	pub := NewPublisher(testKey())
+	full, delta, err := pub.Publish(mkPolicies(t, 5, "rev1"))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if full.Kind() != KindFull || delta.Kind() != KindFull {
+		// The first revision's "delta" has base 0, i.e. it is a full.
+		t.Fatalf("first revision kinds: full=%s delta=%s", full.Kind(), delta.Kind())
+	}
+	set := policy.NewSet()
+	agent := NewAgent(set, testKey())
+	applied, err := agent.Apply(full)
+	if err != nil || !applied {
+		t.Fatalf("Apply full: applied=%v err=%v", applied, err)
+	}
+	if set.Len() != 5 {
+		t.Fatalf("set has %d policies, want 5", set.Len())
+	}
+	if got := agent.Revision(); got != 1 {
+		t.Fatalf("agent revision %d, want 1", got)
+	}
+	if got := set.Snapshot().Revision(); got != 1 {
+		t.Fatalf("snapshot revision %d, want 1", got)
+	}
+	// Re-delivery of the active revision is a benign no-op.
+	applied, err = agent.Apply(full)
+	if err != nil || applied {
+		t.Fatalf("re-apply: applied=%v err=%v, want false,nil", applied, err)
+	}
+}
+
+func TestDeltaApplySmallerThanFull(t *testing.T) {
+	pub := NewPublisher(testKey())
+	full1, _, err := pub.Publish(mkPolicies(t, 12, "rev1"))
+	if err != nil {
+		t.Fatalf("Publish rev1: %v", err)
+	}
+	set := policy.NewSet()
+	agent := NewAgent(set, testKey())
+	if _, err := agent.Apply(full1); err != nil {
+		t.Fatalf("Apply rev1: %v", err)
+	}
+
+	// Rev 2: change one policy, drop one, keep the rest.
+	next := mkPolicies(t, 12, "rev1")
+	changed := mkPolicies(t, 1, "rev2")[0]
+	next[0] = changed
+	next = next[:11] // drop p11
+	full2, delta2, err := pub.Publish(next)
+	if err != nil {
+		t.Fatalf("Publish rev2: %v", err)
+	}
+	if delta2.Kind() != KindDelta {
+		t.Fatalf("rev2 delta kind %s", delta2.Kind())
+	}
+	if len(delta2.Records) != 1 || delta2.Records[0].ID != "p00" {
+		t.Fatalf("delta records %+v, want just p00", delta2.Records)
+	}
+	if len(delta2.Manifest.Removed) != 1 || delta2.Manifest.Removed[0] != "p11" {
+		t.Fatalf("delta removed %v, want [p11]", delta2.Manifest.Removed)
+	}
+	fullBytes, _ := Encode(full2)
+	deltaBytes, _ := Encode(delta2)
+	if len(deltaBytes) >= len(fullBytes) {
+		t.Fatalf("delta (%d B) not smaller than full (%d B)", len(deltaBytes), len(fullBytes))
+	}
+	applied, err := agent.Apply(delta2)
+	if err != nil || !applied {
+		t.Fatalf("Apply delta: applied=%v err=%v", applied, err)
+	}
+	if set.Len() != 11 {
+		t.Fatalf("set has %d policies, want 11", set.Len())
+	}
+	if _, ok := set.Get("p11"); ok {
+		t.Fatal("p11 survived its removal")
+	}
+	p0, _ := set.Get("p00")
+	if p0.Action.Target != "rev2" {
+		t.Fatalf("p00 target %q, want rev2", p0.Action.Target)
+	}
+}
+
+func TestDeltaFromHistoryAndEviction(t *testing.T) {
+	pub := NewPublisher(testKey())
+	for i := 0; i < historyDepth+4; i++ {
+		if _, _, err := pub.Publish(mkPolicies(t, 3, fmt.Sprintf("rev%d", i+1))); err != nil {
+			t.Fatalf("Publish %d: %v", i+1, err)
+		}
+	}
+	if _, ok := pub.DeltaFrom(1); ok {
+		t.Fatal("DeltaFrom(1) succeeded after eviction")
+	}
+	cur := pub.Revision()
+	d, ok := pub.DeltaFrom(cur - 1)
+	if !ok {
+		t.Fatalf("DeltaFrom(%d) failed", cur-1)
+	}
+	if d.Manifest.Base != cur-1 || d.Manifest.Revision != cur {
+		t.Fatalf("delta %d->%d, want %d->%d", d.Manifest.Base, d.Manifest.Revision, cur-1, cur)
+	}
+	if _, ok := pub.DeltaFrom(cur); ok {
+		t.Fatal("DeltaFrom(current) should fail (nothing to patch)")
+	}
+}
+
+// TestFailClosed corrupts a bundle every way the verifier must catch.
+// Tampering that would break the signature is re-signed with the
+// legitimate key, simulating a compromised co-holder of an HMAC secret:
+// the later checks are the defense in depth that still refuses the
+// bundle.
+func TestFailClosed(t *testing.T) {
+	key := testKey()
+
+	setup := func(t *testing.T) (*policy.Set, *Agent, Bundle, Bundle) {
+		pub := NewPublisher(key)
+		full1, _, err := pub.Publish(mkPolicies(t, 4, "rev1"))
+		if err != nil {
+			t.Fatalf("Publish rev1: %v", err)
+		}
+		_, delta2, err := pub.Publish(mkPolicies(t, 4, "rev2"))
+		if err != nil {
+			t.Fatalf("Publish rev2: %v", err)
+		}
+		set := policy.NewSet()
+		agent := NewAgent(set, key)
+		if _, err := agent.Apply(full1); err != nil {
+			t.Fatalf("baseline apply: %v", err)
+		}
+		return set, agent, full1, delta2
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, full1, delta2 Bundle) Bundle
+		cause   string
+	}{
+		{
+			name: "flipped signature",
+			corrupt: func(t *testing.T, _, delta2 Bundle) Bundle {
+				delta2.Sig = strings.Repeat("00", 32)
+				return delta2
+			},
+			cause: "signature",
+		},
+		{
+			name: "foreign key",
+			corrupt: func(t *testing.T, _, delta2 Bundle) Bundle {
+				delta2.SignWith(HMACKey{ID: "rogue", Secret: []byte("rogue")})
+				return delta2
+			},
+			cause: "signature",
+		},
+		{
+			name: "tampered coverage, stale root",
+			corrupt: func(t *testing.T, _, delta2 Bundle) Bundle {
+				delta2.Manifest.Coverage["p00"] = strings.Repeat("ab", 32)
+				delta2.SignWith(testKey())
+				return delta2
+			},
+			cause: "root",
+		},
+		{
+			name: "rollback to older revision",
+			corrupt: func(t *testing.T, full1, _ Bundle) Bundle {
+				shadow := full1
+				shadow.Manifest.Revision = 0 // below the active revision
+				shadow.Manifest.Root = ComputeRoot(shadow.Manifest)
+				shadow.SignWith(testKey())
+				return shadow
+			},
+			cause: "stale",
+		},
+		{
+			name: "delta chain gap",
+			corrupt: func(t *testing.T, _, delta2 Bundle) Bundle {
+				delta2.Manifest.Base = 7
+				delta2.Manifest.Revision = 8
+				delta2.Manifest.Root = ComputeRoot(delta2.Manifest)
+				delta2.SignWith(testKey())
+				return delta2
+			},
+			cause: "gap",
+		},
+		{
+			name: "tampered record source",
+			corrupt: func(t *testing.T, _, delta2 Bundle) Bundle {
+				delta2.Records[0].Source += " "
+				delta2.SignWith(testKey())
+				return delta2
+			},
+			cause: "hash",
+		},
+		{
+			name: "incomplete full bundle",
+			corrupt: func(t *testing.T, full1, _ Bundle) Bundle {
+				shadow := full1
+				shadow.Manifest.Revision = 2
+				shadow.Manifest.Root = ComputeRoot(shadow.Manifest)
+				shadow.Records = shadow.Records[:len(shadow.Records)-1]
+				shadow.SignWith(testKey())
+				return shadow
+			},
+			cause: "coverage",
+		},
+		{
+			name: "uncompilable record",
+			corrupt: func(t *testing.T, _, delta2 Bundle) Bundle {
+				delta2.Records[0].Source = "policy p00 oops"
+				delta2.Records[0].Hash = HashSource(delta2.Records[0].Source)
+				delta2.Manifest.Coverage["p00"] = delta2.Records[0].Hash
+				delta2.Manifest.Root = ComputeRoot(delta2.Manifest)
+				delta2.SignWith(testKey())
+				return delta2
+			},
+			cause: "malformed",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set, agent, full1, delta2 := setup(t)
+			before := set.Snapshot()
+			bad := tc.corrupt(t, full1, delta2)
+			applied, err := agent.Apply(bad)
+			if applied || err == nil {
+				t.Fatalf("corrupted bundle applied=%v err=%v", applied, err)
+			}
+			if got := CauseOf(err); got != tc.cause {
+				t.Fatalf("cause %q (err %v), want %q", got, err, tc.cause)
+			}
+			if agent.Revision() != 1 {
+				t.Fatalf("agent moved to revision %d after rejection", agent.Revision())
+			}
+			after := set.Snapshot()
+			if after.Revision() != before.Revision() || set.Len() != 4 {
+				t.Fatalf("live state changed after rejection: rev %d->%d len %d",
+					before.Revision(), after.Revision(), set.Len())
+			}
+			for _, id := range []string{"p00", "p01", "p02", "p03"} {
+				p, ok := set.Get(id)
+				if !ok || p.Action.Target != "rev1" {
+					t.Fatalf("policy %s disturbed after rejection: ok=%v target=%q", id, ok, p.Action.Target)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	set := policy.NewSet()
+	agent := NewAgent(set, testKey())
+	applied, err := agent.ApplyWire([]byte("{not json"))
+	if applied || !errors.Is(err, ErrDecode) {
+		t.Fatalf("ApplyWire garbage: applied=%v err=%v", applied, err)
+	}
+	if CauseOf(err) != "decode" {
+		t.Fatalf("cause %q, want decode", CauseOf(err))
+	}
+}
+
+func TestEd25519RoundTrip(t *testing.T) {
+	seed := []byte("0123456789abcdef0123456789abcdef")
+	signer := NewEd25519Signer("asym-1", seed)
+	pub := NewPublisher(signer)
+	full, _, err := pub.Publish(mkPolicies(t, 3, "rev1"))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	agent := NewAgent(policy.NewSet(), signer.PublicVerifier())
+	if applied, err := agent.Apply(full); err != nil || !applied {
+		t.Fatalf("Apply under ed25519: applied=%v err=%v", applied, err)
+	}
+	// A verifier for a different keypair refuses the same bundle.
+	other := NewEd25519Signer("asym-1", []byte("ffffffffffffffffffffffffffffffff"))
+	stranger := NewAgent(policy.NewSet(), other.PublicVerifier())
+	if applied, err := stranger.Apply(full); applied || CauseOf(err) != "signature" {
+		t.Fatalf("foreign ed25519 key: applied=%v err=%v", applied, err)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	pub := NewPublisher(testKey())
+	full, _, err := pub.Publish(mkPolicies(t, 3, "rev1"))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	data, err := Encode(full)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	agent := NewAgent(policy.NewSet(), testKey())
+	if applied, err := agent.ApplyWire(data); err != nil || !applied {
+		t.Fatalf("ApplyWire: applied=%v err=%v", applied, err)
+	}
+}

@@ -1,0 +1,57 @@
+package bundle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// FuzzBundleDecode throws arbitrary, truncated and re-signed bytes at
+// the device-side pipeline. The invariants under fuzzing are the
+// fail-closed ones: the agent never panics, never activates a bundle it
+// could not verify under its own key, and never leaves its previous
+// revision unless the bundle verified.
+func FuzzBundleDecode(f *testing.F) {
+	// Seed corpus: a legitimate bundle, truncations of it, a re-signed
+	// tampering, and assorted structural garbage.
+	seedPub := NewPublisher(testKey())
+	full, _, err := seedPub.Publish(mkPolicies(f, 3, "seed"))
+	if err != nil {
+		f.Fatalf("seed publish: %v", err)
+	}
+	good, _ := Encode(full)
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(good[:len(good)-1])
+	tampered := full
+	tampered.Manifest.Revision = 99
+	tamperedBytes, _ := Encode(tampered)
+	f.Add(tamperedBytes)
+	rogue := full
+	rogue.SignWith(HMACKey{ID: "rogue", Secret: []byte("rogue")})
+	rogueBytes, _ := Encode(rogue)
+	f.Add(rogueBytes)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"manifest":{"revision":1,"coverage":{}},"records":[]}`))
+	f.Add([]byte(`{"manifest":{"revision":1,"coverage":null,"root":""},"records":[{"id":"","source":"","hash":""}]}`))
+	f.Add([]byte(strings.Repeat(`[`, 64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The fuzzing agent trusts a key the corpus was NOT signed
+		// with, so no fuzzer-discovered input can legitimately verify:
+		// any activation is a fail-closed violation.
+		set := policy.NewSet()
+		agent := NewAgent(set, HMACKey{ID: "fuzz-key", Secret: []byte("unknown to any corpus signer")})
+		applied, err := agent.ApplyWire(data)
+		if applied {
+			t.Fatalf("unverifiable input activated (err=%v): %q", err, data)
+		}
+		if err == nil {
+			t.Fatalf("rejected input returned nil error: %q", data)
+		}
+		if agent.Revision() != 0 || set.Len() != 0 {
+			t.Fatalf("rejected input mutated state: rev=%d len=%d", agent.Revision(), set.Len())
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package bundle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/policy"
+	"repro/internal/policylang"
+)
+
+// historyDepth bounds how many past revisions the publisher remembers
+// for delta derivation; devices further behind get a full bundle.
+const historyDepth = 16
+
+// Publisher turns desired policy sets into signed, monotonically
+// versioned bundles. It keeps a bounded history of past revisions so it
+// can cut a delta against any recently acknowledged base.
+type Publisher struct {
+	mu      sync.Mutex
+	signer  Signer
+	rev     uint64
+	current map[string]Record
+	// history maps revision -> coverage (id -> hash) for delta bases.
+	history map[uint64]map[string]string
+	order   []uint64
+}
+
+// NewPublisher creates a publisher signing with s.
+func NewPublisher(s Signer) *Publisher {
+	return &Publisher{
+		signer:  s,
+		current: make(map[string]Record),
+		history: map[uint64]map[string]string{0: {}},
+		order:   []uint64{0},
+	}
+}
+
+// Revision returns the latest published revision (0 = none yet).
+func (p *Publisher) Revision() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rev
+}
+
+// Publish cuts the next revision from the desired policy set, returning
+// both the full bundle and the delta against the previous revision.
+// Policies are serialized as canonical policylang source; a policy the
+// DSL cannot represent fails the publish (nothing is versioned).
+func (p *Publisher) Publish(desired []policy.Policy) (full, delta Bundle, err error) {
+	next := make(map[string]Record, len(desired))
+	for _, pol := range desired {
+		src, ferr := policylang.Format(pol)
+		if ferr != nil {
+			return Bundle{}, Bundle{}, fmt.Errorf("bundle: policy %s not representable: %w", pol.ID, ferr)
+		}
+		if _, dup := next[pol.ID]; dup {
+			return Bundle{}, Bundle{}, fmt.Errorf("bundle: duplicate policy ID %s", pol.ID)
+		}
+		next[pol.ID] = Record{ID: pol.ID, Source: src, Hash: HashSource(src)}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	base := p.rev
+	prev := p.current
+	p.rev++
+	p.current = next
+
+	coverage := make(map[string]string, len(next))
+	for id, rec := range next {
+		coverage[id] = rec.Hash
+	}
+	p.history[p.rev] = coverage
+	p.order = append(p.order, p.rev)
+	if len(p.order) > historyDepth {
+		delete(p.history, p.order[0])
+		p.order = p.order[1:]
+	}
+
+	full = p.assembleLocked(0, nil, allRecords(next))
+
+	var removed []string
+	var changed []Record
+	for id := range prev {
+		if _, ok := next[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	sort.Strings(removed)
+	for id, rec := range next {
+		if old, ok := prev[id]; !ok || old.Hash != rec.Hash {
+			changed = append(changed, rec)
+		}
+	}
+	sortRecords(changed)
+	delta = p.assembleLocked(base, removed, changed)
+	return full, delta, nil
+}
+
+// Full returns a signed full bundle for the current revision, for
+// repair of devices too far behind for any delta base in history.
+func (p *Publisher) Full() (Bundle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rev == 0 {
+		return Bundle{}, fmt.Errorf("bundle: nothing published yet")
+	}
+	return p.assembleLocked(0, nil, allRecords(p.current)), nil
+}
+
+// DeltaFrom returns a signed delta from the given base revision to the
+// current one. ok is false when the base left history (or never
+// existed) — callers should fall back to Full.
+func (p *Publisher) DeltaFrom(base uint64) (Bundle, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rev == 0 || base >= p.rev {
+		return Bundle{}, false
+	}
+	baseCov, ok := p.history[base]
+	if !ok {
+		return Bundle{}, false
+	}
+	var removed []string
+	var changed []Record
+	for id := range baseCov {
+		if _, live := p.current[id]; !live {
+			removed = append(removed, id)
+		}
+	}
+	sort.Strings(removed)
+	for id, rec := range p.current {
+		if old, had := baseCov[id]; !had || old != rec.Hash {
+			changed = append(changed, rec)
+		}
+	}
+	sortRecords(changed)
+	return p.assembleLocked(base, removed, changed), true
+}
+
+// assembleLocked builds and signs a bundle at the current revision.
+func (p *Publisher) assembleLocked(base uint64, removed []string, records []Record) Bundle {
+	coverage := make(map[string]string, len(p.current))
+	for id, rec := range p.current {
+		coverage[id] = rec.Hash
+	}
+	m := Manifest{Revision: p.rev, Base: base, Removed: removed, Coverage: coverage}
+	m.Root = ComputeRoot(m)
+	b := Bundle{Manifest: m, Records: records}
+	b.SignWith(p.signer)
+	return b
+}
+
+func allRecords(m map[string]Record) []Record {
+	out := make([]Record, 0, len(m))
+	for _, rec := range m {
+		out = append(out, rec)
+	}
+	sortRecords(out)
+	return out
+}
+
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+}

@@ -1,0 +1,101 @@
+package bundle
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+)
+
+// Signer produces signatures the fleet's Verifier accepts.
+type Signer interface {
+	// KeyID names the key so receivers can select the right material.
+	KeyID() string
+	// Sign returns the hex signature over data.
+	Sign(data []byte) string
+}
+
+// Verifier checks bundle signatures. Implementations must reject
+// unknown key IDs.
+type Verifier interface {
+	Verify(keyID string, data []byte, sigHex string) bool
+}
+
+// HMACKey is a shared-secret HMAC-SHA256 key implementing both Signer
+// and Verifier — the symmetric deployment where the distributor and
+// devices hold the same secret.
+type HMACKey struct {
+	ID     string
+	Secret []byte
+}
+
+// KeyID names the key.
+func (k HMACKey) KeyID() string { return k.ID }
+
+// Sign returns the hex HMAC-SHA256 of data.
+func (k HMACKey) Sign(data []byte) string {
+	mac := hmac.New(sha256.New, k.Secret)
+	mac.Write(data)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Verify checks the tag in constant time; a foreign key ID fails.
+func (k HMACKey) Verify(keyID string, data []byte, sigHex string) bool {
+	if subtle.ConstantTimeCompare([]byte(keyID), []byte(k.ID)) != 1 {
+		return false
+	}
+	want, err := hex.DecodeString(k.Sign(data))
+	if err != nil {
+		return false
+	}
+	got, err := hex.DecodeString(sigHex)
+	if err != nil {
+		return false
+	}
+	return hmac.Equal(want, got)
+}
+
+// Ed25519Signer signs with an ed25519 private key — the asymmetric
+// deployment where devices hold only the public half and a compromised
+// device cannot forge bundles for the rest of the fleet.
+type Ed25519Signer struct {
+	ID  string
+	Key ed25519.PrivateKey
+}
+
+// NewEd25519Signer derives a deterministic signer from a 32-byte seed.
+func NewEd25519Signer(id string, seed []byte) Ed25519Signer {
+	return Ed25519Signer{ID: id, Key: ed25519.NewKeyFromSeed(seed)}
+}
+
+// KeyID names the key.
+func (s Ed25519Signer) KeyID() string { return s.ID }
+
+// Sign returns the hex ed25519 signature over data.
+func (s Ed25519Signer) Sign(data []byte) string {
+	return hex.EncodeToString(ed25519.Sign(s.Key, data))
+}
+
+// PublicVerifier returns the device-side verifier for this signer.
+func (s Ed25519Signer) PublicVerifier() Ed25519Verifier {
+	return Ed25519Verifier{ID: s.ID, Key: s.Key.Public().(ed25519.PublicKey)}
+}
+
+// Ed25519Verifier verifies with the public half only.
+type Ed25519Verifier struct {
+	ID  string
+	Key ed25519.PublicKey
+}
+
+// Verify checks the signature; a foreign key ID fails.
+func (v Ed25519Verifier) Verify(keyID string, data []byte, sigHex string) bool {
+	if keyID != v.ID {
+		return false
+	}
+	sig, err := hex.DecodeString(sigHex)
+	if err != nil || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(v.Key, data, sig)
+}

@@ -103,6 +103,37 @@ func (f Partition) Inject(inj *Injector) {
 	}
 }
 
+// OneWayPartition blocks messages from the From nodes to the To nodes
+// — but not the reverse — at At, healing after For (0 = never heals).
+// Symmetric partitions hide the push-succeeded/ack-lost case: a
+// distribution push can arrive while the acknowledgement dies on the
+// return path, leaving the sender convinced the receiver is stale (or,
+// with the directions swapped, leaving the receiver stranded while the
+// sender believes it converged). Anti-entropy repair exists for exactly
+// this asymmetry, so the harness must be able to inject it.
+type OneWayPartition struct {
+	From, To []string
+	At       time.Duration
+	For      time.Duration
+}
+
+// Name labels the fault.
+func (OneWayPartition) Name() string { return "oneway" }
+
+// Inject schedules the one-way block window.
+func (f OneWayPartition) Inject(inj *Injector) {
+	inj.Engine.Schedule(f.At, func() {
+		inj.Bus.PartitionOneWay(f.From, f.To)
+		inj.Count("oneway.injected")
+	})
+	if f.For > 0 {
+		inj.Engine.Schedule(f.At+f.For, func() {
+			inj.Bus.HealOneWay()
+			inj.Count("oneway.healed")
+		})
+	}
+}
+
 // Duplication makes the bus deliver messages twice (with independent
 // latency, so duplicates also reorder) between At and At+For.
 type Duplication struct {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/audit"
@@ -79,8 +80,9 @@ type Collective struct {
 	commands   *telemetry.Counter
 	deliveries *telemetry.Counter
 
-	mu      sync.Mutex
-	devices map[string]*device.Device
+	mu             sync.Mutex
+	devices        map[string]*device.Device
+	bundleHandlers map[string]network.LaneHandler
 }
 
 // New builds a collective.
@@ -117,8 +119,9 @@ func New(cfg Config) (*Collective, error) {
 			Log:             log,
 			DenialThreshold: cfg.DenialThreshold,
 		},
-		admission: cfg.Admission,
-		devices:   make(map[string]*device.Device),
+		admission:      cfg.Admission,
+		devices:        make(map[string]*device.Device),
+		bundleHandlers: make(map[string]network.LaneHandler),
 	}
 	c.Instrument(cfg.Telemetry, cfg.Tracer)
 	return c, nil
@@ -220,9 +223,28 @@ func (c *Collective) RemoveDevice(id string) bool {
 	if !ok {
 		return false
 	}
+	c.mu.Lock()
+	delete(c.bundleHandlers, id)
+	c.mu.Unlock()
 	c.bus.Detach(id)
 	c.registry.Depart(id)
 	return true
+}
+
+// SetBundleHandler routes bus messages on bundle topics ("bundle",
+// "bundle_ack", "bundle_pull") addressed to the given member to h,
+// sharing the member's single bus endpoint so partitions and faults
+// affect policy distribution exactly as they affect every other
+// message. The distribution plane (Distributor.Enroll) registers these;
+// a nil handler unregisters.
+func (c *Collective) SetBundleHandler(deviceID string, h network.LaneHandler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h == nil {
+		delete(c.bundleHandlers, deviceID)
+		return
+	}
+	c.bundleHandlers[deviceID] = h
 }
 
 // Device returns a member by ID.
@@ -359,6 +381,15 @@ func (c *Collective) SweepWatchdog() (deactivated, failed []string) {
 // commutative watchdog tally, and the audit log via the lane.
 func (c *Collective) handlerFor(d *device.Device) network.LaneHandler {
 	return func(m network.Message, lane *sim.Lane) {
+		if strings.HasPrefix(m.Topic, "bundle") {
+			c.mu.Lock()
+			h := c.bundleHandlers[d.ID()]
+			c.mu.Unlock()
+			if h != nil {
+				h(m, lane)
+			}
+			return
+		}
 		ev, ok := m.Payload.(policy.Event)
 		if !ok {
 			return

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bundle"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Bundle-plane bus topics. TopicBundle carries pushes (guard class
+// under admission — policy updates are control traffic); acks and pulls
+// are background, surviving on the strength of anti-entropy repair
+// rather than priority.
+const (
+	TopicBundle     = "bundle"
+	TopicBundleAck  = "bundle_ack"
+	TopicBundlePull = "bundle_pull"
+)
+
+// BundleAck is a device's activation status report: the revision it is
+// on after handling a push, and — when the push was refused — the
+// fail-closed cause. Both outcomes flow into the distributor's
+// hash-chained activation ledger, so "which device ran which revision
+// when, and what it refused" is tamper-evident history.
+type BundleAck struct {
+	Device   string
+	Revision uint64
+	Applied  bool
+	Cause    string
+}
+
+// BundlePull asks the distributor for repair from the device's current
+// revision — sent when a device detects a delta-chain gap.
+type BundlePull struct {
+	Device string
+	Have   uint64
+}
+
+// DistributorConfig assembles a Distributor.
+type DistributorConfig struct {
+	// Collective is the managed fleet (required).
+	Collective *Collective
+	// Signer signs every published bundle (required).
+	Signer bundle.Signer
+	// ID is the distributor's bus node name; defaults to
+	// "bundle-distributor".
+	ID string
+	// Telemetry counts the bundle.* metrics; may be nil.
+	Telemetry *telemetry.Registry
+	// Clock stamps activation-ledger entries; defaults to time.Now.
+	// Deterministic runs must pass the engine clock.
+	Clock func() time.Time
+	// StuckThreshold flags a device after this many consecutive repair
+	// pushes without an acknowledged catch-up; zero means 3.
+	StuckThreshold int
+	// OnStuck is invoked (once per stall) for a device that exceeded
+	// StuckThreshold. Nil reports the device to the collective's
+	// watchdog as a denial, feeding distribution stalls into the same
+	// deactivation pressure as guard denials.
+	OnStuck func(deviceID string)
+}
+
+// Distributor is the control-plane half of the policy-distribution
+// plane: it publishes signed, monotonically versioned bundles, pushes
+// them to enrolled devices over the bus, tracks per-device acknowledged
+// revisions in a hash-chained activation ledger, and repairs lagging
+// devices by anti-entropy re-push (delta when the device's base is
+// still in history, full otherwise). All state a push or repair reads
+// is guarded by one mutex; Publish and RepairSweep must run from
+// serial-barrier context (engine.Schedule callbacks or outside a run)
+// so bus fault sampling stays deterministic.
+type Distributor struct {
+	col    *Collective
+	pub    *bundle.Publisher
+	id     string
+	ledger *audit.Log
+	clock  func() time.Time
+
+	stuckThreshold int
+	onStuck        func(string)
+
+	reg       *telemetry.Registry
+	cPushed   *telemetry.Counter
+	cAcked    *telemetry.Counter
+	cRepairs  *telemetry.Counter
+	cPulls    *telemetry.Counter
+	gRevision *telemetry.Gauge
+	gLagging  *telemetry.Gauge
+
+	mu       sync.Mutex
+	enrolled []string
+	acked    map[string]uint64
+	repairs  map[string]int
+	stuck    map[string]bool
+}
+
+// NewDistributor builds the distributor and attaches it to the bus as
+// its own node, so acknowledgements and pulls reach it subject to the
+// same partitions, loss and admission as any other traffic.
+func NewDistributor(cfg DistributorConfig) (*Distributor, error) {
+	if cfg.Collective == nil {
+		return nil, errors.New("core: distributor needs a collective")
+	}
+	if cfg.Signer == nil {
+		return nil, errors.New("core: distributor needs a signer")
+	}
+	id := cfg.ID
+	if id == "" {
+		id = "bundle-distributor"
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	threshold := cfg.StuckThreshold
+	if threshold <= 0 {
+		threshold = 3
+	}
+	x := &Distributor{
+		col:            cfg.Collective,
+		pub:            bundle.NewPublisher(cfg.Signer),
+		id:             id,
+		ledger:         audit.New(audit.WithClock(clock)),
+		clock:          clock,
+		stuckThreshold: threshold,
+		onStuck:        cfg.OnStuck,
+		reg:            cfg.Telemetry,
+		cPushed:        cfg.Telemetry.Counter("bundle.pushed"),
+		cAcked:         cfg.Telemetry.Counter("bundle.acked"),
+		cRepairs:       cfg.Telemetry.Counter("bundle.repairs"),
+		cPulls:         cfg.Telemetry.Counter("bundle.pulls"),
+		gRevision:      cfg.Telemetry.Gauge("bundle.revision"),
+		gLagging:       cfg.Telemetry.Gauge("bundle.lagging"),
+		acked:          make(map[string]uint64),
+		repairs:        make(map[string]int),
+		stuck:          make(map[string]bool),
+	}
+	if x.onStuck == nil {
+		x.onStuck = func(deviceID string) {
+			cfg.Collective.Watchdog().ObserveDenial(deviceID)
+		}
+	}
+	if err := cfg.Collective.bus.AttachLane(id, x.handle); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return x, nil
+}
+
+// Ledger returns the activation ledger: one hash-chained entry per
+// status report (ack or rejection) the distributor received.
+func (x *Distributor) Ledger() *audit.Log { return x.ledger }
+
+// Revision returns the latest published revision.
+func (x *Distributor) Revision() uint64 { return x.pub.Revision() }
+
+// AckedRevision returns a device's last acknowledged revision.
+func (x *Distributor) AckedRevision(deviceID string) uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.acked[deviceID]
+}
+
+// Lagging returns the enrolled devices whose acknowledged revision
+// trails the published one, sorted.
+func (x *Distributor) Lagging() []string {
+	cur := x.pub.Revision()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var out []string
+	for _, id := range x.enrolled {
+		if x.acked[id] < cur {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Converged reports whether every enrolled device acknowledged the
+// current revision.
+func (x *Distributor) Converged() bool { return len(x.Lagging()) == 0 }
+
+// Stuck returns devices flagged as stuck (repairs beyond the
+// threshold), sorted.
+func (x *Distributor) Stuck() []string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]string, 0, len(x.stuck))
+	for id := range x.stuck {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Enroll registers a collective member into the distribution plane: a
+// device-side bundle agent verifying against v is bound to the member's
+// policy set, and the member's bundle topics are routed to it. The
+// agent fails closed — every refused bundle is audited to the shared
+// log with its cause, reported back to the distributor, and leaves the
+// device on its previous verified revision.
+func (x *Distributor) Enroll(deviceID string, v bundle.Verifier) error {
+	d, ok := x.col.Device(deviceID)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, deviceID)
+	}
+	agent := bundle.NewAgent(d.Policies(), v)
+	x.col.SetBundleHandler(deviceID, x.deviceHandler(deviceID, agent))
+	x.mu.Lock()
+	x.enrolled = append(x.enrolled, deviceID)
+	sort.Strings(x.enrolled)
+	x.mu.Unlock()
+	return nil
+}
+
+// Publish cuts and signs the next revision from the desired policy set
+// and pushes it to every enrolled device — a delta from each device's
+// acknowledged revision when that base is still in history, a full
+// bundle otherwise. Must run from serial-barrier context.
+func (x *Distributor) Publish(desired []policy.Policy) (uint64, error) {
+	full, _, err := x.pub.Publish(desired)
+	if err != nil {
+		return 0, err
+	}
+	rev := full.Manifest.Revision
+	x.reg.Counter("bundle.published", "kind", full.Kind()).Inc()
+	x.gRevision.Set(float64(rev))
+	x.col.Audit().Append(audit.KindBundle, x.id, "bundle.published",
+		map[string]string{"revision": fmt.Sprint(rev), "policies": fmt.Sprint(len(full.Manifest.Coverage))})
+	for _, id := range x.enrolledIDs() {
+		x.pushTo(id, x.AckedRevision(id))
+	}
+	x.updateLagging()
+	return rev, nil
+}
+
+// RepairSweep is the anti-entropy pass: every enrolled device whose
+// acknowledged revision trails the published one gets a repair push.
+// Devices that keep needing repair beyond the stuck threshold are
+// audited and escalated through OnStuck exactly once per stall. Must
+// run from serial-barrier context. Returns the number of repair pushes.
+func (x *Distributor) RepairSweep() int {
+	cur := x.pub.Revision()
+	if cur == 0 {
+		return 0
+	}
+	repaired := 0
+	for _, id := range x.enrolledIDs() {
+		x.mu.Lock()
+		base := x.acked[id]
+		if base >= cur {
+			x.repairs[id] = 0
+			x.mu.Unlock()
+			continue
+		}
+		x.repairs[id]++
+		count := x.repairs[id]
+		alreadyStuck := x.stuck[id]
+		if count > x.stuckThreshold && !alreadyStuck {
+			x.stuck[id] = true
+		}
+		x.mu.Unlock()
+
+		if count > x.stuckThreshold && !alreadyStuck {
+			x.col.Audit().Append(audit.KindBundle, x.id, "bundle.stuck",
+				map[string]string{"device": id, "repairs": fmt.Sprint(count)})
+			x.onStuck(id)
+		}
+		x.cRepairs.Inc()
+		x.pushTo(id, base)
+		repaired++
+	}
+	x.updateLagging()
+	return repaired
+}
+
+// enrolledIDs snapshots the enrollment list.
+func (x *Distributor) enrolledIDs() []string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]string(nil), x.enrolled...)
+}
+
+// pushTo encodes and sends the best bundle for a device at the given
+// base revision: a delta when the base is in history, a full otherwise.
+// Serial-barrier context only (it samples bus fault state).
+func (x *Distributor) pushTo(deviceID string, base uint64) {
+	b, ok := x.pub.DeltaFrom(base)
+	if !ok {
+		full, err := x.pub.Full()
+		if err != nil {
+			return // nothing published yet
+		}
+		b = full
+	}
+	data, err := bundle.Encode(b)
+	if err != nil {
+		return
+	}
+	x.reg.Counter("bundle.bytes_on_wire", "kind", b.Kind()).Add(int64(len(data)))
+	x.cPushed.Inc()
+	x.send(network.Message{
+		From: x.id, To: deviceID, Topic: TopicBundle, Payload: data,
+	})
+}
+
+// send pushes one distribution-plane message. A failed send is
+// survivable by design — lost pushes are re-pushed by repair sweeps,
+// lost acks re-acked on the next stale re-delivery, lost pulls retried
+// on the next gap — but never silent: each is counted by topic so a
+// persistently failing link shows up in telemetry before the watchdog
+// escalation does.
+func (x *Distributor) send(m network.Message) {
+	if err := x.col.bus.Send(m); err != nil {
+		x.reg.Counter("bundle.send_failed", "topic", m.Topic).Inc()
+	}
+}
+
+// handle is the distributor's lane handler: all acks and pulls shard on
+// the distributor's bus ID, so ledger appends and revision bookkeeping
+// are serialized and deterministic. Replies (pull repairs) are staged
+// through the lane so their bus sends run as serial barriers.
+func (x *Distributor) handle(m network.Message, lane *sim.Lane) {
+	switch m.Topic {
+	case TopicBundleAck:
+		ack, ok := m.Payload.(BundleAck)
+		if !ok {
+			return
+		}
+		x.cAcked.Inc()
+		ctx := map[string]string{
+			"revision": fmt.Sprint(ack.Revision),
+			"applied":  fmt.Sprint(ack.Applied),
+		}
+		if ack.Cause != "" {
+			ctx["cause"] = ack.Cause
+		}
+		audit.Resolve(lane, x.ledger).Append(audit.KindBundle, ack.Device, "bundle.status", ctx)
+		x.mu.Lock()
+		if ack.Revision > x.acked[ack.Device] {
+			x.acked[ack.Device] = ack.Revision
+		}
+		if x.acked[ack.Device] >= x.pub.Revision() {
+			x.repairs[ack.Device] = 0
+			delete(x.stuck, ack.Device)
+		}
+		x.mu.Unlock()
+		x.updateLagging()
+	case TopicBundlePull:
+		pull, ok := m.Payload.(BundlePull)
+		if !ok {
+			return
+		}
+		x.cPulls.Inc()
+		x.scheduleSend(lane, func() { x.pushTo(pull.Device, pull.Have) })
+	}
+}
+
+// deviceHandler builds the device-side lane handler: verify, activate
+// atomically, audit the outcome, and report status back. Rejections
+// leave the policy set untouched and are counted by cause.
+func (x *Distributor) deviceHandler(deviceID string, agent *bundle.Agent) network.LaneHandler {
+	return func(m network.Message, lane *sim.Lane) {
+		if m.Topic != TopicBundle {
+			return
+		}
+		data, ok := m.Payload.([]byte)
+		if !ok {
+			return
+		}
+		log := x.col.Audit()
+		b, err := bundle.Decode(data)
+		var applied bool
+		if err == nil {
+			applied, err = agent.Apply(b)
+		}
+		rev := agent.Revision()
+		ack := BundleAck{Device: deviceID, Revision: rev, Applied: applied}
+		if err != nil {
+			cause := bundle.CauseOf(err)
+			ack.Cause = cause
+			x.reg.Counter("bundle.rejected", "cause", cause).Inc()
+			audit.Resolve(lane, log).Append(audit.KindBundle, deviceID, "bundle.rejected",
+				map[string]string{"cause": cause, "revision": fmt.Sprint(rev)})
+			if errors.Is(err, bundle.ErrGap) {
+				// The device knows it is behind a chain it cannot patch
+				// from: pull repair instead of waiting for the sweep.
+				x.scheduleSend(lane, func() {
+					x.send(network.Message{
+						From: deviceID, To: x.id, Topic: TopicBundlePull,
+						Payload: BundlePull{Device: deviceID, Have: rev},
+					})
+				})
+			}
+		} else if applied {
+			x.reg.Counter("bundle.activated", "kind", b.Kind()).Inc()
+			audit.Resolve(lane, log).Append(audit.KindBundle, deviceID, "bundle.activated",
+				map[string]string{"revision": fmt.Sprint(rev), "kind": b.Kind()})
+		}
+		x.scheduleSend(lane, func() {
+			x.send(network.Message{
+				From: deviceID, To: x.id, Topic: TopicBundleAck, Payload: ack,
+			})
+		})
+	}
+}
+
+// scheduleSend runs fn as a serial-barrier event (bus sends sample
+// shared fault state); with no lane (synchronous bus) it runs inline.
+func (x *Distributor) scheduleSend(lane *sim.Lane, fn func()) {
+	if lane == nil {
+		fn()
+		return
+	}
+	lane.Schedule(0, fn)
+}
+
+// updateLagging refreshes the bundle.lagging gauge.
+func (x *Distributor) updateLagging() {
+	x.gLagging.Set(float64(len(x.Lagging())))
+}

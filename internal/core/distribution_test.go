@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/bundle"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/policylang"
+)
+
+func distKey() bundle.HMACKey {
+	return bundle.HMACKey{ID: "dist-key", Secret: []byte("distribution secret")}
+}
+
+func distPolicies(t *testing.T, n int, tag string) []policy.Policy {
+	t.Helper()
+	var src string
+	for i := 0; i < n; i++ {
+		src += "policy dp" + string(rune('a'+i)) + " priority " + strconv.Itoa(i+1) +
+			":\n    on task\n    when intensity > 0\n    do work target " + tag + " category surveillance\n"
+	}
+	pols, err := policylang.CompileSource(src, policy.OriginHuman)
+	if err != nil {
+		t.Fatalf("CompileSource: %v", err)
+	}
+	return pols
+}
+
+// distFixture wires a collective of two members on a synchronous bus
+// with a distributor, both devices enrolled.
+func distFixture(t *testing.T, mutate ...func(*DistributorConfig)) (*Collective, *Distributor, *network.Bus) {
+	t.Helper()
+	bus := network.NewBus(rand.New(rand.NewSource(1)))
+	c := newCollective(t, func(cfg *Config) { cfg.Bus = bus })
+	for _, id := range []string{"d1", "d2"} {
+		if err := c.AddDevice(newMember(t, c, id, 10), nil); err != nil {
+			t.Fatalf("AddDevice %s: %v", id, err)
+		}
+	}
+	cfg := DistributorConfig{Collective: c, Signer: distKey()}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	dist, err := NewDistributor(cfg)
+	if err != nil {
+		t.Fatalf("NewDistributor: %v", err)
+	}
+	for _, id := range []string{"d1", "d2"} {
+		if err := dist.Enroll(id, distKey()); err != nil {
+			t.Fatalf("Enroll %s: %v", id, err)
+		}
+	}
+	return c, dist, bus
+}
+
+func TestDistributorPublishConverges(t *testing.T) {
+	c, dist, _ := distFixture(t)
+	rev, err := dist.Publish(distPolicies(t, 3, "r1"))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if rev != 1 {
+		t.Fatalf("revision %d, want 1", rev)
+	}
+	if !dist.Converged() {
+		t.Fatalf("not converged after synchronous publish; lagging %v", dist.Lagging())
+	}
+	for _, id := range []string{"d1", "d2"} {
+		d, _ := c.Device(id)
+		if d.Policies().Len() != 3 {
+			t.Fatalf("%s has %d policies, want 3", id, d.Policies().Len())
+		}
+		if got := d.Policies().Revision(); got != 1 {
+			t.Fatalf("%s at revision %d, want 1", id, got)
+		}
+	}
+	// Activations were audited on the shared log.
+	if got := len(c.Audit().ByKind(audit.KindBundle)); got < 3 { // publish + 2 activations
+		t.Fatalf("shared log has %d bundle entries, want >= 3", got)
+	}
+
+	// The activation ledger chains one status entry per ack, and
+	// VerifyFrom picks up incremental verification from a checkpoint:
+	// verify the prefix once, then verify only the suffix appended by
+	// the next revision.
+	ledger := dist.Ledger()
+	if ledger.Len() != 2 {
+		t.Fatalf("ledger has %d entries, want 2", ledger.Len())
+	}
+	if err := ledger.Verify(); err != nil {
+		t.Fatalf("ledger verify: %v", err)
+	}
+	mark := ledger.Len()
+	tip := ledger.Entries()[mark-1].Hash
+
+	if _, err := dist.Publish(distPolicies(t, 3, "r2")); err != nil {
+		t.Fatalf("Publish r2: %v", err)
+	}
+	if ledger.Len() != 4 {
+		t.Fatalf("ledger has %d entries after r2, want 4", ledger.Len())
+	}
+	if err := ledger.VerifyFrom(mark, tip); err != nil {
+		t.Fatalf("incremental ledger verify from %d: %v", mark, err)
+	}
+}
+
+func TestDistributorFailClosedPush(t *testing.T) {
+	c, dist, bus := distFixture(t)
+	if _, err := dist.Publish(distPolicies(t, 3, "r1")); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	// A tampered re-signed push (rogue key) reaches d1 through the
+	// normal transport and must be refused with the device unmoved.
+	bad, err := dist.pub.Full()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Manifest.Revision = 99
+	bad.Manifest.Root = bundle.ComputeRoot(bad.Manifest)
+	bad.SignWith(bundle.HMACKey{ID: "rogue", Secret: []byte("rogue")})
+	data, _ := bundle.Encode(bad)
+	if err := bus.Send(network.Message{From: "attacker", To: "d1", Topic: TopicBundle, Payload: data}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+
+	d, _ := c.Device("d1")
+	if got := d.Policies().Revision(); got != 1 {
+		t.Fatalf("d1 moved to revision %d after tampered push", got)
+	}
+	var rejected []audit.Entry
+	for _, e := range c.Audit().ByKind(audit.KindBundle) {
+		if e.Detail == "bundle.rejected" {
+			rejected = append(rejected, e)
+		}
+	}
+	if len(rejected) != 1 || rejected[0].Context["cause"] != "signature" {
+		t.Fatalf("rejection audit = %+v, want one signature rejection", rejected)
+	}
+	// The rejection was reported back and ledgered too.
+	var ledgered bool
+	for _, e := range dist.Ledger().Entries() {
+		if e.Actor == "d1" && e.Context["applied"] == "false" && e.Context["cause"] == "signature" {
+			ledgered = true
+		}
+	}
+	if !ledgered {
+		t.Fatal("rejection status report missing from activation ledger")
+	}
+}
+
+func TestDistributorRepairAfterOneWayPartition(t *testing.T) {
+	stuckReports := 0
+	_, dist, bus := distFixture(t, func(cfg *DistributorConfig) {
+		cfg.StuckThreshold = 2
+		cfg.OnStuck = func(string) { stuckReports++ }
+	})
+	if _, err := dist.Publish(distPolicies(t, 3, "r1")); err != nil {
+		t.Fatalf("Publish r1: %v", err)
+	}
+
+	// Asymmetric failure: d2 can hear the distributor but not answer.
+	// The push succeeds, the ack dies — the distributor must keep
+	// repairing, and d2 keeps re-acking into the void without ever
+	// re-activating (stale re-pushes are no-ops).
+	bus.PartitionOneWay([]string{"d2"}, []string{dist.id})
+	if _, err := dist.Publish(distPolicies(t, 3, "r2")); err != nil {
+		t.Fatalf("Publish r2: %v", err)
+	}
+	d2, _ := dist.col.Device("d2")
+	if got := d2.Policies().Revision(); got != 2 {
+		t.Fatalf("d2 at revision %d, want 2 (push direction is open)", got)
+	}
+	if got := dist.AckedRevision("d2"); got != 1 {
+		t.Fatalf("distributor believes d2 acked %d, want 1 (ack direction is blocked)", got)
+	}
+	if lag := dist.Lagging(); len(lag) != 1 || lag[0] != "d2" {
+		t.Fatalf("lagging = %v, want [d2]", lag)
+	}
+
+	// Repair past the stuck threshold escalates exactly once.
+	for i := 0; i < 4; i++ {
+		dist.RepairSweep()
+	}
+	if stuckReports != 1 {
+		t.Fatalf("OnStuck fired %d times, want 1", stuckReports)
+	}
+	if st := dist.Stuck(); len(st) != 1 || st[0] != "d2" {
+		t.Fatalf("stuck = %v, want [d2]", st)
+	}
+
+	// Healing the asymmetry lets the next repair's re-ack through; the
+	// device never re-activated (revision still 2), and the stall clears.
+	bus.HealOneWay()
+	dist.RepairSweep()
+	if !dist.Converged() {
+		t.Fatalf("not converged after heal; lagging %v", dist.Lagging())
+	}
+	if got := d2.Policies().Revision(); got != 2 {
+		t.Fatalf("d2 re-activated to %d, want to stay at 2", got)
+	}
+	if len(dist.Stuck()) != 0 {
+		t.Fatalf("stuck flag not cleared: %v", dist.Stuck())
+	}
+}
+
+func TestDistributorGapTriggersPullRepair(t *testing.T) {
+	c, dist, bus := distFixture(t)
+	for _, tag := range []string{"r1", "r2", "r3"} {
+		if _, err := dist.Publish(distPolicies(t, 3, tag)); err != nil {
+			t.Fatalf("Publish %s: %v", tag, err)
+		}
+	}
+	// Simulate a misdirected delta: d1 is at revision 3; wind it back by
+	// enrolling a fresh member and sending it a delta cut against
+	// revision 2 — an unbridgeable gap for a device at revision 0.
+	if err := c.AddDevice(newMember(t, c, "d3", 10), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Enroll("d3", distKey()); err != nil {
+		t.Fatal(err)
+	}
+	delta, ok := dist.pub.DeltaFrom(2)
+	if !ok {
+		t.Fatal("DeltaFrom(2) failed")
+	}
+	data, _ := bundle.Encode(delta)
+	if err := bus.Send(network.Message{From: dist.id, To: "d3", Topic: TopicBundle, Payload: data}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// The gap rejection triggered a pull, the pull triggered a full
+	// repair push, and d3 converged — all synchronously on this bus.
+	d3, _ := c.Device("d3")
+	if got := d3.Policies().Revision(); got != 3 {
+		t.Fatalf("d3 at revision %d after pull repair, want 3", got)
+	}
+	if got := dist.AckedRevision("d3"); got != 3 {
+		t.Fatalf("distributor has d3 acked at %d, want 3", got)
+	}
+}

@@ -6,15 +6,27 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/bundle"
 	"repro/internal/chaos"
 	"repro/internal/device"
 	"repro/internal/guard"
 	"repro/internal/network"
 	"repro/internal/policy"
+	"repro/internal/policylang"
 	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
+
+// mustCompileOne compiles a single-policy policylang source.
+func mustCompileOne(t *testing.T, src string) policy.Policy {
+	t.Helper()
+	pols, err := policylang.CompileSource(src, policy.OriginHuman)
+	if err != nil || len(pols) != 1 {
+		t.Fatalf("CompileSource: %v (%d policies)", err, len(pols))
+	}
+	return pols[0]
+}
 
 // TestMetricNamesUnified drives every instrumented subsystem against
 // one registry and asserts each registered metric name follows the
@@ -111,6 +123,7 @@ func TestMetricNamesUnified(t *testing.T) {
 	for _, name := range []string{
 		"loss.injected", "loss.healed",
 		"partition.injected", "partition.healed",
+		"oneway.injected", "oneway.healed",
 		"duplication.injected", "duplication.healed",
 		"slowlinks.injected", "slowlinks.healed",
 		"skew.injected",
@@ -118,6 +131,45 @@ func TestMetricNamesUnified(t *testing.T) {
 	} {
 		inj.Count(name)
 	}
+
+	// One-way partition drops register bus.dropped{cause="oneway"}.
+	bus.PartitionOneWay([]string{"x"}, []string{"d1"})
+	_ = bus.Send(network.Message{From: "x", To: "d1", Topic: "t"})
+	bus.HealOneWay()
+
+	// The bundle distribution plane: a publish/activate round trip, a
+	// tampered push, a repair sweep against a lagging device, and a pull
+	// exercise every bundle.* name at its real call site.
+	key := bundle.HMACKey{ID: "names", Secret: []byte("names-secret")}
+	dist, err := NewDistributor(DistributorConfig{
+		Collective: c, Signer: key, Telemetry: reg, StuckThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Enroll("d1", key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dist.Publish([]policy.Policy{mustCompileOne(t,
+		"policy pd priority 1:\n    on task\n    when intensity > 0\n    do work target d1 category surveillance\n")}); err != nil {
+		t.Fatal(err)
+	}
+	// Tampered push → bundle.rejected registers.
+	bad, _ := dist.pub.Full()
+	bad.Sig = "00"
+	data, _ := bundle.Encode(bad)
+	_ = bus.Send(network.Message{From: dist.id, To: "d1", Topic: TopicBundle, Payload: data})
+	// Detach the device so a second publish goes unacked, then sweep
+	// past the stuck threshold → bundle.repairs and bundle.lagging.
+	bus.Detach("d1")
+	if _, err := dist.Publish(nil); err != nil {
+		t.Fatal(err)
+	}
+	dist.RepairSweep()
+	dist.RepairSweep()
+	// A pull request exercises bundle.pulls.
+	_ = bus.Send(network.Message{From: "d1", To: dist.id, Topic: TopicBundlePull,
+		Payload: BundlePull{Device: "d1", Have: 0}})
 
 	if err := telemetry.CheckNames(reg.Names()); err != nil {
 		t.Errorf("metric name audit failed:\n%v", err)

@@ -48,6 +48,8 @@ func All() []Runner {
 			Run: func() (Result, error) { return RunE15(E15Params{Seed: seed}) }},
 		{ID: "E16", Title: "Saturation — admission conservation under overload (VI, extension)",
 			Run: func() (Result, error) { return RunE16(E16Params{Seed: seed}) }},
+		{ID: "E17", Title: "Signed bundle distribution — fail-closed activation under chaos (IV/VI, extension)",
+			Run: func() (Result, error) { return RunE17(E17Params{Seed: seed}) }},
 	}
 }
 

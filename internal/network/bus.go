@@ -77,13 +77,15 @@ type Bus struct {
 	engine     *sim.Engine
 	metrics    *sim.Metrics
 	intake     *admission.Controller
-	cSent      *telemetry.Counter
-	cDelivered *telemetry.Counter
-	cDropLoss  *telemetry.Counter
-	cDropPart  *telemetry.Counter
-	cDup       *telemetry.Counter
+	cSent       *telemetry.Counter
+	cDelivered  *telemetry.Counter
+	cDropLoss   *telemetry.Counter
+	cDropPart   *telemetry.Counter
+	cDropOneWay *telemetry.Counter
+	cDup        *telemetry.Counter
 	nodes      map[string]endpoint
 	partition  map[string]int
+	oneWay     map[string]map[string]bool
 	lossProb   float64
 	dupProb    float64
 	minLatency time.Duration
@@ -149,6 +151,7 @@ func WithMetrics(m *sim.Metrics) BusOption {
 			b.cDelivered = reg.Counter("bus.delivered")
 			b.cDropLoss = reg.Counter("bus.dropped", "cause", "loss")
 			b.cDropPart = reg.Counter("bus.dropped", "cause", "partition")
+			b.cDropOneWay = reg.Counter("bus.dropped", "cause", "oneway")
 			b.cDup = reg.Counter("bus.duplicated")
 		}
 	})
@@ -290,11 +293,44 @@ func (b *Bus) Partition(groups map[string]int) {
 	}
 }
 
-// Heal removes all partitions.
+// Heal removes all partitions, symmetric and one-way.
 func (b *Bus) Heal() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.partition = make(map[string]int)
+	b.oneWay = nil
+}
+
+// PartitionOneWay blocks messages from any node in from to any node in
+// to — but not the reverse direction. This is the asymmetric-partition
+// fault: a push can arrive while its acknowledgement is lost (or vice
+// versa), the failure mode anti-entropy repair exists for. Calls
+// accumulate; HealOneWay or Heal clears them. Blocked sends are
+// dropped with cause "oneway" on the bus's books.
+func (b *Bus) PartitionOneWay(from, to []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.oneWay == nil {
+		b.oneWay = make(map[string]map[string]bool)
+	}
+	for _, f := range from {
+		blocked := b.oneWay[f]
+		if blocked == nil {
+			blocked = make(map[string]bool, len(to))
+			b.oneWay[f] = blocked
+		}
+		for _, t := range to {
+			blocked[t] = true
+		}
+	}
+}
+
+// HealOneWay removes every one-way block, leaving symmetric
+// partitions in place.
+func (b *Bus) HealOneWay() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.oneWay = nil
 }
 
 // SetLoss changes the loss probability at runtime (fault injection).
@@ -357,6 +393,12 @@ func (b *Bus) Send(msg Message) error {
 		b.cDropPart.Inc()
 		b.mu.Unlock()
 		return fmt.Errorf("%w: partition between %q and %q", ErrDropped, msg.From, msg.To)
+	}
+	if b.oneWay != nil && b.oneWay[msg.From][msg.To] {
+		b.dropped++
+		b.cDropOneWay.Inc()
+		b.mu.Unlock()
+		return fmt.Errorf("%w: one-way partition %q -> %q", ErrDropped, msg.From, msg.To)
 	}
 	if b.lossProb > 0 && b.rng != nil && b.rng.Float64() < b.lossProb {
 		b.dropped++

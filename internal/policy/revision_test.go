@@ -1,0 +1,88 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+)
+
+func revPolicy(id string, prio int, target string) Policy {
+	return Policy{
+		ID:        id,
+		Origin:    OriginShared,
+		Modality:  ModalityDo,
+		Priority:  prio,
+		EventType: "tick",
+		Action:    Action{Name: "act", Target: target},
+	}
+}
+
+func TestApplyRevisionAtomicInstall(t *testing.T) {
+	s := NewSet()
+	if err := s.ApplyRevision(1, []Policy{revPolicy("a", 2, "r1"), revPolicy("b", 1, "r1")}, nil); err != nil {
+		t.Fatalf("ApplyRevision 1: %v", err)
+	}
+	if got := s.Revision(); got != 1 {
+		t.Fatalf("Revision() = %d, want 1", got)
+	}
+	snap := s.Snapshot()
+	if snap.Revision() != 1 {
+		t.Fatalf("snapshot revision %d, want 1", snap.Revision())
+	}
+
+	// Revision 2 replaces a, removes b — one atomic step.
+	if err := s.ApplyRevision(2, []Policy{revPolicy("a", 2, "r2")}, []string{"b"}); err != nil {
+		t.Fatalf("ApplyRevision 2: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len() = %d after removal, want 1", s.Len())
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("b survived its removal")
+	}
+	// The old snapshot still reads as revision 1 — immutability — while
+	// a fresh one reads 2.
+	if snap.Revision() != 1 {
+		t.Fatalf("old snapshot revision mutated to %d", snap.Revision())
+	}
+	if got := s.Snapshot().Revision(); got != 2 {
+		t.Fatalf("new snapshot revision %d, want 2", got)
+	}
+}
+
+func TestApplyRevisionMonotonic(t *testing.T) {
+	s := NewSet()
+	if err := s.ApplyRevision(5, []Policy{revPolicy("a", 1, "r5")}, nil); err != nil {
+		t.Fatalf("ApplyRevision 5: %v", err)
+	}
+	for _, rev := range []uint64{5, 4, 0} {
+		if err := s.ApplyRevision(rev, []Policy{revPolicy("a", 1, "stale")}, nil); err == nil {
+			t.Fatalf("ApplyRevision %d succeeded below active revision 5", rev)
+		}
+	}
+	if p, _ := s.Get("a"); p.Action.Target != "r5" {
+		t.Fatalf("rejected revision mutated policy: target %q", p.Action.Target)
+	}
+}
+
+func TestApplyRevisionValidatesBeforeInstall(t *testing.T) {
+	s := NewSet()
+	if err := s.ApplyRevision(1, []Policy{revPolicy("a", 1, "r1")}, nil); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	bad := revPolicy("", 1, "r2") // invalid: empty ID
+	err := s.ApplyRevision(2, []Policy{revPolicy("a", 1, "r2"), bad}, nil)
+	if !errors.Is(err, ErrInvalidPolicy) {
+		t.Fatalf("invalid upsert: err=%v, want ErrInvalidPolicy", err)
+	}
+	if s.Revision() != 1 {
+		t.Fatalf("failed revision advanced the set to %d", s.Revision())
+	}
+	if p, _ := s.Get("a"); p.Action.Target != "r1" {
+		t.Fatalf("failed revision partially applied: target %q", p.Action.Target)
+	}
+
+	dup := []Policy{revPolicy("x", 1, "r2"), revPolicy("x", 2, "r2")}
+	if err := s.ApplyRevision(2, dup, nil); !errors.Is(err, ErrInvalidPolicy) {
+		t.Fatalf("duplicate upsert IDs: err=%v, want ErrInvalidPolicy", err)
+	}
+}

@@ -66,6 +66,11 @@ type Set struct {
 		lastCompile  time.Duration
 		totalCompile time.Duration
 	}
+	// revision is the policy-distribution revision the set last
+	// activated (0 = never revision-managed). It is stamped onto every
+	// snapshot compiled from the set, so a reader can tell which
+	// coherent revision it is evaluating under.
+	revision uint64
 }
 
 // SetOption configures a Set.
@@ -214,6 +219,50 @@ func (s *Set) ReplaceBatch(ps []Policy) error {
 	return nil
 }
 
+// ApplyRevision atomically replaces the set's contents with a
+// distributed policy revision: upserts are validated and installed,
+// removals deleted, and the revision number recorded, all under one
+// lock and one snapshot invalidation. Readers therefore never observe
+// a state mixing two revisions — the next Snapshot compiles the fully
+// applied revision, and every snapshot carries the revision it was
+// compiled from (Snapshot.Revision). The revision must be strictly
+// greater than the current one; the batch is all-or-nothing on
+// validation failure.
+func (s *Set) ApplyRevision(revision uint64, upserts []Policy, removals []string) error {
+	seen := make(map[string]bool, len(upserts))
+	for _, p := range upserts {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("%w: duplicate ID %s in revision", ErrInvalidPolicy, p.ID)
+		}
+		seen[p.ID] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if revision <= s.revision {
+		return fmt.Errorf("policy: revision %d is not newer than active revision %d", revision, s.revision)
+	}
+	for _, id := range removals {
+		delete(s.policies, id)
+	}
+	for _, p := range upserts {
+		s.policies[p.ID] = p
+	}
+	s.revision = revision
+	s.snap.Store(nil)
+	return nil
+}
+
+// Revision returns the distribution revision the set last activated
+// (0 = never revision-managed).
+func (s *Set) Revision() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.revision
+}
+
 // Remove deletes a policy by ID and reports whether it existed.
 func (s *Set) Remove(id string) bool {
 	s.mu.Lock()
@@ -269,6 +318,7 @@ func (s *Set) Snapshot() *Snapshot {
 	}
 	s.stats.epoch++
 	snap := compileSnapshot(s.sortedLocked(), s.matchCat, s.stats.epoch)
+	snap.revision = s.revision
 	s.stats.compiles++
 	s.stats.lastCompile = snap.compileTime
 	s.stats.totalCompile += snap.compileTime

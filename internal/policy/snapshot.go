@@ -20,7 +20,13 @@ import (
 // an injected taxonomy gains edges after compilation, call
 // Set.Invalidate to force a recompile.
 type Snapshot struct {
-	epoch    uint64
+	epoch uint64
+	// revision is the policy-distribution revision the owning Set had
+	// activated when this snapshot compiled (0 = unmanaged). Because
+	// ApplyRevision installs a whole revision under one lock and one
+	// invalidation, every snapshot's policies belong to exactly one
+	// revision — never a mix.
+	revision uint64
 	matchCat CategoryMatcher
 	// sorted holds every policy in global evaluation order (priority
 	// descending, then ID ascending). A policy's position in this
@@ -108,6 +114,10 @@ func (s *Snapshot) covers(fb *Policy, a Action) bool {
 // Epoch identifies this compilation; it increases with every
 // recompile of the owning Set.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Revision returns the distribution revision this snapshot was
+// compiled from (0 = the set is not revision-managed).
+func (s *Snapshot) Revision() uint64 { return s.revision }
 
 // Len returns the number of policies in the snapshot.
 func (s *Snapshot) Len() int { return len(s.sorted) }

@@ -31,7 +31,7 @@ var defs = []Def{
 	// bus — message substrate delivery accounting.
 	{Name: "bus.sent", Kind: KindCounter, Help: "Send attempts to attached recipients (each ends delivered, dropped, shed or queued)."},
 	{Name: "bus.delivered", Kind: KindCounter, Help: "Messages accepted for delivery by the bus."},
-	{Name: "bus.dropped", Kind: KindCounter, Labels: []string{"cause"}, Help: "Messages dropped by the bus, by cause (loss, partition)."},
+	{Name: "bus.dropped", Kind: KindCounter, Labels: []string{"cause"}, Help: "Messages dropped by the bus, by cause (loss, partition, oneway)."},
 	{Name: "bus.duplicated", Kind: KindCounter, Help: "Messages delivered twice by the duplication fault."},
 	{Name: "bus.bridge_dropped", Kind: KindCounter, Labels: []string{"cause"}, Help: "Wire-bridged messages the bus refused, by cause (unknown_node, partition, loss, queue_full, rate_limited, error)."},
 
@@ -80,11 +80,26 @@ var defs = []Def{
 	{Name: "gossip.pushes_dropped", Kind: KindCounter, Help: "Anti-entropy pushes dropped by the link fault."},
 	{Name: "gossip.push_retries", Kind: KindCounter, Help: "Retry attempts spent recovering dropped gossip pushes."},
 
+	// bundle — the signed policy-distribution plane.
+	{Name: "bundle.published", Kind: KindCounter, Labels: []string{"kind"}, Help: "Policy bundle revisions published, by kind (full, delta)."},
+	{Name: "bundle.bytes_on_wire", Kind: KindCounter, Labels: []string{"kind"}, Help: "Encoded bundle bytes handed to the bus, by kind (full, delta)."},
+	{Name: "bundle.pushed", Kind: KindCounter, Help: "Bundle pushes sent to devices (including repair re-pushes)."},
+	{Name: "bundle.acked", Kind: KindCounter, Help: "Activation acknowledgements received by the distributor."},
+	{Name: "bundle.activated", Kind: KindCounter, Labels: []string{"kind"}, Help: "Bundles verified and atomically activated by devices, by kind (full, delta)."},
+	{Name: "bundle.rejected", Kind: KindCounter, Labels: []string{"cause"}, Help: "Bundles refused fail-closed, by cause (signature, root, gap, stale, coverage, hash, malformed, decode)."},
+	{Name: "bundle.repairs", Kind: KindCounter, Help: "Anti-entropy repair pushes to devices behind the current revision."},
+	{Name: "bundle.pulls", Kind: KindCounter, Help: "Pull-repair requests received from devices that detected a gap."},
+	{Name: "bundle.send_failed", Kind: KindCounter, Labels: []string{"topic"}, Help: "Distribution-plane sends the bus refused, by topic; survivable (repair re-pushes, re-acks and pull retries cover them) but never silent."},
+	{Name: "bundle.revision", Kind: KindGauge, Help: "Current published revision at the distributor."},
+	{Name: "bundle.lagging", Kind: KindGauge, Help: "Devices whose acknowledged revision trails the published one."},
+
 	// chaos — fault injections and heals.
 	{Name: "chaos.loss_injected", Kind: KindCounter, Help: "Loss fault onsets."},
 	{Name: "chaos.loss_healed", Kind: KindCounter, Help: "Loss fault heals."},
 	{Name: "chaos.partition_injected", Kind: KindCounter, Help: "Partition fault onsets."},
 	{Name: "chaos.partition_healed", Kind: KindCounter, Help: "Partition fault heals."},
+	{Name: "chaos.oneway_injected", Kind: KindCounter, Help: "One-way (asymmetric) partition fault onsets."},
+	{Name: "chaos.oneway_healed", Kind: KindCounter, Help: "One-way partition fault heals."},
 	{Name: "chaos.duplication_injected", Kind: KindCounter, Help: "Duplication fault onsets."},
 	{Name: "chaos.duplication_healed", Kind: KindCounter, Help: "Duplication fault heals."},
 	{Name: "chaos.slowlinks_injected", Kind: KindCounter, Help: "Slow-link fault onsets."},
