@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission bench-bundle conservation fuzz-short experiments examples obs-smoke
+.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission bench-bundle bench-megafleet alloc-gate conservation fuzz-short experiments examples obs-smoke
 
 all: build test
 
@@ -10,8 +10,16 @@ build:
 vet:
 	go vet ./...
 
-test: vet obs-smoke conservation fuzz-short
+test: vet obs-smoke conservation fuzz-short alloc-gate
 	go test -shuffle=on ./...
+
+# The fleet allocation gate: one exact run of the 10k-device parallel
+# fleet benchmark against the committed budgets in bench_budget.json.
+# Keeps the memory-compact state plane honest — an accidental
+# per-tick allocation on the MAPE hot path fails `make test`, not a
+# benchmark review three PRs later.
+alloc-gate:
+	sh scripts/alloc_gate.sh bench_budget.json
 
 # A short randomized pass over the bundle wire-format decoder on top of
 # its seeded corpus: no input may reach live policy state or crash the
@@ -42,8 +50,8 @@ obs-smoke:
 # order really is deterministic.
 test-race:
 	go test -race ./internal/...
-	go test -race -count=2 -run 'TestParallelDeterminism|TestE15Determinism' \
-		./internal/sim ./internal/experiments
+	go test -race -count=2 -run 'TestParallelDeterminism|TestE15Determinism|TestPropertyBoxedScratchEquivalence' \
+		./internal/sim ./internal/experiments ./internal/device
 
 race:
 	go test -race ./...
@@ -57,10 +65,12 @@ bench:
 	go test -bench=. -benchmem -count=5 ./... | tee bench.txt
 
 # Machine-readable benchmark results: run the suite (3 repetitions for
-# turnaround), then distill bench.txt into BENCH_PR4.json.
+# turnaround), then distill bench.txt into BENCH_PR7.json. Fleet rows
+# (BenchmarkE15Fleet*, BenchmarkE18*) also append to the cumulative
+# BENCH_HISTORY.json, so the allocation trend across PRs is one file.
 bench-json:
 	go test -bench=. -benchmem -count=3 ./... | tee bench.txt
-	sh scripts/bench_json.sh bench.txt BENCH_PR4.json
+	sh scripts/bench_json.sh bench.txt BENCH_PR7.json
 
 # Admission-control hot paths only (PR5): admit/shed/gate/drain on a
 # virtual clock, distilled into BENCH_PR5.json.
@@ -82,6 +92,16 @@ bench-bundle:
 # -benchtime=1x keeps the loop honest.
 bench-fleet:
 	go test -bench='BenchmarkE15Fleet' -benchmem -benchtime=1x -count=3 \
+		./internal/experiments
+
+# The mega-fleet gates (E18): the 10^5-device differential (byte-
+# identical journals at 1/2/4 workers) and the 10^6-device smoke run.
+# Costs minutes and several GB of RAM, hence env-gated out of `make
+# test`.
+bench-megafleet:
+	E18_MEGAFLEET=1 go test -run TestE18Megafleet100k -v -timeout 60m \
+		./internal/experiments
+	E18_MEGAFLEET_1M=1 go test -run TestE18Megafleet1M -v -timeout 60m \
 		./internal/experiments
 
 experiments:

@@ -11,10 +11,12 @@ package audit
 import (
 	"crypto/hmac"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -70,6 +72,7 @@ type Log struct {
 	now     func() time.Time
 	staged  bool
 	entries []Entry
+	scratch hasher // hash scratch reused across appends (guarded by mu)
 }
 
 // Journal routes audit appends: given the log an append would normally
@@ -131,6 +134,19 @@ func NewStage(opts ...Option) *Log {
 // and chain hashes filled in. On a staging log (NewStage) the entry is
 // buffered without hashes.
 func (l *Log) Append(kind Kind, actor, detail string, context map[string]string) Entry {
+	return l.append(kind, actor, detail, context, true)
+}
+
+// AppendOwned is Append with ownership transfer: the log stores the
+// context map directly instead of copying it. The caller must not
+// mutate the map afterwards. Hot append sites (guard denials, action
+// records) build a fresh map per entry anyway, so transferring it
+// halves their allocation cost.
+func (l *Log) AppendOwned(kind Kind, actor, detail string, context map[string]string) Entry {
+	return l.append(kind, actor, detail, context, false)
+}
+
+func (l *Log) append(kind Kind, actor, detail string, context map[string]string, copyCtx bool) Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
@@ -138,12 +154,12 @@ func (l *Log) Append(kind Kind, actor, detail string, context map[string]string)
 	if l.now != nil {
 		now = l.now
 	}
-	return l.appendLocked(now(), kind, actor, detail, context)
+	return l.appendLocked(now(), kind, actor, detail, context, copyCtx)
 }
 
 // appendLocked records one entry stamped with an explicit time; the
 // caller holds l.mu.
-func (l *Log) appendLocked(at time.Time, kind Kind, actor, detail string, context map[string]string) Entry {
+func (l *Log) appendLocked(at time.Time, kind Kind, actor, detail string, context map[string]string, copyCtx bool) Entry {
 	e := Entry{
 		Seq:    len(l.entries),
 		Time:   at,
@@ -152,39 +168,55 @@ func (l *Log) appendLocked(at time.Time, kind Kind, actor, detail string, contex
 		Detail: detail,
 	}
 	if len(context) > 0 {
-		e.Context = make(map[string]string, len(context))
-		for k, v := range context {
-			e.Context[k] = v
+		if copyCtx {
+			e.Context = make(map[string]string, len(context))
+			for k, v := range context {
+				e.Context[k] = v
+			}
+		} else {
+			e.Context = context
 		}
 	}
 	if !l.staged {
 		if len(l.entries) > 0 {
 			e.PrevHash = l.entries[len(l.entries)-1].Hash
 		}
-		e.Hash = hashEntry(e)
+		e.Hash = l.scratch.hash(&e)
 	}
 	l.entries = append(l.entries, e)
 	return e
 }
 
-// Adopt drains a staging log into l: every buffered entry is
-// re-appended in order, preserving its recorded time, and chained onto
-// l's current tip. The stage is reset for reuse. Adopting a stage into
-// the log it was buffered for yields the exact chain a serial run
-// would have produced. It returns the number of entries adopted.
+// Adopt drains a staging log into l: every buffered entry is moved
+// over in order, preserving its recorded time, and chained onto l's
+// current tip. The stage is reset for reuse, retaining its buffer
+// capacity. Adopting a stage into the log it was buffered for yields
+// the exact chain a serial run would have produced. It returns the
+// number of entries adopted.
 func (l *Log) Adopt(stage *Log) int {
 	if stage == nil || stage == l {
 		return 0
 	}
 	stage.mu.Lock()
 	entries := stage.entries
-	stage.entries = nil
+	stage.entries = entries[:0]
 	stage.mu.Unlock()
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for _, e := range entries {
-		l.appendLocked(e.Time, e.Kind, e.Actor, e.Detail, e.Context)
+	for i := range entries {
+		e := &entries[i]
+		e.Seq = len(l.entries)
+		if len(l.entries) > 0 {
+			e.PrevHash = l.entries[len(l.entries)-1].Hash
+		} else {
+			e.PrevHash = ""
+		}
+		e.Hash = l.scratch.hash(e)
+		l.entries = append(l.entries, *e)
+		// Drop the moved entry's references so the reusable stage
+		// buffer does not pin maps/strings now owned by l.
+		*e = Entry{}
 	}
 	return len(entries)
 }
@@ -218,6 +250,20 @@ func (l *Log) ByKind(kind Kind) []Entry {
 	return out
 }
 
+// CountKind returns the number of entries of the given kind without
+// copying them — use instead of len(ByKind(k)) on large journals.
+func (l *Log) CountKind(kind Kind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for i := range l.entries {
+		if l.entries[i].Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
 // Verify walks the chain and returns ErrChainBroken (wrapped with the
 // failing sequence number) if any entry's hash or back-link is
 // inconsistent.
@@ -242,15 +288,17 @@ func (l *Log) VerifyFrom(index int, prevHash string) error {
 		return fmt.Errorf("%w: verify-from index %d out of range [0,%d]", ErrChainBroken, index, len(l.entries))
 	}
 	prev := prevHash
+	h := hasherPool.Get().(*hasher)
+	defer hasherPool.Put(h)
 	for i := index; i < len(l.entries); i++ {
-		e := l.entries[i]
+		e := &l.entries[i]
 		if e.Seq != i {
 			return fmt.Errorf("%w: entry %d has seq %d", ErrChainBroken, i, e.Seq)
 		}
 		if e.PrevHash != prev {
 			return fmt.Errorf("%w: entry %d back-link mismatch", ErrChainBroken, i)
 		}
-		if hashEntry(e) != e.Hash {
+		if !h.matches(e) {
 			return fmt.Errorf("%w: entry %d content hash mismatch", ErrChainBroken, i)
 		}
 		prev = e.Hash
@@ -267,14 +315,17 @@ func (l *Log) MarshalJSON() ([]byte, error) {
 // example, after JSON round-tripping on another machine).
 func VerifyEntries(entries []Entry) error {
 	prev := ""
-	for i, e := range entries {
+	h := hasherPool.Get().(*hasher)
+	defer hasherPool.Put(h)
+	for i := range entries {
+		e := &entries[i]
 		if e.Seq != i {
 			return fmt.Errorf("%w: entry %d has seq %d", ErrChainBroken, i, e.Seq)
 		}
 		if e.PrevHash != prev {
 			return fmt.Errorf("%w: entry %d back-link mismatch", ErrChainBroken, i)
 		}
-		if hashEntry(e) != e.Hash {
+		if !h.matches(e) {
 			return fmt.Errorf("%w: entry %d content hash mismatch", ErrChainBroken, i)
 		}
 		prev = e.Hash
@@ -282,22 +333,76 @@ func VerifyEntries(entries []Entry) error {
 	return nil
 }
 
-// hashEntry computes the chain hash over every field except Hash
-// itself. The context keys are serialized via canonical JSON (map keys
-// sorted by encoding/json).
-func hashEntry(e Entry) string {
-	h := sha256.New()
-	shadow := e
-	shadow.Hash = ""
-	b, err := json.Marshal(shadow)
-	if err != nil {
-		// Entry contains only marshalable types; this is unreachable
-		// but kept defensive: an unhashable entry must never verify.
-		return ""
-	}
-	h.Write(b)
-	return hex.EncodeToString(h.Sum(nil))
+// hasher computes entry chain hashes over a reusable buffer. The
+// canonical encoding is length-prefixed (every string is u32 length +
+// bytes, integers are fixed-width big-endian, context keys sorted), so
+// it is injective over the hashed fields and orders of magnitude
+// cheaper than the reflective JSON marshal it replaces. Time is hashed
+// as UnixNano, which survives JSON round-trips (encoding drops only
+// the monotonic reading), so exported logs still verify elsewhere.
+type hasher struct {
+	buf  []byte
+	keys []string
 }
+
+func (h *hasher) str(s string) {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+	h.buf = append(h.buf, n[:]...)
+	h.buf = append(h.buf, s...)
+}
+
+func (h *hasher) u64(v uint64) {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], v)
+	h.buf = append(h.buf, n[:]...)
+}
+
+// hexHashLen is the length of a rendered chain hash (hex SHA-256).
+const hexHashLen = 2 * sha256.Size
+
+// hash computes the chain hash over every field of e except Hash
+// itself — one string allocation, nothing else.
+func (h *hasher) hash(e *Entry) string {
+	var out [hexHashLen]byte
+	h.encode(e, &out)
+	return string(out[:])
+}
+
+// matches reports whether e.Hash is the chain hash of e's content.
+// The rendered hash lives on the stack, so verification walks are
+// allocation-free.
+func (h *hasher) matches(e *Entry) bool {
+	var out [hexHashLen]byte
+	h.encode(e, &out)
+	return string(out[:]) == e.Hash
+}
+
+func (h *hasher) encode(e *Entry, out *[hexHashLen]byte) {
+	h.buf = h.buf[:0]
+	h.u64(uint64(e.Seq))
+	h.u64(uint64(e.Time.UnixNano()))
+	h.str(string(e.Kind))
+	h.str(e.Actor)
+	h.str(e.Detail)
+	h.u64(uint64(len(e.Context)))
+	if len(e.Context) > 0 {
+		h.keys = h.keys[:0]
+		for k := range e.Context {
+			h.keys = append(h.keys, k)
+		}
+		sort.Strings(h.keys)
+		for _, k := range h.keys {
+			h.str(k)
+			h.str(e.Context[k])
+		}
+	}
+	h.str(e.PrevHash)
+	sum := sha256.Sum256(h.buf)
+	hex.Encode(out[:], sum[:])
+}
+
+var hasherPool = sync.Pool{New: func() any { return new(hasher) }}
 
 // Seal computes an HMAC over the final hash of the chain, binding the
 // whole log to a shared secret. A holder of the secret can detect
@@ -317,4 +422,45 @@ func (l *Log) Seal(secret []byte) string {
 func (l *Log) CheckSeal(secret []byte, seal string) bool {
 	want := l.Seal(secret)
 	return hmac.Equal([]byte(want), []byte(seal))
+}
+
+// CtxCache caches the most recent context map built by one hot append
+// site. MAPE loops append entries with the same few label values tick
+// after tick; when the values repeat, the cached immutable map is
+// handed to AppendOwned again, so steady-state appends allocate no
+// context at all. Entries never mutate their context after append,
+// which is what makes sharing one map across many entries safe.
+//
+// A cache instance must be used with one fixed key set per arity (the
+// match test compares values under the given keys, so mixing key sets
+// of equal size could alias).
+type CtxCache struct {
+	mu   sync.Mutex
+	last map[string]string
+}
+
+// Get2 returns a map equal to {k1: v1, k2: v2}, reusing the cached
+// map when it already holds exactly those pairs. The returned map is
+// shared and must be treated as immutable.
+func (c *CtxCache) Get2(k1, v1, k2, v2 string) map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.last; len(m) == 2 && m[k1] == v1 && m[k2] == v2 {
+		return m
+	}
+	m := map[string]string{k1: v1, k2: v2}
+	c.last = m
+	return m
+}
+
+// Get3 is Get2 for three pairs.
+func (c *CtxCache) Get3(k1, v1, k2, v2, k3, v3 string) map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.last; len(m) == 3 && m[k1] == v1 && m[k2] == v2 && m[k3] == v3 {
+		return m
+	}
+	m := map[string]string{k1: v1, k2: v2, k3: v3}
+	c.last = m
+	return m
 }

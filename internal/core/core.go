@@ -8,9 +8,10 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -83,6 +84,10 @@ type Collective struct {
 	mu             sync.Mutex
 	devices        map[string]*device.Device
 	bundleHandlers map[string]network.LaneHandler
+	// sorted caches the members in ID order; nil means stale. It is
+	// rebuilt at most once per membership change instead of re-sorting
+	// on every Devices call (a per-broadcast cost on large fleets).
+	sorted []*device.Device
 }
 
 // New builds a collective.
@@ -182,13 +187,18 @@ func (c *Collective) AddDevice(d *device.Device, attrs map[string]float64) error
 		c.mu.Unlock()
 		return fmt.Errorf("core: device %q already in collective", d.ID())
 	}
-	members := make([]statespace.State, 0, len(c.devices))
-	for _, m := range c.devices {
-		members = append(members, m.CurrentState())
-	}
 	c.mu.Unlock()
 
 	if c.admission != nil {
+		// Snapshot member states only when something will assess them:
+		// on an ungated collective the snapshot is O(members) copies
+		// per join — quadratic in fleet size.
+		c.mu.Lock()
+		members := make([]statespace.State, 0, len(c.devices))
+		for _, m := range c.devices {
+			members = append(members, m.CurrentState())
+		}
+		c.mu.Unlock()
 		admitted, reason := c.admission.Admit(d.ID(), members, d.CurrentState())
 		if !admitted {
 			return fmt.Errorf("%w: %s", ErrAdmissionRefused, reason)
@@ -200,6 +210,7 @@ func (c *Collective) AddDevice(d *device.Device, attrs map[string]float64) error
 
 	c.mu.Lock()
 	c.devices[d.ID()] = d
+	c.sorted = nil
 	c.mu.Unlock()
 
 	if c.metrics != nil {
@@ -219,6 +230,9 @@ func (c *Collective) RemoveDevice(id string) bool {
 	c.mu.Lock()
 	_, ok := c.devices[id]
 	delete(c.devices, id)
+	if ok {
+		c.sorted = nil
+	}
 	c.mu.Unlock()
 	if !ok {
 		return false
@@ -255,15 +269,21 @@ func (c *Collective) Device(id string) (*device.Device, bool) {
 	return d, ok
 }
 
-// Devices returns the members sorted by ID.
+// Devices returns the members sorted by ID. The result is a fresh
+// slice backed by a cache that is re-sorted only after membership
+// changes.
 func (c *Collective) Devices() []*device.Device {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*device.Device, 0, len(c.devices))
-	for _, d := range c.devices {
-		out = append(out, d)
+	if c.sorted == nil {
+		c.sorted = make([]*device.Device, 0, len(c.devices))
+		for _, d := range c.devices {
+			c.sorted = append(c.sorted, d)
+		}
+		slices.SortFunc(c.sorted, func(a, b *device.Device) int { return cmp.Compare(a.ID(), b.ID()) })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	out := make([]*device.Device, len(c.sorted))
+	copy(out, c.sorted)
 	return out
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/bundle"
+	"repro/internal/intern"
 	"repro/internal/network"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -95,11 +96,40 @@ type Distributor struct {
 	gRevision *telemetry.Gauge
 	gLagging  *telemetry.Gauge
 
-	mu       sync.Mutex
-	enrolled []string
-	acked    map[string]uint64
-	repairs  map[string]int
-	stuck    map[string]bool
+	// The fleet index is dense: every device the distributor has seen
+	// (enrolled, or merely heard an ack from) owns one stable slot in
+	// fleet, found through its interned ID. order holds the enrolled
+	// slots sorted by device ID — the canonical fan-out order of
+	// Publish and RepairSweep — and sweep is the reusable fan-out
+	// snapshot (serial-barrier callers only).
+	mu     sync.Mutex
+	names  *intern.Table
+	slotOf map[intern.ID]int32
+	fleet  []fleetEntry
+	order  []int32
+	sweep  []int32
+}
+
+// fleetEntry is one device's distribution-plane record.
+type fleetEntry struct {
+	id       string
+	enrolled bool
+	acked    uint64
+	repairs  int
+	stuck    bool
+}
+
+// slotLocked returns the device's slot, creating one on first sight.
+// Caller holds x.mu.
+func (x *Distributor) slotLocked(deviceID string) int32 {
+	key := x.names.Of(deviceID)
+	slot, ok := x.slotOf[key]
+	if !ok {
+		slot = int32(len(x.fleet))
+		x.fleet = append(x.fleet, fleetEntry{id: deviceID})
+		x.slotOf[key] = slot
+	}
+	return slot
 }
 
 // NewDistributor builds the distributor and attaches it to the bus as
@@ -139,9 +169,8 @@ func NewDistributor(cfg DistributorConfig) (*Distributor, error) {
 		cPulls:         cfg.Telemetry.Counter("bundle.pulls"),
 		gRevision:      cfg.Telemetry.Gauge("bundle.revision"),
 		gLagging:       cfg.Telemetry.Gauge("bundle.lagging"),
-		acked:          make(map[string]uint64),
-		repairs:        make(map[string]int),
-		stuck:          make(map[string]bool),
+		names:          intern.NewTable(),
+		slotOf:         make(map[intern.ID]int32),
 	}
 	if x.onStuck == nil {
 		x.onStuck = func(deviceID string) {
@@ -165,7 +194,10 @@ func (x *Distributor) Revision() uint64 { return x.pub.Revision() }
 func (x *Distributor) AckedRevision(deviceID string) uint64 {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return x.acked[deviceID]
+	if slot, ok := x.slotOf[x.names.Lookup(deviceID)]; ok {
+		return x.fleet[slot].acked
+	}
+	return 0
 }
 
 // Lagging returns the enrolled devices whose acknowledged revision
@@ -175,12 +207,11 @@ func (x *Distributor) Lagging() []string {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	var out []string
-	for _, id := range x.enrolled {
-		if x.acked[id] < cur {
-			out = append(out, id)
+	for _, slot := range x.order {
+		if e := &x.fleet[slot]; e.acked < cur {
+			out = append(out, e.id)
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -193,11 +224,12 @@ func (x *Distributor) Converged() bool { return len(x.Lagging()) == 0 }
 func (x *Distributor) Stuck() []string {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	out := make([]string, 0, len(x.stuck))
-	for id := range x.stuck {
-		out = append(out, id)
+	var out []string
+	for _, slot := range x.order {
+		if e := &x.fleet[slot]; e.stuck {
+			out = append(out, e.id)
+		}
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -215,8 +247,16 @@ func (x *Distributor) Enroll(deviceID string, v bundle.Verifier) error {
 	agent := bundle.NewAgent(d.Policies(), v)
 	x.col.SetBundleHandler(deviceID, x.deviceHandler(deviceID, agent))
 	x.mu.Lock()
-	x.enrolled = append(x.enrolled, deviceID)
-	sort.Strings(x.enrolled)
+	slot := x.slotLocked(deviceID)
+	if !x.fleet[slot].enrolled {
+		x.fleet[slot].enrolled = true
+		at := sort.Search(len(x.order), func(i int) bool {
+			return x.fleet[x.order[i]].id >= deviceID
+		})
+		x.order = append(x.order, 0)
+		copy(x.order[at+1:], x.order[at:])
+		x.order[at] = slot
+	}
 	x.mu.Unlock()
 	return nil
 }
@@ -235,8 +275,11 @@ func (x *Distributor) Publish(desired []policy.Policy) (uint64, error) {
 	x.gRevision.Set(float64(rev))
 	x.col.Audit().Append(audit.KindBundle, x.id, "bundle.published",
 		map[string]string{"revision": fmt.Sprint(rev), "policies": fmt.Sprint(len(full.Manifest.Coverage))})
-	for _, id := range x.enrolledIDs() {
-		x.pushTo(id, x.AckedRevision(id))
+	for _, slot := range x.fanout() {
+		x.mu.Lock()
+		id, base := x.fleet[slot].id, x.fleet[slot].acked
+		x.mu.Unlock()
+		x.pushTo(id, base)
 	}
 	x.updateLagging()
 	return rev, nil
@@ -253,19 +296,21 @@ func (x *Distributor) RepairSweep() int {
 		return 0
 	}
 	repaired := 0
-	for _, id := range x.enrolledIDs() {
+	for _, slot := range x.fanout() {
 		x.mu.Lock()
-		base := x.acked[id]
+		e := &x.fleet[slot]
+		id := e.id
+		base := e.acked
 		if base >= cur {
-			x.repairs[id] = 0
+			e.repairs = 0
 			x.mu.Unlock()
 			continue
 		}
-		x.repairs[id]++
-		count := x.repairs[id]
-		alreadyStuck := x.stuck[id]
+		e.repairs++
+		count := e.repairs
+		alreadyStuck := e.stuck
 		if count > x.stuckThreshold && !alreadyStuck {
-			x.stuck[id] = true
+			e.stuck = true
 		}
 		x.mu.Unlock()
 
@@ -282,11 +327,14 @@ func (x *Distributor) RepairSweep() int {
 	return repaired
 }
 
-// enrolledIDs snapshots the enrollment list.
-func (x *Distributor) enrolledIDs() []string {
+// fanout snapshots the canonical fan-out order into the reusable sweep
+// buffer. Publish and RepairSweep run from serial-barrier context, so
+// one buffer suffices.
+func (x *Distributor) fanout() []int32 {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return append([]string(nil), x.enrolled...)
+	x.sweep = append(x.sweep[:0], x.order...)
+	return x.sweep
 }
 
 // pushTo encodes and sends the best bundle for a device at the given
@@ -345,12 +393,13 @@ func (x *Distributor) handle(m network.Message, lane *sim.Lane) {
 		}
 		audit.Resolve(lane, x.ledger).Append(audit.KindBundle, ack.Device, "bundle.status", ctx)
 		x.mu.Lock()
-		if ack.Revision > x.acked[ack.Device] {
-			x.acked[ack.Device] = ack.Revision
+		e := &x.fleet[x.slotLocked(ack.Device)]
+		if ack.Revision > e.acked {
+			e.acked = ack.Revision
 		}
-		if x.acked[ack.Device] >= x.pub.Revision() {
-			x.repairs[ack.Device] = 0
-			delete(x.stuck, ack.Device)
+		if e.acked >= x.pub.Revision() {
+			e.repairs = 0
+			e.stuck = false
 		}
 		x.mu.Unlock()
 		x.updateLagging()

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/coalition"
 	"repro/internal/network"
@@ -90,7 +91,7 @@ func (x *PolicyExchange) Accepted(deviceID string) ([]policy.Policy, error) {
 		}
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b policy.Policy) int { return cmp.Compare(a.ID, b.ID) })
 	return out, nil
 }
 

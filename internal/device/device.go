@@ -3,11 +3,13 @@ package device
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/audit"
 	"repro/internal/guard"
+	"repro/internal/intern"
 	"repro/internal/policy"
 	"repro/internal/statespace"
 	"repro/internal/telemetry"
@@ -49,6 +51,21 @@ type Config struct {
 	Discharger guard.ObligationDischarger
 	// TrajectoryCapacity hints the trajectory's initial capacity.
 	TrajectoryCapacity int
+	// TrajectoryBound, when positive, bounds the trajectory to the most
+	// recent TrajectoryBound states (a ring). Mega-fleet scenarios set
+	// it so 10^5..10^6 devices do not retain full histories; windowed
+	// decline detection needs only DeclineWindow+1 retained states.
+	TrajectoryBound int
+	// Arena, when set, backs the device's state scratch with slabs from
+	// the shared arena instead of per-device heap allocations, packing
+	// a whole fleet's (or shard's) state vectors contiguously.
+	Arena *statespace.Arena
+	// BoxedState disables the arena/scratch fast path: every state
+	// transition allocates a fresh boxed State, as the original
+	// implementation did. It exists for the differential property test
+	// that proves the scratch path behavior-identical, and as an escape
+	// hatch.
+	BoxedState bool
 	// Telemetry, when set, counts handled events (device.events) and
 	// execution outcomes (device.executions). Nil disables the counters
 	// at zero cost.
@@ -104,6 +121,25 @@ type Device struct {
 	defaultAct  Actuator
 	trajectory  *statespace.Trajectory
 	deactivated bool
+
+	// boxed disables the scratch fast path (Config.BoxedState).
+	boxed bool
+	// hmu serializes use of the MAPE scratch below. Hot-path entry
+	// points TryLock it: the holder runs the zero-allocation scratch
+	// path; contenders (concurrent callers, or re-entrant self-sends
+	// through a synchronous bus) fall back to the boxed path, which
+	// allocates but is always safe. The scratch state views handed to
+	// guards are only mutated by the hmu holder, so they are stable for
+	// the duration of a check.
+	hmu     sync.Mutex
+	scratch statespace.Scratch
+	dec     policy.Decision // reused decision buffers (guarded by hmu)
+	envBuf  []float64       // reused event-time state pin (guarded by hmu)
+
+	// actionCtx caches the action audit context map (same event type
+	// and guard every tick → one shared immutable map, not one per
+	// audited action). CtxCache carries its own lock.
+	actionCtx audit.CtxCache
 }
 
 var _ guard.Deactivatable = (*Device)(nil)
@@ -124,6 +160,10 @@ func New(cfg Config) (*Device, error) {
 	if capacity <= 0 {
 		capacity = 64
 	}
+	trajectory := statespace.NewTrajectory(capacity)
+	if cfg.TrajectoryBound > 0 {
+		trajectory = statespace.NewRingTrajectory(cfg.TrajectoryBound)
+	}
 	d := &Device{
 		id:         cfg.ID,
 		typ:        cfg.Type,
@@ -136,8 +176,18 @@ func New(cfg Config) (*Device, error) {
 		discharger: cfg.Discharger,
 		actuators:  make(map[string]Actuator),
 		defaultAct: NopActuator{},
-		trajectory: statespace.NewTrajectory(capacity),
+		trajectory: trajectory,
 		tracer:     cfg.Tracer,
+		boxed:      cfg.BoxedState,
+	}
+	if !d.boxed {
+		d.scratch = statespace.NewScratch(cfg.Initial.Schema(), cfg.Arena)
+		// Presize the reused decision buffers so first events don't pay
+		// append-growth allocations.
+		d.dec = policy.Decision{
+			Actions: make([]policy.Action, 0, 4),
+			Matched: make([]string, 0, 4),
+		}
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		d.events = reg.Counter("device.events", "device", cfg.ID)
@@ -160,10 +210,15 @@ func (d *Device) Type() string { return d.typ }
 // Organization returns the operating organization.
 func (d *Device) Organization() string { return d.org }
 
-// CurrentState returns the device's current state.
+// CurrentState returns the device's current state. The returned state
+// is a stable snapshot: when the live state is scratch-backed (and so
+// would change value on the next tick), it is copied out.
 func (d *Device) CurrentState() statespace.State {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.scratch.Owns(d.state) {
+		return d.state.Clone()
+	}
 	return d.state
 }
 
@@ -177,6 +232,26 @@ func (d *Device) Trajectory() []statespace.State {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.trajectory.States()
+}
+
+// TrajectoryDecline reports whether the last window transitions of the
+// device's trajectory show a strictly declining safeness under the
+// metric — MonotoneDecline evaluated in place, without copying the
+// history out. The metric is invoked under the device lock and must
+// not call back into the device.
+func (d *Device) TrajectoryDecline(m statespace.SafenessMetric, window int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.trajectory.MonotoneDecline(m, window)
+}
+
+// stateView returns the live state without copying. Callers must hold
+// d.hmu (or know the device is boxed): the view may alias the state
+// scratch, which only the hmu holder mutates.
+func (d *Device) stateView() statespace.State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
 }
 
 // BindSensor ties a sensor to a state variable; Sense will write the
@@ -244,11 +319,53 @@ func (d *Device) Deactivated() bool {
 // phase of the autonomic loop). Sensor failures are collected; the
 // remaining sensors still update.
 func (d *Device) Sense() error {
+	if !d.boxed && d.hmu.TryLock() {
+		defer d.hmu.Unlock()
+		return d.senseFast()
+	}
+	return d.senseBoxed()
+}
+
+// senseFast writes sensor readings into the state scratch in place.
+// The caller holds d.hmu.
+func (d *Device) senseFast() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.deactivated {
 		return ErrDeactivated
 	}
+	st, aerr := d.scratch.Adopt(d.state)
+	if aerr != nil {
+		// Foreign-schema state (cannot happen through the public API);
+		// keep the boxed semantics rather than fail.
+		return d.senseBoxedLocked()
+	}
+	var errs []error
+	for _, b := range d.sensors {
+		v, err := b.sensor.Read()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("sensor %s: %w", b.String(), err))
+			continue
+		}
+		st, err = d.scratch.Set(b.variable, v)
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	d.state = st
+	return errors.Join(errs...)
+}
+
+func (d *Device) senseBoxed() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.deactivated {
+		return ErrDeactivated
+	}
+	return d.senseBoxedLocked()
+}
+
+func (d *Device) senseBoxedLocked() error {
 	var errs []error
 	st := d.state
 	for _, b := range d.sensors {
@@ -283,6 +400,20 @@ func (d *Device) HandleEvent(ev policy.Event) ([]Execution, error) {
 // parallel shard. Routing never enables auditing that was off: a
 // device or guard with a nil log still appends nothing.
 func (d *Device) HandleEventWith(ev policy.Event, j audit.Journal) ([]Execution, error) {
+	if !d.boxed && d.hmu.TryLock() {
+		defer d.hmu.Unlock()
+		return d.handleEvent(ev, j, true, nil)
+	}
+	return d.handleEvent(ev, j, false, nil)
+}
+
+// handleEvent implements HandleEventWith. With fast set (caller holds
+// d.hmu) it evaluates into the device's reused decision buffers and
+// executes actions through the state scratch; otherwise it takes the
+// original allocation-per-transition path. A non-nil buf is reused
+// (truncated) for the returned executions — callers passing one own
+// the previous result and accept it being overwritten.
+func (d *Device) handleEvent(ev policy.Event, j audit.Journal, fast bool, buf []Execution) ([]Execution, error) {
 	d.mu.Lock()
 	if d.deactivated {
 		d.mu.Unlock()
@@ -296,21 +427,40 @@ func (d *Device) HandleEventWith(ev policy.Event, j audit.Journal) ([]Execution,
 	// The trace context rides in the event labels (see telemetry.Inject)
 	// so causality survives bus hops, retries and duplication.
 	span := d.tracer.StartSpan("device.handle", d.id, telemetry.Extract(ev.Labels))
-	span.SetAttr("event", ev.Type)
 
 	snap := d.policies.Snapshot()
-	decision := snap.Evaluate(env)
+	var decision policy.Decision
+	if fast {
+		snap.EvaluateInto(env, &d.dec)
+		decision = d.dec
+	} else {
+		decision = snap.Evaluate(env)
+	}
 	d.lastEpoch.Store(snap.Epoch())
-	span.SetAttr("policy-epoch", fmt.Sprintf("%d", snap.Epoch()))
-	span.SetAttr("actions", fmt.Sprintf("%d", len(decision.Actions)))
+	if d.tracer != nil {
+		span.SetAttr("event", ev.Type)
+		span.SetAttr("policy-epoch", snap.EpochString())
+		span.SetAttr("actions", strconv.Itoa(len(decision.Actions)))
+	}
 
 	sc := span.Context()
 	if !sc.Valid() {
 		sc = telemetry.Extract(ev.Labels)
 	}
-	var out []Execution
+	out := buf[:0]
+	if buf == nil && len(decision.Actions) > 0 {
+		out = make([]Execution, 0, len(decision.Actions))
+	}
+	if fast && len(decision.Actions) > 1 && d.scratch.Owns(env.State) {
+		// With several actions, action i+1's guard must still see the
+		// event-time state after action i commits into the scratch in
+		// place; pin the env to a copy in the device's reused pin
+		// buffer (we hold hmu). Single-action events (the common case)
+		// commit after the last read, so they skip the copy.
+		env.State, d.envBuf = env.State.CloneInto(d.envBuf)
+	}
 	for _, action := range decision.Actions {
-		out = append(out, d.executeOne(env, g, snap, action, sc, j))
+		out = append(out, d.executeOne(env, g, snap, action, sc, j, fast))
 	}
 	span.Finish()
 	return out, nil
@@ -320,14 +470,14 @@ func (d *Device) HandleEventWith(ev policy.Event, j audit.Journal) ([]Execution,
 // policy evaluation (zero before the first event).
 func (d *Device) PolicyEpoch() uint64 { return d.lastEpoch.Load() }
 
-func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, parent telemetry.SpanContext, j audit.Journal) Execution {
+func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, parent telemetry.SpanContext, j audit.Journal, fast bool) Execution {
 	span := d.tracer.StartSpan("device.execute", d.id, parent)
 	span.SetAttr("action", action.Name)
 	trace := parent
 	if sc := span.Context(); sc.Valid() {
 		trace = sc
 	}
-	exec := d.executeTraced(env, g, snap, action, trace, j)
+	exec := d.executeTraced(env, g, snap, action, trace, j, fast)
 	switch {
 	case exec.Executed():
 		d.execExecuted.Inc()
@@ -347,9 +497,25 @@ func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot
 	return exec
 }
 
-func (d *Device) executeTraced(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, trace telemetry.SpanContext, j audit.Journal) Execution {
+func (d *Device) executeTraced(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, trace telemetry.SpanContext, j audit.Journal, fast bool) Execution {
 	d.mu.Lock()
-	next, err := d.state.Apply(action.Effect)
+	var next statespace.State
+	var err error
+	if fast {
+		// Predict into the scratch's next buffer: the view handed to
+		// the guard stays stable because only the hmu holder (us)
+		// mutates scratch, and concurrent boxed-path operations never
+		// touch it.
+		if _, aerr := d.scratch.Adopt(d.state); aerr == nil {
+			d.state = d.scratch.Cur()
+			next, err = d.scratch.Peek(action.Effect)
+		} else {
+			fast = false
+			next, err = d.state.Apply(action.Effect)
+		}
+	} else {
+		next, err = d.state.Apply(action.Effect)
+	}
 	if err != nil {
 		// An effect referencing unknown variables predicts nothing;
 		// fail closed by leaving Next invalid.
@@ -393,7 +559,17 @@ func (d *Device) executeTraced(env policy.Env, g guard.Guard, snap *policy.Snaps
 	}
 
 	d.mu.Lock()
-	if newState, err := d.state.Apply(verdict.Action.Effect); err == nil {
+	if fast && d.scratch.Owns(d.state) {
+		// Commit in place. The Owns re-check covers the window where a
+		// concurrent boxed-path operation replaced the state while the
+		// guard ran.
+		if newState, err := d.scratch.Commit(verdict.Action.Effect); err == nil {
+			d.state = newState
+			if err := d.trajectory.Append(newState); err != nil {
+				exec.Err = err
+			}
+		}
+	} else if newState, err := d.state.Apply(verdict.Action.Effect); err == nil {
 		d.state = newState
 		if err := d.trajectory.Append(newState); err != nil {
 			exec.Err = err
@@ -404,17 +580,38 @@ func (d *Device) executeTraced(env policy.Env, g guard.Guard, snap *policy.Snaps
 
 	exec.ObligationErrs = d.dischargeObligations(verdict.Action)
 	if log = audit.Resolve(j, log); log != nil {
-		entryCtx := map[string]string{
-			"event": env.Event.Type,
-			"guard": verdict.Guard,
-		}
+		var entryCtx map[string]string
 		if trace.Valid() {
-			entryCtx["trace"] = trace.Trace.String()
+			// Trace IDs are unique per span; traced appends build a
+			// fresh map.
+			entryCtx = map[string]string{
+				"event": env.Event.Type,
+				"guard": verdict.Guard,
+				"trace": trace.Trace.String(),
+			}
+		} else {
+			entryCtx = d.actionCtx.Get2("event", env.Event.Type, "guard", verdict.Guard)
 		}
-		log.Append(audit.KindAction, d.id, verdict.Action.String(), entryCtx)
+		log.AppendOwned(audit.KindAction, d.id, actionDetail(verdict.Action), entryCtx)
 	}
 	return exec
 }
+
+// actionDetail renders the action's String form through a pooled
+// buffer and dedups the result — one retained string per distinct
+// action, however often it executes.
+func actionDetail(a policy.Action) string {
+	b := detailPool.Get().(*[]byte)
+	*b = a.AppendText((*b)[:0])
+	s := intern.Dedup(*b)
+	detailPool.Put(b)
+	return s
+}
+
+var detailPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 96)
+	return &b
+}}
 
 func (d *Device) dischargeObligations(action policy.Action) map[string]error {
 	if len(action.Obligations) == 0 {

@@ -124,7 +124,7 @@ func (d *Device) PlanAndExecute(pl *Planner, env policy.Env, candidates []policy
 		sc = telemetry.Extract(env.Event.Labels)
 	}
 	// The guard already ruled; execute without re-checking.
-	exec := d.executeOne(env, nil, d.policies.Snapshot(), plan.Action, sc, nil)
+	exec := d.executeOne(env, nil, d.policies.Snapshot(), plan.Action, sc, nil, false)
 	span.Finish()
 	return plan, exec, nil
 }

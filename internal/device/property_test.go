@@ -1,0 +1,190 @@
+package device_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/device"
+	"repro/internal/guard"
+	"repro/internal/policy"
+	"repro/internal/policylang"
+	"repro/internal/statespace"
+)
+
+// TestPropertyBoxedScratchEquivalence is the layout-equivalence
+// property test for the memory-compact state plane: a device on the
+// arena/scratch fast path and a device on the boxed
+// allocation-per-transition path, driven through the same 1000
+// randomized MAPE ticks, must be indistinguishable — byte-identical
+// audit journals (guard verdicts included), identical state
+// trajectories, identical per-tick reports. It runs under -race via
+// `make test-race`, so it also exercises the TryLock fast/boxed
+// hand-off with the race detector watching.
+func TestPropertyBoxedScratchEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			const ticks = 1000
+			now := time.Date(2026, 8, 3, 0, 0, 0, 0, time.UTC)
+			clock := func() time.Time { return now }
+
+			compact := newPropertyRig(t, seed, false, clock)
+			boxed := newPropertyRig(t, seed, true, clock)
+
+			for i := 0; i < ticks; i++ {
+				now = now.Add(time.Second)
+				cr, cerr := compact.mgr.TickWith(now, nil)
+				br, berr := boxed.mgr.TickWith(now, nil)
+				if (cerr == nil) != (berr == nil) {
+					t.Fatalf("tick %d: compact err %v, boxed err %v", i, cerr, berr)
+				}
+				if cr.Class != br.Class || cr.Alerted != br.Alerted ||
+					len(cr.Executions) != len(br.Executions) {
+					t.Fatalf("tick %d: report diverged: compact %+v, boxed %+v", i, cr, br)
+				}
+				for k := range cr.Executions {
+					cv, bv := cr.Executions[k].Verdict, br.Executions[k].Verdict
+					if cv.Decision != bv.Decision || cv.Guard != bv.Guard || cv.Reason != bv.Reason {
+						t.Fatalf("tick %d execution %d: verdict diverged: %+v vs %+v", i, k, cv, bv)
+					}
+				}
+				cs, bs := compact.dev.CurrentState(), boxed.dev.CurrentState()
+				if cs.String() != bs.String() {
+					t.Fatalf("tick %d: state diverged: compact %s, boxed %s", i, cs, bs)
+				}
+			}
+
+			// The hash chain binds every field of every entry, so equal
+			// hashes over equal length mean byte-identical journals.
+			ce, be := compact.log.Entries(), boxed.log.Entries()
+			if len(ce) != len(be) {
+				t.Fatalf("journal length diverged: compact %d, boxed %d", len(ce), len(be))
+			}
+			if len(ce) == 0 {
+				t.Fatal("degenerate run: empty journal")
+			}
+			for i := range ce {
+				if ce[i].Hash != be[i].Hash {
+					t.Fatalf("journal entry %d diverged:\ncompact: %s %s %v\nboxed:   %s %s %v",
+						i, ce[i].Kind, ce[i].Detail, ce[i].Context,
+						be[i].Kind, be[i].Detail, be[i].Context)
+				}
+			}
+
+			ct, bt := compact.dev.Trajectory(), boxed.dev.Trajectory()
+			if len(ct) != len(bt) {
+				t.Fatalf("trajectory length diverged: compact %d, boxed %d", len(ct), len(bt))
+			}
+			for i := range ct {
+				if ct[i].String() != bt[i].String() {
+					t.Fatalf("trajectory %d diverged: compact %s, boxed %s", i, ct[i], bt[i])
+				}
+			}
+		})
+	}
+}
+
+type propertyRig struct {
+	dev *device.Device
+	mgr *device.Manager
+	log *audit.Log
+}
+
+// newPropertyRig builds one self-managing reactor device whose sensor
+// performs a seeded random heat walk. Both rigs of a property run get
+// the same seed, so they see identical observations in identical
+// order; only the state-plane layout differs.
+func newPropertyRig(t *testing.T, seed int64, boxedState bool, clock func() time.Time) *propertyRig {
+	t.Helper()
+	schema := statespace.MustSchema(statespace.Var("heat", 0, 100))
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") >= 80 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+	safeness := statespace.SafenessFunc(func(st statespace.State) float64 {
+		return (100 - st.MustGet("heat")) / 100
+	})
+	log := audit.New(audit.WithClock(clock))
+
+	pipe := guard.NewPipeline(log,
+		&guard.PreActionGuard{
+			Predictor: guard.HarmPredictorFunc(func(ctx guard.ActionContext) float64 {
+				if ctx.Action.Name == "vent" {
+					return 1
+				}
+				return 0
+			}),
+			Threshold: 0.5,
+		},
+		&guard.StateSpaceGuard{Classifier: classifier},
+	)
+
+	initial, err := schema.StateFromMap(map[string]float64{"heat": 30})
+	if err != nil {
+		t.Fatalf("initial state: %v", err)
+	}
+	d, err := device.New(device.Config{
+		ID: "prop-reactor", Type: "reactor", Organization: "us",
+		Initial:         initial,
+		Guard:           pipe,
+		Audit:           log,
+		TrajectoryBound: 8,
+		BoxedState:      boxedState,
+	})
+	if err != nil {
+		t.Fatalf("device.New: %v", err)
+	}
+
+	const source = `
+policy cool priority 5: on self-state-alert do cool effect heat -= 40
+policy vent priority 4: on self-state-alert do vent category kinetic-action`
+	policies, err := policylang.CompileSource(source, policy.OriginHuman)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, pol := range policies {
+		if err := d.Policies().Add(pol); err != nil {
+			t.Fatalf("add policy: %v", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	heat := 30.0
+	if err := d.BindSensor("heat", device.SensorFunc{Label: "thermo", Fn: func() (float64, error) {
+		heat += rng.Float64()*26 - 6 // upward-drifting random walk
+		if rng.Intn(17) == 0 {
+			heat += 25 // occasional spike straight into the bad region
+		}
+		if heat > 98 {
+			heat = 98
+		}
+		if heat < 5 {
+			heat = 5
+		}
+		return heat, nil
+	}}); err != nil {
+		t.Fatalf("bind sensor: %v", err)
+	}
+	if err := d.RegisterActuator("cool", device.ActuatorFunc{Label: "chiller",
+		Fn: func(policy.Action) error {
+			heat -= 40
+			if heat < 5 {
+				heat = 5
+			}
+			return nil
+		}}); err != nil {
+		t.Fatalf("register actuator: %v", err)
+	}
+	d.SetDefaultActuator(device.NopActuator{})
+
+	return &propertyRig{
+		dev: d,
+		mgr: &device.Manager{Device: d, Classifier: classifier, Metric: safeness},
+		log: log,
+	}
+}

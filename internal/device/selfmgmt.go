@@ -35,6 +35,16 @@ type Manager struct {
 	DeclineWindow int
 	// RepairEventType overrides DefaultRepairEvent.
 	RepairEventType string
+
+	// attrs is the reused event-attribute map of the fast tick path.
+	// It is guarded by the device's scratch mutex (hmu): only the
+	// holder of that lock runs the fast path, and the event handed to
+	// the device is fully consumed before the tick returns.
+	attrs map[string]float64
+	// execBuf is the reused execution slice of the fast tick path
+	// (same hmu guard as attrs). The Executions of a fast tick's
+	// Report are valid only until the next tick.
+	execBuf []Execution
 }
 
 // TickReport summarizes one MAPE pass.
@@ -73,13 +83,36 @@ func (m *Manager) Tick(now time.Time) (TickReport, error) {
 // maps/slices; anything outside this list belongs in a barrier
 // (unkeyed) event.
 func (m *Manager) TickWith(now time.Time, j audit.Journal) (TickReport, error) {
-	var report TickReport
-	report.SenseErr = m.Device.Sense()
-	if report.SenseErr == ErrDeactivated {
-		return report, ErrDeactivated
+	if !m.Device.boxed && m.Device.hmu.TryLock() {
+		defer m.Device.hmu.Unlock()
+		return m.tick(now, j, true)
 	}
+	return m.tick(now, j, false)
+}
 
-	st := m.Device.CurrentState()
+// tick implements TickWith. With fast set (the caller holds the
+// device's scratch mutex for the whole pass) the Monitor and Execute
+// phases run on the device's zero-allocation scratch path and the
+// Analyze phase classifies the live state view in place; the boxed
+// path snapshots state as the original implementation did.
+func (m *Manager) tick(now time.Time, j audit.Journal, fast bool) (TickReport, error) {
+	var report TickReport
+	var st statespace.State
+	if fast {
+		report.SenseErr = m.Device.senseFast()
+		if report.SenseErr == ErrDeactivated {
+			return report, ErrDeactivated
+		}
+		// Safe to read without copying: we hold hmu, so the scratch
+		// this view may alias is not mutated under us.
+		st = m.Device.stateView()
+	} else {
+		report.SenseErr = m.Device.Sense()
+		if report.SenseErr == ErrDeactivated {
+			return report, ErrDeactivated
+		}
+		st = m.Device.CurrentState()
+	}
 	report.Class = m.Classifier.Classify(st)
 
 	alert := report.Class == statespace.ClassBad
@@ -88,14 +121,7 @@ func (m *Manager) TickWith(now time.Time, j audit.Journal) (TickReport, error) {
 		if window <= 0 {
 			window = 3
 		}
-		traj := statespace.NewTrajectory(window + 1)
-		states := m.Device.Trajectory()
-		for _, s := range states {
-			if err := traj.Append(s); err != nil {
-				break
-			}
-		}
-		alert = traj.MonotoneDecline(m.Metric, window)
+		alert = m.Device.TrajectoryDecline(m.Metric, window)
 	}
 	if !alert {
 		return report, nil
@@ -106,16 +132,39 @@ func (m *Manager) TickWith(now time.Time, j audit.Journal) (TickReport, error) {
 	if eventType == "" {
 		eventType = DefaultRepairEvent
 	}
+	var attrs map[string]float64
+	if fast {
+		if m.attrs == nil {
+			m.attrs = make(map[string]float64, 2)
+		}
+		clear(m.attrs)
+		attrs = m.attrs
+	} else {
+		attrs = make(map[string]float64, 2)
+	}
+	attrs["class"] = float64(report.Class)
+	if m.Metric != nil {
+		attrs["safeness"] = m.Metric.Safeness(st)
+	}
 	ev := policy.Event{
 		Type:   eventType,
 		Source: m.Device.ID(),
 		Time:   now,
-		Attrs:  map[string]float64{"class": float64(report.Class)},
+		Attrs:  attrs,
 	}
-	if m.Metric != nil {
-		ev.Attrs["safeness"] = m.Metric.Safeness(st)
+	var execs []Execution
+	var err error
+	if fast {
+		if m.execBuf == nil {
+			m.execBuf = make([]Execution, 0, 4)
+		}
+		execs, err = m.Device.handleEvent(ev, j, true, m.execBuf)
+		if execs != nil {
+			m.execBuf = execs
+		}
+	} else {
+		execs, err = m.Device.HandleEventWith(ev, j)
 	}
-	execs, err := m.Device.HandleEventWith(ev, j)
 	report.Executions = execs
 	return report, err
 }

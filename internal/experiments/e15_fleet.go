@@ -199,8 +199,8 @@ policy vent priority 4: on self-state-alert do vent category kinetic-action`
 		Workers:    workers,
 		Wall:       wall,
 		JournalLen: log.Len(),
-		Actions:    len(log.ByKind(audit.KindAction)),
-		Denials:    len(log.ByKind(audit.KindDenial)),
+		Actions:    log.CountKind(audit.KindAction),
+		Denials:    log.CountKind(audit.KindDenial),
 	}
 	if entries := log.Entries(); len(entries) > 0 {
 		out.TipHash = entries[len(entries)-1].Hash

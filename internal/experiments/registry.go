@@ -1,6 +1,9 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Runner is one registered experiment.
 type Runner struct {
@@ -50,6 +53,13 @@ func All() []Runner {
 			Run: func() (Result, error) { return RunE16(E16Params{Seed: seed}) }},
 		{ID: "E17", Title: "Signed bundle distribution — fail-closed activation under chaos (IV/VI, extension)",
 			Run: func() (Result, error) { return RunE17(E17Params{Seed: seed}) }},
+		// The registered E18 runs a small fleet so `go test ./...` stays
+		// fast; the 10^5-device differential and the 10^6-device smoke
+		// run under `make bench-megafleet` (see EXPERIMENTS.md).
+		{ID: "E18", Title: "Memory-compact mega-fleet state (perf extension)",
+			Run: func() (Result, error) {
+				return RunE18(E18Params{Seed: seed, Fleet: 1500, Horizon: 8 * time.Second})
+			}},
 	}
 }
 

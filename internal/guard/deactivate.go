@@ -111,9 +111,15 @@ func (w *Watchdog) Sweep(devices []Deactivatable) (deactivated, failed []string)
 			continue
 		}
 		reason := ""
-		if st := d.CurrentState(); st.Valid() && w.Classifier != nil && w.Classifier.Classify(st) == statespace.ClassBad {
-			reason = fmt.Sprintf("device in bad state %s", st)
-		} else if w.DenialThreshold > 0 && w.Denials(d.ID()) >= w.DenialThreshold {
+		// Check the classifier before asking for state: CurrentState
+		// copies the state out on scratch-backed devices, and a sweep
+		// without a classifier would pay that on every device per tick.
+		if w.Classifier != nil {
+			if st := d.CurrentState(); st.Valid() && w.Classifier.Classify(st) == statespace.ClassBad {
+				reason = fmt.Sprintf("device in bad state %s", st)
+			}
+		}
+		if reason == "" && w.DenialThreshold > 0 && w.Denials(d.ID()) >= w.DenialThreshold {
 			reason = fmt.Sprintf("denial threshold reached (%d)", w.Denials(d.ID()))
 		}
 		if reason == "" {

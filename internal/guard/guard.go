@@ -128,6 +128,12 @@ type Guard interface {
 type Pipeline struct {
 	guards []Guard
 	log    *audit.Log
+	name   string // cached Name() — rebuilt on Append
+
+	// denyCtx caches the denial audit context: a device denied the
+	// same action by the same guard tick after tick reuses one
+	// immutable map instead of allocating one per denial.
+	denyCtx audit.CtxCache
 
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
@@ -150,7 +156,17 @@ var _ Guard = (*Pipeline)(nil)
 func NewPipeline(log *audit.Log, guards ...Guard) *Pipeline {
 	p := &Pipeline{log: log, guards: make([]Guard, len(guards))}
 	copy(p.guards, guards)
+	p.rename()
 	return p
+}
+
+// rename recomputes the cached pipeline name.
+func (p *Pipeline) rename() {
+	names := make([]string, len(p.guards))
+	for i, g := range p.guards {
+		names[i] = g.Name()
+	}
+	p.name = "pipeline(" + strings.Join(names, "\u2192") + ")"
 }
 
 // Instrument attaches telemetry: per-guard decision counters
@@ -217,14 +233,9 @@ func (gi *guardInstruments) observe(v Verdict, elapsed time.Duration) {
 	}
 }
 
-// Name identifies the pipeline.
-func (p *Pipeline) Name() string {
-	names := make([]string, len(p.guards))
-	for i, g := range p.guards {
-		names[i] = g.Name()
-	}
-	return "pipeline(" + strings.Join(names, "→") + ")"
-}
+// Name identifies the pipeline. The name is precomputed, so calling
+// it on the hot path costs nothing.
+func (p *Pipeline) Name() string { return p.name }
 
 // Check runs the action through every guard in order.
 func (p *Pipeline) Check(ctx ActionContext) Verdict {
@@ -271,10 +282,10 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 				// decision was made under — the "comprehensive context
 				// information" break-glass audits require.
 				if ctx.Policies != nil {
-					entryCtx["policy-epoch"] = fmt.Sprintf("%d", ctx.Policies.Epoch())
+					entryCtx["policy-epoch"] = ctx.Policies.EpochString()
 				}
 				addTrace(entryCtx, ctx.Trace)
-				log.Append(audit.KindBreakGlass, ctx.Actor, v.Reason, entryCtx)
+				log.AppendOwned(audit.KindBreakGlass, ctx.Actor, v.Reason, entryCtx)
 			}
 		case DecisionDeny, DecisionDeactivate:
 			if log != nil {
@@ -282,15 +293,26 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 				if v.Decision == DecisionDeactivate {
 					kind = audit.KindDeactivate
 				}
-				entryCtx := map[string]string{
-					"guard":  v.Guard,
-					"action": ctx.Action.Name,
+				var entryCtx map[string]string
+				switch {
+				case ctx.Trace.Valid():
+					// Trace IDs are unique per span, so a traced denial
+					// cannot share a cached map.
+					entryCtx = map[string]string{
+						"guard":  v.Guard,
+						"action": ctx.Action.Name,
+					}
+					if ctx.Policies != nil {
+						entryCtx["policy-epoch"] = ctx.Policies.EpochString()
+					}
+					addTrace(entryCtx, ctx.Trace)
+				case ctx.Policies != nil:
+					entryCtx = p.denyCtx.Get3("guard", v.Guard, "action", ctx.Action.Name,
+						"policy-epoch", ctx.Policies.EpochString())
+				default:
+					entryCtx = p.denyCtx.Get2("guard", v.Guard, "action", ctx.Action.Name)
 				}
-				if ctx.Policies != nil {
-					entryCtx["policy-epoch"] = fmt.Sprintf("%d", ctx.Policies.Epoch())
-				}
-				addTrace(entryCtx, ctx.Trace)
-				log.Append(kind, ctx.Actor, v.Reason, entryCtx)
+				log.AppendOwned(kind, ctx.Actor, v.Reason, entryCtx)
 			}
 			return v
 		default:
@@ -306,7 +328,7 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 					"action": ctx.Action.Name,
 				}
 				addTrace(entryCtx, ctx.Trace)
-				log.Append(audit.KindNote, ctx.Actor, reason, entryCtx)
+				log.AppendOwned(audit.KindNote, ctx.Actor, reason, entryCtx)
 			}
 			return Verdict{
 				Decision: DecisionDeny,
@@ -336,6 +358,7 @@ func addTrace(entryCtx map[string]string, sc telemetry.SpanContext) {
 // like Instrument — not safe concurrently with Check.)
 func (p *Pipeline) Append(guards ...Guard) {
 	p.guards = append(p.guards, guards...)
+	p.rename()
 	if p.metrics != nil {
 		for _, g := range guards {
 			p.instrumentsFor(g.Name())

@@ -2,6 +2,7 @@ package guard
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/ontology"
 	"repro/internal/policy"
@@ -83,7 +84,7 @@ func (g *PreActionGuard) Check(ctx ActionContext) Verdict {
 			return Verdict{
 				Decision: DecisionDeny,
 				Guard:    g.Name(),
-				Reason:   fmt.Sprintf("predicted direct harm probability %.2f for %s", p, ctx.Action.Name),
+				Reason:   harmReason(p, ctx.Action.Name),
 			}
 		}
 	}
@@ -103,12 +104,29 @@ func (g *PreActionGuard) Check(ctx ActionContext) Verdict {
 			action = action.WithObligations(names...)
 		}
 	}
+	reason := "no direct harm predicted; 0 obligations attached"
+	if n := len(action.Obligations) - len(ctx.Action.Obligations); n != 0 {
+		reason = fmt.Sprintf("no direct harm predicted; %d obligations attached", n)
+	}
 	return Verdict{
 		Decision: DecisionAllow,
 		Action:   action,
 		Guard:    g.Name(),
-		Reason:   fmt.Sprintf("no direct harm predicted; %d obligations attached", len(action.Obligations)-len(ctx.Action.Obligations)),
+		Reason:   reason,
 	}
+}
+
+// harmReason renders the denial reason without fmt — this line is
+// emitted once per denied action on the fleet hot path. The output is
+// byte-identical to the previous
+// fmt.Sprintf("predicted direct harm probability %.2f for %s", ...).
+func harmReason(p float64, action string) string {
+	b := reasonBuf()
+	*b = append(*b, "predicted direct harm probability "...)
+	*b = strconv.AppendFloat(*b, p, 'f', 2, 64)
+	*b = append(*b, " for "...)
+	*b = append(*b, action...)
+	return reasonDone(b)
 }
 
 // DegradedPredictor wraps a predictor with imperfect accuracy: with

@@ -1,0 +1,63 @@
+package guard
+
+import (
+	"sync"
+
+	"repro/internal/intern"
+	"repro/internal/statespace"
+)
+
+// Guard verdict reasons are appended to every audit entry, so on a
+// fleet run they are built millions of times. The helpers here render
+// the exact strings the previous fmt.Sprintf calls produced, but into
+// pooled buffers, and the finished rendering is deduplicated through
+// intern.Dedup — a fleet denying the same action for the same cause
+// every tick retains one reason string, not one per denial.
+
+var reasonPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 128)
+	return &b
+}}
+
+func reasonBuf() *[]byte {
+	b := reasonPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+func reasonDone(b *[]byte) string {
+	s := intern.Dedup(*b)
+	reasonPool.Put(b)
+	return s
+}
+
+// nextStateReason is the allow reason for a non-bad predicted state —
+// a constant per class, identical to
+// fmt.Sprintf("next state is %s", class).
+func nextStateReason(c statespace.Class) string {
+	switch c {
+	case statespace.ClassGood:
+		return "next state is good"
+	case statespace.ClassNeutral:
+		return "next state is neutral"
+	case statespace.ClassBad:
+		return "next state is bad"
+	default:
+		return "next state is unknown"
+	}
+}
+
+// holdStateReason renders the hold-position denial, identical to
+// fmt.Sprintf("action %s would enter bad state %s; holding %s state",
+// action, next, curr).
+func holdStateReason(action string, next statespace.State, curr statespace.Class) string {
+	b := reasonBuf()
+	*b = append(*b, "action "...)
+	*b = append(*b, action...)
+	*b = append(*b, " would enter bad state "...)
+	*b = next.AppendText(*b)
+	*b = append(*b, "; holding "...)
+	*b = append(*b, curr.String()...)
+	*b = append(*b, " state"...)
+	return reasonDone(b)
+}

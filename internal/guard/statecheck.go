@@ -52,7 +52,7 @@ func (g *StateSpaceGuard) Check(ctx ActionContext) Verdict {
 			Decision: DecisionAllow,
 			Action:   ctx.Action,
 			Guard:    g.Name(),
-			Reason:   fmt.Sprintf("next state is %s", nextClass),
+			Reason:   nextStateReason(nextClass),
 		}
 	}
 
@@ -65,7 +65,7 @@ func (g *StateSpaceGuard) Check(ctx ActionContext) Verdict {
 		return Verdict{
 			Decision: DecisionDeny,
 			Guard:    g.Name(),
-			Reason:   fmt.Sprintf("action %s would enter bad state %s; holding %s state", ctx.Action.Name, ctx.Next, currClass),
+			Reason:   holdStateReason(ctx.Action.Name, ctx.Next, currClass),
 		}
 	}
 

@@ -1,9 +1,7 @@
 package policy
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/ontology"
 	"repro/internal/statespace"
@@ -48,33 +46,50 @@ func (a Action) WithObligations(names ...string) Action {
 
 // String renders the action deterministically.
 func (a Action) String() string {
-	var b strings.Builder
-	b.WriteString(a.Name)
+	return string(a.AppendText(nil))
+}
+
+// AppendText appends the String rendering to dst and returns the
+// extended slice, letting hot audit paths build the rendering into a
+// reusable buffer with a single string allocation.
+func (a Action) AppendText(dst []byte) []byte {
+	dst = append(dst, a.Name...)
 	if a.Target != "" {
-		fmt.Fprintf(&b, "→%s", a.Target)
+		dst = append(dst, "→"...)
+		dst = append(dst, a.Target...)
 	}
 	if len(a.Params) > 0 {
-		keys := make([]string, 0, len(a.Params))
+		var arr [8]string
+		keys := arr[:0]
 		for k := range a.Params {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		b.WriteByte('(')
+		dst = append(dst, '(')
 		for i, k := range keys {
 			if i > 0 {
-				b.WriteString(", ")
+				dst = append(dst, ", "...)
 			}
-			fmt.Fprintf(&b, "%s=%s", k, a.Params[k])
+			dst = append(dst, k...)
+			dst = append(dst, '=')
+			dst = append(dst, a.Params[k]...)
 		}
-		b.WriteByte(')')
+		dst = append(dst, ')')
 	}
 	if len(a.Effect) > 0 {
-		b.WriteString(a.Effect.String())
+		dst = a.Effect.AppendText(dst)
 	}
 	if len(a.Obligations) > 0 {
-		fmt.Fprintf(&b, "+obligations[%s]", strings.Join(a.Obligations, ","))
+		dst = append(dst, "+obligations["...)
+		for i, o := range a.Obligations {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, o...)
+		}
+		dst = append(dst, ']')
 	}
-	return b.String()
+	return dst
 }
 
 // NoAction is the distinguished "take no action" choice — Section VI.B:

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -21,6 +22,9 @@ import (
 // Set.Invalidate to force a recompile.
 type Snapshot struct {
 	epoch uint64
+	// epochStr is the decimal rendering of epoch, precomputed so hot
+	// audit paths can stamp the policy epoch without formatting.
+	epochStr string
 	// revision is the policy-distribution revision the owning Set had
 	// activated when this snapshot compiled (0 = unmanaged). Because
 	// ApplyRevision installs a whole revision under one lock and one
@@ -62,6 +66,7 @@ func compileSnapshot(sorted []Policy, matchCat CategoryMatcher, epoch uint64) *S
 	start := time.Now()
 	snap := &Snapshot{
 		epoch:    epoch,
+		epochStr: strconv.FormatUint(epoch, 10),
 		matchCat: matchCat,
 		sorted:   make([]compiledPolicy, len(sorted)),
 		exact:    make(map[string][]int32),
@@ -115,6 +120,9 @@ func (s *Snapshot) covers(fb *Policy, a Action) bool {
 // recompile of the owning Set.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
+// EpochString returns the precomputed decimal form of Epoch.
+func (s *Snapshot) EpochString() string { return s.epochStr }
+
 // Revision returns the distribution revision this snapshot was
 // compiled from (0 = the set is not revision-managed).
 func (s *Snapshot) Revision() uint64 { return s.revision }
@@ -162,11 +170,38 @@ func (s *Snapshot) Evaluate(env Env) Decision {
 	return s.evaluate(env)
 }
 
+// EvaluateInto evaluates like Evaluate but writes the decision into d,
+// reusing the capacity of d.Matched and d.Actions across calls. It is
+// the zero-steady-state-allocation form for per-device MAPE scratch:
+// a caller that owns d and does not retain the slices between calls
+// pays nothing once the slices have grown to their working size.
+// d.Vetoed is reset to nil and allocated only when a veto occurs.
+func (s *Snapshot) EvaluateInto(env Env, d *Decision) {
+	d.Matched = d.Matched[:0]
+	d.Actions = d.Actions[:0]
+	d.Vetoed = nil
+	if h := s.evalMS; h != nil {
+		start := time.Now()
+		s.evaluateInto(env, d)
+		h.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+		return
+	}
+	s.evaluateInto(env, d)
+}
+
 func (s *Snapshot) evaluate(env Env) Decision {
 	var d Decision
+	s.evaluateInto(env, &d)
+	return d
+}
+
+// evaluateInto appends results to d's (possibly pre-owned) slices; the
+// caller has already reset them. Starting from nil slices this yields
+// exactly the Decision the original one-shot evaluate produced.
+func (s *Snapshot) evaluateInto(env Env, d *Decision) {
 	bucket := s.exact[env.Event.Type]
 	if len(bucket) == 0 && len(s.wildcard) == 0 {
-		return d
+		return
 	}
 
 	sc := scratchPool.Get().(*scratch)
@@ -199,15 +234,11 @@ func (s *Snapshot) evaluate(env Env) Decision {
 		}
 	}
 
-	if len(matched) > 0 {
-		d.Matched = make([]string, len(matched))
-		for k, idx := range matched {
-			d.Matched[k] = s.sorted[idx].ID
-		}
+	for _, idx := range matched {
+		d.Matched = append(d.Matched, s.sorted[idx].ID)
 	}
 	vetoes := sc.vetoes[:0]
 	if nDos > 0 {
-		actions := make([]Action, 0, nDos)
 		for _, idx := range matched {
 			p := &s.sorted[idx]
 			if p.Modality == ModalityForbid {
@@ -217,10 +248,7 @@ func (s *Snapshot) evaluate(env Env) Decision {
 				vetoes = append(vetoes, idx, fi)
 				continue
 			}
-			actions = append(actions, p.Action)
-		}
-		if len(actions) > 0 {
-			d.Actions = actions
+			d.Actions = append(d.Actions, p.Action)
 		}
 		if len(vetoes) > 0 {
 			d.Vetoed = make(map[string]string, len(vetoes)/2)
@@ -234,7 +262,6 @@ func (s *Snapshot) evaluate(env Env) Decision {
 	sc.forbids = forbids
 	sc.vetoes = vetoes
 	scratchPool.Put(sc)
-	return d
 }
 
 // firstCommon returns the smallest element present in both ascending

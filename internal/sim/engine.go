@@ -41,11 +41,25 @@ type Engine struct {
 	stop atomic.Bool
 
 	parallelism int
+
+	// directLane is the shared pass-through lane of serial execution;
+	// it is stateless, so every serial keyed callback can borrow it.
+	directLane Lane
+	// laneFree, segGroupOf, segGroups and segLanes are scratch reused
+	// across parallel segments. They are touched only on the run
+	// goroutine (worker goroutines see their pre-assigned lanes via the
+	// happens-before edge of goroutine creation), so they need no lock.
+	laneFree   []*Lane
+	segGroupOf map[string]int
+	segGroups  [][]int
+	segLanes   []*Lane
 }
 
 // NewEngine returns an engine over the clock.
 func NewEngine(clock *Clock) *Engine {
-	return &Engine{clock: clock}
+	e := &Engine{clock: clock}
+	e.directLane = Lane{eng: e, direct: true}
+	return e
 }
 
 // Clock returns the engine's clock.
@@ -217,7 +231,7 @@ func (e *Engine) execSerial(item *scheduled) {
 	fn, lfn := item.fn, item.lfn
 	e.release(item)
 	if lfn != nil {
-		lfn(&Lane{eng: e, direct: true})
+		lfn(&e.directLane)
 		return
 	}
 	fn()

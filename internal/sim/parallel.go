@@ -112,6 +112,11 @@ func (l *Lane) engine() *Engine {
 // audit entries chain onto their destination logs, staged schedules
 // get fresh sequence numbers. Called on the run goroutine, one lane at
 // a time, in event (time, seq) order.
+//
+// The lane keeps its buffers afterwards (truncated, closure references
+// dropped): pooled lanes reuse their staging slices and — because
+// Adopt leaves an adopted stage empty but intact — their per-log stage
+// journals across segments.
 func (l *Lane) flush(e *Engine) {
 	for _, j := range l.journals {
 		j.base.Adopt(j.stage)
@@ -127,8 +132,10 @@ func (l *Lane) flush(e *Engine) {
 		}
 		e.mu.Unlock()
 	}
-	l.journals = nil
-	l.staged = nil
+	for i := range l.staged {
+		l.staged[i] = stagedCall{}
+	}
+	l.staged = l.staged[:0]
 }
 
 // runParallel is Run's batch-parallel loop: it drains the queue one
@@ -209,19 +216,33 @@ func (e *Engine) runSegment(seg []*scheduled) {
 		return
 	}
 
-	// Group event indexes by shard, preserving first-appearance order.
-	groupOf := make(map[string]int, len(seg))
-	var groups [][]int
+	// Group event indexes by shard, preserving first-appearance order,
+	// in scratch reused across segments (run goroutine only).
+	if e.segGroupOf == nil {
+		e.segGroupOf = make(map[string]int, len(seg))
+	}
+	groupOf := e.segGroupOf
+	clear(groupOf)
+	groups := e.segGroups
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	ngroups := 0
 	for k, item := range seg {
 		gi, ok := groupOf[item.shard]
 		if !ok {
-			gi = len(groups)
+			gi = ngroups
 			groupOf[item.shard] = gi
-			groups = append(groups, nil)
+			if ngroups == len(groups) {
+				groups = append(groups, nil)
+			}
+			ngroups++
 		}
 		groups[gi] = append(groups[gi], k)
 	}
-	if len(groups) == 1 {
+	e.segGroups = groups
+	groups = groups[:ngroups]
+	if ngroups == 1 {
 		// One shard: no concurrency available, run inline.
 		for _, item := range seg {
 			e.execSerial(item)
@@ -230,15 +251,25 @@ func (e *Engine) runSegment(seg []*scheduled) {
 	}
 
 	workers := e.parallelism
-	if workers > len(groups) {
-		workers = len(groups)
+	if workers > ngroups {
+		workers = ngroups
+	}
+
+	// Pre-assign pooled lanes on the run goroutine — workers then
+	// allocate nothing per event, and the assignments are published to
+	// them by goroutine creation.
+	if cap(e.segLanes) < len(seg) {
+		e.segLanes = make([]*Lane, len(seg))
+	}
+	lanes := e.segLanes[:len(seg)]
+	for k := range lanes {
+		lanes[k] = e.acquireLane()
 	}
 
 	// Static round-robin partition of shard groups over the workers: a
 	// per-group dispatch channel costs more in synchronization than the
 	// imbalance it would fix for the fine-grained shards this engine
 	// runs (one device tick, one message delivery).
-	lanes := make([]*Lane, len(seg))
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
 	var panicked any
@@ -253,9 +284,7 @@ func (e *Engine) runSegment(seg []*scheduled) {
 			}()
 			for gi := w; gi < len(groups); gi += workers {
 				for _, k := range groups[gi] {
-					lane := &Lane{eng: e}
-					lanes[k] = lane
-					seg[k].lfn(lane)
+					seg[k].lfn(lanes[k])
 				}
 			}
 		}(w)
@@ -265,11 +294,24 @@ func (e *Engine) runSegment(seg []*scheduled) {
 		panic(panicked)
 	}
 
-	// Deterministic merge: lanes flush in event (time, seq) order.
+	// Deterministic merge: lanes flush in event (time, seq) order, then
+	// return to the free pool for the next segment.
 	for k, item := range seg {
-		if lanes[k] != nil {
-			lanes[k].flush(e)
-		}
+		lanes[k].flush(e)
 		e.release(item)
+		e.laneFree = append(e.laneFree, lanes[k])
+		lanes[k] = nil
 	}
+}
+
+// acquireLane pops a pooled lane or allocates a fresh one. Run
+// goroutine only.
+func (e *Engine) acquireLane() *Lane {
+	if n := len(e.laneFree); n > 0 {
+		l := e.laneFree[n-1]
+		e.laneFree[n-1] = nil
+		e.laneFree = e.laneFree[:n-1]
+		return l
+	}
+	return &Lane{eng: e}
 }

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/intern"
 )
 
 // Pos is a grid coordinate.
@@ -75,14 +77,31 @@ type HarmEvent struct {
 // World is a bounded grid containing humans and hazards. All methods
 // are safe for concurrent use. Movement and harm are deterministic
 // given the injected random source.
+//
+// Entities live in dense slices indexed through interned IDs rather
+// than per-entity maps: iteration (the per-step hot path) walks
+// contiguous memory in a canonical sorted-by-ID order with no per-step
+// allocation or sorting, and — unlike the previous map ranges — the
+// order hazards are tested against a human, and the order strike
+// victims are recorded, are deterministic by construction.
 type World struct {
-	mu      sync.Mutex
-	w, h    int
-	rng     *rand.Rand
-	clock   *Clock
-	humans  map[string]*Human
-	hazards map[string]*Hazard
-	harms   []HarmEvent
+	mu    sync.Mutex
+	w, h  int
+	rng   *rand.Rand
+	clock *Clock
+
+	// names interns entity IDs; humanIdx/hazardIdx map interned IDs to
+	// dense-slice positions.
+	names    *intern.Table
+	humans   []Human // dense, append-only
+	humanIdx map[intern.ID]int32
+	// humanOrder holds indices into humans sorted by human ID — the
+	// canonical walk order for stepping, striking and listing.
+	humanOrder []int32
+	hazards    []Hazard // dense, kept sorted by hazard ID
+	hazardIdx  map[intern.ID]int32
+
+	harms []HarmEvent
 	// markedAvoidProb is the probability a human avoids a marked
 	// hazard they step onto.
 	markedAvoidProb float64
@@ -119,8 +138,9 @@ func NewWorld(w, h int, rng *rand.Rand, clock *Clock, opts ...WorldOption) (*Wor
 		w: w, h: h,
 		rng:             rng,
 		clock:           clock,
-		humans:          make(map[string]*Human),
-		hazards:         make(map[string]*Hazard),
+		names:           intern.NewTable(),
+		humanIdx:        make(map[intern.ID]int32),
+		hazardIdx:       make(map[intern.ID]int32),
 		markedAvoidProb: 0.95,
 	}
 	for _, o := range opts {
@@ -139,10 +159,20 @@ func (w *World) AddHuman(id string, pos Pos, stationary bool) error {
 	if id == "" {
 		return fmt.Errorf("sim: human needs an ID")
 	}
-	if _, dup := w.humans[id]; dup {
+	key := w.names.Of(id)
+	if _, dup := w.humanIdx[key]; dup {
 		return fmt.Errorf("sim: duplicate human %q", id)
 	}
-	w.humans[id] = &Human{ID: id, Pos: w.clampLocked(pos), Stationary: stationary}
+	n := int32(len(w.humans))
+	w.humans = append(w.humans, Human{ID: id, Pos: w.clampLocked(pos), Stationary: stationary})
+	w.humanIdx[key] = n
+	// Insert into the canonical order at the sorted position.
+	at := sort.Search(len(w.humanOrder), func(i int) bool {
+		return w.humans[w.humanOrder[i]].ID >= id
+	})
+	w.humanOrder = append(w.humanOrder, 0)
+	copy(w.humanOrder[at+1:], w.humanOrder[at:])
+	w.humanOrder[at] = n
 	return nil
 }
 
@@ -153,10 +183,18 @@ func (w *World) AddHazard(id string, pos Pos, kind HazardKind, severity float64)
 	if id == "" {
 		return fmt.Errorf("sim: hazard needs an ID")
 	}
-	if _, dup := w.hazards[id]; dup {
+	key := w.names.Of(id)
+	if _, dup := w.hazardIdx[key]; dup {
 		return fmt.Errorf("sim: duplicate hazard %q", id)
 	}
-	w.hazards[id] = &Hazard{ID: id, Pos: w.clampLocked(pos), Kind: kind, Severity: severity}
+	at := sort.Search(len(w.hazards), func(i int) bool { return w.hazards[i].ID >= id })
+	w.hazards = append(w.hazards, Hazard{})
+	copy(w.hazards[at+1:], w.hazards[at:])
+	w.hazards[at] = Hazard{ID: id, Pos: w.clampLocked(pos), Kind: kind, Severity: severity}
+	w.hazardIdx[key] = int32(at)
+	for i := at + 1; i < len(w.hazards); i++ {
+		w.hazardIdx[w.names.Of(w.hazards[i].ID)] = int32(i)
+	}
 	return nil
 }
 
@@ -165,9 +203,9 @@ func (w *World) AddHazard(id string, pos Pos, kind HazardKind, severity float64)
 func (w *World) MarkHazard(id string) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	hz, ok := w.hazards[id]
+	i, ok := w.hazardIdx[w.names.Lookup(id)]
 	if ok {
-		hz.Marked = true
+		w.hazards[i].Marked = true
 	}
 	return ok
 }
@@ -177,9 +215,18 @@ func (w *World) MarkHazard(id string) bool {
 func (w *World) RemoveHazard(id string) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	_, ok := w.hazards[id]
-	delete(w.hazards, id)
-	return ok
+	key := w.names.Lookup(id)
+	at, ok := w.hazardIdx[key]
+	if !ok {
+		return false
+	}
+	copy(w.hazards[at:], w.hazards[at+1:])
+	w.hazards = w.hazards[:len(w.hazards)-1]
+	delete(w.hazardIdx, key)
+	for i := int(at); i < len(w.hazards); i++ {
+		w.hazardIdx[w.names.Of(w.hazards[i].ID)] = int32(i)
+	}
+	return true
 }
 
 // Humans returns copies of all humans, sorted by ID.
@@ -187,10 +234,9 @@ func (w *World) Humans() []Human {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	out := make([]Human, 0, len(w.humans))
-	for _, h := range w.humans {
-		out = append(out, *h)
+	for _, i := range w.humanOrder {
+		out = append(out, w.humans[i])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -198,11 +244,8 @@ func (w *World) Humans() []Human {
 func (w *World) Hazards() []Hazard {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	out := make([]Hazard, 0, len(w.hazards))
-	for _, hz := range w.hazards {
-		out = append(out, *hz)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out := make([]Hazard, len(w.hazards))
+	copy(out, w.hazards)
 	return out
 }
 
@@ -212,23 +255,24 @@ func (w *World) HumansWithin(pos Pos, radius int) []string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var out []string
-	for _, h := range w.humans {
+	for _, i := range w.humanOrder {
+		h := &w.humans[i]
 		if !h.Harmed && h.Pos.Dist(pos) <= radius {
 			out = append(out, h.ID)
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 
 // Strike applies direct harm at pos: every unharmed human within the
-// blast radius is harmed. It returns the number of humans harmed. This
-// models a kinetic device action.
+// blast radius is harmed, in canonical ID order. It returns the number
+// of humans harmed. This models a kinetic device action.
 func (w *World) Strike(pos Pos, radius int, severity float64, cause string) int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	n := 0
-	for _, h := range w.humans {
+	for _, i := range w.humanOrder {
+		h := &w.humans[i]
 		if h.Harmed || h.Pos.Dist(pos) > radius {
 			continue
 		}
@@ -248,19 +292,15 @@ func (w *World) Strike(pos Pos, radius int, severity float64, cause string) int 
 // StepHumans advances every unharmed, non-stationary human one random
 // 8-directional step (staying in bounds), then applies hazard
 // encounters: a human on a hazard cell is harmed unless the hazard is
-// marked and the human notices the warning.
+// marked and the human notices the warning. Humans step in canonical
+// ID order and hazards are tested in canonical ID order, so rng
+// consumption is deterministic.
 func (w *World) StepHumans() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 
-	ids := make([]string, 0, len(w.humans))
-	for id := range w.humans {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids) // deterministic rng consumption order
-
-	for _, id := range ids {
-		h := w.humans[id]
+	for _, idx := range w.humanOrder {
+		h := &w.humans[idx]
 		if h.Harmed {
 			continue
 		}
@@ -270,7 +310,8 @@ func (w *World) StepHumans() {
 				Y: h.Pos.Y + w.rng.Intn(3) - 1,
 			})
 		}
-		for _, hz := range w.hazards {
+		for k := range w.hazards {
+			hz := &w.hazards[k]
 			if hz.Pos != h.Pos {
 				continue
 			}

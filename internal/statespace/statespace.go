@@ -22,7 +22,6 @@ import (
 	"math"
 	"sort"
 	"strconv"
-	"strings"
 )
 
 // ErrUnknownVariable is returned when a state or delta references a
@@ -238,6 +237,31 @@ func (st State) Apply(d Delta) (State, error) {
 	return State{schema: st.schema, values: vs}, nil
 }
 
+// Clone returns a state with its own freshly-allocated backing array.
+// Use it to snapshot a state view whose backing storage (a Vector or
+// Scratch buffer) may be mutated later.
+func (st State) Clone() State {
+	if st.schema == nil {
+		return State{}
+	}
+	vs := make([]float64, len(st.values))
+	copy(vs, st.values)
+	return State{schema: st.schema, values: vs}
+}
+
+// CloneInto is Clone backed by a caller-owned buffer: the copy's
+// values live in buf (grown if needed), and the possibly-grown buffer
+// is returned for reuse. The clone is only valid until the caller
+// reuses buf, so this suits transient pins (e.g. holding the
+// event-time state across a multi-action commit), not retained state.
+func (st State) CloneInto(buf []float64) (State, []float64) {
+	if st.schema == nil {
+		return State{}, buf
+	}
+	buf = append(buf[:0], st.values...)
+	return State{schema: st.schema, values: buf}, buf
+}
+
 // Values returns a copy of the state's values in schema order.
 func (st State) Values() []float64 {
 	vs := make([]float64, len(st.values))
@@ -287,18 +311,26 @@ func (st State) String() string {
 	if st.schema == nil {
 		return "{invalid}"
 	}
-	var b strings.Builder
-	b.WriteByte('{')
+	return string(st.AppendText(make([]byte, 0, 16*len(st.values))))
+}
+
+// AppendText appends the String rendering of the state to dst and
+// returns the extended slice. It lets hot paths (guard denial reasons)
+// build messages into reusable buffers without intermediate strings.
+func (st State) AppendText(dst []byte) []byte {
+	if st.schema == nil {
+		return append(dst, "{invalid}"...)
+	}
+	dst = append(dst, '{')
 	for i, v := range st.values {
 		if i > 0 {
-			b.WriteString(", ")
+			dst = append(dst, ", "...)
 		}
-		b.WriteString(st.schema.vars[i].Name)
-		b.WriteByte('=')
-		b.WriteString(strconv.FormatFloat(v, 'g', 6, 64))
+		dst = append(dst, st.schema.vars[i].Name...)
+		dst = append(dst, '=')
+		dst = strconv.AppendFloat(dst, v, 'g', 6, 64)
 	}
-	b.WriteByte('}')
-	return b.String()
+	return append(dst, '}')
 }
 
 // Delta is a sparse, additive change to a state: variable name → amount
@@ -338,21 +370,31 @@ func (d Delta) Magnitude() float64 {
 
 // String renders the delta deterministically, sorted by variable name.
 func (d Delta) String() string {
-	names := make([]string, 0, len(d))
+	return string(d.AppendText(nil))
+}
+
+// AppendText appends the String rendering of the delta to dst and
+// returns the extended slice.
+func (d Delta) AppendText(dst []byte) []byte {
+	var arr [8]string
+	names := arr[:0]
 	for name := range d {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var b strings.Builder
-	b.WriteByte('(')
+	dst = append(dst, '(')
 	for i, name := range names {
 		if i > 0 {
-			b.WriteString(", ")
+			dst = append(dst, ", "...)
 		}
-		fmt.Fprintf(&b, "%s%+g", name, d[name])
+		dst = append(dst, name...)
+		v := d[name]
+		if v >= 0 {
+			dst = append(dst, '+')
+		}
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
 	}
-	b.WriteByte(')')
-	return b.String()
+	return append(dst, ')')
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -7,63 +7,157 @@ import "fmt"
 // to sequences of states with some cumulative effects that are
 // undesirable"; Trajectory provides the bookkeeping to detect such
 // sequences.
+//
+// Storage is columnar (struct-of-arrays): all recorded values live in
+// one flat float64 slab, row i at vals[i*width : (i+1)*width], instead
+// of one boxed State per step. Appending copies the state's values
+// into the slab, so callers may append views of mutable scratch
+// buffers. By default a trajectory is unbounded and append-only; a
+// trajectory built with NewRingTrajectory keeps only the most recent
+// bound states (enough for windowed decline detection at mega-fleet
+// scale, where retaining full histories for 10^5..10^6 devices is the
+// dominant memory cost).
 type Trajectory struct {
-	states []State
+	schema *Schema
+	vals   []float64 // flat slab, row-major
+	count  int       // states recorded (≤ bound when ring)
+	bound  int       // ring capacity in states; 0 = unbounded
+	head   int       // ring: row index of the oldest state
 }
 
-// NewTrajectory returns an empty trajectory with capacity for n states.
+// NewTrajectory returns an empty, unbounded trajectory with capacity
+// hint n states.
 func NewTrajectory(n int) *Trajectory {
-	return &Trajectory{states: make([]State, 0, n)}
+	t := &Trajectory{}
+	if n > 0 {
+		t.vals = make([]float64, 0, n)
+	}
+	return t
 }
 
-// Append records the next state. States of mismatched schemas are
-// rejected.
+// NewRingTrajectory returns a trajectory that retains only the most
+// recent bound states. bound must be at least 2 (one transition).
+func NewRingTrajectory(bound int) *Trajectory {
+	if bound < 2 {
+		bound = 2
+	}
+	return &Trajectory{bound: bound}
+}
+
+// width returns the row width, 0 before the first append.
+func (t *Trajectory) width() int {
+	if t.schema == nil {
+		return 0
+	}
+	return t.schema.Len()
+}
+
+// row returns the slab row (not logical index) of the i-th recorded
+// state, i in [0, count).
+func (t *Trajectory) row(i int) []float64 {
+	w := t.width()
+	r := i
+	if t.bound > 0 {
+		r = (t.head + i) % t.bound
+	}
+	return t.vals[r*w : (r+1)*w : (r+1)*w]
+}
+
+// view returns the i-th state as a zero-copy view of the slab. In ring
+// mode the view is only valid until the row is overwritten; internal
+// scans use it immediately, and the exported accessors copy when the
+// trajectory is bounded.
+func (t *Trajectory) view(i int) State {
+	return State{schema: t.schema, values: t.row(i)}
+}
+
+// Append records the next state by copying its values into the slab.
+// States of mismatched schemas are rejected.
 func (t *Trajectory) Append(st State) error {
 	if !st.Valid() {
 		return fmt.Errorf("statespace: cannot append invalid state")
 	}
-	if len(t.states) > 0 && t.states[0].Schema() != st.Schema() {
+	if t.schema == nil {
+		t.schema = st.schema
+		if t.bound > 0 {
+			t.vals = make([]float64, t.bound*t.schema.Len())
+		}
+	} else if t.schema != st.schema {
 		return fmt.Errorf("statespace: trajectory schema mismatch")
 	}
-	t.states = append(t.states, st)
+	w := t.width()
+	if t.bound == 0 {
+		t.vals = append(t.vals, st.values...)
+		t.count++
+		return nil
+	}
+	if t.count < t.bound {
+		copy(t.vals[t.count*w:(t.count+1)*w], st.values)
+		t.count++
+		return nil
+	}
+	// Full ring: overwrite the oldest row and advance the head.
+	copy(t.vals[t.head*w:(t.head+1)*w], st.values)
+	t.head = (t.head + 1) % t.bound
 	return nil
 }
 
-// Len returns the number of recorded states.
-func (t *Trajectory) Len() int { return len(t.states) }
+// Len returns the number of retained states.
+func (t *Trajectory) Len() int { return t.count }
 
-// At returns the i-th state. It panics if i is out of range, like a
-// slice index.
-func (t *Trajectory) At(i int) State { return t.states[i] }
+// Bound returns the ring capacity, or 0 for an unbounded trajectory.
+func (t *Trajectory) Bound() int { return t.bound }
 
-// Last returns the most recent state and whether one exists.
-func (t *Trajectory) Last() (State, bool) {
-	if len(t.states) == 0 {
-		return State{}, false
+// At returns the i-th retained state (0 = oldest). It panics if i is
+// out of range, like a slice index. Unbounded trajectories return a
+// zero-copy view (rows are never rewritten); ring trajectories return
+// a copy so the state stays valid after later appends.
+func (t *Trajectory) At(i int) State {
+	if i < 0 || i >= t.count {
+		panic(fmt.Sprintf("statespace: trajectory index %d out of range [0,%d)", i, t.count))
 	}
-	return t.states[len(t.states)-1], true
+	if t.bound == 0 {
+		return t.view(i)
+	}
+	vs := make([]float64, t.width())
+	copy(vs, t.row(i))
+	return State{schema: t.schema, values: vs}
 }
 
-// States returns a copy of the recorded states.
+// Last returns the most recent state and whether one exists. Ring
+// trajectories return a copy, as with At.
+func (t *Trajectory) Last() (State, bool) {
+	if t.count == 0 {
+		return State{}, false
+	}
+	return t.At(t.count - 1), true
+}
+
+// States returns the retained states, oldest first. Unbounded
+// trajectories return zero-copy views of the slab; ring trajectories
+// return copies.
 func (t *Trajectory) States() []State {
-	out := make([]State, len(t.states))
-	copy(out, t.states)
+	out := make([]State, t.count)
+	for i := range out {
+		out[i] = t.At(i)
+	}
 	return out
 }
 
-// ClassCounts tallies the classification of every recorded state.
+// ClassCounts tallies the classification of every retained state.
 func (t *Trajectory) ClassCounts(c Classifier) map[Class]int {
 	counts := make(map[Class]int, 3)
-	for _, st := range t.states {
-		counts[c.Classify(st)]++
+	for i := 0; i < t.count; i++ {
+		counts[c.Classify(t.view(i))]++
 	}
 	return counts
 }
 
-// FirstBad returns the index of the first state classified bad, or -1.
+// FirstBad returns the index of the first retained state classified
+// bad, or -1.
 func (t *Trajectory) FirstBad(c Classifier) int {
-	for i, st := range t.states {
-		if c.Classify(st) == ClassBad {
+	for i := 0; i < t.count; i++ {
+		if c.Classify(t.view(i)) == ClassBad {
 			return i
 		}
 	}
@@ -74,15 +168,15 @@ func (t *Trajectory) FirstBad(c Classifier) int {
 // declining safeness under the metric — the signature of a cumulative
 // drift toward a bad state even while every individual state remains
 // formally good or neutral. It returns false if fewer than window+1
-// states are recorded or window < 1.
+// states are retained or window < 1.
 func (t *Trajectory) MonotoneDecline(m SafenessMetric, window int) bool {
-	if window < 1 || len(t.states) < window+1 {
+	if window < 1 || t.count < window+1 {
 		return false
 	}
-	start := len(t.states) - window - 1
-	prev := m.Safeness(t.states[start])
-	for _, st := range t.states[start+1:] {
-		s := m.Safeness(st)
+	start := t.count - window - 1
+	prev := m.Safeness(t.view(start))
+	for i := start + 1; i < t.count; i++ {
+		s := m.Safeness(t.view(i))
 		if s >= prev {
 			return false
 		}
@@ -95,14 +189,14 @@ func (t *Trajectory) MonotoneDecline(m SafenessMetric, window int) bool {
 // transitions, clamped at zero when safeness improved. A large drop is
 // the quantitative form of an "undesirable cumulative effect".
 func (t *Trajectory) CumulativeDrop(m SafenessMetric, window int) float64 {
-	if window < 1 || len(t.states) < 2 {
+	if window < 1 || t.count < 2 {
 		return 0
 	}
-	start := len(t.states) - window - 1
+	start := t.count - window - 1
 	if start < 0 {
 		start = 0
 	}
-	drop := m.Safeness(t.states[start]) - m.Safeness(t.states[len(t.states)-1])
+	drop := m.Safeness(t.view(start)) - m.Safeness(t.view(t.count-1))
 	if drop < 0 {
 		return 0
 	}

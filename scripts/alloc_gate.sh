@@ -1,0 +1,45 @@
+#!/bin/sh
+# alloc_gate.sh — fail if the fleet benchmark exceeds its committed
+# allocation budget.
+#
+# Usage: sh scripts/alloc_gate.sh [bench_budget.json]
+#
+# Runs BenchmarkE15Fleet2 once (-benchtime=1x: one whole 10k-device,
+# 30-virtual-second fleet per iteration, so a single run is exact, not
+# noisy — allocation counts on this benchmark are deterministic to
+# within a few dozen) and compares allocs/op and B/op against
+# bench_budget.json. Only POSIX sh + awk, no dependencies.
+set -eu
+
+budget=${1:-bench_budget.json}
+[ -f "$budget" ] || { echo "alloc_gate: $budget not found" >&2; exit 1; }
+
+name=BenchmarkE15Fleet2
+want_allocs=$(awk -v name="$name" '
+	$0 ~ "\"" name "\"" { inb = 1 }
+	inb && /"allocs_per_op"/ { gsub(/[^0-9]/, ""); print; exit }' "$budget")
+want_bytes=$(awk -v name="$name" '
+	$0 ~ "\"" name "\"" { inb = 1 }
+	inb && /"bytes_per_op"/ { gsub(/[^0-9]/, ""); print; exit }' "$budget")
+[ -n "$want_allocs" ] && [ -n "$want_bytes" ] || {
+	echo "alloc_gate: no budget for $name in $budget" >&2; exit 1; }
+
+echo "alloc_gate: running $name (budget: $want_allocs allocs/op, $want_bytes B/op)"
+out=$(go test -run '^$' -bench "${name}\$" -benchtime=1x -benchmem ./internal/experiments)
+line=$(printf '%s\n' "$out" | grep "^$name")
+[ -n "$line" ] || { echo "alloc_gate: benchmark $name produced no result" >&2; exit 1; }
+
+got_allocs=$(printf '%s\n' "$line" | awk '{for (i=2; i<NF; i++) if ($(i+1) == "allocs/op") print $i}')
+got_bytes=$(printf '%s\n' "$line" | awk '{for (i=2; i<NF; i++) if ($(i+1) == "B/op") print $i}')
+
+fail=0
+if [ "$got_allocs" -gt "$want_allocs" ]; then
+	echo "alloc_gate: FAIL $name allocs/op $got_allocs > budget $want_allocs" >&2
+	fail=1
+fi
+if [ "$got_bytes" -gt "$want_bytes" ]; then
+	echo "alloc_gate: FAIL $name B/op $got_bytes > budget $want_bytes" >&2
+	fail=1
+fi
+[ "$fail" -eq 0 ] || exit 1
+echo "alloc_gate: OK $name $got_allocs allocs/op (budget $want_allocs), $got_bytes B/op (budget $want_bytes)"
