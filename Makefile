@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission bench-bundle bench-megafleet alloc-gate conservation fuzz-short experiments examples obs-smoke
+.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission bench-bundle bench-megafleet bench-serve alloc-gate conservation fuzz-short experiments examples obs-smoke serve-smoke
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	go vet ./...
 
-test: vet obs-smoke conservation fuzz-short alloc-gate
+test: vet obs-smoke serve-smoke conservation fuzz-short alloc-gate
 	go test -shuffle=on ./...
 
 # The fleet allocation gate: one exact run of the 10k-device parallel
@@ -41,6 +41,12 @@ conservation:
 # non-empty output.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# End-to-end control-plane check: start `skynetsim serve`, submit a
+# command, follow its trace to a connected decision tree, stream the
+# verifiable audit tail, burst it with loadgen and drain on SIGTERM.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Race-check the library packages (the chaos and resilience tests
 # exercise concurrent senders); `race` covers the whole module. The
@@ -86,6 +92,13 @@ bench-bundle:
 	go test -bench='BenchmarkBundle' -benchmem -count=5 \
 		./internal/bundle | tee bench_bundle.txt
 	sh scripts/bench_json.sh bench_bundle.txt BENCH_PR6.json
+
+# Control-plane latency benchmarks (PR8): three loadgen runs — closed
+# loop, open loop at 1x admission capacity, open loop at 2x — with
+# p50/p95/p99 decision latency into BENCH_PR8.json; the benchmark
+# lines also append BenchmarkServe* rows to BENCH_HISTORY.json.
+bench-serve:
+	sh scripts/bench_serve.sh BENCH_PR8.json BENCH_HISTORY.json
 
 # The 10k-device parallel-fleet benchmarks only (E15). One run per
 # variant: each iteration is a whole 30-virtual-second fleet, so

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/admission"
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/policy"
+	"repro/internal/policylang"
+	"repro/internal/server"
+	"repro/internal/statespace"
+	"repro/internal/telemetry"
+)
+
+// selfFleet is an in-process control-plane server over a synthetic
+// guarded fleet, for self-contained benchmarking.
+type selfFleet struct {
+	base string
+	srv  *server.Server
+}
+
+func (f *selfFleet) close() { _ = f.srv.Close() }
+
+// startFleet builds n guarded devices — heat/fuel state, the
+// standard pipeline with a never-bad classifier so the benchmark
+// measures the full decision path without denial noise — behind a
+// control-plane server on a loopback port. rate > 0 puts the
+// admission controller in front of every command.
+func startFleet(n int, rate, burst float64) (*selfFleet, error) {
+	schema, err := statespace.NewSchema(
+		statespace.Var("heat", 0, 1e12),
+		statespace.Var("fuel", 0, 100),
+	)
+	if err != nil {
+		return nil, err
+	}
+	classifier := statespace.ClassifierFunc(func(st statespace.State) statespace.Class {
+		if st.MustGet("heat") >= 1e12 {
+			return statespace.ClassBad
+		}
+		return statespace.ClassGood
+	})
+	log := audit.New()
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.WithTracerMetrics(reg))
+	collective, err := core.New(core.Config{
+		Name:       "loadgen",
+		Audit:      log,
+		KillSecret: []byte("loadgen"),
+		Classifier: classifier,
+		Telemetry:  reg,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	policies, err := policylang.CompileSource(
+		"policy work:\n    on tick\n    do run-load category work effect heat += 1",
+		policy.OriginHuman)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := schema.StateFromMap(map[string]float64{"fuel": 100})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		d, err := device.New(device.Config{
+			ID:           fmt.Sprintf("bench-%04d", i),
+			Type:         "bench-worker",
+			Organization: "loadgen",
+			Initial:      initial,
+			Guard: core.StandardPipeline(core.SafetyConfig{
+				Audit:      log,
+				Classifier: classifier,
+				Telemetry:  reg,
+				Tracer:     tracer,
+			}),
+			KillSwitch: collective.KillSwitch(),
+			Audit:      log,
+			Telemetry:  reg,
+			Tracer:     tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range policies {
+			if err := d.Policies().Add(p); err != nil {
+				return nil, err
+			}
+		}
+		if err := collective.AddDevice(d, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	var intake *admission.Controller
+	if rate > 0 {
+		intake, err = admission.New(admission.Config{
+			Rate:    rate,
+			Burst:   burst,
+			Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	srv, err := server.New(server.Config{
+		Collective: collective,
+		Audit:      log,
+		Registry:   reg,
+		Tracer:     tracer,
+		Admission:  intake,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	return &selfFleet{base: "http://" + srv.Addr(), srv: srv}, nil
+}

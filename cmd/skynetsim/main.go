@@ -198,10 +198,35 @@ type eventSpec struct {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	cmd := run
+	if len(args) > 0 && args[0] == "serve" {
+		cmd = runServe
+		args = args[1:]
+	}
+	if err := cmd(args, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "skynetsim:", err)
 		os.Exit(1)
 	}
+}
+
+// loadScenario reads, parses and defaults a scenario file.
+func loadScenario(path string) (scenario, error) {
+	var sc scenario
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sc, err
+	}
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return sc, fmt.Errorf("parse scenario: %w", err)
+	}
+	if sc.BadHeatAt <= 0 {
+		sc.BadHeatAt = 80
+	}
+	if sc.SweepEvery <= 0 {
+		sc.SweepEvery = 1
+	}
+	return sc, nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -217,19 +242,9 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: skynetsim [flags] <scenario.json>")
 	}
-	data, err := os.ReadFile(fs.Arg(0))
+	sc, err := loadScenario(fs.Arg(0))
 	if err != nil {
 		return err
-	}
-	var sc scenario
-	if err := json.Unmarshal(data, &sc); err != nil {
-		return fmt.Errorf("parse scenario: %w", err)
-	}
-	if sc.BadHeatAt <= 0 {
-		sc.BadHeatAt = 80
-	}
-	if sc.SweepEvery <= 0 {
-		sc.SweepEvery = 1
 	}
 
 	// One registry and one tracer back everything: framework telemetry,
@@ -377,49 +392,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	specByID := make(map[string]deviceSpec, len(sc.Devices))
-	for _, spec := range sc.Devices {
-		specByID[spec.ID] = spec
-		values := map[string]float64{}
-		if len(sc.Variables) == 0 {
-			values["heat"] = spec.Heat
-			values["fuel"] = 100
-		}
-		for k, v := range spec.State {
-			values[k] = v
-		}
-		initial, err := schema.StateFromMap(values)
-		if err != nil {
-			return fmt.Errorf("device %s: %w", spec.ID, err)
-		}
-		cfg := device.Config{
-			ID:           spec.ID,
-			Type:         spec.Type,
-			Organization: spec.Org,
-			Initial:      initial,
-			Guard:        guardFor(spec),
-			KillSwitch:   collective.KillSwitch(),
-			Audit:        log,
-			Telemetry:    registry,
-			Tracer:       tracer,
-		}
-		d, err := device.New(cfg)
-		if err != nil {
-			return err
-		}
-		if spec.Policies != "" {
-			policies, err := policylang.CompileSource(spec.Policies, policy.OriginHuman)
-			if err != nil {
-				return fmt.Errorf("device %s policies: %w", spec.ID, err)
-			}
-			for _, p := range policies {
-				if err := d.Policies().Add(p); err != nil {
-					return fmt.Errorf("device %s: %w", spec.ID, err)
-				}
-			}
-		}
-		if err := collective.AddDevice(d, nil); err != nil {
-			return err
-		}
+	if err := buildFleet(sc, schema, collective, guardFor, log, registry, tracer, specByID); err != nil {
+		return err
 	}
 
 	// The bundle distribution phase runs before the event stream so the
@@ -889,6 +863,63 @@ func runBundlePhase(sc scenario, collective *core.Collective, bus *network.Bus,
 // buildStateModel derives the schema and classifier from the scenario:
 // the default heat/fuel model with a badHeatAt threshold, or a custom
 // variable list with a disjunction of bad conditions.
+// buildFleet constructs the scenario's devices — initial state, guard
+// stack, compiled policies — and registers them with the collective.
+// specByID, when non-nil, is filled with each device's spec for later
+// lookups (the chaos crash/restart path needs them).
+func buildFleet(sc scenario, schema *statespace.Schema, collective *core.Collective,
+	guardFor func(deviceSpec) guard.Guard, log *audit.Log,
+	registry *telemetry.Registry, tracer *telemetry.Tracer,
+	specByID map[string]deviceSpec) error {
+	for _, spec := range sc.Devices {
+		if specByID != nil {
+			specByID[spec.ID] = spec
+		}
+		values := map[string]float64{}
+		if len(sc.Variables) == 0 {
+			values["heat"] = spec.Heat
+			values["fuel"] = 100
+		}
+		for k, v := range spec.State {
+			values[k] = v
+		}
+		initial, err := schema.StateFromMap(values)
+		if err != nil {
+			return fmt.Errorf("device %s: %w", spec.ID, err)
+		}
+		cfg := device.Config{
+			ID:           spec.ID,
+			Type:         spec.Type,
+			Organization: spec.Org,
+			Initial:      initial,
+			Guard:        guardFor(spec),
+			KillSwitch:   collective.KillSwitch(),
+			Audit:        log,
+			Telemetry:    registry,
+			Tracer:       tracer,
+		}
+		d, err := device.New(cfg)
+		if err != nil {
+			return err
+		}
+		if spec.Policies != "" {
+			policies, err := policylang.CompileSource(spec.Policies, policy.OriginHuman)
+			if err != nil {
+				return fmt.Errorf("device %s policies: %w", spec.ID, err)
+			}
+			for _, p := range policies {
+				if err := d.Policies().Add(p); err != nil {
+					return fmt.Errorf("device %s: %w", spec.ID, err)
+				}
+			}
+		}
+		if err := collective.AddDevice(d, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func buildStateModel(sc scenario) (*statespace.Schema, statespace.Classifier, error) {
 	if len(sc.Variables) == 0 {
 		schema, err := statespace.NewSchema(

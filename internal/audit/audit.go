@@ -237,6 +237,35 @@ func (l *Log) Entries() []Entry {
 	return out
 }
 
+// EntriesSince returns copies of the entries from index on, together
+// with the hash the tail chains onto (the hash of entry from-1, or ""
+// when from is 0). The pair is exactly what a streaming reader needs
+// to hand VerifyTail: the prefix before from is pinned by the
+// returned hash, so the tail verifies without rehashing it. A from
+// beyond the log's current length returns (nil, tip-hash): streaming
+// clients poll with their next expected index and get the anchor for
+// entries still to come. Negative from is clamped to 0.
+func (l *Log) EntriesSince(from int) ([]Entry, string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(l.entries) {
+		from = len(l.entries)
+	}
+	prev := ""
+	if from > 0 {
+		prev = l.entries[from-1].Hash
+	}
+	if from == len(l.entries) {
+		return nil, prev
+	}
+	out := make([]Entry, len(l.entries)-from)
+	copy(out, l.entries[from:])
+	return out, prev
+}
+
 // ByKind returns copies of all entries of the given kind, in order.
 func (l *Log) ByKind(kind Kind) []Entry {
 	l.mu.Lock()
@@ -314,19 +343,32 @@ func (l *Log) MarshalJSON() ([]byte, error) {
 // VerifyEntries validates a chain of entries exported from a Log (for
 // example, after JSON round-tripping on another machine).
 func VerifyEntries(entries []Entry) error {
-	prev := ""
+	return VerifyTail(0, "", entries)
+}
+
+// VerifyTail validates an exported tail of a chain: entries must be
+// the records from index from on, and prevHash the hash of the entry
+// before the tail ("" when from is 0). It is the exported-slice form
+// of Log.VerifyFrom — an audit-stream consumer that received
+// (from, prevHash, entries) over the wire can verify every streamed
+// prefix incrementally without ever holding the full journal.
+func VerifyTail(from int, prevHash string, entries []Entry) error {
+	if from < 0 {
+		return fmt.Errorf("%w: negative tail index %d", ErrChainBroken, from)
+	}
+	prev := prevHash
 	h := hasherPool.Get().(*hasher)
 	defer hasherPool.Put(h)
 	for i := range entries {
 		e := &entries[i]
-		if e.Seq != i {
-			return fmt.Errorf("%w: entry %d has seq %d", ErrChainBroken, i, e.Seq)
+		if e.Seq != from+i {
+			return fmt.Errorf("%w: entry %d has seq %d", ErrChainBroken, from+i, e.Seq)
 		}
 		if e.PrevHash != prev {
-			return fmt.Errorf("%w: entry %d back-link mismatch", ErrChainBroken, i)
+			return fmt.Errorf("%w: entry %d back-link mismatch", ErrChainBroken, from+i)
 		}
 		if !h.matches(e) {
-			return fmt.Errorf("%w: entry %d content hash mismatch", ErrChainBroken, i)
+			return fmt.Errorf("%w: entry %d content hash mismatch", ErrChainBroken, from+i)
 		}
 		prev = e.Hash
 	}

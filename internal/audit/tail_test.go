@@ -1,0 +1,85 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestEntriesSinceAndVerifyTail covers the streaming-read contract:
+// every (from, prevHash, tail) triple EntriesSince hands out must
+// pass VerifyTail, including the empty tail at the tip.
+func TestEntriesSinceAndVerifyTail(t *testing.T) {
+	l := New(WithClock(fixedClock()))
+	for i := 0; i < 8; i++ {
+		l.Append(KindAction, "actor", fmt.Sprintf("step %d", i), map[string]string{"i": fmt.Sprint(i)})
+	}
+	for from := 0; from <= l.Len(); from++ {
+		tail, prev := l.EntriesSince(from)
+		if want := l.Len() - from; len(tail) != want {
+			t.Fatalf("EntriesSince(%d) len = %d, want %d", from, len(tail), want)
+		}
+		if err := VerifyTail(from, prev, tail); err != nil {
+			t.Errorf("VerifyTail(%d): %v", from, err)
+		}
+	}
+	// The tip: empty tail, anchored on the last entry's hash.
+	tail, prev := l.EntriesSince(l.Len())
+	if len(tail) != 0 {
+		t.Fatalf("tip tail = %d entries, want 0", len(tail))
+	}
+	all := l.Entries()
+	if prev != all[len(all)-1].Hash {
+		t.Errorf("tip anchor = %q, want last hash %q", prev, all[len(all)-1].Hash)
+	}
+	// Appending after the tip read chains onto the returned anchor.
+	l.Append(KindNote, "actor", "later", nil)
+	next, _ := l.EntriesSince(l.Len() - 1)
+	if err := VerifyTail(l.Len()-1, prev, next); err != nil {
+		t.Errorf("VerifyTail across tip read: %v", err)
+	}
+}
+
+// TestEntriesSinceClamps checks the out-of-range conventions.
+func TestEntriesSinceClamps(t *testing.T) {
+	l := New(WithClock(fixedClock()))
+	l.Append(KindAction, "a", "d", nil)
+	if tail, prev := l.EntriesSince(-3); len(tail) != 1 || prev != "" {
+		t.Errorf("EntriesSince(-3) = %d entries, anchor %q; want 1, \"\"", len(tail), prev)
+	}
+	if tail, _ := l.EntriesSince(99); tail != nil {
+		t.Errorf("EntriesSince(beyond) = %d entries, want nil", len(tail))
+	}
+}
+
+// TestVerifyTailDetectsTamper verifies the tail checker catches a
+// wrong anchor, edited content, dropped entries and bad indices.
+func TestVerifyTailDetectsTamper(t *testing.T) {
+	l := New(WithClock(fixedClock()))
+	for i := 0; i < 6; i++ {
+		l.Append(KindAction, "actor", "detail", nil)
+	}
+	tail, prev := l.EntriesSince(2)
+
+	if err := VerifyTail(2, "bogus", tail); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("wrong anchor: err = %v, want ErrChainBroken", err)
+	}
+	edited := make([]Entry, len(tail))
+	copy(edited, tail)
+	edited[1].Detail = "tampered"
+	if err := VerifyTail(2, prev, edited); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("edited tail: err = %v, want ErrChainBroken", err)
+	}
+	if err := VerifyTail(2, prev, append([]Entry{}, tail[1:]...)); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("dropped head of tail: err = %v, want ErrChainBroken", err)
+	}
+	if err := VerifyTail(3, prev, tail); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("wrong from index: err = %v, want ErrChainBroken", err)
+	}
+	if err := VerifyTail(-1, prev, tail); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("negative from: err = %v, want ErrChainBroken", err)
+	}
+	if err := VerifyTail(2, prev, tail); err != nil {
+		t.Errorf("intact tail: %v", err)
+	}
+}

@@ -32,7 +32,10 @@ func mustCompileOne(t *testing.T, src string) policy.Policy {
 // one registry and asserts each registered metric name follows the
 // subsystem.name convention and appears in the telemetry taxonomy — a
 // misspelled or unregistered name at any call site fails here instead
-// of silently forking a new time series.
+// of silently forking a new time series. The server.* and loadgen.*
+// families register above core in the import graph; their real call
+// sites get the same CheckNames audit in internal/server
+// (TestServerMetricsAndNames) and cmd/loadgen (TestLoadgenMetricNames).
 func TestMetricNamesUnified(t *testing.T) {
 	log := audit.New()
 	metrics := sim.NewMetrics()

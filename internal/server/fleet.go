@@ -1,0 +1,74 @@
+package server
+
+import (
+	"net/http"
+)
+
+// DeviceView is one device's live control-plane summary.
+type DeviceView struct {
+	ID          string `json:"id"`
+	Type        string `json:"type"`
+	Org         string `json:"org,omitempty"`
+	Deactivated bool   `json:"deactivated"`
+	// PolicyEpoch is the last accepted signed-bundle epoch (0 when
+	// the device has never activated a distributed bundle).
+	PolicyEpoch uint64 `json:"policyEpoch"`
+	// PolicyRevision is the distribution revision the policy set last
+	// activated (0 = never bundle-managed, e.g. locally authored).
+	PolicyRevision uint64 `json:"policyRevision"`
+	// Policies is the active policy count.
+	Policies int `json:"policies"`
+	// State is the current state vector by variable name.
+	State map[string]float64 `json:"state"`
+}
+
+// FleetView is the GET /v1/fleet reply.
+type FleetView struct {
+	Name string `json:"name"`
+	// Active counts devices still under policy control; Total also
+	// includes deactivated ones.
+	Active int `json:"active"`
+	Total  int `json:"total"`
+	// AuditLen is the journal length — the tail index a new
+	// /v1/audit/tail stream would start from.
+	AuditLen int          `json:"auditLen"`
+	Devices  []DeviceView `json:"devices"`
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	devices := s.collective.Devices()
+	view := FleetView{
+		Name:     s.collective.Name(),
+		Total:    len(devices),
+		AuditLen: s.log.Len(),
+		Devices:  make([]DeviceView, 0, len(devices)),
+	}
+	for _, d := range devices {
+		dv := DeviceView{
+			ID:          d.ID(),
+			Type:        d.Type(),
+			Org:         d.Organization(),
+			Deactivated: d.Deactivated(),
+			PolicyEpoch: d.PolicyEpoch(),
+		}
+		if !dv.Deactivated {
+			view.Active++
+		}
+		if set := d.Policies(); set != nil {
+			dv.PolicyRevision = set.Revision()
+			dv.Policies = set.Len()
+		}
+		st := d.CurrentState()
+		names := st.Schema().Names()
+		dv.State = make(map[string]float64, len(names))
+		for i, name := range names {
+			dv.State[name] = st.Value(i)
+		}
+		view.Devices = append(view.Devices, dv)
+	}
+	writeJSON(w, http.StatusOK, view)
+}

@@ -77,8 +77,22 @@ func writeSample(w io.Writer, expoName string, s Sample) error {
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", expoName, expoLabels(s.Labels), formatFloat(h.Sum)); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", expoName, expoLabels(s.Labels), h.Count)
-		return err
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", expoName, expoLabels(s.Labels), h.Count); err != nil {
+			return err
+		}
+		// Summary-style quantile estimates (linear interpolation within
+		// buckets) so scrape-free consumers — the loadgen harness, curl
+		// against a live server — read p50/p95/p99 directly instead of
+		// re-deriving them from the bucket counts.
+		if h.Count > 0 {
+			for _, q := range expoQuantiles {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n",
+					expoName, labelsWithQuantile(s.Labels, q), formatFloat(h.Quantile(q))); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	default:
 		_, err := fmt.Fprintf(w, "%s%s %s\n", expoName, expoLabels(s.Labels), formatFloat(s.Value))
 		return err
@@ -118,6 +132,22 @@ func expoLabels(labels []Label) string {
 		}
 		fmt.Fprintf(&b, `%s="%s"`, sanitizeName(l.Key), escapeLabelValue(l.Value))
 	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// expoQuantiles are the quantile estimates rendered per histogram.
+var expoQuantiles = []float64{0.5, 0.95, 0.99}
+
+// labelsWithQuantile renders the labels plus the summary-convention
+// quantile label.
+func labelsWithQuantile(labels []Label, q float64) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		fmt.Fprintf(&b, `%s="%s",`, sanitizeName(l.Key), escapeLabelValue(l.Value))
+	}
+	fmt.Fprintf(&b, `quantile="%s"`, formatFloat(q))
 	b.WriteByte('}')
 	return b.String()
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 )
 
@@ -91,6 +92,56 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Count = cum
 	return s
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation within the bucket that holds
+// the target rank, assuming observations are uniformly spread inside
+// each bucket. The first bucket interpolates from zero (bounds are
+// latencies, never negative); a rank that lands in the +Inf overflow
+// bucket returns the highest finite bound — the estimate saturates
+// rather than extrapolating to infinity. An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	// Counts is cumulative: find the first bucket whose cumulative
+	// count reaches the rank.
+	i := sort.Search(len(s.Counts), func(i int) bool {
+		return float64(s.Counts[i]) >= rank
+	})
+	if i >= len(s.Bounds) {
+		// Overflow bucket: no finite upper bound to interpolate toward.
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	lower, upper := 0.0, s.Bounds[i]
+	var below uint64
+	if i > 0 {
+		lower = s.Bounds[i-1]
+		below = s.Counts[i-1]
+	}
+	inBucket := s.Counts[i] - below
+	if inBucket == 0 {
+		return upper
+	}
+	frac := (rank - float64(below)) / float64(inBucket)
+	return lower + (upper-lower)*frac
+}
+
+// Quantile estimates the q-quantile from a consistent snapshot (0 on
+// a nil or empty histogram).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
 }
 
 // Count returns the number of observations (0 on nil).

@@ -112,6 +112,18 @@ var defs = []Def{
 	// trace — the tracer's own accounting.
 	{Name: "trace.spans", Kind: KindCounter, Help: "Spans finished into the trace ring buffer."},
 	{Name: "trace.evicted", Kind: KindCounter, Help: "Finished spans evicted from the full ring buffer."},
+
+	// server — the live control plane (skynetsim serve).
+	{Name: "server.requests", Kind: KindCounter, Labels: []string{"route", "code"}, Help: "Control-plane HTTP requests, by route and status code."},
+	{Name: "server.commands", Kind: KindCounter, Labels: []string{"result"}, Help: "Commands submitted via POST /v1/commands, by result (ok, shed, error)."},
+	{Name: "server.decision_ms", Kind: KindHistogram, Help: "End-to-end decision latency of submitted commands (intake to final verdict) in milliseconds."},
+	{Name: "server.audit_streamed", Kind: KindCounter, Help: "Audit entries streamed to /v1/audit/tail clients."},
+	{Name: "server.audit_streams", Kind: KindGauge, Help: "Audit tail streams currently open."},
+
+	// loadgen — the latency-benchmarked load harness.
+	{Name: "loadgen.requests", Kind: KindCounter, Labels: []string{"result"}, Help: "Load-generator requests, by result (ok, shed, error)."},
+	{Name: "loadgen.overflow", Kind: KindCounter, Help: "Open-loop ticks skipped because every in-flight slot was busy (the server lags the offered rate)."},
+	{Name: "loadgen.latency_ms", Kind: KindHistogram, Help: "Client-observed decision latency in milliseconds."},
 }
 
 var defByName = func() map[string]Def {

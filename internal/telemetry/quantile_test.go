@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuantileUniform feeds a uniform distribution over [0, 100) and
+// checks the interpolated quantiles against the analytic values. The
+// bucket bounds deliberately do not align with the quantile points,
+// so accuracy comes from the within-bucket interpolation.
+func TestQuantileUniform(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	const n = 10000
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i) * 100 / n)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.95, 95}, {0.99, 99}, {0.25, 25}, {1, 100},
+	} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 0.5 {
+			t.Errorf("Quantile(%g) = %g, want %g ± 0.5", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileSkewed checks a two-point distribution: the quantile
+// must jump buckets with the mass, interpolating only inside the
+// bucket that holds the rank.
+func TestQuantileSkewed(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	// 90 observations in (1, 10], 10 in (10, 100].
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	s := h.Snapshot()
+	// p50: rank 50 of 90 in bucket (1,10] → 1 + 9*(50/90) = 6.
+	if got, want := s.Quantile(0.5), 6.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %g, want %g", got, want)
+	}
+	// p95: rank 95; 90 below, 5 of 10 into (10,100] → 10 + 90*0.5 = 55.
+	if got, want := s.Quantile(0.95), 55.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(0.95) = %g, want %g", got, want)
+	}
+	// p99: 9 of 10 into (10,100] → 10 + 90*0.9 = 91.
+	if got, want := s.Quantile(0.99), 91.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(0.99) = %g, want %g", got, want)
+	}
+}
+
+// TestQuantileOverflowSaturates verifies a rank landing in the +Inf
+// bucket returns the highest finite bound instead of extrapolating.
+func TestQuantileOverflowSaturates(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(1e6) // overflow bucket
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 10 {
+		t.Errorf("Quantile(0.99) with overflow mass = %g, want 10 (saturated)", got)
+	}
+}
+
+// TestQuantileEdges covers the empty histogram, q clamping, and the
+// nil receiver.
+func TestQuantileEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+	h := newHistogram([]float64{1, 10})
+	h.Observe(5)
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("Quantile(-1) = %g, want clamped ≥ 0", got)
+	}
+	if got, want := h.Quantile(2), h.Quantile(1); got != want {
+		t.Errorf("Quantile(2) = %g, want clamp to Quantile(1) = %g", got, want)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+}
+
+// TestExpositionQuantiles checks that histogram families render
+// summary-style quantile lines, and that empty histograms omit them.
+func TestExpositionQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("guard.check_ms", "guard", "g1")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	r.Histogram("admission.wait_ms", "class", "human") // no observations
+	var b strings.Builder
+	if err := WriteMetrics(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		want := `guard_check_ms{guard="g1",quantile="` + q + `"}`
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing quantile line %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `admission_wait_ms{class="human",quantile=`) {
+		t.Errorf("empty histogram rendered quantile lines\n%s", out)
+	}
+}

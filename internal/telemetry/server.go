@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -8,21 +9,13 @@ import (
 	"time"
 )
 
-// Server is the opt-in live exposition endpoint: /metrics (Prometheus
-// text format), /traces (recent finished spans as JSON), /healthz.
-type Server struct {
-	ln  net.Listener
-	srv *http.Server
-}
-
-// Serve starts the endpoint on addr (e.g. ":9090" or "127.0.0.1:0").
-// The registry and tracer may each be nil; the corresponding endpoint
-// then serves empty output.
-func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// Handler returns the live exposition endpoints as a mux: /metrics
+// (Prometheus text format), /traces (recent finished spans as JSON)
+// and /healthz. The registry and tracer may each be nil; the
+// corresponding endpoint then serves empty output. The control-plane
+// server mounts this same mux, so batch runs and live serving expose
+// identical telemetry routes.
+func Handler(reg *Registry, tracer *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -58,10 +51,28 @@ func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
+	return mux
+}
+
+// Server is the opt-in live exposition endpoint serving Handler's
+// routes.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the endpoint on addr (e.g. ":9090" or "127.0.0.1:0").
+// The registry and tracer may each be nil; the corresponding endpoint
+// then serves empty output.
+func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           mux,
+			Handler:           Handler(reg, tracer),
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
@@ -72,5 +83,20 @@ func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the endpoint.
+// Shutdown stops the endpoint gracefully: the listener closes
+// immediately (no new connections), in-flight requests drain until
+// the context expires, and only then are the remaining connections
+// force-closed. Pass a deadline-carrying context for a bounded drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// The drain deadline expired with requests still in flight;
+		// force-close them rather than leaking the connections.
+		_ = s.srv.Close()
+	}
+	return err
+}
+
+// Close stops the endpoint immediately, abandoning in-flight
+// requests; prefer Shutdown for a drained stop.
 func (s *Server) Close() error { return s.srv.Close() }

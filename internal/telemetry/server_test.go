@@ -1,11 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -92,6 +95,92 @@ func TestServerEndpoints(t *testing.T) {
 
 	if code, _ := get(t, base+"/traces?trace=nothex"); code != http.StatusBadRequest {
 		t.Errorf("bad trace id = %d, want 400", code)
+	}
+}
+
+// TestServerGracefulShutdown is the regression test for the drain
+// path: a request in flight when Shutdown is called must complete,
+// the listener must stop accepting new connections immediately, and
+// Shutdown must return without error inside the drain deadline.
+func TestServerGracefulShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bus.delivered").Add(7)
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	// Open a connection and start — but do not finish — a request, so
+	// the connection is active when Shutdown begins.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /metrics HTTP/1.1\r\nHost: t\r\n"); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	// The listener must refuse new connections once shutdown has begun
+	// (poll briefly: Shutdown closes it before draining).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", srv.Addr(), 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after Shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Finish the in-flight request; it must still be served.
+	if _, err := io.WriteString(conn, "Connection: close\r\n\r\n"); err != nil {
+		t.Fatalf("finish request: %v", err)
+	}
+	body, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("read drained response: %v", err)
+	}
+	if !strings.Contains(string(body), "200 OK") || !strings.Contains(string(body), "bus_delivered 7") {
+		t.Errorf("drained request not served:\n%s", body)
+	}
+
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("Shutdown = %v, want nil (drained)", err)
+	}
+}
+
+// TestServerShutdownDeadline verifies a hung connection cannot stall
+// Shutdown past its context deadline: the error is returned and the
+// connection is force-closed.
+func TestServerShutdownDeadline(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Start a request and leave it hanging forever.
+	if _, err := io.WriteString(conn, "GET /healthz HTTP/1.1\r\nHost: t\r\n"); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Error("Shutdown on a hung connection = nil, want deadline error")
 	}
 }
 

@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench_serve.sh — latency-benchmark the live control plane.
+#
+# Usage: sh scripts/bench_serve.sh [BENCH_PR8.json [BENCH_HISTORY.json]]
+#
+# Three loadgen runs against a self-hosted fleet (traffic still
+# crosses real loopback HTTP):
+#
+#   ServeClosed_w8  closed loop, 8 workers — server capacity and the
+#                   latency floor
+#   ServeOpen_1x    open loop at the admission gate's aggregate
+#                   capacity (16 devices x 50/s = 800 rps)
+#   ServeOpen_2x    open loop at 2x capacity — the shed path and the
+#                   latency of surviving decisions under overload
+#
+# Each run's full report (counts + p50/p95/p99 decision latency from
+# the histogram quantiles) lands in the output JSON keyed by run
+# name; the benchmark-formatted lines are folded into the cumulative
+# BENCH_HISTORY.json via bench_json.sh.
+set -eu
+
+out=${1:-BENCH_PR8.json}
+hist=${2:-BENCH_HISTORY.json}
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+run_one() {
+    name=$1
+    shift
+    echo "== $name =="
+    "$TMP/loadgen" "$@" --bench-name "$name" --out "$TMP/$name.json" |
+        tee -a "$TMP/bench_serve.txt"
+}
+
+run_one ServeClosed_w8 --mode closed --workers 8 --duration 2s --devices 16
+run_one ServeOpen_1x --mode open --rps 800 --duration 2s --devices 16 \
+    --admission-rate 50 --admission-burst 10
+run_one ServeOpen_2x --mode open --rps 1600 --duration 2s --devices 16 \
+    --admission-rate 50 --admission-burst 10
+
+{
+    printf '{\n  "host": "%s",\n  "runs": {\n' "$(uname -sm)"
+    first=1
+    for name in ServeClosed_w8 ServeOpen_1x ServeOpen_2x; do
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    "%s": %s' "$name" "$(cat "$TMP/$name.json")"
+    done
+    printf '\n  }\n}\n'
+} >"$out"
+echo "bench_serve: wrote 3 runs to $out"
+
+# Fold the benchmark lines into the cumulative history (the distilled
+# per-run JSON is a by-product we discard; the reports above are
+# richer).
+grep '^Benchmark' "$TMP/bench_serve.txt" >"$TMP/bench_lines.txt"
+sh scripts/bench_json.sh "$TMP/bench_lines.txt" "$TMP/distilled.json" "$hist"

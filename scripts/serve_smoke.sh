@@ -1,0 +1,100 @@
+#!/bin/sh
+# Control-plane smoke test: start `skynetsim serve` on a live fleet,
+# submit a command over POST /v1/commands, follow its trace ID to a
+# connected decision tree, stream the hash-chained audit tail, check
+# the fleet view and the server's own latency quantiles, drive a
+# short loadgen burst against the running server, then drain it with
+# SIGTERM.
+set -eu
+
+ADDR="127.0.0.1:19627"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"; [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true' EXIT
+
+go build -o "$TMP/skynetsim" ./cmd/skynetsim
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+"$TMP/skynetsim" serve --addr "$ADDR" scenarios/overheat.json \
+    >"$TMP/serve.out" 2>&1 &
+SRV_PID=$!
+
+fail() {
+    echo "serve-smoke: $1" >&2
+    echo "--- serve.out ---" >&2
+    cat "$TMP/serve.out" >&2
+    exit 1
+}
+
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "control plane never came up"
+    sleep 0.2
+done
+
+# Submit one fleet-wide command and capture its trace ID.
+curl -fsS -X POST "http://$ADDR/v1/commands" \
+    -d '{"type":"tick","target":"*","source":"smoke"}' >"$TMP/command.json"
+grep -q '"executed":2' "$TMP/command.json" ||
+    fail "command did not execute on both devices: $(cat "$TMP/command.json")"
+TRACE=$(sed 's/.*"traceId":"\([0-9a-f]*\)".*/\1/' "$TMP/command.json")
+[ -n "$TRACE" ] || fail "command response has no trace ID"
+
+# The decision must reassemble as one connected span tree from intake
+# to execution, with its audit footprint attached.
+curl -fsS "http://$ADDR/v1/decisions/$TRACE" >"$TMP/decision.json"
+grep -q '"connected":true' "$TMP/decision.json" ||
+    fail "decision tree not connected: $(cat "$TMP/decision.json")"
+for span in server.command device.handle device.execute guard.check; do
+    grep -q "\"name\":\"$span\"" "$TMP/decision.json" ||
+        fail "decision tree missing $span span"
+done
+grep -q '"audit":\[' "$TMP/decision.json" ||
+    fail "decision has no audit entries"
+
+# The audit tail must stream a verifiable prefix: anchor header first,
+# then hash-chained entries.
+curl -fsS "http://$ADDR/v1/audit/tail" >"$TMP/tail.ndjson"
+head -1 "$TMP/tail.ndjson" | grep -q '"prevHash"' ||
+    fail "audit tail missing anchor header"
+[ "$(wc -l <"$TMP/tail.ndjson")" -ge 3 ] ||
+    fail "audit tail streamed fewer than 2 entries"
+tail -n +2 "$TMP/tail.ndjson" | grep -vq '"hash":' &&
+    fail "audit tail entry without hash" || true
+
+# Fleet view: both devices, live state.
+curl -fsS "http://$ADDR/v1/fleet" >"$TMP/fleet.json"
+grep -q '"total":2' "$TMP/fleet.json" || fail "fleet view wrong device count"
+grep -q '"heat":' "$TMP/fleet.json" || fail "fleet view missing state vector"
+
+# A short closed-loop burst against the RUNNING server, then check
+# the server-side latency histogram grew quantile lines.
+"$TMP/loadgen" --addr "http://$ADDR" --mode closed --workers 2 \
+    --duration 500ms >"$TMP/loadgen.out" 2>&1 ||
+    fail "loadgen against running server failed: $(cat "$TMP/loadgen.out")"
+grep -q 'p50' "$TMP/loadgen.out" || fail "loadgen reported no quantiles"
+
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.txt"
+grep -q '^server_decision_ms{quantile="0.99"}' "$TMP/metrics.txt" ||
+    fail "/metrics missing server decision-latency quantiles"
+grep -q '^server_commands{result="ok"}' "$TMP/metrics.txt" ||
+    fail "/metrics missing command result counters"
+# Every sample line must still parse as Prometheus text.
+if grep -vE '^(#.*|[a-z_]+(\{[^}]*\})? [0-9eE.+-]+)$' "$TMP/metrics.txt" |
+    grep -q .; then
+    fail "/metrics has malformed lines"
+fi
+
+# Graceful drain on SIGTERM.
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "server did not exit after SIGTERM"
+    sleep 0.2
+done
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+grep -q 'drained' "$TMP/serve.out" || fail "server did not report a drain"
+
+echo "serve-smoke: ok"
