@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission bench-bundle bench-megafleet bench-serve alloc-gate conservation fuzz-short experiments examples obs-smoke serve-smoke
+.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission bench-bundle bench-megafleet bench-serve bench-residual alloc-gate residual-gate conservation fuzz-short experiments examples obs-smoke serve-smoke
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	go vet ./...
 
-test: vet obs-smoke serve-smoke conservation fuzz-short alloc-gate
+test: vet obs-smoke serve-smoke conservation fuzz-short alloc-gate residual-gate
 	go test -shuffle=on ./...
 
 # The fleet allocation gate: one exact run of the 10k-device parallel
@@ -20,6 +20,13 @@ test: vet obs-smoke serve-smoke conservation fuzz-short alloc-gate
 # benchmark review three PRs later.
 alloc-gate:
 	sh scripts/alloc_gate.sh bench_budget.json
+
+# The partial-evaluation gate: the 10k-policy/64-class residual must
+# stay at least 10x faster than the full snapshot deciding for the
+# same device (measured margin ~22x; the ratio of two same-process
+# benchmarks is robust to host speed).
+residual-gate:
+	sh scripts/residual_gate.sh
 
 # A short randomized pass over the bundle wire-format decoder on top of
 # its seeded corpus: no input may reach live policy state or crash the
@@ -56,8 +63,8 @@ serve-smoke:
 # order really is deterministic.
 test-race:
 	go test -race ./internal/...
-	go test -race -count=2 -run 'TestParallelDeterminism|TestE15Determinism|TestPropertyBoxedScratchEquivalence' \
-		./internal/sim ./internal/experiments ./internal/device
+	go test -race -count=2 -run 'TestParallelDeterminism|TestE15Determinism|TestPropertyBoxedScratchEquivalence|TestDifferentialResidualVsFull|TestResidualConcurrentSpecialize' \
+		./internal/sim ./internal/experiments ./internal/device ./internal/policy
 
 race:
 	go test -race ./...
@@ -99,6 +106,15 @@ bench-bundle:
 # lines also append BenchmarkServe* rows to BENCH_HISTORY.json.
 bench-serve:
 	sh scripts/bench_serve.sh BENCH_PR8.json BENCH_HISTORY.json
+
+# Decision-plane / partial-evaluation benchmarks only (PR9): full
+# snapshot vs residual vs specialization cost at 10k policies,
+# distilled into BENCH_PR9.json; the Evaluate/Residual/Specialize
+# rows also append to BENCH_HISTORY.json.
+bench-residual:
+	go test -bench='BenchmarkEvaluate|BenchmarkResidual|BenchmarkSpecialize' \
+		-benchmem -count=3 ./internal/policy | tee bench_residual.txt
+	sh scripts/bench_json.sh bench_residual.txt BENCH_PR9.json
 
 # The 10k-device parallel-fleet benchmarks only (E15). One run per
 # variant: each iteration is a whole 30-virtual-second fleet, so

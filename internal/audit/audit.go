@@ -506,3 +506,15 @@ func (c *CtxCache) Get3(k1, v1, k2, v2, k3, v3 string) map[string]string {
 	c.last = m
 	return m
 }
+
+// Get4 is Get2 for four pairs.
+func (c *CtxCache) Get4(k1, v1, k2, v2, k3, v3, k4, v4 string) map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.last; len(m) == 4 && m[k1] == v1 && m[k2] == v2 && m[k3] == v3 && m[k4] == v4 {
+		return m
+	}
+	m := map[string]string{k1: v1, k2: v2, k3: v3, k4: v4}
+	c.last = m
+	return m
+}

@@ -63,6 +63,11 @@ type Config struct {
 	// Tracer, when set, opens one root span per broadcast command so
 	// each decision is followable from intake to audit entry.
 	Tracer *telemetry.Tracer
+	// ExpectedMembers presizes the member tables (device map, bus
+	// lanes, registry) for fleets whose size is known up front, so
+	// admitting 10^5..10^6 devices does not pay incremental map growth.
+	// Zero means no hint.
+	ExpectedMembers int
 }
 
 // Collective is a managed set of devices.
@@ -80,6 +85,10 @@ type Collective struct {
 	tracer     *telemetry.Tracer
 	commands   *telemetry.Counter
 	deliveries *telemetry.Counter
+
+	// expected is the ExpectedMembers presizing hint (0 = none); the
+	// orchestrator reuses it for its own member tables.
+	expected int
 
 	mu             sync.Mutex
 	devices        map[string]*device.Device
@@ -125,8 +134,13 @@ func New(cfg Config) (*Collective, error) {
 			DenialThreshold: cfg.DenialThreshold,
 		},
 		admission:      cfg.Admission,
-		devices:        make(map[string]*device.Device),
+		expected:       cfg.ExpectedMembers,
+		devices:        make(map[string]*device.Device, cfg.ExpectedMembers),
 		bundleHandlers: make(map[string]network.LaneHandler),
+	}
+	if cfg.ExpectedMembers > 0 {
+		c.bus.Presize(cfg.ExpectedMembers)
+		c.registry.Presize(cfg.ExpectedMembers)
 	}
 	c.Instrument(cfg.Telemetry, cfg.Tracer)
 	return c, nil

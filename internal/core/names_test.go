@@ -174,6 +174,13 @@ func TestMetricNamesUnified(t *testing.T) {
 	_ = bus.Send(network.Message{From: "d1", To: dist.id, Topic: TopicBundlePull,
 		Payload: BundlePull{Device: "d1", Have: 0}})
 
+	// The residual specialization counters must have moved at their
+	// real call site: every dispatched command above decided through
+	// the device's residual, so at least one specialization compiled.
+	if v := reg.Counter("policy.residual_compiles", "device", "d1").Value(); v == 0 {
+		t.Error("policy.residual_compiles never incremented: commands did not decide through a residual")
+	}
+
 	if err := telemetry.CheckNames(reg.Names()); err != nil {
 		t.Errorf("metric name audit failed:\n%v", err)
 	}

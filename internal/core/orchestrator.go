@@ -51,7 +51,7 @@ func NewOrchestrator(collective *Collective, engine *sim.Engine) (*Orchestrator,
 	return &Orchestrator{
 		collective: collective,
 		engine:     engine,
-		managers:   make(map[string]*device.Manager),
+		managers:   make(map[string]*device.Manager, collective.expected),
 	}, nil
 }
 

@@ -33,6 +33,14 @@ type Config struct {
 	Type string
 	// Organization names the coalition member operating the device.
 	Organization string
+	// Static is the device's static profile for the policy "device."
+	// namespace: attributes and labels fixed at construction (type,
+	// coalition, region, capabilities) that the decision plane
+	// partially evaluates policies against (Snapshot.Specialize). When
+	// empty, the canonical profile policy.DeviceProfile(Type,
+	// Organization) is used, so type- and org-scoped policies fold for
+	// every device.
+	Static policy.StaticEnv
 	// Initial is the device's starting state (required; it fixes the
 	// schema).
 	Initial statespace.State
@@ -111,6 +119,13 @@ type Device struct {
 
 	lastEpoch atomic.Uint64
 
+	// profile is the device's static policy profile (immutable after
+	// construction); resCache holds the residual snapshot specialized
+	// from the set's current full snapshot, revalidated by pointer
+	// identity on every event (see residual).
+	profile  policy.StaticEnv
+	resCache atomic.Pointer[policy.Residual]
+
 	mu          sync.Mutex
 	state       statespace.State
 	policies    *policy.Set
@@ -179,6 +194,10 @@ func New(cfg Config) (*Device, error) {
 		trajectory: trajectory,
 		tracer:     cfg.Tracer,
 		boxed:      cfg.BoxedState,
+	}
+	d.profile = cfg.Static
+	if d.profile.Empty() {
+		d.profile = policy.DeviceProfile(cfg.Type, cfg.Organization)
 	}
 	if !d.boxed {
 		d.scratch = statespace.NewScratch(cfg.Initial.Schema(), cfg.Arena)
@@ -419,7 +438,7 @@ func (d *Device) handleEvent(ev policy.Event, j audit.Journal, fast bool, buf []
 		d.mu.Unlock()
 		return nil, ErrDeactivated
 	}
-	env := policy.Env{Event: ev, State: d.state}
+	env := policy.Env{Event: ev, State: d.state, Static: d.profile}
 	g := d.guard
 	d.mu.Unlock()
 
@@ -428,7 +447,13 @@ func (d *Device) handleEvent(ev policy.Event, j audit.Journal, fast bool, buf []
 	// so causality survives bus hops, retries and duplication.
 	span := d.tracer.StartSpan("device.handle", d.id, telemetry.Extract(ev.Labels))
 
-	snap := d.policies.Snapshot()
+	// Evaluate against the residual specialized to this device's static
+	// profile: decisions are identical to the full snapshot's (the
+	// residual differential property), but the scan covers only the
+	// policies this device can ever match. Both the fast and the boxed
+	// path go through the residual, so journals stay byte-identical
+	// across the two.
+	snap := d.residual(d.policies.Snapshot()).Snap()
 	var decision policy.Decision
 	if fast {
 		snap.EvaluateInto(env, &d.dec)
@@ -440,6 +465,7 @@ func (d *Device) handleEvent(ev policy.Event, j audit.Journal, fast bool, buf []
 	if d.tracer != nil {
 		span.SetAttr("event", ev.Type)
 		span.SetAttr("policy-epoch", snap.EpochString())
+		span.SetAttr("residual", snap.ResidualFingerprint())
 		span.SetAttr("actions", strconv.Itoa(len(decision.Actions)))
 	}
 
@@ -469,6 +495,32 @@ func (d *Device) handleEvent(ev policy.Event, j audit.Journal, fast bool, buf []
 // PolicyEpoch returns the snapshot epoch of the device's most recent
 // policy evaluation (zero before the first event).
 func (d *Device) PolicyEpoch() uint64 { return d.lastEpoch.Load() }
+
+// Profile returns the device's static policy profile.
+func (d *Device) Profile() policy.StaticEnv { return d.profile }
+
+// Residual returns the device's residual policy snapshot — the set's
+// current snapshot specialized to the device's static profile,
+// recomputed (or fetched from the shared per-snapshot cache) when
+// mutations have invalidated it.
+func (d *Device) Residual() *policy.Residual {
+	return d.residual(d.policies.Snapshot())
+}
+
+// residual returns the cached residual when it was specialized from
+// exactly this snapshot, and respecializes otherwise. Pointer identity
+// is the validity check: every Set mutation publishes a new snapshot,
+// so a stale residual can never be revalidated. The cache is a lock-
+// free single slot — a racing refresh stores twice, both stores being
+// residuals of the same snapshot from the set-level cache.
+func (d *Device) residual(snap *policy.Snapshot) *policy.Residual {
+	if r := d.resCache.Load(); r != nil && r.Full() == snap {
+		return r
+	}
+	r := snap.Specialize(d.profile)
+	d.resCache.Store(r)
+	return r
+}
 
 func (d *Device) executeOne(env policy.Env, g guard.Guard, snap *policy.Snapshot, action policy.Action, parent telemetry.SpanContext, j audit.Journal, fast bool) Execution {
 	span := d.tracer.StartSpan("device.execute", d.id, parent)

@@ -109,6 +109,9 @@ func (d *Device) PlanAndExecute(pl *Planner, env policy.Env, candidates []policy
 	if d.Deactivated() {
 		return Plan{}, Execution{}, ErrDeactivated
 	}
+	if env.Static.Empty() {
+		env.Static = d.profile
+	}
 	plan, err := pl.Choose(d.ID(), d.CurrentState(), env, candidates)
 	if err != nil {
 		return Plan{}, Execution{}, err
@@ -124,7 +127,7 @@ func (d *Device) PlanAndExecute(pl *Planner, env policy.Env, candidates []policy
 		sc = telemetry.Extract(env.Event.Labels)
 	}
 	// The guard already ruled; execute without re-checking.
-	exec := d.executeOne(env, nil, d.policies.Snapshot(), plan.Action, sc, nil, false)
+	exec := d.executeOne(env, nil, d.residual(d.policies.Snapshot()).Snap(), plan.Action, sc, nil, false)
 	span.Finish()
 	return plan, exec, nil
 }

@@ -29,3 +29,23 @@ func BenchmarkE15FleetSerial(b *testing.B) { benchE15(b, 1) }
 func BenchmarkE15Fleet2(b *testing.B)      { benchE15(b, 2) }
 func BenchmarkE15Fleet4(b *testing.B)      { benchE15(b, 4) }
 func BenchmarkE15Fleet8(b *testing.B)      { benchE15(b, 8) }
+
+// BenchmarkE18Construct measures fleet construction alone: building the
+// 10k-device E18 world (devices, policy programs, guards, sensors,
+// collective membership, orchestrator enrollment) without running a
+// single tick. `make alloc-gate` budgets its allocs/op so construction
+// cost regressions surface in CI like tick-path regressions do.
+func BenchmarkE18Construct(b *testing.B) {
+	p := E18Params{Seed: 1, Fleet: 10000, NoAudit: true}
+	p.defaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := buildE18World(p, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(w.collective.Devices()); got != p.Fleet {
+			b.Fatalf("built %d devices, want %d", got, p.Fleet)
+		}
+	}
+}

@@ -91,9 +91,10 @@ func RunE15Workers(p E15Params, workers int) (E15Outcome, error) {
 	})
 
 	collective, err := core.New(core.Config{
-		Name:       "e15-fleet",
-		Audit:      log,
-		KillSecret: []byte("e15-quorum"),
+		Name:            "e15-fleet",
+		Audit:           log,
+		KillSecret:      []byte("e15-quorum"),
+		ExpectedMembers: p.Fleet,
 	})
 	if err != nil {
 		return E15Outcome{}, err
@@ -125,6 +126,10 @@ policy vent priority 4: on self-state-alert do vent category kinetic-action`
 		return E15Outcome{}, err
 	}
 
+	// One initial-state map, one static profile, one residual for the
+	// whole single-type fleet.
+	initValues := make(map[string]float64, 1)
+	profile := policy.DeviceProfile("reactor", "us")
 	for i := 0; i < p.Fleet; i++ {
 		id := fmt.Sprintf("dev-%05d", i)
 		// Per-device dynamics derived from seed and index only, so every
@@ -132,12 +137,14 @@ policy vent priority 4: on self-state-alert do vent category kinetic-action`
 		mix := (int64(i) + p.Seed) % 41
 		heat := 20 + float64(mix)              // 20..60
 		rate := 9 + float64((i+int(p.Seed))%7) // 9..15 per tick
-		initial, err := schema.StateFromMap(map[string]float64{"heat": heat})
+		initValues["heat"] = heat
+		initial, err := schema.StateFromMap(initValues)
 		if err != nil {
 			return E15Outcome{}, err
 		}
 		d, err := device.New(device.Config{
 			ID: id, Type: "reactor", Organization: "us",
+			Static:     profile,
 			Initial:    initial,
 			Guard:      mkGuard(),
 			KillSwitch: collective.KillSwitch(),
@@ -146,10 +153,10 @@ policy vent priority 4: on self-state-alert do vent category kinetic-action`
 		if err != nil {
 			return E15Outcome{}, err
 		}
-		for _, pol := range policies {
-			if err := d.Policies().Add(pol); err != nil {
-				return E15Outcome{}, err
-			}
+		// One lock and one snapshot invalidation for the whole program,
+		// not one per policy.
+		if err := d.Policies().AddBatch(policies); err != nil {
+			return E15Outcome{}, err
 		}
 		// The sensor closure is the device's physical plant: heat climbs
 		// every tick, the cool actuator dumps it. Both run only on the

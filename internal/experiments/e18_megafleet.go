@@ -84,18 +84,21 @@ type E18Outcome struct {
 	HeatSum float64
 }
 
-// RunE18Workers builds the mega-fleet and runs it once at the given
-// parallelism. The scenario is E15's overheating reactor fleet scaled
-// up and rebuilt on the memory-compact state plane: every device's
-// MAPE scratch draws its flat state vectors from one shared arena,
-// state history is a bounded ring, and labels on the hot path are
-// interned — so the marginal footprint per device is a few hundred
-// bytes, not a few kilobytes per tick.
-func RunE18Workers(p E18Params, workers int) (E18Outcome, error) {
-	p.defaults()
-	var msBefore runtime.MemStats
-	runtime.ReadMemStats(&msBefore)
+// e18World is a fully constructed mega-fleet, ready to run. The
+// construction path is benchmarked on its own (BenchmarkE18Construct)
+// and alloc-gated, so fleet setup cost stays visible next to tick
+// cost.
+type e18World struct {
+	clock      *sim.Clock
+	log        *audit.Log
+	collective *core.Collective
+	orch       *core.Orchestrator
+}
 
+// buildE18World constructs the mega-fleet: shared arena, shared guard
+// classifier, one compiled policy program adopted per device in one
+// batch, and every member enrolled with the orchestrator.
+func buildE18World(p E18Params, workers int) (*e18World, error) {
 	clock := sim.NewClock(time.Date(2026, 8, 3, 0, 0, 0, 0, time.UTC))
 	engine := sim.NewEngine(clock)
 	engine.SetParallelism(workers)
@@ -116,12 +119,13 @@ func RunE18Workers(p E18Params, workers int) (E18Outcome, error) {
 	})
 
 	collective, err := core.New(core.Config{
-		Name:       "e18-megafleet",
-		Audit:      log,
-		KillSecret: []byte("e18-quorum"),
+		Name:            "e18-megafleet",
+		Audit:           log,
+		KillSecret:      []byte("e18-quorum"),
+		ExpectedMembers: p.Fleet,
 	})
 	if err != nil {
-		return E18Outcome{}, err
+		return nil, err
 	}
 	mkGuard := func() guard.Guard {
 		return core.StandardPipeline(core.SafetyConfig{
@@ -142,12 +146,12 @@ policy cool priority 5: on self-state-alert do cool effect heat -= 55
 policy vent priority 4: on self-state-alert do vent category kinetic-action`
 	policies, err := policylang.CompileSource(fleetSource, policy.OriginHuman)
 	if err != nil {
-		return E18Outcome{}, err
+		return nil, err
 	}
 
 	orch, err := core.NewOrchestrator(collective, engine)
 	if err != nil {
-		return E18Outcome{}, err
+		return nil, err
 	}
 
 	// One shared arena backs every device's MAPE scratch: the whole
@@ -155,17 +159,28 @@ policy vent priority 4: on self-state-alert do vent category kinetic-action`
 	// construction is serial, so the bump allocator needs no lock.
 	arena := statespace.NewArena(2 * p.Fleet * schema.Len())
 
+	// The per-device initial state differs only in one value; reuse one
+	// map for StateFromMap instead of allocating p.Fleet of them. The
+	// whole fleet shares one type/org, so it shares one static profile
+	// (and therefore one residual snapshot).
+	initValues := make(map[string]float64, 1)
+	profile := policy.DeviceProfile("reactor", "us")
+	var idBuf []byte
+
 	for i := 0; i < p.Fleet; i++ {
-		id := fmt.Sprintf("dev-%06d", i)
+		idBuf = fmt.Appendf(idBuf[:0], "dev-%06d", i)
+		id := string(idBuf)
 		mix := (int64(i) + p.Seed) % 41
 		heat := 20 + float64(mix)              // 20..60
 		rate := 9 + float64((i+int(p.Seed))%7) // 9..15 per tick
-		initial, err := schema.StateFromMap(map[string]float64{"heat": heat})
+		initValues["heat"] = heat
+		initial, err := schema.StateFromMap(initValues)
 		if err != nil {
-			return E18Outcome{}, err
+			return nil, err
 		}
 		d, err := device.New(device.Config{
 			ID: id, Type: "reactor", Organization: "us",
+			Static:          profile,
 			Initial:         initial,
 			Guard:           mkGuard(),
 			KillSwitch:      collective.KillSwitch(),
@@ -175,12 +190,11 @@ policy vent priority 4: on self-state-alert do vent category kinetic-action`
 			BoxedState:      p.Boxed,
 		})
 		if err != nil {
-			return E18Outcome{}, err
+			return nil, err
 		}
-		for _, pol := range policies {
-			if err := d.Policies().Add(pol); err != nil {
-				return E18Outcome{}, err
-			}
+		// One lock and one snapshot invalidation for the whole program.
+		if err := d.Policies().AddBatch(policies); err != nil {
+			return nil, err
 		}
 		h := heat
 		if err := d.BindSensor("heat", device.SensorFunc{Label: "thermo", Fn: func() (float64, error) {
@@ -190,7 +204,7 @@ policy vent priority 4: on self-state-alert do vent category kinetic-action`
 			}
 			return h, nil
 		}}); err != nil {
-			return E18Outcome{}, err
+			return nil, err
 		}
 		if err := d.RegisterActuator("cool", device.ActuatorFunc{Label: "chiller",
 			Fn: func(policy.Action) error {
@@ -200,16 +214,36 @@ policy vent priority 4: on self-state-alert do vent category kinetic-action`
 				}
 				return nil
 			}}); err != nil {
-			return E18Outcome{}, err
+			return nil, err
 		}
 		d.SetDefaultActuator(device.NopActuator{})
 		if err := collective.AddDevice(d, nil); err != nil {
-			return E18Outcome{}, err
+			return nil, err
 		}
 		if err := orch.Manage(id, p.Period, classifier, safeness); err != nil {
-			return E18Outcome{}, err
+			return nil, err
 		}
 	}
+	return &e18World{clock: clock, log: log, collective: collective, orch: orch}, nil
+}
+
+// RunE18Workers builds the mega-fleet and runs it once at the given
+// parallelism. The scenario is E15's overheating reactor fleet scaled
+// up and rebuilt on the memory-compact state plane: every device's
+// MAPE scratch draws its flat state vectors from one shared arena,
+// state history is a bounded ring, and labels on the hot path are
+// interned — so the marginal footprint per device is a few hundred
+// bytes, not a few kilobytes per tick.
+func RunE18Workers(p E18Params, workers int) (E18Outcome, error) {
+	p.defaults()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
+	w, err := buildE18World(p, workers)
+	if err != nil {
+		return E18Outcome{}, err
+	}
+	clock, log, collective, orch := w.clock, w.log, w.collective, w.orch
 
 	start := time.Now()
 	if err := orch.Run(clock.Now().Add(p.Horizon)); err != nil {

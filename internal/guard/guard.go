@@ -280,9 +280,14 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 				}
 				// The snapshot epoch pins the exact policy state the
 				// decision was made under — the "comprehensive context
-				// information" break-glass audits require.
+				// information" break-glass audits require. Residual
+				// snapshots additionally pin the profile fingerprint
+				// they were specialized for.
 				if ctx.Policies != nil {
 					entryCtx["policy-epoch"] = ctx.Policies.EpochString()
+					if fp := ctx.Policies.ResidualFingerprint(); fp != "" {
+						entryCtx["residual"] = fp
+					}
 				}
 				addTrace(entryCtx, ctx.Trace)
 				log.AppendOwned(audit.KindBreakGlass, ctx.Actor, v.Reason, entryCtx)
@@ -304,11 +309,19 @@ func (p *Pipeline) Check(ctx ActionContext) Verdict {
 					}
 					if ctx.Policies != nil {
 						entryCtx["policy-epoch"] = ctx.Policies.EpochString()
+						if fp := ctx.Policies.ResidualFingerprint(); fp != "" {
+							entryCtx["residual"] = fp
+						}
 					}
 					addTrace(entryCtx, ctx.Trace)
 				case ctx.Policies != nil:
-					entryCtx = p.denyCtx.Get3("guard", v.Guard, "action", ctx.Action.Name,
-						"policy-epoch", ctx.Policies.EpochString())
+					if fp := ctx.Policies.ResidualFingerprint(); fp != "" {
+						entryCtx = p.denyCtx.Get4("guard", v.Guard, "action", ctx.Action.Name,
+							"policy-epoch", ctx.Policies.EpochString(), "residual", fp)
+					} else {
+						entryCtx = p.denyCtx.Get3("guard", v.Guard, "action", ctx.Action.Name,
+							"policy-epoch", ctx.Policies.EpochString())
+					}
 				default:
 					entryCtx = p.denyCtx.Get2("guard", v.Guard, "action", ctx.Action.Name)
 				}

@@ -214,6 +214,22 @@ func NewBus(rng *rand.Rand, opts ...BusOption) *Bus {
 	return b
 }
 
+// Presize grows the endpoint table to hold n lanes without incremental
+// rehashing — call it before attaching a fleet of known size. It is a
+// hint, not a limit, and is cheapest on a still-empty bus.
+func (b *Bus) Presize(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= len(b.nodes) {
+		return
+	}
+	nodes := make(map[string]endpoint, n)
+	for k, v := range b.nodes {
+		nodes[k] = v
+	}
+	b.nodes = nodes
+}
+
 // ensureRNGLocked guarantees a random source exists whenever loss,
 // duplication or a latency spread is configured. Sampling guards used
 // to skip fault injection silently when the rng was nil; defaulting

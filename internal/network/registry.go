@@ -64,6 +64,21 @@ func NewRegistry() *Registry {
 	return &Registry{devices: make(map[string]DeviceInfo)}
 }
 
+// Presize grows the device table to hold n entries without incremental
+// rehashing — call it before announcing a fleet of known size.
+func (r *Registry) Presize(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= len(r.devices) {
+		return
+	}
+	devices := make(map[string]DeviceInfo, n)
+	for k, v := range r.devices {
+		devices[k] = v
+	}
+	r.devices = devices
+}
+
 // Watch registers a watcher for subsequent announcements.
 func (r *Registry) Watch(w Watcher) {
 	r.mu.Lock()

@@ -171,3 +171,129 @@ func BenchmarkConflicts1kDisjoint(b *testing.B) {
 		}
 	}
 }
+
+// benchResidualSet builds a fleet-shaped policy set for the partial-
+// evaluation benchmarks: every policy is scoped to one of `classes`
+// device classes through a static condition
+// (device.type == class-NN AND x > t), so a device's residual keeps
+// roughly n/classes policies while the full snapshot must reject the
+// other classes' policies at every decision.
+func benchResidualSet(b testing.TB, n, classes int) (*Set, StaticEnv, []Env) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	eventTypes := 16
+	if n < 16 {
+		eventTypes = n
+	}
+	set := NewSet()
+	batch := make([]Policy, 0, n)
+	for i := 0; i < n; i++ {
+		p := Policy{
+			ID:        fmt.Sprintf("p%05d", i),
+			EventType: fmt.Sprintf("ev-%02d", i%eventTypes),
+			Priority:  i % 10,
+			Modality:  ModalityDo,
+			Action:    Action{Name: fmt.Sprintf("act-%d", i%5), Category: "routine"},
+			Condition: And{
+				LabelEquals{Label: "device.type", Value: fmt.Sprintf("class-%02d", i%classes)},
+				Threshold{Quantity: "x", Op: CmpGT, Value: float64(rng.Intn(100))},
+			},
+		}
+		if i%17 == 0 {
+			p.EventType = WildcardEvent
+		}
+		if i%7 == 0 {
+			p.Modality = ModalityForbid
+			p.Action = Action{Name: fmt.Sprintf("act-%d", i%5)}
+		}
+		batch = append(batch, p)
+	}
+	if err := set.AddBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	profile := DeviceProfile("class-00", "us")
+	envs := make([]Env, 8)
+	for i := range envs {
+		envs[i] = Env{
+			Event: Event{
+				Type:  fmt.Sprintf("ev-%02d", i%eventTypes),
+				Attrs: map[string]float64{"x": 50},
+			},
+			Static: profile,
+		}
+	}
+	return set, profile, envs
+}
+
+// BenchmarkResidualFullEvaluate10k is the "before" lane of the
+// partial-evaluation comparison: the full snapshot decides for one
+// device of a 64-class fleet, rejecting the other classes' policies
+// at decision time on every event.
+func BenchmarkResidualFullEvaluate10k(b *testing.B) {
+	set, _, envs := benchResidualSet(b, 10000, 64)
+	snap := set.Snapshot()
+	snap.Evaluate(envs[0]) // warm any compile path before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Evaluate(envs[i%len(envs)])
+	}
+}
+
+// BenchmarkResidualEvaluate10k is the "after" lane: the same fleet's
+// policies, but the device evaluates its residual — the other classes'
+// policies were dropped once, at specialization time.
+func BenchmarkResidualEvaluate10k(b *testing.B) {
+	set, profile, envs := benchResidualSet(b, 10000, 64)
+	res := set.Snapshot().Specialize(profile)
+	res.Evaluate(envs[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Evaluate(envs[i%len(envs)])
+	}
+}
+
+// BenchmarkSpecialize10k prices the specialization itself: folding
+// 10k conditions and recompiling the ~1/64 survivors. Paid once per
+// (policy epoch, device profile), then amortized over every decision
+// by the residual cache.
+func BenchmarkSpecialize10k(b *testing.B) {
+	set, profile, _ := benchResidualSet(b, 10000, 64)
+	snap := set.Snapshot()
+	fp := profile.Fingerprint()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.specialize(profile, fp)
+	}
+}
+
+// BenchmarkSpecializeCached10k prices the steady state: a cache hit on
+// an already-specialized snapshot (what a device pays when it
+// revalidates its residual after another device forced the compile).
+func BenchmarkSpecializeCached10k(b *testing.B) {
+	set, profile, _ := benchResidualSet(b, 10000, 64)
+	snap := set.Snapshot()
+	snap.Specialize(profile)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Specialize(profile)
+	}
+}
+
+// BenchmarkResidualEvaluateInto10k is the device hot path: residual
+// decisions into a reused Decision, as MAPE ticks evaluate through the
+// pooled scratch — no per-decision allocation at all.
+func BenchmarkResidualEvaluateInto10k(b *testing.B) {
+	set, profile, envs := benchResidualSet(b, 10000, 64)
+	res := set.Snapshot().Specialize(profile)
+	var d Decision
+	res.EvaluateInto(envs[0], &d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.EvaluateInto(envs[i%len(envs)], &d)
+	}
+}

@@ -1,0 +1,228 @@
+package policy
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/statespace"
+)
+
+// This file is the compiled condition plane: snapshot compilation
+// lowers each policy's Condition tree into evalCond nodes whose
+// quantity references are namespace-resolved once ("event."/"state."/
+// "device." prefixes pre-split, bare names tagged as either-namespace)
+// instead of strings.CutPrefix plus a double map probe on every
+// Threshold.Holds. State-variable references additionally cache their
+// schema index, so the steady-state probe is one pointer compare and a
+// slice load. The interpreted Condition tree is retained untouched on
+// the Policy for Describe, decompilation and the linear-scan oracle —
+// lowering changes layout, never semantics.
+
+// evalCond is one compiled condition node. A nil evalCond means
+// "always holds" (the compiled form of a nil or constant-true
+// condition).
+type evalCond interface {
+	holds(Env) bool
+}
+
+// nsKind says which namespace a compiled quantity reference resolves
+// in.
+type nsKind uint8
+
+const (
+	// nsAny is an unprefixed name: event attributes shadow state
+	// variables (never the static profile).
+	nsAny nsKind = iota
+	// nsEvent / nsState / nsStatic are prefix-forced namespaces.
+	nsEvent
+	nsState
+	nsStatic
+)
+
+// splitQuantity resolves a quantity name's namespace once, at compile
+// time.
+func splitQuantity(name string) (nsKind, string) {
+	if v, ok := strings.CutPrefix(name, "event."); ok {
+		return nsEvent, v
+	}
+	if v, ok := strings.CutPrefix(name, "state."); ok {
+		return nsState, v
+	}
+	if v, ok := strings.CutPrefix(name, StaticPrefix); ok {
+		return nsStatic, v
+	}
+	return nsAny, name
+}
+
+// schemaIdx is one cached schema→variable-index resolution.
+type schemaIdx struct {
+	schema *statespace.Schema
+	idx    int
+	ok     bool
+}
+
+// thresholdNode is the compiled Threshold: namespace pre-split, state
+// index cached per schema. The cache is an atomic pointer because one
+// snapshot (and so one node) may be evaluated by many devices
+// concurrently; devices sharing a schema — the common fleet shape —
+// hit the cached entry with a single pointer compare.
+type thresholdNode struct {
+	ns    nsKind
+	name  string
+	op    CmpOp
+	value float64
+	idx   atomic.Pointer[schemaIdx]
+}
+
+func (t *thresholdNode) stateLookup(st statespace.State) (float64, bool) {
+	if !st.Valid() {
+		return 0, false
+	}
+	sch := st.Schema()
+	if c := t.idx.Load(); c != nil && c.schema == sch {
+		if !c.ok {
+			return 0, false
+		}
+		return st.Value(c.idx), true
+	}
+	i, ok := sch.Index(t.name)
+	t.idx.Store(&schemaIdx{schema: sch, idx: i, ok: ok})
+	if !ok {
+		return 0, false
+	}
+	return st.Value(i), true
+}
+
+func (t *thresholdNode) holds(env Env) bool {
+	var v float64
+	var ok bool
+	switch t.ns {
+	case nsEvent:
+		v, ok = env.Event.Attrs[t.name]
+	case nsState:
+		v, ok = t.stateLookup(env.State)
+	case nsStatic:
+		v, ok = env.Static.Attr(t.name)
+	default: // nsAny: event attributes shadow state variables
+		if v, ok = env.Event.Attrs[t.name]; !ok {
+			v, ok = t.stateLookup(env.State)
+		}
+	}
+	if !ok {
+		return false
+	}
+	return cmpHolds(t.op, v, t.value)
+}
+
+// labelNode is the compiled LabelEquals.
+type labelNode struct {
+	static bool
+	label  string
+	value  string
+}
+
+func (l labelNode) holds(env Env) bool {
+	if l.static {
+		return env.Static.Label(l.label) == l.value
+	}
+	return env.Event.Label(l.label) == l.value
+}
+
+// andNode / orNode / notNode mirror And / Or / Not over compiled
+// members.
+type andNode []evalCond
+
+func (a andNode) holds(env Env) bool {
+	for _, c := range a {
+		if c != nil && !c.holds(env) {
+			return false
+		}
+	}
+	return true
+}
+
+type orNode []evalCond
+
+func (o orNode) holds(env Env) bool {
+	for _, c := range o {
+		if c == nil || c.holds(env) {
+			return true
+		}
+	}
+	return false
+}
+
+type notNode struct{ of evalCond }
+
+func (n notNode) holds(env Env) bool { return n.of != nil && !n.of.holds(env) }
+
+// falseNode never holds (compiled False, nil CondFunc, Not of nil).
+type falseNode struct{}
+
+func (falseNode) holds(Env) bool { return false }
+
+// funcNode wraps an opaque condition function.
+type funcNode struct{ fn func(Env) bool }
+
+func (f funcNode) holds(env Env) bool { return f.fn(env) }
+
+// opaqueNode falls back to the interpreted condition for types the
+// compiler does not know.
+type opaqueNode struct{ c Condition }
+
+func (o opaqueNode) holds(env Env) bool { return o.c.Holds(env) }
+
+// compileCond lowers one condition tree. The result holds for exactly
+// the environments the interpreted tree holds for.
+func compileCond(c Condition) evalCond {
+	switch n := c.(type) {
+	case nil:
+		return nil
+	case True:
+		return nil
+	case False:
+		return falseNode{}
+	case Threshold:
+		ns, name := splitQuantity(n.Quantity)
+		return &thresholdNode{ns: ns, name: name, op: n.Op, value: n.Value}
+	case LabelEquals:
+		if v, ok := strings.CutPrefix(n.Label, StaticPrefix); ok {
+			return labelNode{static: true, label: v, value: n.Value}
+		}
+		return labelNode{label: n.Label, value: n.Value}
+	case And:
+		if len(n) == 0 {
+			return nil // the empty And holds
+		}
+		out := make(andNode, len(n))
+		for i, m := range n {
+			out[i] = compileCond(m)
+		}
+		return out
+	case Or:
+		if len(n) == 0 {
+			return falseNode{} // the empty Or does not hold
+		}
+		out := make(orNode, len(n))
+		for i, m := range n {
+			out[i] = compileCond(m)
+		}
+		return out
+	case Not:
+		if n.Of == nil {
+			return falseNode{} // Not{nil} never holds
+		}
+		inner := compileCond(n.Of)
+		if inner == nil {
+			return falseNode{} // not(always) never holds
+		}
+		return notNode{of: inner}
+	case CondFunc:
+		if n.Fn == nil {
+			return falseNode{} // a nil function never holds
+		}
+		return funcNode{fn: n.Fn}
+	default:
+		return opaqueNode{c: c}
+	}
+}

@@ -23,10 +23,29 @@ func (True) Holds(Env) bool { return true }
 // Describe returns "true".
 func (True) Describe() string { return "true" }
 
+// False is the never-satisfied condition. Specialization produces it
+// when folding a condition that a device's static profile can never
+// satisfy; authoring one directly makes a policy inert.
+type False struct{}
+
+var _ Condition = False{}
+
+// Holds always reports false.
+func (False) Holds(Env) bool { return false }
+
+// Describe returns "false".
+func (False) Describe() string { return "false" }
+
 // CondFunc adapts a function into a Condition.
 type CondFunc struct {
 	Name string
 	Fn   func(Env) bool
+	// Static declares that Fn reads only Env.Static — nothing from the
+	// event or the state. Specialization trusts the declaration: a
+	// static CondFunc is invoked once per device profile and folded to
+	// a constant. Declaring Static on a function that reads runtime
+	// data breaks the residual's equivalence guarantee.
+	Static bool
 }
 
 var _ Condition = CondFunc{}
@@ -87,19 +106,26 @@ func (t Threshold) Holds(env Env) bool {
 	if !ok {
 		return false
 	}
-	switch t.Op {
+	return cmpHolds(t.Op, v, t.Value)
+}
+
+// cmpHolds applies one comparison operator; unknown operators never
+// hold. It is shared by the interpreted Threshold and the compiled
+// threshold nodes of the snapshot plane.
+func cmpHolds(op CmpOp, v, want float64) bool {
+	switch op {
 	case CmpLT:
-		return v < t.Value
+		return v < want
 	case CmpLE:
-		return v <= t.Value
+		return v <= want
 	case CmpGT:
-		return v > t.Value
+		return v > want
 	case CmpGE:
-		return v >= t.Value
+		return v >= want
 	case CmpEQ:
-		return v == t.Value
+		return v == want
 	case CmpNE:
-		return v != t.Value
+		return v != want
 	default:
 		return false
 	}
@@ -110,7 +136,10 @@ func (t Threshold) Describe() string {
 	return fmt.Sprintf("%s %s %g", t.Quantity, t.Op, t.Value)
 }
 
-// LabelEquals requires an event label to equal a value.
+// LabelEquals requires a label to equal a value: an event label, or —
+// under the "device." prefix — a static profile label (so
+// LabelEquals{"device.type", "drone"} scopes a policy to one device
+// type and folds to a constant during specialization).
 type LabelEquals struct {
 	Label string
 	Value string
@@ -119,7 +148,12 @@ type LabelEquals struct {
 var _ Condition = LabelEquals{}
 
 // Holds compares the label.
-func (l LabelEquals) Holds(env Env) bool { return env.Event.Label(l.Label) == l.Value }
+func (l LabelEquals) Holds(env Env) bool {
+	if v, ok := strings.CutPrefix(l.Label, StaticPrefix); ok {
+		return env.Static.Label(v) == l.Value
+	}
+	return env.Event.Label(l.Label) == l.Value
+}
 
 // Describe renders the comparison.
 func (l LabelEquals) Describe() string { return fmt.Sprintf("%s is %q", l.Label, l.Value) }

@@ -71,15 +71,20 @@ func (e Event) String() string {
 }
 
 // Env is the evaluation environment for policy conditions: the
-// triggering event plus the device's current state.
+// triggering event, the device's current state, and the device's
+// static profile (see StaticEnv).
 type Env struct {
-	Event Event
-	State statespace.State
+	Event  Event
+	State  statespace.State
+	Static StaticEnv
 }
 
 // Lookup resolves an identifier for condition evaluation. Event
 // attributes shadow state variables; the prefixes "event." and
-// "state." force one namespace.
+// "state." force one namespace, and "device." resolves the device's
+// static profile (static attributes are reachable only through that
+// prefix — bare names never fall back to the profile, so
+// specialization can fold exactly the "device." references).
 func (env Env) Lookup(name string) (float64, bool) {
 	if v, ok := strings.CutPrefix(name, "event."); ok {
 		f, present := env.Event.Attrs[v]
@@ -91,6 +96,9 @@ func (env Env) Lookup(name string) (float64, bool) {
 		}
 		f, err := env.State.Get(v)
 		return f, err == nil
+	}
+	if v, ok := strings.CutPrefix(name, StaticPrefix); ok {
+		return env.Static.Attr(v)
 	}
 	if f, ok := env.Event.Attrs[name]; ok {
 		return f, true

@@ -72,6 +72,10 @@ type Set struct {
 	// snapshot compiled from the set, so a reader can tell which
 	// coherent revision it is evaluating under.
 	revision uint64
+	// resStats accounts residual specialization across the set's
+	// lifetime; every compiled snapshot shares it so counters survive
+	// invalidation.
+	resStats residualStats
 }
 
 // SetOption configures a Set.
@@ -106,14 +110,18 @@ type setInstruments struct {
 
 // Instrument publishes the set's decision-plane metrics into the
 // registry under policy.epoch, policy.compiles, policy.compile_ms
-// (gauges) and policy.evaluate_ms (a latency histogram), all carrying
-// the given labels (typically "device", <id>). It replaces the ad-hoc
-// per-device gauge names of earlier revisions. Instrumenting forces
-// one recompile so the published snapshot carries the evaluate timer;
-// a nil registry removes instrumentation.
+// (gauges), policy.evaluate_ms (a latency histogram), the
+// policy.residual_compiles / policy.residual_hits /
+// policy.residual_misses specialization counters and the
+// policy.residual_size gauge, all carrying the given labels (typically
+// "device", <id>). It replaces the ad-hoc per-device gauge names of
+// earlier revisions. Instrumenting forces one recompile so the
+// published snapshot carries the evaluate timer; a nil registry
+// removes instrumentation.
 func (s *Set) Instrument(reg *telemetry.Registry, labels ...string) {
 	if reg == nil {
 		s.instr.Store(nil)
+		s.resStats.instr.Store(nil)
 		s.snap.Store(nil)
 		return
 	}
@@ -122,6 +130,12 @@ func (s *Set) Instrument(reg *telemetry.Registry, labels ...string) {
 		epoch:      reg.Gauge("policy.epoch", labels...),
 		compiles:   reg.Gauge("policy.compiles", labels...),
 		compileMS:  reg.Gauge("policy.compile_ms", labels...),
+	})
+	s.resStats.instr.Store(&residualInstruments{
+		compiles: reg.Counter("policy.residual_compiles", labels...),
+		hits:     reg.Counter("policy.residual_hits", labels...),
+		misses:   reg.Counter("policy.residual_misses", labels...),
+		size:     reg.Gauge("policy.residual_size", labels...),
 	})
 	s.snap.Store(nil)
 }
@@ -320,6 +334,7 @@ func (s *Set) Snapshot() *Snapshot {
 	s.stats.epoch++
 	snap := compileSnapshot(s.sortedLocked(), s.matchCat, s.stats.epoch)
 	snap.revision = s.revision
+	snap.resStats = &s.resStats
 	s.stats.compiles++
 	s.stats.lastCompile = snap.compileTime
 	s.stats.totalCompile += snap.compileTime
@@ -344,6 +359,13 @@ type SetStats struct {
 	TotalCompile time.Duration
 	// Policies is the current policy count.
 	Policies int
+	// ResidualCompiles / ResidualHits / ResidualMisses count
+	// specialization activity over the set's lifetime: how many
+	// residual snapshots were actually built versus served from the
+	// per-snapshot cache.
+	ResidualCompiles uint64
+	ResidualHits     uint64
+	ResidualMisses   uint64
 }
 
 // Stats returns compilation counters for the control-plane metrics.
@@ -351,11 +373,14 @@ func (s *Set) Stats() SetStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return SetStats{
-		Epoch:        s.stats.epoch,
-		Compiles:     s.stats.compiles,
-		LastCompile:  s.stats.lastCompile,
-		TotalCompile: s.stats.totalCompile,
-		Policies:     len(s.policies),
+		Epoch:            s.stats.epoch,
+		Compiles:         s.stats.compiles,
+		LastCompile:      s.stats.lastCompile,
+		TotalCompile:     s.stats.totalCompile,
+		Policies:         len(s.policies),
+		ResidualCompiles: s.resStats.compiles.Load(),
+		ResidualHits:     s.resStats.hits.Load(),
+		ResidualMisses:   s.resStats.misses.Load(),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -48,12 +49,32 @@ type Snapshot struct {
 	// evalMS, when the owning Set is instrumented, times every
 	// Evaluate. Nil (the default) costs the hot path one branch.
 	evalMS *telemetry.Histogram
+	// res1 is the single-slot front of the residual cache: most
+	// snapshots — per-device sets in particular — are only ever
+	// specialized for one profile, and the slot spares them the
+	// sync.Map entry (an allocation per device at fleet scale).
+	res1 atomic.Pointer[Residual]
+	// residuals caches further *Residual specializations of this
+	// snapshot by profile fingerprint. Because mutations discard the
+	// whole snapshot, both cache tiers are invalidated atomically with
+	// it — residuals can never mix epochs.
+	residuals sync.Map
+	// resStats, when the owning Set exists, accounts specialization
+	// activity across the set's lifetime (shared by all its snapshots).
+	resStats *residualStats
+	// residualFP, on specialized snapshots, is the profile fingerprint
+	// they were specialized for ("" on full snapshots).
+	residualFP string
 }
 
 // compiledPolicy is one policy plus its decision-plane
 // precomputations.
 type compiledPolicy struct {
 	Policy
+	// cond is the compiled form of Condition (namespaces pre-resolved,
+	// schema indexes cached); nil means the policy always matches. The
+	// interpreted Condition is retained for Describe/decompilation.
+	cond evalCond
 	// coveringForbids lists, in global order, the indices of forbid
 	// policies that could veto this do-policy: equal-or-higher
 	// priority, overlapping event type, and a pattern covering the
@@ -73,7 +94,7 @@ func compileSnapshot(sorted []Policy, matchCat CategoryMatcher, epoch uint64) *S
 	}
 	var forbids []int32
 	for i, p := range sorted {
-		snap.sorted[i] = compiledPolicy{Policy: p}
+		snap.sorted[i] = compiledPolicy{Policy: p, cond: compileCond(p.Condition)}
 		if p.EventType == WildcardEvent {
 			snap.wildcard = append(snap.wildcard, int32(i))
 		} else {
@@ -223,7 +244,7 @@ func (s *Snapshot) evaluateInto(env Env, d *Decision) {
 			j++
 		}
 		p := &s.sorted[idx]
-		if p.Condition != nil && !p.Condition.Holds(env) {
+		if p.cond != nil && !p.cond.holds(env) {
 			continue
 		}
 		matched = append(matched, idx)
@@ -304,7 +325,7 @@ func (s *Snapshot) ForbidsAction(env Env, a Action) (string, bool) {
 		if p.Modality != ModalityForbid {
 			continue
 		}
-		if p.Condition != nil && !p.Condition.Holds(env) {
+		if p.cond != nil && !p.cond.holds(env) {
 			continue
 		}
 		if s.covers(&p.Policy, a) {

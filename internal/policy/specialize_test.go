@@ -1,0 +1,353 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/ontology"
+)
+
+// genStaticCond builds a random condition tree mixing runtime-scoped
+// leaves (event attributes, bare names) with static-scoped ones
+// (device.* labels and attributes, static CondFuncs), so folding has
+// real work on some branches and must leave others untouched.
+func genStaticCond(rng *rand.Rand, depth int) Condition {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(7) {
+		case 0:
+			return Threshold{Quantity: "x", Op: CmpGT, Value: float64(rng.Intn(10))}
+		case 1:
+			return Threshold{Quantity: "event.x", Op: CmpLT, Value: float64(rng.Intn(10))}
+		case 2:
+			return Threshold{Quantity: "device.weight", Op: CmpGE, Value: float64(rng.Intn(10))}
+		case 3:
+			return LabelEquals{Label: "device.type", Value: []string{"reactor", "sensor", "drone"}[rng.Intn(3)]}
+		case 4:
+			return LabelEquals{Label: "device.org", Value: []string{"us", "eu"}[rng.Intn(2)]}
+		case 5:
+			want := []string{"reactor", "sensor"}[rng.Intn(2)]
+			return CondFunc{
+				Name:   "type-is-" + want,
+				Static: true,
+				Fn:     func(env Env) bool { return env.Static.Label("type") == want },
+			}
+		default:
+			return True{}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n := 1 + rng.Intn(3)
+		and := make(And, 0, n)
+		for i := 0; i < n; i++ {
+			and = append(and, genStaticCond(rng, depth-1))
+		}
+		return and
+	case 1:
+		n := 1 + rng.Intn(3)
+		or := make(Or, 0, n)
+		for i := 0; i < n; i++ {
+			or = append(or, genStaticCond(rng, depth-1))
+		}
+		return or
+	default:
+		return Not{Of: genStaticCond(rng, depth-1)}
+	}
+}
+
+// genStaticPolicies is genPolicies with profile-dependent conditions:
+// roughly half the policies carry a condition tree that mixes static
+// and runtime leaves.
+func genStaticPolicies(rng *rand.Rand, n int) []Policy {
+	out := genPolicies(rng, n)
+	for i := range out {
+		if rng.Intn(2) == 0 {
+			out[i].Condition = genStaticCond(rng, 2)
+		}
+	}
+	return out
+}
+
+// genProfile builds a random device profile: type/org labels plus an
+// optional numeric attribute the static thresholds probe.
+func genProfile(rng *rand.Rand) StaticEnv {
+	types := []string{"reactor", "sensor", "drone", ""}
+	orgs := []string{"us", "eu", ""}
+	se := DeviceProfile(types[rng.Intn(len(types))], orgs[rng.Intn(len(orgs))])
+	if rng.Intn(2) == 0 {
+		se = se.WithAttr("weight", float64(rng.Intn(12)))
+	}
+	return se
+}
+
+// TestDifferentialResidualVsFull is the partial-evaluation pass's
+// correctness anchor: on randomized policy sets × random static
+// profiles × random events, the residual's Decision must be deeply
+// equal to the full snapshot's and to the retained linear scan — same
+// actions in the same order, same matched IDs, same veto attribution.
+func TestDifferentialResidualVsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	tx := diffTaxonomy(t)
+	eventTypes := []string{"tick", "smoke", "other", WildcardEvent}
+	for trial := 0; trial < 700; trial++ {
+		policies := genStaticPolicies(rng, 1+rng.Intn(30))
+		matchCat := func(got, want ontology.Concept) bool { return got == want }
+		var set *Set
+		if trial%2 == 0 {
+			matchCat = TaxonomyMatcher(tx)
+			set = NewSet(WithCategoryMatcher(matchCat))
+		} else {
+			set = NewSet()
+		}
+		if err := set.AddBatch(policies); err != nil {
+			t.Fatalf("AddBatch: %v", err)
+		}
+		profile := genProfile(rng)
+		snap := set.Snapshot()
+		res := snap.Specialize(profile)
+		if res.Full() != snap {
+			t.Fatalf("trial %d: residual does not point back to its full snapshot", trial)
+		}
+		if len(res.Snap().Policies()) > len(snap.Policies()) {
+			t.Fatalf("trial %d: residual grew: %d > %d policies", trial,
+				len(res.Snap().Policies()), len(snap.Policies()))
+		}
+		for e := 0; e < 4; e++ {
+			env := Env{
+				Event: Event{
+					Type:  eventTypes[rng.Intn(len(eventTypes))],
+					Attrs: map[string]float64{"x": float64(rng.Intn(12))},
+				},
+				Static: profile,
+			}
+			got := res.Evaluate(env)
+			full := snap.Evaluate(env)
+			linear := evaluateLinear(snap.Policies(), matchCat, env)
+			if !reflect.DeepEqual(got, full) {
+				t.Fatalf("trial %d: residual and full decisions differ:\nresidual %+v\nfull     %+v\nprofile %s",
+					trial, got, full, profile.Fingerprint())
+			}
+			if !reflect.DeepEqual(got, linear) {
+				t.Fatalf("trial %d: residual and linear decisions differ:\nresidual %+v\nlinear   %+v\nprofile %s",
+					trial, got, linear, profile.Fingerprint())
+			}
+			var into Decision
+			res.EvaluateInto(env, &into)
+			if !reflect.DeepEqual(Decision{Actions: into.Actions, Matched: into.Matched, Vetoed: into.Vetoed},
+				Decision{Actions: got.Actions, Matched: got.Matched, Vetoed: got.Vetoed}) &&
+				!(len(into.Actions) == 0 && len(got.Actions) == 0 &&
+					len(into.Matched) == 0 && len(got.Matched) == 0 &&
+					len(into.Vetoed) == 0 && len(got.Vetoed) == 0) {
+				t.Fatalf("trial %d: residual EvaluateInto diverges from Evaluate:\ninto %+v\ngot  %+v", trial, into, got)
+			}
+		}
+	}
+}
+
+// TestResidualCacheSharing: devices with equal profiles share one
+// residual per snapshot; a distinct profile gets its own; hits and
+// compiles are accounted on the owning set.
+func TestResidualCacheSharing(t *testing.T) {
+	set := NewSet()
+	if err := set.AddBatch([]Policy{
+		{ID: "stat", EventType: "tick", Priority: 2, Modality: ModalityDo,
+			Condition: LabelEquals{Label: "device.type", Value: "reactor"},
+			Action:    Action{Name: "cool"}},
+		{ID: "dyn", EventType: "tick", Priority: 1, Modality: ModalityDo,
+			Condition: Threshold{Quantity: "x", Op: CmpGT, Value: 5},
+			Action:    Action{Name: "vent"}},
+	}); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	snap := set.Snapshot()
+	reactor := DeviceProfile("reactor", "us")
+	sensor := DeviceProfile("sensor", "us")
+
+	r1 := snap.Specialize(reactor)
+	r2 := snap.Specialize(reactor)
+	if r1 != r2 {
+		t.Fatalf("equal profiles got distinct residuals")
+	}
+	r3 := snap.Specialize(sensor)
+	if r3 == r1 {
+		t.Fatalf("distinct profiles shared a residual")
+	}
+	if n := len(r1.Snap().Policies()); n != 2 {
+		t.Fatalf("reactor residual kept %d policies, want 2 (static cond folded true)", n)
+	}
+	if n := len(r3.Snap().Policies()); n != 1 {
+		t.Fatalf("sensor residual kept %d policies, want 1 (static cond folded false)", n)
+	}
+	if fp := r1.Snap().ResidualFingerprint(); fp != reactor.Fingerprint() {
+		t.Fatalf("residual fingerprint %q, want profile fingerprint %q", fp, reactor.Fingerprint())
+	}
+	if fp := snap.ResidualFingerprint(); fp != "" {
+		t.Fatalf("full snapshot carries residual fingerprint %q", fp)
+	}
+	st := set.Stats()
+	if st.ResidualCompiles != 2 || st.ResidualHits != 1 || st.ResidualMisses != 2 {
+		t.Fatalf("stats = compiles %d hits %d misses %d, want 2/1/2",
+			st.ResidualCompiles, st.ResidualHits, st.ResidualMisses)
+	}
+}
+
+// TestResidualIdentityReuse: when no condition references the profile,
+// specialization is the identity and the residual shares the full
+// snapshot — no recompile, no new fingerprint.
+func TestResidualIdentityReuse(t *testing.T) {
+	set := NewSet()
+	if err := set.AddBatch([]Policy{
+		{ID: "a", EventType: "tick", Priority: 1, Modality: ModalityDo,
+			Condition: Threshold{Quantity: "x", Op: CmpGT, Value: 5},
+			Action:    Action{Name: "move"}},
+		{ID: "b", EventType: "tick", Priority: 2, Modality: ModalityDo,
+			Action: Action{Name: "observe"}},
+	}); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	snap := set.Snapshot()
+	r := snap.Specialize(DeviceProfile("reactor", "us"))
+	if r.Snap() != snap {
+		t.Fatalf("identity specialization recompiled instead of sharing the snapshot")
+	}
+	if fp := r.Snap().ResidualFingerprint(); fp != "" {
+		t.Fatalf("identity residual carries fingerprint %q, want \"\"", fp)
+	}
+}
+
+// TestResidualInvalidationOnMutation: mutations and ApplyRevision
+// discard the published snapshot, and with it every residual — a
+// device revalidating by pointer picks up a residual of the new epoch
+// with the new policies.
+func TestResidualInvalidationOnMutation(t *testing.T) {
+	profile := DeviceProfile("reactor", "us")
+	env := Env{Event: Event{Type: "tick"}, Static: profile}
+
+	set := NewSet()
+	if err := set.Add(Policy{ID: "p1", EventType: "tick", Priority: 1,
+		Modality: ModalityDo, Action: Action{Name: "move"},
+		Condition: LabelEquals{Label: "device.type", Value: "reactor"}}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	snap1 := set.Snapshot()
+	r1 := snap1.Specialize(profile)
+	if got := r1.Evaluate(env); len(got.Actions) != 1 {
+		t.Fatalf("pre-mutation decision: %+v", got)
+	}
+
+	if err := set.Add(Policy{ID: "p2", EventType: "tick", Priority: 5,
+		Modality: ModalityForbid, Action: Action{Name: "move"}}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	snap2 := set.Snapshot()
+	if snap2 == snap1 {
+		t.Fatalf("mutation did not discard the snapshot")
+	}
+	r2 := snap2.Specialize(profile)
+	if r2.Full() != snap2 || r2.Full() == snap1 {
+		t.Fatalf("residual survived a mutation: full=%p snap1=%p snap2=%p", r2.Full(), snap1, snap2)
+	}
+	got := r2.Evaluate(env)
+	if len(got.Actions) != 0 || got.Vetoed["p1"] != "p2" {
+		t.Fatalf("post-mutation residual missed the new forbid: %+v", got)
+	}
+
+	if err := set.ApplyRevision(7, []Policy{{ID: "p3", EventType: "tick",
+		Priority: 9, Modality: ModalityDo, Action: Action{Name: "observe"}}},
+		[]string{"p2"}); err != nil {
+		t.Fatalf("ApplyRevision: %v", err)
+	}
+	snap3 := set.Snapshot()
+	r3 := snap3.Specialize(profile)
+	if r3.Full() == snap2 {
+		t.Fatalf("residual survived ApplyRevision")
+	}
+	if r3.Revision() != 7 {
+		t.Fatalf("residual revision %d, want 7", r3.Revision())
+	}
+	got = r3.Evaluate(env)
+	if len(got.Actions) != 2 || len(got.Vetoed) != 0 {
+		t.Fatalf("post-revision residual decision: %+v", got)
+	}
+}
+
+// TestResidualConcurrentSpecialize hammers Specialize from many
+// goroutines across several profiles while another goroutine mutates
+// the set — the race detector guards the cache, and every returned
+// residual must decide exactly like the snapshot it was specialized
+// from.
+func TestResidualConcurrentSpecialize(t *testing.T) {
+	set := NewSet()
+	if err := set.AddBatch(genStaticPolicies(rand.New(rand.NewSource(9)), 20)); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	profiles := make([]StaticEnv, 4)
+	for i := range profiles {
+		profiles[i] = DeviceProfile([]string{"reactor", "sensor", "drone", "pump"}[i], "us").
+			WithAttr("weight", float64(i*3))
+	}
+	env := Env{Event: Event{Type: "tick", Attrs: map[string]float64{"x": 6}}}
+
+	var workers, mutator sync.WaitGroup
+	stop := make(chan struct{})
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := Policy{ID: fmt.Sprintf("mut%03d", i%8), EventType: "tick",
+				Priority: i % 5, Modality: ModalityDo, Action: Action{Name: "move"}}
+			if err := set.Replace(p); err != nil {
+				t.Errorf("Replace: %v", err)
+				return
+			}
+			if i%16 == 15 {
+				set.Remove(p.ID)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < 300; i++ {
+				profile := profiles[(g+i)%len(profiles)]
+				snap := set.Snapshot()
+				res := snap.Specialize(profile)
+				e := env
+				e.Static = profile
+				got, want := res.Evaluate(e), snap.Evaluate(e)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("g%d i%d: residual diverged:\nresidual %+v\nfull     %+v", g, i, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		// Pure readers of one fixed snapshot exercise concurrent
+		// first-Specialize races on the single-slot + map cache tiers.
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			snap := set.Snapshot()
+			for i := 0; i < 300; i++ {
+				res := snap.Specialize(profiles[i%len(profiles)])
+				if res.Full() != snap {
+					t.Errorf("g%d i%d: residual from a foreign snapshot", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	mutator.Wait()
+}

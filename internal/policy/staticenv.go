@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+)
+
+// StaticPrefix is the quantity/label namespace that resolves against a
+// device's static profile instead of the event or the state: a
+// Threshold over "device.max_payload" reads StaticEnv attributes, and a
+// LabelEquals on "device.type" reads StaticEnv labels. Static
+// quantities never change after device construction, which is what
+// makes specialization (Snapshot.Specialize) sound: every condition
+// sub-tree that references only the static namespace can be evaluated
+// once per profile and folded to a constant.
+const StaticPrefix = "device."
+
+// StaticEnv is a device's static profile: the attributes fixed at
+// construction time — type, organization/coalition, region,
+// capabilities — that policy conditions may reference through the
+// "device." namespace. It is immutable after construction and carries a
+// precomputed content fingerprint, so the thousands of devices sharing
+// one profile share one residual snapshot per compilation epoch.
+//
+// Keys are stored without the "device." prefix: the profile built by
+// WithLabel("region", "eu") satisfies LabelEquals{Label: "device.region",
+// Value: "eu"}.
+type StaticEnv struct {
+	attrs  map[string]float64
+	labels map[string]string
+	fp     string
+}
+
+// DeviceProfile builds the canonical profile of a device from its type
+// and organization (labels "type" and "org"; empty values are omitted).
+// The profile is built and fingerprinted in one pass; fleets whose
+// devices share a type and org should build it once and share it
+// across construction (device.Config.Static) rather than deriving one
+// per device.
+func DeviceProfile(typ, org string) StaticEnv {
+	if typ == "" && org == "" {
+		return StaticEnv{}
+	}
+	labels := make(map[string]string, 2)
+	if typ != "" {
+		labels["type"] = typ
+	}
+	if org != "" {
+		labels["org"] = org
+	}
+	se := StaticEnv{labels: labels}
+	se.fp = se.fingerprint()
+	return se
+}
+
+// WithLabel returns a copy of the profile with the label set. The
+// receiver is not modified; profiles are built once at construction.
+func (se StaticEnv) WithLabel(name, value string) StaticEnv {
+	labels := make(map[string]string, len(se.labels)+1)
+	for k, v := range se.labels {
+		labels[k] = v
+	}
+	labels[name] = value
+	out := StaticEnv{attrs: se.attrs, labels: labels}
+	out.fp = out.fingerprint()
+	return out
+}
+
+// WithAttr returns a copy of the profile with the numeric attribute
+// set.
+func (se StaticEnv) WithAttr(name string, v float64) StaticEnv {
+	attrs := make(map[string]float64, len(se.attrs)+1)
+	for k, av := range se.attrs {
+		attrs[k] = av
+	}
+	attrs[name] = v
+	out := StaticEnv{attrs: attrs, labels: se.labels}
+	out.fp = out.fingerprint()
+	return out
+}
+
+// Attr returns the named static attribute and whether it is present.
+func (se StaticEnv) Attr(name string) (float64, bool) {
+	v, ok := se.attrs[name]
+	return v, ok
+}
+
+// Label returns the named static label, or "" when absent.
+func (se StaticEnv) Label(name string) string { return se.labels[name] }
+
+// Empty reports whether the profile carries no attributes or labels.
+func (se StaticEnv) Empty() bool { return len(se.attrs) == 0 && len(se.labels) == 0 }
+
+// emptyFP is the fingerprint of the zero profile, shared by every
+// device without static attributes.
+var emptyFP = StaticEnv{}.fingerprint()
+
+// Fingerprint returns a short content hash of the profile. Equal
+// profiles always fingerprint equally regardless of construction
+// order; the fingerprint keys the per-snapshot residual cache and is
+// stamped into audit contexts beside the policy epoch.
+func (se StaticEnv) Fingerprint() string {
+	if se.fp != "" {
+		return se.fp
+	}
+	return emptyFP
+}
+
+// fingerprint computes the canonical content hash: sorted key=value
+// pairs, labels and attributes in separate sections, SHA-256 truncated
+// to 12 hex characters (48 bits — far beyond the handful of distinct
+// profiles a fleet carries).
+func (se StaticEnv) fingerprint() string {
+	keys := make([]string, 0, len(se.labels)+len(se.attrs))
+	for k := range se.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 0, 64)
+	for _, k := range keys {
+		buf = append(buf, 'l')
+		buf = append(buf, k...)
+		buf = append(buf, '=')
+		buf = append(buf, se.labels[k]...)
+		buf = append(buf, ';')
+	}
+	keys = keys[:0]
+	for k := range se.attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf = append(buf, 'a')
+		buf = append(buf, k...)
+		buf = append(buf, '=')
+		buf = strconv.AppendFloat(buf, se.attrs[k], 'g', -1, 64)
+		buf = append(buf, ';')
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:6])
+}

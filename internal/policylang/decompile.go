@@ -85,6 +85,10 @@ func decompileCond(c policy.Condition) (Expr, error) {
 	switch n := c.(type) {
 	case policy.True:
 		return TrueExpr{}, nil
+	case policy.False:
+		// The language has no false literal; `not (true)` is its
+		// canonical spelling (the empty Or decompiles the same way).
+		return &NotExpr{Operand: TrueExpr{}}, nil
 	case policy.Threshold:
 		op := n.Op.String()
 		if op == "?" {

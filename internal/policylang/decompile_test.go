@@ -155,3 +155,35 @@ func TestCompileDecompileSemanticsProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestDecompileFalse(t *testing.T) {
+	p := policy.Policy{
+		ID: "never", EventType: "e", Modality: policy.ModalityDo,
+		Condition: policy.False{},
+		Action:    policy.Action{Name: "a"},
+	}
+	r, err := Decompile(p)
+	if err != nil {
+		t.Fatalf("Decompile: %v", err)
+	}
+	not, ok := r.When.(*NotExpr)
+	if !ok {
+		t.Fatalf("False = %#v, want not(true)", r.When)
+	}
+	if _, ok := not.Operand.(TrueExpr); !ok {
+		t.Fatalf("False = not(%#v), want not(true)", not.Operand)
+	}
+	// The spelling round-trips: parse the printed form back and check
+	// the compiled condition never holds.
+	text, err := Format(p)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	again, err := CompileSource(text, policy.OriginGenerated)
+	if err != nil {
+		t.Fatalf("re-compile: %v\n%s", err, text)
+	}
+	if again[0].Condition.Holds(policy.Env{}) {
+		t.Fatalf("re-compiled False condition holds:\n%s", text)
+	}
+}

@@ -18,6 +18,11 @@ type DeviceView struct {
 	PolicyRevision uint64 `json:"policyRevision"`
 	// Policies is the active policy count.
 	Policies int `json:"policies"`
+	// Residual is the fingerprint of the static profile the device's
+	// residual snapshot is specialized for; ResidualPolicies counts the
+	// policies surviving partial evaluation (≤ Policies).
+	Residual         string `json:"residual,omitempty"`
+	ResidualPolicies int    `json:"residualPolicies"`
 	// State is the current state vector by variable name.
 	State map[string]float64 `json:"state"`
 }
@@ -61,6 +66,10 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		if set := d.Policies(); set != nil {
 			dv.PolicyRevision = set.Revision()
 			dv.Policies = set.Len()
+			if res := d.Residual(); res != nil {
+				dv.Residual = res.ResidualFingerprint()
+				dv.ResidualPolicies = res.Len()
+			}
 		}
 		st := d.CurrentState()
 		names := st.Schema().Names()

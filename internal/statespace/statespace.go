@@ -159,17 +159,22 @@ func (s *Schema) NewState(values ...float64) (State, error) {
 
 // StateFromMap builds a state from named values. Variables missing from
 // the map take the schema origin value for that dimension; unknown names
-// are an error.
+// are an error. Named values are clamped into range like With. The state
+// is built in one allocation regardless of how many values are set —
+// this is the per-device construction path for whole fleets.
 func (s *Schema) StateFromMap(values map[string]float64) (State, error) {
-	st := s.Origin()
-	for name, v := range values {
-		var err error
-		st, err = st.With(name, v)
-		if err != nil {
-			return State{}, err
-		}
+	vs := make([]float64, len(s.vars))
+	for i, v := range s.vars {
+		vs[i] = clamp(0, v.Min, v.Max)
 	}
-	return st, nil
+	for name, v := range values {
+		i, ok := s.index[name]
+		if !ok {
+			return State{}, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+		}
+		vs[i] = clamp(v, s.vars[i].Min, s.vars[i].Max)
+	}
+	return State{schema: s, values: vs}, nil
 }
 
 // State is an immutable point in a state space. The zero State is

@@ -63,6 +63,10 @@ var defs = []Def{
 	{Name: "policy.compiles", Kind: KindGauge, Labels: []string{"device"}, Help: "Snapshot compilations over the policy set's lifetime."},
 	{Name: "policy.compile_ms", Kind: KindGauge, Labels: []string{"device"}, Help: "Latest snapshot compile latency in milliseconds."},
 	{Name: "policy.evaluate_ms", Kind: KindHistogram, Labels: []string{"device"}, Help: "Policy snapshot evaluation latency in milliseconds."},
+	{Name: "policy.residual_compiles", Kind: KindCounter, Labels: []string{"device"}, Help: "Residual snapshots specialized (partial evaluations actually run)."},
+	{Name: "policy.residual_hits", Kind: KindCounter, Labels: []string{"device"}, Help: "Specialize calls served from the per-snapshot residual cache."},
+	{Name: "policy.residual_misses", Kind: KindCounter, Labels: []string{"device"}, Help: "Specialize calls that missed the residual cache."},
+	{Name: "policy.residual_size", Kind: KindGauge, Labels: []string{"device"}, Help: "Policies surviving in the most recently compiled residual."},
 
 	// guard — per-guard verdicts and latencies.
 	{Name: "guard.decisions", Kind: KindCounter, Labels: []string{"guard", "decision"}, Help: "Guard verdicts, by guard and decision (allow, deny, deactivate)."},

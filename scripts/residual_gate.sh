@@ -1,0 +1,35 @@
+#!/bin/sh
+# residual_gate.sh — fail if partial evaluation stops paying for
+# itself.
+#
+# Usage: sh scripts/residual_gate.sh [min_ratio]
+#
+# Runs the two lanes of the 10k-policy / 64-class fleet comparison —
+# the full snapshot deciding for one device versus that device's
+# residual — and demands the residual be at least min_ratio (default
+# 10) times faster. The gate is a ratio of two benchmarks from the
+# same process on the same host, so it is robust to machine speed;
+# the measured margin is ~22x (see EXPERIMENTS.md E20), so tripping
+# 10x means specialization genuinely regressed, not noise. Only POSIX
+# sh + awk, no dependencies.
+set -eu
+
+min_ratio=${1:-10}
+
+out=$(go test -run '^$' -bench 'BenchmarkResidualFullEvaluate10k$|BenchmarkResidualEvaluate10k$' \
+	-benchtime=500ms ./internal/policy)
+full=$(printf '%s\n' "$out" | awk '/^BenchmarkResidualFullEvaluate10k/ {print $3; exit}')
+res=$(printf '%s\n' "$out" | awk '/^BenchmarkResidualEvaluate10k/ {print $3; exit}')
+[ -n "$full" ] && [ -n "$res" ] || {
+	echo "residual_gate: benchmarks produced no result" >&2
+	printf '%s\n' "$out" >&2
+	exit 1
+}
+
+ratio=$(awk -v f="$full" -v r="$res" 'BEGIN { printf "%.1f", f / r }')
+ok=$(awk -v f="$full" -v r="$res" -v m="$min_ratio" 'BEGIN { print (f >= m * r) ? 1 : 0 }')
+if [ "$ok" -ne 1 ]; then
+	echo "residual_gate: FAIL residual evaluate ${res} ns/op vs full ${full} ns/op (${ratio}x < required ${min_ratio}x)" >&2
+	exit 1
+fi
+echo "residual_gate: OK residual ${res} ns/op vs full ${full} ns/op (${ratio}x >= ${min_ratio}x)"
