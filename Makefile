@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission bench-bundle bench-megafleet bench-serve bench-residual alloc-gate residual-gate conservation fuzz-short experiments examples obs-smoke serve-smoke
+.PHONY: all build vet test test-race race cover bench bench-json bench-fleet bench-admission bench-bundle bench-megafleet bench-serve bench-residual alloc-gate residual-gate conservation scope-gate fuzz-short experiments examples obs-smoke serve-smoke
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	go vet ./...
 
-test: vet obs-smoke serve-smoke conservation fuzz-short alloc-gate residual-gate
+test: vet obs-smoke serve-smoke conservation scope-gate fuzz-short alloc-gate residual-gate
 	go test -shuffle=on ./...
 
 # The fleet allocation gate: one exact run of the 10k-device parallel
@@ -27,6 +27,17 @@ alloc-gate:
 # benchmarks is robust to host speed).
 residual-gate:
 	sh scripts/residual_gate.sh
+
+# The trust-boundary gate: the cross-org scope-refusal property (any
+# bundle signed by org A's key that names an org-B policy is refused
+# with ErrScope), the multi-root distributor refusal path, and the E21
+# coalition chaos run with its exact books and 1/2/4-worker
+# determinism differential.
+scope-gate:
+	go test -run 'TestScope|TestAgentsTwoRootsOneSet|TestKeyRing' ./internal/bundle
+	go test -run 'TestDistributorMultiRoot|TestDistributorForged|TestDistributorBadPayload|TestDistributorEncodeFailure' \
+		./internal/core
+	go test -run 'TestE21' ./internal/experiments
 
 # A short randomized pass over the bundle wire-format decoder on top of
 # its seeded corpus: no input may reach live policy state or crash the
@@ -92,13 +103,19 @@ bench-admission:
 		./internal/admission | tee bench_admission.txt
 	sh scripts/bench_json.sh bench_admission.txt BENCH_PR5.json
 
-# Bundle distribution hot paths only (PR6): publish, verify+activate
-# (full and delta) and the fail-closed reject path, distilled into
-# BENCH_PR6.json.
+# Bundle distribution hot paths: publish, verify+activate (full and
+# delta) and the fail-closed reject path into BENCH_PR6.json (PR6);
+# then the 100k-device multi-root publish fan-out — synchronous
+# per-device loop vs sharded batch events at 1/2/4 workers — into
+# BENCH_PR10.json (PR10), with dated rows in BENCH_HISTORY.json.
 bench-bundle:
 	go test -bench='BenchmarkBundle' -benchmem -count=5 \
 		./internal/bundle | tee bench_bundle.txt
 	sh scripts/bench_json.sh bench_bundle.txt BENCH_PR6.json
+	DIST_BENCH_FLEET=100000 go test -bench='BenchmarkDistributorFanout' \
+		-benchmem -benchtime=1x -count=3 -timeout 30m \
+		./internal/core | tee bench_fanout.txt
+	sh scripts/bench_json.sh bench_fanout.txt BENCH_PR10.json
 
 # Control-plane latency benchmarks (PR8): three loadgen runs — closed
 # loop, open loop at 1x admission capacity, open loop at 2x — with

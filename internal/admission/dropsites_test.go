@@ -16,6 +16,13 @@ import (
 var dropSitePatterns = []*regexp.Regexp{
 	regexp.MustCompile(`_ = [\w.]+\.Send\(`),
 	regexp.MustCompile(`_, _ = [\w.]*\.Deliver`),
+	// A discarded bundle.Encode error silently drops the push it was
+	// encoding (the PR10 distributor bug): wire encoding failures must
+	// be counted and audited, never ignored.
+	regexp.MustCompile(`, _ := [\w.]*bundle\.Encode\(`),
+	regexp.MustCompile(`, _ = [\w.]*bundle\.Encode\(`),
+	regexp.MustCompile(`, _ := encodeBundle\(`),
+	regexp.MustCompile(`, _ = encodeBundle\(`),
 }
 
 // TestNoUnaccountedDropSites audits the production source for

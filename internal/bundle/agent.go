@@ -15,6 +15,7 @@ import (
 var (
 	ErrSignature = errors.New("bundle: signature verification failed")
 	ErrRoot      = errors.New("bundle: manifest root hash mismatch")
+	ErrScope     = errors.New("bundle: records outside signing key scope")
 	ErrStale     = errors.New("bundle: revision not newer than active")
 	ErrGap       = errors.New("bundle: delta base does not match active revision")
 	ErrHash      = errors.New("bundle: record content hash mismatch")
@@ -27,6 +28,8 @@ func CauseOf(err error) string {
 	switch {
 	case errors.Is(err, ErrSignature):
 		return "signature"
+	case errors.Is(err, ErrScope):
+		return "scope"
 	case errors.Is(err, ErrRoot):
 		return "root"
 	case errors.Is(err, ErrStale):
@@ -55,14 +58,30 @@ type Agent struct {
 	mu       sync.Mutex
 	set      *policy.Set
 	verifier Verifier
+	org      string
 	rev      uint64
 	coverage map[string]string
 }
 
 // NewAgent wires an agent to the device's policy set and trust root.
+// The agent is unbound: it accepts any org's revision stream its
+// verifier can vouch for (the single-root deployment).
 func NewAgent(set *policy.Set, v Verifier) *Agent {
 	return &Agent{set: set, verifier: v, coverage: map[string]string{}}
 }
+
+// NewOrgAgent wires an agent bound to one organization's bundle root:
+// a bundle whose manifest claims a different org is refused with
+// ErrScope before anything else about it is believed. A multi-root
+// device runs one agent per subscribed root, all sharing the policy
+// set — each root is an independent revision stream, and each agent's
+// coverage bookkeeping confines full-bundle removals to its own root.
+func NewOrgAgent(set *policy.Set, v Verifier, org string) *Agent {
+	return &Agent{set: set, verifier: v, org: org, coverage: map[string]string{}}
+}
+
+// Org returns the root the agent is bound to ("" = unbound).
+func (a *Agent) Org() string { return a.org }
 
 // Revision returns the last revision the agent activated.
 func (a *Agent) Revision() uint64 {
@@ -82,9 +101,9 @@ func (a *Agent) ApplyWire(data []byte) (bool, error) {
 
 // Apply verifies the bundle and, if every check passes, activates its
 // revision atomically. The fail-closed ordering is fixed: signature,
-// root, staleness, delta-chain continuity, per-record content hashes
-// and compilation, full-coverage equality — and only then the live
-// swap. applied reports whether the device moved to a new revision; a
+// root, key scope, staleness, delta-chain continuity, per-record
+// content hashes and compilation, full-coverage equality — and only
+// then the live swap. applied reports whether the device moved to a new revision; a
 // re-delivered current revision is a benign no-op (false, nil) so
 // repair re-pushes converge without noise.
 func (a *Agent) Apply(b Bundle) (applied bool, err error) {
@@ -100,7 +119,23 @@ func (a *Agent) Apply(b Bundle) (applied bool, err error) {
 	if b.Manifest.Root == "" || ComputeRoot(b.Manifest) != b.Manifest.Root {
 		return false, ErrRoot
 	}
-	// 3. Staleness: re-delivery of the active revision is a no-op;
+	// 3. Scope: who signed decides what may be signed. An agent bound
+	// to an org refuses other orgs' streams outright, and a scoped
+	// verifier confines the signing key to its authorized coverage —
+	// a validly signed bundle naming a foreign org's policies (the
+	// compromised-coalition-key attack) dies here, before staleness or
+	// contents are even considered.
+	if a.org != "" && b.Manifest.Org != a.org {
+		return false, fmt.Errorf("%w: bundle for org %q at agent bound to %q", ErrScope, b.Manifest.Org, a.org)
+	}
+	if sv, ok := a.verifier.(ScopedVerifier); ok {
+		if scope, known := sv.ScopeOf(b.KeyID); known && scope.Restricted() {
+			if err := checkScope(scope, b); err != nil {
+				return false, err
+			}
+		}
+	}
+	// 4. Staleness: re-delivery of the active revision is a no-op;
 	// anything older is a rollback and is refused.
 	if b.Manifest.Revision == a.rev {
 		return false, nil
@@ -108,7 +143,7 @@ func (a *Agent) Apply(b Bundle) (applied bool, err error) {
 	if b.Manifest.Revision < a.rev {
 		return false, fmt.Errorf("%w: got %d, active %d", ErrStale, b.Manifest.Revision, a.rev)
 	}
-	// 4. Delta-chain continuity: a delta only applies to the exact
+	// 5. Delta-chain continuity: a delta only applies to the exact
 	// base it was cut against.
 	if b.Kind() == KindDelta && b.Manifest.Base != a.rev {
 		return false, fmt.Errorf("%w: delta base %d, active %d", ErrGap, b.Manifest.Base, a.rev)
@@ -117,7 +152,7 @@ func (a *Agent) Apply(b Bundle) (applied bool, err error) {
 		return false, fmt.Errorf("%w: records without coverage", ErrMalformed)
 	}
 
-	// 5. Records: every carried policy must hash to its claimed
+	// 6. Records: every carried policy must hash to its claimed
 	// content hash, compile to exactly one policy, and keep its ID.
 	upserts := make([]policy.Policy, 0, len(b.Records))
 	seen := make(map[string]bool, len(b.Records))
@@ -139,7 +174,7 @@ func (a *Agent) Apply(b Bundle) (applied bool, err error) {
 		upserts = append(upserts, pols[0])
 	}
 
-	// 6. Coverage: simulate the apply against the agent's bookkeeping
+	// 7. Coverage: simulate the apply against the agent's bookkeeping
 	// and require the result to equal the manifest's coverage map
 	// exactly — nothing missing, nothing extra, every hash agreeing.
 	next := make(map[string]string, len(b.Manifest.Coverage))
@@ -177,9 +212,9 @@ func (a *Agent) Apply(b Bundle) (applied bool, err error) {
 		}
 	}
 
-	// 7. Activation: one atomic install — a concurrent Evaluate sees
+	// 8. Activation: one atomic install — a concurrent Evaluate sees
 	// either the old revision or the new one, never a mixture.
-	if aerr := a.set.ApplyRevision(b.Manifest.Revision, upserts, removals); aerr != nil {
+	if aerr := a.set.ApplyOrgRevision(b.Manifest.Org, b.Manifest.Revision, upserts, removals); aerr != nil {
 		return false, fmt.Errorf("%w: %v", ErrMalformed, aerr)
 	}
 	a.rev = b.Manifest.Revision

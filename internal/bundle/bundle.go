@@ -49,6 +49,12 @@ type Record struct {
 
 // Manifest describes one signed revision.
 type Manifest struct {
+	// Org names the organization whose bundle root this revision
+	// belongs to ("" = the single-root deployment). Each org root is
+	// an independent revision stream; receivers holding a scoped
+	// verifier refuse a manifest whose org does not match the signing
+	// key's scope.
+	Org string `json:"org,omitempty"`
 	// Revision is the monotonically increasing revision number.
 	Revision uint64 `json:"revision"`
 	// Base is the revision this delta patches (0 = full bundle).
@@ -96,12 +102,12 @@ func HashSource(src string) string {
 }
 
 // ComputeRoot derives the manifest's root hash from its other fields:
-// revision, base, the sorted removals and the sorted coverage pairs.
-// Any bit of the revision's identity or contents therefore changes the
-// root, and the signature over the bundle pins the root.
+// org, revision, base, the sorted removals and the sorted coverage
+// pairs. Any bit of the revision's identity or contents therefore
+// changes the root, and the signature over the bundle pins the root.
 func ComputeRoot(m Manifest) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "rev=%d;base=%d;", m.Revision, m.Base)
+	fmt.Fprintf(h, "org=%s;rev=%d;base=%d;", m.Org, m.Revision, m.Base)
 	removed := append([]string(nil), m.Removed...)
 	sort.Strings(removed)
 	fmt.Fprintf(h, "removed=%s;", strings.Join(removed, ","))

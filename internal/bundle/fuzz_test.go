@@ -36,6 +36,27 @@ func FuzzBundleDecode(f *testing.F) {
 	f.Add([]byte(`{"manifest":{"revision":1,"coverage":{}},"records":[]}`))
 	f.Add([]byte(`{"manifest":{"revision":1,"coverage":null,"root":""},"records":[{"id":"","source":"","hash":""}]}`))
 	f.Add([]byte(strings.Repeat(`[`, 64)))
+	// Scoped manifests: a legitimate org-rooted bundle, the same bundle
+	// with its org swapped after signing, and a cross-org smuggle (org-A
+	// manifest carrying an org-B record) re-rooted and re-signed.
+	orgPub := NewOrgPublisher(orgKey("us"), "us")
+	orgFull, _, err := orgPub.Publish(mkOrgPolicies(f, "us", 2, "seed"))
+	if err != nil {
+		f.Fatalf("org seed publish: %v", err)
+	}
+	orgBytes, _ := Encode(orgFull)
+	f.Add(orgBytes)
+	swapped := orgFull
+	swapped.Manifest.Org = "uk"
+	swappedBytes, _ := Encode(swapped)
+	f.Add(swappedBytes)
+	smuggle := orgFull
+	foreign := mkOrgPolicies(f, "uk", 1, "seed")[0]
+	smuggle.Manifest.Coverage = map[string]string{foreign.ID: "00"}
+	smuggle.Manifest.Root = ComputeRoot(smuggle.Manifest)
+	smuggle.SignWith(orgKey("us"))
+	smuggleBytes, _ := Encode(smuggle)
+	f.Add(smuggleBytes)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// The fuzzing agent trusts a key the corpus was NOT signed
@@ -52,6 +73,18 @@ func FuzzBundleDecode(f *testing.F) {
 		}
 		if agent.Revision() != 0 || set.Len() != 0 {
 			t.Fatalf("rejected input mutated state: rev=%d len=%d", agent.Revision(), set.Len())
+		}
+		// A scoped receiver is at least as closed: an agent whose ring
+		// holds only a uk-scoped key can never activate corpus inputs
+		// (signed by us/legacy keys or garbage), whatever org they claim.
+		scopedSet := policy.NewSet()
+		ring := NewKeyRing().Add(orgKey("uk").ID, orgKey("uk"), Scope{Org: "uk"})
+		scoped := NewOrgAgent(scopedSet, ring, "uk")
+		if applied, err := scoped.ApplyWire(data); applied || err == nil {
+			t.Fatalf("scoped agent activated unverifiable input (applied=%v err=%v): %q", applied, err, data)
+		}
+		if scoped.Revision() != 0 || scopedSet.Len() != 0 {
+			t.Fatalf("scoped agent mutated state: rev=%d len=%d", scoped.Revision(), scopedSet.Len())
 		}
 	})
 }

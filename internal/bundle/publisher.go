@@ -19,6 +19,7 @@ const historyDepth = 16
 type Publisher struct {
 	mu      sync.Mutex
 	signer  Signer
+	org     string
 	rev     uint64
 	current map[string]Record
 	// history maps revision -> coverage (id -> hash) for delta bases.
@@ -26,15 +27,28 @@ type Publisher struct {
 	order   []uint64
 }
 
-// NewPublisher creates a publisher signing with s.
+// NewPublisher creates a publisher signing with s for the unnamed
+// (single-root) revision stream.
 func NewPublisher(s Signer) *Publisher {
+	return NewOrgPublisher(s, "")
+}
+
+// NewOrgPublisher creates a publisher for one organization's bundle
+// root: every manifest it cuts carries the org, so receivers can bind
+// the revision stream to the signing key's scope.
+func NewOrgPublisher(s Signer, org string) *Publisher {
 	return &Publisher{
 		signer:  s,
+		org:     org,
 		current: make(map[string]Record),
 		history: map[uint64]map[string]string{0: {}},
 		order:   []uint64{0},
 	}
 }
+
+// Org returns the organization whose root this publisher cuts ("" =
+// single-root).
+func (p *Publisher) Org() string { return p.org }
 
 // Revision returns the latest published revision (0 = none yet).
 func (p *Publisher) Revision() uint64 {
@@ -145,7 +159,7 @@ func (p *Publisher) assembleLocked(base uint64, removed []string, records []Reco
 	for id, rec := range p.current {
 		coverage[id] = rec.Hash
 	}
-	m := Manifest{Revision: p.rev, Base: base, Removed: removed, Coverage: coverage}
+	m := Manifest{Org: p.org, Revision: p.rev, Base: base, Removed: removed, Coverage: coverage}
 	m.Root = ComputeRoot(m)
 	b := Bundle{Manifest: m, Records: records}
 	b.SignWith(p.signer)

@@ -1,0 +1,217 @@
+package bundle
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/policylang"
+)
+
+func orgKey(org string) HMACKey {
+	return HMACKey{ID: org + "-root", Secret: []byte(org + " signing secret")}
+}
+
+// mkOrgPolicies compiles n policies with org-prefixed IDs (the
+// coalition ID convention, e.g. "us.p00").
+func mkOrgPolicies(t testing.TB, org string, n int, tag string) []policy.Policy {
+	t.Helper()
+	var src strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&src,
+			"policy %s.p%02d priority %d:\n    on smoke-detected\n    when intensity > %d\n    do dispatch target %s category surveillance\n",
+			org, i, i+1, i, tag)
+	}
+	pols, err := policylang.CompileSource(src.String(), policy.OriginHuman)
+	if err != nil {
+		t.Fatalf("compile fixture: %v", err)
+	}
+	return pols
+}
+
+// coalitionRing returns a two-org keyring with each key scoped to its
+// own root.
+func coalitionRing() *KeyRing {
+	return NewKeyRing().
+		Add(orgKey("us").ID, orgKey("us"), Scope{Org: "us"}).
+		Add(orgKey("uk").ID, orgKey("uk"), Scope{Org: "uk"})
+}
+
+func TestScopeAllows(t *testing.T) {
+	unrestricted := Scope{}
+	if unrestricted.Restricted() {
+		t.Error("zero Scope claims to be restricted")
+	}
+	if !unrestricted.Allows("anything.at.all") {
+		t.Error("unrestricted scope refused an ID")
+	}
+	org := Scope{Org: "us"}
+	if !org.Restricted() || !org.Allows("us.patrol") || org.Allows("uk.patrol") || org.Allows("usx.patrol") {
+		t.Errorf("org scope misjudged: us.patrol=%v uk.patrol=%v usx.patrol=%v",
+			org.Allows("us.patrol"), org.Allows("uk.patrol"), org.Allows("usx.patrol"))
+	}
+	pfx := Scope{Org: "us", Prefixes: []string{"shared.", "us."}}
+	if !pfx.Allows("shared.alert") || !pfx.Allows("us.patrol") || pfx.Allows("uk.patrol") {
+		t.Error("explicit prefixes misjudged")
+	}
+}
+
+func TestKeyRingVerifyAndScope(t *testing.T) {
+	ring := coalitionRing()
+	pub := NewOrgPublisher(orgKey("us"), "us")
+	full, _, err := pub.Publish(mkOrgPolicies(t, "us", 2, "r1"))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if !full.CheckSig(ring) {
+		t.Error("ring refused a signature from a held key")
+	}
+	if unknown := (Bundle{Manifest: full.Manifest, Records: full.Records, KeyID: "nobody", Sig: full.Sig}); unknown.CheckSig(ring) {
+		t.Error("ring verified an unknown key ID")
+	}
+	if sc, ok := ring.ScopeOf(orgKey("uk").ID); !ok || sc.Org != "uk" {
+		t.Errorf("ScopeOf(uk-root) = %+v, %v", sc, ok)
+	}
+	if _, ok := ring.ScopeOf("nobody"); ok {
+		t.Error("ScopeOf reported an unknown key")
+	}
+	if got := ring.KeyIDs(); len(got) != 2 || got[0] != "uk-root" || got[1] != "us-root" {
+		t.Errorf("KeyIDs = %v", got)
+	}
+}
+
+// The scope invariant as a property: a bundle signed by org A's key
+// that names any org-B policy — as a carried record, a coverage entry,
+// or a removal — is always refused with ErrScope, wherever the foreign
+// ID is injected. The manifest is re-rooted and re-signed each time,
+// so only the scope check can catch it.
+func TestScopePropertyCrossOrgRecordAlwaysRefused(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	usPols := mkOrgPolicies(t, "us", 4, "r1")
+	ukPols := mkOrgPolicies(t, "uk", 4, "foreign")
+
+	for trial := 0; trial < 200; trial++ {
+		pub := NewOrgPublisher(orgKey("us"), "us")
+		full, _, err := pub.Publish(usPols)
+		if err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		// Pick a foreign policy and an injection site at random.
+		fp := ukPols[rng.Intn(len(ukPols))]
+		src, err := policylang.Format(fp)
+		if err != nil {
+			t.Fatalf("Format: %v", err)
+		}
+		rec := Record{ID: fp.ID, Source: src, Hash: HashSource(src)}
+		b := full
+		b.Records = append([]Record(nil), full.Records...)
+		cov := make(map[string]string, len(full.Manifest.Coverage)+1)
+		for id, h := range full.Manifest.Coverage {
+			cov[id] = h
+		}
+		b.Manifest.Coverage = cov
+		switch rng.Intn(3) {
+		case 0: // carried record + coverage (the consistent smuggle)
+			b.Records = append(b.Records, rec)
+			cov[rec.ID] = rec.Hash
+		case 1: // coverage entry only
+			cov[rec.ID] = rec.Hash
+		case 2: // removal of a foreign ID
+			b.Manifest.Removed = append([]string(nil), b.Manifest.Removed...)
+			b.Manifest.Removed = append(b.Manifest.Removed, fp.ID)
+		}
+		// Re-root and re-sign with the (compromised) org-A key, so the
+		// bundle is otherwise fully valid.
+		b.Manifest.Root = ComputeRoot(b.Manifest)
+		b.SignWith(orgKey("us"))
+
+		set := policy.NewSet()
+		agent := NewOrgAgent(set, coalitionRing(), "us")
+		applied, err := agent.Apply(b)
+		if applied || !errors.Is(err, ErrScope) {
+			t.Fatalf("trial %d: applied=%v err=%v, want ErrScope refusal", trial, applied, err)
+		}
+		if set.Len() != 0 || set.Revision() != 0 {
+			t.Fatalf("trial %d: scope refusal mutated the set (%d policies, rev %d)", trial, set.Len(), set.Revision())
+		}
+		if CauseOf(err) != "scope" {
+			t.Fatalf("trial %d: cause %q, want scope", trial, CauseOf(err))
+		}
+	}
+}
+
+// A manifest claiming org B's root but signed with org A's key is
+// refused with ErrScope even when the signature itself verifies — and
+// independently, an org-bound agent refuses foreign streams outright.
+func TestScopeOrgBindingRefusals(t *testing.T) {
+	pub := NewOrgPublisher(orgKey("us"), "us")
+	full, _, err := pub.Publish(mkOrgPolicies(t, "us", 2, "r1"))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	// Key scope vs claimed org: us key signing a "uk" manifest.
+	cross := full
+	cross.Manifest.Org = "uk"
+	cross.Manifest.Root = ComputeRoot(cross.Manifest)
+	cross.SignWith(orgKey("us"))
+	agent := NewAgent(policy.NewSet(), coalitionRing())
+	if applied, err := agent.Apply(cross); applied || !errors.Is(err, ErrScope) {
+		t.Errorf("cross-org manifest: applied=%v err=%v, want ErrScope", applied, err)
+	}
+
+	// Agent org binding: a uk-bound agent refuses the us stream even
+	// under an unrestricted verifier.
+	bound := NewOrgAgent(policy.NewSet(), orgKey("us"), "uk")
+	if applied, err := bound.Apply(full); applied || !errors.Is(err, ErrScope) {
+		t.Errorf("bound agent: applied=%v err=%v, want ErrScope", applied, err)
+	}
+	if bound.Org() != "uk" {
+		t.Errorf("Org() = %q", bound.Org())
+	}
+}
+
+// Two org roots activate independent revision streams on one shared
+// policy set: each stream is monotonic on its own counter and the
+// combined set holds both orgs' policies.
+func TestAgentsTwoRootsOneSet(t *testing.T) {
+	set := policy.NewSet()
+	ring := coalitionRing()
+	usAgent := NewOrgAgent(set, ring, "us")
+	ukAgent := NewOrgAgent(set, ring, "uk")
+	usPub := NewOrgPublisher(orgKey("us"), "us")
+	ukPub := NewOrgPublisher(orgKey("uk"), "uk")
+
+	usFull, _, err := usPub.Publish(mkOrgPolicies(t, "us", 2, "r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := usAgent.Apply(usFull); !applied || err != nil {
+		t.Fatalf("us apply: %v %v", applied, err)
+	}
+	for rev := 1; rev <= 2; rev++ {
+		ukFull, _, err := ukPub.Publish(mkOrgPolicies(t, "uk", 3, fmt.Sprintf("r%d", rev)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied, err := ukAgent.Apply(ukFull); !applied || err != nil {
+			t.Fatalf("uk apply r%d: %v %v", rev, applied, err)
+		}
+	}
+	if got := set.OrgRevision("us"); got != 1 {
+		t.Errorf("us stream at %d, want 1", got)
+	}
+	if got := set.OrgRevision("uk"); got != 2 {
+		t.Errorf("uk stream at %d, want 2", got)
+	}
+	if set.Len() != 5 {
+		t.Errorf("set holds %d policies, want 5 (2 us + 3 uk)", set.Len())
+	}
+	revs := set.OrgRevisions()
+	if revs["us"] != 1 || revs["uk"] != 2 {
+		t.Errorf("OrgRevisions = %v", revs)
+	}
+}

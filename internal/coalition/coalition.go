@@ -92,12 +92,15 @@ func (k ShareKind) MinTrust() Trust {
 // organizations.
 var ErrUnknownOrganization = errors.New("coalition: unknown organization")
 
-// Coalition tracks member organizations and their directed pairwise
-// trust. It is safe for concurrent use.
+// Coalition tracks member organizations, their directed pairwise
+// trust, and each organization's bundle-root binding (the signing key
+// its policy-distribution root is anchored to). It is safe for
+// concurrent use.
 type Coalition struct {
 	mu    sync.Mutex
 	orgs  map[string]bool
 	trust map[string]map[string]Trust // trust[from][to]
+	roots map[string]string           // org -> signing key ID
 }
 
 // New returns an empty coalition.
@@ -105,6 +108,7 @@ func New() *Coalition {
 	return &Coalition{
 		orgs:  make(map[string]bool),
 		trust: make(map[string]map[string]Trust),
+		roots: make(map[string]string),
 	}
 }
 
@@ -187,6 +191,68 @@ func (c *Coalition) Partners(of string, min Trust) []string {
 		}
 		if c.TrustBetween(of, name) >= min {
 			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BindRoot anchors an organization's bundle root to a signing key ID:
+// the coalition-level statement "org X's policy revisions are signed
+// by key K". Distribution planes consult the binding when building
+// device keyrings, so a key never verifies outside the org the
+// coalition bound it to. Rebinding (key rotation) overwrites.
+func (c *Coalition) BindRoot(org, keyID string) error {
+	if keyID == "" {
+		return errors.New("coalition: root binding needs a key ID")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.orgs[org] {
+		return fmt.Errorf("%w: %q", ErrUnknownOrganization, org)
+	}
+	c.roots[org] = keyID
+	return nil
+}
+
+// RootOf returns the signing key ID an organization's bundle root is
+// bound to; ok is false when no binding was declared.
+func (c *Coalition) RootOf(org string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keyID, ok := c.roots[org]
+	return keyID, ok
+}
+
+// RootBindings returns a copy of every declared org → key-ID binding.
+func (c *Coalition) RootBindings() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.roots))
+	for org, keyID := range c.roots {
+		out[org] = keyID
+	}
+	return out
+}
+
+// AcceptedRoots returns the org roots a member's devices should hold
+// verification keys for: its own root plus every bound root of a
+// member it trusts enough for policy sharing (receiver-side trust,
+// like CanShare). Sorted. Only orgs with a declared root binding
+// appear — an org without a bound key has no verifiable stream to
+// accept.
+func (c *Coalition) AcceptedRoots(org string) []string {
+	c.mu.Lock()
+	bound := make([]string, 0, len(c.roots))
+	for other := range c.roots {
+		bound = append(bound, other)
+	}
+	c.mu.Unlock()
+
+	var out []string
+	for _, other := range bound {
+		if other == org || c.TrustBetween(org, other) >= SharePolicy.MinTrust() {
+			out = append(out, other)
 		}
 	}
 	sort.Strings(out)

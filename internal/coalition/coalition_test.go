@@ -142,3 +142,54 @@ func TestStringers(t *testing.T) {
 		t.Error("unknown kind should require full trust")
 	}
 }
+
+func TestRootBindings(t *testing.T) {
+	c := twoOrgCoalition(t)
+	if err := c.BindRoot("us", "us-root-key"); err != nil {
+		t.Fatalf("BindRoot us: %v", err)
+	}
+	if err := c.BindRoot("uk", "uk-root-key"); err != nil {
+		t.Fatalf("BindRoot uk: %v", err)
+	}
+	if err := c.BindRoot("fr", "fr-key"); err == nil {
+		t.Error("BindRoot accepted an undeclared organization")
+	}
+	if err := c.BindRoot("us", ""); err == nil {
+		t.Error("BindRoot accepted an empty key ID")
+	}
+	if keyID, ok := c.RootOf("us"); !ok || keyID != "us-root-key" {
+		t.Errorf("RootOf(us) = %q, %v", keyID, ok)
+	}
+	if _, ok := c.RootOf("observer"); ok {
+		t.Error("RootOf(observer) reported a binding")
+	}
+	// Rotation overwrites.
+	if err := c.BindRoot("us", "us-root-key-2"); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	if got := c.RootBindings(); len(got) != 2 || got["us"] != "us-root-key-2" || got["uk"] != "uk-root-key" {
+		t.Errorf("RootBindings = %v", got)
+	}
+}
+
+func TestAcceptedRoots(t *testing.T) {
+	c := twoOrgCoalition(t)
+	for org, key := range map[string]string{"us": "us-key", "uk": "uk-key", "observer": "observer-key"} {
+		if err := c.BindRoot(org, key); err != nil {
+			t.Fatalf("BindRoot %s: %v", org, key)
+		}
+	}
+	// us fully trusts uk (>= medium, the policy-sharing bar) but only
+	// low-trusts observer: its devices hold us + uk roots.
+	if got := c.AcceptedRoots("us"); len(got) != 2 || got[0] != "uk" || got[1] != "us" {
+		t.Errorf("AcceptedRoots(us) = %v", got)
+	}
+	// observer medium-trusts us, so it accepts us's root besides its own.
+	if got := c.AcceptedRoots("observer"); len(got) != 2 || got[0] != "observer" || got[1] != "us" {
+		t.Errorf("AcceptedRoots(observer) = %v", got)
+	}
+	// An org always accepts its own bound root, regardless of trust rows.
+	if got := c.AcceptedRoots("uk"); len(got) != 2 || got[0] != "uk" || got[1] != "us" {
+		t.Errorf("AcceptedRoots(uk) = %v", got)
+	}
+}

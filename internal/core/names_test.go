@@ -158,10 +158,23 @@ func TestMetricNamesUnified(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tampered push → bundle.rejected registers.
-	bad, _ := dist.pub.Full()
+	bad, _ := dist.roots[0].pub.Full()
 	bad.Sig = "00"
 	data, _ := bundle.Encode(bad)
 	_ = bus.Send(network.Message{From: dist.id, To: "d1", Topic: TopicBundle, Payload: data})
+	// A scope-violating push — valid signature, foreign org — registers
+	// bundle.scope_rejected at its real call site.
+	scoped := bad
+	scoped.Manifest.Org = "foreign"
+	scoped.Manifest.Root = bundle.ComputeRoot(scoped.Manifest)
+	scoped.SignWith(key)
+	data, _ = bundle.Encode(scoped)
+	_ = bus.Send(network.Message{From: dist.id, To: "d1", Topic: TopicBundle, Payload: data})
+	// Forged and malformed reports register bundle.forged_report and
+	// bundle.bad_payload.
+	_ = bus.Send(network.Message{From: "x", To: dist.id, Topic: TopicBundleAck,
+		Payload: BundleAck{Device: "d1", Revision: 1, Applied: true}})
+	_ = bus.Send(network.Message{From: "x", To: dist.id, Topic: TopicBundlePull, Payload: "junk"})
 	// Detach the device so a second publish goes unacked, then sweep
 	// past the stuck threshold → bundle.repairs and bundle.lagging.
 	bus.Detach("d1")

@@ -60,6 +60,10 @@ func All() []Runner {
 			Run: func() (Result, error) {
 				return RunE18(E18Params{Seed: seed, Fleet: 1500, Horizon: 8 * time.Second})
 			}},
+		// E19 (serving latency) and E20 (residual snapshots) run under
+		// their benchmark harnesses (see EXPERIMENTS.md).
+		{ID: "E21", Title: "Coalition-scoped bundle roots — cross-boundary refusal under chaos (II–IV, extension)",
+			Run: func() (Result, error) { return RunE21(E21Params{Seed: seed}) }},
 	}
 }
 

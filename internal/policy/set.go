@@ -70,8 +70,15 @@ type Set struct {
 	// revision is the policy-distribution revision the set last
 	// activated (0 = never revision-managed). It is stamped onto every
 	// snapshot compiled from the set, so a reader can tell which
-	// coherent revision it is evaluating under.
+	// coherent revision it is evaluating under. With multiple org
+	// roots it is the stamp of whichever root applied last; orgRevs
+	// carries the per-root streams.
 	revision uint64
+	// orgRevs tracks the activated revision per org root ("" = the
+	// single-root stream). Each root's stream is independently strictly
+	// monotonic, so two coalition roots can advance without racing each
+	// other's numbers. Lazily allocated.
+	orgRevs map[string]uint64
 	// resStats accounts residual specialization across the set's
 	// lifetime; every compiled snapshot shares it so counters survive
 	// invalidation.
@@ -244,6 +251,15 @@ func (s *Set) ReplaceBatch(ps []Policy) error {
 // greater than the current one; the batch is all-or-nothing on
 // validation failure.
 func (s *Set) ApplyRevision(revision uint64, upserts []Policy, removals []string) error {
+	return s.ApplyOrgRevision("", revision, upserts, removals)
+}
+
+// ApplyOrgRevision is ApplyRevision for one org root's revision
+// stream: each root advances its own strictly monotonic revision
+// counter, so two coalition roots can install policy on the same
+// device without contending over a single number. The set-wide
+// Revision() becomes the stamp of whichever root applied last.
+func (s *Set) ApplyOrgRevision(org string, revision uint64, upserts []Policy, removals []string) error {
 	seen := make(map[string]bool, len(upserts))
 	for _, p := range upserts {
 		if err := p.Validate(); err != nil {
@@ -256,8 +272,8 @@ func (s *Set) ApplyRevision(revision uint64, upserts []Policy, removals []string
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if revision <= s.revision {
-		return fmt.Errorf("policy: revision %d is not newer than active revision %d", revision, s.revision)
+	if active := s.orgRevs[org]; revision <= active {
+		return fmt.Errorf("policy: revision %d is not newer than active revision %d (root %q)", revision, active, org)
 	}
 	for _, id := range removals {
 		delete(s.policies, id)
@@ -265,6 +281,10 @@ func (s *Set) ApplyRevision(revision uint64, upserts []Policy, removals []string
 	for _, p := range upserts {
 		s.policies[p.ID] = p
 	}
+	if s.orgRevs == nil {
+		s.orgRevs = make(map[string]uint64, 2)
+	}
+	s.orgRevs[org] = revision
 	s.revision = revision
 	s.snap.Store(nil)
 	return nil
@@ -276,6 +296,30 @@ func (s *Set) Revision() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.revision
+}
+
+// OrgRevision returns the revision last activated from one org root's
+// stream (0 = never).
+func (s *Set) OrgRevision(org string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.orgRevs[org]
+}
+
+// OrgRevisions returns a copy of every root's activated revision,
+// keyed by org ("" = the single-root stream). Nil when the set was
+// never revision-managed.
+func (s *Set) OrgRevisions() map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.orgRevs) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(s.orgRevs))
+	for org, rev := range s.orgRevs {
+		out[org] = rev
+	}
+	return out
 }
 
 // Remove deletes a policy by ID and reports whether it existed.

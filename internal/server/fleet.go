@@ -23,8 +23,23 @@ type DeviceView struct {
 	// policies surviving partial evaluation (≤ Policies).
 	Residual         string `json:"residual,omitempty"`
 	ResidualPolicies int    `json:"residualPolicies"`
+	// BundleRevisions maps each org root the device has activated from
+	// to its per-root revision — the coalition view, where one device
+	// follows several independent revision streams. Omitted for devices
+	// never bundle-managed.
+	BundleRevisions map[string]uint64 `json:"bundleRevisions,omitempty"`
 	// State is the current state vector by variable name.
 	State map[string]float64 `json:"state"`
+}
+
+// RootView is one org root's control-plane standing.
+type RootView struct {
+	// Org names the root ("" renders as the single-root deployment).
+	Org string `json:"org"`
+	// Revision is the root's latest published revision.
+	Revision uint64 `json:"revision"`
+	// Lagging counts subscribed devices behind Revision.
+	Lagging int `json:"lagging"`
 }
 
 // FleetView is the GET /v1/fleet reply.
@@ -36,8 +51,11 @@ type FleetView struct {
 	Total  int `json:"total"`
 	// AuditLen is the journal length — the tail index a new
 	// /v1/audit/tail stream would start from.
-	AuditLen int          `json:"auditLen"`
-	Devices  []DeviceView `json:"devices"`
+	AuditLen int `json:"auditLen"`
+	// Roots reports each org root's published revision and lagging
+	// count; present only when the server fronts a distributor.
+	Roots   []RootView   `json:"roots,omitempty"`
+	Devices []DeviceView `json:"devices"`
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -52,6 +70,15 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		AuditLen: s.log.Len(),
 		Devices:  make([]DeviceView, 0, len(devices)),
 	}
+	if s.dist != nil {
+		for _, org := range s.dist.Orgs() {
+			view.Roots = append(view.Roots, RootView{
+				Org:      org,
+				Revision: s.dist.RootRevision(org),
+				Lagging:  len(s.dist.LaggingRoot(org)),
+			})
+		}
+	}
 	for _, d := range devices {
 		dv := DeviceView{
 			ID:          d.ID(),
@@ -65,6 +92,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		}
 		if set := d.Policies(); set != nil {
 			dv.PolicyRevision = set.Revision()
+			dv.BundleRevisions = set.OrgRevisions()
 			dv.Policies = set.Len()
 			if res := d.Residual(); res != nil {
 				dv.Residual = res.ResidualFingerprint()

@@ -67,6 +67,10 @@ type Config struct {
 	// priority classes before delivery; sheds are typed, counted and
 	// reported in the response, never silent.
 	Admission *admission.Controller
+	// Distributor, when set, adds the bundle plane to /v1/fleet: one
+	// row per org root with its published revision and lagging count,
+	// plus each device's per-root activated revisions.
+	Distributor *core.Distributor
 	// Now supplies wall time for latency measurement; nil uses
 	// time.Now.
 	Now func() time.Time
@@ -80,6 +84,7 @@ type Server struct {
 	registry   *telemetry.Registry
 	tracer     *telemetry.Tracer
 	admission  *admission.Controller
+	dist       *core.Distributor
 	now        func() time.Time
 
 	handler http.Handler
@@ -112,6 +117,7 @@ func New(cfg Config) (*Server, error) {
 		registry:   cfg.Registry,
 		tracer:     cfg.Tracer,
 		admission:  cfg.Admission,
+		dist:       cfg.Distributor,
 		now:        cfg.Now,
 	}
 	if reg := cfg.Registry; reg != nil {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/audit"
+	"repro/internal/bundle"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/policy"
@@ -412,5 +413,85 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Collective: &core.Collective{}}); err == nil {
 		t.Error("New without audit log succeeded")
+	}
+}
+
+// TestFleetViewRoots checks the coalition bundle plane surfaces in
+// /v1/fleet: one row per org root with its published revision and
+// lagging count, and each device's per-root activated revisions.
+func TestFleetViewRoots(t *testing.T) {
+	f := newTestFleet(t, nil)
+	usKey := bundle.HMACKey{ID: "us-root", Secret: []byte("us secret")}
+	ukKey := bundle.HMACKey{ID: "uk-root", Secret: []byte("uk secret")}
+	dist, err := core.NewDistributor(core.DistributorConfig{
+		Collective: f.collective,
+		Roots: []core.RootConfig{
+			{Org: "us", Signer: usKey},
+			{Org: "uk", Signer: ukKey},
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewDistributor: %v", err)
+	}
+	ring := bundle.NewKeyRing().
+		Add(usKey.ID, usKey, bundle.Scope{Org: "us"}).
+		Add(ukKey.ID, ukKey, bundle.Scope{Org: "uk"})
+	for id, orgs := range map[string][]string{
+		"dev-0": {"us"}, "dev-1": {"uk"}, "dev-2": {"us", "uk"},
+	} {
+		if err := dist.EnrollRoots(id, ring, orgs...); err != nil {
+			t.Fatalf("EnrollRoots %s: %v", id, err)
+		}
+	}
+	publish := func(org, id string) {
+		t.Helper()
+		pols, err := policylang.CompileSource(
+			"policy "+org+"."+id+":\n    on tick\n    do run-load category work effect heat += 1",
+			policy.OriginHuman)
+		if err != nil {
+			t.Fatalf("CompileSource: %v", err)
+		}
+		if _, err := dist.PublishRoot(org, pols); err != nil {
+			t.Fatalf("PublishRoot %s: %v", org, err)
+		}
+	}
+	publish("us", "pa")
+	publish("uk", "pa")
+	publish("uk", "pb")
+
+	srv, err := New(Config{Collective: f.collective, Audit: f.log, Distributor: dist})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	var view FleetView
+	if code := getJSON(t, "http://"+srv.Addr()+"/v1/fleet", &view); code != http.StatusOK {
+		t.Fatalf("GET /v1/fleet = %d", code)
+	}
+	wantRoots := map[string]uint64{"us": 1, "uk": 2}
+	if len(view.Roots) != 2 {
+		t.Fatalf("roots = %+v, want 2 rows", view.Roots)
+	}
+	for _, rv := range view.Roots {
+		if want, ok := wantRoots[rv.Org]; !ok || rv.Revision != want {
+			t.Errorf("root %q at revision %d, want %d", rv.Org, rv.Revision, wantRoots[rv.Org])
+		}
+		if rv.Lagging != 0 {
+			t.Errorf("root %q lagging %d, want 0 (synchronous bus)", rv.Org, rv.Lagging)
+		}
+	}
+	byID := map[string]DeviceView{}
+	for _, dv := range view.Devices {
+		byID[dv.ID] = dv
+	}
+	if got := byID["dev-2"].BundleRevisions; got["us"] != 1 || got["uk"] != 2 {
+		t.Errorf("dev-2 bundle revisions = %v, want us:1 uk:2", got)
+	}
+	if got := byID["dev-0"].BundleRevisions; len(got) != 1 || got["us"] != 1 {
+		t.Errorf("dev-0 bundle revisions = %v, want only us:1", got)
 	}
 }

@@ -90,12 +90,16 @@ var defs = []Def{
 	{Name: "bundle.pushed", Kind: KindCounter, Help: "Bundle pushes sent to devices (including repair re-pushes)."},
 	{Name: "bundle.acked", Kind: KindCounter, Help: "Activation acknowledgements received by the distributor."},
 	{Name: "bundle.activated", Kind: KindCounter, Labels: []string{"kind"}, Help: "Bundles verified and atomically activated by devices, by kind (full, delta)."},
-	{Name: "bundle.rejected", Kind: KindCounter, Labels: []string{"cause"}, Help: "Bundles refused fail-closed, by cause (signature, root, gap, stale, coverage, hash, malformed, decode)."},
+	{Name: "bundle.rejected", Kind: KindCounter, Labels: []string{"cause"}, Help: "Bundles refused fail-closed, by cause (signature, scope, root, gap, stale, coverage, hash, malformed, decode)."},
+	{Name: "bundle.scope_rejected", Kind: KindCounter, Labels: []string{"root"}, Help: "Bundles refused because their contents fall outside the signing key's authorized scope or claim a root the device is not subscribed to — the compromised-coalition-key attack stopped at the trust boundary."},
+	{Name: "bundle.forged_report", Kind: KindCounter, Labels: []string{"topic"}, Help: "Status reports (acks, pulls) whose payload claims a device other than the bus sender — dropped and audited, never believed."},
+	{Name: "bundle.encode_failed", Kind: KindCounter, Labels: []string{"root"}, Help: "Bundle wire encodings that failed during fan-out, by org root; the push is dropped, counted and audited."},
+	{Name: "bundle.bad_payload", Kind: KindCounter, Help: "Bundle-plane messages carrying a payload of the wrong type — dropped, counted and audited."},
 	{Name: "bundle.repairs", Kind: KindCounter, Help: "Anti-entropy repair pushes to devices behind the current revision."},
 	{Name: "bundle.pulls", Kind: KindCounter, Help: "Pull-repair requests received from devices that detected a gap."},
 	{Name: "bundle.send_failed", Kind: KindCounter, Labels: []string{"topic"}, Help: "Distribution-plane sends the bus refused, by topic; survivable (repair re-pushes, re-acks and pull retries cover them) but never silent."},
-	{Name: "bundle.revision", Kind: KindGauge, Help: "Current published revision at the distributor."},
-	{Name: "bundle.lagging", Kind: KindGauge, Help: "Devices whose acknowledged revision trails the published one."},
+	{Name: "bundle.revision", Kind: KindGauge, Labels: []string{"root"}, Help: "Current published revision per org root."},
+	{Name: "bundle.lagging", Kind: KindGauge, Labels: []string{"root"}, Help: "Devices whose acknowledged revision trails the published one, per org root."},
 
 	// chaos — fault injections and heals.
 	{Name: "chaos.loss_injected", Kind: KindCounter, Help: "Loss fault onsets."},

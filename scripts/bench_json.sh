@@ -6,9 +6,10 @@
 # Each benchmark line ("BenchmarkName-8  123  456 ns/op  78 B/op  9
 # allocs/op") becomes one object; repeated runs of the same benchmark
 # (-count>1) are averaged. Fleet and serve benchmarks
-# (BenchmarkE15Fleet*, BenchmarkE18*, BenchmarkServe*) and decision-
+# (BenchmarkE15Fleet*, BenchmarkE18*, BenchmarkServe*), decision-
 # plane benchmarks (BenchmarkEvaluate*, BenchmarkResidual*,
-# BenchmarkSpecialize*) are additionally appended as dated rows to a
+# BenchmarkSpecialize*) and distribution fan-out benchmarks
+# (BenchmarkDistributorFanout*) are additionally appended as dated rows to a
 # cumulative history file, so allocation and latency regressions
 # across PRs stay visible without digging through git. Only POSIX sh +
 # awk, no dependencies.
@@ -57,7 +58,7 @@ echo "bench_json: wrote $(grep -c '"name"' "$out") benchmarks to $out"
 # stays a single valid JSON document.
 rows=$(awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 	-v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
-/^BenchmarkE15Fleet|^BenchmarkE18|^BenchmarkServe|^BenchmarkEvaluate|^BenchmarkResidual|^BenchmarkSpecialize/ {
+/^BenchmarkE15Fleet|^BenchmarkE18|^BenchmarkServe|^BenchmarkEvaluate|^BenchmarkResidual|^BenchmarkSpecialize|^BenchmarkDistributorFanout/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
     n[name]++
